@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the compression codecs (backs Table 1's
+//! latency column with real software throughput numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disco_compress::scheme::Compressor;
+use disco_compress::{CacheLine, Codec, SchemeKind, LINE_BYTES};
+use disco_workloads::{Benchmark, ValueModel};
+
+fn corpus() -> Vec<CacheLine> {
+    let model = ValueModel::new(Benchmark::Ferret.profile().value, 7);
+    (0..256u64).map(|a| model.line(a, 0)).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let lines = corpus();
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes((lines.len() * LINE_BYTES) as u64));
+    for kind in SchemeKind::ALL {
+        let codec = if kind == SchemeKind::Sc2 {
+            Codec::Sc2(disco_compress::sc2::Sc2Codec::train(&lines))
+        } else {
+            Codec::from_kind(kind)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &codec, |b, codec| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for line in &lines {
+                    total += codec.compress(std::hint::black_box(line)).size_bytes();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let lines = corpus();
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes((lines.len() * LINE_BYTES) as u64));
+    for kind in SchemeKind::ALL {
+        let codec = if kind == SchemeKind::Sc2 {
+            Codec::Sc2(disco_compress::sc2::Sc2Codec::train(&lines))
+        } else {
+            Codec::from_kind(kind)
+        };
+        let encoded: Vec<_> = lines.iter().map(|l| codec.compress(l)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &codec, |b, codec| {
+            b.iter(|| {
+                for enc in &encoded {
+                    std::hint::black_box(codec.decompress(std::hint::black_box(enc)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_delta(c: &mut Criterion) {
+    let lines = corpus();
+    c.bench_function("incremental_delta_fragments", |b| {
+        b.iter(|| {
+            for line in &lines {
+                let flits = line.u64_words();
+                let mut inc = disco_compress::delta::IncrementalDelta::new();
+                inc.push_flits(&flits[..2]);
+                inc.push_flits(&flits[2..5]);
+                inc.push_flits(&flits[5..]);
+                std::hint::black_box(inc.finish());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_incremental_delta);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks for the NoC simulator: cycles/second under
+//! uniform-random traffic, with and without data payloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disco_compress::CacheLine;
+use disco_noc::{Mesh, Network, NocConfig, NodeId, PacketClass, Payload};
+
+fn drive(net: &mut Network, data: bool, cycles: u64) -> u64 {
+    let nodes = net.mesh().nodes();
+    let mut delivered = 0u64;
+    for t in 0..cycles {
+        if t % 4 == 0 {
+            for src in 0..nodes {
+                let dst = (src * 7 + t as usize + 3) % nodes;
+                if dst != src {
+                    let payload = if data {
+                        Payload::Raw(CacheLine::from_u64_words([t; 8]))
+                    } else {
+                        Payload::None
+                    };
+                    let class = if data { PacketClass::Response } else { PacketClass::Request };
+                    net.send(NodeId(src), NodeId(dst), class, payload, data, t);
+                }
+            }
+        }
+        net.tick();
+        for n in 0..nodes {
+            delivered += net.take_delivered(NodeId(n)).len() as u64;
+        }
+    }
+    delivered
+}
+
+fn bench_request_traffic(c: &mut Criterion) {
+    c.bench_function("noc_4x4_request_traffic_1k_cycles", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+            std::hint::black_box(drive(&mut net, false, 1_000))
+        })
+    });
+}
+
+fn bench_response_traffic(c: &mut Criterion) {
+    c.bench_function("noc_4x4_response_traffic_1k_cycles", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+            std::hint::black_box(drive(&mut net, true, 1_000))
+        })
+    });
+}
+
+fn bench_large_mesh(c: &mut Criterion) {
+    c.bench_function("noc_8x8_response_traffic_500_cycles", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Mesh::new(8, 8), NocConfig::default());
+            std::hint::black_box(drive(&mut net, true, 500))
+        })
+    });
+}
+
+criterion_group!(benches, bench_request_traffic, bench_response_traffic, bench_large_mesh);
+criterion_main!(benches);

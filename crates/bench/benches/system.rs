@@ -1,0 +1,58 @@
+//! Criterion macrobenchmarks: full-system simulation throughput per
+//! placement (how much wall time one Fig. 5 cell costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disco_core::{CompressionPlacement, SimBuilder};
+use disco_workloads::Benchmark;
+
+fn bench_placements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_ferret_1k");
+    group.sample_size(10);
+    for placement in CompressionPlacement::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(placement.name()),
+            &placement,
+            |b, &placement| {
+                b.iter(|| {
+                    SimBuilder::new()
+                        .mesh(4, 4)
+                        .placement(placement)
+                        .benchmark(Benchmark::Ferret)
+                        .trace_len(1_000)
+                        .seed(3)
+                        .run()
+                        .expect("run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_codecs_under_disco(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_disco_codecs");
+    group.sample_size(10);
+    for scheme in [
+        disco_compress::SchemeKind::Delta,
+        disco_compress::SchemeKind::Fpc,
+        disco_compress::SchemeKind::Sc2,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            b.iter(|| {
+                SimBuilder::new()
+                    .mesh(4, 4)
+                    .placement(CompressionPlacement::Disco)
+                    .scheme(scheme)
+                    .benchmark(Benchmark::X264)
+                    .trace_len(1_000)
+                    .seed(3)
+                    .run()
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placements, bench_codecs_under_disco);
+criterion_main!(benches);

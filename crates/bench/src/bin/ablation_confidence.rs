@@ -1,0 +1,71 @@
+//! **Ablation — the confidence mechanism (§3.2 step 2).**
+//!
+//! Sweeps the arbitrator thresholds and coefficients on a congested
+//! workload and reports latency plus engine behaviour. Shows the two
+//! failure modes the paper designs against:
+//!
+//! - thresholds too low → *hasty decisions*: many aborted operations
+//!   (shadow packets granted mid-compression);
+//! - thresholds too high → missed opportunities: little in-network
+//!   compression, traffic stays raw.
+//!
+//! Also sweeps β, which vetoes *early decompression* far from the
+//! destination (Eq. 2).
+//!
+//! `cargo run --release -p disco-bench --bin ablation_confidence`
+
+use disco_bench::{trace_len, DEFAULT_SEED};
+use disco_core::{CompressionPlacement, DiscoParams, SimBuilder};
+use disco_workloads::Benchmark;
+
+fn run(params: DiscoParams, len: usize) -> disco_core::SimReport {
+    SimBuilder::new()
+        .mesh(4, 4)
+        .placement(CompressionPlacement::Disco)
+        .benchmark(Benchmark::Canneal)
+        .trace_len(len)
+        .disco_params(params)
+        .seed(DEFAULT_SEED)
+        .run()
+        .expect("run")
+}
+
+fn main() {
+    let len = trace_len().min(8_000);
+    println!("Ablation — confidence thresholds and coefficients (canneal, trace_len={len})\n");
+    println!(
+        "{:<26} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "params", "cyc/miss", "comp", "decomp", "aborts", "hasty%", "flits"
+    );
+    let base = DiscoParams::default();
+    let variants: Vec<(String, DiscoParams)> = vec![
+        ("default".into(), base),
+        ("CCth=-8 (no filter)".into(), DiscoParams { cc_threshold: -8.0, cd_threshold: -8.0, beta: 0.0, ..base }),
+        ("CCth=0".into(), DiscoParams { cc_threshold: 0.0, ..base }),
+        ("CCth=2".into(), DiscoParams { cc_threshold: 2.0, ..base }),
+        ("CCth=6 (strict)".into(), DiscoParams { cc_threshold: 6.0, cd_threshold: 6.0, ..base }),
+        ("beta=0 (early decomp)".into(), DiscoParams { beta: 0.0, ..base }),
+        ("beta=4 (late decomp)".into(), DiscoParams { beta: 4.0, ..base }),
+        ("gamma=0 (remote only)".into(), DiscoParams { gamma: 0.0, alpha: 0.0, ..base }),
+        ("gamma=2 (local heavy)".into(), DiscoParams { gamma: 2.0, alpha: 2.0, ..base }),
+    ];
+    for (name, params) in variants {
+        let r = run(params, len);
+        let d = r.disco.expect("disco stats");
+        let hasty = if d.started == 0 {
+            0.0
+        } else {
+            100.0 * d.aborts as f64 / d.started as f64
+        };
+        println!(
+            "{:<26} {:>9.1} {:>8} {:>8} {:>8} {:>8.1}% {:>9}",
+            name,
+            r.avg_access_latency(),
+            d.compressions,
+            d.decompressions,
+            d.aborts,
+            hasty,
+            r.network.link_flits,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! **Ablation — compressor engines per router.**
+//!
+//! The paper's router carries one DISCO engine (17.2 % of router area,
+//! §4.3). This sweep asks whether a second or fourth engine buys enough
+//! extra in-network coverage to justify its proportional area, and where
+//! the single-engine router leaves compressions on the table (engine
+//! busy when a candidate idles).
+//!
+//! `cargo run --release -p disco-bench --bin ablation_engines`
+
+use disco_bench::{trace_len, DEFAULT_SEED};
+use disco_core::{CompressionPlacement, DiscoParams, SimBuilder};
+use disco_energy::AreaModel;
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len().min(8_000);
+    let area = AreaModel::default();
+    println!("Ablation — engines per router (canneal + streamcluster, trace_len={len})\n");
+    println!(
+        "{:<13} {:>8} {:>9} {:>8} {:>8} {:>9} {:>12}",
+        "benchmark", "engines", "cyc/miss", "comp", "decomp", "flits", "router area"
+    );
+    for bench in [Benchmark::Canneal, Benchmark::Streamcluster] {
+        for engines in [1usize, 2, 4] {
+            let r = SimBuilder::new()
+                .mesh(4, 4)
+                .placement(CompressionPlacement::Disco)
+                .benchmark(bench)
+                .trace_len(len)
+                .disco_params(DiscoParams {
+                    engines_per_router: engines,
+                    ..DiscoParams::default()
+                })
+                .seed(DEFAULT_SEED)
+                .run()
+                .expect("run");
+            let d = r.disco.expect("disco stats");
+            let overhead = engines as f64 * area.disco_unit_mm2 / area.router_mm2;
+            println!(
+                "{:<13} {:>8} {:>9.1} {:>8} {:>8} {:>9} {:>11.1}%",
+                bench.name(),
+                engines,
+                r.avg_onchip_latency(),
+                d.compressions,
+                d.decompressions,
+                r.network.link_flits,
+                100.0 * overhead,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! **Ablation — flow control (§3.3-A).**
+//!
+//! DISCO under wormhole (separate-flit compression required), virtual
+//! cut-through, and store-and-forward. VCT/SAF keep whole packets in one
+//! node (easy compression) but pay latency and buffer turnaround;
+//! wormhole performs best overall, which is why the paper designs the
+//! separate-flit mode rather than mandating VCT.
+//!
+//! `cargo run --release -p disco-bench --bin ablation_flow_control`
+
+use disco_bench::{trace_len, DEFAULT_SEED};
+use disco_core::{CompressionPlacement, SimBuilder};
+use disco_noc::{FlowControl, NocConfig};
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len().min(8_000);
+    println!("Ablation — flow control under DISCO (dedup, trace_len={len})\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "flow control", "cyc/miss", "pkt lat", "comp", "decomp", "flits"
+    );
+    for (name, fc) in [
+        ("wormhole", FlowControl::Wormhole),
+        ("cut-through", FlowControl::VirtualCutThrough),
+        ("store-and-forward", FlowControl::StoreAndForward),
+    ] {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(len)
+            .noc(NocConfig { flow_control: fc, ..NocConfig::default() })
+            .seed(DEFAULT_SEED)
+            .run()
+            .expect("run");
+        let d = r.disco.expect("disco stats");
+        println!(
+            "{:<18} {:>9.1} {:>9.1} {:>8} {:>8} {:>9}",
+            name,
+            r.avg_access_latency(),
+            r.network.avg_packet_latency(),
+            d.compressions,
+            d.decompressions,
+            r.network.link_flits,
+        );
+    }
+}

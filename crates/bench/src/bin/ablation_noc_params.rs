@@ -1,0 +1,55 @@
+//! **Ablation — NoC parameters (§3.2's closing remark).**
+//!
+//! The paper notes the trained thresholds "are dependent on the NoC
+//! congestion condition and the configuration of NoC as well, i.e. the
+//! stage number, VC depth and flow-control method". This sweep varies
+//! the buffer depth and pipeline depth under DISCO and reports how the
+//! mechanism responds — notably, 4-flit buffers cannot hold a raw 8-flit
+//! line, so in-network *decompression* disappears entirely while
+//! compression keeps working.
+//!
+//! `cargo run --release -p disco-bench --bin ablation_noc_params`
+
+use disco_bench::{trace_len, DEFAULT_SEED};
+use disco_core::{CompressionPlacement, SimBuilder};
+use disco_noc::NocConfig;
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len().min(8_000);
+    println!("Ablation — NoC buffer depth and pipeline depth under DISCO (dedup, trace_len={len})\n");
+    println!(
+        "{:<22} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "config", "cyc/miss", "pkt lat", "comp", "decomp", "flits"
+    );
+    let base = NocConfig::default();
+    let variants: Vec<(String, NocConfig)> = vec![
+        ("depth=4".into(), NocConfig { buffer_depth: 4, ..base }),
+        ("depth=8 (Table 2)".into(), base),
+        ("depth=16".into(), NocConfig { buffer_depth: 16, ..base }),
+        ("stages=2".into(), NocConfig { pipeline_stages: 2, ..base }),
+        ("stages=3 (Table 2)".into(), base),
+        ("stages=5".into(), NocConfig { pipeline_stages: 5, ..base }),
+    ];
+    for (name, noc) in variants {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(len)
+            .noc(noc)
+            .seed(DEFAULT_SEED)
+            .run()
+            .expect("run");
+        let d = r.disco.expect("disco stats");
+        println!(
+            "{:<22} {:>9.1} {:>9.1} {:>8} {:>8} {:>9}",
+            name,
+            r.avg_onchip_latency(),
+            r.network.avg_packet_latency(),
+            d.compressions,
+            d.decompressions,
+            r.network.link_flits,
+        );
+    }
+}

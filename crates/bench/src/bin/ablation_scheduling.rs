@@ -1,0 +1,44 @@
+//! **Ablation — compression-aware packet scheduling (§3.3-B rule 2).**
+//!
+//! With the rule, compressible-but-uncompressed packets get the lowest
+//! switch priority, so they idle next to a compressor more often (higher
+//! in-network compression coverage) at the cost of their own forward
+//! progress. Without it, they compete equally.
+//!
+//! `cargo run --release -p disco-bench --bin ablation_scheduling`
+
+use disco_bench::{trace_len, DEFAULT_SEED};
+use disco_core::{CompressionPlacement, SimBuilder};
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len().min(8_000);
+    println!("Ablation — §3.3-B rule-2 scheduling (demote uncompressed packets)\n");
+    println!(
+        "{:<12} {:<10} {:>9} {:>8} {:>10} {:>9}",
+        "benchmark", "rule 2", "cyc/miss", "comp", "flitssaved", "flits"
+    );
+    for bench in [Benchmark::Canneal, Benchmark::Dedup, Benchmark::X264] {
+        for demote in [true, false] {
+            let r = SimBuilder::new()
+                .mesh(4, 4)
+                .placement(CompressionPlacement::Disco)
+                .benchmark(bench)
+                .trace_len(len)
+                .demote_uncompressed(demote)
+                .seed(DEFAULT_SEED)
+                .run()
+                .expect("run");
+            let d = r.disco.expect("disco stats");
+            println!(
+                "{:<12} {:<10} {:>9.1} {:>8} {:>10} {:>9}",
+                bench.name(),
+                if demote { "on" } else { "off" },
+                r.avg_access_latency(),
+                d.compressions,
+                d.flits_saved,
+                r.network.link_flits,
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! **Fig. 5** — performance comparison with delta-based compression.
+//!
+//! Average on-chip data access latency of CC, CNC, and DISCO per PARSEC
+//! benchmark, normalized to the Ideal configuration (cache compression
+//! with zero de/compression overhead), on the Table 2 system (4×4 mesh,
+//! 16-banked 4 MB NUCA, delta codec).
+//!
+//! Paper headline: DISCO surpasses CC by 12 % and CNC by 10.1 % on
+//! average.
+//!
+//! `cargo run --release -p disco-bench --bin fig5`
+
+use disco_bench::experiments::{improvement_pct, latency_row, summarize};
+use disco_bench::{print_header, print_row, trace_len};
+use disco_compress::SchemeKind;
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len();
+    println!("Fig. 5 — normalized on-chip data access latency, delta codec");
+    println!("(4x4 mesh, trace_len={len}; lower is better; Ideal = 1.0)\n");
+    print_header(&["CC", "CNC", "DISCO"]);
+    let rows: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            let row = latency_row(bench, SchemeKind::Delta, 4, len);
+            print_row(bench.name(), &[row.cc, row.cnc, row.disco]);
+            row
+        })
+        .collect();
+    let (cc, cnc, disco) = summarize(&rows);
+    println!();
+    print_row("gmean", &[cc, cnc, disco]);
+    println!(
+        "\nDISCO improves on CC by {:.1}% (paper: 12%), on CNC by {:.1}% (paper: 10.1%)",
+        improvement_pct(cc, disco),
+        improvement_pct(cnc, disco),
+    );
+}

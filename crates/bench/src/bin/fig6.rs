@@ -1,0 +1,40 @@
+//! **Fig. 6** — performance comparison with FPC and SC².
+//!
+//! The Fig. 5 sweep repeated with the heavier codecs. The paper reports a
+//! 11–16 % average boost for DISCO, largest with SC² (16.7 % over CNC,
+//! 15.5 % over CC) because SC²'s long de/compression latency is exactly
+//! what DISCO hides; CNC lags CC because its two-level compression pays
+//! that latency repeatedly.
+//!
+//! `cargo run --release -p disco-bench --bin fig6`
+
+use disco_bench::experiments::{improvement_pct, latency_row, summarize};
+use disco_bench::{print_header, print_row, trace_len};
+use disco_compress::SchemeKind;
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len();
+    println!("Fig. 6 — normalized on-chip data access latency, FPC and SC2");
+    println!("(4x4 mesh, trace_len={len}; lower is better; Ideal = 1.0)\n");
+    for scheme in [SchemeKind::Fpc, SchemeKind::Sc2] {
+        println!("--- codec: {scheme} ---");
+        print_header(&["CC", "CNC", "DISCO"]);
+        let rows: Vec<_> = Benchmark::ALL
+            .into_iter()
+            .map(|bench| {
+                let row = latency_row(bench, scheme, 4, len);
+                print_row(bench.name(), &[row.cc, row.cnc, row.disco]);
+                row
+            })
+            .collect();
+        let (cc, cnc, disco) = summarize(&rows);
+        println!();
+        print_row("gmean", &[cc, cnc, disco]);
+        println!(
+            "DISCO vs CC: {:.1}%; vs CNC: {:.1}% (paper with SC2: 15.5% / 16.7%)\n",
+            improvement_pct(cc, disco),
+            improvement_pct(cnc, disco),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! **Fig. 7** — energy comparison with the delta-based compression
+//! scheme.
+//!
+//! Memory-subsystem energy (NoC + NUCA, §4.2's Orion/CACTI-style model)
+//! of CC, CNC, and DISCO per benchmark, normalized to the uncompressed
+//! baseline. Paper headline: DISCO consumes 73.3 % of the baseline's
+//! energy on average, 9.1 % less than CNC and 8.3 % less than CC.
+//!
+//! `cargo run --release -p disco-bench --bin fig7`
+
+use disco_bench::experiments::{energy_row, improvement_pct, summarize};
+use disco_bench::{print_header, print_row, trace_len};
+use disco_compress::SchemeKind;
+use disco_workloads::Benchmark;
+
+fn main() {
+    let len = trace_len();
+    println!("Fig. 7 — normalized memory-subsystem energy, delta codec");
+    println!("(4x4 mesh, trace_len={len}; lower is better; Baseline = 1.0)\n");
+    print_header(&["CC", "CNC", "DISCO"]);
+    let rows: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|bench| {
+            let row = energy_row(bench, SchemeKind::Delta, 4, len);
+            print_row(bench.name(), &[row.cc, row.cnc, row.disco]);
+            row
+        })
+        .collect();
+    let (cc, cnc, disco) = summarize(&rows);
+    println!();
+    print_row("gmean", &[cc, cnc, disco]);
+    println!(
+        "\nDISCO uses {:.1}% of baseline energy (paper: 73.3%); \
+         {:.1}% less than CNC (paper: 9.1%), {:.1}% less than CC (paper: 8.3%)",
+        100.0 * disco,
+        improvement_pct(cnc, disco),
+        improvement_pct(cc, disco),
+    );
+}

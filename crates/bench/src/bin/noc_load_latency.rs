@@ -1,0 +1,60 @@
+//! Classic NoC load–latency curves for the `disco-noc` substrate, per
+//! traffic pattern — the standard validation that a router model behaves
+//! like a router (low flat region, then a saturation knee).
+//!
+//! `cargo run --release -p disco-bench --bin noc_load_latency`
+
+use disco_noc::traffic::{TrafficDriver, TrafficPattern};
+use disco_noc::{Mesh, Network, NocConfig, NodeId};
+
+fn measure(pattern: TrafficPattern, rate: f64) -> (f64, f64) {
+    let mesh = Mesh::new(4, 4);
+    let mut net = Network::new(mesh, NocConfig::default());
+    let mut driver = TrafficDriver::new(pattern, rate, true, 99);
+    let warmup = 2_000;
+    let measure = 6_000;
+    for _ in 0..warmup {
+        driver.inject(&mut net);
+        net.tick();
+        for n in 0..16 {
+            let _ = net.take_delivered(NodeId(n));
+        }
+    }
+    let before = *net.stats();
+    for _ in 0..measure {
+        driver.inject(&mut net);
+        net.tick();
+        for n in 0..16 {
+            let _ = net.take_delivered(NodeId(n));
+        }
+    }
+    let after = *net.stats();
+    let delivered = after.packets_delivered - before.packets_delivered;
+    let latency = (after.total_packet_latency - before.total_packet_latency) as f64
+        / delivered.max(1) as f64;
+    let throughput = after.link_flits.saturating_sub(before.link_flits) as f64
+        / (measure as f64 * 16.0);
+    (latency, throughput)
+}
+
+fn main() {
+    println!("NoC load-latency curves (4x4 mesh, 8-flit data packets)\n");
+    for (name, pattern) in [
+        ("uniform", TrafficPattern::UniformRandom),
+        ("transpose", TrafficPattern::Transpose),
+        ("bit-compl", TrafficPattern::BitComplement),
+        ("hotspot(0)", TrafficPattern::Hotspot(NodeId(0))),
+    ] {
+        println!("--- {name} ---");
+        println!("{:>8} {:>12} {:>14}", "load", "latency", "accepted");
+        for rate in [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8] {
+            let (lat, thr) = measure(pattern, rate);
+            println!("{rate:>8.2} {lat:>12.1} {thr:>14.3}");
+            if lat > 500.0 {
+                println!("{:>8} (saturated)", "...");
+                break;
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! **§4.3 — overhead estimation.**
+//!
+//! Area of the DISCO de/compressor + arbitrator versus the router and the
+//! 4 MB NUCA, compared with CC's per-bank units and CNC's bank + NI units
+//! (45 nm, FreePDK45-class figures). Paper headline: DISCO adds 17.2 % of
+//! a router (< 1 % of the NUCA) and saves about half of CNC's area.
+//!
+//! `cargo run --release -p disco-bench --bin overhead`
+
+use disco_energy::AreaModel;
+
+fn main() {
+    let model = AreaModel::default();
+    println!("§4.3 — area overhead at 45 nm (4x4 CMP, 4 MB NUCA)\n");
+    println!(
+        "router = {:.4} mm2, DISCO unit = {:.4} mm2, NUCA = {:.1} mm2\n",
+        model.router_mm2, model.disco_unit_mm2, model.nuca_4mb_mm2
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>12}",
+        "config", "added mm2", "% of routers", "% of cache"
+    );
+    for (name, area) in [
+        ("CC", model.cc(16)),
+        ("CNC", model.cnc(16)),
+        ("DISCO", model.disco(16)),
+    ] {
+        println!(
+            "{:<8} {:>12.4} {:>13.1}% {:>11.2}%",
+            name,
+            area.added_mm2,
+            100.0 * area.of_routers,
+            100.0 * area.of_cache
+        );
+    }
+    let save = 1.0 - model.disco(16).added_mm2 / model.cnc(16).added_mm2;
+    println!(
+        "\nDISCO adds {:.1}% of router area (paper: 17.2%), {:.2}% of the cache (paper: <1%),",
+        100.0 * model.disco(16).of_routers,
+        100.0 * model.disco(16).of_cache
+    );
+    println!("and saves {:.0}% of CNC's compressor area (paper: ~half)", 100.0 * save);
+}

@@ -1,0 +1,50 @@
+//! Developer diagnostic: detailed per-placement statistics for one
+//! benchmark, used to calibrate workloads and DISCO parameters.
+
+use disco_core::{CompressionPlacement, SimBuilder};
+use disco_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .and_then(|n| Benchmark::ALL.into_iter().find(|b| b.name() == n.as_str()))
+        .unwrap_or(Benchmark::Dedup);
+    let trace_len: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4_000);
+    println!("{bench} trace_len={trace_len}");
+    println!(
+        "{:<9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8}",
+        "config", "cyc/miss", "cycles", "l1m%", "llcm%", "flits", "pktlat", "saloss", "eff.way", "ratio"
+    );
+    let intens: f64 = std::env::var("INTENS").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let cc_th: f64 = std::env::var("CCTH").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0);
+    let cd_th: f64 = std::env::var("CDTH").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let beta: f64 = std::env::var("BETA").ok().and_then(|v| v.parse().ok()).unwrap_or(1.5);
+    for placement in CompressionPlacement::ALL {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(placement)
+            .profile({ let mut p = bench.profile(); p.intensity *= intens; p })
+            .trace_len(trace_len)
+            .disco_params(disco_core::DiscoParams { cc_threshold: cc_th, cd_threshold: cd_th, beta, ..Default::default() })
+            .seed(7)
+            .run()
+            .expect("run");
+        println!(
+            "{:<9} {:>9.1} {:>8} {:>8.1} {:>8.1} {:>9} {:>8.1} {:>9} {:>8.2} {:>8.2}",
+            placement.name(),
+            r.avg_access_latency(),
+            r.cycles,
+            100.0 * r.l1.miss_rate(),
+            100.0 * r.banks.miss_rate(),
+            r.network.link_flits,
+            r.network.avg_packet_latency(),
+            r.network.sa_losses,
+            0.0,
+            r.compression.mean_ratio(),
+        );
+        if let Some(d) = r.disco {
+            println!("          disco: {d:?}");
+        }
+    }
+}

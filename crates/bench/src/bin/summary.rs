@@ -1,0 +1,83 @@
+//! One-screen dashboard: a compact version of every headline result,
+//! for a quick end-to-end smoke check of the whole reproduction.
+//!
+//! `cargo run --release -p disco-bench --bin summary` (≈ a minute; set
+//! `TRACE_LEN` lower for a faster pass)
+
+use disco_bench::{gmean, run, trace_len};
+use disco_compress::SchemeKind;
+use disco_core::CompressionPlacement;
+use disco_energy::AreaModel;
+use disco_workloads::Benchmark;
+
+/// A fast, representative subset of the PARSEC sweep.
+const BENCHES: [Benchmark; 4] =
+    [Benchmark::Canneal, Benchmark::Dedup, Benchmark::Ferret, Benchmark::X264];
+
+fn main() {
+    let len = trace_len().min(6_000);
+    println!("DISCO reproduction — headline summary (4 benchmarks, trace_len={len})\n");
+
+    // Fig. 5-style latency for each codec.
+    for scheme in [SchemeKind::Delta, SchemeKind::Fpc, SchemeKind::Sc2] {
+        let mut cc = Vec::new();
+        let mut cnc = Vec::new();
+        let mut disco = Vec::new();
+        for bench in BENCHES {
+            let ideal = run(bench, CompressionPlacement::Ideal, scheme, 4, len);
+            let base = ideal.avg_onchip_latency();
+            cc.push(run(bench, CompressionPlacement::CacheOnly, scheme, 4, len).avg_onchip_latency() / base);
+            cnc.push(run(bench, CompressionPlacement::CacheAndNi, scheme, 4, len).avg_onchip_latency() / base);
+            disco.push(run(bench, CompressionPlacement::Disco, scheme, 4, len).avg_onchip_latency() / base);
+        }
+        let (cc, cnc, disco) = (gmean(&cc), gmean(&cnc), gmean(&disco));
+        println!(
+            "latency {:>6}:  CC {cc:.3}  CNC {cnc:.3}  DISCO {disco:.3}  (DISCO vs CC {:+.1}%, vs CNC {:+.1}%)",
+            scheme.name(),
+            100.0 * (disco - cc) / cc,
+            100.0 * (disco - cnc) / cnc,
+        );
+    }
+
+    // Fig. 7-style energy.
+    let mut e_disco = Vec::new();
+    for bench in BENCHES {
+        let base = run(bench, CompressionPlacement::Baseline, SchemeKind::Delta, 4, len)
+            .total_energy_pj();
+        e_disco.push(
+            run(bench, CompressionPlacement::Disco, SchemeKind::Delta, 4, len).total_energy_pj()
+                / base,
+        );
+    }
+    println!(
+        "\nenergy  delta :  DISCO at {:.1}% of the uncompressed baseline (paper: 73.3%)",
+        100.0 * gmean(&e_disco)
+    );
+
+    // Tail latency: the p99 story behind the means.
+    let disco = run(Benchmark::Canneal, CompressionPlacement::Disco, SchemeKind::Delta, 4, len);
+    let cc = run(Benchmark::Canneal, CompressionPlacement::CacheOnly, SchemeKind::Delta, 4, len);
+    println!(
+        "tails  canneal:  p50 {:.0} / p99 {:.0} cycles (DISCO) vs p50 {:.0} / p99 {:.0} (CC)",
+        disco.latency_histogram.percentile(0.50),
+        disco.latency_histogram.percentile(0.99),
+        cc.latency_histogram.percentile(0.50),
+        cc.latency_histogram.percentile(0.99),
+    );
+
+    // §4.3 area.
+    let area = AreaModel::default();
+    println!(
+        "\narea          :  DISCO +{:.1}% of router, {:.2}% of 4MB NUCA, {:.0}% of CNC's units",
+        100.0 * area.disco(16).of_routers,
+        100.0 * area.disco(16).of_cache,
+        100.0 * area.disco(16).added_mm2 / area.cnc(16).added_mm2,
+    );
+
+    // DISCO mechanism counters.
+    let d = disco.disco.expect("disco stats");
+    println!(
+        "mechanism     :  {} compressions ({} in NI queues), {} decompressions, {} aborts, {} flits saved",
+        d.compressions, d.queue_compressions, d.decompressions, d.aborts, d.flits_saved
+    );
+}

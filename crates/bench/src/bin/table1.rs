@@ -1,0 +1,75 @@
+//! **Table 1** — important parameters of different compression schemes.
+//!
+//! Prints, per scheme: de/compression latencies (from the codec cost
+//! models), hardware overhead (from the published figures), the ratio the
+//! literature reports, and the ratio *measured* by running our actual
+//! codec implementations over a corpus pooled from every benchmark's
+//! value model (1,800 lines: 150 per PARSEC workload).
+//!
+//! `cargo run --release -p disco-bench --bin table1`
+
+use disco_compress::scheme::Compressor;
+use disco_compress::{CacheLine, Codec, CompressionStats, SchemeKind, SchemeModel};
+use disco_workloads::{Benchmark, ValueModel};
+
+fn pooled_corpus() -> Vec<CacheLine> {
+    let mut lines = Vec::new();
+    for bench in Benchmark::ALL {
+        let model = ValueModel::new(bench.profile().value, 2016);
+        lines.extend((0..150u64).map(|a| model.line(a * 3 + 1, (a % 2) as u32)));
+    }
+    lines
+}
+
+fn main() {
+    let corpus = pooled_corpus();
+    println!("TABLE 1 — parameters of the compression schemes");
+    println!("(measured ratio: {} lines pooled over all 12 PARSEC value models)\n", corpus.len());
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "method", "comp.lat", "decomp.lat", "hw ovh", "paper ratio", "measured", "coverage"
+    );
+    for kind in SchemeKind::ALL {
+        let codec = if kind == SchemeKind::Sc2 {
+            Codec::Sc2(disco_compress::sc2::Sc2Codec::train(&corpus))
+        } else {
+            Codec::from_kind(kind)
+        };
+        let row = SchemeModel::for_kind(kind);
+        let mut stats = CompressionStats::new();
+        let mut decomp_min = u64::MAX;
+        let mut decomp_max = 0;
+        for line in &corpus {
+            let enc = codec.compress(line);
+            decomp_min = decomp_min.min(codec.decompression_latency(&enc));
+            decomp_max = decomp_max.max(codec.decompression_latency(&enc));
+            stats.record(&enc);
+        }
+        let comp = row
+            .compression_cycles
+            .map_or("-".to_string(), |c| format!("{c}cyc"));
+        let decomp = if decomp_min == decomp_max {
+            format!("{decomp_min}cyc")
+        } else {
+            format!("{decomp_min}~{decomp_max}cyc")
+        };
+        let ovh = row.hardware_overhead.map_or("-".to_string(), |(lo, hi)| {
+            if (lo - hi).abs() < 1e-9 {
+                format!("{:.1}%", lo * 100.0)
+            } else {
+                format!("{:.1}-{:.1}%", lo * 100.0, hi * 100.0)
+            }
+        });
+        let paper = row.reported_ratio.map_or("-".to_string(), |r| format!("{r:.2}"));
+        println!(
+            "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10.2} {:>9.0}%",
+            kind.name(),
+            comp,
+            decomp,
+            ovh,
+            paper,
+            stats.mean_ratio(),
+            stats.coverage() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! **§3.2 — training the empirical parameters.**
+//!
+//! Reproduces the paper's offline training flow: α, β, γ and the
+//! thresholds `CC_th`/`CD_th` are fitted on workload traces by
+//! coordinate descent, then validated on workloads *not* used for
+//! training.
+//!
+//! `cargo run --release -p disco-bench --bin train_thresholds`
+
+use disco_bench::DEFAULT_SEED;
+use disco_core::training::{train, TrainingGrid};
+use disco_core::{CompressionPlacement, DiscoParams, SimBuilder};
+use disco_workloads::Benchmark;
+
+fn validate(params: DiscoParams, benchmarks: &[Benchmark], len: usize) -> f64 {
+    let mut log_sum = 0.0;
+    for &b in benchmarks {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(b)
+            .trace_len(len)
+            .disco_params(params)
+            .seed(DEFAULT_SEED)
+            .run()
+            .expect("run");
+        log_sum += r.avg_onchip_latency().ln();
+    }
+    (log_sum / benchmarks.len() as f64).exp()
+}
+
+fn main() {
+    let train_set = [Benchmark::Dedup, Benchmark::Canneal];
+    let validation_set = [Benchmark::Ferret, Benchmark::X264, Benchmark::Streamcluster];
+    let train_len = 2_500;
+    let validate_len = 5_000;
+
+    println!("§3.2 parameter training (train: dedup+canneal @ {train_len}/core)\n");
+    let trained = train(&train_set, train_len, 7, &TrainingGrid::default());
+    println!("evaluated {} configurations", trained.history.len());
+    let p = trained.best.params;
+    println!(
+        "trained:  CC_th={:.2} CD_th={:.2} gamma={:.2} alpha={:.2} beta={:.2} (train score {:.2})",
+        p.cc_threshold, p.cd_threshold, p.gamma, p.alpha, p.beta, trained.best.score
+    );
+    let d = DiscoParams::default();
+    println!(
+        "shipped:  CC_th={:.2} CD_th={:.2} gamma={:.2} alpha={:.2} beta={:.2}",
+        d.cc_threshold, d.cd_threshold, d.gamma, d.alpha, d.beta
+    );
+
+    println!("\nvalidation on unseen workloads (ferret, x264, streamcluster):");
+    let v_trained = validate(p, &validation_set, validate_len);
+    let v_default = validate(d, &validation_set, validate_len);
+    println!("  trained params : {v_trained:.2} cycles/miss (gmean)");
+    println!("  shipped params : {v_default:.2} cycles/miss (gmean)");
+    println!(
+        "  delta          : {:+.2}%",
+        100.0 * (v_trained - v_default) / v_default
+    );
+}

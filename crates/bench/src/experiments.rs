@@ -1,0 +1,115 @@
+//! Reusable experiment primitives behind the figure binaries, so
+//! downstream users can regenerate any paper artifact programmatically.
+
+use crate::{gmean, run, DEFAULT_SEED};
+use disco_compress::SchemeKind;
+use disco_core::CompressionPlacement;
+use disco_workloads::Benchmark;
+
+/// One benchmark's normalized CC/CNC/DISCO triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedRow {
+    /// The workload.
+    pub benchmark: Benchmark,
+    /// CC (cache-only compression), normalized.
+    pub cc: f64,
+    /// CNC (cache + NI compression), normalized.
+    pub cnc: f64,
+    /// DISCO, normalized.
+    pub disco: f64,
+}
+
+/// The Fig. 5/6 metric for one benchmark: mean on-chip access latency of
+/// each placement, normalized to the zero-overhead Ideal configuration.
+pub fn latency_row(
+    benchmark: Benchmark,
+    scheme: SchemeKind,
+    mesh: usize,
+    trace_len: usize,
+) -> NormalizedRow {
+    let ideal = run(benchmark, CompressionPlacement::Ideal, scheme, mesh, trace_len)
+        .avg_onchip_latency();
+    let norm = |p| run(benchmark, p, scheme, mesh, trace_len).avg_onchip_latency() / ideal;
+    NormalizedRow {
+        benchmark,
+        cc: norm(CompressionPlacement::CacheOnly),
+        cnc: norm(CompressionPlacement::CacheAndNi),
+        disco: norm(CompressionPlacement::Disco),
+    }
+}
+
+/// The Fig. 7 metric for one benchmark: memory-subsystem energy of each
+/// placement, normalized to the uncompressed baseline.
+pub fn energy_row(
+    benchmark: Benchmark,
+    scheme: SchemeKind,
+    mesh: usize,
+    trace_len: usize,
+) -> NormalizedRow {
+    let base =
+        run(benchmark, CompressionPlacement::Baseline, scheme, mesh, trace_len).total_energy_pj();
+    let norm = |p| run(benchmark, p, scheme, mesh, trace_len).total_energy_pj() / base;
+    NormalizedRow {
+        benchmark,
+        cc: norm(CompressionPlacement::CacheOnly),
+        cnc: norm(CompressionPlacement::CacheAndNi),
+        disco: norm(CompressionPlacement::Disco),
+    }
+}
+
+/// Geometric means over a set of rows: `(cc, cnc, disco)`.
+pub fn summarize(rows: &[NormalizedRow]) -> (f64, f64, f64) {
+    let col = |f: fn(&NormalizedRow) -> f64| gmean(&rows.iter().map(f).collect::<Vec<_>>());
+    (col(|r| r.cc), col(|r| r.cnc), col(|r| r.disco))
+}
+
+/// DISCO's relative improvement over a competitor's normalized value, in
+/// percent (positive = DISCO better), as the paper quotes its headline
+/// numbers.
+pub fn improvement_pct(competitor: f64, disco: f64) -> f64 {
+    100.0 * (competitor - disco) / competitor
+}
+
+/// A deterministic seed helper so library users match the recorded
+/// results in `EXPERIMENTS.md`.
+pub fn recorded_seed() -> u64 {
+    DEFAULT_SEED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_row_is_normalized_and_ordered() {
+        let row = latency_row(Benchmark::Dedup, SchemeKind::Delta, 2, 600);
+        for v in [row.cc, row.cnc, row.disco] {
+            assert!(v >= 0.95, "normalized values sit at or above Ideal: {v}");
+            assert!(v < 3.0, "and in a sane range: {v}");
+        }
+    }
+
+    #[test]
+    fn energy_row_prefers_compression() {
+        let row = energy_row(Benchmark::X264, SchemeKind::Delta, 2, 800);
+        assert!(row.disco < 1.05, "DISCO energy must not exceed baseline: {}", row.disco);
+    }
+
+    #[test]
+    fn summarize_matches_hand_gmean() {
+        let rows = vec![
+            NormalizedRow { benchmark: Benchmark::Vips, cc: 2.0, cnc: 1.0, disco: 1.0 },
+            NormalizedRow { benchmark: Benchmark::X264, cc: 8.0, cnc: 1.0, disco: 4.0 },
+        ];
+        let (cc, cnc, disco) = summarize(&rows);
+        assert!((cc - 4.0).abs() < 1e-12);
+        assert!((cnc - 1.0).abs() < 1e-12);
+        assert!((disco - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(1.2, 1.08) - 10.0).abs() < 1e-9);
+        assert!(improvement_pct(1.0, 1.1) < 0.0);
+    }
+}

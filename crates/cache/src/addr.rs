@@ -1,0 +1,103 @@
+//! Physical addresses, line addresses, and NUCA bank interleaving.
+
+use std::fmt;
+
+/// Log2 of the 64 B line size.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte-granular physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A line-granular address (byte address / 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of the line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The home NUCA bank under static line interleaving (§3.1: NUCA
+    /// banks are interleaved at line granularity so consecutive lines
+    /// spread across tiles).
+    pub fn home_bank(self, banks: usize) -> usize {
+        (self.0 % banks as u64) as usize
+    }
+
+    /// The set index within the home bank.
+    pub fn bank_set(self, banks: usize, sets: usize) -> usize {
+        ((self.0 / banks as u64) % sets as u64) as usize
+    }
+
+    /// The tag stored in the bank (bits above the set index).
+    pub fn bank_tag(self, banks: usize, sets: usize) -> u64 {
+        self.0 / banks as u64 / sets as u64
+    }
+
+    /// Set index in a private (non-banked) cache.
+    pub fn set(self, sets: usize) -> usize {
+        (self.0 % sets as u64) as usize
+    }
+
+    /// Tag in a private cache.
+    pub fn tag(self, sets: usize) -> u64 {
+        self.0 / sets as u64
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(LineAddr(1).base(), Addr(64));
+    }
+
+    #[test]
+    fn interleaving_spreads_lines() {
+        let banks = 16;
+        let mut seen = vec![0usize; banks];
+        for l in 0..64u64 {
+            seen[LineAddr(l).home_bank(banks)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn set_tag_roundtrip() {
+        let banks = 16;
+        let sets = 512;
+        for l in [0u64, 17, 12345, 999_999] {
+            let la = LineAddr(l);
+            let reconstructed = la.bank_tag(banks, sets) * (banks as u64) * (sets as u64)
+                + (la.bank_set(banks, sets) as u64) * banks as u64
+                + la.home_bank(banks) as u64;
+            assert_eq!(reconstructed, l);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Directory-based MOESI coherence (Table 2) at the home L2 bank.
+//!
+//! The directory tracks, per line, which cores hold copies and which (if
+//! any) owns a dirty copy. It is a *protocol engine*: state transitions
+//! return lists of [`CohAction`]s that the system layer converts into NoC
+//! packets (request forwards, invalidations, data responses), which is
+//! what generates the coherence traffic class of §3.3-C.
+
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+
+/// A core identifier (tile index).
+pub type CoreId = usize;
+
+/// Directory knowledge about one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No core holds the line.
+    Uncached,
+    /// One or more cores hold clean copies (S/E in MOESI; we do not
+    /// distinguish E since our traces always fetch through the home bank).
+    Shared(Vec<CoreId>),
+    /// `owner` holds a dirty copy and may be sharing it (O/M): `sharers`
+    /// excludes the owner.
+    Owned {
+        /// Core with the dirty copy.
+        owner: CoreId,
+        /// Other cores with clean copies.
+        sharers: Vec<CoreId>,
+    },
+}
+
+/// Actions the system layer must perform to honour a transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohAction {
+    /// The home bank supplies the data to `to`.
+    DataFromBank {
+        /// Requesting core.
+        to: CoreId,
+    },
+    /// Forward the request to the dirty owner, who supplies the data
+    /// directly to `to` (cache-to-cache transfer).
+    ForwardToOwner {
+        /// Current owner.
+        owner: CoreId,
+        /// Requesting core.
+        to: CoreId,
+    },
+    /// Invalidate the copy at `core`; the core acknowledges, and if its
+    /// copy was dirty the acknowledgement carries data.
+    Invalidate {
+        /// Core losing its copy.
+        core: CoreId,
+    },
+}
+
+/// Directory event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Reads served by the bank.
+    pub bank_reads: u64,
+    /// Reads forwarded to a dirty owner.
+    pub owner_forwards: u64,
+    /// Invalidations issued.
+    pub invalidations: u64,
+    /// Write (ownership) requests processed.
+    pub write_requests: u64,
+}
+
+/// The directory of one home bank.
+///
+/// ```
+/// use disco_cache::coherence::{CohAction, Directory};
+/// use disco_cache::addr::LineAddr;
+///
+/// let mut dir = Directory::new();
+/// let a = LineAddr(0x10);
+/// assert_eq!(dir.read(a, 1), vec![CohAction::DataFromBank { to: 1 }]);
+/// // A second reader also hits the bank; a write by core 2 invalidates
+/// // core 1's copy.
+/// dir.read(a, 3);
+/// let actions = dir.write(a, 2);
+/// assert!(actions.contains(&CohAction::Invalidate { core: 1 }));
+/// assert!(actions.contains(&CohAction::Invalidate { core: 3 }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    lines: HashMap<u64, DirState>,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &DirStats {
+        &self.stats
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, addr: LineAddr) -> DirState {
+        self.lines.get(&addr.0).cloned().unwrap_or(DirState::Uncached)
+    }
+
+    /// A core reads the line.
+    pub fn read(&mut self, addr: LineAddr, core: CoreId) -> Vec<CohAction> {
+        let state = self.lines.remove(&addr.0).unwrap_or(DirState::Uncached);
+        let (new_state, actions) = match state {
+            DirState::Uncached => {
+                self.stats.bank_reads += 1;
+                (DirState::Shared(vec![core]), vec![CohAction::DataFromBank { to: core }])
+            }
+            DirState::Shared(mut sharers) => {
+                self.stats.bank_reads += 1;
+                if !sharers.contains(&core) {
+                    sharers.push(core);
+                }
+                (DirState::Shared(sharers), vec![CohAction::DataFromBank { to: core }])
+            }
+            DirState::Owned { owner, mut sharers } if owner != core => {
+                self.stats.owner_forwards += 1;
+                if !sharers.contains(&core) {
+                    sharers.push(core);
+                }
+                (
+                    DirState::Owned { owner, sharers },
+                    vec![CohAction::ForwardToOwner { owner, to: core }],
+                )
+            }
+            owned => {
+                // Owner re-reads its own line (e.g. after an L1 eviction
+                // raced the directory): serve from bank.
+                self.stats.bank_reads += 1;
+                (owned, vec![CohAction::DataFromBank { to: core }])
+            }
+        };
+        self.lines.insert(addr.0, new_state);
+        actions
+    }
+
+    /// A core requests ownership to write the line.
+    pub fn write(&mut self, addr: LineAddr, core: CoreId) -> Vec<CohAction> {
+        self.stats.write_requests += 1;
+        let state = self.lines.remove(&addr.0).unwrap_or(DirState::Uncached);
+        let mut actions = Vec::new();
+        match state {
+            DirState::Uncached => {
+                actions.push(CohAction::DataFromBank { to: core });
+            }
+            DirState::Shared(sharers) => {
+                for s in sharers {
+                    if s != core {
+                        self.stats.invalidations += 1;
+                        actions.push(CohAction::Invalidate { core: s });
+                    }
+                }
+                actions.push(CohAction::DataFromBank { to: core });
+            }
+            DirState::Owned { owner, sharers } => {
+                for s in sharers {
+                    if s != core {
+                        self.stats.invalidations += 1;
+                        actions.push(CohAction::Invalidate { core: s });
+                    }
+                }
+                if owner != core {
+                    self.stats.invalidations += 1;
+                    // The owner's dirty data travels with its ack; the
+                    // requester gets the bank's copy refreshed by it. We
+                    // model one forward.
+                    actions.push(CohAction::ForwardToOwner { owner, to: core });
+                } else {
+                    actions.push(CohAction::DataFromBank { to: core });
+                }
+            }
+        }
+        self.lines.insert(addr.0, DirState::Owned { owner: core, sharers: Vec::new() });
+        actions
+    }
+
+    /// The owner writes the line back (L1 eviction); ownership returns to
+    /// the bank.
+    pub fn writeback(&mut self, addr: LineAddr, core: CoreId) {
+        if let Some(DirState::Owned { owner, sharers }) = self.lines.get(&addr.0).cloned() {
+            if owner == core {
+                let new = if sharers.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(sharers)
+                };
+                self.lines.insert(addr.0, new);
+            }
+        }
+    }
+
+    /// A core silently drops a clean copy (clean L1 eviction).
+    pub fn drop_sharer(&mut self, addr: LineAddr, core: CoreId) {
+        match self.lines.get_mut(&addr.0) {
+            Some(DirState::Shared(sharers)) => {
+                sharers.retain(|&s| s != core);
+                if sharers.is_empty() {
+                    self.lines.remove(&addr.0);
+                }
+            }
+            Some(DirState::Owned { sharers, .. }) => {
+                sharers.retain(|&s| s != core);
+            }
+            _ => {}
+        }
+    }
+
+    /// The bank evicts the line (inclusive LLC): all cached copies must be
+    /// recalled. Returns invalidations to send; the directory forgets the
+    /// line.
+    pub fn recall(&mut self, addr: LineAddr) -> Vec<CohAction> {
+        let mut actions = Vec::new();
+        match self.lines.remove(&addr.0) {
+            Some(DirState::Shared(sharers)) => {
+                for s in sharers {
+                    self.stats.invalidations += 1;
+                    actions.push(CohAction::Invalidate { core: s });
+                }
+            }
+            Some(DirState::Owned { owner, sharers }) => {
+                self.stats.invalidations += 1;
+                actions.push(CohAction::Invalidate { core: owner });
+                for s in sharers {
+                    self.stats.invalidations += 1;
+                    actions.push(CohAction::Invalidate { core: s });
+                }
+            }
+            _ => {}
+        }
+        actions
+    }
+
+    /// Lines with directory state.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LineAddr = LineAddr(0x44);
+
+    #[test]
+    fn read_chain_builds_sharers() {
+        let mut dir = Directory::new();
+        assert_eq!(dir.read(A, 0), vec![CohAction::DataFromBank { to: 0 }]);
+        assert_eq!(dir.read(A, 1), vec![CohAction::DataFromBank { to: 1 }]);
+        assert_eq!(dir.state(A), DirState::Shared(vec![0, 1]));
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut dir = Directory::new();
+        dir.read(A, 0);
+        dir.read(A, 1);
+        let actions = dir.write(A, 2);
+        assert_eq!(
+            actions,
+            vec![
+                CohAction::Invalidate { core: 0 },
+                CohAction::Invalidate { core: 1 },
+                CohAction::DataFromBank { to: 2 },
+            ]
+        );
+        assert_eq!(dir.state(A), DirState::Owned { owner: 2, sharers: vec![] });
+    }
+
+    #[test]
+    fn read_after_write_forwards_to_owner() {
+        let mut dir = Directory::new();
+        dir.write(A, 3);
+        let actions = dir.read(A, 1);
+        assert_eq!(actions, vec![CohAction::ForwardToOwner { owner: 3, to: 1 }]);
+        assert_eq!(dir.state(A), DirState::Owned { owner: 3, sharers: vec![1] });
+    }
+
+    #[test]
+    fn owner_reread_served_by_bank() {
+        let mut dir = Directory::new();
+        dir.write(A, 3);
+        assert_eq!(dir.read(A, 3), vec![CohAction::DataFromBank { to: 3 }]);
+    }
+
+    #[test]
+    fn write_steals_ownership() {
+        let mut dir = Directory::new();
+        dir.write(A, 0);
+        let actions = dir.write(A, 1);
+        assert_eq!(actions, vec![CohAction::ForwardToOwner { owner: 0, to: 1 }]);
+        assert_eq!(dir.state(A), DirState::Owned { owner: 1, sharers: vec![] });
+        assert_eq!(dir.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn writeback_demotes_to_shared_or_uncached() {
+        let mut dir = Directory::new();
+        dir.write(A, 0);
+        dir.read(A, 1);
+        dir.writeback(A, 0);
+        assert_eq!(dir.state(A), DirState::Shared(vec![1]));
+        dir.drop_sharer(A, 1);
+        assert_eq!(dir.state(A), DirState::Uncached);
+        assert_eq!(dir.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn recall_invalidates_everyone() {
+        let mut dir = Directory::new();
+        dir.write(A, 0);
+        dir.read(A, 1);
+        let actions = dir.recall(A);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(dir.state(A), DirState::Uncached);
+    }
+
+    #[test]
+    fn stale_writeback_ignored() {
+        let mut dir = Directory::new();
+        dir.write(A, 0);
+        dir.write(A, 1); // core 0 lost ownership
+        dir.writeback(A, 0); // late writeback from 0 must not demote 1
+        assert_eq!(dir.state(A), DirState::Owned { owner: 1, sharers: vec![] });
+    }
+}

@@ -1,0 +1,268 @@
+//! Private L1 data cache: set-associative, LRU, write-back,
+//! write-allocate. L1 always stores uncompressed lines (the paper
+//! compresses the LLC and the network; §1 explains why L1/core-side
+//! compression is the wrong place).
+
+use crate::addr::LineAddr;
+use crate::config::L1Config;
+use crate::replacement::{ReplState, ReplacementPolicy};
+use disco_compress::CacheLine;
+
+/// A dirty line evicted from the cache, to be written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// The evicted line's address.
+    pub addr: LineAddr,
+    /// Its data.
+    pub line: CacheLine,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tag: u64,
+    line: CacheLine,
+    dirty: bool,
+    repl: ReplState,
+}
+
+/// Running hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+    /// Coherence invalidations received.
+    pub invalidations: u64,
+}
+
+impl L1Stats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / total as f64
+    }
+}
+
+/// A private L1 data cache.
+///
+/// ```
+/// use disco_cache::l1::L1Cache;
+/// use disco_cache::addr::LineAddr;
+/// use disco_cache::config::L1Config;
+/// use disco_compress::CacheLine;
+///
+/// let mut l1 = L1Cache::new(L1Config::default());
+/// let a = LineAddr(0x40);
+/// assert!(!l1.probe(a));
+/// l1.fill(a, CacheLine::zeroed(), false);
+/// assert!(l1.probe(a));
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    config: L1Config,
+    sets: Vec<Vec<Entry>>,
+    policy: ReplacementPolicy,
+    clock: u64,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// An empty cache.
+    pub fn new(config: L1Config) -> Self {
+        let sets = vec![Vec::new(); config.sets()];
+        let policy = ReplacementPolicy::new(config.replacement, 0x11ca);
+        L1Cache { config, sets, policy, clock: 0, stats: L1Stats::default() }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        addr.set(self.config.sets())
+    }
+
+    /// True if the line is present (no LRU update, no stats).
+    pub fn probe(&self, addr: LineAddr) -> bool {
+        let tag = addr.tag(self.config.sets());
+        self.sets[self.set_of(addr)].iter().any(|e| e.tag == tag)
+    }
+
+    /// Demand access. On a hit the LRU is refreshed, the line is returned,
+    /// and a write marks it dirty (optionally replacing the data). On a
+    /// miss, `None` — the caller allocates an MSHR and fetches the line.
+    pub fn access(
+        &mut self,
+        addr: LineAddr,
+        write: Option<CacheLine>,
+    ) -> Option<CacheLine> {
+        self.clock += 1;
+        let sets = self.config.sets();
+        let tag = addr.tag(sets);
+        let set = self.set_of(addr);
+        let clock = self.clock;
+        for e in &mut self.sets[set] {
+            if e.tag == tag {
+                self.policy.touch(&mut e.repl, clock);
+                if let Some(new_line) = write {
+                    e.line = new_line;
+                    e.dirty = true;
+                }
+                self.stats.hits += 1;
+                return Some(e.line);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a fetched line, evicting the LRU way if the set is full.
+    /// Returns the dirty victim, if any, for write-back.
+    pub fn fill(&mut self, addr: LineAddr, line: CacheLine, dirty: bool) -> Option<Writeback> {
+        self.clock += 1;
+        let sets = self.config.sets();
+        let tag = addr.tag(sets);
+        let set = self.set_of(addr);
+        // Refill over an existing entry (e.g. a racing coherence refetch).
+        let clock = self.clock;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.tag == tag) {
+            e.line = line;
+            e.dirty |= dirty;
+            self.policy.touch(&mut e.repl, clock);
+            return None;
+        }
+        let mut victim = None;
+        if self.sets[set].len() >= self.config.assoc {
+            let candidates: Vec<(usize, ReplState)> =
+                self.sets[set].iter().enumerate().map(|(i, e)| (i, e.repl)).collect();
+            let (idx, clear_epoch) = self.policy.victim(&candidates);
+            if clear_epoch {
+                for e in self.sets[set].iter_mut() {
+                    e.repl.referenced = false;
+                }
+            }
+            let evicted = self.sets[set].swap_remove(idx);
+            if evicted.dirty {
+                self.stats.writebacks += 1;
+                let evicted_addr = LineAddr(evicted.tag * sets as u64 + set as u64);
+                victim = Some(Writeback { addr: evicted_addr, line: evicted.line });
+            }
+        }
+        let mut repl = ReplState::default();
+        self.policy.touch(&mut repl, clock);
+        self.sets[set].push(Entry { tag, line, dirty, repl });
+        victim
+    }
+
+    /// Coherence invalidation. Returns the line if it was dirty (the
+    /// protocol forwards it).
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        let sets = self.config.sets();
+        let tag = addr.tag(sets);
+        let set = self.set_of(addr);
+        if let Some(idx) = self.sets[set].iter().position(|e| e.tag == tag) {
+            self.stats.invalidations += 1;
+            let e = self.sets[set].swap_remove(idx);
+            return e.dirty.then_some(e.line);
+        }
+        None
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> L1Cache {
+        // 4 sets × 2 ways for easy eviction tests.
+        L1Cache::new(L1Config { capacity_bytes: 4 * 2 * 64, assoc: 2, ..L1Config::default() })
+    }
+
+    fn line(v: u64) -> CacheLine {
+        CacheLine::from_u64_words([v; 8])
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut l1 = small();
+        let a = LineAddr(4);
+        assert_eq!(l1.access(a, None), None);
+        assert!(l1.fill(a, line(7), false).is_none());
+        assert_eq!(l1.access(a, None), Some(line(7)));
+        assert_eq!(l1.stats().hits, 1);
+        assert_eq!(l1.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_evicts_as_writeback() {
+        let mut l1 = small();
+        let a = LineAddr(0);
+        l1.fill(a, line(1), false);
+        assert!(l1.access(a, Some(line(2))).is_some());
+        // Fill two more lines mapping to set 0 (addresses ≡ 0 mod 4).
+        l1.fill(LineAddr(4), line(3), false);
+        let wb = l1.fill(LineAddr(8), line(4), false);
+        let wb = wb.expect("dirty LRU victim must be written back");
+        assert_eq!(wb.addr, a);
+        assert_eq!(wb.line, line(2));
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut l1 = small();
+        l1.fill(LineAddr(0), line(1), false);
+        l1.fill(LineAddr(4), line(2), false);
+        assert!(l1.fill(LineAddr(8), line(3), false).is_none());
+        assert_eq!(l1.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn lru_prefers_recently_used() {
+        let mut l1 = small();
+        l1.fill(LineAddr(0), line(1), false);
+        l1.fill(LineAddr(4), line(2), false);
+        // Touch line 0 so line 4 is LRU.
+        l1.access(LineAddr(0), None);
+        l1.fill(LineAddr(8), line(3), false);
+        assert!(l1.probe(LineAddr(0)));
+        assert!(!l1.probe(LineAddr(4)));
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_data() {
+        let mut l1 = small();
+        l1.fill(LineAddr(0), line(1), true);
+        assert_eq!(l1.invalidate(LineAddr(0)), Some(line(1)));
+        assert!(!l1.probe(LineAddr(0)));
+        assert_eq!(l1.invalidate(LineAddr(0)), None);
+        assert_eq!(l1.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn victim_address_reconstruction() {
+        let mut l1 = small();
+        let a = LineAddr(12); // set 0, tag 3
+        l1.fill(a, line(9), true);
+        l1.fill(LineAddr(16), line(1), false);
+        let wb = l1.fill(LineAddr(20), line(2), false).expect("evicts dirty line 12");
+        assert_eq!(wb.addr, a);
+    }
+
+    #[test]
+    fn table2_l1_shape() {
+        let l1 = L1Cache::new(L1Config::default());
+        assert_eq!(l1.sets.len(), 128);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Cache hierarchy substrate for the DISCO reproduction (Table 2
+//! parameters).
+//!
+//! - [`l1::L1Cache`] — private 32 KB 4-way write-back L1 data caches.
+//! - [`nuca::NucaBank`] — one bank of the shared 4 MB NUCA L2, with
+//!   optional compressed *segmented* storage (8 B segments, doubled tag
+//!   array) so compression buys effective capacity.
+//! - [`mshr::MshrFile`] — outstanding-miss tracking per core.
+//! - [`coherence::Directory`] — MOESI directory protocol engine at the
+//!   home bank; returns actions the system layer turns into NoC packets.
+//! - [`dram::Dram`] — bank-conflict-aware main memory model.
+//!
+//! This crate owns the *storage and protocol* layer; the full-system
+//! orchestration (packets, placements, latencies) lives in `disco-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use disco_cache::{addr::LineAddr, config::BankConfig, nuca::{NucaBank, StoredLine}};
+//! use disco_compress::{scheme::Compressor, CacheLine, Codec};
+//!
+//! // A compressed bank holds more than `assoc` zero lines per set.
+//! let mut bank = NucaBank::new(BankConfig { compressed: true, ..BankConfig::default() }, 0, 16);
+//! let codec = Codec::delta();
+//! for k in 0..12u64 {
+//!     let enc = codec.compress(&CacheLine::zeroed());
+//!     bank.insert(LineAddr(k * 16), StoredLine::Compressed(enc), false);
+//! }
+//! assert_eq!(bank.resident_lines(), 12);
+//! ```
+
+pub mod addr;
+pub mod coherence;
+pub mod config;
+pub mod dram;
+pub mod l1;
+pub mod mshr;
+pub mod nuca;
+pub mod replacement;
+
+pub use addr::{Addr, LineAddr};
+pub use coherence::{CohAction, CoreId, DirState, Directory};
+pub use config::{BankConfig, DramConfig, L1Config, SEGMENT_BYTES};
+pub use dram::Dram;
+pub use l1::{L1Cache, L1Stats, Writeback};
+pub use mshr::{MshrEntry, MshrFile, MshrOutcome};
+pub use nuca::{BankStats, Eviction, NucaBank, StoredLine};
+pub use replacement::{ReplState, Replacement, ReplacementPolicy};

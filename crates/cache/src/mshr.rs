@@ -1,0 +1,172 @@
+//! Miss Status Handling Registers: track outstanding L1 misses, merge
+//! secondary misses, and bound a core's memory-level parallelism.
+
+use crate::addr::LineAddr;
+use std::collections::HashMap;
+
+/// One outstanding miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Missing line.
+    pub addr: LineAddr,
+    /// Cycle the primary miss was issued.
+    pub issued_at: u64,
+    /// True if any merged access was a write (fetch-for-ownership).
+    pub write: bool,
+    /// Number of accesses merged into this entry (primary + secondaries).
+    pub merged: u32,
+    /// True while the entry only serves a prefetch. A demand access
+    /// merging into it clears the flag and restarts the latency clock
+    /// (late-prefetch accounting).
+    pub prefetch: bool,
+}
+
+/// Outcome of attempting to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// New entry allocated — send a request into the network.
+    Allocated,
+    /// An entry for this line already exists — merged, no new request.
+    Merged,
+    /// The file is full — the core must stall.
+    Full,
+}
+
+/// A per-core MSHR file.
+///
+/// ```
+/// use disco_cache::mshr::{MshrFile, MshrOutcome};
+/// use disco_cache::addr::LineAddr;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.allocate(LineAddr(1), 0, false), MshrOutcome::Allocated);
+/// assert_eq!(mshrs.allocate(LineAddr(1), 1, true), MshrOutcome::Merged);
+/// assert_eq!(mshrs.allocate(LineAddr(2), 2, false), MshrOutcome::Allocated);
+/// assert_eq!(mshrs.allocate(LineAddr(3), 3, false), MshrOutcome::Full);
+/// let done = mshrs.complete(LineAddr(1)).expect("entry exists");
+/// assert!(done.write, "merged write upgraded the entry");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, MshrEntry>,
+}
+
+impl MshrFile {
+    /// A file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile { capacity, entries: HashMap::new() }
+    }
+
+    /// Attempts to track a demand miss for `addr` issued at `now`.
+    pub fn allocate(&mut self, addr: LineAddr, now: u64, write: bool) -> MshrOutcome {
+        self.allocate_inner(addr, now, write, false)
+    }
+
+    /// Attempts to track a prefetch for `addr` (never merges into demand
+    /// latency accounting unless a demand access later joins it).
+    pub fn allocate_prefetch(&mut self, addr: LineAddr, now: u64) -> MshrOutcome {
+        self.allocate_inner(addr, now, false, true)
+    }
+
+    fn allocate_inner(&mut self, addr: LineAddr, now: u64, write: bool, prefetch: bool) -> MshrOutcome {
+        if let Some(e) = self.entries.get_mut(&addr.0) {
+            e.merged += 1;
+            e.write |= write;
+            if e.prefetch && !prefetch {
+                // Late prefetch: the demand clock starts now.
+                e.prefetch = false;
+                e.issued_at = now;
+            }
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(addr.0, MshrEntry { addr, issued_at: now, write, merged: 1, prefetch });
+        MshrOutcome::Allocated
+    }
+
+    /// Completes (and removes) the entry when the fill arrives.
+    pub fn complete(&mut self, addr: LineAddr) -> Option<MshrEntry> {
+        self.entries.remove(&addr.0)
+    }
+
+    /// Is a miss for this line already outstanding?
+    pub fn pending(&self, addr: LineAddr) -> bool {
+        self.entries.contains_key(&addr.0)
+    }
+
+    /// Outstanding miss count.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no more primary misses can be tracked.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_complete() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(LineAddr(10), 5, false), MshrOutcome::Allocated);
+        assert!(m.pending(LineAddr(10)));
+        assert_eq!(m.allocate(LineAddr(10), 6, false), MshrOutcome::Merged);
+        assert_eq!(m.in_use(), 1);
+        let e = m.complete(LineAddr(10)).unwrap();
+        assert_eq!(e.issued_at, 5);
+        assert_eq!(e.merged, 2);
+        assert!(!m.pending(LineAddr(10)));
+        assert!(m.complete(LineAddr(10)).is_none());
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(LineAddr(1), 0, false), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(LineAddr(2), 0, false), MshrOutcome::Full);
+        m.complete(LineAddr(1));
+        assert_eq!(m.allocate(LineAddr(2), 0, false), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn write_upgrade_sticks() {
+        let mut m = MshrFile::new(2);
+        m.allocate(LineAddr(3), 0, false);
+        m.allocate(LineAddr(3), 1, true);
+        m.allocate(LineAddr(3), 2, false);
+        let e = m.complete(LineAddr(3)).unwrap();
+        assert!(e.write);
+        assert_eq!(e.merged, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn late_prefetch_restarts_the_demand_clock() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate_prefetch(LineAddr(9), 10), MshrOutcome::Allocated);
+        assert!(m.complete(LineAddr(9)).unwrap().prefetch);
+        assert_eq!(m.allocate_prefetch(LineAddr(9), 20), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(LineAddr(9), 50, false), MshrOutcome::Merged);
+        let e = m.complete(LineAddr(9)).unwrap();
+        assert!(!e.prefetch, "demand merge clears the prefetch flag");
+        assert_eq!(e.issued_at, 50, "latency clock restarted at the demand");
+    }
+}

@@ -1,0 +1,172 @@
+//! Replacement policies for the L1 and the NUCA banks.
+//!
+//! Table 2 specifies LRU; NRU (not-recently-used, the single-bit
+//! approximation real LLCs often ship) and seeded random are provided
+//! for sensitivity studies, since compressed caches interact with
+//! replacement (a victim frees a variable number of segments).
+
+/// Victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// True least-recently-used (Table 2 default).
+    #[default]
+    Lru,
+    /// Not-recently-used: evict the first line whose reference bit is
+    /// clear; clear all bits when every line has been referenced.
+    Nru,
+    /// Uniform random (deterministic, seeded).
+    Random,
+}
+
+/// Per-entry replacement state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplState {
+    /// Last-touch timestamp (LRU).
+    pub last_touch: u64,
+    /// Reference bit (NRU).
+    pub referenced: bool,
+}
+
+/// Replacement bookkeeping for one cache (policy + RNG state).
+#[derive(Debug, Clone)]
+pub struct ReplacementPolicy {
+    policy: Replacement,
+    rng: u64,
+}
+
+impl ReplacementPolicy {
+    /// Creates the policy; `seed` only matters for [`Replacement::Random`].
+    pub fn new(policy: Replacement, seed: u64) -> Self {
+        ReplacementPolicy { policy, rng: seed | 1 }
+    }
+
+    /// Which policy this is.
+    pub fn kind(&self) -> Replacement {
+        self.policy
+    }
+
+    /// Records a touch of an entry.
+    pub fn touch(&self, state: &mut ReplState, now: u64) {
+        state.last_touch = now;
+        state.referenced = true;
+    }
+
+    /// Picks the victim among `candidates` (index, state) pairs; entries
+    /// excluded from eviction are simply not passed in.
+    ///
+    /// For NRU, `clear_all` tells the caller to clear every reference bit
+    /// after this eviction (the policy saturated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn victim(&mut self, candidates: &[(usize, ReplState)]) -> (usize, bool) {
+        assert!(!candidates.is_empty(), "victim selection needs candidates");
+        match self.policy {
+            Replacement::Lru => (
+                candidates
+                    .iter()
+                    .min_by_key(|(_, s)| s.last_touch)
+                    .map(|&(i, _)| i)
+                    .expect("non-empty"),
+                false,
+            ),
+            Replacement::Nru => {
+                if let Some(&(i, _)) = candidates.iter().find(|(_, s)| !s.referenced) {
+                    (i, false)
+                } else {
+                    // All referenced: evict the oldest and ask the caller
+                    // to clear the bits (one-bit aging epoch).
+                    let i = candidates
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_touch)
+                        .map(|&(i, _)| i)
+                        .expect("non-empty");
+                    (i, true)
+                }
+            }
+            Replacement::Random => {
+                // xorshift64*
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                let pick = (self.rng as usize) % candidates.len();
+                (candidates[pick].0, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states(touches: &[(u64, bool)]) -> Vec<(usize, ReplState)> {
+        touches
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, r))| (i, ReplState { last_touch: t, referenced: r }))
+            .collect()
+    }
+
+    #[test]
+    fn lru_picks_oldest() {
+        let mut p = ReplacementPolicy::new(Replacement::Lru, 1);
+        let (victim, clear) = p.victim(&states(&[(5, true), (2, true), (9, true)]));
+        assert_eq!(victim, 1);
+        assert!(!clear);
+    }
+
+    #[test]
+    fn nru_prefers_unreferenced() {
+        let mut p = ReplacementPolicy::new(Replacement::Nru, 1);
+        let (victim, clear) = p.victim(&states(&[(5, true), (2, false), (9, true)]));
+        assert_eq!(victim, 1);
+        assert!(!clear);
+    }
+
+    #[test]
+    fn nru_saturation_clears_epoch() {
+        let mut p = ReplacementPolicy::new(Replacement::Nru, 1);
+        let (victim, clear) = p.victim(&states(&[(5, true), (2, true)]));
+        assert_eq!(victim, 1, "falls back to oldest");
+        assert!(clear, "asks the caller to clear reference bits");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = ReplacementPolicy::new(Replacement::Random, 7);
+        let mut b = ReplacementPolicy::new(Replacement::Random, 7);
+        let c = states(&[(1, true), (2, true), (3, true), (4, true)]);
+        for _ in 0..16 {
+            assert_eq!(a.victim(&c).0, b.victim(&c).0);
+        }
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let mut p = ReplacementPolicy::new(Replacement::Random, 3);
+        let c = states(&[(1, true), (2, true), (3, true)]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[p.victim(&c).0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn touch_sets_both_signals() {
+        let p = ReplacementPolicy::new(Replacement::Lru, 1);
+        let mut s = ReplState::default();
+        p.touch(&mut s, 42);
+        assert_eq!(s.last_touch, 42);
+        assert!(s.referenced);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidates")]
+    fn empty_candidates_panic() {
+        let mut p = ReplacementPolicy::new(Replacement::Lru, 1);
+        let _ = p.victim(&[]);
+    }
+}

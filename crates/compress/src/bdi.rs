@@ -1,0 +1,377 @@
+//! Base-Delta-Immediate compression (Pekhimenko et al., PACT'12).
+//!
+//! A line is encoded as one arbitrary base plus per-element deltas, with an
+//! implicit second base of zero selected by a per-element mask bit
+//! ("immediate" values). Eight encodings are tried in increasing output
+//! size; the first that fits wins: zeros, repeated 8-byte value,
+//! base8-Δ1/2/4, base4-Δ1/2, base2-Δ1.
+
+use crate::bitio::{fits_signed, sign_extend};
+use crate::line::{CacheLine, LINE_BYTES};
+use crate::scheme::{CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+/// BDI encoding identifiers (first byte of the output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Encoding {
+    Zeros = 0,
+    Repeated = 1,
+    B8D1 = 2,
+    B8D2 = 3,
+    B8D4 = 4,
+    B4D1 = 5,
+    B4D2 = 6,
+    B2D1 = 7,
+    Raw = 8,
+}
+
+impl Encoding {
+    fn from_byte(b: u8) -> Option<Encoding> {
+        Some(match b {
+            0 => Encoding::Zeros,
+            1 => Encoding::Repeated,
+            2 => Encoding::B8D1,
+            3 => Encoding::B8D2,
+            4 => Encoding::B8D4,
+            5 => Encoding::B4D1,
+            6 => Encoding::B4D2,
+            7 => Encoding::B2D1,
+            8 => Encoding::Raw,
+            _ => return None,
+        })
+    }
+
+    /// (base size, delta size) in bytes for the base-delta encodings.
+    fn geometry(self) -> Option<(usize, usize)> {
+        Some(match self {
+            Encoding::B8D1 => (8, 1),
+            Encoding::B8D2 => (8, 2),
+            Encoding::B8D4 => (8, 4),
+            Encoding::B4D1 => (4, 1),
+            Encoding::B4D2 => (4, 2),
+            Encoding::B2D1 => (2, 1),
+            _ => return None,
+        })
+    }
+}
+
+/// The ordered candidate list: smaller outputs first.
+const CANDIDATES: [Encoding; 6] = [
+    Encoding::B2D1,
+    Encoding::B4D1,
+    Encoding::B8D1,
+    Encoding::B4D2,
+    Encoding::B8D2,
+    Encoding::B8D4,
+];
+
+/// Base-Delta-Immediate codec.
+///
+/// ```
+/// use disco_compress::{CacheLine, bdi::BdiCodec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = BdiCodec::new();
+/// let line = CacheLine::from_u32_words([1000, 1001, 1002, 0, 1004, 0, 1006, 1007,
+///                                       1008, 1009, 0, 1011, 1012, 1013, 1014, 1015]);
+/// let enc = codec.compress(&line);
+/// assert!(enc.is_compressed());
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BdiCodec {
+    _private: (),
+}
+
+impl BdiCodec {
+    /// Creates the codec with all eight encodings enabled.
+    pub fn new() -> Self {
+        BdiCodec { _private: () }
+    }
+
+    /// Reads the `i`-th `size`-byte unsigned element of the line.
+    fn element(line: &CacheLine, size: usize, i: usize) -> u64 {
+        let bytes = line.as_bytes();
+        let mut v = 0u64;
+        for j in 0..size {
+            v |= (bytes[i * size + j] as u64) << (8 * j);
+        }
+        v
+    }
+
+    /// Tries one base-delta geometry; returns (base, mask, deltas) on fit.
+    ///
+    /// The base is the first element that is not representable as an
+    /// immediate (delta from zero); elements that fit as immediates set
+    /// their mask bit and store their delta from zero instead.
+    fn try_encoding(line: &CacheLine, base_size: usize, delta_size: usize) -> Option<(u64, u32, Vec<i64>)> {
+        let n = LINE_BYTES / base_size;
+        let delta_bits = delta_size as u32 * 8;
+        let mut base: Option<u64> = None;
+        let mut mask = 0u32;
+        let mut deltas = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = Self::element(line, base_size, i);
+            let d_zero = if base_size == 8 {
+                v as i64
+            } else {
+                sign_extend(v, base_size as u32 * 8)
+            };
+            if fits_signed(d_zero, delta_bits) {
+                mask |= 1 << i;
+                deltas.push(d_zero);
+                continue;
+            }
+            let b = *base.get_or_insert(v);
+            let d = v.wrapping_sub(b) as i64;
+            let d = if base_size == 8 {
+                d
+            } else {
+                sign_extend(d as u64, base_size as u32 * 8)
+            };
+            if fits_signed(d, delta_bits) {
+                deltas.push(d);
+            } else {
+                return None;
+            }
+        }
+        Some((base.unwrap_or(0), mask, deltas))
+    }
+}
+
+impl Compressor for BdiCodec {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Bdi
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        if line.is_zero() {
+            return CompressedLine::new(SchemeKind::Bdi, vec![Encoding::Zeros as u8], 8);
+        }
+        let flits = line.u64_words();
+        if flits.iter().all(|&f| f == flits[0]) {
+            let mut data = vec![Encoding::Repeated as u8];
+            data.extend_from_slice(&flits[0].to_le_bytes());
+            return CompressedLine::new(SchemeKind::Bdi, data, 9 * 8);
+        }
+        let mut best: Option<Vec<u8>> = None;
+        for enc in CANDIDATES {
+            let (base_size, delta_size) = enc.geometry().expect("candidates have geometry");
+            if let Some((base, mask, deltas)) = Self::try_encoding(line, base_size, delta_size) {
+                let n = LINE_BYTES / base_size;
+                let mask_bytes = n.div_ceil(8);
+                let mut data = Vec::with_capacity(1 + mask_bytes + base_size + n * delta_size);
+                data.push(enc as u8);
+                data.extend_from_slice(&mask.to_le_bytes()[..mask_bytes]);
+                data.extend_from_slice(&base.to_le_bytes()[..base_size]);
+                for d in deltas {
+                    data.extend_from_slice(&d.to_le_bytes()[..delta_size]);
+                }
+                if best.as_ref().is_none_or(|b| data.len() < b.len()) {
+                    best = Some(data);
+                }
+            }
+        }
+        match best {
+            Some(data) => {
+                let bits = data.len() * 8;
+                CompressedLine::new(SchemeKind::Bdi, data, bits)
+            }
+            None => {
+                let mut data = vec![Encoding::Raw as u8];
+                data.extend_from_slice(line.as_bytes());
+                let bits = data.len() * 8;
+                CompressedLine::new(SchemeKind::Bdi, data, bits)
+            }
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        if compressed.scheme() != SchemeKind::Bdi {
+            return Err(DecompressError::SchemeMismatch {
+                expected: SchemeKind::Bdi,
+                found: compressed.scheme(),
+            });
+        }
+        let data = compressed.data();
+        let &tag = data.first().ok_or(DecompressError::Truncated)?;
+        let enc = Encoding::from_byte(tag).ok_or(DecompressError::Invalid("bad BDI tag"))?;
+        match enc {
+            Encoding::Zeros => Ok(CacheLine::zeroed()),
+            Encoding::Repeated => {
+                let bytes: [u8; 8] = data
+                    .get(1..9)
+                    .ok_or(DecompressError::Truncated)?
+                    .try_into()
+                    .expect("length checked");
+                let v = u64::from_le_bytes(bytes);
+                Ok(CacheLine::from_u64_words([v; 8]))
+            }
+            Encoding::Raw => {
+                let bytes: [u8; LINE_BYTES] = data
+                    .get(1..1 + LINE_BYTES)
+                    .ok_or(DecompressError::Truncated)?
+                    .try_into()
+                    .expect("length checked");
+                Ok(CacheLine::from_bytes(bytes))
+            }
+            _ => {
+                let (base_size, delta_size) = enc.geometry().expect("geometry for base-delta");
+                let n = LINE_BYTES / base_size;
+                let mask_bytes = n.div_ceil(8);
+                let mut pos = 1;
+                let mut mask = 0u32;
+                for j in 0..mask_bytes {
+                    mask |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u32) << (8 * j);
+                }
+                pos += mask_bytes;
+                let mut base = 0u64;
+                for j in 0..base_size {
+                    base |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64) << (8 * j);
+                }
+                pos += base_size;
+                let mut bytes = [0u8; LINE_BYTES];
+                for i in 0..n {
+                    let mut d = 0u64;
+                    for j in 0..delta_size {
+                        d |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64) << (8 * j);
+                    }
+                    pos += delta_size;
+                    let delta = sign_extend(d, delta_size as u32 * 8);
+                    let b = if mask & (1 << i) != 0 { 0 } else { base };
+                    let v = b.wrapping_add(delta as u64);
+                    for j in 0..base_size {
+                        bytes[i * base_size + j] = (v >> (8 * j)) as u8;
+                    }
+                }
+                Ok(CacheLine::from_bytes(bytes))
+            }
+        }
+    }
+
+    /// Table 1: 1-cycle compression.
+    fn compression_latency(&self) -> u64 {
+        1
+    }
+
+    /// Table 1: "1~5 cycles" — scales with the number of parallel adders
+    /// needed, i.e. the element count of the chosen encoding.
+    fn decompression_latency(&self, compressed: &CompressedLine) -> u64 {
+        match compressed.data().first().and_then(|&b| Encoding::from_byte(b)) {
+            Some(Encoding::Zeros) | Some(Encoding::Repeated) => 1,
+            Some(Encoding::B8D1) | Some(Encoding::B8D2) | Some(Encoding::B8D4) => 2,
+            Some(Encoding::B4D1) | Some(Encoding::B4D2) => 3,
+            Some(Encoding::B2D1) => 5,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> BdiCodec {
+        BdiCodec::new()
+    }
+
+    #[test]
+    fn zeros() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(enc.size_bytes(), 1);
+        assert_eq!(codec().decompress(&enc).unwrap(), CacheLine::zeroed());
+        assert_eq!(codec().decompression_latency(&enc), 1);
+    }
+
+    #[test]
+    fn repeated_value() {
+        let line = CacheLine::from_u64_words([0x1122_3344_5566_7788; 8]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bytes(), 9);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn b8d1_pointers() {
+        let b = 0x7fff_0000_1000_0000u64;
+        let line = CacheLine::from_u64_words([b, b + 64, b + 120, b + 32, b + 8, b + 16, b + 24, b + 96]);
+        let enc = codec().compress(&line);
+        // 1 tag + 1 mask + 8 base + 8 deltas = 18
+        assert_eq!(enc.size_bytes(), 18);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn b4d1_small_spread() {
+        let base = 100_000u32;
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = base + i as u32;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        // 1 tag + 2 mask + 4 base + 16 deltas = 23
+        assert_eq!(enc.size_bytes(), 23);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn immediates_mix_with_base() {
+        // Large values near a base interleaved with small immediates.
+        let base = 0x4000_0000u32;
+        let line = CacheLine::from_u32_words([
+            base, 1, base + 3, 0, base + 100, 2, base + 50, 7,
+            base + 9, 0, base + 11, 1, base + 90, 3, base + 70, 5,
+        ]);
+        let enc = codec().compress(&line);
+        assert!(enc.is_compressed());
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn incompressible_falls_back() {
+        let mut bytes = [0u8; LINE_BYTES];
+        let mut x = 7u64;
+        for b in bytes.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        let enc = codec().compress(&line);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn picks_smallest_encoding() {
+        // Values fitting b2d1 should not be stored as b8d4.
+        let line = CacheLine::from_u32_words([0x0041_0042; 16]);
+        let enc = codec().compress(&line);
+        // b2d1: 1 tag + 4 mask + 2 base + 32 deltas = 39 bytes
+        assert!(enc.size_bytes() <= 39, "got {}", enc.size_bytes());
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(flits in proptest::array::uniform8(any::<u64>())) {
+            let line = CacheLine::from_u64_words(flits);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+
+        #[test]
+        fn roundtrip_base_delta(base in any::<u32>(), deltas in proptest::array::uniform16(-100i32..100)) {
+            let mut words = [0u32; 16];
+            for i in 0..16 {
+                words[i] = base.wrapping_add(deltas[i] as u32);
+            }
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert!(enc.is_compressed());
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+    }
+}

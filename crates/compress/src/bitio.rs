@@ -1,0 +1,209 @@
+//! Bit-granular writer/reader used by the prefix-code codecs (FPC, SFPC,
+//! SC², C-Pack).
+//!
+//! Bits are written most-significant-first within each value and packed
+//! little-endian across the byte buffer in write order, which keeps encoded
+//! sizes identical to a hardware shift-register serializer.
+
+use crate::DecompressError;
+
+/// Appends bit fields to a growable byte buffer.
+///
+/// ```
+/// use disco_compress::bitio::{BitReader, BitWriter};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xfeed, 16);
+/// let (bytes, bits) = w.finish();
+/// let mut r = BitReader::new(&bytes, bits);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(16)?, 0xfeed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Total number of valid bits in `buf`.
+    bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bits
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bits / 8;
+            let bit_idx = 7 - (self.bits % 8);
+            if byte_idx == self.buf.len() {
+                self.buf.push(0);
+            }
+            self.buf[byte_idx] |= (bit as u8) << bit_idx;
+            self.bits += 1;
+        }
+    }
+
+    /// Consumes the writer, returning the packed bytes and exact bit count.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        (self.buf, self.bits)
+    }
+}
+
+/// Reads bit fields previously produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    bits: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps `data`, of which only the first `bits` bits are valid.
+    pub fn new(data: &'a [u8], bits: usize) -> Self {
+        BitReader { data, bits, pos: 0 }
+    }
+
+    /// Number of unread bits.
+    pub fn remaining(&self) -> usize {
+        self.bits - self.pos
+    }
+
+    /// Reads the next `n` bits as an unsigned value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::Truncated`] if fewer than `n` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, DecompressError> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < n as usize {
+            return Err(DecompressError::Truncated);
+        }
+        let mut value = 0u64;
+        for _ in 0..n {
+            let byte_idx = self.pos / 8;
+            let bit_idx = 7 - (self.pos % 8);
+            let bit = (self.data[byte_idx] >> bit_idx) & 1;
+            value = (value << 1) | bit as u64;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::Truncated`] at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, DecompressError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+}
+
+/// Sign-extends the low `n` bits of `value` to a full `i64`.
+pub fn sign_extend(value: u64, n: u32) -> i64 {
+    debug_assert!((1..=64).contains(&n));
+    let shift = 64 - n;
+    ((value << shift) as i64) >> shift
+}
+
+/// True if `value` fits in `n` bits as a signed two's-complement number.
+pub fn fits_signed(value: i64, n: u32) -> bool {
+    debug_assert!((1..=64).contains(&n));
+    if n == 64 {
+        return true;
+    }
+    let min = -(1i64 << (n - 1));
+    let max = (1i64 << (n - 1)) - 1;
+    value >= min && value <= max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0110, 4);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(u64::MAX, 64);
+        let total = 1 + 4 + 32 + 64;
+        assert_eq!(w.bit_len(), total);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, total);
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(1).unwrap(), 0b1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b0110);
+        assert_eq!(r.read_bits(32).unwrap(), 0xdead_beef);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_read_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(2).unwrap(), 0b10);
+        assert_eq!(r.read_bits(2), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xff, 0);
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    fn sign_extend_works() {
+        assert_eq!(sign_extend(0b1111, 4), -1);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0xff, 8), -1);
+        assert_eq!(sign_extend(0x7f, 8), 127);
+    }
+
+    #[test]
+    fn fits_signed_bounds() {
+        assert!(fits_signed(127, 8));
+        assert!(fits_signed(-128, 8));
+        assert!(!fits_signed(128, 8));
+        assert!(!fits_signed(-129, 8));
+        assert!(fits_signed(0, 1));
+        assert!(fits_signed(-1, 1));
+        assert!(!fits_signed(1, 1));
+        assert!(fits_signed(i64::MIN, 64));
+    }
+
+    #[test]
+    fn bit_packing_is_msb_first() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010_1010, 8);
+        let (bytes, _) = w.finish();
+        assert_eq!(bytes, vec![0b1010_1010]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Reference corpora and size-distribution statistics for codec
+//! evaluation.
+//!
+//! The compression literature (FPC, BDI, SC², C-Pack) characterizes
+//! codecs by how encoded sizes *distribute*, not just by the mean ratio:
+//! a cache with 8-byte segments cares whether lines land below 8, 16, or
+//! 32 bytes. [`SizeDistribution`] captures that; [`reference_corpus`]
+//! provides deterministic line families for apples-to-apples comparisons
+//! without the workload crate.
+
+use crate::line::{CacheLine, LINE_BYTES};
+use crate::scheme::{CompressedLine, Compressor};
+
+/// A deterministic line family for codec studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineFamily {
+    /// All-zero lines.
+    Zeros,
+    /// 64-bit pointers walking a small region.
+    PointerRun,
+    /// Small 32-bit integers (counters, indices).
+    SmallInts,
+    /// One 32-bit pattern repeated.
+    Repeated,
+    /// Same-exponent floating-point-like values.
+    FloatLike,
+    /// High-entropy bytes (xorshift noise).
+    Random,
+}
+
+impl LineFamily {
+    /// All families.
+    pub const ALL: [LineFamily; 6] = [
+        LineFamily::Zeros,
+        LineFamily::PointerRun,
+        LineFamily::SmallInts,
+        LineFamily::Repeated,
+        LineFamily::FloatLike,
+        LineFamily::Random,
+    ];
+
+    /// The `i`-th line of this family (deterministic).
+    pub fn line(self, i: u64) -> CacheLine {
+        let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        match self {
+            LineFamily::Zeros => CacheLine::zeroed(),
+            LineFamily::PointerRun => {
+                let base = 0x7f00_0000_0000_0000u64 | (i << 12);
+                let mut w = [0u64; 8];
+                for (k, slot) in w.iter_mut().enumerate() {
+                    *slot = base + (k as u64) * 8;
+                }
+                CacheLine::from_u64_words(w)
+            }
+            LineFamily::SmallInts => {
+                let mut w = [0u32; 16];
+                for slot in w.iter_mut() {
+                    *slot = (next() % 128) as u32;
+                }
+                CacheLine::from_u32_words(w)
+            }
+            LineFamily::Repeated => {
+                let v = (next() & 0xffff_ffff) as u32;
+                CacheLine::from_u32_words([v; 16])
+            }
+            LineFamily::FloatLike => {
+                let exp = 0x3ff0_0000_0000_0000u64;
+                let mut w = [0u64; 8];
+                for slot in w.iter_mut() {
+                    *slot = exp | (next() & 0xf_ffff);
+                }
+                CacheLine::from_u64_words(w)
+            }
+            LineFamily::Random => {
+                let mut bytes = [0u8; LINE_BYTES];
+                for chunk in bytes.chunks_mut(8) {
+                    chunk.copy_from_slice(&next().to_le_bytes());
+                }
+                CacheLine::from_bytes(bytes)
+            }
+        }
+    }
+}
+
+/// A deterministic mixed corpus: `per_family` lines from every family.
+pub fn reference_corpus(per_family: u64) -> Vec<CacheLine> {
+    let mut out = Vec::with_capacity(LineFamily::ALL.len() * per_family as usize);
+    for family in LineFamily::ALL {
+        out.extend((0..per_family).map(|i| family.line(i)));
+    }
+    out
+}
+
+/// Distribution of encoded sizes over a corpus, in 8-byte segment
+/// buckets (the granularity the compressed cache allocates).
+///
+/// ```
+/// use disco_compress::{corpus::{reference_corpus, SizeDistribution}, Codec};
+///
+/// let dist = SizeDistribution::measure(&Codec::bdi(), &reference_corpus(64));
+/// assert_eq!(dist.total(), 6 * 64);
+/// assert!(dist.fraction_at_most(8) > 0.15); // the zero lines, at least
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeDistribution {
+    /// `buckets[k]` counts lines whose encoding needs `k + 1` segments
+    /// (8·(k+1) bytes); the last bucket is "uncompressed".
+    buckets: [u64; LINE_BYTES / 8],
+    total_bytes: u64,
+}
+
+impl SizeDistribution {
+    /// Measures a codec over a corpus.
+    pub fn measure<C: Compressor>(codec: &C, corpus: &[CacheLine]) -> Self {
+        let mut dist = SizeDistribution { buckets: [0; LINE_BYTES / 8], total_bytes: 0 };
+        for line in corpus {
+            dist.record(&codec.compress(line));
+        }
+        dist
+    }
+
+    /// Records one encoding.
+    pub fn record(&mut self, enc: &CompressedLine) {
+        let segments = enc.size_bytes().div_ceil(8).clamp(1, LINE_BYTES / 8);
+        self.buckets[segments - 1] += 1;
+        self.total_bytes += enc.size_bytes() as u64;
+    }
+
+    /// Lines measured.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of lines that fit in at most `bytes` (segment-rounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or exceeds the line size.
+    pub fn fraction_at_most(&self, bytes: usize) -> f64 {
+        assert!(bytes >= 1 && bytes <= LINE_BYTES, "bytes must be in 1..=64");
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let upto = bytes.div_ceil(8);
+        let count: u64 = self.buckets[..upto].iter().sum();
+        count as f64 / total as f64
+    }
+
+    /// Mean compression ratio over the corpus.
+    pub fn mean_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 1.0;
+        }
+        (self.total() * LINE_BYTES as u64) as f64 / self.total_bytes as f64
+    }
+
+    /// Count per segment bucket (index k = k+1 segments).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Codec;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let a = reference_corpus(16);
+        let b = reference_corpus(16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 96);
+    }
+
+    #[test]
+    fn families_have_their_signatures() {
+        assert!(LineFamily::Zeros.line(3).is_zero());
+        let rep = LineFamily::Repeated.line(5).u32_words();
+        assert!(rep.iter().all(|&w| w == rep[0]));
+        let ptrs = LineFamily::PointerRun.line(2).u64_words();
+        assert_eq!(ptrs[1] - ptrs[0], 8);
+        assert_ne!(LineFamily::Random.line(0), LineFamily::Random.line(1));
+    }
+
+    #[test]
+    fn distribution_counts_and_bounds() {
+        let corpus = reference_corpus(32);
+        let dist = SizeDistribution::measure(&Codec::delta(), &corpus);
+        assert_eq!(dist.total(), corpus.len() as u64);
+        // Monotone CDF.
+        let mut prev = 0.0;
+        for bytes in [8, 16, 24, 32, 40, 48, 56, 64] {
+            let f = dist.fraction_at_most(bytes);
+            assert!(f >= prev, "CDF must be monotone");
+            prev = f;
+        }
+        assert!((dist.fraction_at_most(64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_land_in_the_first_bucket() {
+        let zeros: Vec<CacheLine> = (0..10).map(|i| LineFamily::Zeros.line(i)).collect();
+        let dist = SizeDistribution::measure(&Codec::delta(), &zeros);
+        assert!((dist.fraction_at_most(8) - 1.0).abs() < 1e-12);
+        assert!(dist.mean_ratio() >= 8.0);
+    }
+
+    #[test]
+    fn random_lines_stay_uncompressed() {
+        let noise: Vec<CacheLine> = (0..10).map(|i| LineFamily::Random.line(i)).collect();
+        let dist = SizeDistribution::measure(&Codec::delta(), &noise);
+        assert_eq!(dist.fraction_at_most(56), 0.0, "noise must not compress");
+        assert!((dist.mean_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_segment_granular() {
+        let mut dist = SizeDistribution { buckets: [0; 8], total_bytes: 0 };
+        let line = CacheLine::from_u64_words([5, 6, 7, 8, 9, 10, 11, 12]);
+        let enc = Codec::delta().compress(&line);
+        // Delta on small 64-bit values: 2 header + 8 base + 8 deltas = 18
+        // bytes → 3 segments.
+        assert_eq!(enc.size_bytes(), 18);
+        dist.record(&enc);
+        assert_eq!(dist.buckets()[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes must be")]
+    fn out_of_range_fraction_panics() {
+        let dist = SizeDistribution::measure(&Codec::delta(), &reference_corpus(1));
+        let _ = dist.fraction_at_most(65);
+    }
+}

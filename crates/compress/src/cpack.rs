@@ -1,0 +1,293 @@
+//! C-Pack: Cache Packer (Chen et al., IEEE TVLSI 2010).
+//!
+//! Combines static frequent patterns with a small FIFO dictionary of
+//! recently seen 32-bit words. Partial dictionary matches (upper 3 or 2
+//! bytes) capture pointer-heavy data that pure pattern schemes miss. The
+//! decompressor replays the identical dictionary-update policy, so the
+//! dictionary never travels with the line.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::line::{CacheLine, WORDS32};
+use crate::scheme::{CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+const DICT_ENTRIES: usize = 16;
+
+/// Pattern codes (prefix, prefix bits, payload bits) from the C-Pack paper.
+const ZZZZ: u64 = 0b00; // zero word
+const XXXX: u64 = 0b01; // uncompressed + dict push
+const MMMM: u64 = 0b10; // full dictionary match
+const MMXX: u64 = 0b1100; // upper-2-byte match + 2 literal bytes
+const ZZZX: u64 = 0b1101; // three zero bytes + 1 literal byte
+const MMMX: u64 = 0b1110; // upper-3-byte match + 1 literal byte
+
+/// FIFO dictionary shared (by construction) between encode and decode.
+#[derive(Debug, Clone)]
+struct Dictionary {
+    entries: Vec<u32>,
+    next: usize,
+}
+
+impl Dictionary {
+    fn new() -> Self {
+        Dictionary { entries: vec![0; DICT_ENTRIES], next: 0 }
+    }
+
+    fn push(&mut self, word: u32) {
+        self.entries[self.next] = word;
+        self.next = (self.next + 1) % DICT_ENTRIES;
+    }
+
+    /// Best match: returns (index, matched_bytes) with matched_bytes in
+    /// {4, 3, 2}, preferring fuller matches, then lower indices.
+    fn best_match(&self, word: u32) -> Option<(usize, u32)> {
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &e) in self.entries.iter().enumerate() {
+            let matched = if e == word {
+                4
+            } else if (e ^ word) & 0xffff_ff00 == 0 {
+                3
+            } else if (e ^ word) & 0xffff_0000 == 0 {
+                2
+            } else {
+                continue;
+            };
+            if best.is_none_or(|(_, m)| matched > m) {
+                best = Some((i, matched));
+            }
+        }
+        best
+    }
+}
+
+/// The C-Pack codec.
+///
+/// ```
+/// use disco_compress::{CacheLine, cpack::CPackCodec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = CPackCodec::new();
+/// // Pointer-like words sharing the upper bytes: dictionary matches.
+/// let mut words = [0u32; 16];
+/// for (i, w) in words.iter_mut().enumerate() {
+///     *w = 0x7ffe_1000 + (i as u32) * 4;
+/// }
+/// let line = CacheLine::from_u32_words(words);
+/// let enc = codec.compress(&line);
+/// assert!(enc.is_compressed());
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CPackCodec {
+    _private: (),
+}
+
+impl CPackCodec {
+    /// Creates the codec with the paper's 16-entry (64 B) dictionary.
+    pub fn new() -> Self {
+        CPackCodec { _private: () }
+    }
+}
+
+impl Compressor for CPackCodec {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::CPack
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        let mut dict = Dictionary::new();
+        let mut w = BitWriter::new();
+        for word in line.u32_words() {
+            if word == 0 {
+                w.write_bits(ZZZZ, 2);
+                continue;
+            }
+            let m = dict.best_match(word);
+            if let Some((idx, 4)) = m {
+                w.write_bits(MMMM, 2);
+                w.write_bits(idx as u64, 4);
+                continue;
+            }
+            if word & 0xffff_ff00 == 0 {
+                w.write_bits(ZZZX, 4);
+                w.write_bits(word as u64 & 0xff, 8);
+                continue;
+            }
+            match m {
+                Some((idx, 3)) => {
+                    w.write_bits(MMMX, 4);
+                    w.write_bits(idx as u64, 4);
+                    w.write_bits(word as u64 & 0xff, 8);
+                    dict.push(word);
+                }
+                Some((idx, 2)) => {
+                    w.write_bits(MMXX, 4);
+                    w.write_bits(idx as u64, 4);
+                    w.write_bits(word as u64 & 0xffff, 16);
+                    dict.push(word);
+                }
+                _ => {
+                    w.write_bits(XXXX, 2);
+                    w.write_bits(word as u64, 32);
+                    dict.push(word);
+                }
+            }
+        }
+        let (data, bits) = w.finish();
+        CompressedLine::new(SchemeKind::CPack, data, bits)
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        if compressed.scheme() != SchemeKind::CPack {
+            return Err(DecompressError::SchemeMismatch {
+                expected: SchemeKind::CPack,
+                found: compressed.scheme(),
+            });
+        }
+        let mut dict = Dictionary::new();
+        let mut r = BitReader::new(compressed.data(), compressed.size_bits());
+        let mut words = [0u32; WORDS32];
+        for word in words.iter_mut() {
+            let p2 = r.read_bits(2)?;
+            *word = match p2 {
+                ZZZZ => 0,
+                XXXX => {
+                    let v = r.read_bits(32)? as u32;
+                    dict.push(v);
+                    v
+                }
+                MMMM => {
+                    let idx = r.read_bits(4)? as usize;
+                    dict.entries[idx]
+                }
+                _ => {
+                    // 4-bit prefixes all start with 11.
+                    let p4 = (p2 << 2) | r.read_bits(2)?;
+                    match p4 {
+                        MMXX => {
+                            let idx = r.read_bits(4)? as usize;
+                            let lit = r.read_bits(16)? as u32;
+                            let v = (dict.entries[idx] & 0xffff_0000) | lit;
+                            dict.push(v);
+                            v
+                        }
+                        ZZZX => r.read_bits(8)? as u32,
+                        MMMX => {
+                            let idx = r.read_bits(4)? as usize;
+                            let lit = r.read_bits(8)? as u32;
+                            let v = (dict.entries[idx] & 0xffff_ff00) | lit;
+                            dict.push(v);
+                            v
+                        }
+                        _ => return Err(DecompressError::Invalid("bad C-Pack prefix")),
+                    }
+                }
+            };
+        }
+        Ok(CacheLine::from_u32_words(words))
+    }
+
+    /// C-Pack compresses two words per cycle: 8 cycles for 16 words.
+    fn compression_latency(&self) -> u64 {
+        8
+    }
+
+    /// Table 1: 8-cycle decompression.
+    fn decompression_latency(&self, _compressed: &CompressedLine) -> u64 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> CPackCodec {
+        CPackCodec::new()
+    }
+
+    #[test]
+    fn zero_line_is_two_bits_per_word() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(enc.size_bits(), 32);
+        assert_eq!(codec().decompress(&enc).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn repeated_word_hits_dictionary() {
+        let line = CacheLine::from_u32_words([0xdead_beef; 16]);
+        let enc = codec().compress(&line);
+        // First word xxxx (34 bits), 15 full matches (6 bits each).
+        assert_eq!(enc.size_bits(), 34 + 15 * 6);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn pointer_run_uses_partial_matches() {
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0x4000_0000 + (i as u32) * 8;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        assert!(enc.size_bits() < 16 * 34);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn near_zero_words_use_zzzx() {
+        let line = CacheLine::from_u32_words([0x0000_0042; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 12);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn dictionary_is_fifo() {
+        // 17 distinct words overflow the 16-entry FIFO; the 18th word equals
+        // word 0, which must already be evicted, so it re-escapes as xxxx.
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0x1111_0000u32.wrapping_mul(i as u32 + 1) | 0x8000_0001;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn incompressible_line_roundtrips() {
+        let mut words = [0u32; 16];
+        let mut x = 0x1357_9bdfu32;
+        for w in words.iter_mut() {
+            x = x.wrapping_mul(0x0019_660d).wrapping_add(0x3c6e_f35f);
+            *w = x;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(words in proptest::array::uniform16(any::<u32>())) {
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+
+        #[test]
+        fn roundtrip_shared_upper_bytes(hi in any::<u16>(), los in proptest::array::uniform16(any::<u16>())) {
+            let mut words = [0u32; 16];
+            for i in 0..16 {
+                words[i] = ((hi as u32) << 16) | los[i] as u32;
+            }
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+    }
+}

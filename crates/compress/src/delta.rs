@@ -1,0 +1,478 @@
+//! The paper's dual-base delta compressor (§3.2, Fig. 4).
+//!
+//! A 64-byte line is viewed as eight 8-byte flits. Two base registers are
+//! used: the **first flit** (`BF0`) and the **zero flit**. Every flit is
+//! compared against both bases; the smaller difference wins and one
+//! base-select bit per flit records the choice. If all eight differences fit
+//! in the chosen delta width (1, 2 or 4 bytes), the packet payload shrinks
+//! from 8 flits to `1 BF + 8 Δ` (e.g. 18 bytes with 1-byte deltas — the
+//! `1BF+7ΔF` form of §4.1 plus the trivial zero delta of the base flit and a
+//! two-byte header).
+//!
+//! [`IncrementalDelta`] implements the *separate-flit* mode of §3.3-A used
+//! under wormhole flow control: flits of a packet may arrive in fragments,
+//! the base registers persist across fragments, and the offset bytes of each
+//! fragment are concatenated without zero bubbles so that the final merged
+//! encoding is bit-identical to whole-packet compression.
+
+use crate::line::{CacheLine, LINE_BYTES, WORDS64};
+use crate::scheme::{CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+/// Encoding modes stored in the first byte.
+const MODE_ZERO: u8 = 0;
+const MODE_D1: u8 = 1;
+const MODE_D2: u8 = 2;
+const MODE_D4: u8 = 3;
+const MODE_RAW: u8 = 0xff;
+
+/// The dual-base delta codec.
+///
+/// ```
+/// use disco_compress::{CacheLine, delta::DeltaCodec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = DeltaCodec::new();
+/// // Pointer-like values near a common base: 1-byte deltas suffice.
+/// let base = 0x7fff_aa00_1234_5600u64;
+/// let line = CacheLine::from_u64_words([
+///     base, base + 8, base + 16, base + 24, base + 32, base + 40, base + 48, base + 56,
+/// ]);
+/// let enc = codec.compress(&line);
+/// assert_eq!(enc.size_bytes(), 18); // mode + bitmap + 8B base + 8 deltas
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaCodec {
+    _private: (),
+}
+
+/// Widths tried by the compressor selection logic, smallest first.
+const DELTA_WIDTHS: [(u8, usize); 3] = [(MODE_D1, 1), (MODE_D2, 2), (MODE_D4, 4)];
+
+impl DeltaCodec {
+    /// Creates the codec with the paper's parameters (bases: first flit and
+    /// zero flit; delta widths 1/2/4 bytes).
+    pub fn new() -> Self {
+        DeltaCodec { _private: () }
+    }
+
+    /// Chooses, for one flit, the delta against whichever base yields a
+    /// value representable in `width` bytes. Returns `(select_zero_base,
+    /// delta)` or `None` if neither base works.
+    fn pick_delta(flit: u64, first_base: u64, width: usize) -> Option<(bool, i64)> {
+        let bits = width as u32 * 8;
+        let d_first = flit.wrapping_sub(first_base) as i64;
+        let d_zero = flit as i64;
+        let first_ok = crate::bitio::fits_signed(d_first, bits);
+        // The zero-base delta is the raw value; it only "fits" when the flit
+        // itself is a small signed number.
+        let zero_ok = width < 8 && crate::bitio::fits_signed(d_zero, bits)
+            || width == 8;
+        match (first_ok, zero_ok) {
+            (true, true) => {
+                if d_zero.unsigned_abs() < d_first.unsigned_abs() {
+                    Some((true, d_zero))
+                } else {
+                    Some((false, d_first))
+                }
+            }
+            (true, false) => Some((false, d_first)),
+            (false, true) => Some((true, d_zero)),
+            (false, false) => None,
+        }
+    }
+
+    /// Attempts to encode all flits with `width`-byte deltas.
+    fn try_width(flits: &[u64; WORDS64], width: usize) -> Option<(u8, Vec<i64>)> {
+        let mut bitmap = 0u8;
+        let mut deltas = Vec::with_capacity(WORDS64);
+        for (i, &flit) in flits.iter().enumerate() {
+            let (zero_base, delta) = Self::pick_delta(flit, flits[0], width)?;
+            if zero_base {
+                bitmap |= 1 << i;
+            }
+            deltas.push(delta);
+        }
+        Some((bitmap, deltas))
+    }
+}
+
+impl Compressor for DeltaCodec {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Delta
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        let flits = line.u64_words();
+        if line.is_zero() {
+            return CompressedLine::new(SchemeKind::Delta, vec![MODE_ZERO], 8);
+        }
+        for (mode, width) in DELTA_WIDTHS {
+            if let Some((bitmap, deltas)) = Self::try_width(&flits, width) {
+                let mut data = Vec::with_capacity(2 + 8 + WORDS64 * width);
+                data.push(mode);
+                data.push(bitmap);
+                data.extend_from_slice(&flits[0].to_le_bytes());
+                for d in deltas {
+                    data.extend_from_slice(&d.to_le_bytes()[..width]);
+                }
+                let bits = data.len() * 8;
+                return CompressedLine::new(SchemeKind::Delta, data, bits);
+            }
+        }
+        let mut data = Vec::with_capacity(1 + LINE_BYTES);
+        data.push(MODE_RAW);
+        data.extend_from_slice(line.as_bytes());
+        let bits = data.len() * 8;
+        CompressedLine::new(SchemeKind::Delta, data, bits)
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        if compressed.scheme() != SchemeKind::Delta {
+            return Err(DecompressError::SchemeMismatch {
+                expected: SchemeKind::Delta,
+                found: compressed.scheme(),
+            });
+        }
+        let data = compressed.data();
+        let &mode = data.first().ok_or(DecompressError::Truncated)?;
+        match mode {
+            MODE_ZERO => Ok(CacheLine::zeroed()),
+            MODE_RAW => {
+                let bytes: [u8; LINE_BYTES] = data
+                    .get(1..1 + LINE_BYTES)
+                    .ok_or(DecompressError::Truncated)?
+                    .try_into()
+                    .expect("length checked");
+                Ok(CacheLine::from_bytes(bytes))
+            }
+            MODE_D1 | MODE_D2 | MODE_D4 => {
+                let width = match mode {
+                    MODE_D1 => 1,
+                    MODE_D2 => 2,
+                    _ => 4,
+                };
+                let bitmap = *data.get(1).ok_or(DecompressError::Truncated)?;
+                let base_bytes: [u8; 8] = data
+                    .get(2..10)
+                    .ok_or(DecompressError::Truncated)?
+                    .try_into()
+                    .expect("length checked");
+                let first_base = u64::from_le_bytes(base_bytes);
+                let mut flits = [0u64; WORDS64];
+                for (i, flit) in flits.iter_mut().enumerate() {
+                    let start = 10 + i * width;
+                    let raw = data
+                        .get(start..start + width)
+                        .ok_or(DecompressError::Truncated)?;
+                    let mut delta = 0i64;
+                    for (j, &b) in raw.iter().enumerate() {
+                        delta |= (b as i64) << (8 * j);
+                    }
+                    delta = crate::bitio::sign_extend(delta as u64, width as u32 * 8);
+                    let base = if bitmap & (1 << i) != 0 { 0 } else { first_base };
+                    *flit = base.wrapping_add(delta as u64);
+                }
+                Ok(CacheLine::from_u64_words(flits))
+            }
+            _ => Err(DecompressError::Invalid("unknown delta mode byte")),
+        }
+    }
+
+    /// Table 2: "1 cycle compression" for the delta-based DISCO unit.
+    fn compression_latency(&self) -> u64 {
+        1
+    }
+
+    /// Table 2: "3-cycle decompression".
+    fn decompression_latency(&self, _compressed: &CompressedLine) -> u64 {
+        3
+    }
+}
+
+/// Separate-flit (fragment-wise) delta compression for wormhole flow control
+/// (§3.3-A).
+///
+/// Flits of one packet may arrive at a router in fragments. The incremental
+/// compressor keeps the base registers (`BF0` and zero) across fragments,
+/// compresses each fragment as it arrives, and concatenates the offset bytes
+/// of consecutive fragments so that no zero bubbles remain. Once every flit
+/// has arrived, [`finish`](IncrementalDelta::finish) yields an encoding
+/// bit-identical to whole-packet [`DeltaCodec::compress`].
+///
+/// ```
+/// use disco_compress::{CacheLine, delta::{DeltaCodec, IncrementalDelta}, scheme::Compressor};
+///
+/// let line = CacheLine::from_u64_words([50, 51, 52, 53, 54, 55, 56, 57]);
+/// let flits = line.u64_words();
+/// let mut inc = IncrementalDelta::new();
+/// inc.push_flits(&flits[..2]); // first fragment (flit-0 and flit-1)
+/// inc.push_flits(&flits[2..]); // remainder
+/// let merged = inc.finish();
+/// assert_eq!(merged, DeltaCodec::new().compress(&line));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalDelta {
+    flits: Vec<u64>,
+    fragment_sizes: Vec<usize>,
+}
+
+impl IncrementalDelta {
+    /// Creates an empty incremental compressor (base registers unset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of flits received so far.
+    pub fn flits_seen(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// True once all eight flits of the line have arrived.
+    pub fn is_complete(&self) -> bool {
+        self.flits.len() == WORDS64
+    }
+
+    /// Feeds the next fragment of flits, in packet order.
+    ///
+    /// Returns the compressed size in bytes *after* this fragment, i.e. the
+    /// buffer space the partially compressed packet occupies, including the
+    /// trailing-bubble padding that separate compression cannot avoid until
+    /// the merge tag concatenates the next fragment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than eight flits total are pushed.
+    pub fn push_flits(&mut self, fragment: &[u64]) -> usize {
+        assert!(
+            self.flits.len() + fragment.len() <= WORDS64,
+            "a cache line has exactly {WORDS64} flits"
+        );
+        self.flits.extend_from_slice(fragment);
+        let size = self.partial_size_bytes();
+        self.fragment_sizes.push(size);
+        size
+    }
+
+    /// Compressed size of the flits seen so far, using the widest delta
+    /// required by any of them (the base registers hold `BF0` and zero for
+    /// the remaining flits of the packet, so the chosen width is
+    /// monotonically non-decreasing across fragments).
+    fn partial_size_bytes(&self) -> usize {
+        if self.flits.is_empty() {
+            return 0;
+        }
+        let first = self.flits[0];
+        if self.flits.iter().all(|&f| f == 0) {
+            return 1;
+        }
+        for (_, width) in DELTA_WIDTHS {
+            let all_fit = self
+                .flits
+                .iter()
+                .all(|&f| DeltaCodec::pick_delta(f, first, width).is_some());
+            if all_fit {
+                return 2 + 8 + self.flits.len() * width;
+            }
+        }
+        1 + self.flits.len() * 8
+    }
+
+    /// Sizes recorded after each fragment, for occupancy accounting.
+    pub fn fragment_sizes(&self) -> &[usize] {
+        &self.fragment_sizes
+    }
+
+    /// Merges all fragments into the final encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly eight flits were pushed; the router must only
+    /// call this once the tail flit has arrived.
+    pub fn finish(self) -> CompressedLine {
+        assert!(self.is_complete(), "cannot finish before all flits arrive");
+        let mut flits = [0u64; WORDS64];
+        flits.copy_from_slice(&self.flits);
+        DeltaCodec::new().compress(&CacheLine::from_u64_words(flits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> DeltaCodec {
+        DeltaCodec::new()
+    }
+
+    #[test]
+    fn zero_line_is_one_byte() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(enc.size_bytes(), 1);
+        assert_eq!(codec().decompress(&enc).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn small_values_use_zero_base() {
+        // All flits are small numbers: zero base gives 1-byte deltas even
+        // though the first flit (base) is unrelated to the rest.
+        let line = CacheLine::from_u64_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bytes(), 18);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn pointer_run_uses_first_base() {
+        let b = 0xdead_beef_0000_0000u64;
+        let line = CacheLine::from_u64_words([b, b + 1, b + 2, b + 3, b + 4, b + 5, b + 6, b + 7]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bytes(), 18);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn mixed_bases_within_one_line() {
+        // Half pointers near BF0, half small integers near zero.
+        let b = 0x55aa_0000_1122_3344u64;
+        let line = CacheLine::from_u64_words([b, 5, b + 100, 0, b - 7, 9, b + 1, 127]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bytes(), 18);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn wider_deltas_escalate() {
+        let b = 1u64 << 40;
+        let line =
+            CacheLine::from_u64_words([b, b + 300, b + 500, b, b + 1000, b, b + 2, b + 30000]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bytes(), 2 + 8 + 8 * 2);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn random_line_falls_back_to_raw() {
+        let mut bytes = [0u8; LINE_BYTES];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for b in bytes.iter_mut() {
+            // xorshift for an incompressible pattern
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        let enc = codec().compress(&line);
+        assert!(!enc.is_compressed());
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn latencies_match_table2() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(codec().compression_latency(), 1);
+        assert_eq!(codec().decompression_latency(&enc), 3);
+    }
+
+    #[test]
+    fn scheme_mismatch_detected() {
+        let enc = CompressedLine::new(SchemeKind::Fpc, vec![0], 8);
+        assert!(matches!(
+            codec().decompress(&enc),
+            Err(DecompressError::SchemeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_encoding_errors() {
+        let line = CacheLine::from_u64_words([9, 9, 9, 9, 9, 9, 9, 9]);
+        let enc = codec().compress(&line);
+        let cut = CompressedLine::new(SchemeKind::Delta, enc.data()[..5].to_vec(), 40);
+        assert_eq!(codec().decompress(&cut), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn incremental_matches_batch_for_every_split() {
+        let b = 0xaaaa_bbbb_0000_0000u64;
+        let line = CacheLine::from_u64_words([b, b + 4, 7, b + 12, 0, b + 20, 3, b + 28]);
+        let flits = line.u64_words();
+        let batch = codec().compress(&line);
+        for split in 1..WORDS64 {
+            let mut inc = IncrementalDelta::new();
+            inc.push_flits(&flits[..split]);
+            inc.push_flits(&flits[split..]);
+            assert_eq!(inc.finish(), batch, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_partial_sizes_are_monotonic() {
+        let line = CacheLine::from_u64_words([100, 101, 102, 103, 104, 105, 106, 107]);
+        let flits = line.u64_words();
+        let mut inc = IncrementalDelta::new();
+        let mut last = 0;
+        for &f in &flits {
+            let s = inc.push_flits(&[f]);
+            assert!(s >= last, "partial size shrank");
+            last = s;
+        }
+        assert!(inc.is_complete());
+        assert_eq!(inc.fragment_sizes().len(), WORDS64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn incremental_rejects_overflow() {
+        let mut inc = IncrementalDelta::new();
+        inc.push_flits(&[0; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot finish")]
+    fn incremental_finish_requires_all_flits() {
+        let mut inc = IncrementalDelta::new();
+        inc.push_flits(&[1, 2, 3]);
+        let _ = inc.finish();
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_lines(bytes in proptest::array::uniform32(any::<u8>())) {
+            // Tile the 32 random bytes to fill a line; covers raw fallback.
+            let mut full = [0u8; LINE_BYTES];
+            for (i, b) in full.iter_mut().enumerate() {
+                *b = bytes[i % 32];
+            }
+            let line = CacheLine::from_bytes(full);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+
+        #[test]
+        fn roundtrip_near_base_lines(base in any::<u64>(), deltas in proptest::array::uniform8(-200i64..200)) {
+            let mut flits = [0u64; WORDS64];
+            for i in 0..WORDS64 {
+                flits[i] = base.wrapping_add(deltas[i] as u64);
+            }
+            flits[0] = base;
+            let line = CacheLine::from_u64_words(flits);
+            let enc = codec().compress(&line);
+            prop_assert!(enc.size_bytes() <= 2 + 8 + 8 * 2);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+
+        #[test]
+        fn incremental_equals_batch(flits in proptest::array::uniform8(any::<u64>()), split in 1usize..8) {
+            let line = CacheLine::from_u64_words(flits);
+            let mut inc = IncrementalDelta::new();
+            inc.push_flits(&flits[..split]);
+            inc.push_flits(&flits[split..]);
+            prop_assert_eq!(inc.finish(), codec().compress(&line));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Frequent Pattern Compression (Alameldeen & Wood, ISCA'04).
+//!
+//! Each 32-bit word is encoded with a 3-bit prefix selecting one of seven
+//! frequent patterns (plus an uncompressed escape). Runs of up to eight
+//! consecutive zero words share a single prefix + 3-bit run length, which is
+//! where FPC gets most of its ratio on sparse data.
+
+use crate::bitio::{fits_signed, sign_extend, BitReader, BitWriter};
+use crate::line::{CacheLine, WORDS32};
+use crate::scheme::{CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+/// 3-bit prefixes, following the original FPC pattern table.
+const P_ZERO_RUN: u64 = 0b000;
+const P_SE4: u64 = 0b001;
+const P_SE8: u64 = 0b010;
+const P_SE16: u64 = 0b011;
+const P_HALF_PADDED: u64 = 0b100;
+const P_TWO_HALF_SE8: u64 = 0b101;
+const P_REPEATED_BYTE: u64 = 0b110;
+const P_UNCOMPRESSED: u64 = 0b111;
+
+/// Frequent Pattern Compression codec.
+///
+/// ```
+/// use disco_compress::{CacheLine, fpc::FpcCodec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = FpcCodec::new();
+/// // Small sign-extended integers compress to ~1/4 of the line.
+/// let line = CacheLine::from_u32_words([3; 16]);
+/// let enc = codec.compress(&line);
+/// assert!(enc.size_bytes() < 16);
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FpcCodec {
+    _private: (),
+}
+
+impl FpcCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        FpcCodec { _private: () }
+    }
+
+    fn encode_word(w: &mut BitWriter, word: u32) {
+        let sword = word as i32 as i64;
+        if fits_signed(sword, 4) {
+            w.write_bits(P_SE4, 3);
+            w.write_bits(word as u64 & 0xf, 4);
+        } else if fits_signed(sword, 8) {
+            w.write_bits(P_SE8, 3);
+            w.write_bits(word as u64 & 0xff, 8);
+        } else if fits_signed(sword, 16) {
+            w.write_bits(P_SE16, 3);
+            w.write_bits(word as u64 & 0xffff, 16);
+        } else if word & 0xffff == 0 {
+            // Halfword of data padded with a zero halfword.
+            w.write_bits(P_HALF_PADDED, 3);
+            w.write_bits((word >> 16) as u64, 16);
+        } else if fits_signed((word & 0xffff) as i16 as i64, 8)
+            && fits_signed((word >> 16) as i16 as i64, 8)
+        {
+            // Two halfwords, each representable as a sign-extended byte.
+            w.write_bits(P_TWO_HALF_SE8, 3);
+            w.write_bits((word >> 16) as u64 & 0xff, 8);
+            w.write_bits(word as u64 & 0xff, 8);
+        } else {
+            let bytes = word.to_le_bytes();
+            if bytes.iter().all(|&b| b == bytes[0]) {
+                w.write_bits(P_REPEATED_BYTE, 3);
+                w.write_bits(bytes[0] as u64, 8);
+            } else {
+                w.write_bits(P_UNCOMPRESSED, 3);
+                w.write_bits(word as u64, 32);
+            }
+        }
+    }
+
+    fn decode_word(r: &mut BitReader<'_>, prefix: u64) -> Result<u32, DecompressError> {
+        Ok(match prefix {
+            P_SE4 => sign_extend(r.read_bits(4)?, 4) as u32,
+            P_SE8 => sign_extend(r.read_bits(8)?, 8) as u32,
+            P_SE16 => sign_extend(r.read_bits(16)?, 16) as u32,
+            P_HALF_PADDED => (r.read_bits(16)? as u32) << 16,
+            P_TWO_HALF_SE8 => {
+                let hi = sign_extend(r.read_bits(8)?, 8) as u32 & 0xffff;
+                let lo = sign_extend(r.read_bits(8)?, 8) as u32 & 0xffff;
+                (hi << 16) | lo
+            }
+            P_REPEATED_BYTE => {
+                let b = r.read_bits(8)? as u32;
+                b | (b << 8) | (b << 16) | (b << 24)
+            }
+            P_UNCOMPRESSED => r.read_bits(32)? as u32,
+            _ => return Err(DecompressError::Invalid("bad FPC prefix")),
+        })
+    }
+}
+
+impl Compressor for FpcCodec {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Fpc
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        let words = line.u32_words();
+        let mut w = BitWriter::new();
+        let mut i = 0;
+        while i < WORDS32 {
+            if words[i] == 0 {
+                let mut run = 1;
+                while i + run < WORDS32 && words[i + run] == 0 && run < 8 {
+                    run += 1;
+                }
+                w.write_bits(P_ZERO_RUN, 3);
+                w.write_bits(run as u64 - 1, 3);
+                i += run;
+            } else {
+                Self::encode_word(&mut w, words[i]);
+                i += 1;
+            }
+        }
+        let (data, bits) = w.finish();
+        CompressedLine::new(SchemeKind::Fpc, data, bits)
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        if compressed.scheme() != SchemeKind::Fpc {
+            return Err(DecompressError::SchemeMismatch {
+                expected: SchemeKind::Fpc,
+                found: compressed.scheme(),
+            });
+        }
+        let mut r = BitReader::new(compressed.data(), compressed.size_bits());
+        let mut words = [0u32; WORDS32];
+        let mut i = 0;
+        while i < WORDS32 {
+            let prefix = r.read_bits(3)?;
+            if prefix == P_ZERO_RUN {
+                let run = r.read_bits(3)? as usize + 1;
+                if i + run > WORDS32 {
+                    return Err(DecompressError::Invalid("zero run overflows line"));
+                }
+                i += run; // words already zero
+            } else {
+                words[i] = Self::decode_word(&mut r, prefix)?;
+                i += 1;
+            }
+        }
+        Ok(CacheLine::from_u32_words(words))
+    }
+
+    /// FPC compresses a line in parallel pattern matchers; we charge 3
+    /// cycles (Table 1 leaves the entry blank; the original paper pipelines
+    /// compression off the critical path).
+    fn compression_latency(&self) -> u64 {
+        3
+    }
+
+    /// Table 1: 5-cycle decompression.
+    fn decompression_latency(&self, _compressed: &CompressedLine) -> u64 {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> FpcCodec {
+        FpcCodec::new()
+    }
+
+    #[test]
+    fn zero_line_uses_runs() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        // 16 zero words = two runs of 8 = 2 * 6 bits = 12 bits = 2 bytes.
+        assert_eq!(enc.size_bits(), 12);
+        assert_eq!(codec().decompress(&enc).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn small_ints_compress_4x() {
+        let line = CacheLine::from_u32_words([7; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 7); // 3+4 bits per word
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn negative_small_ints_sign_extend() {
+        let line = CacheLine::from_u32_words([(-3i32) as u32; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 7);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn halfword_padded_pattern() {
+        let line = CacheLine::from_u32_words([0x1234_0000; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 19);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn two_halfwords_pattern() {
+        let line = CacheLine::from_u32_words([0x0011_0022; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 19);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn repeated_byte_pattern() {
+        let line = CacheLine::from_u32_words([0xabab_abab; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 11);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn incompressible_line_escapes() {
+        let mut words = [0u32; 16];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0x9e37_79b9u32.wrapping_mul(i as u32 + 1) | 0x0101_0101;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+        // escape costs 3 extra bits per word, so up to 70 bytes, clamped to 64
+        assert!(enc.size_bytes() <= 64);
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(codec().decompression_latency(&enc), 5);
+    }
+
+    #[test]
+    fn zero_run_limited_to_eight() {
+        // 9 zero words then data: must emit run(8) + run(1).
+        let mut words = [0u32; 16];
+        for w in words.iter_mut().skip(9) {
+            *w = 0xdead_beef;
+        }
+        let line = CacheLine::from_u32_words(words);
+        let enc = codec().compress(&line);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(words in proptest::array::uniform16(any::<u32>())) {
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+
+        #[test]
+        fn roundtrip_sparse(words in proptest::array::uniform16(prop_oneof![
+            Just(0u32),
+            (0u32..256),
+            any::<u32>(),
+        ])) {
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A best-of hybrid compressor: runs several codecs in parallel (as
+//! hardware would) and keeps the smallest encoding.
+//!
+//! DISCO "does not depend on a specific compression method" (§2) and the
+//! paper frames codec choice as a ratio/latency/area trade-off. A hybrid
+//! unit is the natural end point of that trade-off: each line is encoded
+//! with every candidate and the shortest wins. The output is
+//! self-describing (each [`CompressedLine`] carries its producing
+//! scheme), so decompression dispatches on the encoding itself and needs
+//! no side channel.
+
+use crate::line::CacheLine;
+use crate::scheme::{Codec, CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+/// A bank of candidate codecs with select-smallest logic.
+///
+/// ```
+/// use disco_compress::{hybrid::HybridCodec, CacheLine, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = HybridCodec::bdi_fpc();
+/// let line = CacheLine::from_u32_words([7; 16]);
+/// let enc = codec.compress(&line);
+/// assert!(enc.is_compressed());
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridCodec {
+    candidates: Vec<Codec>,
+}
+
+impl HybridCodec {
+    /// Builds a hybrid from explicit candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or contains duplicate schemes
+    /// (the per-scheme self-description would be ambiguous otherwise).
+    pub fn new(candidates: Vec<Codec>) -> Self {
+        assert!(!candidates.is_empty(), "hybrid needs at least one candidate");
+        let mut kinds: Vec<SchemeKind> = candidates.iter().map(|c| c.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), candidates.len(), "duplicate candidate schemes");
+        HybridCodec { candidates }
+    }
+
+    /// The classic pairing: BDI (fast, base-delta family) + FPC
+    /// (pattern family) — each covers the other's blind spots.
+    pub fn bdi_fpc() -> Self {
+        HybridCodec::new(vec![Codec::bdi(), Codec::fpc()])
+    }
+
+    /// The candidate codecs.
+    pub fn candidates(&self) -> &[Codec] {
+        &self.candidates
+    }
+
+    /// Encodes with every candidate and returns the smallest encoding
+    /// (ties go to the earlier candidate).
+    pub fn compress(&self, line: &CacheLine) -> CompressedLine {
+        self.candidates
+            .iter()
+            .map(|c| c.compress(line))
+            .min_by_key(CompressedLine::size_bits)
+            .expect("at least one candidate")
+    }
+
+    /// Decodes by dispatching on the scheme recorded in the encoding.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the encoding's scheme is not among the candidates, or if
+    /// the chosen codec rejects it.
+    pub fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        let codec = self
+            .candidates
+            .iter()
+            .find(|c| c.kind() == compressed.scheme())
+            .ok_or(DecompressError::Invalid("scheme not in hybrid candidate set"))?;
+        codec.decompress(compressed)
+    }
+
+    /// Compression latency: the candidates run in parallel, so the unit
+    /// is as slow as its slowest candidate plus one selection cycle.
+    pub fn compression_latency(&self) -> u64 {
+        1 + self
+            .candidates
+            .iter()
+            .map(|c| c.compression_latency())
+            .max()
+            .expect("at least one candidate")
+    }
+
+    /// Decompression latency of whichever codec produced the encoding.
+    pub fn decompression_latency(&self, compressed: &CompressedLine) -> u64 {
+        match self.candidates.iter().find(|c| c.kind() == compressed.scheme()) {
+            Some(c) => c.decompression_latency(compressed),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn picks_the_smaller_encoding_per_line() {
+        let hybrid = HybridCodec::bdi_fpc();
+        let bdi = Codec::bdi();
+        let fpc = Codec::fpc();
+        // Pointer run: BDI-friendly, FPC-hostile.
+        let b = 0x7f00_0000_0000_0000u64;
+        let pointers =
+            CacheLine::from_u64_words([b, b + 8, b + 16, b + 24, b + 32, b + 40, b + 48, b + 56]);
+        // Sparse small ints with zero runs: FPC-friendly.
+        let sparse = CacheLine::from_u32_words([0, 0, 0, 5, 0, 0, 0, 9, 0, 0, 0, 2, 0, 0, 0, 1]);
+        for line in [pointers, sparse] {
+            let h = hybrid.compress(&line);
+            let best = bdi.compress(&line).size_bits().min(fpc.compress(&line).size_bits());
+            assert_eq!(h.size_bits(), best);
+            assert_eq!(hybrid.decompress(&h).unwrap(), line);
+        }
+        // And the two lines must pick *different* winners.
+        assert_ne!(
+            hybrid.compress(&pointers).scheme(),
+            hybrid.compress(&sparse).scheme(),
+            "each line family should favour a different candidate"
+        );
+    }
+
+    #[test]
+    fn hybrid_never_loses_to_a_candidate() {
+        let hybrid = HybridCodec::bdi_fpc();
+        let model_line = CacheLine::from_u32_words([
+            0x1000, 0, 0x1008, 1, 0x1010, 2, 0x1018, 3, 0x1020, 0, 0x1028, 1, 0x1030, 2, 0x1038, 3,
+        ]);
+        let h = hybrid.compress(&model_line).size_bits();
+        for c in hybrid.candidates() {
+            assert!(h <= c.compress(&model_line).size_bits());
+        }
+    }
+
+    #[test]
+    fn latency_is_slowest_plus_select() {
+        let hybrid = HybridCodec::bdi_fpc();
+        // BDI compresses in 1, FPC in 3 → hybrid = 3 + 1 select.
+        assert_eq!(hybrid.compression_latency(), 4);
+    }
+
+    #[test]
+    fn foreign_encoding_rejected() {
+        let hybrid = HybridCodec::bdi_fpc();
+        let delta_enc = Codec::delta().compress(&CacheLine::zeroed());
+        assert!(matches!(
+            hybrid.decompress(&delta_enc),
+            Err(DecompressError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_candidates_rejected() {
+        let _ = HybridCodec::new(vec![Codec::bdi(), Codec::bdi()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_candidates_rejected() {
+        let _ = HybridCodec::new(Vec::new());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(words in proptest::array::uniform16(any::<u32>())) {
+            let hybrid = HybridCodec::new(vec![Codec::bdi(), Codec::fpc(), Codec::sfpc(), Codec::cpack()]);
+            let line = CacheLine::from_u32_words(words);
+            let enc = hybrid.compress(&line);
+            prop_assert_eq!(hybrid.decompress(&enc).unwrap(), line);
+        }
+    }
+}

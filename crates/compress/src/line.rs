@@ -1,0 +1,181 @@
+//! The 64-byte cache line all codecs operate on.
+
+use std::fmt;
+
+/// Size of a cache line in bytes (Table 2: 64 B lines).
+pub const LINE_BYTES: usize = 64;
+/// Number of 32-bit words in a line.
+pub const WORDS32: usize = LINE_BYTES / 4;
+/// Number of 64-bit words (= 8-byte flits) in a line.
+pub const WORDS64: usize = LINE_BYTES / 8;
+
+/// A 64-byte cache line.
+///
+/// The DISCO router views a line as eight 8-byte *flits* (64-bit links,
+/// paper §4.3); word-granular codecs such as FPC and C-Pack view it as
+/// sixteen 32-bit words. Both views are exposed here.
+///
+/// ```
+/// use disco_compress::CacheLine;
+///
+/// let line = CacheLine::from_u32_words([7; 16]);
+/// assert_eq!(line.u32_words()[3], 7);
+/// assert_eq!(line.u64_words()[0], 0x0000_0007_0000_0007);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheLine {
+    bytes: [u8; LINE_BYTES],
+}
+
+impl CacheLine {
+    /// A line of all zero bytes.
+    pub fn zeroed() -> Self {
+        CacheLine { bytes: [0; LINE_BYTES] }
+    }
+
+    /// Builds a line from raw bytes.
+    pub fn from_bytes(bytes: [u8; LINE_BYTES]) -> Self {
+        CacheLine { bytes }
+    }
+
+    /// Builds a line from sixteen little-endian 32-bit words.
+    pub fn from_u32_words(words: [u32; WORDS32]) -> Self {
+        let mut bytes = [0u8; LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Builds a line from eight little-endian 64-bit words (one per flit).
+    pub fn from_u64_words(words: [u64; WORDS64]) -> Self {
+        let mut bytes = [0u8; LINE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8; LINE_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; LINE_BYTES] {
+        &mut self.bytes
+    }
+
+    /// The line as sixteen little-endian 32-bit words.
+    pub fn u32_words(&self) -> [u32; WORDS32] {
+        let mut words = [0u32; WORDS32];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(self.bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        words
+    }
+
+    /// The line as eight little-endian 64-bit words (8-byte flits).
+    pub fn u64_words(&self) -> [u64; WORDS64] {
+        let mut words = [0u64; WORDS64];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(self.bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        words
+    }
+
+    /// True if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl From<[u8; LINE_BYTES]> for CacheLine {
+    fn from(bytes: [u8; LINE_BYTES]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for CacheLine {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CacheLine[")?;
+        for (i, w) in self.u64_words().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero() {
+        assert!(CacheLine::zeroed().is_zero());
+        assert_eq!(CacheLine::default(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut words = [0u32; WORDS32];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (i as u32) * 0x0101_0101;
+        }
+        let line = CacheLine::from_u32_words(words);
+        assert_eq!(line.u32_words(), words);
+        assert!(!line.is_zero());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let words = [0x0123_4567_89ab_cdefu64; WORDS64];
+        let line = CacheLine::from_u64_words(words);
+        assert_eq!(line.u64_words(), words);
+    }
+
+    #[test]
+    fn u32_and_u64_views_agree() {
+        let mut bytes = [0u8; LINE_BYTES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        let w32 = line.u32_words();
+        let w64 = line.u64_words();
+        for i in 0..WORDS64 {
+            let lo = w32[2 * i] as u64;
+            let hi = w32[2 * i + 1] as u64;
+            assert_eq!(w64[i], lo | (hi << 32));
+        }
+    }
+
+    #[test]
+    fn debug_shows_words() {
+        let line = CacheLine::from_u64_words([1, 0, 0, 0, 0, 0, 0, 0]);
+        let s = format!("{line:?}");
+        assert!(s.starts_with("CacheLine["));
+        assert!(s.contains("0000000000000001"));
+    }
+}

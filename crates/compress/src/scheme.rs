@@ -1,0 +1,416 @@
+//! The [`Compressor`] abstraction shared by all codecs, and the [`Codec`]
+//! enum the simulator configures.
+//!
+//! DISCO "does not depend on a specific compression method" (§2); the
+//! system simulator is generic over anything implementing [`Compressor`],
+//! and every placement (CC, CNC, DISCO) uses the same codec for a fair
+//! comparison, exactly as §4.1 prescribes.
+
+use crate::bdi::BdiCodec;
+use crate::cpack::CPackCodec;
+use crate::delta::DeltaCodec;
+use crate::fpc::FpcCodec;
+use crate::line::{CacheLine, LINE_BYTES};
+use crate::sc2::Sc2Codec;
+use crate::sfpc::SfpcCodec;
+use crate::DecompressError;
+use std::fmt;
+
+/// Identifies a compression scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemeKind {
+    /// The paper's dual-base delta compressor (§3.2, Fig. 4).
+    Delta,
+    /// Frequent Pattern Compression.
+    Fpc,
+    /// Simplified FPC (2-bit prefixes).
+    Sfpc,
+    /// Base-Delta-Immediate.
+    Bdi,
+    /// Statistical (Huffman) compression.
+    Sc2,
+    /// C-Pack pattern + dictionary compression.
+    CPack,
+}
+
+impl SchemeKind {
+    /// All schemes, in Table 1 order (plus Delta first, as it is the
+    /// paper's reference configuration).
+    pub const ALL: [SchemeKind; 6] = [
+        SchemeKind::Delta,
+        SchemeKind::Fpc,
+        SchemeKind::Sfpc,
+        SchemeKind::Bdi,
+        SchemeKind::Sc2,
+        SchemeKind::CPack,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Delta => "Delta",
+            SchemeKind::Fpc => "FPC",
+            SchemeKind::Sfpc => "SFPC",
+            SchemeKind::Bdi => "BDI",
+            SchemeKind::Sc2 => "SC2",
+            SchemeKind::CPack => "C-Pack",
+        }
+    }
+
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A compressed cache line: the scheme that produced it, the encoded
+/// payload, and the exact bit length.
+///
+/// `size_bytes()` is what the NoC and cache layers consume: the router
+/// packs `ceil(size_bytes / 8)` body flits, and the compressed cache
+/// allocates `ceil(size_bytes / segment)` data segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedLine {
+    scheme: SchemeKind,
+    data: Vec<u8>,
+    bits: usize,
+}
+
+impl CompressedLine {
+    /// Builds a compressed line from an encoded bitstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` exceeds the capacity of `data`.
+    pub fn new(scheme: SchemeKind, data: Vec<u8>, bits: usize) -> Self {
+        assert!(bits <= data.len() * 8, "bit length exceeds buffer");
+        CompressedLine { scheme, data, bits }
+    }
+
+    /// The scheme that produced this encoding.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Encoded payload bytes (the final byte may be partially used).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Exact encoded length in bits.
+    pub fn size_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Encoded length rounded up to whole bytes, clamped to the
+    /// uncompressed line size (a codec never does worse than storing the
+    /// raw line plus its 1-byte "uncompressed" tag, which hardware holds in
+    /// the existing header).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.div_ceil(8).min(LINE_BYTES)
+    }
+
+    /// True if the encoding is strictly smaller than a raw line.
+    pub fn is_compressed(&self) -> bool {
+        self.size_bytes() < LINE_BYTES
+    }
+
+    /// Compression ratio `64 / size_bytes` (≥ 1.0 by construction).
+    pub fn ratio(&self) -> f64 {
+        LINE_BYTES as f64 / self.size_bytes().max(1) as f64
+    }
+}
+
+/// A cache-line compressor with a hardware cost model.
+///
+/// Implementations must satisfy the round-trip law
+/// `decompress(compress(line)) == line` for every line; the property tests
+/// in each codec module enforce it.
+pub trait Compressor {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Encodes a line. Infallible: every codec has an "uncompressed"
+    /// fallback encoding.
+    fn compress(&self, line: &CacheLine) -> CompressedLine;
+
+    /// Decodes an encoding produced by [`compress`](Compressor::compress).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the encoding is corrupted, truncated, or belongs to a
+    /// different scheme.
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError>;
+
+    /// Compression latency in cycles (Table 1).
+    fn compression_latency(&self) -> u64;
+
+    /// Decompression latency in cycles for a given encoding (Table 1; some
+    /// schemes are size-dependent, e.g. BDI's "1~5 cycles").
+    fn decompression_latency(&self, compressed: &CompressedLine) -> u64;
+}
+
+/// A concrete codec selected at configuration time.
+///
+/// This is the type the full-system simulator stores: a closed enum rather
+/// than a trait object so configurations stay `Clone + Send` and
+/// comparisons across placements trivially share one codec instance.
+///
+/// ```
+/// use disco_compress::{CacheLine, Codec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// for codec in [Codec::delta(), Codec::fpc(), Codec::bdi()] {
+///     let line = CacheLine::zeroed();
+///     let enc = codec.compress(&line);
+///     assert!(enc.is_compressed());
+///     assert_eq!(codec.decompress(&enc)?, line);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub enum Codec {
+    /// Dual-base delta (the paper's reference codec).
+    Delta(DeltaCodec),
+    /// Frequent Pattern Compression.
+    Fpc(FpcCodec),
+    /// Simplified FPC.
+    Sfpc(SfpcCodec),
+    /// Base-Delta-Immediate.
+    Bdi(BdiCodec),
+    /// Statistical Huffman compression.
+    Sc2(Sc2Codec),
+    /// C-Pack.
+    CPack(CPackCodec),
+}
+
+impl Codec {
+    /// The paper's delta codec with default parameters.
+    pub fn delta() -> Self {
+        Codec::Delta(DeltaCodec::new())
+    }
+
+    /// FPC with default parameters.
+    pub fn fpc() -> Self {
+        Codec::Fpc(FpcCodec::new())
+    }
+
+    /// Simplified FPC.
+    pub fn sfpc() -> Self {
+        Codec::Sfpc(SfpcCodec::new())
+    }
+
+    /// BDI with all encodings enabled.
+    pub fn bdi() -> Self {
+        Codec::Bdi(BdiCodec::new())
+    }
+
+    /// SC² with its built-in default Huffman table.
+    pub fn sc2() -> Self {
+        Codec::Sc2(Sc2Codec::new())
+    }
+
+    /// C-Pack with a 16-entry dictionary.
+    pub fn cpack() -> Self {
+        Codec::CPack(CPackCodec::new())
+    }
+
+    /// Constructs the default codec for a scheme.
+    pub fn from_kind(kind: SchemeKind) -> Self {
+        match kind {
+            SchemeKind::Delta => Codec::delta(),
+            SchemeKind::Fpc => Codec::fpc(),
+            SchemeKind::Sfpc => Codec::sfpc(),
+            SchemeKind::Bdi => Codec::bdi(),
+            SchemeKind::Sc2 => Codec::sc2(),
+            SchemeKind::CPack => Codec::cpack(),
+        }
+    }
+}
+
+impl Compressor for Codec {
+    fn kind(&self) -> SchemeKind {
+        match self {
+            Codec::Delta(c) => c.kind(),
+            Codec::Fpc(c) => c.kind(),
+            Codec::Sfpc(c) => c.kind(),
+            Codec::Bdi(c) => c.kind(),
+            Codec::Sc2(c) => c.kind(),
+            Codec::CPack(c) => c.kind(),
+        }
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        match self {
+            Codec::Delta(c) => c.compress(line),
+            Codec::Fpc(c) => c.compress(line),
+            Codec::Sfpc(c) => c.compress(line),
+            Codec::Bdi(c) => c.compress(line),
+            Codec::Sc2(c) => c.compress(line),
+            Codec::CPack(c) => c.compress(line),
+        }
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        match self {
+            Codec::Delta(c) => c.decompress(compressed),
+            Codec::Fpc(c) => c.decompress(compressed),
+            Codec::Sfpc(c) => c.decompress(compressed),
+            Codec::Bdi(c) => c.decompress(compressed),
+            Codec::Sc2(c) => c.decompress(compressed),
+            Codec::CPack(c) => c.decompress(compressed),
+        }
+    }
+
+    fn compression_latency(&self) -> u64 {
+        match self {
+            Codec::Delta(c) => c.compression_latency(),
+            Codec::Fpc(c) => c.compression_latency(),
+            Codec::Sfpc(c) => c.compression_latency(),
+            Codec::Bdi(c) => c.compression_latency(),
+            Codec::Sc2(c) => c.compression_latency(),
+            Codec::CPack(c) => c.compression_latency(),
+        }
+    }
+
+    fn decompression_latency(&self, compressed: &CompressedLine) -> u64 {
+        match self {
+            Codec::Delta(c) => c.decompression_latency(compressed),
+            Codec::Fpc(c) => c.decompression_latency(compressed),
+            Codec::Sfpc(c) => c.decompression_latency(compressed),
+            Codec::Bdi(c) => c.decompression_latency(compressed),
+            Codec::Sc2(c) => c.decompression_latency(compressed),
+            Codec::CPack(c) => c.decompression_latency(compressed),
+        }
+    }
+}
+
+/// Running compression statistics (lines seen, bytes in/out, ratio).
+///
+/// ```
+/// use disco_compress::{CacheLine, Codec, CompressionStats, scheme::Compressor};
+///
+/// let codec = Codec::delta();
+/// let mut stats = CompressionStats::new();
+/// stats.record(&codec.compress(&CacheLine::zeroed()));
+/// assert!(stats.mean_ratio() > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompressionStats {
+    lines: u64,
+    raw_bytes: u64,
+    compressed_bytes: u64,
+    compressed_lines: u64,
+}
+
+impl CompressionStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one encoded line.
+    pub fn record(&mut self, compressed: &CompressedLine) {
+        self.lines += 1;
+        self.raw_bytes += LINE_BYTES as u64;
+        self.compressed_bytes += compressed.size_bytes() as u64;
+        if compressed.is_compressed() {
+            self.compressed_lines += 1;
+        }
+    }
+
+    /// Number of lines recorded.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Aggregate compression ratio (raw / compressed bytes).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Fraction of lines that actually shrank.
+    pub fn coverage(&self) -> f64 {
+        if self.lines == 0 {
+            return 0.0;
+        }
+        self.compressed_lines as f64 / self.lines as f64
+    }
+
+    /// Total compressed output bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SchemeKind::Delta.name(), "Delta");
+        assert_eq!(SchemeKind::Sc2.name(), "SC2");
+        assert_eq!(format!("{}", SchemeKind::CPack), "C-Pack");
+    }
+
+    #[test]
+    fn all_kinds_build_default_codecs() {
+        for kind in SchemeKind::ALL {
+            let codec = Codec::from_kind(kind);
+            assert_eq!(codec.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn compressed_line_size_rounds_up() {
+        let c = CompressedLine::new(SchemeKind::Delta, vec![0; 3], 17);
+        assert_eq!(c.size_bits(), 17);
+        assert_eq!(c.size_bytes(), 3);
+        assert!(c.is_compressed());
+    }
+
+    #[test]
+    fn compressed_line_clamps_to_line_size() {
+        let c = CompressedLine::new(SchemeKind::Fpc, vec![0; 80], 80 * 8);
+        assert_eq!(c.size_bytes(), LINE_BYTES);
+        assert!(!c.is_compressed());
+        assert!((c.ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit length exceeds buffer")]
+    fn compressed_line_validates_bits() {
+        let _ = CompressedLine::new(SchemeKind::Delta, vec![0; 1], 9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut stats = CompressionStats::new();
+        stats.record(&CompressedLine::new(SchemeKind::Delta, vec![0; 16], 128));
+        stats.record(&CompressedLine::new(SchemeKind::Delta, vec![0; 64], 512));
+        assert_eq!(stats.lines(), 2);
+        assert!((stats.mean_ratio() - 128.0 / 80.0).abs() < 1e-12);
+        assert!((stats.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let stats = CompressionStats::new();
+        assert_eq!(stats.mean_ratio(), 1.0);
+        assert_eq!(stats.coverage(), 0.0);
+    }
+
+    #[test]
+    fn codec_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Codec>();
+        assert_send_sync::<CompressedLine>();
+    }
+}

@@ -1,0 +1,166 @@
+//! Simplified Frequent Pattern Compression ("SFPC", Table 1).
+//!
+//! A cut-down FPC using 2-bit prefixes and only the three cheapest
+//! patterns. The shallower prefix decode shaves one cycle off FPC's
+//! decompression latency (4 vs 5, Table 1) at the cost of compression
+//! ratio (1.33 vs 1.5).
+
+use crate::bitio::{fits_signed, sign_extend, BitReader, BitWriter};
+use crate::line::{CacheLine, WORDS32};
+use crate::scheme::{CompressedLine, Compressor, SchemeKind};
+use crate::DecompressError;
+
+const P_ZERO: u64 = 0b00;
+const P_SE8: u64 = 0b01;
+const P_REPEATED_BYTE: u64 = 0b10;
+const P_UNCOMPRESSED: u64 = 0b11;
+
+/// Simplified FPC codec.
+///
+/// ```
+/// use disco_compress::{CacheLine, sfpc::SfpcCodec, scheme::Compressor};
+///
+/// # fn main() -> Result<(), disco_compress::DecompressError> {
+/// let codec = SfpcCodec::new();
+/// let line = CacheLine::zeroed();
+/// let enc = codec.compress(&line);
+/// assert_eq!(enc.size_bits(), 16 * 2); // one 2-bit prefix per zero word
+/// assert_eq!(codec.decompress(&enc)?, line);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SfpcCodec {
+    _private: (),
+}
+
+impl SfpcCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        SfpcCodec { _private: () }
+    }
+}
+
+impl Compressor for SfpcCodec {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Sfpc
+    }
+
+    fn compress(&self, line: &CacheLine) -> CompressedLine {
+        let mut w = BitWriter::new();
+        for word in line.u32_words() {
+            let bytes = word.to_le_bytes();
+            if word == 0 {
+                w.write_bits(P_ZERO, 2);
+            } else if fits_signed(word as i32 as i64, 8) {
+                w.write_bits(P_SE8, 2);
+                w.write_bits(word as u64 & 0xff, 8);
+            } else if bytes.iter().all(|&b| b == bytes[0]) {
+                w.write_bits(P_REPEATED_BYTE, 2);
+                w.write_bits(bytes[0] as u64, 8);
+            } else {
+                w.write_bits(P_UNCOMPRESSED, 2);
+                w.write_bits(word as u64, 32);
+            }
+        }
+        let (data, bits) = w.finish();
+        CompressedLine::new(SchemeKind::Sfpc, data, bits)
+    }
+
+    fn decompress(&self, compressed: &CompressedLine) -> Result<CacheLine, DecompressError> {
+        if compressed.scheme() != SchemeKind::Sfpc {
+            return Err(DecompressError::SchemeMismatch {
+                expected: SchemeKind::Sfpc,
+                found: compressed.scheme(),
+            });
+        }
+        let mut r = BitReader::new(compressed.data(), compressed.size_bits());
+        let mut words = [0u32; WORDS32];
+        for word in words.iter_mut() {
+            *word = match r.read_bits(2)? {
+                P_ZERO => 0,
+                P_SE8 => sign_extend(r.read_bits(8)?, 8) as u32,
+                P_REPEATED_BYTE => {
+                    let b = r.read_bits(8)? as u32;
+                    b | (b << 8) | (b << 16) | (b << 24)
+                }
+                P_UNCOMPRESSED => r.read_bits(32)? as u32,
+                _ => unreachable!("2-bit prefix"),
+            };
+        }
+        Ok(CacheLine::from_u32_words(words))
+    }
+
+    /// Parallel single-level pattern match: 2 cycles.
+    fn compression_latency(&self) -> u64 {
+        2
+    }
+
+    /// Table 1: 4-cycle decompression.
+    fn decompression_latency(&self, _compressed: &CompressedLine) -> u64 {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> SfpcCodec {
+        SfpcCodec::new()
+    }
+
+    #[test]
+    fn zero_line() {
+        let enc = codec().compress(&CacheLine::zeroed());
+        assert_eq!(enc.size_bytes(), 4);
+        assert_eq!(codec().decompress(&enc).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn small_ints() {
+        let line = CacheLine::from_u32_words([(-100i32) as u32; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 10);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn repeated_bytes() {
+        let line = CacheLine::from_u32_words([0x7f7f_7f7f; 16]);
+        let enc = codec().compress(&line);
+        assert_eq!(enc.size_bits(), 16 * 10);
+        assert_eq!(codec().decompress(&enc).unwrap(), line);
+    }
+
+    #[test]
+    fn sfpc_never_beats_fpc_on_zeros() {
+        // SFPC lacks zero runs, so a zero line costs 32 bits vs FPC's 12.
+        use crate::fpc::FpcCodec;
+        let z = CacheLine::zeroed();
+        assert!(
+            SfpcCodec::new().compress(&z).size_bits() > FpcCodec::new().compress(&z).size_bits()
+        );
+    }
+
+    #[test]
+    fn latency_is_one_less_than_fpc() {
+        use crate::fpc::FpcCodec;
+        let enc = codec().compress(&CacheLine::zeroed());
+        let fpc_enc = FpcCodec::new().compress(&CacheLine::zeroed());
+        assert_eq!(
+            codec().decompression_latency(&enc) + 1,
+            FpcCodec::new().decompression_latency(&fpc_enc)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(words in proptest::array::uniform16(any::<u32>())) {
+            let line = CacheLine::from_u32_words(words);
+            let enc = codec().compress(&line);
+            prop_assert_eq!(codec().decompress(&enc).unwrap(), line);
+        }
+    }
+}

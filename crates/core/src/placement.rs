@@ -1,0 +1,113 @@
+//! Where de/compression hardware sits — the configurations §4.1 compares.
+
+use std::fmt;
+
+/// The compression placements evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionPlacement {
+    /// No compression anywhere (the Fig. 7 energy normalization basis).
+    Baseline,
+    /// Compressed LLC storage and compressed response traffic with *zero*
+    /// de/compression latency — the idealized upper bound the Fig. 5/6/8
+    /// latencies are normalized to.
+    Ideal,
+    /// **CC**: a de/compression unit in every cache bank controller; all
+    /// traffic travels uncompressed.
+    CacheOnly,
+    /// **CNC**: CC plus a packet de/compressor in every network
+    /// interface, as in NoΔ (paper ref. \[9\]) — two-level compression whose latencies
+    /// add up.
+    CacheAndNi,
+    /// **DISCO**: the unified in-network compressor (this paper).
+    Disco,
+}
+
+impl CompressionPlacement {
+    /// All placements in evaluation order.
+    pub const ALL: [CompressionPlacement; 5] = [
+        CompressionPlacement::Baseline,
+        CompressionPlacement::Ideal,
+        CompressionPlacement::CacheOnly,
+        CompressionPlacement::CacheAndNi,
+        CompressionPlacement::Disco,
+    ];
+
+    /// Short name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionPlacement::Baseline => "Baseline",
+            CompressionPlacement::Ideal => "Ideal",
+            CompressionPlacement::CacheOnly => "CC",
+            CompressionPlacement::CacheAndNi => "CNC",
+            CompressionPlacement::Disco => "DISCO",
+        }
+    }
+
+    /// Does the LLC store lines compressed (segmented data array)?
+    pub fn compressed_storage(self) -> bool {
+        !matches!(self, CompressionPlacement::Baseline)
+    }
+
+    /// Do data payloads travel compressed on the NoC?
+    pub fn compressed_traffic(self) -> bool {
+        matches!(
+            self,
+            CompressionPlacement::Ideal
+                | CompressionPlacement::CacheAndNi
+                | CompressionPlacement::Disco
+        )
+    }
+
+    /// Is any codec latency charged (Ideal and Baseline charge none)?
+    pub fn charges_latency(self) -> bool {
+        matches!(
+            self,
+            CompressionPlacement::CacheOnly
+                | CompressionPlacement::CacheAndNi
+                | CompressionPlacement::Disco
+        )
+    }
+
+    /// Number of de/compression hardware sites on an `n`-tile CMP (for
+    /// leakage accounting): CC has one per bank, CNC one per bank plus
+    /// one per NI, DISCO one per router.
+    pub fn compressor_sites(self, tiles: usize) -> u64 {
+        match self {
+            CompressionPlacement::Baseline => 0,
+            CompressionPlacement::Ideal => 0,
+            CompressionPlacement::CacheOnly => tiles as u64,
+            CompressionPlacement::CacheAndNi => 2 * tiles as u64,
+            CompressionPlacement::Disco => tiles as u64,
+        }
+    }
+}
+
+impl fmt::Display for CompressionPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_and_traffic_matrix() {
+        use CompressionPlacement::*;
+        assert!(!Baseline.compressed_storage());
+        assert!(Ideal.compressed_storage() && Ideal.compressed_traffic());
+        assert!(CacheOnly.compressed_storage() && !CacheOnly.compressed_traffic());
+        assert!(CacheAndNi.compressed_traffic());
+        assert!(Disco.compressed_traffic());
+        assert!(!Baseline.charges_latency() && !Ideal.charges_latency());
+    }
+
+    #[test]
+    fn cnc_doubles_sites() {
+        use CompressionPlacement::*;
+        assert_eq!(CacheAndNi.compressor_sites(16), 2 * CacheOnly.compressor_sites(16));
+        assert_eq!(Disco.compressor_sites(16), 16);
+        assert_eq!(Baseline.compressor_sites(16), 0);
+    }
+}

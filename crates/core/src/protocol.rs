@@ -1,0 +1,134 @@
+//! Protocol messages carried in NoC packet tags.
+//!
+//! The system layer encodes `(operation, requester, line)` into the 64-bit
+//! packet tag; handlers at banks, cores, and memory controllers decode it
+//! to drive the MOESI protocol of §3.3-C.
+
+/// Message operations between tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Core → home bank: read the line (Request class).
+    ReadReq,
+    /// Core → home bank: read with intent to write (Request class).
+    WriteReq,
+    /// Bank/owner → core: the requested data (Response class).
+    DataToCore,
+    /// Core → home bank: dirty L1 eviction (Response class).
+    Writeback,
+    /// Bank → core: invalidate your copy (Coherence class).
+    Invalidate,
+    /// Core → bank: invalidation acknowledged (Coherence class).
+    InvalAck,
+    /// Bank → owner core: forward the read to the dirty owner
+    /// (Coherence class).
+    FwdRead,
+    /// Bank → owner core: forward the write; owner surrenders the line
+    /// (Coherence class).
+    FwdWrite,
+    /// Bank → memory controller: fetch from DRAM (Request class).
+    MemRead,
+    /// Memory controller → bank: the DRAM fill (Response class).
+    MemFill,
+    /// Bank → memory controller: evicted dirty line to DRAM
+    /// (Response class).
+    MemWriteback,
+}
+
+impl Op {
+    const ALL: [Op; 11] = [
+        Op::ReadReq,
+        Op::WriteReq,
+        Op::DataToCore,
+        Op::Writeback,
+        Op::Invalidate,
+        Op::InvalAck,
+        Op::FwdRead,
+        Op::FwdWrite,
+        Op::MemRead,
+        Op::MemFill,
+        Op::MemWriteback,
+    ];
+
+    fn code(self) -> u64 {
+        Op::ALL.iter().position(|&o| o == self).expect("op is in ALL") as u64
+    }
+
+    fn from_code(code: u64) -> Option<Op> {
+        Op::ALL.get(code as usize).copied()
+    }
+
+    /// Ops whose payload must be *raw* when it reaches its destination:
+    /// data entering an MSHR/core and data entering DRAM (main memory
+    /// cannot hold compressed lines — the misalignment argument of §1).
+    /// These are DISCO's in-network *decompression* targets.
+    pub fn wants_raw_at_destination(self) -> bool {
+        matches!(self, Op::DataToCore | Op::MemWriteback)
+    }
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// What to do.
+    pub op: Op,
+    /// The core on whose behalf this transaction runs.
+    pub requester: usize,
+    /// The 64 B line concerned.
+    pub line: u64,
+}
+
+impl Msg {
+    /// Builds a message.
+    pub fn new(op: Op, requester: usize, line: u64) -> Self {
+        Msg { op, requester, line }
+    }
+
+    /// Packs into a packet tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester ≥ 256` or the line exceeds 52 bits (a 2^58
+    /// byte address space — far beyond Table 2's 4 GB memory).
+    pub fn encode(self) -> u64 {
+        assert!(self.requester < 256, "requester must fit 8 bits");
+        assert!(self.line < (1 << 52), "line must fit 52 bits");
+        (self.line << 12) | ((self.requester as u64) << 4) | self.op.code()
+    }
+
+    /// Unpacks from a packet tag.
+    pub fn decode(tag: u64) -> Msg {
+        let op = Op::from_code(tag & 0xf).expect("tag carries a valid op");
+        Msg { op, requester: ((tag >> 4) & 0xff) as usize, line: tag >> 12 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_ops() {
+        for op in Op::ALL {
+            for requester in [0usize, 7, 255] {
+                for line in [0u64, 1, 123_456_789, (1 << 52) - 1] {
+                    let m = Msg::new(op, requester, line);
+                    assert_eq!(Msg::decode(m.encode()), m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompression_targets() {
+        assert!(Op::DataToCore.wants_raw_at_destination());
+        assert!(Op::MemWriteback.wants_raw_at_destination());
+        assert!(!Op::Writeback.wants_raw_at_destination());
+        assert!(!Op::MemFill.wants_raw_at_destination());
+    }
+
+    #[test]
+    #[should_panic(expected = "8 bits")]
+    fn oversized_requester_rejected() {
+        let _ = Msg::new(Op::ReadReq, 256, 0).encode();
+    }
+}

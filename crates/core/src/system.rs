@@ -1,0 +1,1369 @@
+//! The trace-driven full-system CMP simulator: cores with L1s and MSHRs,
+//! NUCA banks with MOESI directories, memory controllers at the mesh
+//! corners, all communicating over the `disco-noc` mesh — with the
+//! compression placement (Baseline / Ideal / CC / CNC / DISCO) deciding
+//! where codec latency is charged and in what form lines travel and are
+//! stored (§4.1).
+
+use crate::arbitrator::DiscoParams;
+use crate::engine::DiscoLayer;
+use crate::histogram::LatencyHistogram;
+use crate::placement::CompressionPlacement;
+use crate::protocol::{Msg, Op};
+use crate::report::SimReport;
+use disco_cache::addr::LineAddr;
+use disco_cache::{
+    BankConfig, BankStats, CohAction, Directory, Dram, DramConfig, L1Cache, L1Config, L1Stats,
+    MshrFile, MshrOutcome, NucaBank, StoredLine,
+};
+use disco_compress::scheme::Compressor;
+use disco_compress::{CacheLine, Codec, CompressionStats, SchemeKind};
+use disco_energy::{EnergyCounts, EnergyModel};
+use disco_noc::{Mesh, Network, NocConfig, NodeId, Packet, PacketClass, Payload};
+use disco_workloads::{Benchmark, MemAccess, TraceGenerator, ValueModel, WorkloadProfile};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// Errors a simulation run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run did not drain within the configured cycle budget
+    /// (livelock, deadlock, or simply too small a budget).
+    DeadlineExceeded {
+        /// The configured budget.
+        max_cycles: u64,
+        /// Accesses still outstanding.
+        outstanding: usize,
+        /// Packets the NoC watchdog flags as unable to make progress by
+        /// themselves (locked or tail-less VCs). Zero means the budget
+        /// was simply too small; non-zero means a flow-control bug.
+        suspicious_stalls: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeadlineExceeded { max_cycles, outstanding, suspicious_stalls } => write!(
+                f,
+                "simulation did not drain within {max_cycles} cycles \
+                 ({outstanding} accesses outstanding, {suspicious_stalls} suspicious stalls)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Per-core issue width (accesses a core may process per cycle).
+const ISSUE_WIDTH: usize = 4;
+
+/// One tile's core-side state.
+#[derive(Debug)]
+struct Tile {
+    l1: L1Cache,
+    mshr: MshrFile,
+    trace: Vec<MemAccess>,
+    pos: usize,
+    next_issue_at: u64,
+    /// Lines invalidated while their fill was still in flight: the fill
+    /// completes the miss (the core consumes the data once) but must not
+    /// be cached — the standard fix for the inval/fill race.
+    poisoned: std::collections::HashSet<u64>,
+}
+
+impl Tile {
+    fn done(&self) -> bool {
+        self.pos >= self.trace.len() && self.mshr.in_use() == 0
+    }
+}
+
+/// Deferred work scheduled on the system event queue.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A request reached the bank and the tag/data access finished.
+    BankRequest { bank: usize, line: u64, requester: usize, write: bool },
+    /// Store `stored` into the bank (fill or writeback after codec prep);
+    /// optionally respond to the waiters queued on a bank miss.
+    BankStore {
+        bank: usize,
+        line: u64,
+        stored: StoredLine,
+        dirty: bool,
+        writeback_from: Option<usize>,
+        respond_waiters: bool,
+    },
+    /// The fill (after ejection-side decompression, if any) reaches the
+    /// core: fill L1, complete the MSHR.
+    CoreFill { core: usize, line: u64, data: CacheLine },
+    /// Inject a packet.
+    Send {
+        src: usize,
+        dst: usize,
+        class: PacketClass,
+        payload: Payload,
+        tag: u64,
+    },
+}
+
+/// Codec operation counters outside the DISCO layer (bank controllers and
+/// NIs), for energy accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct CodecOps {
+    compressions: u64,
+    decompressions: u64,
+}
+
+/// The full-system simulator. Build one with [`SimBuilder`].
+pub struct System {
+    placement: CompressionPlacement,
+    scheme: SchemeKind,
+    codec: Codec,
+    net: Network,
+    disco: Option<DiscoLayer>,
+    tiles: Vec<Tile>,
+    banks: Vec<NucaBank>,
+    dirs: Vec<Directory>,
+    bank_pending: Vec<HashMap<u64, Vec<(usize, bool)>>>,
+    dram: Dram,
+    mcs: Vec<usize>,
+    values: ValueModel,
+    versions: HashMap<u64, u32>,
+    events: BTreeMap<u64, Vec<Event>>,
+    demand_misses: u64,
+    total_miss_latency: u64,
+    onchip_miss_latency: u64,
+    latency_histogram: LatencyHistogram,
+    /// DRAM service time of an in-flight fill, keyed by line.
+    dram_service: HashMap<u64, u64>,
+    /// DRAM penalty to subtract from a pending core fill, keyed by
+    /// (core, line).
+    fill_penalty: HashMap<(usize, u64), u64>,
+    compression: CompressionStats,
+    codec_ops: CodecOps,
+    energy_model: EnergyModel,
+    banks_total: usize,
+    prefetch_next_line: bool,
+}
+
+impl System {
+    fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        self.events.entry(at.max(self.now())).or_default().push(ev);
+    }
+
+    fn home_bank(&self, line: u64) -> usize {
+        LineAddr(line).home_bank(self.banks_total)
+    }
+
+    fn mc_for(&self, line: u64) -> usize {
+        self.mcs[((line / self.banks_total as u64) % self.mcs.len() as u64) as usize]
+    }
+
+    fn current_value(&self, line: u64) -> CacheLine {
+        self.values.line(line, self.versions.get(&line).copied().unwrap_or(0))
+    }
+
+    fn bump_version(&mut self, line: u64) -> CacheLine {
+        let v = self.versions.entry(line).or_insert(0);
+        *v += 1;
+        self.values.line(line, *v)
+    }
+
+    fn compress_line(&mut self, line: &CacheLine) -> disco_compress::CompressedLine {
+        let enc = self.codec.compress(line);
+        self.compression.record(&enc);
+        enc
+    }
+
+    // --------------------------------------------------------------
+    // Placement rules: payload form + codec latency at each site.
+    // --------------------------------------------------------------
+
+    /// Bank → core/requester: form and extra latency when a bank sends a
+    /// stored line out.
+    fn bank_send(&mut self, stored: &StoredLine) -> (Payload, u64) {
+        use CompressionPlacement::*;
+        match (self.placement, stored) {
+            (Baseline, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
+            (Baseline, StoredLine::Compressed(_)) => {
+                unreachable!("baseline never stores compressed lines")
+            }
+            (Ideal, StoredLine::Compressed(c)) => (Payload::Compressed(c.clone()), 0),
+            (Ideal, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
+            (CacheOnly, StoredLine::Compressed(c)) => {
+                // Decompress in the bank controller before injection.
+                let lat = self.codec.decompression_latency(c);
+                self.codec_ops.decompressions += 1;
+                let line = self.codec.decompress(c).expect("stored encodings are valid");
+                (Payload::Raw(line), lat)
+            }
+            (CacheOnly, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
+            (CacheAndNi, StoredLine::Compressed(c)) => {
+                // Two-level: bank decompresses, the NI re-compresses the
+                // packet (§4.2 explains the resulting excessive latency).
+                let lat = self.codec.decompression_latency(c) + self.codec.compression_latency();
+                self.codec_ops.decompressions += 1;
+                self.codec_ops.compressions += 1;
+                (Payload::Compressed(c.clone()), lat)
+            }
+            (CacheAndNi, StoredLine::Raw(l)) => {
+                let lat = self.codec.compression_latency();
+                self.codec_ops.compressions += 1;
+                let enc = self.compress_line(l);
+                if enc.is_compressed() {
+                    (Payload::Compressed(enc), lat)
+                } else {
+                    (Payload::Raw(*l), lat)
+                }
+            }
+            (Disco, StoredLine::Compressed(c)) => (Payload::Compressed(c.clone()), 0),
+            (Disco, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
+        }
+    }
+
+    /// Data payload injected by a core or memory controller.
+    fn endpoint_send(&mut self, line: &CacheLine) -> (Payload, u64) {
+        use CompressionPlacement::*;
+        match self.placement {
+            Baseline | CacheOnly | Disco => (Payload::Raw(*line), 0),
+            Ideal => {
+                let enc = self.compress_line(line);
+                if enc.is_compressed() {
+                    (Payload::Compressed(enc), 0)
+                } else {
+                    (Payload::Raw(*line), 0)
+                }
+            }
+            CacheAndNi => {
+                let lat = self.codec.compression_latency();
+                self.codec_ops.compressions += 1;
+                let enc = self.compress_line(line);
+                if enc.is_compressed() {
+                    (Payload::Compressed(enc), lat)
+                } else {
+                    (Payload::Raw(*line), lat)
+                }
+            }
+        }
+    }
+
+    /// Form and codec latency for storing an arriving payload in a bank.
+    fn store_prep(&mut self, payload: &Payload) -> (StoredLine, u64) {
+        use CompressionPlacement::*;
+        let line = match payload {
+            Payload::Raw(l) => *l,
+            Payload::Compressed(c) => {
+                self.codec.decompress(c).expect("in-flight encodings are valid")
+            }
+            Payload::None => unreachable!("data packets carry payloads"),
+        };
+        match (self.placement, payload) {
+            (Baseline, _) => (StoredLine::Raw(line), 0),
+            (Ideal, Payload::Compressed(c)) => (StoredLine::Compressed(c.clone()), 0),
+            (Ideal, _) => {
+                let enc = self.compress_line(&line);
+                (StoredLine::Compressed(enc), 0)
+            }
+            (CacheOnly, _) => {
+                let lat = self.codec.compression_latency();
+                self.codec_ops.compressions += 1;
+                let enc = self.compress_line(&line);
+                (StoredLine::Compressed(enc), lat)
+            }
+            (CacheAndNi, Payload::Compressed(c)) => {
+                // NI decompresses the packet, the cache compressor
+                // re-compresses for storage.
+                let lat = self.codec.decompression_latency(c) + self.codec.compression_latency();
+                self.codec_ops.decompressions += 1;
+                self.codec_ops.compressions += 1;
+                (StoredLine::Compressed(c.clone()), lat)
+            }
+            (CacheAndNi, _) => {
+                let lat = self.codec.compression_latency();
+                self.codec_ops.compressions += 1;
+                let enc = self.compress_line(&line);
+                (StoredLine::Compressed(enc), lat)
+            }
+            (Disco, Payload::Compressed(c)) => {
+                // Arrived compressed (in-network or injected so): store
+                // as-is, zero latency — DISCO's bank-side win.
+                (StoredLine::Compressed(c.clone()), 0)
+            }
+            (Disco, _) => {
+                // In-network compression did not happen in time: the bank
+                // compressor covers for it.
+                let lat = self.codec.compression_latency();
+                self.codec_ops.compressions += 1;
+                let enc = self.compress_line(&line);
+                (StoredLine::Compressed(enc), lat)
+            }
+        }
+    }
+
+    /// Ejection-side latency when a data payload reaches a core's NI and
+    /// must enter the MSHR raw.
+    fn core_receive(&mut self, payload: &Payload) -> (CacheLine, u64) {
+        use CompressionPlacement::*;
+        match payload {
+            Payload::Raw(l) => (*l, 0),
+            Payload::Compressed(c) => {
+                let line = self.codec.decompress(c).expect("in-flight encodings are valid");
+                let lat = match self.placement {
+                    Ideal => 0,
+                    _ => {
+                        self.codec_ops.decompressions += 1;
+                        self.codec.decompression_latency(c)
+                    }
+                };
+                (line, lat)
+            }
+            Payload::None => unreachable!("data packets carry payloads"),
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Cycle loop.
+    // --------------------------------------------------------------
+
+    fn all_done(&self) -> bool {
+        self.tiles.iter().all(Tile::done)
+            && self.events.is_empty()
+            && self.net.is_idle()
+            && self.bank_pending.iter().all(HashMap::is_empty)
+    }
+
+    fn outstanding(&self) -> usize {
+        self.tiles.iter().map(|t| (t.trace.len() - t.pos) + t.mshr.in_use()).sum()
+    }
+
+    fn tick(&mut self) {
+        self.net.tick();
+        if let Some(mut layer) = self.disco.take() {
+            layer.tick(&mut self.net);
+            self.disco = Some(layer);
+        }
+        // Deliveries → events.
+        let nodes = self.tiles.len();
+        for node in 0..nodes {
+            let delivered = self.net.take_delivered(NodeId(node));
+            for pkt in delivered {
+                self.handle_delivery(node, pkt);
+            }
+        }
+        // Run due events (newly scheduled zero-delay events run this
+        // cycle too).
+        let now = self.now();
+        #[allow(clippy::while_let_loop)] // two-condition exit reads clearer this way
+        loop {
+            let Some((&t, _)) = self.events.iter().next() else { break };
+            if t > now {
+                break;
+            }
+            let batch = self.events.remove(&t).expect("key exists");
+            for ev in batch {
+                self.handle_event(ev);
+            }
+        }
+        // Cores issue.
+        for core in 0..nodes {
+            self.issue_core(core);
+        }
+    }
+
+    fn issue_core(&mut self, core: usize) {
+        for _ in 0..ISSUE_WIDTH {
+            let now = self.now();
+            let (line, write, ready) = {
+                let t = &self.tiles[core];
+                if t.pos >= t.trace.len() || t.next_issue_at > now {
+                    return;
+                }
+                let a = t.trace[t.pos];
+                (a.line, a.write, true)
+            };
+            debug_assert!(ready);
+            // Writes update the line's value (version bump) on a hit.
+            let write_value = write.then(|| self.bump_version(line));
+            let hit = self.tiles[core].l1.access(LineAddr(line), write_value).is_some();
+            if !hit {
+                match self.tiles[core].mshr.allocate(LineAddr(line), now, write) {
+                    MshrOutcome::Full => {
+                        // Roll back this access; retry next cycle.
+                        return;
+                    }
+                    MshrOutcome::Merged => {}
+                    MshrOutcome::Allocated => {
+                        let bank = self.home_bank(line);
+                        let op = if write { Op::WriteReq } else { Op::ReadReq };
+                        self.schedule(
+                            now,
+                            Event::Send {
+                                src: core,
+                                dst: bank,
+                                class: PacketClass::Request,
+                                payload: Payload::None,
+                                tag: Msg::new(op, core, line).encode(),
+                            },
+                        );
+                        if self.prefetch_next_line {
+                            let next = line + 1;
+                            let t = &mut self.tiles[core];
+                            if !t.l1.probe(LineAddr(next))
+                                && t.mshr.allocate_prefetch(LineAddr(next), now)
+                                    == MshrOutcome::Allocated
+                            {
+                                let bank = self.home_bank(next);
+                                self.schedule(
+                                    now,
+                                    Event::Send {
+                                        src: core,
+                                        dst: bank,
+                                        class: PacketClass::Request,
+                                        payload: Payload::None,
+                                        tag: Msg::new(Op::ReadReq, core, next).encode(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Advance the trace cursor.
+            let t = &mut self.tiles[core];
+            t.pos += 1;
+            if let Some(next) = t.trace.get(t.pos) {
+                t.next_issue_at = now + next.gap;
+            }
+        }
+    }
+
+    fn handle_delivery(&mut self, node: usize, pkt: Packet) {
+        let msg = Msg::decode(pkt.tag);
+        let now = self.now();
+        match msg.op {
+            Op::ReadReq | Op::WriteReq => {
+                let hit_lat = self.banks[node].config().hit_latency;
+                self.schedule(
+                    now + hit_lat,
+                    Event::BankRequest {
+                        bank: node,
+                        line: msg.line,
+                        requester: msg.requester,
+                        write: msg.op == Op::WriteReq,
+                    },
+                );
+            }
+            Op::DataToCore => {
+                let (line, lat) = self.core_receive(&pkt.payload);
+                self.schedule(now + lat, Event::CoreFill { core: node, line: msg.line, data: line });
+            }
+            Op::Writeback => {
+                let (stored, lat) = self.store_prep(&pkt.payload);
+                self.schedule(
+                    now + lat,
+                    Event::BankStore {
+                        bank: node,
+                        line: msg.line,
+                        stored,
+                        dirty: true,
+                        writeback_from: Some(msg.requester),
+                        respond_waiters: false,
+                    },
+                );
+            }
+            Op::Invalidate => {
+                if self.tiles[node].mshr.pending(LineAddr(msg.line)) {
+                    self.tiles[node].poisoned.insert(msg.line);
+                }
+                let dirty = self.tiles[node].l1.invalidate(LineAddr(msg.line));
+                let home = self.home_bank(msg.line);
+                match dirty {
+                    Some(line) => {
+                        // Dirty copy: the ack carries the data back home.
+                        let (payload, lat) = self.endpoint_send(&line);
+                        self.schedule(
+                            now + lat,
+                            Event::Send {
+                                src: node,
+                                dst: home,
+                                class: PacketClass::Response,
+                                payload,
+                                tag: Msg::new(Op::Writeback, node, msg.line).encode(),
+                            },
+                        );
+                    }
+                    None => {
+                        self.schedule(
+                            now,
+                            Event::Send {
+                                src: node,
+                                dst: home,
+                                class: PacketClass::Coherence,
+                                payload: Payload::None,
+                                tag: Msg::new(Op::InvalAck, node, msg.line).encode(),
+                            },
+                        );
+                    }
+                }
+            }
+            Op::InvalAck => {
+                // Non-blocking invalidation: nothing further to do.
+            }
+            Op::FwdRead | Op::FwdWrite => {
+                // This core owns a dirty copy; supply it to the requester
+                // directly (cache-to-cache).
+                let line = match self.tiles[node].l1.access(LineAddr(msg.line), None) {
+                    Some(l) => l,
+                    // The owner's copy raced away (writeback in flight):
+                    // fall back to the architectural value.
+                    None => self.current_value(msg.line),
+                };
+                if msg.op == Op::FwdWrite {
+                    self.tiles[node].l1.invalidate(LineAddr(msg.line));
+                }
+                let (payload, lat) = self.endpoint_send(&line);
+                self.schedule(
+                    now + lat,
+                    Event::Send {
+                        src: node,
+                        dst: msg.requester,
+                        class: PacketClass::Response,
+                        payload,
+                        tag: Msg::new(Op::DataToCore, msg.requester, msg.line).encode(),
+                    },
+                );
+            }
+            Op::MemRead => {
+                let done = self.dram.access(LineAddr(msg.line), now, false);
+                // Remember the off-chip service time so the on-chip
+                // latency metric (the paper's "NUCA data access latency")
+                // can exclude it.
+                self.dram_service.insert(msg.line, done - now);
+                let data = self.current_value(msg.line);
+                let (payload, lat) = self.endpoint_send(&data);
+                let bank = self.home_bank(msg.line);
+                self.schedule(
+                    done + lat,
+                    Event::Send {
+                        src: node,
+                        dst: bank,
+                        class: PacketClass::Response,
+                        payload,
+                        tag: Msg::new(Op::MemFill, msg.requester, msg.line).encode(),
+                    },
+                );
+            }
+            Op::MemFill => {
+                let (stored, lat) = self.store_prep(&pkt.payload);
+                self.schedule(
+                    now + lat,
+                    Event::BankStore {
+                        bank: node,
+                        line: msg.line,
+                        stored,
+                        dirty: false,
+                        writeback_from: None,
+                        respond_waiters: true,
+                    },
+                );
+            }
+            Op::MemWriteback => {
+                // DRAM stores raw lines only; decompress at the MC NI if
+                // the network did not (charges energy; latency is off the
+                // demand path).
+                if let Payload::Compressed(c) = &pkt.payload {
+                    if self.placement != CompressionPlacement::Ideal {
+                        self.codec_ops.decompressions += 1;
+                    }
+                    let _ = c;
+                }
+                self.dram.access(LineAddr(msg.line), now, true);
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        let now = self.now();
+        match ev {
+            Event::Send { src, dst, class, payload, tag } => {
+                let compressible = class == PacketClass::Response;
+                let id = self.net.send(NodeId(src), NodeId(dst), class, payload, compressible, tag);
+                // Rule 1 of §3.3-B: read responses and fills are on the
+                // demand critical path and keep their priority even when
+                // uncompressed; only latency-tolerant writebacks are
+                // demoted by rule 2.
+                let op = Msg::decode(tag).op;
+                self.net.store_mut().get_mut(id).critical =
+                    matches!(op, Op::DataToCore | Op::MemFill);
+            }
+            Event::BankRequest { bank, line, requester, write } => {
+                let actions = if write {
+                    self.dirs[bank].write(LineAddr(line), requester)
+                } else {
+                    self.dirs[bank].read(LineAddr(line), requester)
+                };
+                for action in actions {
+                    match action {
+                        CohAction::DataFromBank { to } => {
+                            let stored = self.banks[bank].lookup(LineAddr(line)).cloned();
+                            match stored {
+                                Some(s) => {
+                                    let (payload, lat) = self.bank_send(&s);
+                                    self.schedule(
+                                        now + lat,
+                                        Event::Send {
+                                            src: bank,
+                                            dst: to,
+                                            class: PacketClass::Response,
+                                            payload,
+                                            tag: Msg::new(Op::DataToCore, to, line).encode(),
+                                        },
+                                    );
+                                }
+                                None => {
+                                    let waiters = self.bank_pending[bank].entry(line).or_default();
+                                    let first = waiters.is_empty();
+                                    waiters.push((to, write));
+                                    if first {
+                                        let mc = self.mc_for(line);
+                                        self.schedule(
+                                            now,
+                                            Event::Send {
+                                                src: bank,
+                                                dst: mc,
+                                                class: PacketClass::Request,
+                                                payload: Payload::None,
+                                                tag: Msg::new(Op::MemRead, requester, line).encode(),
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        CohAction::ForwardToOwner { owner, to } => {
+                            let op = if write { Op::FwdWrite } else { Op::FwdRead };
+                            self.schedule(
+                                now,
+                                Event::Send {
+                                    src: bank,
+                                    dst: owner,
+                                    class: PacketClass::Coherence,
+                                    payload: Payload::None,
+                                    tag: Msg::new(op, to, line).encode(),
+                                },
+                            );
+                        }
+                        CohAction::Invalidate { core } => {
+                            self.schedule(
+                                now,
+                                Event::Send {
+                                    src: bank,
+                                    dst: core,
+                                    class: PacketClass::Coherence,
+                                    payload: Payload::None,
+                                    tag: Msg::new(Op::Invalidate, core, line).encode(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Event::BankStore { bank, line, stored, dirty, writeback_from, respond_waiters } => {
+                if let Some(core) = writeback_from {
+                    self.dirs[bank].writeback(LineAddr(line), core);
+                }
+                let evictions = self.banks[bank].insert(LineAddr(line), stored, dirty);
+                for ev in evictions {
+                    // Inclusive LLC: recall cached copies.
+                    for action in self.dirs[bank].recall(ev.addr) {
+                        if let CohAction::Invalidate { core } = action {
+                            self.schedule(
+                                now,
+                                Event::Send {
+                                    src: bank,
+                                    dst: core,
+                                    class: PacketClass::Coherence,
+                                    payload: Payload::None,
+                                    tag: Msg::new(Op::Invalidate, core, ev.addr.0).encode(),
+                                },
+                            );
+                        }
+                    }
+                    if ev.dirty {
+                        let (payload, lat) = self.bank_evict_payload(&ev.data);
+                        let mc = self.mc_for(ev.addr.0);
+                        self.schedule(
+                            now + lat,
+                            Event::Send {
+                                src: bank,
+                                dst: mc,
+                                class: PacketClass::Response,
+                                payload,
+                                tag: Msg::new(Op::MemWriteback, 0, ev.addr.0).encode(),
+                            },
+                        );
+                    }
+                }
+                if respond_waiters {
+                    if let Some(waiters) = self.bank_pending[bank].remove(&line) {
+                        let dram = self.dram_service.remove(&line).unwrap_or(0);
+                        let stored = self.banks[bank]
+                            .lookup(LineAddr(line))
+                            .cloned()
+                            .expect("line was just inserted");
+                        for (to, _write) in waiters {
+                            self.fill_penalty.insert((to, line), dram);
+                            let (payload, lat) = self.bank_send(&stored);
+                            self.schedule(
+                                now + lat,
+                                Event::Send {
+                                    src: bank,
+                                    dst: to,
+                                    class: PacketClass::Response,
+                                    payload,
+                                    tag: Msg::new(Op::DataToCore, to, line).encode(),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Event::CoreFill { core, line, data } => {
+                let Some(entry) = self.tiles[core].mshr.complete(LineAddr(line)) else {
+                    // A duplicate fill (e.g. bank response racing an owner
+                    // forward). Drop it.
+                    return;
+                };
+                let (value, dirty) = if entry.write {
+                    (self.bump_version(line), true)
+                } else {
+                    (data, false)
+                };
+                let dram = self.fill_penalty.remove(&(core, line)).unwrap_or(0);
+                if !entry.prefetch {
+                    self.demand_misses += 1;
+                    let total = now - entry.issued_at;
+                    self.total_miss_latency += total;
+                    let onchip = total.saturating_sub(dram);
+                    self.onchip_miss_latency += onchip;
+                    self.latency_histogram.record(onchip);
+                }
+                if self.tiles[core].poisoned.remove(&line) {
+                    // Invalidated while in flight: the miss completes (the
+                    // core consumed the data once) but the line is not
+                    // cached, so the next access re-fetches coherently. A
+                    // dirty (write) fill hands its data straight back to
+                    // the home bank.
+                    if dirty {
+                        let (payload, lat) = self.endpoint_send(&value);
+                        let home = self.home_bank(line);
+                        self.schedule(
+                            now + lat,
+                            Event::Send {
+                                src: core,
+                                dst: home,
+                                class: PacketClass::Response,
+                                payload,
+                                tag: Msg::new(Op::Writeback, core, line).encode(),
+                            },
+                        );
+                    }
+                    return;
+                }
+                if let Some(wb) = self.tiles[core].l1.fill(LineAddr(line), value, dirty) {
+                    let (payload, lat) = self.endpoint_send(&wb.line);
+                    let home = self.home_bank(wb.addr.0);
+                    self.schedule(
+                        now + lat,
+                        Event::Send {
+                            src: core,
+                            dst: home,
+                            class: PacketClass::Response,
+                            payload,
+                            tag: Msg::new(Op::Writeback, core, wb.addr.0).encode(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Payload form for a dirty LLC eviction heading to DRAM.
+    fn bank_evict_payload(&mut self, stored: &StoredLine) -> (Payload, u64) {
+        use CompressionPlacement::*;
+        match (self.placement, stored) {
+            (Disco, StoredLine::Compressed(c)) => (Payload::Compressed(c.clone()), 0),
+            (Ideal, StoredLine::Compressed(c)) => (Payload::Compressed(c.clone()), 0),
+            (_, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
+            (CacheAndNi, StoredLine::Compressed(c)) => {
+                // Bank decompresses for DRAM, NI re-compresses the packet.
+                let lat = self.codec.decompression_latency(c) + self.codec.compression_latency();
+                self.codec_ops.decompressions += 1;
+                self.codec_ops.compressions += 1;
+                (Payload::Compressed(c.clone()), lat)
+            }
+            (_, StoredLine::Compressed(c)) => {
+                let lat = self.codec.decompression_latency(c);
+                self.codec_ops.decompressions += 1;
+                let line = self.codec.decompress(c).expect("stored encodings are valid");
+                (Payload::Raw(line), lat)
+            }
+        }
+    }
+
+    /// Runs to completion (or the deadline) and reports.
+    pub fn run(mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        while !self.all_done() {
+            if self.now() >= max_cycles {
+                return Err(SimError::DeadlineExceeded {
+                    max_cycles,
+                    outstanding: self.outstanding(),
+                    suspicious_stalls: self
+                        .net
+                        .health_check()
+                        .iter()
+                        .filter(|s| {
+                            matches!(
+                                s.reason,
+                                disco_noc::StallReason::Locked
+                                    | disco_noc::StallReason::MissingTail
+                            )
+                        })
+                        .count(),
+                });
+            }
+            self.tick();
+        }
+        Ok(self.into_report())
+    }
+
+    fn into_report(self) -> SimReport {
+        let mut l1 = L1Stats::default();
+        for t in &self.tiles {
+            let s = t.l1.stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.writebacks += s.writebacks;
+            l1.invalidations += s.invalidations;
+        }
+        let mut banks = BankStats::default();
+        for b in &self.banks {
+            let s = b.stats();
+            banks.hits += s.hits;
+            banks.misses += s.misses;
+            banks.insertions += s.insertions;
+            banks.evictions += s.evictions;
+            banks.dirty_evictions += s.dirty_evictions;
+            banks.bytes_accessed += s.bytes_accessed;
+        }
+        let mut directory = disco_cache::coherence::DirStats::default();
+        for d in &self.dirs {
+            let s = d.stats();
+            directory.bank_reads += s.bank_reads;
+            directory.owner_forwards += s.owner_forwards;
+            directory.invalidations += s.invalidations;
+            directory.write_requests += s.write_requests;
+        }
+        let net = *self.net.stats();
+        let disco_stats = self.disco.as_ref().map(|d| *d.stats());
+        let tiles = self.tiles.len() as u64;
+        let energy_counts = EnergyCounts {
+            cycles: net.cycles,
+            routers: tiles,
+            banks: tiles,
+            compressor_sites: self.placement.compressor_sites(tiles as usize),
+            buffer_writes: net.buffer_writes,
+            buffer_reads: net.buffer_reads,
+            crossbar_flits: net.crossbar_flits,
+            arbitrations: net.arbitrations,
+            link_flits: net.link_flits,
+            bank_accesses: banks.hits + banks.misses + banks.insertions,
+            bank_bytes: banks.bytes_accessed,
+            compressions: self.codec_ops.compressions
+                + disco_stats.map_or(0, |d| d.compressions + d.incompressible),
+            decompressions: self.codec_ops.decompressions
+                + disco_stats.map_or(0, |d| d.decompressions),
+        };
+        let energy = self.energy_model.evaluate(&energy_counts);
+        SimReport {
+            placement: self.placement,
+            scheme: self.scheme,
+            cycles: net.cycles,
+            demand_misses: self.demand_misses,
+            total_miss_latency: self.total_miss_latency,
+            total_onchip_latency: self.onchip_miss_latency,
+            latency_histogram: self.latency_histogram,
+            l1,
+            banks,
+            directory,
+            network: net,
+            dram: *self.dram.stats(),
+            compression: self.compression,
+            disco: disco_stats,
+            energy_counts,
+            energy,
+        }
+    }
+}
+
+/// Builder for a full-system simulation (the public entry point).
+///
+/// ```
+/// use disco_core::{CompressionPlacement, SimBuilder};
+/// use disco_workloads::Benchmark;
+///
+/// # fn main() -> Result<(), disco_core::SimError> {
+/// let report = SimBuilder::new()
+///     .mesh(2, 2)
+///     .placement(CompressionPlacement::Disco)
+///     .benchmark(Benchmark::Swaptions)
+///     .trace_len(300)
+///     .seed(1)
+///     .run()?;
+/// assert!(report.avg_access_latency() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    cols: usize,
+    rows: usize,
+    placement: CompressionPlacement,
+    scheme: SchemeKind,
+    profile: WorkloadProfile,
+    trace_len: usize,
+    seed: u64,
+    mshr_entries: usize,
+    noc: NocConfig,
+    l1: L1Config,
+    bank: BankConfig,
+    dram: DramConfig,
+    disco: DiscoParams,
+    energy: EnergyModel,
+    max_cycles: u64,
+    scale_profile: bool,
+    demote_override: Option<bool>,
+    external_traces: Option<Vec<Vec<MemAccess>>>,
+    prefetch_next_line: bool,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimBuilder {
+    /// Table 2 defaults: 4×4 mesh, delta codec, DISCO placement,
+    /// blackscholes.
+    pub fn new() -> Self {
+        SimBuilder {
+            cols: 4,
+            rows: 4,
+            placement: CompressionPlacement::Disco,
+            scheme: SchemeKind::Delta,
+            profile: Benchmark::Blackscholes.profile(),
+            trace_len: 10_000,
+            seed: 1,
+            mshr_entries: 8,
+            noc: NocConfig::default(),
+            l1: L1Config::default(),
+            bank: BankConfig::default(),
+            dram: DramConfig::default(),
+            disco: DiscoParams::default(),
+            energy: EnergyModel::default(),
+            max_cycles: 0, // auto
+            scale_profile: true,
+            demote_override: None,
+            external_traces: None,
+            prefetch_next_line: false,
+        }
+    }
+
+    /// Mesh dimensions (tiles = cols × rows; one core + one bank each).
+    pub fn mesh(mut self, cols: usize, rows: usize) -> Self {
+        self.cols = cols;
+        self.rows = rows;
+        self
+    }
+
+    /// Compression placement to simulate.
+    pub fn placement(mut self, placement: CompressionPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Compression scheme.
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Workload, by benchmark.
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.profile = benchmark.profile();
+        self
+    }
+
+    /// Workload, by explicit profile.
+    pub fn profile(mut self, profile: WorkloadProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Accesses generated per core.
+    pub fn trace_len(mut self, len: usize) -> Self {
+        self.trace_len = len;
+        self
+    }
+
+    /// RNG seed (traces and values are fully deterministic given it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// MSHR entries per core.
+    pub fn mshr_entries(mut self, n: usize) -> Self {
+        self.mshr_entries = n;
+        self
+    }
+
+    /// NoC parameters.
+    pub fn noc(mut self, noc: NocConfig) -> Self {
+        self.noc = noc;
+        self
+    }
+
+    /// Bank parameters (the `compressed` flag is overridden by the
+    /// placement).
+    pub fn bank(mut self, bank: BankConfig) -> Self {
+        self.bank = bank;
+        self
+    }
+
+    /// DISCO arbitrator parameters.
+    pub fn disco_params(mut self, params: DiscoParams) -> Self {
+        self.disco = params;
+        self
+    }
+
+    /// Energy model.
+    pub fn energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Cycle budget (0 = auto: generous multiple of the trace length).
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Whether to scale the working set with the core count (Fig. 8).
+    pub fn scale_profile(mut self, scale: bool) -> Self {
+        self.scale_profile = scale;
+        self
+    }
+
+    /// Overrides the §3.3-B rule-2 scheduling policy (by default it is on
+    /// exactly for the DISCO placement). Used by the scheduling ablation.
+    pub fn demote_uncompressed(mut self, demote: bool) -> Self {
+        self.demote_override = Some(demote);
+        self
+    }
+
+    /// Enables a next-line prefetcher at each L1: every demand miss for
+    /// line `L` also fetches `L + 1` when an MSHR is free (prefetch
+    /// fills never count toward the demand-latency metric).
+    pub fn prefetch_next_line(mut self, enable: bool) -> Self {
+        self.prefetch_next_line = enable;
+        self
+    }
+
+    /// Drives the cores with externally supplied traces (one per core,
+    /// e.g. loaded with [`disco_workloads::read_traces`]) instead of the
+    /// synthetic generator. Missing cores idle; extra traces are an
+    /// error at [`run`](SimBuilder::run). The workload profile still
+    /// provides the *value model* for line contents.
+    pub fn traces(mut self, traces: Vec<Vec<MemAccess>>) -> Self {
+        self.external_traces = Some(traces);
+        self
+    }
+
+    /// Builds and runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] if the system does not drain within
+    /// the cycle budget.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        let tiles_n = self.cols * self.rows;
+        let mesh = Mesh::new(self.cols, self.rows);
+        let mut noc = self.noc;
+        noc.scheduling.demote_uncompressed = self
+            .demote_override
+            .unwrap_or(self.placement == CompressionPlacement::Disco);
+        let net = Network::new(mesh, noc);
+        let profile = if self.scale_profile {
+            self.profile.scaled_to(tiles_n)
+        } else {
+            self.profile
+        };
+        // SC² is a *statistical* codec: train its value frequency table on
+        // a sample of the workload's lines, as the hardware samples cache
+        // contents (Arelakis & Stenström). Other codecs are stateless.
+        let codec = if self.scheme == SchemeKind::Sc2 {
+            let model = ValueModel::new(profile.value, self.seed ^ 0xda7a);
+            let sample: Vec<_> = (0..2_048u64).map(|a| model.line(a * 7 + 1, 0)).collect();
+            Codec::Sc2(disco_compress::sc2::Sc2Codec::train(&sample))
+        } else {
+            Codec::from_kind(self.scheme)
+        };
+        let traces = match self.external_traces {
+            Some(mut t) => {
+                assert!(
+                    t.len() <= tiles_n,
+                    "{} traces supplied for {tiles_n} cores",
+                    t.len()
+                );
+                t.resize_with(tiles_n, Vec::new);
+                t
+            }
+            None => TraceGenerator::new(profile, tiles_n, self.seed).generate(self.trace_len),
+        };
+        let tiles: Vec<Tile> = traces
+            .into_iter()
+            .map(|trace| {
+                let next = trace.first().map_or(0, |a| a.gap);
+                Tile {
+                    l1: L1Cache::new(self.l1),
+                    mshr: MshrFile::new(self.mshr_entries),
+                    trace,
+                    pos: 0,
+                    next_issue_at: next,
+                    poisoned: std::collections::HashSet::new(),
+                }
+            })
+            .collect();
+        let bank_cfg = BankConfig {
+            compressed: self.placement.compressed_storage(),
+            ..self.bank
+        };
+        let banks = (0..tiles_n).map(|i| NucaBank::new(bank_cfg, i, tiles_n)).collect();
+        let disco = (self.placement == CompressionPlacement::Disco)
+            .then(|| DiscoLayer::new(self.disco, codec.clone(), tiles_n));
+        // Memory controllers at the mesh corners.
+        let mcs = vec![
+            0,
+            self.cols - 1,
+            tiles_n - self.cols,
+            tiles_n - 1,
+        ];
+        let max_cycles = if self.max_cycles > 0 {
+            self.max_cycles
+        } else {
+            // Generous: every access could serialize behind DRAM.
+            (self.trace_len as u64 * 400).max(2_000_000)
+        };
+        let system = System {
+            placement: self.placement,
+            scheme: self.scheme,
+            codec,
+            net,
+            disco,
+            tiles,
+            banks,
+            dirs: (0..tiles_n).map(|_| Directory::new()).collect(),
+            bank_pending: (0..tiles_n).map(|_| HashMap::new()).collect(),
+            dram: Dram::new(self.dram),
+            mcs,
+            values: ValueModel::new(profile.value, self.seed ^ 0xda7a),
+            versions: HashMap::new(),
+            events: BTreeMap::new(),
+            demand_misses: 0,
+            total_miss_latency: 0,
+            onchip_miss_latency: 0,
+            latency_histogram: LatencyHistogram::new(),
+            dram_service: HashMap::new(),
+            fill_penalty: HashMap::new(),
+            compression: CompressionStats::new(),
+            codec_ops: CodecOps::default(),
+            energy_model: self.energy,
+            banks_total: tiles_n,
+            prefetch_next_line: self.prefetch_next_line,
+        };
+        system.run(max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(placement: CompressionPlacement) -> SimReport {
+        SimBuilder::new()
+            .mesh(2, 2)
+            .placement(placement)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(5)
+            .run()
+            .expect("tiny run drains")
+    }
+
+    #[test]
+    fn builder_defaults_match_table2() {
+        let b = SimBuilder::new();
+        assert_eq!(b.cols * b.rows, 16);
+        assert_eq!(b.mshr_entries, 8);
+        assert_eq!(b.noc.vcs, 2);
+        assert_eq!(b.bank.assoc, 8);
+        assert_eq!(b.scheme, SchemeKind::Delta);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny(CompressionPlacement::Disco);
+        let b = tiny(CompressionPlacement::Disco);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.total_miss_latency, b.total_miss_latency);
+        assert_eq!(a.network.link_flits, b.network.link_flits);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tiny(CompressionPlacement::Baseline);
+        let b = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Baseline)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(6)
+            .run()
+            .expect("drains");
+        assert_ne!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn all_accesses_complete() {
+        for placement in CompressionPlacement::ALL {
+            let r = tiny(placement);
+            // Every L1 miss became a completed demand miss (merged misses
+            // complete with their primary).
+            assert!(r.demand_misses > 0, "{placement}");
+            assert!(r.l1.hits + r.l1.misses >= 4 * 200, "{placement}: all accesses issued");
+        }
+    }
+
+    #[test]
+    fn onchip_latency_is_bounded_by_total() {
+        let r = tiny(CompressionPlacement::CacheOnly);
+        assert!(r.total_onchip_latency <= r.total_miss_latency);
+        assert!(r.avg_onchip_latency() > 0.0);
+    }
+
+    #[test]
+    fn baseline_never_compresses() {
+        let r = tiny(CompressionPlacement::Baseline);
+        assert_eq!(r.compression.lines(), 0);
+        assert_eq!(r.energy_counts.compressions, 0);
+        assert_eq!(r.energy_counts.decompressions, 0);
+        assert_eq!(r.energy_counts.compressor_sites, 0);
+    }
+
+    #[test]
+    fn compressed_placements_record_ratio() {
+        for placement in [
+            CompressionPlacement::Ideal,
+            CompressionPlacement::CacheOnly,
+            CompressionPlacement::CacheAndNi,
+            CompressionPlacement::Disco,
+        ] {
+            let r = tiny(placement);
+            assert!(r.compression.lines() > 0, "{placement}");
+            assert!(r.compression.mean_ratio() > 1.0, "{placement}");
+        }
+    }
+
+    #[test]
+    fn cnc_charges_more_codec_ops_than_cc() {
+        let cc = tiny(CompressionPlacement::CacheOnly);
+        let cnc = tiny(CompressionPlacement::CacheAndNi);
+        assert!(
+            cnc.energy_counts.compressions + cnc.energy_counts.decompressions
+                > cc.energy_counts.compressions + cc.energy_counts.decompressions,
+            "two-level compression must do more codec work"
+        );
+    }
+
+    #[test]
+    fn deadline_error_reports_outstanding() {
+        let err = SimBuilder::new()
+            .mesh(2, 2)
+            .benchmark(Benchmark::Canneal)
+            .trace_len(5_000)
+            .max_cycles(50)
+            .run()
+            .expect_err("cannot drain in 50 cycles");
+        let SimError::DeadlineExceeded { max_cycles, outstanding, suspicious_stalls } = err;
+        assert_eq!(max_cycles, 50);
+        assert!(outstanding > 0);
+        assert_eq!(suspicious_stalls, 0, "a too-small budget is not a deadlock");
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn sc2_runs_with_trained_table() {
+        let r = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Disco)
+            .scheme(SchemeKind::Sc2)
+            .benchmark(Benchmark::X264)
+            .trace_len(200)
+            .seed(5)
+            .run()
+            .expect("drains");
+        assert_eq!(r.scheme, SchemeKind::Sc2);
+        assert!(r.compression.mean_ratio() > 1.2, "trained SC2 must compress x264 lines");
+    }
+
+    #[test]
+    fn larger_mesh_scales_home_banks() {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(100)
+            .seed(5)
+            .run()
+            .expect("drains");
+        assert_eq!(r.energy_counts.banks, 16);
+        assert_eq!(r.energy_counts.routers, 16);
+    }
+
+    #[test]
+    fn coherence_traffic_appears_with_sharing() {
+        // Ferret has heavy sharing: invalidations must occur.
+        let r = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Baseline)
+            .benchmark(Benchmark::Ferret)
+            .trace_len(2_000)
+            .seed(5)
+            .run()
+            .expect("drains");
+        assert!(r.l1.invalidations > 0, "MOESI invalidations expected");
+    }
+
+    #[test]
+    fn disco_layer_present_only_for_disco() {
+        assert!(tiny(CompressionPlacement::Disco).disco.is_some());
+        assert!(tiny(CompressionPlacement::Ideal).disco.is_none());
+        assert!(tiny(CompressionPlacement::Baseline).disco.is_none());
+    }
+}

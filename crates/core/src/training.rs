@@ -1,0 +1,167 @@
+//! Offline training of the arbitrator's empirical parameters.
+//!
+//! §3.2: "We use the real workload traces from the NoC simulator to
+//! train the empirical parameters: local coefficient α and distance
+//! coefficient β … the values of `CC_th` and `CD_th` \[are\] also
+//! determined based on the experimental observation." This module
+//! reproduces that flow: coordinate descent over a parameter grid, each
+//! point scored by running the full system on training workloads and
+//! taking the geometric-mean on-chip latency.
+
+use crate::arbitrator::DiscoParams;
+use crate::placement::CompressionPlacement;
+use crate::system::SimBuilder;
+use disco_workloads::Benchmark;
+
+/// The candidate values swept per parameter (coordinate descent visits
+/// one axis at a time, so cost is the *sum* of the axis lengths times
+/// the training workload count, not their product).
+#[derive(Debug, Clone)]
+pub struct TrainingGrid {
+    /// Candidate `CC_th` values.
+    pub cc_thresholds: Vec<f64>,
+    /// Candidate `CD_th` values.
+    pub cd_thresholds: Vec<f64>,
+    /// Candidate γ values (Eq. 1 local coefficient).
+    pub gammas: Vec<f64>,
+    /// Candidate α values (Eq. 2 local coefficient).
+    pub alphas: Vec<f64>,
+    /// Candidate β values (Eq. 2 distance coefficient).
+    pub betas: Vec<f64>,
+}
+
+impl Default for TrainingGrid {
+    fn default() -> Self {
+        TrainingGrid {
+            cc_thresholds: vec![0.0, 0.5, 1.0, 2.0, 4.0],
+            cd_thresholds: vec![0.0, 0.5, 1.0, 2.0],
+            gammas: vec![0.25, 0.5, 1.0],
+            alphas: vec![0.25, 0.5, 1.0],
+            betas: vec![0.5, 1.0, 1.5, 2.5],
+        }
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingPoint {
+    /// The parameters evaluated.
+    pub params: DiscoParams,
+    /// Geometric-mean on-chip latency across the training workloads
+    /// (lower is better).
+    pub score: f64,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    /// Best parameters found.
+    pub best: TrainingPoint,
+    /// Every configuration evaluated, in visit order.
+    pub history: Vec<TrainingPoint>,
+}
+
+/// Trains the arbitrator parameters on the given workloads.
+///
+/// Runs one coordinate-descent pass over [`TrainingGrid`], starting from
+/// `DiscoParams::default()`; each point costs one full-system simulation
+/// per training benchmark (keep `trace_len` modest).
+///
+/// # Panics
+///
+/// Panics if `benchmarks` is empty or any training simulation fails to
+/// drain.
+pub fn train(
+    benchmarks: &[Benchmark],
+    trace_len: usize,
+    seed: u64,
+    grid: &TrainingGrid,
+) -> Trained {
+    assert!(!benchmarks.is_empty(), "training needs at least one workload");
+    let score_of = |params: DiscoParams| -> f64 {
+        let mut log_sum = 0.0;
+        for &b in benchmarks {
+            let r = SimBuilder::new()
+                .mesh(4, 4)
+                .placement(CompressionPlacement::Disco)
+                .benchmark(b)
+                .trace_len(trace_len)
+                .disco_params(params)
+                .seed(seed)
+                .run()
+                .unwrap_or_else(|e| panic!("training run {b}: {e}"));
+            log_sum += r.avg_onchip_latency().max(1.0).ln();
+        }
+        (log_sum / benchmarks.len() as f64).exp()
+    };
+
+    let mut best = TrainingPoint { params: DiscoParams::default(), score: f64::INFINITY };
+    let mut history = Vec::new();
+    best.score = score_of(best.params);
+    history.push(best);
+
+    // Coordinate descent: one axis at a time, keeping the best value.
+    type Setter = fn(&mut DiscoParams, f64);
+    let axes: [(&[f64], Setter); 5] = [
+        (&grid.cc_thresholds, |p, v| p.cc_threshold = v),
+        (&grid.cd_thresholds, |p, v| p.cd_threshold = v),
+        (&grid.gammas, |p, v| p.gamma = v),
+        (&grid.alphas, |p, v| p.alpha = v),
+        (&grid.betas, |p, v| p.beta = v),
+    ];
+    for (values, set) in axes {
+        for &v in values {
+            let mut candidate = best.params;
+            set(&mut candidate, v);
+            if candidate == best.params {
+                continue; // already scored
+            }
+            let point = TrainingPoint { params: candidate, score: score_of(candidate) };
+            history.push(point);
+            if point.score < best.score {
+                best = point;
+            }
+        }
+    }
+    Trained { best, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> TrainingGrid {
+        TrainingGrid {
+            cc_thresholds: vec![0.5, 64.0],
+            cd_thresholds: vec![0.5],
+            gammas: vec![0.5],
+            alphas: vec![0.5],
+            betas: vec![1.5],
+        }
+    }
+
+    #[test]
+    fn training_explores_and_improves_or_matches() {
+        let trained = train(&[Benchmark::Dedup], 600, 3, &tiny_grid());
+        assert!(trained.history.len() >= 2, "must evaluate beyond the default");
+        let default_score = trained.history[0].score;
+        assert!(trained.best.score <= default_score + 1e-9);
+        // The absurd CC_th = 64 (no compression ever) must not win on a
+        // congested workload.
+        assert!(trained.best.params.cc_threshold < 64.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = train(&[Benchmark::Swaptions], 300, 5, &tiny_grid());
+        let b = train(&[Benchmark::Swaptions], 300, 5, &tiny_grid());
+        assert_eq!(a.best.score, b.best.score);
+        assert_eq!(a.best.params, b.best.params);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_benchmarks_rejected() {
+        let _ = train(&[], 100, 1, &tiny_grid());
+    }
+}

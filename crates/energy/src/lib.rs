@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! 45 nm event-based energy and area models for the DISCO reproduction.
+//!
+//! Stands in for the paper's tooling (§4.2–4.3): Orion 2.0 for NoC power,
+//! CACTI for the NUCA banks, and Design-Compiler synthesis (FreePDK45) for
+//! the DISCO compressor and arbitrator. The simulator counts events
+//! ([`model::EnergyCounts`]); [`model::EnergyModel`] converts them to
+//! picojoules, and [`area::AreaModel`] reproduces the §4.3 area overhead
+//! comparison (DISCO = 17.2 % of a router, < 1 % of the 4 MB NUCA,
+//! ~half of CNC's compressor area).
+//!
+//! ```
+//! use disco_energy::{AreaModel, EnergyModel};
+//! use disco_energy::model::EnergyCounts;
+//!
+//! let energy = EnergyModel::default().evaluate(&EnergyCounts {
+//!     cycles: 1_000, routers: 16, banks: 16, link_flits: 5_000,
+//!     ..EnergyCounts::default()
+//! });
+//! assert!(energy.total_pj() > 0.0);
+//! let area = AreaModel::default().disco(16);
+//! assert!(area.of_cache < 0.01);
+//! ```
+
+pub mod area;
+pub mod model;
+
+pub use area::{AreaModel, PlacementArea};
+pub use model::{EnergyBreakdown, EnergyCounts, EnergyModel};

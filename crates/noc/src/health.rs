@@ -1,0 +1,243 @@
+//! Liveness diagnostics: detect stuck packets and report exactly where
+//! and why they are stuck.
+//!
+//! Deadlock in a flit-level simulator is silent — the cycle loop keeps
+//! spinning while nothing moves. [`Network::health_check`] walks every
+//! virtual channel and classifies the oldest non-moving occupants, which
+//! turns a mysterious timeout into an actionable report (locked VC,
+//! credit starvation, missing tail, unrouted head).
+
+use crate::network::Network;
+use crate::packet::PacketId;
+use crate::router::PORTS;
+use crate::topology::{Direction, NodeId};
+use std::fmt;
+
+/// Why a buffered packet is not making progress right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The VC carries the DISCO shadow lock.
+    Locked,
+    /// The downstream VC on its route has no credits.
+    NoCredit,
+    /// The packet is queued behind another packet in the same VC.
+    BehindOther,
+    /// The packet's head has left but no tail flit exists anywhere in
+    /// the buffer — if this persists, the VC can never be released
+    /// (the orphaned-tail bug class).
+    MissingTail,
+    /// The head flit is present but the route has not been computed yet
+    /// (normal for one cycle; suspicious if it persists).
+    Unrouted,
+    /// None of the above: the packet should be schedulable.
+    Schedulable,
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallReason::Locked => "VC locked",
+            StallReason::NoCredit => "no downstream credit",
+            StallReason::BehindOther => "queued behind another packet",
+            StallReason::MissingTail => "head departed, no tail buffered",
+            StallReason::Unrouted => "head not yet routed",
+            StallReason::Schedulable => "schedulable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One stuck-packet observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInfo {
+    /// Router holding the flits.
+    pub node: NodeId,
+    /// Input port index.
+    pub port: usize,
+    /// Virtual channel index.
+    pub vc: usize,
+    /// The packet observed.
+    pub packet: PacketId,
+    /// Buffered flits of that packet.
+    pub resident_flits: usize,
+    /// The classification.
+    pub reason: StallReason,
+}
+
+impl Network {
+    /// Scans every input VC and reports the state of each buffered
+    /// packet. Call this when a drain loop exceeds its deadline: entries
+    /// whose reason is *not* [`StallReason::Schedulable`] or
+    /// [`StallReason::BehindOther`] across repeated checks indicate a
+    /// flow-control bug.
+    pub fn health_check(&self) -> Vec<StallInfo> {
+        let mut out = Vec::new();
+        for node in 0..self.mesh().nodes() {
+            let router = self.router(NodeId(node));
+            for port in 0..PORTS {
+                for vc in 0..self.config().vcs {
+                    let vc_ref = router.vc(port, vc);
+                    for (idx, packet) in vc_ref.resident_packets().into_iter().enumerate() {
+                        let resident = vc_ref.resident_of(packet);
+                        let reason = if idx > 0 {
+                            StallReason::BehindOther
+                        } else if vc_ref.is_locked() {
+                            StallReason::Locked
+                        } else if vc_ref.front_is_head() {
+                            match vc_ref.routed_dir() {
+                                None => StallReason::Unrouted,
+                                Some(Direction::Local) => StallReason::Schedulable,
+                                Some(dir) => {
+                                    if router.credit_in(dir, vc) == 0 {
+                                        StallReason::NoCredit
+                                    } else {
+                                        StallReason::Schedulable
+                                    }
+                                }
+                            }
+                        } else if !vc_ref.has_tail_of(packet) {
+                            StallReason::MissingTail
+                        } else {
+                            StallReason::Schedulable
+                        };
+                        out.push(StallInfo {
+                            node: NodeId(node),
+                            port,
+                            vc,
+                            packet,
+                            resident_flits: resident,
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any buffered packet is in a state that cannot resolve by
+    /// itself (locked or tail-less). A healthy congested network returns
+    /// `false` — credit and queueing stalls clear on their own.
+    pub fn has_suspicious_stall(&self) -> bool {
+        self.health_check()
+            .iter()
+            .any(|s| matches!(s.reason, StallReason::Locked | StallReason::MissingTail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use crate::packet::{flits_for, PacketClass, Payload};
+    use crate::topology::Mesh;
+    use disco_compress::CacheLine;
+
+    #[test]
+    fn empty_network_is_healthy() {
+        let net = Network::new(Mesh::new(3, 3), NocConfig::default());
+        assert!(net.health_check().is_empty());
+        assert!(!net.has_suspicious_stall());
+    }
+
+    #[test]
+    fn credit_starvation_is_reported_but_not_suspicious() {
+        let mut net = Network::new(Mesh::new(2, 1), NocConfig::default());
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(CacheLine::zeroed()),
+            true,
+            0,
+        );
+        assert!(net.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 8));
+        for _ in 0..20 {
+            net.tick();
+        }
+        let report = net.health_check();
+        assert!(
+            report.iter().any(|s| s.reason == StallReason::NoCredit),
+            "{report:?}"
+        );
+        assert!(!net.has_suspicious_stall());
+    }
+
+    #[test]
+    fn locked_vc_is_suspicious() {
+        let mut net = Network::new(Mesh::new(2, 1), NocConfig::default());
+        let id = net.store_mut().create(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(CacheLine::zeroed()),
+            true,
+            0,
+            0,
+        );
+        let local = Direction::Local.index();
+        for f in flits_for(id, 3, 0) {
+            net.router_mut(NodeId(0)).accept(local, 1, f);
+        }
+        net.router_mut(NodeId(0)).set_locked(local, 1, true);
+        assert!(net.has_suspicious_stall());
+        let report = net.health_check();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].reason, StallReason::Locked);
+        assert_eq!(report[0].resident_flits, 3);
+    }
+
+    #[test]
+    fn missing_tail_is_suspicious() {
+        let mut net = Network::new(Mesh::new(2, 1), NocConfig::default());
+        let id = net.store_mut().create(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(CacheLine::zeroed()),
+            true,
+            0,
+            0,
+        );
+        // Body flits only: as if the head departed and the tail vanished.
+        let local = Direction::Local.index();
+        let flits = flits_for(id, 8, 0);
+        for f in &flits[1..4] {
+            net.router_mut(NodeId(0)).accept(local, 1, *f);
+        }
+        assert!(net.has_suspicious_stall());
+        assert!(net
+            .health_check()
+            .iter()
+            .any(|s| s.reason == StallReason::MissingTail));
+    }
+
+    #[test]
+    fn queued_follower_reported_as_behind() {
+        let mut net = Network::new(Mesh::new(2, 1), NocConfig::default());
+        let mk = |net: &mut Network, tag| {
+            net.store_mut().create(
+                NodeId(0),
+                NodeId(1),
+                PacketClass::Response,
+                Payload::Raw(CacheLine::zeroed()),
+                true,
+                0,
+                tag,
+            )
+        };
+        let a = mk(&mut net, 0);
+        let b = mk(&mut net, 1);
+        let local = Direction::Local.index();
+        for f in flits_for(a, 3, 0) {
+            net.router_mut(NodeId(0)).accept(local, 1, f);
+        }
+        for f in flits_for(b, 2, 0) {
+            net.router_mut(NodeId(0)).accept(local, 1, f);
+        }
+        let report = net.health_check();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[1].reason, StallReason::BehindOther);
+        assert_eq!(report[1].packet, b);
+    }
+}

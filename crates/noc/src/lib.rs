@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Cycle-stepped mesh Network-on-Chip simulator for the DISCO
+//! reproduction.
+//!
+//! Models the substrate the paper evaluates on (Booksim-class fidelity,
+//! Table 2 parameters): a `k×k` 2-D mesh of 5-port routers with a 3-stage
+//! pipeline, two virtual channels (one virtual network for
+//! request/coherence traffic, one for data responses), 8-flit input
+//! buffers, credit-based backpressure, deterministic XY routing, and
+//! wormhole / virtual cut-through / store-and-forward flow control
+//! (§3.3-A).
+//!
+//! The DISCO router extensions (compressor engine, arbitrator, shadow
+//! packets) live in `disco-core` and drive this crate through a dedicated
+//! extension API: [`Router`] exposes SA losers, credit counters, and
+//! VC locking; [`Network::reshape_resident`] swaps shadow flits for
+//! de/compressed ones with credit-correct buffer accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use disco_noc::{Network, NocConfig};
+//! use disco_noc::packet::{PacketClass, Payload};
+//! use disco_noc::topology::{Mesh, NodeId};
+//!
+//! let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+//! net.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 0);
+//! for _ in 0..100 {
+//!     net.tick();
+//! }
+//! assert_eq!(net.take_delivered(NodeId(15)).len(), 1);
+//! ```
+
+pub mod config;
+pub mod health;
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod topology;
+pub mod traffic;
+
+pub use config::{FlowControl, NocConfig, SchedulingPolicy};
+pub use routing::RoutingAlgorithm;
+pub use health::{StallInfo, StallReason};
+pub use network::{Network, MAX_PACKET_FLITS};
+pub use packet::{Flit, FlitKind, Packet, PacketClass, PacketId, PacketStore, Payload, FLIT_BYTES};
+pub use router::{Router, Vc, PORTS};
+pub use stats::NetworkStats;
+pub use traffic::{TrafficDriver, TrafficPattern};
+pub use topology::{Direction, Mesh, NodeId};

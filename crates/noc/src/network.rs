@@ -1,0 +1,578 @@
+//! The cycle-stepped network: routers, links, NI injection/ejection, and
+//! the extension API the DISCO layer drives.
+
+use crate::config::{FlowControl, NocConfig};
+use crate::packet::{flits_for, Flit, Packet, PacketClass, PacketId, PacketStore, Payload};
+use crate::router::Router;
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, Mesh, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum packet size in flits: an uncompressed 64 B payload.
+pub const MAX_PACKET_FLITS: usize =
+    disco_compress::LINE_BYTES / crate::packet::FLIT_BYTES;
+
+/// In-progress injection of one packet at a node's NI.
+#[derive(Debug, Clone, Copy)]
+struct InjectProgress {
+    packet: PacketId,
+    sent: usize,
+    total: usize,
+}
+
+/// The mesh network.
+///
+/// ```
+/// use disco_noc::{Network, NocConfig};
+/// use disco_noc::topology::{Mesh, NodeId};
+/// use disco_noc::packet::{PacketClass, Payload};
+///
+/// let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+/// net.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 7);
+/// while net.take_delivered(NodeId(15)).is_empty() {
+///     net.tick();
+///     assert!(net.now() < 1_000, "packet must arrive");
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    mesh: Mesh,
+    config: NocConfig,
+    routers: Vec<Router>,
+    store: PacketStore,
+    /// Per-node, per-VC injection queues.
+    inject_q: Vec<Vec<VecDeque<PacketId>>>,
+    /// Per-node in-flight injection (one NI port, one packet at a time
+    /// per VC).
+    inject_progress: Vec<Vec<Option<InjectProgress>>>,
+    /// Round-robin over VCs for the single NI injection port.
+    inject_rr: Vec<usize>,
+    /// Packets fully ejected at each node, awaiting pickup.
+    delivered: Vec<Vec<PacketId>>,
+    stats: NetworkStats,
+    now: u64,
+}
+
+impl Network {
+    /// Builds an idle network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, or if a non-wormhole flow
+    /// control is paired with buffers too small to hold a whole packet
+    /// (§3.3-A requires whole-packet residency for VCT/SAF).
+    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+        config.validate();
+        if config.flow_control != FlowControl::Wormhole {
+            assert!(
+                config.buffer_depth >= MAX_PACKET_FLITS,
+                "VCT/SAF need buffer_depth >= {MAX_PACKET_FLITS} to hold a whole packet"
+            );
+        }
+        let n = mesh.nodes();
+        Network {
+            mesh,
+            config,
+            routers: (0..n).map(|i| Router::new(NodeId(i), config)).collect(),
+            store: PacketStore::new(),
+            inject_q: vec![vec![VecDeque::new(); config.vcs]; n],
+            inject_progress: vec![vec![None; config.vcs]; n],
+            inject_rr: vec![0; n],
+            delivered: vec![Vec::new(); n],
+            stats: NetworkStats::new(),
+            now: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// The central packet store.
+    pub fn store(&self) -> &PacketStore {
+        &self.store
+    }
+
+    /// Mutable packet store (the DISCO layer swaps payloads here).
+    pub fn store_mut(&mut self) -> &mut PacketStore {
+        &mut self.store
+    }
+
+    /// Read access to a router (extension API).
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.0]
+    }
+
+    /// Write access to a router (extension API: locking VCs).
+    pub fn router_mut(&mut self, node: NodeId) -> &mut Router {
+        &mut self.routers[node.0]
+    }
+
+    /// Enqueues a packet for injection at `src`'s NI. Returns its id.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: PacketClass,
+        payload: Payload,
+        compressible: bool,
+        tag: u64,
+    ) -> PacketId {
+        let id = self.store.create(src, dst, class, payload, compressible, self.now, tag);
+        // Balance injection across the class's VC group.
+        let vc = class
+            .vc_range(self.config.vcs)
+            .min_by_key(|&v| self.inject_q[src.0][v].len())
+            .expect("class groups are non-empty");
+        self.inject_q[src.0][vc].push_back(id);
+        self.stats.packets_injected += 1;
+        id
+    }
+
+    /// Packets fully delivered at `node` since the last call, removed from
+    /// the store.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Packet> {
+        let ids = std::mem::take(&mut self.delivered[node.0]);
+        ids.into_iter().map(|id| self.store.remove(id)).collect()
+    }
+
+    /// True when no packet is queued, in flight, or awaiting pickup.
+    pub fn is_idle(&self) -> bool {
+        self.store.is_empty()
+            && self.routers.iter().all(|r| r.total_buffered() == 0)
+            && self.inject_q.iter().flatten().all(|q| q.is_empty())
+    }
+
+    /// Advances the network one cycle: injection, RC/VA, SA/ST, link
+    /// traversal, ejection.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.inject();
+        for r in &mut self.routers {
+            r.rc_va(self.now, &self.store, &self.mesh);
+        }
+        // SA + switch/link traversal, router by router. Flits delivered to a
+        // neighbour become ready only after the pipeline delay, so a flit
+        // advances at most one hop per cycle regardless of router order.
+        for i in 0..self.routers.len() {
+            let departures = self.routers[i].sa(self.now, &self.store);
+            self.stats.sa_losses += self.routers[i].sa_losers().len() as u64;
+            if !departures.is_empty() {
+                self.stats.arbitrations += 1;
+            }
+            for dep in departures {
+                self.stats.buffer_reads += 1;
+                self.stats.crossbar_flits += 1;
+                // Return a credit upstream for the freed slot.
+                if dep.in_port != Direction::Local.index() {
+                    let from_dir = Direction::ALL[dep.in_port];
+                    if let Some(up) = self.mesh.neighbor(NodeId(i), from_dir) {
+                        self.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
+                    }
+                }
+                if dep.out == Direction::Local {
+                    self.eject(NodeId(i), dep.flit);
+                } else {
+                    let next = self
+                        .mesh
+                        .neighbor(NodeId(i), dep.out)
+                        .expect("routing never exits the mesh");
+                    let mut flit = dep.flit;
+                    flit.ready_at = self.now + self.config.pipeline_stages;
+                    self.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
+                    self.stats.link_flits += 1;
+                    self.stats.buffer_writes += 1;
+                }
+            }
+        }
+    }
+
+    /// NI injection: one flit per node per cycle, round-robin over VCs.
+    fn inject(&mut self) {
+        for node in 0..self.routers.len() {
+            let vcs = self.config.vcs;
+            let start = self.inject_rr[node];
+            for k in 0..vcs {
+                let vc = (start + k) % vcs;
+                if self.inject_progress[node][vc].is_none() {
+                    if let Some(&id) = self.inject_q[node][vc].front() {
+                        let total = self.store.get(id).size_flits();
+                        self.inject_q[node][vc].pop_front();
+                        self.inject_progress[node][vc] =
+                            Some(InjectProgress { packet: id, sent: 0, total });
+                    }
+                }
+                let Some(mut prog) = self.inject_progress[node][vc] else { continue };
+                let local = Direction::Local.index();
+                if self.routers[node].free_slots(local, vc) == 0 {
+                    continue;
+                }
+                let flits = flits_for(prog.packet, prog.total, self.now + 1);
+                self.routers[node].accept(local, vc, flits[prog.sent]);
+                self.stats.buffer_writes += 1;
+                prog.sent += 1;
+                self.inject_progress[node][vc] =
+                    (prog.sent < prog.total).then_some(prog);
+                self.inject_rr[node] = (vc + 1) % vcs;
+                break; // one flit per node per cycle
+            }
+        }
+    }
+
+    /// Handles a flit ejected at `node`'s NI.
+    fn eject(&mut self, node: NodeId, flit: Flit) {
+        if flit.kind.is_tail() {
+            let pkt = self.store.get(flit.packet);
+            self.stats.packets_delivered += 1;
+            let latency = self.now - pkt.injected_at;
+            self.stats.total_packet_latency += latency;
+            self.stats.total_hops += self.mesh.hops(pkt.src, pkt.dst) as u64;
+            let ci = crate::stats::class_index(pkt.class);
+            self.stats.delivered_by_class[ci] += 1;
+            self.stats.latency_by_class[ci] += latency;
+            self.delivered[node.0].push(flit.packet);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Extension API for in-network de/compression (used by disco-core).
+    // ------------------------------------------------------------------
+
+    /// Replaces the resident flits of one packet in a VC with `new_len`
+    /// flits, adjusting upstream credits for the freed (or consumed)
+    /// slots. Growth fails (returns `false`) when the buffer or the
+    /// upstream credit window cannot absorb it.
+    ///
+    /// `finalize` stamps proper head/tail kinds; mid-compression reshapes
+    /// leave the packet tail-less so it cannot be mistaken for complete.
+    pub fn reshape_resident(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        vc: usize,
+        packet: PacketId,
+        new_len: usize,
+        finalize: bool,
+    ) -> bool {
+        let seg_len = self.routers[node.0].vc(port, vc).resident_of(packet);
+        if seg_len == 0 {
+            return false;
+        }
+        if new_len > seg_len {
+            let growth = new_len - seg_len;
+            if self.routers[node.0].free_slots(port, vc) < growth {
+                return false;
+            }
+            if port != Direction::Local.index() {
+                let from_dir = Direction::ALL[port];
+                if let Some(up) = self.mesh.neighbor(node, from_dir) {
+                    if !self.routers[up.0].try_take_credits(from_dir.opposite(), vc, growth) {
+                        return false;
+                    }
+                }
+            }
+        }
+        let delta = self.routers[node.0].reshape_packet(port, vc, packet, new_len, finalize, self.now);
+        if delta < 0 && port != Direction::Local.index() {
+            let from_dir = Direction::ALL[port];
+            if let Some(up) = self.mesh.neighbor(node, from_dir) {
+                for _ in 0..(-delta) {
+                    self.routers[up.0].return_credit(from_dir.opposite(), vc);
+                }
+            }
+        }
+        true
+    }
+
+    /// Packets waiting in a node's NI injection queue for `vc` (none of
+    /// them has started injecting — the in-flight packet is popped when
+    /// injection begins). These are idle whole packets the DISCO layer
+    /// may compress in place.
+    pub fn inject_backlog(&self, node: NodeId, vc: usize) -> &VecDeque<PacketId> {
+        &self.inject_q[node.0][vc]
+    }
+
+    /// The downstream free-slot count on the route of the front packet of
+    /// `(node, port, vc)` — `credit_in{RC(packet)}` of Eq. (1)/(2). Returns
+    /// `None` when the packet has no computed route yet.
+    pub fn downstream_credits(&self, node: NodeId, port: usize, vc: usize) -> Option<usize> {
+        let r = &self.routers[node.0];
+        let dir = r.vc(port, vc).routed_dir()?;
+        if dir == Direction::Local {
+            return Some(usize::MAX / 2);
+        }
+        // Pressure is the best case over the class group's downstream VCs
+        // (the packet may win any of them).
+        let class = r.vc(port, vc).front_packet().map(|p| self.store.get(p).class)?;
+        class
+            .vc_range(self.config.vcs)
+            .map(|v| r.credit_in(dir, v))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_compress::CacheLine;
+
+    fn net(cols: usize, rows: usize) -> Network {
+        Network::new(Mesh::new(cols, rows), NocConfig::default())
+    }
+
+    fn run_until_delivered(net: &mut Network, node: NodeId, limit: u64) -> Vec<Packet> {
+        loop {
+            let got = net.take_delivered(node);
+            if !got.is_empty() {
+                return got;
+            }
+            net.tick();
+            assert!(net.now() < limit, "delivery deadline exceeded");
+        }
+    }
+
+    #[test]
+    fn single_flit_packet_crosses_mesh() {
+        let mut n = net(4, 4);
+        n.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 9);
+        let got = run_until_delivered(&mut n, NodeId(15), 200);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tag, 9);
+        assert!(n.is_idle());
+        assert_eq!(n.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn zero_load_latency_scales_with_hops() {
+        // One hop vs six hops: latency difference ≈ 5 * per-hop cost.
+        let mut a = net(4, 4);
+        a.send(NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0);
+        run_until_delivered(&mut a, NodeId(1), 100);
+        let lat1 = a.stats().avg_packet_latency();
+
+        let mut b = net(4, 4);
+        b.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 0);
+        run_until_delivered(&mut b, NodeId(15), 100);
+        let lat6 = b.stats().avg_packet_latency();
+        let per_hop = (lat6 - lat1) / 5.0;
+        assert!(
+            (per_hop - (NocConfig::default().pipeline_stages as f64)).abs() <= 1.0,
+            "per-hop cost {per_hop} should be ≈ pipeline depth"
+        );
+    }
+
+    #[test]
+    fn response_packet_carries_eight_flits() {
+        let mut n = net(2, 2);
+        let line = CacheLine::from_u64_words([42; 8]);
+        n.send(NodeId(0), NodeId(3), PacketClass::Response, Payload::Raw(line), true, 0);
+        let got = run_until_delivered(&mut n, NodeId(3), 200);
+        assert_eq!(got[0].size_flits(), 8);
+        assert_eq!(n.stats().link_flits, 8 * 2); // 2 hops
+        match &got[0].payload {
+            Payload::Raw(l) => assert_eq!(*l, line),
+            other => panic!("expected raw payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_packets_all_arrive() {
+        let mut n = net(4, 4);
+        let mut expected = vec![0usize; 16];
+        for i in 0..16 {
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..16 {
+                if i != j {
+                    n.send(
+                        NodeId(i),
+                        NodeId(j),
+                        PacketClass::Request,
+                        Payload::None,
+                        false,
+                        (i * 16 + j) as u64,
+                    );
+                    expected[j] += 1;
+                }
+            }
+        }
+        let mut got = vec![0usize; 16];
+        for _ in 0..5_000 {
+            n.tick();
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..16 {
+                got[j] += n.take_delivered(NodeId(j)).len();
+            }
+            if n.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(got, expected);
+        assert!(n.is_idle());
+    }
+
+    #[test]
+    fn heavy_response_traffic_drains() {
+        let mut n = net(4, 4);
+        let line = CacheLine::from_u64_words([7, 8, 9, 10, 11, 12, 13, 14]);
+        for i in 0..16usize {
+            for k in 0..4u64 {
+                let dst = NodeId((i + 5) % 16);
+                n.send(
+                    NodeId(i),
+                    dst,
+                    PacketClass::Response,
+                    Payload::Raw(line),
+                    true,
+                    k,
+                );
+            }
+        }
+        let mut delivered = 0;
+        for _ in 0..20_000 {
+            n.tick();
+            for j in 0..16 {
+                delivered += n.take_delivered(NodeId(j)).len();
+            }
+            if n.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(delivered, 64);
+        assert!(n.is_idle(), "network must drain");
+        assert!(n.stats().sa_losses > 0, "contention must appear under load");
+    }
+
+    #[test]
+    fn vct_requires_deep_buffers() {
+        let config = NocConfig {
+            flow_control: FlowControl::VirtualCutThrough,
+            buffer_depth: 9,
+            ..NocConfig::default()
+        };
+        let mut n = Network::new(Mesh::new(3, 3), config);
+        let line = CacheLine::zeroed();
+        n.send(NodeId(0), NodeId(8), PacketClass::Response, Payload::Raw(line), true, 0);
+        let got = run_until_delivered(&mut n, NodeId(8), 500);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packet")]
+    fn vct_with_shallow_buffers_rejected() {
+        let config = NocConfig {
+            flow_control: FlowControl::VirtualCutThrough,
+            buffer_depth: 4, // < 8-flit whole packets
+            ..NocConfig::default()
+        };
+        let _ = Network::new(Mesh::new(2, 2), config);
+    }
+
+    #[test]
+    fn saf_delivers_whole_packets() {
+        let config = NocConfig {
+            flow_control: FlowControl::StoreAndForward,
+            buffer_depth: 12,
+            ..NocConfig::default()
+        };
+        let mut n = Network::new(Mesh::new(3, 3), config);
+        let line = CacheLine::from_u64_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        n.send(NodeId(0), NodeId(8), PacketClass::Response, Payload::Raw(line), true, 0);
+        let got = run_until_delivered(&mut n, NodeId(8), 1000);
+        assert_eq!(got.len(), 1);
+        match &got[0].payload {
+            Payload::Raw(l) => assert_eq!(*l, line),
+            other => panic!("expected raw payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_payload_uses_fewer_flits() {
+        use disco_compress::{scheme::Compressor, Codec};
+        let codec = Codec::delta();
+        let line = CacheLine::from_u64_words([100, 101, 102, 103, 104, 105, 106, 107]);
+        let enc = codec.compress(&line);
+        let mut n = net(2, 2);
+        n.send(NodeId(0), NodeId(3), PacketClass::Response, Payload::Compressed(enc.clone()), true, 0);
+        let got = run_until_delivered(&mut n, NodeId(3), 200);
+        assert_eq!(got[0].size_flits(), enc.size_bytes().div_ceil(8));
+        assert!(got[0].size_flits() < 8);
+    }
+
+    #[test]
+    fn reshape_resident_returns_credits_upstream() {
+        // Manually stage a 8-flit response resident in a router's East input
+        // and shrink it; the western neighbour must get its credits back.
+        let mut n = net(2, 1);
+        let line = CacheLine::zeroed();
+        let id = n.store_mut().create(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+            0,
+        );
+        // Flits sit in node 1's West input port (arrived from node 0).
+        let west = Direction::West.index();
+        for f in flits_for(id, 8, 0) {
+            n.router_mut(NodeId(1)).accept(west, 1, f);
+        }
+        // Simulate node 0 having spent 8 credits sending them.
+        for _ in 0..8 {
+            assert!(n.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 1));
+        }
+        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 0);
+        assert!(n.reshape_resident(NodeId(1), west, 1, id, 2, true));
+        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 6);
+        assert_eq!(n.router(NodeId(1)).vc(west, 1).occupancy(), 2);
+    }
+
+    #[test]
+    fn reshape_growth_requires_credits() {
+        let mut n = net(2, 1);
+        let id = n.store_mut().create(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(CacheLine::zeroed()),
+            true,
+            0,
+            0,
+        );
+        let west = Direction::West.index();
+        for f in flits_for(id, 2, 0) {
+            n.router_mut(NodeId(1)).accept(west, 1, f);
+        }
+        // Upstream thinks 6 slots are free (8 - 2 in transit history is not
+        // modelled here; fresh router has full credits). Take all credits.
+        assert!(n.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 8));
+        assert!(
+            !n.reshape_resident(NodeId(1), west, 1, id, 8, true),
+            "growth without upstream credit window must fail"
+        );
+        // Return credits; now growth succeeds.
+        for _ in 0..8 {
+            n.router_mut(NodeId(0)).return_credit(Direction::East, 1);
+        }
+        assert!(n.reshape_resident(NodeId(1), west, 1, id, 8, true));
+        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Packets, flits, payloads, and the central packet store.
+
+use crate::topology::NodeId;
+use disco_compress::{CacheLine, CompressedLine};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Bytes carried per flit (64-bit links, paper §4.3).
+pub const FLIT_BYTES: usize = 8;
+
+/// Unique packet identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Packet classes of a cache-coherent CMP (§3.3-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Operation commands to a bank, directory, or memory controller
+    /// (single flit).
+    Request,
+    /// Data-carrying packets: read responses, writebacks, fills. The only
+    /// class worth compressing (§3.3-C).
+    Response,
+    /// Invalidations, acknowledgements, and other protocol signals
+    /// (single flit).
+    Coherence,
+}
+
+impl PacketClass {
+    /// The virtual channel a class travels on in the minimal two-VC
+    /// configuration. Responses get their own virtual network (VC 1) to
+    /// avoid protocol deadlock; requests and coherence share VC 0. With
+    /// more VCs, [`PacketClass::vc_range`] spreads each class over a
+    /// group.
+    pub fn vc(self) -> usize {
+        match self {
+            PacketClass::Response => 1,
+            _ => 0,
+        }
+    }
+
+    /// The group of virtual channels this class may use when `vcs` are
+    /// available: the control classes (request/coherence) take the lower
+    /// half, data responses the upper half — each class group is its own
+    /// virtual network, preserving protocol-deadlock freedom while extra
+    /// VCs cut head-of-line blocking.
+    pub fn vc_range(self, vcs: usize) -> std::ops::Range<usize> {
+        if vcs <= 1 {
+            return 0..1;
+        }
+        let split = vcs / 2;
+        match self {
+            PacketClass::Response => split..vcs,
+            _ => 0..split,
+        }
+    }
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Control-only packet (request/coherence).
+    None,
+    /// An uncompressed cache line (8 body flits).
+    Raw(CacheLine),
+    /// A compressed cache line (`ceil(bytes / 8)` body flits).
+    Compressed(CompressedLine),
+}
+
+impl Payload {
+    /// Flits needed to carry this payload. The head flit carries the
+    /// first payload chunk (routing travels in side-band fields), so an
+    /// uncompressed 64 B line is exactly 8 flits — the "1BF + 7ΔF" view of
+    /// §4.1 — and a whole response packet fits the 8-flit buffers of
+    /// Table 2, as §3.3-A requires for VCT/SAF.
+    pub fn flits(&self) -> usize {
+        match self {
+            Payload::None => 0,
+            Payload::Raw(_) => disco_compress::LINE_BYTES / FLIT_BYTES,
+            Payload::Compressed(c) => c.size_bytes().div_ceil(FLIT_BYTES).max(1),
+        }
+    }
+
+    /// True for [`Payload::Compressed`].
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, Payload::Compressed(_))
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Protocol class.
+    pub class: PacketClass,
+    /// Data payload.
+    pub payload: Payload,
+    /// True if this packet may be de/compressed in flight (response
+    /// packets; §3.3-C ignores request/coherence packets).
+    pub compressible: bool,
+    /// True for packets on the demand critical path (read responses,
+    /// memory fills). Rule 1 of §3.3-B protects them from the rule-2
+    /// demotion of compressible-but-uncompressed packets.
+    pub critical: bool,
+    /// Cycle the packet entered the NI injection queue.
+    pub injected_at: u64,
+    /// Opaque tag the protocol layer uses to match responses to requests.
+    pub tag: u64,
+}
+
+impl Packet {
+    /// Total flit count: control packets are a single flit; data packets
+    /// are sized by their payload (head flit included).
+    pub fn size_flits(&self) -> usize {
+        self.payload.flits().max(1)
+    }
+}
+
+/// Flit position within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit: carries routing information.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit: releases the virtual channel downstream.
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flit buffered in a virtual channel.
+#[derive(Debug, Clone, Copy)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Cycle at which the router pipeline has finished processing the
+    /// arrival (models the 3-stage pipeline plus link traversal).
+    pub ready_at: u64,
+}
+
+/// Builds the flit sequence for a packet of `size` flits.
+pub fn flits_for(id: PacketId, size: usize, ready_at: u64) -> Vec<Flit> {
+    assert!(size >= 1, "packets have at least a head flit");
+    (0..size)
+        .map(|i| Flit {
+            packet: id,
+            kind: match (i, size) {
+                (0, 1) => FlitKind::HeadTail,
+                (0, _) => FlitKind::Head,
+                (i, s) if i == s - 1 => FlitKind::Tail,
+                _ => FlitKind::Body,
+            },
+            ready_at,
+        })
+        .collect()
+}
+
+/// Central owner of all in-flight packets. Flits reference packets by id;
+/// payload mutation (in-network compression) goes through here.
+#[derive(Debug, Default)]
+pub struct PacketStore {
+    next: u64,
+    packets: HashMap<u64, Packet>,
+}
+
+impl PacketStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new packet, assigning its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: PacketClass,
+        payload: Payload,
+        compressible: bool,
+        injected_at: u64,
+        tag: u64,
+    ) -> PacketId {
+        let id = PacketId(self.next);
+        self.next += 1;
+        self.packets.insert(
+            id.0,
+            Packet { id, src, dst, class, payload, compressible, critical: false, injected_at, tag },
+        );
+        id
+    }
+
+    /// Looks up a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet does not exist (a simulator invariant
+    /// violation, not a user error).
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.packets.get(&id.0).expect("packet exists")
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet does not exist.
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.packets.get_mut(&id.0).expect("packet exists")
+    }
+
+    /// Removes a delivered packet and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet does not exist.
+    pub fn remove(&mut self, id: PacketId) -> Packet {
+        self.packets.remove(&id.0).expect("packet exists")
+    }
+
+    /// Number of packets currently tracked.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_flit_counts() {
+        assert_eq!(Payload::None.flits(), 0);
+        assert_eq!(Payload::Raw(CacheLine::zeroed()).flits(), 8);
+        let codec = disco_compress::Codec::delta();
+        use disco_compress::scheme::Compressor;
+        let c = codec.compress(&CacheLine::zeroed());
+        assert_eq!(Payload::Compressed(c).flits(), 1);
+    }
+
+    #[test]
+    fn flit_kinds_for_sizes() {
+        let id = PacketId(1);
+        let single = flits_for(id, 1, 0);
+        assert_eq!(single.len(), 1);
+        assert!(single[0].kind.is_head() && single[0].kind.is_tail());
+
+        let nine = flits_for(id, 9, 0);
+        assert_eq!(nine.len(), 9);
+        assert_eq!(nine[0].kind, FlitKind::Head);
+        assert_eq!(nine[8].kind, FlitKind::Tail);
+        assert!(nine[1..8].iter().all(|f| f.kind == FlitKind::Body));
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let mut store = PacketStore::new();
+        let id = store.create(
+            NodeId(0),
+            NodeId(5),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            17,
+            42,
+        );
+        assert_eq!(store.get(id).dst, NodeId(5));
+        assert_eq!(store.get(id).size_flits(), 1);
+        assert_eq!(store.len(), 1);
+        let p = store.remove(id);
+        assert_eq!(p.tag, 42);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn response_class_uses_vc1() {
+        assert_eq!(PacketClass::Response.vc(), 1);
+        assert_eq!(PacketClass::Request.vc(), 0);
+        assert_eq!(PacketClass::Coherence.vc(), 0);
+    }
+}

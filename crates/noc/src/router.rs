@@ -1,0 +1,681 @@
+//! The 5-port, 3-stage virtual-channel router (Fig. 2a, minus the DISCO
+//! units, which `disco-core` layers on through the extension API).
+//!
+//! Per cycle the router performs route computation (RC) for new head
+//! flits, virtual-channel allocation (VA), and switch allocation (SA)
+//! with per-class priorities. Pipeline depth is modelled by delaying a
+//! flit's readiness after each hop. Credit-based backpressure tracks the
+//! free slots of each downstream virtual channel.
+
+use crate::config::{FlowControl, NocConfig};
+use crate::packet::{Flit, PacketClass, PacketId, PacketStore, Payload};
+use crate::routing::route;
+use crate::topology::{Direction, Mesh, NodeId};
+use std::collections::VecDeque;
+
+/// Number of router ports (N/S/E/W/Local).
+pub const PORTS: usize = 5;
+
+/// Progress of one input virtual channel's front packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VcState {
+    /// No packet being processed.
+    Idle,
+    /// Route computed; waiting for an output VC.
+    Routed(Direction),
+    /// Output VC acquired; flits stream through the switch.
+    Active { out: Direction, out_vc: usize },
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone)]
+pub struct Vc {
+    pub(crate) buffer: VecDeque<Flit>,
+    pub(crate) state: VcState,
+    /// DISCO shadow-invalid bit: a locked VC is under committed in-network
+    /// de/compression and is excluded from switch allocation (§3.2 step 3).
+    pub(crate) locked: bool,
+}
+
+impl Vc {
+    fn new() -> Self {
+        Vc { buffer: VecDeque::new(), state: VcState::Idle, locked: false }
+    }
+
+    /// Packet at the front of the buffer, if any.
+    pub fn front_packet(&self) -> Option<PacketId> {
+        self.buffer.front().map(|f| f.packet)
+    }
+
+    /// Buffered flit count.
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True if the DISCO shadow lock is set.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// The output direction this VC's front packet is routed toward, once
+    /// RC has run.
+    pub fn routed_dir(&self) -> Option<Direction> {
+        match self.state {
+            VcState::Idle => None,
+            VcState::Routed(d) => Some(d),
+            VcState::Active { out, .. } => Some(out),
+        }
+    }
+
+    /// True if the tail flit of `packet` is buffered here.
+    pub fn has_tail_of(&self, packet: PacketId) -> bool {
+        self.buffer.iter().any(|f| f.packet == packet && f.kind.is_tail())
+    }
+
+    /// True if the front flit is the head of its packet (the packet has
+    /// not started leaving — a precondition for in-network compression).
+    pub fn front_is_head(&self) -> bool {
+        self.buffer.front().is_some_and(|f| f.kind.is_head())
+    }
+
+    /// Buffered flit count belonging to `packet`.
+    pub fn resident_of(&self, packet: PacketId) -> usize {
+        self.buffer.iter().filter(|f| f.packet == packet).count()
+    }
+
+    /// Distinct packets resident in this buffer, in queue order.
+    pub fn resident_packets(&self) -> Vec<PacketId> {
+        let mut out: Vec<PacketId> = Vec::new();
+        for f in &self.buffer {
+            if out.last() != Some(&f.packet) {
+                out.push(f.packet);
+            }
+        }
+        out
+    }
+}
+
+/// A flit leaving the router this cycle, to be delivered by the network.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Departure {
+    pub flit: Flit,
+    pub in_port: usize,
+    pub in_vc: usize,
+    pub out: Direction,
+    pub out_vc: usize,
+}
+
+/// A mesh router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    node: NodeId,
+    config: NocConfig,
+    inputs: Vec<Vec<Vc>>,
+    /// Which (in_port, in_vc) currently owns each (out_port, out_vc).
+    out_alloc: Vec<Vec<Option<(usize, usize)>>>,
+    /// Free slots in the downstream input buffer per (out_port, out_vc).
+    credits: Vec<Vec<usize>>,
+    /// Per-output round-robin pointer over flattened (port, vc) inputs.
+    rr_sa: [usize; PORTS],
+    /// Switch-allocation losers of the last cycle: the idling packets the
+    /// DISCO arbitrator filters (§3.2 step 1).
+    sa_losers: Vec<(usize, usize)>,
+}
+
+impl Router {
+    pub(crate) fn new(node: NodeId, config: NocConfig) -> Self {
+        let inputs = (0..PORTS)
+            .map(|_| (0..config.vcs).map(|_| Vc::new()).collect())
+            .collect();
+        let out_alloc = vec![vec![None; config.vcs]; PORTS];
+        // The local (ejection) output is modelled with unlimited credits;
+        // inter-router outputs start with the full downstream buffer.
+        let mut credits = vec![vec![config.buffer_depth; config.vcs]; PORTS];
+        credits[Direction::Local.index()] = vec![usize::MAX / 2; config.vcs];
+        Router { node, config, inputs, out_alloc, credits, rr_sa: [0; PORTS], sa_losers: Vec::new() }
+    }
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Immutable view of an input virtual channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port`/`vc` are out of range.
+    pub fn vc(&self, port: usize, vc: usize) -> &Vc {
+        &self.inputs[port][vc]
+    }
+
+    /// Free slots reported by the downstream router for `(dir, vc)` — the
+    /// `credit_in` signal of the confidence counter (Fig. 3).
+    pub fn credit_in(&self, dir: Direction, vc: usize) -> usize {
+        self.credits[dir.index()][vc]
+    }
+
+    /// Occupied slots of a local input VC — the complement of the
+    /// `credit_out` signal this router sends upstream.
+    pub fn local_occupancy(&self, port: usize, vc: usize) -> usize {
+        self.inputs[port][vc].buffer.len()
+    }
+
+    /// Switch-allocation losers of the last cycle (input port, vc).
+    pub fn sa_losers(&self) -> &[(usize, usize)] {
+        &self.sa_losers
+    }
+
+    /// Sets or clears the DISCO shadow lock on a VC.
+    pub fn set_locked(&mut self, port: usize, vc: usize, locked: bool) {
+        self.inputs[port][vc].locked = locked;
+    }
+
+    /// The virtual channels a packet class may use: the VC space is split
+    /// into one virtual network per class group to stay deadlock-free.
+    fn class_vcs(&self, class: PacketClass) -> std::ops::Range<usize> {
+        class.vc_range(self.config.vcs)
+    }
+
+    /// Route computation + virtual-channel allocation for every input VC.
+    pub(crate) fn rc_va(&mut self, now: u64, store: &PacketStore, mesh: &Mesh) {
+        for port in 0..PORTS {
+            for v in 0..self.config.vcs {
+                // RC: a fresh head flit gets its output direction.
+                if self.inputs[port][v].state == VcState::Idle {
+                    let front = match self.inputs[port][v].buffer.front() {
+                        Some(f) if f.kind.is_head() && f.ready_at <= now => *f,
+                        _ => continue,
+                    };
+                    let pkt = store.get(front.packet);
+                    let group = self.class_vcs(pkt.class);
+                    let dir = route(
+                        self.config.routing,
+                        mesh,
+                        self.node,
+                        pkt.dst,
+                        front.packet.0,
+                        |d| {
+                            group
+                                .clone()
+                                .map(|vc| self.credits[d.index()][vc])
+                                .max()
+                                .unwrap_or(0)
+                        },
+                    );
+                    self.inputs[port][v].state = VcState::Routed(dir);
+                }
+                // VA: acquire the class VC on the output port.
+                if let VcState::Routed(dir) = self.inputs[port][v].state {
+                    let packet = match self.inputs[port][v].front_packet() {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let pkt = store.get(packet);
+                    // Acquire any free VC of the class group on the output
+                    // port (VCT/SAF additionally need whole-packet credit,
+                    // §3.3-A).
+                    let out_vc = self.class_vcs(pkt.class).find(|&cand| {
+                        if self.out_alloc[dir.index()][cand].is_some() {
+                            return false;
+                        }
+                        match self.config.flow_control {
+                            FlowControl::Wormhole => true,
+                            _ => self.credits[dir.index()][cand] >= pkt.size_flits(),
+                        }
+                    });
+                    let Some(out_vc) = out_vc else { continue };
+                    self.out_alloc[dir.index()][out_vc] = Some((port, v));
+                    self.inputs[port][v].state = VcState::Active { out: dir, out_vc };
+                }
+            }
+        }
+    }
+
+    /// Priority class for switch allocation (§3.3-B): lower wins.
+    fn sa_priority(&self, store: &PacketStore, packet: PacketId) -> u8 {
+        let pkt = store.get(packet);
+        let policy = self.config.scheduling;
+        if policy.demote_uncompressed
+            && pkt.compressible
+            && !pkt.critical
+            && matches!(pkt.payload, Payload::Raw(_))
+        {
+            return 2;
+        }
+        if policy.prioritize_critical && pkt.class == PacketClass::Coherence {
+            return 1;
+        }
+        0
+    }
+
+    /// Switch allocation + traversal: picks one winner per output port and
+    /// pops its front flit. Returns the departing flits.
+    pub(crate) fn sa(&mut self, now: u64, store: &PacketStore) -> Vec<Departure> {
+        self.sa_losers.clear();
+        let mut departures = Vec::new();
+        let vcs = self.config.vcs;
+        for out in Direction::ALL {
+            let oi = out.index();
+            // Gather candidates: active VCs routed to this output with a
+            // ready front flit and downstream credit.
+            let mut candidates: Vec<(usize, usize, usize, u8)> = Vec::new(); // (port, vc, out_vc, prio)
+            for port in 0..PORTS {
+                for v in 0..vcs {
+                    let vc = &self.inputs[port][v];
+                    let (o, out_vc) = match vc.state {
+                        VcState::Active { out: o, out_vc } => (o, out_vc),
+                        _ => continue,
+                    };
+                    if o != out {
+                        continue;
+                    }
+                    let front = match vc.buffer.front() {
+                        Some(f) if f.ready_at <= now => *f,
+                        _ => continue,
+                    };
+                    if vc.locked {
+                        // Committed de/compression: the shadow is invalid
+                        // and must not be scheduled.
+                        continue;
+                    }
+                    if self.credits[oi][out_vc] == 0 {
+                        self.sa_losers.push((port, v));
+                        continue;
+                    }
+                    if self.config.flow_control == FlowControl::StoreAndForward
+                        && front.kind.is_head()
+                        && !front.kind.is_tail()
+                        && !vc.has_tail_of(front.packet)
+                    {
+                        // SAF: the whole packet must be buffered before the
+                        // head may leave.
+                        continue;
+                    }
+                    let prio = self.sa_priority(store, front.packet);
+                    candidates.push((port, v, out_vc, prio));
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            // Winner: highest priority class, round-robin within it.
+            let best_prio = candidates.iter().map(|c| c.3).min().expect("non-empty");
+            let rr = self.rr_sa[oi];
+            let winner = candidates
+                .iter()
+                .filter(|c| c.3 == best_prio)
+                .min_by_key(|c| {
+                    let flat = c.0 * vcs + c.1;
+                    (flat + PORTS * vcs - rr) % (PORTS * vcs)
+                })
+                .copied()
+                .expect("non-empty");
+            self.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
+            // Everyone else idles: these are DISCO's compression candidates.
+            for c in &candidates {
+                if (c.0, c.1) != (winner.0, winner.1) {
+                    self.sa_losers.push((c.0, c.1));
+                }
+            }
+            let (port, v, out_vc, _) = winner;
+            let flit = self.inputs[port][v].buffer.pop_front().expect("candidate has front");
+            if out != Direction::Local {
+                self.credits[oi][out_vc] -= 1;
+            }
+            if flit.kind.is_tail() {
+                self.out_alloc[oi][out_vc] = None;
+                self.inputs[port][v].state = VcState::Idle;
+            }
+            departures.push(Departure { flit, in_port: port, in_vc: v, out, out_vc });
+        }
+        // VA losers also idle and are therefore compression candidates
+        // (§3.2 step 1 collects losers of both VC and switch allocation).
+        for port in 0..PORTS {
+            for v in 0..vcs {
+                let vc = &self.inputs[port][v];
+                if vc.locked {
+                    continue;
+                }
+                if let VcState::Routed(_) = vc.state {
+                    if matches!(vc.buffer.front(), Some(f) if f.ready_at <= now) {
+                        self.sa_losers.push((port, v));
+                    }
+                }
+            }
+        }
+        departures
+    }
+
+    /// Accepts a flit arriving on an input port (from a link or the NI).
+    /// Public for tests and harnesses that stage buffer contents
+    /// directly; normal traffic goes through [`crate::Network::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — credits must prevent that; an
+    /// overflow is a flow-control bug, not a runtime condition.
+    pub fn accept(&mut self, port: usize, vc: usize, flit: Flit) {
+        let buf = &mut self.inputs[port][vc].buffer;
+        assert!(
+            buf.len() < self.config.buffer_depth,
+            "buffer overflow at {} port {port} vc {vc}: flow control violated",
+            self.node
+        );
+        buf.push_back(flit);
+    }
+
+    /// Returns a credit to an output VC (downstream freed a slot).
+    /// Public for the in-network-processing extension layer and tests.
+    pub fn return_credit(&mut self, out: Direction, vc: usize) {
+        self.credits[out.index()][vc] += 1;
+    }
+
+    /// Consumes `n` credits of an output VC if available (used when an
+    /// in-network decompression grows a downstream-bound... — growth
+    /// happens in *this* router's input buffer, so this is called on the
+    /// upstream router to account for the reduced free space).
+    pub fn try_take_credits(&mut self, out: Direction, vc: usize, n: usize) -> bool {
+        let c = &mut self.credits[out.index()][vc];
+        if *c >= n {
+            *c -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Free slots in a local input VC buffer.
+    pub fn free_slots(&self, port: usize, vc: usize) -> usize {
+        self.config.buffer_depth - self.inputs[port][vc].buffer.len()
+    }
+
+    /// Rebuilds one resident packet's flits in place (DISCO
+    /// de/compression replacing shadow flits, §3.2 step 3). The packet may
+    /// be the VC's front packet or one queued behind it; flits of other
+    /// packets before and after its segment are preserved. `finalize`
+    /// marks the last rebuilt flit as the tail.
+    ///
+    /// Returns the change in occupancy (positive = grew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not resident, if its flits are not
+    /// contiguous, or if the new total exceeds the buffer depth.
+    pub(crate) fn reshape_packet(
+        &mut self,
+        port: usize,
+        vc: usize,
+        packet: PacketId,
+        new_len: usize,
+        finalize: bool,
+        now: u64,
+    ) -> isize {
+        let depth = self.config.buffer_depth;
+        let vc_ref = &mut self.inputs[port][vc];
+        let start = vc_ref
+            .buffer
+            .iter()
+            .position(|f| f.packet == packet)
+            .expect("reshape requires a resident packet");
+        let seg_len = vc_ref
+            .buffer
+            .iter()
+            .skip(start)
+            .take_while(|f| f.packet == packet)
+            .count();
+        assert_eq!(
+            seg_len,
+            vc_ref.resident_of(packet),
+            "packet's flits must be contiguous"
+        );
+        let old_total = vc_ref.buffer.len();
+        let before: Vec<Flit> = vc_ref.buffer.iter().take(start).copied().collect();
+        let after: Vec<Flit> = vc_ref.buffer.iter().skip(start + seg_len).copied().collect();
+        assert!(
+            new_len >= 1 && new_len + before.len() + after.len() <= depth,
+            "reshape size out of range"
+        );
+        vc_ref.buffer.clear();
+        vc_ref.buffer.extend(before);
+        for i in 0..new_len {
+            let kind = match (i, new_len, finalize) {
+                (0, 1, true) => crate::packet::FlitKind::HeadTail,
+                (0, _, _) => crate::packet::FlitKind::Head,
+                (i, n, true) if i == n - 1 => crate::packet::FlitKind::Tail,
+                _ => crate::packet::FlitKind::Body,
+            };
+            vc_ref.buffer.push_back(Flit { packet, kind, ready_at: now });
+        }
+        vc_ref.buffer.extend(after);
+        vc_ref.buffer.len() as isize - old_total as isize
+    }
+
+    /// Total flits buffered across all input VCs (for drain checks).
+    pub(crate) fn total_buffered(&self) -> usize {
+        self.inputs.iter().flatten().map(|v| v.buffer.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_packet(dst: NodeId, class: PacketClass) -> (PacketStore, PacketId) {
+        let mut store = PacketStore::new();
+        let id = store.create(NodeId(0), dst, class, Payload::None, false, 0, 0);
+        (store, id)
+    }
+
+    #[test]
+    fn rc_va_assigns_route_and_vc() {
+        let mesh = Mesh::new(4, 4);
+        let config = NocConfig::default();
+        let mut r = Router::new(NodeId(0), config);
+        let (store, id) = store_with_packet(NodeId(3), PacketClass::Request);
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        let vc = r.vc(Direction::Local.index(), 0);
+        assert_eq!(vc.routed_dir(), Some(Direction::East));
+        assert!(matches!(
+            r.inputs[Direction::Local.index()][0].state,
+            VcState::Active { out: Direction::East, out_vc: 0 }
+        ));
+    }
+
+    #[test]
+    fn sa_moves_single_flit_packet() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        let deps = r.sa(0, &store);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].out, Direction::East);
+        // Tail departed: VC released.
+        assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
+        assert_eq!(r.credit_in(Direction::East, 0), NocConfig::default().buffer_depth - 1);
+    }
+
+    #[test]
+    fn sa_records_losers() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mut store = PacketStore::new();
+        // Two packets from different ports contending for East.
+        let a = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 0);
+        let b = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 1);
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(a, 1, 0)[0]);
+        r.accept(Direction::North.index(), 0, crate::packet::flits_for(b, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        // Only one can own the East VC; the other stays Routed (VA loser).
+        let deps = r.sa(0, &store);
+        assert_eq!(deps.len(), 1);
+        // Next cycle the VA loser acquires the VC and departs.
+        r.rc_va(1, &store, &mesh);
+        let deps2 = r.sa(1, &store);
+        assert_eq!(deps2.len(), 1);
+        assert_ne!(deps[0].flit.packet, deps2[0].flit.packet);
+    }
+
+    #[test]
+    fn coherence_yields_to_critical() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mut store = PacketStore::new();
+        let coh = store.create(NodeId(0), NodeId(3), PacketClass::Coherence, Payload::None, false, 0, 0);
+        let req = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 1);
+        // Same class VC (0) in different ports, both to East.
+        r.accept(Direction::North.index(), 0, crate::packet::flits_for(coh, 1, 0)[0]);
+        r.accept(Direction::South.index(), 0, crate::packet::flits_for(req, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        // Whichever got the out VC in VA wins; force the contest at SA by
+        // checking that when both are active... only one can be Active on
+        // out_vc 0, so the loser is a VA loser. The request should not be
+        // starved across two cycles.
+        let first = r.sa(0, &store);
+        r.rc_va(1, &store, &mesh);
+        let second = r.sa(1, &store);
+        let order: Vec<PacketId> = first.iter().chain(second.iter()).map(|d| d.flit.packet).collect();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn locked_vc_is_skipped() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        r.set_locked(Direction::Local.index(), 0, true);
+        assert!(r.sa(0, &store).is_empty());
+        r.set_locked(Direction::Local.index(), 0, false);
+        assert_eq!(r.sa(1, &store).len(), 1);
+    }
+
+    #[test]
+    fn credits_gate_departure() {
+        let mesh = Mesh::new(4, 4);
+        let config = NocConfig { buffer_depth: 1, ..NocConfig::default() };
+        let mut r = Router::new(NodeId(0), config);
+        let mut store = PacketStore::new();
+        let a = store.create(NodeId(0), NodeId(2), PacketClass::Request, Payload::None, false, 0, 0);
+        let b = store.create(NodeId(0), NodeId(2), PacketClass::Request, Payload::None, false, 0, 1);
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(a, 1, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        assert_eq!(r.sa(0, &store).len(), 1); // consumes the only credit
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(b, 1, 0)[0]);
+        r.rc_va(1, &store, &mesh);
+        assert!(r.sa(1, &store).is_empty(), "no credit left");
+        assert_eq!(r.sa_losers(), &[(Direction::Local.index(), 0)]);
+        r.return_credit(Direction::East, 0);
+        assert_eq!(r.sa(2, &store).len(), 1);
+    }
+
+    #[test]
+    fn reshape_shrinks_and_reports_delta() {
+        let mesh = Mesh::new(2, 2);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mut store = PacketStore::new();
+        let line = disco_compress::CacheLine::zeroed();
+        let id = store.create(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+            0,
+        );
+        for f in crate::packet::flits_for(id, 8, 0) {
+            r.accept(Direction::North.index(), 1, f);
+        }
+        let _ = mesh;
+        let delta = r.reshape_packet(Direction::North.index(), 1, id, 2, true, 5);
+        assert_eq!(delta, -6);
+        let vc = r.vc(Direction::North.index(), 1);
+        assert_eq!(vc.occupancy(), 2);
+        assert!(vc.buffer.back().unwrap().kind.is_tail());
+        assert!(vc.buffer.front().unwrap().kind.is_head());
+    }
+
+    #[test]
+    fn vc_groups_allocate_within_class() {
+        // With 4 VCs, two concurrent response packets toward the same
+        // output must take the two VCs of the response group (2 and 3),
+        // never the control group.
+        let mesh = Mesh::new(3, 1);
+        let config = NocConfig { vcs: 4, ..NocConfig::default() };
+        let mut r = Router::new(NodeId(0), config);
+        let mut store = PacketStore::new();
+        let line = disco_compress::CacheLine::zeroed();
+        let a = store.create(
+            NodeId(0), NodeId(2), PacketClass::Response,
+            Payload::Raw(line), true, 0, 0,
+        );
+        let b = store.create(
+            NodeId(0), NodeId(2), PacketClass::Response,
+            Payload::Raw(line), true, 0, 1,
+        );
+        // Two different input VCs of the response group hold the heads.
+        r.accept(Direction::Local.index(), 2, crate::packet::flits_for(a, 8, 0)[0]);
+        r.accept(Direction::North.index(), 3, crate::packet::flits_for(b, 8, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        let states: Vec<_> = [(Direction::Local.index(), 2), (Direction::North.index(), 3)]
+            .into_iter()
+            .map(|(p, v)| r.inputs[p][v].state)
+            .collect();
+        let mut out_vcs = Vec::new();
+        for st in states {
+            match st {
+                VcState::Active { out, out_vc } => {
+                    assert_eq!(out, Direction::East);
+                    assert!(out_vc >= 2, "responses stay in the upper VC group");
+                    out_vcs.push(out_vc);
+                }
+                other => panic!("expected Active, got {other:?}"),
+            }
+        }
+        out_vcs.sort_unstable();
+        assert_eq!(out_vcs, vec![2, 3], "both group VCs get used");
+    }
+
+    #[test]
+    fn control_and_data_never_share_an_output_vc() {
+        let mesh = Mesh::new(2, 1);
+        let config = NocConfig { vcs: 4, ..NocConfig::default() };
+        let mut r = Router::new(NodeId(0), config);
+        let mut store = PacketStore::new();
+        let req = store.create(
+            NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0, 0,
+        );
+        let resp = store.create(
+            NodeId(0), NodeId(1), PacketClass::Response,
+            Payload::Raw(disco_compress::CacheLine::zeroed()), true, 0, 1,
+        );
+        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(req, 1, 0)[0]);
+        r.accept(Direction::Local.index(), 2, crate::packet::flits_for(resp, 8, 0)[0]);
+        r.rc_va(0, &store, &mesh);
+        match r.inputs[Direction::Local.index()][0].state {
+            VcState::Active { out_vc, .. } => assert!(out_vc < 2),
+            other => panic!("request not active: {other:?}"),
+        }
+        match r.inputs[Direction::Local.index()][2].state {
+            VcState::Active { out_vc, .. } => assert!(out_vc >= 2),
+            other => panic!("response not active: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow control violated")]
+    fn overflow_panics() {
+        let config = NocConfig { buffer_depth: 2, ..NocConfig::default() };
+        let mut r = Router::new(NodeId(0), config);
+        let mut store = PacketStore::new();
+        let id = store.create(NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0, 0);
+        for _ in 0..3 {
+            r.accept(0, 0, crate::packet::flits_for(id, 1, 0)[0]);
+        }
+    }
+}

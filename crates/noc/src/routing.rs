@@ -1,0 +1,285 @@
+//! Routing algorithms: deterministic XY/YX dimension order, O1TURN, and
+//! west-first turn-model adaptive routing.
+//!
+//! The paper's baseline uses XY (Table 2) and §3.3 discusses how routing
+//! strategies interact with non-blocking selective de/compression; the
+//! additional algorithms here support that study. All are minimal, so
+//! `RC_Hop` (Eq. 2) remains the Manhattan distance.
+
+use crate::topology::{Direction, Mesh, NodeId};
+
+/// A routing algorithm for the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgorithm {
+    /// Dimension-order: X first, then Y (Table 2 default). Deadlock-free
+    /// per virtual network.
+    #[default]
+    Xy,
+    /// Dimension-order: Y first, then X.
+    Yx,
+    /// O1TURN: each packet picks XY or YX (by packet id parity), which
+    /// balances load across the two dimension orders. Needs the two
+    /// virtual networks our class split already provides.
+    O1Turn,
+    /// West-first turn model: all westward hops first, then adaptive
+    /// among the remaining minimal directions (most downstream credits
+    /// wins). Deadlock-free for wormhole switching.
+    WestFirst,
+}
+
+/// Computes the output port from `here` toward `dst` under XY routing:
+/// first traverse the X dimension (columns), then Y (rows); `Local` when
+/// already at the destination.
+///
+/// XY routing on a mesh is deadlock-free within one virtual network,
+/// which is why Table 2 pairs it with only two VCs.
+///
+/// ```
+/// use disco_noc::routing::xy_route;
+/// use disco_noc::topology::{Direction, Mesh, NodeId};
+///
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(xy_route(&mesh, NodeId(0), NodeId(3)), Direction::East);
+/// assert_eq!(xy_route(&mesh, NodeId(3), NodeId(15)), Direction::South);
+/// assert_eq!(xy_route(&mesh, NodeId(9), NodeId(9)), Direction::Local);
+/// ```
+pub fn xy_route(mesh: &Mesh, here: NodeId, dst: NodeId) -> Direction {
+    let (hc, hr) = mesh.coords(here);
+    let (dc, dr) = mesh.coords(dst);
+    if hc < dc {
+        Direction::East
+    } else if hc > dc {
+        Direction::West
+    } else if hr < dr {
+        Direction::South
+    } else if hr > dr {
+        Direction::North
+    } else {
+        Direction::Local
+    }
+}
+
+/// Computes the output port under YX dimension-order routing.
+pub fn yx_route(mesh: &Mesh, here: NodeId, dst: NodeId) -> Direction {
+    let (hc, hr) = mesh.coords(here);
+    let (dc, dr) = mesh.coords(dst);
+    if hr < dr {
+        Direction::South
+    } else if hr > dr {
+        Direction::North
+    } else if hc < dc {
+        Direction::East
+    } else if hc > dc {
+        Direction::West
+    } else {
+        Direction::Local
+    }
+}
+
+/// Routes one hop under `algorithm`. `packet_salt` differentiates
+/// packets for O1TURN; `credits` reports downstream free slots for the
+/// adaptive choice (higher = preferred).
+pub fn route(
+    algorithm: RoutingAlgorithm,
+    mesh: &Mesh,
+    here: NodeId,
+    dst: NodeId,
+    packet_salt: u64,
+    credits: impl Fn(Direction) -> usize,
+) -> Direction {
+    match algorithm {
+        RoutingAlgorithm::Xy => xy_route(mesh, here, dst),
+        RoutingAlgorithm::Yx => yx_route(mesh, here, dst),
+        RoutingAlgorithm::O1Turn => {
+            if packet_salt.is_multiple_of(2) {
+                xy_route(mesh, here, dst)
+            } else {
+                yx_route(mesh, here, dst)
+            }
+        }
+        RoutingAlgorithm::WestFirst => west_first_route(mesh, here, dst, credits),
+    }
+}
+
+/// West-first turn model: if the destination lies to the west, go west
+/// (deterministic); otherwise adaptively pick among the minimal
+/// directions (East/North/South) the one with the most credits.
+pub fn west_first_route(
+    mesh: &Mesh,
+    here: NodeId,
+    dst: NodeId,
+    credits: impl Fn(Direction) -> usize,
+) -> Direction {
+    let (hc, hr) = mesh.coords(here);
+    let (dc, dr) = mesh.coords(dst);
+    if hc == dc && hr == dr {
+        return Direction::Local;
+    }
+    if dc < hc {
+        return Direction::West;
+    }
+    let mut candidates = Vec::with_capacity(2);
+    if dc > hc {
+        candidates.push(Direction::East);
+    }
+    if dr > hr {
+        candidates.push(Direction::South);
+    } else if dr < hr {
+        candidates.push(Direction::North);
+    }
+    candidates
+        .into_iter()
+        .max_by_key(|&d| credits(d))
+        .expect("not at destination, so a minimal direction exists")
+}
+
+/// Remaining hop count from `here` to `dst` — the `RC_Hop` term of the
+/// decompression confidence equation (Eq. 2). All supported algorithms
+/// are minimal, so this is the Manhattan distance.
+pub fn remaining_hops(mesh: &Mesh, here: NodeId, dst: NodeId) -> usize {
+    mesh.hops(here, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_before_y() {
+        let mesh = Mesh::new(4, 4);
+        // From 0 (0,0) to 15 (3,3): go East until column matches.
+        let mut here = NodeId(0);
+        let dst = NodeId(15);
+        let mut path = Vec::new();
+        loop {
+            let dir = xy_route(&mesh, here, dst);
+            if dir == Direction::Local {
+                break;
+            }
+            path.push(dir);
+            here = mesh.neighbor(here, dir).expect("route stays in mesh");
+        }
+        assert_eq!(
+            path,
+            vec![
+                Direction::East,
+                Direction::East,
+                Direction::East,
+                Direction::South,
+                Direction::South,
+                Direction::South
+            ]
+        );
+    }
+
+    #[test]
+    fn route_length_equals_manhattan() {
+        let mesh = Mesh::new(5, 3);
+        for a in 0..mesh.nodes() {
+            for b in 0..mesh.nodes() {
+                let (mut here, dst) = (NodeId(a), NodeId(b));
+                let mut steps = 0;
+                while xy_route(&mesh, here, dst) != Direction::Local {
+                    here = mesh.neighbor(here, xy_route(&mesh, here, dst)).unwrap();
+                    steps += 1;
+                    assert!(steps <= mesh.nodes(), "routing loop");
+                }
+                assert_eq!(steps, mesh.hops(NodeId(a), NodeId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_hops_matches_mesh() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(remaining_hops(&mesh, NodeId(0), NodeId(15)), 6);
+    }
+
+    #[test]
+    fn yx_routes_y_first() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(yx_route(&mesh, NodeId(0), NodeId(15)), Direction::South);
+        assert_eq!(yx_route(&mesh, NodeId(12), NodeId(15)), Direction::East);
+        assert_eq!(yx_route(&mesh, NodeId(5), NodeId(5)), Direction::Local);
+    }
+
+    #[test]
+    fn all_algorithms_are_minimal() {
+        let mesh = Mesh::new(4, 4);
+        for alg in [
+            RoutingAlgorithm::Xy,
+            RoutingAlgorithm::Yx,
+            RoutingAlgorithm::O1Turn,
+            RoutingAlgorithm::WestFirst,
+        ] {
+            for a in 0..16 {
+                for b in 0..16 {
+                    for salt in [0u64, 1] {
+                        let mut here = NodeId(a);
+                        let dst = NodeId(b);
+                        let mut steps = 0;
+                        loop {
+                            let dir = route(alg, &mesh, here, dst, salt, |_| 4);
+                            if dir == Direction::Local {
+                                break;
+                            }
+                            here = mesh.neighbor(here, dir).expect("in mesh");
+                            steps += 1;
+                            assert!(steps <= 12, "{alg:?} non-minimal {a}->{b}");
+                        }
+                        assert_eq!(steps, mesh.hops(NodeId(a), NodeId(b)), "{alg:?} {a}->{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_never_turns_to_west() {
+        // Once moving non-west, a west-first route must not need west
+        // again: destinations west of the source start with West hops.
+        let mesh = Mesh::new(4, 4);
+        for a in 0..16 {
+            for b in 0..16 {
+                let mut here = NodeId(a);
+                let dst = NodeId(b);
+                let mut seen_non_west = false;
+                loop {
+                    let dir = west_first_route(&mesh, here, dst, |_| 1);
+                    match dir {
+                        Direction::Local => break,
+                        Direction::West => {
+                            assert!(!seen_non_west, "illegal turn back west {a}->{b}")
+                        }
+                        _ => seen_non_west = true,
+                    }
+                    here = mesh.neighbor(here, dir).expect("in mesh");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_adapts_to_credits() {
+        let mesh = Mesh::new(4, 4);
+        // From 0 to 15: East and South both minimal; pick the one with
+        // more credits.
+        let east_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
+            if d == Direction::East { 8 } else { 1 }
+        });
+        assert_eq!(east_full, Direction::East);
+        let south_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
+            if d == Direction::South { 8 } else { 1 }
+        });
+        assert_eq!(south_full, Direction::South);
+    }
+
+    #[test]
+    fn o1turn_splits_by_salt() {
+        let mesh = Mesh::new(4, 4);
+        let even = route(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15), 0, |_| 1);
+        let odd = route(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15), 1, |_| 1);
+        assert_eq!(even, Direction::East);
+        assert_eq!(odd, Direction::South);
+    }
+}

@@ -1,0 +1,123 @@
+//! Network-level event counters for performance and energy accounting.
+
+/// Counters accumulated by the network; the energy model multiplies these
+/// by per-event energies (Orion-style).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets injected.
+    pub packets_injected: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Flits traversing inter-router links.
+    pub link_flits: u64,
+    /// Flit writes into input buffers (injection + link arrival).
+    pub buffer_writes: u64,
+    /// Flit reads out of input buffers (switch traversal).
+    pub buffer_reads: u64,
+    /// Crossbar traversals.
+    pub crossbar_flits: u64,
+    /// Switch-allocation arbitration rounds that had at least one
+    /// requester.
+    pub arbitrations: u64,
+    /// Requests that lost switch allocation (idling packets — the resource
+    /// DISCO harvests).
+    pub sa_losses: u64,
+    /// Sum over delivered packets of (delivery − injection) cycles.
+    pub total_packet_latency: u64,
+    /// Sum of per-delivered-packet hop counts.
+    pub total_hops: u64,
+    /// Delivered packets by class (Request, Response, Coherence).
+    pub delivered_by_class: [u64; 3],
+    /// Summed end-to-end latency by class (same indexing).
+    pub latency_by_class: [u64; 3],
+}
+
+impl NetworkStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean end-to-end packet latency in cycles.
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.total_packet_latency as f64 / self.packets_delivered as f64
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.packets_delivered as f64
+    }
+
+    /// Mean end-to-end latency of one packet class.
+    pub fn avg_latency_of(&self, class: crate::packet::PacketClass) -> f64 {
+        let i = class_index(class);
+        if self.delivered_by_class[i] == 0 {
+            return 0.0;
+        }
+        self.latency_by_class[i] as f64 / self.delivered_by_class[i] as f64
+    }
+}
+
+/// Stable index of a packet class in the per-class arrays.
+pub fn class_index(class: crate::packet::PacketClass) -> usize {
+    match class {
+        crate::packet::PacketClass::Request => 0,
+        crate::packet::PacketClass::Response => 1,
+        crate::packet::PacketClass::Coherence => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_empty() {
+        let s = NetworkStats::new();
+        assert_eq!(s.avg_packet_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+    }
+
+    #[test]
+    fn averages_divide() {
+        let s = NetworkStats {
+            packets_delivered: 4,
+            total_packet_latency: 100,
+            total_hops: 12,
+            ..NetworkStats::new()
+        };
+        assert_eq!(s.avg_packet_latency(), 25.0);
+        assert_eq!(s.avg_hops(), 3.0);
+    }
+
+    #[test]
+    fn per_class_latency_divides() {
+        use crate::packet::PacketClass;
+        let mut s = NetworkStats::new();
+        s.delivered_by_class[class_index(PacketClass::Response)] = 2;
+        s.latency_by_class[class_index(PacketClass::Response)] = 60;
+        assert_eq!(s.avg_latency_of(PacketClass::Response), 30.0);
+        assert_eq!(s.avg_latency_of(PacketClass::Request), 0.0);
+    }
+
+    #[test]
+    fn class_indices_are_distinct() {
+        use crate::packet::PacketClass;
+        let idx = [
+            class_index(PacketClass::Request),
+            class_index(PacketClass::Response),
+            class_index(PacketClass::Coherence),
+        ];
+        let mut sorted = idx;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Mesh topology: node identifiers, coordinates, and port directions.
+
+use std::fmt;
+
+/// Identifies a tile/router in the mesh, numbered row-major from the
+/// north-west corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A router port direction. `Local` is the NI injection/ejection port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward row − 1.
+    North,
+    /// Toward row + 1.
+    South,
+    /// Toward column + 1.
+    East,
+    /// Toward column − 1.
+    West,
+    /// The tile's network interface.
+    Local,
+}
+
+impl Direction {
+    /// All five port directions.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// Port index (0..5).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// The direction a flit sent out this way arrives *from* at the
+    /// neighbouring router.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Direction::Local`], which has no opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => panic!("local port has no opposite"),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A `cols × rows` 2-D mesh.
+///
+/// ```
+/// use disco_noc::topology::{Direction, Mesh, NodeId};
+///
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(mesh.nodes(), 16);
+/// assert_eq!(mesh.coords(NodeId(5)), (1, 1));
+/// assert_eq!(mesh.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
+/// assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh { cols, rows }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// `(col, row)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node.0 < self.nodes(), "node {node} outside mesh");
+        (node.0 % self.cols, node.0 / self.cols)
+    }
+
+    /// Node at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at(&self, col: usize, row: usize) -> NodeId {
+        assert!(col < self.cols && row < self.rows, "coordinates outside mesh");
+        NodeId(row * self.cols + col)
+    }
+
+    /// The neighbour in a direction, or `None` at the mesh edge or for
+    /// [`Direction::Local`].
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let (c, r) = self.coords(node);
+        let (nc, nr) = match dir {
+            Direction::North => (c, r.checked_sub(1)?),
+            Direction::South => (c, r + 1),
+            Direction::East => (c + 1, r),
+            Direction::West => (c.checked_sub(1)?, r),
+            Direction::Local => return None,
+        };
+        (nc < self.cols && nr < self.rows).then(|| self.node_at(nc, nr))
+    }
+
+    /// Manhattan hop distance between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ac, ar) = self.coords(a);
+        let (bc, br) = self.coords(b);
+        ac.abs_diff(bc) + ar.abs_diff(br)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let mesh = Mesh::new(4, 3);
+        for n in 0..mesh.nodes() {
+            let (c, r) = mesh.coords(NodeId(n));
+            assert_eq!(mesh.node_at(c, r), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn neighbors_at_edges() {
+        let mesh = Mesh::new(3, 3);
+        assert_eq!(mesh.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
+        assert_eq!(mesh.neighbor(NodeId(8), Direction::East), None);
+        assert_eq!(mesh.neighbor(NodeId(8), Direction::South), None);
+        assert_eq!(mesh.neighbor(NodeId(4), Direction::North), Some(NodeId(1)));
+        assert_eq!(mesh.neighbor(NodeId(4), Direction::Local), None);
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let mesh = Mesh::new(4, 4);
+        for n in 0..mesh.nodes() {
+            for dir in [Direction::North, Direction::South, Direction::East, Direction::West] {
+                if let Some(m) = mesh.neighbor(NodeId(n), dir) {
+                    assert_eq!(mesh.neighbor(m, dir.opposite()), Some(NodeId(n)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(mesh.hops(NodeId(5), NodeId(5)), 0);
+        assert_eq!(mesh.hops(NodeId(0), NodeId(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_mesh_rejected() {
+        let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    fn direction_indices_are_dense() {
+        let mut seen = [false; 5];
+        for d in Direction::ALL {
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

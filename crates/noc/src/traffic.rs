@@ -1,0 +1,196 @@
+//! Synthetic traffic patterns and an open-loop injection driver, for
+//! classic NoC load–latency studies independent of the cache hierarchy.
+
+use crate::network::Network;
+use crate::packet::{PacketClass, Payload};
+use crate::topology::{Mesh, NodeId};
+use disco_compress::CacheLine;
+
+/// Classic synthetic destination patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniformly random destination (excluding the source).
+    UniformRandom,
+    /// Every node sends to one fixed node.
+    Hotspot(NodeId),
+    /// `(x, y) → (y, x)` — stresses the mesh diagonal (square meshes).
+    Transpose,
+    /// Destination = bit-complement of the source index.
+    BitComplement,
+    /// Destination = the next node in row-major order (neighbor-ish,
+    /// light load).
+    RingNext,
+}
+
+impl TrafficPattern {
+    /// Destination for a packet from `src`; `draw` supplies randomness
+    /// for the random pattern. Returns `None` when the pattern maps the
+    /// source onto itself (no packet is sent).
+    pub fn dest(self, mesh: &Mesh, src: NodeId, draw: u64) -> Option<NodeId> {
+        let n = mesh.nodes();
+        let dst = match self {
+            TrafficPattern::UniformRandom => {
+                let pick = (draw as usize) % (n - 1);
+                let dst = if pick >= src.0 { pick + 1 } else { pick };
+                NodeId(dst)
+            }
+            TrafficPattern::Hotspot(h) => h,
+            TrafficPattern::Transpose => {
+                let (c, r) = mesh.coords(src);
+                if c < mesh.rows() && r < mesh.cols() {
+                    mesh.node_at(r, c)
+                } else {
+                    // Non-square fallback: mirror through the node index.
+                    NodeId(n - 1 - src.0)
+                }
+            }
+            TrafficPattern::BitComplement => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                let mask = (1usize << bits) - 1;
+                NodeId((!src.0 & mask) % n)
+            }
+            TrafficPattern::RingNext => NodeId((src.0 + 1) % n),
+        };
+        (dst != src).then_some(dst)
+    }
+}
+
+/// Open-loop injector: every cycle, each node injects a packet with
+/// probability `injection_rate / packet_flits` (so `injection_rate` is
+/// the offered load in flits/node/cycle).
+#[derive(Debug, Clone)]
+pub struct TrafficDriver {
+    pattern: TrafficPattern,
+    injection_rate: f64,
+    data_packets: bool,
+    rng: u64,
+    sent: u64,
+}
+
+impl TrafficDriver {
+    /// Builds a driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < injection_rate <= 8.0`.
+    pub fn new(pattern: TrafficPattern, injection_rate: f64, data_packets: bool, seed: u64) -> Self {
+        assert!(
+            injection_rate > 0.0 && injection_rate <= 8.0,
+            "offered load must be in (0, 8] flits/node/cycle"
+        );
+        TrafficDriver { pattern, injection_rate, data_packets, rng: seed | 1, sent: 0 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
+    /// Packets injected so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Injects this cycle's traffic (call once per [`Network::tick`]).
+    pub fn inject(&mut self, net: &mut Network) {
+        let packet_flits = if self.data_packets { 8.0 } else { 1.0 };
+        let p = (self.injection_rate / packet_flits).min(1.0);
+        let mesh = *net.mesh();
+        for src in 0..mesh.nodes() {
+            let draw = self.next_u64();
+            let toss = (draw >> 11) as f64 / (1u64 << 53) as f64;
+            if toss >= p {
+                continue;
+            }
+            let Some(dst) = self.pattern.dest(&mesh, NodeId(src), self.next_u64()) else {
+                continue;
+            };
+            let (class, payload) = if self.data_packets {
+                (PacketClass::Response, Payload::Raw(CacheLine::from_u64_words([draw; 8])))
+            } else {
+                (PacketClass::Request, Payload::None)
+            };
+            net.send(NodeId(src), dst, class, payload, self.data_packets, self.sent);
+            self.sent += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+
+    #[test]
+    fn patterns_stay_in_mesh_and_avoid_self() {
+        let mesh = Mesh::new(4, 4);
+        for pattern in [
+            TrafficPattern::UniformRandom,
+            TrafficPattern::Hotspot(NodeId(5)),
+            TrafficPattern::Transpose,
+            TrafficPattern::BitComplement,
+            TrafficPattern::RingNext,
+        ] {
+            for src in 0..16 {
+                for draw in [0u64, 7, 123_456] {
+                    if let Some(dst) = pattern.dest(&mesh, NodeId(src), draw) {
+                        assert!(dst.0 < 16, "{pattern:?}");
+                        assert_ne!(dst, NodeId(src), "{pattern:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution_on_square_meshes() {
+        let mesh = Mesh::new(4, 4);
+        for src in 0..16 {
+            if let Some(dst) = TrafficPattern::Transpose.dest(&mesh, NodeId(src), 0) {
+                let back = TrafficPattern::Transpose.dest(&mesh, dst, 0).expect("off-diagonal");
+                assert_eq!(back, NodeId(src));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_always_targets_the_spot() {
+        let mesh = Mesh::new(3, 3);
+        for src in 0..9 {
+            match TrafficPattern::Hotspot(NodeId(4)).dest(&mesh, NodeId(src), 1) {
+                Some(dst) => assert_eq!(dst, NodeId(4)),
+                None => assert_eq!(src, 4),
+            }
+        }
+    }
+
+    #[test]
+    fn driver_injects_near_offered_load() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = Network::new(mesh, NocConfig::default());
+        let mut driver =
+            TrafficDriver::new(TrafficPattern::UniformRandom, 0.1, false, 42);
+        let cycles = 4_000;
+        for _ in 0..cycles {
+            driver.inject(&mut net);
+            net.tick();
+            for n in 0..16 {
+                let _ = net.take_delivered(NodeId(n));
+            }
+        }
+        let offered = 0.1 * 16.0 * cycles as f64; // single-flit packets
+        let sent = driver.sent() as f64;
+        assert!(
+            (sent - offered).abs() < offered * 0.1,
+            "sent {sent} vs offered {offered}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn zero_rate_rejected() {
+        let _ = TrafficDriver::new(TrafficPattern::RingNext, 0.0, false, 1);
+    }
+}

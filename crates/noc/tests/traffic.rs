@@ -1,0 +1,130 @@
+//! Network-level integration and property tests: conservation and
+//! delivery under randomized traffic, across all flow controls.
+
+use disco_compress::CacheLine;
+use disco_noc::{
+    FlowControl, Mesh, Network, NocConfig, NodeId, PacketClass, Payload,
+};
+use proptest::prelude::*;
+
+fn drain(net: &mut Network, expect: usize, limit: u64) -> Vec<u64> {
+    let nodes = net.mesh().nodes();
+    let mut got = Vec::new();
+    while got.len() < expect {
+        net.tick();
+        for n in 0..nodes {
+            got.extend(net.take_delivered(NodeId(n)).into_iter().map(|p| p.tag));
+        }
+        assert!(net.now() < limit, "deadline: {}/{} delivered", got.len(), expect);
+    }
+    got
+}
+
+#[test]
+fn every_flow_control_delivers_everything() {
+    for fc in [FlowControl::Wormhole, FlowControl::VirtualCutThrough, FlowControl::StoreAndForward]
+    {
+        let config = NocConfig { flow_control: fc, buffer_depth: 8, ..NocConfig::default() };
+        let mut net = Network::new(Mesh::new(3, 3), config);
+        let mut sent = 0;
+        for src in 0..9usize {
+            for dst in 0..9usize {
+                if src != dst {
+                    let line = CacheLine::from_u64_words([src as u64; 8]);
+                    net.send(
+                        NodeId(src),
+                        NodeId(dst),
+                        PacketClass::Response,
+                        Payload::Raw(line),
+                        true,
+                        sent,
+                    );
+                    sent += 1;
+                }
+            }
+        }
+        let got = drain(&mut net, sent as usize, 50_000);
+        assert_eq!(got.len(), sent as usize, "{fc:?}");
+        assert!(net.is_idle());
+    }
+}
+
+#[test]
+fn payload_survives_transit_byte_exact() {
+    let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+    let mut bytes = [0u8; 64];
+    for (i, b) in bytes.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(37).wrapping_add(5);
+    }
+    let line = CacheLine::from_bytes(bytes);
+    net.send(NodeId(3), NodeId(12), PacketClass::Response, Payload::Raw(line), true, 0);
+    loop {
+        net.tick();
+        let got = net.take_delivered(NodeId(12));
+        if let Some(pkt) = got.first() {
+            match &pkt.payload {
+                Payload::Raw(l) => assert_eq!(*l, line),
+                other => panic!("wrong payload {other:?}"),
+            }
+            break;
+        }
+        assert!(net.now() < 1_000);
+    }
+}
+
+#[test]
+fn mixed_classes_share_the_network() {
+    let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
+    let mut sent = 0u64;
+    for i in 0..16usize {
+        for j in 0..16usize {
+            if i == j {
+                continue;
+            }
+            let (class, payload) = match (i + j) % 3 {
+                0 => (PacketClass::Request, Payload::None),
+                1 => (PacketClass::Response, Payload::Raw(CacheLine::zeroed())),
+                _ => (PacketClass::Coherence, Payload::None),
+            };
+            net.send(NodeId(i), NodeId(j), class, payload, false, sent);
+            sent += 1;
+        }
+    }
+    let got = drain(&mut net, sent as usize, 100_000);
+    let mut tags: Vec<u64> = got;
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), sent as usize, "no packet lost or duplicated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_traffic_is_conserved(
+        sends in proptest::collection::vec((0usize..9, 0usize..9, any::<bool>()), 1..60),
+        cols in 2usize..4,
+        rows in 2usize..4,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let n = mesh.nodes();
+        let mut net = Network::new(mesh, NocConfig::default());
+        let mut expected = 0usize;
+        for (tag, (s, d, data)) in sends.iter().enumerate() {
+            let (s, d) = (s % n, d % n);
+            if s == d {
+                continue;
+            }
+            let (class, payload) = if *data {
+                (PacketClass::Response, Payload::Raw(CacheLine::from_u64_words([tag as u64; 8])))
+            } else {
+                (PacketClass::Request, Payload::None)
+            };
+            net.send(NodeId(s), NodeId(d), class, payload, *data, tag as u64);
+            expected += 1;
+        }
+        let got = drain(&mut net, expected, 200_000);
+        prop_assert_eq!(got.len(), expected);
+        prop_assert!(net.is_idle());
+    }
+}

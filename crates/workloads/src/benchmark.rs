@@ -1,0 +1,288 @@
+//! The twelve PARSEC-2.1 benchmarks as parametrized workload profiles.
+//!
+//! We cannot run gem5 + PARSEC binaries; instead each benchmark is a
+//! profile calibrated to its published characterization (Bienia et al.,
+//! PACT'08 and later cache studies): working-set size (drives LLC miss
+//! rate and NoC load), access intensity (drives queuing — the resource
+//! DISCO harvests), read/write mix and sharing (drives coherence
+//! traffic), spatial locality, and the value-compressibility mix.
+
+use crate::value::ValueProfile;
+use std::fmt;
+
+/// A PARSEC-2.1 benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Freqmine,
+    Streamcluster,
+    Swaptions,
+    Vips,
+    X264,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's alphabetical figure order.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Canneal,
+        Benchmark::Dedup,
+        Benchmark::Facesim,
+        Benchmark::Ferret,
+        Benchmark::Fluidanimate,
+        Benchmark::Freqmine,
+        Benchmark::Streamcluster,
+        Benchmark::Swaptions,
+        Benchmark::Vips,
+        Benchmark::X264,
+    ];
+
+    /// Lower-case name as printed on figure axes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::Canneal => "canneal",
+            Benchmark::Dedup => "dedup",
+            Benchmark::Facesim => "facesim",
+            Benchmark::Ferret => "ferret",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Freqmine => "freqmine",
+            Benchmark::Streamcluster => "streamcluster",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::Vips => "vips",
+            Benchmark::X264 => "x264",
+        }
+    }
+
+    /// The calibrated workload profile.
+    pub fn profile(self) -> WorkloadProfile {
+        use Benchmark::*;
+        match self {
+            // Small working set, FP option pricing, negligible sharing.
+            Blackscholes => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 5_000,
+                intensity: 2.1,
+                write_frac: 0.22,
+                shared_frac: 0.04,
+                stride_frac: 0.55,
+                locality: 2.0,
+                value: ValueProfile { zero: 0.18, near_base: 0.08, small_int: 0.10, repeated: 0.06, float_like: 0.38 },
+            },
+            // Computer-vision pipeline, moderate sharing of body model.
+            Bodytrack => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 9_000,
+                intensity: 2.7,
+                write_frac: 0.26,
+                shared_frac: 0.18,
+                stride_frac: 0.45,
+                locality: 1.8,
+                value: ValueProfile { zero: 0.22, near_base: 0.12, small_int: 0.22, repeated: 0.08, float_like: 0.16 },
+            },
+            // Huge pointer-chasing working set: the LLC-stressing outlier.
+            Canneal => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 120_000,
+                intensity: 3.6,
+                write_frac: 0.18,
+                shared_frac: 0.30,
+                stride_frac: 0.08,
+                locality: 1.05,
+                value: ValueProfile { zero: 0.10, near_base: 0.42, small_int: 0.12, repeated: 0.04, float_like: 0.04 },
+            },
+            // Streaming dedup pipeline: hashes compress poorly, metadata well.
+            Dedup => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 16_000,
+                intensity: 3.9,
+                write_frac: 0.30,
+                shared_frac: 0.22,
+                stride_frac: 0.50,
+                locality: 1.6,
+                value: ValueProfile { zero: 0.20, near_base: 0.14, small_int: 0.12, repeated: 0.06, float_like: 0.04 },
+            },
+            // Physics FP simulation over a large mesh.
+            Facesim => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 24_000,
+                intensity: 3.0,
+                write_frac: 0.32,
+                shared_frac: 0.12,
+                stride_frac: 0.60,
+                locality: 1.5,
+                value: ValueProfile { zero: 0.14, near_base: 0.10, small_int: 0.06, repeated: 0.05, float_like: 0.45 },
+            },
+            // Content-similarity search pipeline, shared database.
+            Ferret => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 14_000,
+                intensity: 3.3,
+                write_frac: 0.24,
+                shared_frac: 0.34,
+                stride_frac: 0.35,
+                locality: 1.7,
+                value: ValueProfile { zero: 0.16, near_base: 0.18, small_int: 0.16, repeated: 0.06, float_like: 0.14 },
+            },
+            // SPH fluid solver: FP with neighbour lists.
+            Fluidanimate => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 12_000,
+                intensity: 2.9,
+                write_frac: 0.34,
+                shared_frac: 0.10,
+                stride_frac: 0.40,
+                locality: 1.7,
+                value: ValueProfile { zero: 0.17, near_base: 0.16, small_int: 0.08, repeated: 0.04, float_like: 0.40 },
+            },
+            // FP-growth itemset mining: integer-heavy trees.
+            Freqmine => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 12_000,
+                intensity: 3.1,
+                write_frac: 0.28,
+                shared_frac: 0.16,
+                stride_frac: 0.30,
+                locality: 1.8,
+                value: ValueProfile { zero: 0.24, near_base: 0.20, small_int: 0.26, repeated: 0.05, float_like: 0.02 },
+            },
+            // Streaming k-means: large sequential sweeps, little reuse.
+            Streamcluster => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 90_000,
+                intensity: 4.2,
+                write_frac: 0.16,
+                shared_frac: 0.26,
+                stride_frac: 0.75,
+                locality: 1.05,
+                value: ValueProfile { zero: 0.12, near_base: 0.08, small_int: 0.10, repeated: 0.06, float_like: 0.34 },
+            },
+            // Tiny working set: mostly L1-resident.
+            Swaptions => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 3_000,
+                intensity: 1.8,
+                write_frac: 0.20,
+                shared_frac: 0.02,
+                stride_frac: 0.45,
+                locality: 2.0,
+                value: ValueProfile { zero: 0.15, near_base: 0.08, small_int: 0.10, repeated: 0.05, float_like: 0.36 },
+            },
+            // Image pipeline: strided filters over pixel buffers.
+            Vips => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 15_000,
+                intensity: 3.6,
+                write_frac: 0.30,
+                shared_frac: 0.14,
+                stride_frac: 0.70,
+                locality: 1.5,
+                value: ValueProfile { zero: 0.20, near_base: 0.08, small_int: 0.30, repeated: 0.14, float_like: 0.02 },
+            },
+            // Video encode: motion vectors and residuals, many zeros.
+            X264 => WorkloadProfile {
+                benchmark: self,
+                working_set_lines: 10_000,
+                intensity: 3.5,
+                write_frac: 0.36,
+                shared_frac: 0.20,
+                stride_frac: 0.55,
+                locality: 1.7,
+                value: ValueProfile { zero: 0.32, near_base: 0.06, small_int: 0.28, repeated: 0.10, float_like: 0.02 },
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Which benchmark this models.
+    pub benchmark: Benchmark,
+    /// Distinct 64 B lines in the global working set.
+    pub working_set_lines: usize,
+    /// Mean memory accesses per core per 100 cycles.
+    pub intensity: f64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// Fraction of accesses that target the shared region.
+    pub shared_frac: f64,
+    /// Fraction of accesses that continue a sequential/strided walk.
+    pub stride_frac: f64,
+    /// Temporal-locality skew (≥ 1; higher = hotter hot set).
+    pub locality: f64,
+    /// Line-value mix.
+    pub value: ValueProfile,
+}
+
+impl WorkloadProfile {
+    /// Scales the working set for a different machine size, keeping
+    /// per-bank pressure comparable (used by the Fig. 8 scalability
+    /// sweep).
+    pub fn scaled_to(&self, cores: usize) -> WorkloadProfile {
+        let mut p = *self;
+        p.working_set_lines = (p.working_set_lines * cores).div_ceil(16);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(p.working_set_lines > 0);
+            assert!(p.intensity > 0.0);
+            assert!((0.0..=1.0).contains(&p.write_frac));
+            assert!((0.0..=1.0).contains(&p.shared_frac));
+            assert!((0.0..=1.0).contains(&p.stride_frac));
+            assert!(p.locality >= 1.0);
+            // ValueModel::new validates the value profile fractions.
+            let _ = crate::value::ValueModel::new(p.value, 0);
+        }
+    }
+
+    #[test]
+    fn canneal_is_the_llc_outlier() {
+        let c = Benchmark::Canneal.profile();
+        for b in Benchmark::ALL {
+            assert!(c.working_set_lines >= b.profile().working_set_lines);
+        }
+    }
+
+    #[test]
+    fn names_unique_and_lowercase() {
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+    }
+
+    #[test]
+    fn scaling_preserves_per_core_footprint() {
+        let p = Benchmark::Ferret.profile();
+        let p64 = p.scaled_to(64);
+        assert_eq!(p64.working_set_lines, p.working_set_lines * 4);
+        let p4 = p.scaled_to(4);
+        assert_eq!(p4.working_set_lines, p.working_set_lines / 4);
+    }
+}

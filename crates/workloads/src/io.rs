@@ -1,0 +1,176 @@
+//! Plain-text trace serialization, so externally captured memory traces
+//! (from a real simulator or a production profiler) can drive the
+//! system, and generated traces can be archived for exact replay.
+//!
+//! Format: one access per line, `<core> <gap> <line-hex> <R|W>`, with
+//! `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # core gap line rw
+//! 0 3 1a2b R
+//! 0 17 1a2c W
+//! 1 2 0044 R
+//! ```
+
+use crate::trace::MemAccess;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A malformed trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that does not parse.
+    Parse {
+        /// 1-based line number in the input.
+        line_number: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line_number, message } => {
+                write!(f, "trace line {line_number}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes per-core traces to `writer`. A `&mut` reference works as the
+/// writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_traces<W: Write>(mut writer: W, traces: &[Vec<MemAccess>]) -> Result<(), TraceIoError> {
+    writeln!(writer, "# disco trace v1: core gap line rw")?;
+    for (core, trace) in traces.iter().enumerate() {
+        for a in trace {
+            writeln!(
+                writer,
+                "{core} {} {:x} {}",
+                a.gap,
+                a.line,
+                if a.write { 'W' } else { 'R' }
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads per-core traces from `reader`. Cores may appear in any order;
+/// the result is indexed by core id with gaps in the id space yielding
+/// empty traces. A `&mut` reference works as the reader.
+///
+/// # Errors
+///
+/// Fails on I/O errors or malformed lines.
+pub fn read_traces<R: Read>(reader: R) -> Result<Vec<Vec<MemAccess>>, TraceIoError> {
+    let mut traces: Vec<Vec<MemAccess>> = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line_number = idx + 1;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut fields = body.split_whitespace();
+        let parse_err = |message: String| TraceIoError::Parse { line_number, message };
+        let core: usize = fields
+            .next()
+            .ok_or_else(|| parse_err("missing core".into()))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad core: {e}")))?;
+        let gap: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing gap".into()))?
+            .parse()
+            .map_err(|e| parse_err(format!("bad gap: {e}")))?;
+        let line_field = fields.next().ok_or_else(|| parse_err("missing line".into()))?;
+        let addr = u64::from_str_radix(line_field, 16)
+            .map_err(|e| parse_err(format!("bad line address: {e}")))?;
+        let write = match fields.next() {
+            Some("R") | Some("r") => false,
+            Some("W") | Some("w") => true,
+            other => return Err(parse_err(format!("bad access kind {other:?}"))),
+        };
+        if let Some(extra) = fields.next() {
+            return Err(parse_err(format!("trailing field {extra:?}")));
+        }
+        if traces.len() <= core {
+            traces.resize_with(core + 1, Vec::new);
+        }
+        traces[core].push(MemAccess { gap, line: addr, write });
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+    use crate::trace::TraceGenerator;
+
+    #[test]
+    fn roundtrip_generated_traces() {
+        let traces = TraceGenerator::new(Benchmark::Vips.profile(), 4, 9).generate(200);
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).expect("write");
+        let back = read_traces(buf.as_slice()).expect("read");
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n0 5 ff R # inline comment\n\n1 2 a0 W\n";
+        let traces = read_traces(text.as_bytes()).expect("read");
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0], vec![MemAccess { gap: 5, line: 0xff, write: false }]);
+        assert_eq!(traces[1], vec![MemAccess { gap: 2, line: 0xa0, write: true }]);
+    }
+
+    #[test]
+    fn sparse_core_ids_leave_empty_traces() {
+        let traces = read_traces("3 1 10 R\n".as_bytes()).expect("read");
+        assert_eq!(traces.len(), 4);
+        assert!(traces[0].is_empty() && traces[2].is_empty());
+        assert_eq!(traces[3].len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_traces("0 1 zz R\n".as_bytes()).expect_err("bad hex");
+        match err {
+            TraceIoError::Parse { line_number, message } => {
+                assert_eq!(line_number, 1);
+                assert!(message.contains("line address"), "{message}");
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        let err = read_traces("0 1 aa X\n".as_bytes()).expect_err("bad rw");
+        assert!(matches!(err, TraceIoError::Parse { .. }));
+        let err = read_traces("0 1 aa R extra\n".as_bytes()).expect_err("trailing");
+        assert!(format!("{err}").contains("trailing"));
+    }
+}

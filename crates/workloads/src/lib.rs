@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Synthetic PARSEC-2.1-like workloads for the DISCO reproduction.
+//!
+//! The paper evaluates on gem5 running PARSEC-2.1; this crate substitutes
+//! deterministic generators calibrated per benchmark (see `DESIGN.md` §3):
+//!
+//! - [`benchmark::Benchmark`] — the twelve PARSEC workloads as
+//!   parametrized profiles (working set, intensity, sharing, locality,
+//!   value mix).
+//! - [`trace::TraceGenerator`] — per-core address/timing traces.
+//! - [`value::ValueModel`] — deterministic line *values*, so compression
+//!   ratios are measured on real bytes.
+//! - [`io`] — plain-text trace save/load for external traces and exact
+//!   replay.
+//!
+//! ```
+//! use disco_workloads::{Benchmark, TraceGenerator};
+//!
+//! let traces = TraceGenerator::new(Benchmark::Ferret.profile(), 16, 1).generate(100);
+//! assert_eq!(traces.len(), 16);
+//! ```
+
+pub mod benchmark;
+pub mod io;
+pub mod trace;
+pub mod value;
+
+pub use benchmark::{Benchmark, WorkloadProfile};
+pub use io::{read_traces, write_traces, TraceIoError};
+pub use trace::{MemAccess, TraceGenerator};
+pub use value::{ValueModel, ValueProfile};

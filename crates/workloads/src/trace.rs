@@ -1,0 +1,178 @@
+//! Per-core memory trace generation from a workload profile.
+
+use crate::benchmark::WorkloadProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory access in a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Cycles since the previous access of the same core.
+    pub gap: u64,
+    /// Line-granular address (64 B units).
+    pub line: u64,
+    /// True for a store.
+    pub write: bool,
+}
+
+/// Generates deterministic per-core traces for a profile.
+///
+/// Address stream: each core owns a private slice of the working set and
+/// shares a common region; accesses either continue a strided walk
+/// (spatial locality) or jump to a skew-distributed line (temporal
+/// locality), with `shared_frac` of them landing in the shared region.
+/// Inter-access gaps are geometric with mean `100 / intensity`.
+///
+/// ```
+/// use disco_workloads::{Benchmark, TraceGenerator};
+///
+/// let gen = TraceGenerator::new(Benchmark::Dedup.profile(), 16, 42);
+/// let traces = gen.generate(1_000);
+/// assert_eq!(traces.len(), 16);
+/// assert!(traces.iter().all(|t| t.len() == 1_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    cores: usize,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Builds a generator for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(profile: WorkloadProfile, cores: usize, seed: u64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        TraceGenerator { profile, cores, seed }
+    }
+
+    /// The profile driving generation.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Produces `len` accesses for every core.
+    pub fn generate(&self, len: usize) -> Vec<Vec<MemAccess>> {
+        (0..self.cores).map(|c| self.generate_core(c, len)).collect()
+    }
+
+    /// Produces one core's trace.
+    pub fn generate_core(&self, core: usize, len: usize) -> Vec<MemAccess> {
+        let p = &self.profile;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ((core as u64) << 32) ^ 0x5eed);
+        // Region layout: [shared | core0 private | core1 private | ...]
+        let shared_lines = ((p.working_set_lines as f64) * p.shared_frac.max(0.02)).ceil() as u64;
+        let private_lines =
+            ((p.working_set_lines as u64).saturating_sub(shared_lines) / self.cores as u64).max(16);
+        let private_base = shared_lines + core as u64 * private_lines;
+        let mean_gap = (100.0 / p.intensity).max(1.0);
+        let mut walker = private_base + rng.gen_range(0..private_lines);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let shared = rng.gen_bool(p.shared_frac);
+            let line = if rng.gen_bool(p.stride_frac) {
+                // Continue the strided walk (wrapping within the region).
+                walker += 1;
+                if shared {
+                    walker % shared_lines.max(1)
+                } else {
+                    if walker >= private_base + private_lines {
+                        walker = private_base;
+                    }
+                    walker
+                }
+            } else {
+                // Skewed random jump: u^locality biases toward low indices
+                // (the hot end of the region).
+                let u: f64 = rng.gen::<f64>();
+                let skewed = u.powf(p.locality);
+                
+                if shared {
+                    (skewed * shared_lines as f64) as u64
+                } else {
+                    let idx = (skewed * private_lines as f64) as u64;
+                    walker = private_base + idx;
+                    private_base + idx
+                }
+            };
+            let gap = Self::geometric(&mut rng, mean_gap);
+            out.push(MemAccess { gap, line, write: rng.gen_bool(p.write_frac) });
+        }
+        out
+    }
+
+    /// Geometric inter-arrival with the given mean (≥ 1).
+    fn geometric(rng: &mut StdRng, mean: f64) -> u64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let g = (-u.ln() * mean).round() as u64;
+        g.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+
+    fn gen(b: Benchmark) -> TraceGenerator {
+        TraceGenerator::new(b.profile(), 16, 7)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = gen(Benchmark::Ferret).generate(500);
+        let b = gen(Benchmark::Ferret).generate(500);
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(Benchmark::Ferret.profile(), 16, 8).generate(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cores_have_disjoint_private_regions() {
+        let traces = gen(Benchmark::Swaptions).generate(2_000);
+        let p = Benchmark::Swaptions.profile();
+        let shared_lines = ((p.working_set_lines as f64) * p.shared_frac.max(0.02)).ceil() as u64;
+        // Private accesses of different cores never collide.
+        let private_of = |t: &[MemAccess]| {
+            t.iter().map(|a| a.line).filter(|&l| l >= shared_lines).collect::<Vec<_>>()
+        };
+        let c0 = private_of(&traces[0]);
+        let c1 = private_of(&traces[1]);
+        assert!(!c0.is_empty() && !c1.is_empty());
+        assert!(c0.iter().all(|l| !c1.contains(l)));
+    }
+
+    #[test]
+    fn write_fraction_approximated() {
+        let traces = gen(Benchmark::X264).generate(4_000);
+        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let writes: usize = traces.iter().flatten().filter(|a| a.write).count();
+        let frac = writes as f64 / total as f64;
+        let expect = Benchmark::X264.profile().write_frac;
+        assert!((frac - expect).abs() < 0.03, "write frac {frac} vs {expect}");
+    }
+
+    #[test]
+    fn gaps_track_intensity() {
+        let hot = gen(Benchmark::Streamcluster).generate(4_000); // intensity 13
+        let cold = gen(Benchmark::Swaptions).generate(4_000); // intensity 5
+        let mean = |ts: &Vec<Vec<MemAccess>>| {
+            let s: u64 = ts.iter().flatten().map(|a| a.gap).sum();
+            s as f64 / ts.iter().map(|t| t.len()).sum::<usize>() as f64
+        };
+        assert!(mean(&hot) < mean(&cold), "hotter benchmark must have smaller gaps");
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        for b in [Benchmark::Canneal, Benchmark::Vips] {
+            let p = b.profile();
+            let traces = TraceGenerator::new(p, 4, 3).generate(2_000);
+            let limit = p.working_set_lines as u64 + 64; // walker wrap slack
+            assert!(traces.iter().flatten().all(|a| a.line < limit));
+        }
+    }
+}

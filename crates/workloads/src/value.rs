@@ -1,0 +1,239 @@
+//! Deterministic cache-line value synthesis with per-benchmark
+//! compressibility profiles.
+//!
+//! The DISCO mechanisms are driven by how well lines compress, so the
+//! trace substitution must reproduce PARSEC's *value* behaviour, not just
+//! its addresses. Each benchmark mixes five canonical line shapes in
+//! different proportions; a line's shape and content are a pure function
+//! of `(address, version)`, so re-reading an unmodified line always
+//! yields identical bytes (as in a real memory), while writes bump the
+//! version and produce new values with the same statistics.
+
+use disco_compress::{CacheLine, LINE_BYTES};
+
+/// Mix of line shapes generated for a benchmark. Fractions sum to ≤ 1;
+/// the remainder is incompressible random data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueProfile {
+    /// All-zero lines (fresh allocations, sparse matrices).
+    pub zero: f64,
+    /// 64-bit values clustered near a common base (pointer arrays,
+    /// indices) — ideal for the delta codec.
+    pub near_base: f64,
+    /// Small 32-bit integers (counters, flags, pixel values).
+    pub small_int: f64,
+    /// Repeated 32-bit patterns (initialized buffers, RGBA fills).
+    pub repeated: f64,
+    /// Low-delta floating-point-like data (simulation state: same
+    /// exponent, drifting mantissa).
+    pub float_like: f64,
+}
+
+impl ValueProfile {
+    /// A balanced default (moderate compressibility).
+    pub fn balanced() -> Self {
+        ValueProfile { zero: 0.15, near_base: 0.2, small_int: 0.2, repeated: 0.1, float_like: 0.15 }
+    }
+
+    fn validate(&self) {
+        let sum = self.zero + self.near_base + self.small_int + self.repeated + self.float_like;
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&sum),
+            "value profile fractions must sum to at most 1 (got {sum})"
+        );
+        for f in [self.zero, self.near_base, self.small_int, self.repeated, self.float_like] {
+            assert!((0.0..=1.0).contains(&f), "fractions must lie in [0, 1]");
+        }
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic hash/PRNG step.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Generates line values for one benchmark.
+///
+/// ```
+/// use disco_workloads::value::{ValueModel, ValueProfile};
+///
+/// let model = ValueModel::new(ValueProfile::balanced(), 7);
+/// let a = model.line(0x100, 0);
+/// assert_eq!(a, model.line(0x100, 0), "values are deterministic");
+/// assert_ne!(a, model.line(0x100, 1), "writes produce new values");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValueModel {
+    profile: ValueProfile,
+    seed: u64,
+}
+
+impl ValueModel {
+    /// Builds a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fractions are out of range.
+    pub fn new(profile: ValueProfile, seed: u64) -> Self {
+        profile.validate();
+        ValueModel { profile, seed }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &ValueProfile {
+        &self.profile
+    }
+
+    /// The value of line `addr` at write-`version`.
+    pub fn line(&self, addr: u64, version: u32) -> CacheLine {
+        let h = splitmix(self.seed ^ splitmix(addr) ^ ((version as u64) << 32));
+        let pick = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let p = &self.profile;
+        let mut acc = p.zero;
+        if pick < acc {
+            return CacheLine::zeroed();
+        }
+        acc += p.near_base;
+        if pick < acc {
+            return self.near_base_line(h);
+        }
+        acc += p.small_int;
+        if pick < acc {
+            return self.small_int_line(h);
+        }
+        acc += p.repeated;
+        if pick < acc {
+            return self.repeated_line(h);
+        }
+        acc += p.float_like;
+        if pick < acc {
+            return self.float_like_line(h);
+        }
+        self.random_line(h)
+    }
+
+    fn near_base_line(&self, h: u64) -> CacheLine {
+        // Pointers into the same region: base + small multiples of 8.
+        let base = splitmix(h ^ 1) & 0x0000_7fff_ffff_ffc0;
+        let mut words = [0u64; 8];
+        let mut s = h;
+        for w in words.iter_mut() {
+            s = splitmix(s);
+            *w = base.wrapping_add((s % 16) * 8);
+        }
+        words[0] = base;
+        CacheLine::from_u64_words(words)
+    }
+
+    fn small_int_line(&self, h: u64) -> CacheLine {
+        let mut words = [0u32; 16];
+        let mut s = h;
+        for w in words.iter_mut() {
+            s = splitmix(s);
+            *w = (s % 256) as u32;
+        }
+        CacheLine::from_u32_words(words)
+    }
+
+    fn repeated_line(&self, h: u64) -> CacheLine {
+        let v = (splitmix(h ^ 2) & 0xffff_ffff) as u32;
+        CacheLine::from_u32_words([v; 16])
+    }
+
+    fn float_like_line(&self, h: u64) -> CacheLine {
+        // Same sign+exponent, drifting mantissa low bits: compressible by
+        // delta/BDI at 2-4 byte width, resistant to FPC's integer
+        // patterns — mirrors real FP simulation state.
+        let exp = 0x3fe0_0000_0000_0000u64 | ((h & 0xf) << 48);
+        let mut words = [0u64; 8];
+        let mut s = h;
+        for w in words.iter_mut() {
+            s = splitmix(s);
+            *w = exp | (s & 0xffff);
+        }
+        CacheLine::from_u64_words(words)
+    }
+
+    fn random_line(&self, h: u64) -> CacheLine {
+        let mut bytes = [0u8; LINE_BYTES];
+        let mut s = h ^ 3;
+        for chunk in bytes.chunks_mut(8) {
+            s = splitmix(s);
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        CacheLine::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disco_compress::{scheme::Compressor, Codec, CompressionStats};
+
+    #[test]
+    fn deterministic_per_addr_version() {
+        let m = ValueModel::new(ValueProfile::balanced(), 42);
+        for addr in [0u64, 7, 1_000_003] {
+            assert_eq!(m.line(addr, 3), m.line(addr, 3));
+        }
+        assert_ne!(m.line(1, 0), m.line(2, 0));
+    }
+
+    #[test]
+    fn zero_profile_gives_zero_lines() {
+        let m = ValueModel::new(
+            ValueProfile { zero: 1.0, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            1,
+        );
+        for addr in 0..100 {
+            assert!(m.line(addr, 0).is_zero());
+        }
+    }
+
+    #[test]
+    fn random_profile_is_incompressible() {
+        let m = ValueModel::new(
+            ValueProfile { zero: 0.0, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            1,
+        );
+        let codec = Codec::delta();
+        let mut stats = CompressionStats::new();
+        for addr in 0..200 {
+            stats.record(&codec.compress(&m.line(addr, 0)));
+        }
+        assert!(stats.mean_ratio() < 1.05, "ratio {}", stats.mean_ratio());
+    }
+
+    #[test]
+    fn balanced_profile_compresses_well() {
+        let m = ValueModel::new(ValueProfile::balanced(), 1);
+        let codec = Codec::delta();
+        let mut stats = CompressionStats::new();
+        for addr in 0..500 {
+            stats.record(&codec.compress(&m.line(addr, 0)));
+        }
+        assert!(stats.mean_ratio() > 1.3, "ratio {}", stats.mean_ratio());
+    }
+
+    #[test]
+    fn profile_fractions_roughly_respected() {
+        let m = ValueModel::new(
+            ValueProfile { zero: 0.5, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            9,
+        );
+        let zeros = (0..2000).filter(|&a| m.line(a, 0).is_zero()).count();
+        assert!((800..1200).contains(&zeros), "got {zeros} zero lines of 2000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1")]
+    fn overfull_profile_rejected() {
+        let _ = ValueModel::new(
+            ValueProfile { zero: 0.5, near_base: 0.5, small_int: 0.5, repeated: 0.0, float_like: 0.0 },
+            0,
+        );
+    }
+}

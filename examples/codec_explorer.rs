@@ -1,0 +1,51 @@
+//! Codec explorer: how well does each compression scheme do on each
+//! PARSEC workload's data?
+//!
+//! This is the §3.2/§4.1 design question — DISCO is codec-agnostic, so a
+//! designer picks the scheme whose ratio/latency trade-off suits the
+//! workload mix. The explorer compresses 400 lines from every
+//! benchmark's value model with every codec and prints the ratio matrix.
+//!
+//! Run with: `cargo run --release --example codec_explorer`
+
+use disco::compress::{scheme::Compressor, Codec, CompressionStats, SchemeKind};
+use disco::workloads::{Benchmark, ValueModel};
+
+fn main() {
+    println!("compression ratio by benchmark x scheme (400 lines each)\n");
+    print!("{:<14}", "benchmark");
+    for kind in SchemeKind::ALL {
+        print!(" {:>8}", kind.name());
+    }
+    println!();
+
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SchemeKind::ALL.len()];
+    for bench in Benchmark::ALL {
+        let model = ValueModel::new(bench.profile().value, 11);
+        let lines: Vec<_> = (0..400u64).map(|a| model.line(a * 5 + 2, (a % 3) as u32)).collect();
+        print!("{:<14}", bench.name());
+        for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+            // SC2 trains on the workload it serves, as its hardware does.
+            let codec = if kind == SchemeKind::Sc2 {
+                Codec::Sc2(disco::compress::sc2::Sc2Codec::train(&lines))
+            } else {
+                Codec::from_kind(kind)
+            };
+            let mut stats = CompressionStats::new();
+            for line in &lines {
+                stats.record(&codec.compress(line));
+            }
+            per_scheme[i].push(stats.mean_ratio());
+            print!(" {:>8.2}", stats.mean_ratio());
+        }
+        println!();
+    }
+    println!();
+    print!("{:<14}", "mean");
+    for ratios in &per_scheme {
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        print!(" {mean:>8.2}");
+    }
+    println!();
+    println!("\nTable 1 reference ratios: FPC 1.5, SFPC 1.33, BDI 1.57, SC2 2.4");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: simulate one benchmark under every compression placement
+//! and print the normalized on-chip data access latency (the Fig. 5
+//! metric for a single workload).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use disco::core::{CompressionPlacement, SimBuilder, SimError};
+use disco::workloads::Benchmark;
+
+fn main() -> Result<(), SimError> {
+    let benchmark = Benchmark::Dedup;
+    println!("DISCO quickstart — {benchmark} on a 4x4 mesh, delta codec\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>14}",
+        "config", "cycles/miss", "normalized", "LLC miss%", "NoC flits"
+    );
+
+    let ideal = run(benchmark, CompressionPlacement::Ideal)?;
+    for placement in CompressionPlacement::ALL {
+        let r = run(benchmark, placement)?;
+        println!(
+            "{:<10} {:>14.1} {:>12.3} {:>12.1} {:>14}",
+            placement.name(),
+            r.avg_access_latency(),
+            r.avg_access_latency() / ideal.avg_access_latency(),
+            100.0 * r.banks.miss_rate(),
+            r.network.link_flits,
+        );
+    }
+    Ok(())
+}
+
+fn run(
+    benchmark: Benchmark,
+    placement: CompressionPlacement,
+) -> Result<disco::core::SimReport, SimError> {
+    SimBuilder::new()
+        .mesh(4, 4)
+        .placement(placement)
+        .benchmark(benchmark)
+        .trace_len(4_000)
+        .seed(7)
+        .run()
+}

@@ -1,0 +1,104 @@
+//! Integration tests across `disco-compress` and `disco-workloads`:
+//! every codec must round-trip every line the value models generate, and
+//! the measured ratios must reproduce the Table 1 ordering.
+
+use disco::compress::{scheme::Compressor, CacheLine, Codec, CompressionStats, SchemeKind};
+use disco::workloads::{Benchmark, ValueModel};
+
+fn corpus(bench: Benchmark, n: u64) -> Vec<CacheLine> {
+    let model = ValueModel::new(bench.profile().value, 99);
+    (0..n).map(|a| model.line(a, (a % 3) as u32)).collect()
+}
+
+#[test]
+fn every_codec_roundtrips_every_benchmark_corpus() {
+    for bench in Benchmark::ALL {
+        let lines = corpus(bench, 300);
+        for kind in SchemeKind::ALL {
+            let codec = Codec::from_kind(kind);
+            for line in &lines {
+                let enc = codec.compress(line);
+                assert_eq!(
+                    codec.decompress(&enc).expect("valid encoding"),
+                    *line,
+                    "{kind} failed on a {bench} line"
+                );
+            }
+        }
+    }
+}
+
+fn mean_ratio(kind: SchemeKind, lines: &[CacheLine]) -> f64 {
+    // SC² is statistical: train it on the corpus it will compress, as the
+    // hardware trains on sampled cache contents.
+    let codec = if kind == SchemeKind::Sc2 {
+        Codec::Sc2(disco::compress::sc2::Sc2Codec::train(lines))
+    } else {
+        Codec::from_kind(kind)
+    };
+    let mut stats = CompressionStats::new();
+    for line in lines {
+        stats.record(&codec.compress(line));
+    }
+    stats.mean_ratio()
+}
+
+#[test]
+fn sc2_has_the_highest_ratio_like_table1() {
+    // Pool lines over all benchmarks (the "average workload" of Table 1).
+    let mut lines = Vec::new();
+    for bench in Benchmark::ALL {
+        lines.extend(corpus(bench, 150));
+    }
+    let sc2 = mean_ratio(SchemeKind::Sc2, &lines);
+    for kind in [SchemeKind::Delta, SchemeKind::Fpc, SchemeKind::Sfpc, SchemeKind::Bdi] {
+        let r = mean_ratio(kind, &lines);
+        assert!(
+            sc2 > r * 0.98,
+            "SC2 ({sc2:.2}) should compress at least as well as {kind} ({r:.2})"
+        );
+    }
+}
+
+#[test]
+fn sfpc_trades_ratio_for_speed_vs_fpc() {
+    let mut lines = Vec::new();
+    for bench in Benchmark::ALL {
+        lines.extend(corpus(bench, 100));
+    }
+    let fpc = mean_ratio(SchemeKind::Fpc, &lines);
+    let sfpc = mean_ratio(SchemeKind::Sfpc, &lines);
+    assert!(sfpc <= fpc, "SFPC ({sfpc:.2}) must not beat FPC ({fpc:.2})");
+    // And SFPC decodes faster (Table 1: 4 vs 5 cycles).
+    let f = Codec::fpc();
+    let s = Codec::sfpc();
+    let line = CacheLine::zeroed();
+    assert!(s.decompression_latency(&s.compress(&line)) < f.decompression_latency(&f.compress(&line)));
+}
+
+#[test]
+fn delta_and_bdi_agree_on_family_strengths() {
+    // Both are base-delta schemes; on near-base pointer data both must
+    // compress well.
+    let model = ValueModel::new(
+        disco::workloads::ValueProfile { zero: 0.0, near_base: 1.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+        5,
+    );
+    let lines: Vec<CacheLine> = (0..200).map(|a| model.line(a, 0)).collect();
+    assert!(mean_ratio(SchemeKind::Delta, &lines) > 2.5);
+    assert!(mean_ratio(SchemeKind::Bdi, &lines) > 2.5);
+}
+
+#[test]
+fn compressibility_tracks_benchmark_profiles() {
+    // x264 (many zeros/small ints) must compress much better than dedup
+    // (hash-heavy) under every codec family.
+    let x264 = corpus(Benchmark::X264, 400);
+    let dedup = corpus(Benchmark::Dedup, 400);
+    for kind in SchemeKind::ALL {
+        assert!(
+            mean_ratio(kind, &x264) > mean_ratio(kind, &dedup),
+            "{kind}: x264 must compress better than dedup"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Cross-crate integration tests: the §4.1 placement comparison on the
+//! full system — the invariants behind Figs. 5–8.
+
+use disco::core::{CompressionPlacement, SimBuilder, SimReport};
+use disco::workloads::Benchmark;
+
+fn run(placement: CompressionPlacement, bench: Benchmark, len: usize) -> SimReport {
+    SimBuilder::new()
+        .mesh(4, 4)
+        .placement(placement)
+        .benchmark(bench)
+        .trace_len(len)
+        .seed(11)
+        .run()
+        .expect("simulation drains")
+}
+
+#[test]
+fn all_placements_drain_on_all_benchmarks_small() {
+    for bench in Benchmark::ALL {
+        for placement in CompressionPlacement::ALL {
+            let r = run(placement, bench, 300);
+            assert!(r.demand_misses > 0, "{bench}/{placement}: no misses measured");
+            assert!(r.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(CompressionPlacement::Disco, Benchmark::Ferret, 800);
+    let b = run(CompressionPlacement::Disco, Benchmark::Ferret, 800);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.total_miss_latency, b.total_miss_latency);
+    assert_eq!(a.network.link_flits, b.network.link_flits);
+    assert_eq!(a.disco.unwrap(), b.disco.unwrap());
+}
+
+#[test]
+fn ideal_is_the_latency_lower_bound() {
+    // The normalization basis of Figs. 5/6/8: no other compressed
+    // configuration beats Ideal.
+    let bench = Benchmark::Dedup;
+    let ideal = run(CompressionPlacement::Ideal, bench, 2_000);
+    for placement in [
+        CompressionPlacement::CacheOnly,
+        CompressionPlacement::CacheAndNi,
+        CompressionPlacement::Disco,
+    ] {
+        let r = run(placement, bench, 2_000);
+        assert!(
+            r.avg_access_latency() >= ideal.avg_access_latency() * 0.995,
+            "{placement} ({}) must not beat Ideal ({})",
+            r.avg_access_latency(),
+            ideal.avg_access_latency()
+        );
+    }
+}
+
+#[test]
+fn disco_beats_cc_and_cnc_under_load() {
+    // The headline Fig. 5 ordering, on a congested workload.
+    let bench = Benchmark::Dedup;
+    let disco = run(CompressionPlacement::Disco, bench, 4_000);
+    let cc = run(CompressionPlacement::CacheOnly, bench, 4_000);
+    let cnc = run(CompressionPlacement::CacheAndNi, bench, 4_000);
+    assert!(
+        disco.avg_access_latency() < cc.avg_access_latency(),
+        "DISCO ({}) must beat CC ({})",
+        disco.avg_access_latency(),
+        cc.avg_access_latency()
+    );
+    assert!(
+        disco.avg_access_latency() < cnc.avg_access_latency() * 1.02,
+        "DISCO ({}) must at least match CNC ({})",
+        disco.avg_access_latency(),
+        cnc.avg_access_latency()
+    );
+}
+
+#[test]
+fn compressed_traffic_reduces_flits() {
+    let bench = Benchmark::X264;
+    let baseline = run(CompressionPlacement::Baseline, bench, 2_000);
+    let ideal = run(CompressionPlacement::Ideal, bench, 2_000);
+    let disco = run(CompressionPlacement::Disco, bench, 2_000);
+    assert!(ideal.network.link_flits < baseline.network.link_flits);
+    assert!(
+        disco.network.link_flits < baseline.network.link_flits,
+        "in-network compression must remove traffic"
+    );
+}
+
+#[test]
+fn compressed_storage_reduces_capacity_misses() {
+    // canneal's working set exceeds the 4 MB LLC; compression must buy
+    // hit rate (the classic cache-compression benefit).
+    let baseline = run(CompressionPlacement::Baseline, Benchmark::Canneal, 10_000);
+    let ideal = run(CompressionPlacement::Ideal, Benchmark::Canneal, 10_000);
+    assert!(
+        ideal.banks.miss_rate() < baseline.miss_rate_margin(),
+        "compressed banks must miss less: {} vs {}",
+        ideal.banks.miss_rate(),
+        baseline.banks.miss_rate()
+    );
+}
+
+trait MissRateMargin {
+    fn miss_rate_margin(&self) -> f64;
+}
+
+impl MissRateMargin for SimReport {
+    fn miss_rate_margin(&self) -> f64 {
+        self.banks.miss_rate() * 0.999
+    }
+}
+
+#[test]
+fn disco_layer_is_active_under_congestion() {
+    let disco = run(CompressionPlacement::Disco, Benchmark::Canneal, 3_000);
+    let stats = disco.disco.expect("disco placement has layer stats");
+    assert!(stats.compressions > 0, "engines must compress: {stats:?}");
+    assert!(stats.decompressions > 0, "engines must decompress: {stats:?}");
+    assert!(stats.flits_saved > 0);
+}
+
+#[test]
+fn energy_ordering_matches_fig7() {
+    // DISCO must use less memory-subsystem energy than the uncompressed
+    // baseline and than CNC (Fig. 7).
+    let bench = Benchmark::Dedup;
+    let baseline = run(CompressionPlacement::Baseline, bench, 3_000);
+    let disco = run(CompressionPlacement::Disco, bench, 3_000);
+    let cnc = run(CompressionPlacement::CacheAndNi, bench, 3_000);
+    assert!(
+        disco.total_energy_pj() < baseline.total_energy_pj(),
+        "DISCO {} vs baseline {}",
+        disco.total_energy_pj(),
+        baseline.total_energy_pj()
+    );
+    assert!(
+        disco.total_energy_pj() < cnc.total_energy_pj() * 1.05,
+        "DISCO {} must be within/below CNC {}",
+        disco.total_energy_pj(),
+        cnc.total_energy_pj()
+    );
+}
+
+#[test]
+fn non_disco_placements_have_no_layer_stats() {
+    let cc = run(CompressionPlacement::CacheOnly, Benchmark::Swaptions, 300);
+    assert!(cc.disco.is_none());
+}
+
+#[test]
+fn every_routing_algorithm_drains_the_full_system() {
+    use disco::noc::{NocConfig, RoutingAlgorithm};
+    for routing in [
+        RoutingAlgorithm::Xy,
+        RoutingAlgorithm::Yx,
+        RoutingAlgorithm::O1Turn,
+        RoutingAlgorithm::WestFirst,
+    ] {
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Ferret)
+            .trace_len(800)
+            .noc(NocConfig { routing, ..NocConfig::default() })
+            .seed(11)
+            .run()
+            .unwrap_or_else(|e| panic!("{routing:?}: {e}"));
+        assert!(r.demand_misses > 0, "{routing:?}");
+    }
+}
+
+#[test]
+fn shallow_buffers_disable_in_network_decompression() {
+    use disco::noc::NocConfig;
+    // A 4-flit buffer cannot hold the 8 raw flits a decompression
+    // produces; compression (which shrinks) must keep working.
+    let r = SimBuilder::new()
+        .mesh(4, 4)
+        .placement(CompressionPlacement::Disco)
+        .benchmark(Benchmark::Canneal)
+        .trace_len(2_000)
+        .noc(NocConfig { buffer_depth: 4, ..NocConfig::default() })
+        .seed(11)
+        .run()
+        .expect("drains");
+    let d = r.disco.expect("disco stats");
+    assert_eq!(d.decompressions, 0, "{d:?}");
+    assert!(d.compressions > 0, "{d:?}");
+}
+
+#[test]
+fn extra_virtual_channels_help_under_load() {
+    use disco::noc::NocConfig;
+    // 4 VCs split into two 2-VC virtual networks: head-of-line blocking
+    // drops and more packets fly concurrently.
+    let two = SimBuilder::new()
+        .mesh(4, 4)
+        .placement(CompressionPlacement::Disco)
+        .benchmark(Benchmark::Canneal)
+        .trace_len(2_000)
+        .seed(11)
+        .run()
+        .expect("drains");
+    let four = SimBuilder::new()
+        .mesh(4, 4)
+        .placement(CompressionPlacement::Disco)
+        .benchmark(Benchmark::Canneal)
+        .trace_len(2_000)
+        .noc(NocConfig { vcs: 4, ..NocConfig::default() })
+        .seed(11)
+        .run()
+        .expect("drains");
+    // More VCs deepen the in-flight queues (per-packet latency may rise
+    // at high load — the classic buffering effect), but end-to-end
+    // progress must not regress: same work, comparable completion time.
+    assert_eq!(four.demand_misses > 0, true);
+    assert!(
+        four.cycles as f64 <= two.cycles as f64 * 1.05,
+        "4 VCs ({} cycles) must not slow completion vs 2 VCs ({})",
+        four.cycles,
+        two.cycles
+    );
+    // Per-miss latency may deepen somewhat (packets queue in the extra
+    // buffers instead of stalling at the NI), but not catastrophically.
+    assert!(
+        four.avg_onchip_latency() <= two.avg_onchip_latency() * 1.25,
+        "demand latency must stay in the same regime: {:.1} vs {:.1}",
+        four.avg_onchip_latency(),
+        two.avg_onchip_latency()
+    );
+}
