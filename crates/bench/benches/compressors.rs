@@ -21,15 +21,19 @@ fn bench_compress(c: &mut Criterion) {
         } else {
             Codec::from_kind(kind)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &codec, |b, codec| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for line in &lines {
-                    total += codec.compress(std::hint::black_box(line)).size_bytes();
-                }
-                total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &codec,
+            |b, codec| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for line in &lines {
+                        total += codec.compress(std::hint::black_box(line)).size_bytes();
+                    }
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -45,13 +49,17 @@ fn bench_decompress(c: &mut Criterion) {
             Codec::from_kind(kind)
         };
         let encoded: Vec<_> = lines.iter().map(|l| codec.compress(l)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &codec, |b, codec| {
-            b.iter(|| {
-                for enc in &encoded {
-                    std::hint::black_box(codec.decompress(std::hint::black_box(enc)).unwrap());
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &codec,
+            |b, codec| {
+                b.iter(|| {
+                    for enc in &encoded {
+                        std::hint::black_box(codec.decompress(std::hint::black_box(enc)).unwrap());
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -72,5 +80,10 @@ fn bench_incremental_delta(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compress, bench_decompress, bench_incremental_delta);
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_incremental_delta
+);
 criterion_main!(benches);

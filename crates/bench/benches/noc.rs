@@ -18,7 +18,11 @@ fn drive(net: &mut Network, data: bool, cycles: u64) -> u64 {
                     } else {
                         Payload::None
                     };
-                    let class = if data { PacketClass::Response } else { PacketClass::Request };
+                    let class = if data {
+                        PacketClass::Response
+                    } else {
+                        PacketClass::Request
+                    };
                     net.send(NodeId(src), NodeId(dst), class, payload, data, t);
                 }
             }
@@ -58,5 +62,10 @@ fn bench_large_mesh(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_request_traffic, bench_response_traffic, bench_large_mesh);
+criterion_group!(
+    benches,
+    bench_request_traffic,
+    bench_response_traffic,
+    bench_large_mesh
+);
 criterion_main!(benches);

@@ -37,19 +37,23 @@ fn bench_codecs_under_disco(c: &mut Criterion) {
         disco_compress::SchemeKind::Fpc,
         disco_compress::SchemeKind::Sc2,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
-            b.iter(|| {
-                SimBuilder::new()
-                    .mesh(4, 4)
-                    .placement(CompressionPlacement::Disco)
-                    .scheme(scheme)
-                    .benchmark(Benchmark::X264)
-                    .trace_len(1_000)
-                    .seed(3)
-                    .run()
-                    .expect("run")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    SimBuilder::new()
+                        .mesh(4, 4)
+                        .placement(CompressionPlacement::Disco)
+                        .scheme(scheme)
+                        .benchmark(Benchmark::X264)
+                        .trace_len(1_000)
+                        .seed(3)
+                        .run()
+                        .expect("run")
+                })
+            },
+        );
     }
     group.finish();
 }

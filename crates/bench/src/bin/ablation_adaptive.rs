@@ -36,13 +36,29 @@ fn main() {
         "benchmark", "thresholds", "cyc/miss", "comp", "aborts", "flits"
     );
     let tuned = DiscoParams::default();
-    let mistuned = DiscoParams { cc_threshold: -4.0, cd_threshold: -4.0, ..tuned };
+    let mistuned = DiscoParams {
+        cc_threshold: -4.0,
+        cd_threshold: -4.0,
+        ..tuned
+    };
     for bench in [Benchmark::Swaptions, Benchmark::Dedup, Benchmark::Canneal] {
         for (name, params) in [
             ("static (tuned)", tuned),
             ("static (mistuned)", mistuned),
-            ("adaptive (tuned)", DiscoParams { adaptive: true, ..tuned }),
-            ("adaptive (mistuned)", DiscoParams { adaptive: true, ..mistuned }),
+            (
+                "adaptive (tuned)",
+                DiscoParams {
+                    adaptive: true,
+                    ..tuned
+                },
+            ),
+            (
+                "adaptive (mistuned)",
+                DiscoParams {
+                    adaptive: true,
+                    ..mistuned
+                },
+            ),
         ] {
             let r = run(bench, params, len);
             let d = r.disco.expect("disco stats");

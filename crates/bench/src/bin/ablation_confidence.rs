@@ -40,14 +40,61 @@ fn main() {
     let base = DiscoParams::default();
     let variants: Vec<(String, DiscoParams)> = vec![
         ("default".into(), base),
-        ("CCth=-8 (no filter)".into(), DiscoParams { cc_threshold: -8.0, cd_threshold: -8.0, beta: 0.0, ..base }),
-        ("CCth=0".into(), DiscoParams { cc_threshold: 0.0, ..base }),
-        ("CCth=2".into(), DiscoParams { cc_threshold: 2.0, ..base }),
-        ("CCth=6 (strict)".into(), DiscoParams { cc_threshold: 6.0, cd_threshold: 6.0, ..base }),
-        ("beta=0 (early decomp)".into(), DiscoParams { beta: 0.0, ..base }),
-        ("beta=4 (late decomp)".into(), DiscoParams { beta: 4.0, ..base }),
-        ("gamma=0 (remote only)".into(), DiscoParams { gamma: 0.0, alpha: 0.0, ..base }),
-        ("gamma=2 (local heavy)".into(), DiscoParams { gamma: 2.0, alpha: 2.0, ..base }),
+        (
+            "CCth=-8 (no filter)".into(),
+            DiscoParams {
+                cc_threshold: -8.0,
+                cd_threshold: -8.0,
+                beta: 0.0,
+                ..base
+            },
+        ),
+        (
+            "CCth=0".into(),
+            DiscoParams {
+                cc_threshold: 0.0,
+                ..base
+            },
+        ),
+        (
+            "CCth=2".into(),
+            DiscoParams {
+                cc_threshold: 2.0,
+                ..base
+            },
+        ),
+        (
+            "CCth=6 (strict)".into(),
+            DiscoParams {
+                cc_threshold: 6.0,
+                cd_threshold: 6.0,
+                ..base
+            },
+        ),
+        (
+            "beta=0 (early decomp)".into(),
+            DiscoParams { beta: 0.0, ..base },
+        ),
+        (
+            "beta=4 (late decomp)".into(),
+            DiscoParams { beta: 4.0, ..base },
+        ),
+        (
+            "gamma=0 (remote only)".into(),
+            DiscoParams {
+                gamma: 0.0,
+                alpha: 0.0,
+                ..base
+            },
+        ),
+        (
+            "gamma=2 (local heavy)".into(),
+            DiscoParams {
+                gamma: 2.0,
+                alpha: 2.0,
+                ..base
+            },
+        ),
     ];
     for (name, params) in variants {
         let r = run(params, len);

@@ -30,7 +30,10 @@ fn main() {
             .placement(CompressionPlacement::Disco)
             .benchmark(Benchmark::Dedup)
             .trace_len(len)
-            .noc(NocConfig { flow_control: fc, ..NocConfig::default() })
+            .noc(NocConfig {
+                flow_control: fc,
+                ..NocConfig::default()
+            })
             .seed(DEFAULT_SEED)
             .run()
             .expect("run");

@@ -17,19 +17,45 @@ use disco_workloads::Benchmark;
 
 fn main() {
     let len = trace_len().min(8_000);
-    println!("Ablation — NoC buffer depth and pipeline depth under DISCO (dedup, trace_len={len})\n");
+    println!(
+        "Ablation — NoC buffer depth and pipeline depth under DISCO (dedup, trace_len={len})\n"
+    );
     println!(
         "{:<22} {:>9} {:>9} {:>8} {:>8} {:>9}",
         "config", "cyc/miss", "pkt lat", "comp", "decomp", "flits"
     );
     let base = NocConfig::default();
     let variants: Vec<(String, NocConfig)> = vec![
-        ("depth=4".into(), NocConfig { buffer_depth: 4, ..base }),
+        (
+            "depth=4".into(),
+            NocConfig {
+                buffer_depth: 4,
+                ..base
+            },
+        ),
         ("depth=8 (Table 2)".into(), base),
-        ("depth=16".into(), NocConfig { buffer_depth: 16, ..base }),
-        ("stages=2".into(), NocConfig { pipeline_stages: 2, ..base }),
+        (
+            "depth=16".into(),
+            NocConfig {
+                buffer_depth: 16,
+                ..base
+            },
+        ),
+        (
+            "stages=2".into(),
+            NocConfig {
+                pipeline_stages: 2,
+                ..base
+            },
+        ),
         ("stages=3 (Table 2)".into(), base),
-        ("stages=5".into(), NocConfig { pipeline_stages: 5, ..base }),
+        (
+            "stages=5".into(),
+            NocConfig {
+                pipeline_stages: 5,
+                ..base
+            },
+        ),
     ];
     for (name, noc) in variants {
         let r = SimBuilder::new()

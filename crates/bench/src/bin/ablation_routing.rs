@@ -20,7 +20,11 @@ fn main() {
         "{:<12} {:<11} {:>9} {:>9} {:>8} {:>8} {:>9}",
         "benchmark", "routing", "cyc/miss", "pkt lat", "comp", "decomp", "saloss"
     );
-    for bench in [Benchmark::Canneal, Benchmark::Streamcluster, Benchmark::Dedup] {
+    for bench in [
+        Benchmark::Canneal,
+        Benchmark::Streamcluster,
+        Benchmark::Dedup,
+    ] {
         for (name, routing) in [
             ("XY", RoutingAlgorithm::Xy),
             ("YX", RoutingAlgorithm::Yx),
@@ -32,7 +36,10 @@ fn main() {
                 .placement(CompressionPlacement::Disco)
                 .benchmark(bench)
                 .trace_len(len)
-                .noc(NocConfig { routing, ..NocConfig::default() })
+                .noc(NocConfig {
+                    routing,
+                    ..NocConfig::default()
+                })
                 .seed(DEFAULT_SEED)
                 .run()
                 .expect("run");

@@ -27,7 +27,10 @@ fn main() {
                 .placement(CompressionPlacement::Disco)
                 .benchmark(bench)
                 .trace_len(len)
-                .disco_params(DiscoParams { non_blocking, ..DiscoParams::default() })
+                .disco_params(DiscoParams {
+                    non_blocking,
+                    ..DiscoParams::default()
+                })
                 .seed(DEFAULT_SEED)
                 .run()
                 .expect("run");

@@ -16,8 +16,12 @@ use disco_bench::trace_len;
 use disco_compress::SchemeKind;
 use disco_workloads::Benchmark;
 
-const BENCHES: [Benchmark; 4] =
-    [Benchmark::Canneal, Benchmark::Dedup, Benchmark::Ferret, Benchmark::X264];
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Canneal,
+    Benchmark::Dedup,
+    Benchmark::Ferret,
+    Benchmark::X264,
+];
 
 fn main() {
     let len = trace_len().min(8_000); // bound the 64-core runs
@@ -28,8 +32,10 @@ fn main() {
         "mesh", "CC", "CNC", "DISCO", "DISCO gain vs CC"
     );
     for mesh in [2usize, 4, 8] {
-        let rows: Vec<_> =
-            BENCHES.into_iter().map(|bench| latency_row(bench, SchemeKind::Delta, mesh, len)).collect();
+        let rows: Vec<_> = BENCHES
+            .into_iter()
+            .map(|bench| latency_row(bench, SchemeKind::Delta, mesh, len))
+            .collect();
         let (cc, cnc, disco) = summarize(&rows);
         println!(
             "{:<8} {:>9.3} {:>9.3} {:>9.3} {:>15.1}%",

@@ -30,10 +30,10 @@ fn measure(pattern: TrafficPattern, rate: f64) -> (f64, f64) {
     }
     let after = *net.stats();
     let delivered = after.packets_delivered - before.packets_delivered;
-    let latency = (after.total_packet_latency - before.total_packet_latency) as f64
-        / delivered.max(1) as f64;
-    let throughput = after.link_flits.saturating_sub(before.link_flits) as f64
-        / (measure as f64 * 16.0);
+    let latency =
+        (after.total_packet_latency - before.total_packet_latency) as f64 / delivered.max(1) as f64;
+    let throughput =
+        after.link_flits.saturating_sub(before.link_flits) as f64 / (measure as f64 * 16.0);
     (latency, throughput)
 }
 

@@ -39,5 +39,8 @@ fn main() {
         100.0 * model.disco(16).of_routers,
         100.0 * model.disco(16).of_cache
     );
-    println!("and saves {:.0}% of CNC's compressor area (paper: ~half)", 100.0 * save);
+    println!(
+        "and saves {:.0}% of CNC's compressor area (paper: ~half)",
+        100.0 * save
+    );
 }

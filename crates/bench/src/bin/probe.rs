@@ -14,19 +14,49 @@ fn main() {
     println!("{bench} trace_len={trace_len}");
     println!(
         "{:<9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8}",
-        "config", "cyc/miss", "cycles", "l1m%", "llcm%", "flits", "pktlat", "saloss", "eff.way", "ratio"
+        "config",
+        "cyc/miss",
+        "cycles",
+        "l1m%",
+        "llcm%",
+        "flits",
+        "pktlat",
+        "saloss",
+        "eff.way",
+        "ratio"
     );
-    let intens: f64 = std::env::var("INTENS").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let cc_th: f64 = std::env::var("CCTH").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0);
-    let cd_th: f64 = std::env::var("CDTH").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let beta: f64 = std::env::var("BETA").ok().and_then(|v| v.parse().ok()).unwrap_or(1.5);
+    let intens: f64 = std::env::var("INTENS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let cc_th: f64 = std::env::var("CCTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let cd_th: f64 = std::env::var("CDTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let beta: f64 = std::env::var("BETA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
     for placement in CompressionPlacement::ALL {
         let r = SimBuilder::new()
             .mesh(4, 4)
             .placement(placement)
-            .profile({ let mut p = bench.profile(); p.intensity *= intens; p })
+            .profile({
+                let mut p = bench.profile();
+                p.intensity *= intens;
+                p
+            })
             .trace_len(trace_len)
-            .disco_params(disco_core::DiscoParams { cc_threshold: cc_th, cd_threshold: cd_th, beta, ..Default::default() })
+            .disco_params(disco_core::DiscoParams {
+                cc_threshold: cc_th,
+                cd_threshold: cd_th,
+                beta,
+                ..Default::default()
+            })
             .seed(7)
             .run()
             .expect("run");

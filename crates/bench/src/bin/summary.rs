@@ -11,8 +11,12 @@ use disco_energy::AreaModel;
 use disco_workloads::Benchmark;
 
 /// A fast, representative subset of the PARSEC sweep.
-const BENCHES: [Benchmark; 4] =
-    [Benchmark::Canneal, Benchmark::Dedup, Benchmark::Ferret, Benchmark::X264];
+const BENCHES: [Benchmark; 4] = [
+    Benchmark::Canneal,
+    Benchmark::Dedup,
+    Benchmark::Ferret,
+    Benchmark::X264,
+];
 
 fn main() {
     let len = trace_len().min(6_000);
@@ -26,9 +30,17 @@ fn main() {
         for bench in BENCHES {
             let ideal = run(bench, CompressionPlacement::Ideal, scheme, 4, len);
             let base = ideal.avg_onchip_latency();
-            cc.push(run(bench, CompressionPlacement::CacheOnly, scheme, 4, len).avg_onchip_latency() / base);
-            cnc.push(run(bench, CompressionPlacement::CacheAndNi, scheme, 4, len).avg_onchip_latency() / base);
-            disco.push(run(bench, CompressionPlacement::Disco, scheme, 4, len).avg_onchip_latency() / base);
+            cc.push(
+                run(bench, CompressionPlacement::CacheOnly, scheme, 4, len).avg_onchip_latency()
+                    / base,
+            );
+            cnc.push(
+                run(bench, CompressionPlacement::CacheAndNi, scheme, 4, len).avg_onchip_latency()
+                    / base,
+            );
+            disco.push(
+                run(bench, CompressionPlacement::Disco, scheme, 4, len).avg_onchip_latency() / base,
+            );
         }
         let (cc, cnc, disco) = (gmean(&cc), gmean(&cnc), gmean(&disco));
         println!(
@@ -42,10 +54,23 @@ fn main() {
     // Fig. 7-style energy.
     let mut e_disco = Vec::new();
     for bench in BENCHES {
-        let base = run(bench, CompressionPlacement::Baseline, SchemeKind::Delta, 4, len)
-            .total_energy_pj();
+        let base = run(
+            bench,
+            CompressionPlacement::Baseline,
+            SchemeKind::Delta,
+            4,
+            len,
+        )
+        .total_energy_pj();
         e_disco.push(
-            run(bench, CompressionPlacement::Disco, SchemeKind::Delta, 4, len).total_energy_pj()
+            run(
+                bench,
+                CompressionPlacement::Disco,
+                SchemeKind::Delta,
+                4,
+                len,
+            )
+            .total_energy_pj()
                 / base,
         );
     }
@@ -55,8 +80,20 @@ fn main() {
     );
 
     // Tail latency: the p99 story behind the means.
-    let disco = run(Benchmark::Canneal, CompressionPlacement::Disco, SchemeKind::Delta, 4, len);
-    let cc = run(Benchmark::Canneal, CompressionPlacement::CacheOnly, SchemeKind::Delta, 4, len);
+    let disco = run(
+        Benchmark::Canneal,
+        CompressionPlacement::Disco,
+        SchemeKind::Delta,
+        4,
+        len,
+    );
+    let cc = run(
+        Benchmark::Canneal,
+        CompressionPlacement::CacheOnly,
+        SchemeKind::Delta,
+        4,
+        len,
+    );
     println!(
         "tails  canneal:  p50 {:.0} / p99 {:.0} cycles (DISCO) vs p50 {:.0} / p99 {:.0} (CC)",
         disco.latency_histogram.percentile(0.50),

@@ -24,7 +24,10 @@ fn pooled_corpus() -> Vec<CacheLine> {
 fn main() {
     let corpus = pooled_corpus();
     println!("TABLE 1 — parameters of the compression schemes");
-    println!("(measured ratio: {} lines pooled over all 12 PARSEC value models)\n", corpus.len());
+    println!(
+        "(measured ratio: {} lines pooled over all 12 PARSEC value models)\n",
+        corpus.len()
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10}",
         "method", "comp.lat", "decomp.lat", "hw ovh", "paper ratio", "measured", "coverage"
@@ -60,7 +63,9 @@ fn main() {
                 format!("{:.1}-{:.1}%", lo * 100.0, hi * 100.0)
             }
         });
-        let paper = row.reported_ratio.map_or("-".to_string(), |r| format!("{r:.2}"));
+        let paper = row
+            .reported_ratio
+            .map_or("-".to_string(), |r| format!("{r:.2}"));
         println!(
             "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10.2} {:>9.0}%",
             kind.name(),

@@ -27,8 +27,14 @@ pub fn latency_row(
     mesh: usize,
     trace_len: usize,
 ) -> NormalizedRow {
-    let ideal = run(benchmark, CompressionPlacement::Ideal, scheme, mesh, trace_len)
-        .avg_onchip_latency();
+    let ideal = run(
+        benchmark,
+        CompressionPlacement::Ideal,
+        scheme,
+        mesh,
+        trace_len,
+    )
+    .avg_onchip_latency();
     let norm = |p| run(benchmark, p, scheme, mesh, trace_len).avg_onchip_latency() / ideal;
     NormalizedRow {
         benchmark,
@@ -46,8 +52,14 @@ pub fn energy_row(
     mesh: usize,
     trace_len: usize,
 ) -> NormalizedRow {
-    let base =
-        run(benchmark, CompressionPlacement::Baseline, scheme, mesh, trace_len).total_energy_pj();
+    let base = run(
+        benchmark,
+        CompressionPlacement::Baseline,
+        scheme,
+        mesh,
+        trace_len,
+    )
+    .total_energy_pj();
     let norm = |p| run(benchmark, p, scheme, mesh, trace_len).total_energy_pj() / base;
     NormalizedRow {
         benchmark,
@@ -92,14 +104,28 @@ mod tests {
     #[test]
     fn energy_row_prefers_compression() {
         let row = energy_row(Benchmark::X264, SchemeKind::Delta, 2, 800);
-        assert!(row.disco < 1.05, "DISCO energy must not exceed baseline: {}", row.disco);
+        assert!(
+            row.disco < 1.05,
+            "DISCO energy must not exceed baseline: {}",
+            row.disco
+        );
     }
 
     #[test]
     fn summarize_matches_hand_gmean() {
         let rows = vec![
-            NormalizedRow { benchmark: Benchmark::Vips, cc: 2.0, cnc: 1.0, disco: 1.0 },
-            NormalizedRow { benchmark: Benchmark::X264, cc: 8.0, cnc: 1.0, disco: 4.0 },
+            NormalizedRow {
+                benchmark: Benchmark::Vips,
+                cc: 2.0,
+                cnc: 1.0,
+                disco: 1.0,
+            },
+            NormalizedRow {
+                benchmark: Benchmark::X264,
+                cc: 8.0,
+                cnc: 1.0,
+                disco: 4.0,
+            },
         ];
         let (cc, cnc, disco) = summarize(&rows);
         assert!((cc - 4.0).abs() < 1e-12);

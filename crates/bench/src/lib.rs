@@ -19,7 +19,10 @@ pub const DEFAULT_SEED: u64 = 2016;
 
 /// Reads the trace length from `TRACE_LEN`, falling back to the default.
 pub fn trace_len() -> usize {
-    std::env::var("TRACE_LEN").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_TRACE_LEN)
+    std::env::var("TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN)
 }
 
 /// Runs one configuration on the Table 2 system.

@@ -30,6 +30,44 @@ pub enum DirState {
     },
 }
 
+/// The abstract directory states — [`DirState`] with the sharer lists
+/// erased. Static analysis (`disco-verify`) enumerates protocol
+/// behaviour over this finite domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// No core holds the line.
+    Uncached,
+    /// Clean copies only.
+    Shared,
+    /// A dirty owner exists.
+    Owned,
+}
+
+impl StateKind {
+    /// Every abstract state.
+    pub const ALL: [StateKind; 3] = [StateKind::Uncached, StateKind::Shared, StateKind::Owned];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateKind::Uncached => "Uncached",
+            StateKind::Shared => "Shared",
+            StateKind::Owned => "Owned",
+        }
+    }
+}
+
+impl DirState {
+    /// The abstract state this concrete state belongs to.
+    pub fn kind(&self) -> StateKind {
+        match self {
+            DirState::Uncached => StateKind::Uncached,
+            DirState::Shared(_) => StateKind::Shared,
+            DirState::Owned { .. } => StateKind::Owned,
+        }
+    }
+}
+
 /// Actions the system layer must perform to honour a transition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CohAction {
@@ -102,7 +140,10 @@ impl Directory {
 
     /// Current state of a line.
     pub fn state(&self, addr: LineAddr) -> DirState {
-        self.lines.get(&addr.0).cloned().unwrap_or(DirState::Uncached)
+        self.lines
+            .get(&addr.0)
+            .cloned()
+            .unwrap_or(DirState::Uncached)
     }
 
     /// A core reads the line.
@@ -111,14 +152,20 @@ impl Directory {
         let (new_state, actions) = match state {
             DirState::Uncached => {
                 self.stats.bank_reads += 1;
-                (DirState::Shared(vec![core]), vec![CohAction::DataFromBank { to: core }])
+                (
+                    DirState::Shared(vec![core]),
+                    vec![CohAction::DataFromBank { to: core }],
+                )
             }
             DirState::Shared(mut sharers) => {
                 self.stats.bank_reads += 1;
                 if !sharers.contains(&core) {
                     sharers.push(core);
                 }
-                (DirState::Shared(sharers), vec![CohAction::DataFromBank { to: core }])
+                (
+                    DirState::Shared(sharers),
+                    vec![CohAction::DataFromBank { to: core }],
+                )
             }
             DirState::Owned { owner, mut sharers } if owner != core => {
                 self.stats.owner_forwards += 1;
@@ -177,7 +224,13 @@ impl Directory {
                 }
             }
         }
-        self.lines.insert(addr.0, DirState::Owned { owner: core, sharers: Vec::new() });
+        self.lines.insert(
+            addr.0,
+            DirState::Owned {
+                owner: core,
+                sharers: Vec::new(),
+            },
+        );
         actions
     }
 
@@ -271,7 +324,13 @@ mod tests {
                 CohAction::DataFromBank { to: 2 },
             ]
         );
-        assert_eq!(dir.state(A), DirState::Owned { owner: 2, sharers: vec![] });
+        assert_eq!(
+            dir.state(A),
+            DirState::Owned {
+                owner: 2,
+                sharers: vec![]
+            }
+        );
     }
 
     #[test]
@@ -280,7 +339,13 @@ mod tests {
         dir.write(A, 3);
         let actions = dir.read(A, 1);
         assert_eq!(actions, vec![CohAction::ForwardToOwner { owner: 3, to: 1 }]);
-        assert_eq!(dir.state(A), DirState::Owned { owner: 3, sharers: vec![1] });
+        assert_eq!(
+            dir.state(A),
+            DirState::Owned {
+                owner: 3,
+                sharers: vec![1]
+            }
+        );
     }
 
     #[test]
@@ -296,7 +361,13 @@ mod tests {
         dir.write(A, 0);
         let actions = dir.write(A, 1);
         assert_eq!(actions, vec![CohAction::ForwardToOwner { owner: 0, to: 1 }]);
-        assert_eq!(dir.state(A), DirState::Owned { owner: 1, sharers: vec![] });
+        assert_eq!(
+            dir.state(A),
+            DirState::Owned {
+                owner: 1,
+                sharers: vec![]
+            }
+        );
         assert_eq!(dir.stats().invalidations, 1);
     }
 
@@ -328,6 +399,12 @@ mod tests {
         dir.write(A, 0);
         dir.write(A, 1); // core 0 lost ownership
         dir.writeback(A, 0); // late writeback from 0 must not demote 1
-        assert_eq!(dir.state(A), DirState::Owned { owner: 1, sharers: vec![] });
+        assert_eq!(
+            dir.state(A),
+            DirState::Owned {
+                owner: 1,
+                sharers: vec![]
+            }
+        );
     }
 }

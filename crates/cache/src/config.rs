@@ -15,7 +15,11 @@ pub struct L1Config {
 
 impl Default for L1Config {
     fn default() -> Self {
-        L1Config { capacity_bytes: 32 * 1024, assoc: 4, replacement: Replacement::Lru }
+        L1Config {
+            capacity_bytes: 32 * 1024,
+            assoc: 4,
+            replacement: Replacement::Lru,
+        }
     }
 }
 
@@ -123,7 +127,10 @@ mod tests {
         assert_eq!(bank.tag_slots(), 8);
         assert_eq!(bank.segments_per_set(), 64);
 
-        let c = BankConfig { compressed: true, ..bank };
+        let c = BankConfig {
+            compressed: true,
+            ..bank
+        };
         assert_eq!(c.tag_slots(), 16);
     }
 }

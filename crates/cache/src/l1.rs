@@ -77,7 +77,13 @@ impl L1Cache {
     pub fn new(config: L1Config) -> Self {
         let sets = vec![Vec::new(); config.sets()];
         let policy = ReplacementPolicy::new(config.replacement, 0x11ca);
-        L1Cache { config, sets, policy, clock: 0, stats: L1Stats::default() }
+        L1Cache {
+            config,
+            sets,
+            policy,
+            clock: 0,
+            stats: L1Stats::default(),
+        }
     }
 
     /// Counters so far.
@@ -98,11 +104,7 @@ impl L1Cache {
     /// Demand access. On a hit the LRU is refreshed, the line is returned,
     /// and a write marks it dirty (optionally replacing the data). On a
     /// miss, `None` — the caller allocates an MSHR and fetches the line.
-    pub fn access(
-        &mut self,
-        addr: LineAddr,
-        write: Option<CacheLine>,
-    ) -> Option<CacheLine> {
+    pub fn access(&mut self, addr: LineAddr, write: Option<CacheLine>) -> Option<CacheLine> {
         self.clock += 1;
         let sets = self.config.sets();
         let tag = addr.tag(sets);
@@ -140,8 +142,11 @@ impl L1Cache {
         }
         let mut victim = None;
         if self.sets[set].len() >= self.config.assoc {
-            let candidates: Vec<(usize, ReplState)> =
-                self.sets[set].iter().enumerate().map(|(i, e)| (i, e.repl)).collect();
+            let candidates: Vec<(usize, ReplState)> = self.sets[set]
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, e.repl))
+                .collect();
             let (idx, clear_epoch) = self.policy.victim(&candidates);
             if clear_epoch {
                 for e in self.sets[set].iter_mut() {
@@ -152,12 +157,20 @@ impl L1Cache {
             if evicted.dirty {
                 self.stats.writebacks += 1;
                 let evicted_addr = LineAddr(evicted.tag * sets as u64 + set as u64);
-                victim = Some(Writeback { addr: evicted_addr, line: evicted.line });
+                victim = Some(Writeback {
+                    addr: evicted_addr,
+                    line: evicted.line,
+                });
             }
         }
         let mut repl = ReplState::default();
         self.policy.touch(&mut repl, clock);
-        self.sets[set].push(Entry { tag, line, dirty, repl });
+        self.sets[set].push(Entry {
+            tag,
+            line,
+            dirty,
+            repl,
+        });
         victim
     }
 
@@ -187,7 +200,11 @@ mod tests {
 
     fn small() -> L1Cache {
         // 4 sets × 2 ways for easy eviction tests.
-        L1Cache::new(L1Config { capacity_bytes: 4 * 2 * 64, assoc: 2, ..L1Config::default() })
+        L1Cache::new(L1Config {
+            capacity_bytes: 4 * 2 * 64,
+            assoc: 2,
+            ..L1Config::default()
+        })
     }
 
     fn line(v: u64) -> CacheLine {
@@ -256,7 +273,9 @@ mod tests {
         let a = LineAddr(12); // set 0, tag 3
         l1.fill(a, line(9), true);
         l1.fill(LineAddr(16), line(1), false);
-        let wb = l1.fill(LineAddr(20), line(2), false).expect("evicts dirty line 12");
+        let wb = l1
+            .fill(LineAddr(20), line(2), false)
+            .expect("evicts dirty line 12");
         assert_eq!(wb.addr, a);
     }
 

@@ -41,7 +41,7 @@ pub mod nuca;
 pub mod replacement;
 
 pub use addr::{Addr, LineAddr};
-pub use coherence::{CohAction, CoreId, DirState, Directory};
+pub use coherence::{CohAction, CoreId, DirState, Directory, StateKind};
 pub use config::{BankConfig, DramConfig, L1Config, SEGMENT_BYTES};
 pub use dram::Dram;
 pub use l1::{L1Cache, L1Stats, Writeback};

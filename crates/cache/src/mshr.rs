@@ -60,7 +60,10 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one entry");
-        MshrFile { capacity, entries: HashMap::new() }
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
     }
 
     /// Attempts to track a demand miss for `addr` issued at `now`.
@@ -74,7 +77,13 @@ impl MshrFile {
         self.allocate_inner(addr, now, false, true)
     }
 
-    fn allocate_inner(&mut self, addr: LineAddr, now: u64, write: bool, prefetch: bool) -> MshrOutcome {
+    fn allocate_inner(
+        &mut self,
+        addr: LineAddr,
+        now: u64,
+        write: bool,
+        prefetch: bool,
+    ) -> MshrOutcome {
         if let Some(e) = self.entries.get_mut(&addr.0) {
             e.merged += 1;
             e.write |= write;
@@ -88,7 +97,16 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.insert(addr.0, MshrEntry { addr, issued_at: now, write, merged: 1, prefetch });
+        self.entries.insert(
+            addr.0,
+            MshrEntry {
+                addr,
+                issued_at: now,
+                write,
+                merged: 1,
+                prefetch,
+            },
+        );
         MshrOutcome::Allocated
     }
 

@@ -156,12 +156,12 @@ impl NucaBank {
         let tag = self.tag_of(addr);
         let set = self.set_of(addr);
         let clock = self.clock;
-        let found = self.sets[set].iter_mut().find(|e| e.tag == tag);
-        match found {
-            Some(e) => {
-                self.policy.touch(&mut e.repl, clock);
+        match self.sets[set].iter().position(|e| e.tag == tag) {
+            Some(i) => {
+                let entry = &mut self.sets[set][i];
+                self.policy.touch(&mut entry.repl, clock);
                 self.stats.hits += 1;
-                let data = &self.sets[set].iter().find(|e| e.tag == tag).expect("just found").data;
+                let data = &self.sets[set][i].data;
                 self.stats.bytes_accessed += data.size_bytes() as u64;
                 Some(data)
             }
@@ -208,7 +208,12 @@ impl NucaBank {
         let clock = self.clock;
         let mut repl = ReplState::default();
         self.policy.touch(&mut repl, clock);
-        self.sets[set].push(Entry { tag, data, dirty: dirty || was_dirty, repl });
+        self.sets[set].push(Entry {
+            tag,
+            data,
+            dirty: dirty || was_dirty,
+            repl,
+        });
         // Evict until the set fits its tag-slot and segment budgets,
         // never choosing the line just inserted.
         let mut evictions = Vec::new();
@@ -245,7 +250,11 @@ impl NucaBank {
                 (e.tag * sets_count as u64 + set as u64) * self.banks_total as u64
                     + (addr.0 % self.banks_total as u64),
             );
-            evictions.push(Eviction { addr: evicted_addr, data: e.data, dirty: e.dirty });
+            evictions.push(Eviction {
+                addr: evicted_addr,
+                data: e.data,
+                dirty: e.dirty,
+            });
         }
         evictions
     }
@@ -384,7 +393,7 @@ mod tests {
         bank.insert(a, small_compressed(), false);
         bank.insert(addr_in_set(0, 2), raw(2), false);
         bank.insert(addr_in_set(0, 3), raw(3), false); // 1 + 8 + 8 = 17 > 16? evicts
-        // Now grow line `a` to raw: may evict others.
+                                                       // Now grow line `a` to raw: may evict others.
         let _ = bank.update(a, raw(9));
         let (data, dirty) = bank.invalidate(a).expect("a resident");
         assert!(dirty);

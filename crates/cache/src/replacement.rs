@@ -37,7 +37,10 @@ pub struct ReplacementPolicy {
 impl ReplacementPolicy {
     /// Creates the policy; `seed` only matters for [`Replacement::Random`].
     pub fn new(policy: Replacement, seed: u64) -> Self {
-        ReplacementPolicy { policy, rng: seed | 1 }
+        ReplacementPolicy {
+            policy,
+            rng: seed | 1,
+        }
     }
 
     /// Which policy this is.
@@ -105,7 +108,15 @@ mod tests {
         touches
             .iter()
             .enumerate()
-            .map(|(i, &(t, r))| (i, ReplState { last_touch: t, referenced: r }))
+            .map(|(i, &(t, r))| {
+                (
+                    i,
+                    ReplState {
+                        last_touch: t,
+                        referenced: r,
+                    },
+                )
+            })
             .collect()
     }
 

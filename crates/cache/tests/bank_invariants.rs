@@ -13,7 +13,13 @@ const BANKS: usize = 4;
 
 fn bank() -> NucaBank {
     NucaBank::new(
-        BankConfig { capacity_bytes: 4 * 4 * 64, assoc: 4, hit_latency: 4, compressed: true, ..BankConfig::default() },
+        BankConfig {
+            capacity_bytes: 4 * 4 * 64,
+            assoc: 4,
+            hit_latency: 4,
+            compressed: true,
+            ..BankConfig::default()
+        },
         0,
         BANKS,
     )
@@ -105,12 +111,19 @@ fn compressed_bank_doubles_zero_line_capacity() {
     let mut inserted = 0;
     for k in 0..64u64 {
         let enc = codec.compress(&CacheLine::zeroed());
-        let ev = bank.insert(LineAddr(k * BANKS as u64), StoredLine::Compressed(enc), false);
+        let ev = bank.insert(
+            LineAddr(k * BANKS as u64),
+            StoredLine::Compressed(enc),
+            false,
+        );
         inserted += 1;
         if !ev.is_empty() {
             break;
         }
     }
     // 4 sets x 2*4 tag slots = 32 lines before any eviction.
-    assert!(inserted > 16, "compressed mode must beat the 16-line raw capacity, got {inserted}");
+    assert!(
+        inserted > 16,
+        "compressed mode must beat the 16-line raw capacity, got {inserted}"
+    );
 }

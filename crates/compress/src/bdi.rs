@@ -106,7 +106,11 @@ impl BdiCodec {
     /// The base is the first element that is not representable as an
     /// immediate (delta from zero); elements that fit as immediates set
     /// their mask bit and store their delta from zero instead.
-    fn try_encoding(line: &CacheLine, base_size: usize, delta_size: usize) -> Option<(u64, u32, Vec<i64>)> {
+    fn try_encoding(
+        line: &CacheLine,
+        base_size: usize,
+        delta_size: usize,
+    ) -> Option<(u64, u32, Vec<i64>)> {
         let n = LINE_BYTES / base_size;
         let delta_bits = delta_size as u32 * 8;
         let mut base: Option<u64> = None;
@@ -224,19 +228,22 @@ impl Compressor for BdiCodec {
                 let mut pos = 1;
                 let mut mask = 0u32;
                 for j in 0..mask_bytes {
-                    mask |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u32) << (8 * j);
+                    mask |=
+                        (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u32) << (8 * j);
                 }
                 pos += mask_bytes;
                 let mut base = 0u64;
                 for j in 0..base_size {
-                    base |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64) << (8 * j);
+                    base |=
+                        (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64) << (8 * j);
                 }
                 pos += base_size;
                 let mut bytes = [0u8; LINE_BYTES];
                 for i in 0..n {
                     let mut d = 0u64;
                     for j in 0..delta_size {
-                        d |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64) << (8 * j);
+                        d |= (*data.get(pos + j).ok_or(DecompressError::Truncated)? as u64)
+                            << (8 * j);
                     }
                     pos += delta_size;
                     let delta = sign_extend(d, delta_size as u32 * 8);
@@ -259,7 +266,11 @@ impl Compressor for BdiCodec {
     /// Table 1: "1~5 cycles" — scales with the number of parallel adders
     /// needed, i.e. the element count of the chosen encoding.
     fn decompression_latency(&self, compressed: &CompressedLine) -> u64 {
-        match compressed.data().first().and_then(|&b| Encoding::from_byte(b)) {
+        match compressed
+            .data()
+            .first()
+            .and_then(|&b| Encoding::from_byte(b))
+        {
             Some(Encoding::Zeros) | Some(Encoding::Repeated) => 1,
             Some(Encoding::B8D1) | Some(Encoding::B8D2) | Some(Encoding::B8D4) => 2,
             Some(Encoding::B4D1) | Some(Encoding::B4D2) => 3,
@@ -297,7 +308,8 @@ mod tests {
     #[test]
     fn b8d1_pointers() {
         let b = 0x7fff_0000_1000_0000u64;
-        let line = CacheLine::from_u64_words([b, b + 64, b + 120, b + 32, b + 8, b + 16, b + 24, b + 96]);
+        let line =
+            CacheLine::from_u64_words([b, b + 64, b + 120, b + 32, b + 8, b + 16, b + 24, b + 96]);
         let enc = codec().compress(&line);
         // 1 tag + 1 mask + 8 base + 8 deltas = 18
         assert_eq!(enc.size_bytes(), 18);
@@ -323,8 +335,22 @@ mod tests {
         // Large values near a base interleaved with small immediates.
         let base = 0x4000_0000u32;
         let line = CacheLine::from_u32_words([
-            base, 1, base + 3, 0, base + 100, 2, base + 50, 7,
-            base + 9, 0, base + 11, 1, base + 90, 3, base + 70, 5,
+            base,
+            1,
+            base + 3,
+            0,
+            base + 100,
+            2,
+            base + 50,
+            7,
+            base + 9,
+            0,
+            base + 11,
+            1,
+            base + 90,
+            3,
+            base + 70,
+            5,
         ]);
         let enc = codec().compress(&line);
         assert!(enc.is_compressed());
@@ -336,7 +362,9 @@ mod tests {
         let mut bytes = [0u8; LINE_BYTES];
         let mut x = 7u64;
         for b in bytes.iter_mut() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 56) as u8;
         }
         let line = CacheLine::from_bytes(bytes);

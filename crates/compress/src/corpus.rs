@@ -118,7 +118,10 @@ pub struct SizeDistribution {
 impl SizeDistribution {
     /// Measures a codec over a corpus.
     pub fn measure<C: Compressor>(codec: &C, corpus: &[CacheLine]) -> Self {
-        let mut dist = SizeDistribution { buckets: [0; LINE_BYTES / 8], total_bytes: 0 };
+        let mut dist = SizeDistribution {
+            buckets: [0; LINE_BYTES / 8],
+            total_bytes: 0,
+        };
         for line in corpus {
             dist.record(&codec.compress(line));
         }
@@ -143,7 +146,7 @@ impl SizeDistribution {
     ///
     /// Panics if `bytes` is zero or exceeds the line size.
     pub fn fraction_at_most(&self, bytes: usize) -> f64 {
-        assert!(bytes >= 1 && bytes <= LINE_BYTES, "bytes must be in 1..=64");
+        assert!((1..=LINE_BYTES).contains(&bytes), "bytes must be in 1..=64");
         let total = self.total();
         if total == 0 {
             return 0.0;
@@ -223,7 +226,10 @@ mod tests {
 
     #[test]
     fn bucket_boundaries_are_segment_granular() {
-        let mut dist = SizeDistribution { buckets: [0; 8], total_bytes: 0 };
+        let mut dist = SizeDistribution {
+            buckets: [0; 8],
+            total_bytes: 0,
+        };
         let line = CacheLine::from_u64_words([5, 6, 7, 8, 9, 10, 11, 12]);
         let enc = Codec::delta().compress(&line);
         // Delta on small 64-bit values: 2 header + 8 base + 8 deltas = 18

@@ -30,7 +30,10 @@ struct Dictionary {
 
 impl Dictionary {
     fn new() -> Self {
-        Dictionary { entries: vec![0; DICT_ENTRIES], next: 0 }
+        Dictionary {
+            entries: vec![0; DICT_ENTRIES],
+            next: 0,
+        }
     }
 
     fn push(&mut self, word: u32) {

@@ -69,8 +69,7 @@ impl DeltaCodec {
         let first_ok = crate::bitio::fits_signed(d_first, bits);
         // The zero-base delta is the raw value; it only "fits" when the flit
         // itself is a small signed number.
-        let zero_ok = width < 8 && crate::bitio::fits_signed(d_zero, bits)
-            || width == 8;
+        let zero_ok = width < 8 && crate::bitio::fits_signed(d_zero, bits) || width == 8;
         match (first_ok, zero_ok) {
             (true, true) => {
                 if d_zero.unsigned_abs() < d_first.unsigned_abs() {
@@ -173,7 +172,11 @@ impl Compressor for DeltaCodec {
                         delta |= (b as i64) << (8 * j);
                     }
                     delta = crate::bitio::sign_extend(delta as u64, width as u32 * 8);
-                    let base = if bitmap & (1 << i) != 0 { 0 } else { first_base };
+                    let base = if bitmap & (1 << i) != 0 {
+                        0
+                    } else {
+                        first_base
+                    };
                     *flit = base.wrapping_add(delta as u64);
                 }
                 Ok(CacheLine::from_u64_words(flits))

@@ -266,7 +266,7 @@ mod tests {
         #[test]
         fn roundtrip_sparse(words in proptest::array::uniform16(prop_oneof![
             Just(0u32),
-            (0u32..256),
+            0u32..256,
             any::<u32>(),
         ])) {
             let line = CacheLine::from_u32_words(words);

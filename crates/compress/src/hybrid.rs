@@ -40,7 +40,10 @@ impl HybridCodec {
     /// Panics if `candidates` is empty or contains duplicate schemes
     /// (the per-scheme self-description would be ambiguous otherwise).
     pub fn new(candidates: Vec<Codec>) -> Self {
-        assert!(!candidates.is_empty(), "hybrid needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "hybrid needs at least one candidate"
+        );
         let mut kinds: Vec<SchemeKind> = candidates.iter().map(|c| c.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
@@ -80,7 +83,9 @@ impl HybridCodec {
             .candidates
             .iter()
             .find(|c| c.kind() == compressed.scheme())
-            .ok_or(DecompressError::Invalid("scheme not in hybrid candidate set"))?;
+            .ok_or(DecompressError::Invalid(
+                "scheme not in hybrid candidate set",
+            ))?;
         codec.decompress(compressed)
     }
 
@@ -97,7 +102,11 @@ impl HybridCodec {
 
     /// Decompression latency of whichever codec produced the encoding.
     pub fn decompression_latency(&self, compressed: &CompressedLine) -> u64 {
-        match self.candidates.iter().find(|c| c.kind() == compressed.scheme()) {
+        match self
+            .candidates
+            .iter()
+            .find(|c| c.kind() == compressed.scheme())
+        {
             Some(c) => c.decompression_latency(compressed),
             None => 1,
         }
@@ -122,7 +131,10 @@ mod tests {
         let sparse = CacheLine::from_u32_words([0, 0, 0, 5, 0, 0, 0, 9, 0, 0, 0, 2, 0, 0, 0, 1]);
         for line in [pointers, sparse] {
             let h = hybrid.compress(&line);
-            let best = bdi.compress(&line).size_bits().min(fpc.compress(&line).size_bits());
+            let best = bdi
+                .compress(&line)
+                .size_bits()
+                .min(fpc.compress(&line).size_bits());
             assert_eq!(h.size_bits(), best);
             assert_eq!(hybrid.decompress(&h).unwrap(), line);
         }

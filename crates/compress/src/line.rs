@@ -30,7 +30,9 @@ pub struct CacheLine {
 impl CacheLine {
     /// A line of all zero bytes.
     pub fn zeroed() -> Self {
-        CacheLine { bytes: [0; LINE_BYTES] }
+        CacheLine {
+            bytes: [0; LINE_BYTES],
+        }
     }
 
     /// Builds a line from raw bytes.

@@ -117,7 +117,9 @@ mod tests {
 
     #[test]
     fn sc2_has_the_highest_reported_ratio() {
-        let sc2 = SchemeModel::for_kind(SchemeKind::Sc2).reported_ratio.unwrap();
+        let sc2 = SchemeModel::for_kind(SchemeKind::Sc2)
+            .reported_ratio
+            .unwrap();
         for kind in SchemeKind::ALL {
             if let Some(r) = SchemeModel::for_kind(kind).reported_ratio {
                 assert!(r <= sc2);

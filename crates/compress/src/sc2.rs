@@ -112,8 +112,18 @@ impl Sc2Codec {
         }
         let codes = canonical_codes(&lens);
         let tree = build_decode_tree(&lens, &codes);
-        let index = words.iter().enumerate().map(|(i, &w)| (w, i as u16)).collect();
-        Sc2Codec { words, lens, codes, index, tree }
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i as u16))
+            .collect();
+        Sc2Codec {
+            words,
+            lens,
+            codes,
+            index,
+            tree,
+        }
     }
 
     /// Number of words in the trained table (excluding the escape).
@@ -158,22 +168,26 @@ fn huffman_code_lengths(counts: &[u64]) -> Vec<u8> {
     }
     let mut merged: std::collections::VecDeque<Node> = std::collections::VecDeque::new();
     let mut lens = vec![0u8; n];
-    let take = |leaf_pos: &mut usize,
-                    merged: &mut std::collections::VecDeque<Node>|
-     -> Node {
+    let take = |leaf_pos: &mut usize, merged: &mut std::collections::VecDeque<Node>| -> Node {
         let leaf_w = leaves.get(*leaf_pos).map(|&i| counts[i]);
         let node_w = merged.front().map(|m| m.weight);
         match (leaf_w, node_w) {
             (Some(lw), Some(nw)) if lw <= nw => {
                 let i = leaves[*leaf_pos];
                 *leaf_pos += 1;
-                Node { weight: lw, symbols: vec![i] }
+                Node {
+                    weight: lw,
+                    symbols: vec![i],
+                }
             }
             (Some(_), Some(_)) | (None, Some(_)) => merged.pop_front().expect("checked"),
             (Some(lw), None) => {
                 let i = leaves[*leaf_pos];
                 *leaf_pos += 1;
-                Node { weight: lw, symbols: vec![i] }
+                Node {
+                    weight: lw,
+                    symbols: vec![i],
+                }
             }
             (None, None) => unreachable!("queues cannot both be empty"),
         }
@@ -187,7 +201,10 @@ fn huffman_code_lengths(counts: &[u64]) -> Vec<u8> {
         }
         let mut symbols = a.symbols;
         symbols.extend(b.symbols);
-        merged.push_back(Node { weight: a.weight + b.weight, symbols });
+        merged.push_back(Node {
+            weight: a.weight + b.weight,
+            symbols,
+        });
         remaining -= 1;
     }
     lens

@@ -56,7 +56,6 @@ impl SchemeKind {
             SchemeKind::CPack => "C-Pack",
         }
     }
-
 }
 
 impl fmt::Display for SchemeKind {

@@ -108,7 +108,11 @@ mod tests {
     use super::*;
 
     fn p(local: usize, remote: usize, hops: usize) -> Pressure {
-        Pressure { local_occupancy: local, remote_occupancy: remote, hops_remaining: hops }
+        Pressure {
+            local_occupancy: local,
+            remote_occupancy: remote,
+            hops_remaining: hops,
+        }
     }
 
     #[test]
@@ -132,7 +136,10 @@ mod tests {
         let near = p(4, 4, 0);
         let far = p(4, 4, 5);
         assert!(params.should_decompress(&near));
-        assert!(!params.should_decompress(&far), "β·RC_Hop must veto early decompression");
+        assert!(
+            !params.should_decompress(&far),
+            "β·RC_Hop must veto early decompression"
+        );
     }
 
     #[test]
@@ -145,9 +152,15 @@ mod tests {
 
     #[test]
     fn thresholds_are_tunable() {
-        let strict = DiscoParams { cc_threshold: 100.0, ..DiscoParams::default() };
+        let strict = DiscoParams {
+            cc_threshold: 100.0,
+            ..DiscoParams::default()
+        };
         assert!(!strict.should_compress(&p(8, 8, 0)));
-        let eager = DiscoParams { cc_threshold: -1.0, ..DiscoParams::default() };
+        let eager = DiscoParams {
+            cc_threshold: -1.0,
+            ..DiscoParams::default()
+        };
         assert!(eager.should_compress(&p(0, 0, 0)));
     }
 }

@@ -234,7 +234,13 @@ impl DiscoLayer {
         let node_id = NodeId(node);
         match std::mem::replace(&mut self.engines[node][slot], Engine::Idle) {
             Engine::Idle => {}
-            Engine::CompressingWhole { port, vc, packet, mut cycles_left, result } => {
+            Engine::CompressingWhole {
+                port,
+                vc,
+                packet,
+                mut cycles_left,
+                result,
+            } => {
                 let vc_ref = net.router(node_id).vc(port, vc);
                 let whole = {
                     let size = net.store().get(packet).size_flits();
@@ -248,8 +254,13 @@ impl DiscoLayer {
                 }
                 cycles_left -= 1;
                 if cycles_left > 0 {
-                    self.engines[node][slot] =
-                        Engine::CompressingWhole { port, vc, packet, cycles_left, result };
+                    self.engines[node][slot] = Engine::CompressingWhole {
+                        port,
+                        vc,
+                        packet,
+                        cycles_left,
+                        result,
+                    };
                     return;
                 }
                 if !result.is_compressed() {
@@ -289,8 +300,15 @@ impl DiscoLayer {
                     latency_left = latency_left.saturating_sub(1);
                     if latency_left > 0 {
                         self.engines[node][slot] = Engine::Compressing {
-                            port, vc, packet, latency_left, committed, consumed, prefix_flits,
-                            idle_cycles, result,
+                            port,
+                            vc,
+                            packet,
+                            latency_left,
+                            committed,
+                            consumed,
+                            prefix_flits,
+                            idle_cycles,
+                            result,
                         };
                         return;
                     }
@@ -327,8 +345,7 @@ impl DiscoLayer {
                         // Final fragment: swap in the compressed payload.
                         let old_size = net.store().get(packet).size_flits();
                         let final_flits = final_bytes.div_ceil(FLIT_BYTES).max(1);
-                        net.store_mut().get_mut(packet).payload =
-                            Payload::Compressed(result);
+                        net.store_mut().get_mut(packet).payload = Payload::Compressed(result);
                         let ok = net.reshape_resident(node_id, port, vc, packet, final_flits, true);
                         debug_assert!(ok, "compression only shrinks");
                         self.stats.compressions += 1;
@@ -340,7 +357,8 @@ impl DiscoLayer {
                     // arrived, the rebuilt segment must keep a tail flit —
                     // otherwise an abort would leave a packet that can
                     // never release its VC downstream.
-                    let ok = net.reshape_resident(node_id, port, vc, packet, new_len, tail_resident);
+                    let ok =
+                        net.reshape_resident(node_id, port, vc, packet, new_len, tail_resident);
                     debug_assert!(ok, "mid-compression reshape only shrinks");
                 } else {
                     // No fragment arrived: give up after a while (the
@@ -353,11 +371,23 @@ impl DiscoLayer {
                     }
                 }
                 self.engines[node][slot] = Engine::Compressing {
-                    port, vc, packet, latency_left, committed, consumed, prefix_flits,
-                    idle_cycles, result,
+                    port,
+                    vc,
+                    packet,
+                    latency_left,
+                    committed,
+                    consumed,
+                    prefix_flits,
+                    idle_cycles,
+                    result,
                 };
             }
-            Engine::CompressingQueued { vc, packet, mut cycles_left, result } => {
+            Engine::CompressingQueued {
+                vc,
+                packet,
+                mut cycles_left,
+                result,
+            } => {
                 if !net.inject_backlog(node_id, vc).contains(&packet) {
                     // Injection started before compression finished.
                     self.stats.aborts += 1;
@@ -365,8 +395,12 @@ impl DiscoLayer {
                 }
                 cycles_left -= 1;
                 if cycles_left > 0 {
-                    self.engines[node][slot] =
-                        Engine::CompressingQueued { vc, packet, cycles_left, result };
+                    self.engines[node][slot] = Engine::CompressingQueued {
+                        vc,
+                        packet,
+                        cycles_left,
+                        result,
+                    };
                     return;
                 }
                 if !result.is_compressed() {
@@ -382,7 +416,13 @@ impl DiscoLayer {
                 self.per_node_ops[node] += 1;
                 self.stats.flits_saved += (old_size - final_flits) as u64;
             }
-            Engine::Decompressing { port, vc, packet, mut latency_left, line } => {
+            Engine::Decompressing {
+                port,
+                vc,
+                packet,
+                mut latency_left,
+                line,
+            } => {
                 let vc_ref = net.router(node_id).vc(port, vc);
                 let whole = {
                     let size = net.store().get(packet).size_flits();
@@ -397,8 +437,13 @@ impl DiscoLayer {
                 }
                 latency_left = latency_left.saturating_sub(1);
                 if latency_left > 0 {
-                    self.engines[node][slot] =
-                        Engine::Decompressing { port, vc, packet, latency_left, line };
+                    self.engines[node][slot] = Engine::Decompressing {
+                        port,
+                        vc,
+                        packet,
+                        latency_left,
+                        line,
+                    };
                     return;
                 }
                 let raw_flits = disco_compress::LINE_BYTES / FLIT_BYTES;
@@ -446,8 +491,10 @@ impl DiscoLayer {
         }
         let node_id = NodeId(node);
         let depth = net.config().buffer_depth;
-        let busy: Vec<PacketId> =
-            self.engines[node].iter().filter_map(Engine::target).collect();
+        let busy: Vec<PacketId> = self.engines[node]
+            .iter()
+            .filter_map(Engine::target)
+            .collect();
         let losers: Vec<(usize, usize)> = net.router(node_id).sa_losers().to_vec();
         let mut best: Option<(f64, usize, usize, PacketId, Mode)> = None;
         let mut saw_candidate = false;
@@ -466,10 +513,11 @@ impl DiscoLayer {
                 }
                 let msg = Msg::decode(pkt.tag);
                 let is_front = vc_ref.front_packet() == Some(pid) && vc_ref.front_is_head();
-                let whole = vc_ref.resident_of(pid) == pkt.size_flits()
-                    && vc_ref.has_tail_of(pid);
+                let whole = vc_ref.resident_of(pid) == pkt.size_flits() && vc_ref.has_tail_of(pid);
                 let remote = depth.saturating_sub(
-                    net.downstream_credits(node_id, port, vc).unwrap_or(depth).min(depth),
+                    net.downstream_credits(node_id, port, vc)
+                        .unwrap_or(depth)
+                        .min(depth),
                 );
                 let pressure = Pressure {
                     local_occupancy: vc_ref.occupancy(),
@@ -502,7 +550,9 @@ impl DiscoLayer {
                     }
                     _ => None,
                 };
-                let Some((conf, ok, mode)) = candidate else { continue };
+                let Some((conf, ok, mode)) = candidate else {
+                    continue;
+                };
                 saw_candidate = true;
                 if !ok {
                     continue;
@@ -516,9 +566,15 @@ impl DiscoLayer {
         // enter the router. Local pressure counts the queue ahead of the
         // packet; remote pressure reads the credits on the packet's first
         // hop (its RC output is known from XY routing).
-        let response_vc = disco_noc::PacketClass::Response.vc().min(net.config().vcs - 1);
-        let backlog: Vec<PacketId> =
-            net.inject_backlog(node_id, response_vc).iter().copied().take(4).collect();
+        let response_vc = disco_noc::PacketClass::Response
+            .vc()
+            .min(net.config().vcs - 1);
+        let backlog: Vec<PacketId> = net
+            .inject_backlog(node_id, response_vc)
+            .iter()
+            .copied()
+            .take(4)
+            .collect();
         for (pos, pid) in backlog.into_iter().enumerate() {
             if busy.contains(&pid) {
                 continue;
@@ -560,35 +616,68 @@ impl DiscoLayer {
         self.stats.started += 1;
         match mode {
             Mode::Decomp => {
-                let Payload::Compressed(c) = &pkt.payload else { unreachable!("checked above") };
-                let line = self.codec.decompress(c).expect("in-flight encodings are valid");
+                let Payload::Compressed(c) = &pkt.payload else {
+                    unreachable!("checked above")
+                };
+                let line = match self.codec.decompress(c) {
+                    Ok(line) => line,
+                    Err(e) => {
+                        // An in-flight encoding that fails to decode means
+                        // the payload was corrupted after compression;
+                        // abort the operation instead of poisoning the
+                        // engine.
+                        debug_assert!(false, "in-flight encoding invalid: {e:?}");
+                        self.stats.aborts += 1;
+                        return;
+                    }
+                };
                 let latency = self.codec.decompression_latency(c).max(1);
                 if !self.params.non_blocking {
                     net.router_mut(node_id).set_locked(port, vc, true);
                 }
-                self.engines[node][slot] =
-                    Engine::Decompressing { port, vc, packet: pid, latency_left: latency, line };
+                self.engines[node][slot] = Engine::Decompressing {
+                    port,
+                    vc,
+                    packet: pid,
+                    latency_left: latency,
+                    line,
+                };
             }
             Mode::Whole => {
-                let Payload::Raw(line) = &pkt.payload else { unreachable!("checked above") };
+                let Payload::Raw(line) = &pkt.payload else {
+                    unreachable!("checked above")
+                };
                 let result = self.codec.compress(line);
                 let total_raw = (disco_compress::LINE_BYTES / FLIT_BYTES) as u64;
                 let cycles = self.codec.compression_latency().max(1)
                     + total_raw.div_ceil(self.params.fragment_rate.max(1) as u64);
-                self.engines[node][slot] =
-                    Engine::CompressingWhole { port, vc, packet: pid, cycles_left: cycles, result };
+                self.engines[node][slot] = Engine::CompressingWhole {
+                    port,
+                    vc,
+                    packet: pid,
+                    cycles_left: cycles,
+                    result,
+                };
             }
             Mode::Queued => {
-                let Payload::Raw(line) = &pkt.payload else { unreachable!("checked above") };
+                let Payload::Raw(line) = &pkt.payload else {
+                    unreachable!("checked above")
+                };
                 let result = self.codec.compress(line);
                 let total_raw = (disco_compress::LINE_BYTES / FLIT_BYTES) as u64;
                 let cycles = self.codec.compression_latency().max(1)
                     + total_raw.div_ceil(self.params.fragment_rate.max(1) as u64);
-                self.engines[node][slot] =
-                    Engine::CompressingQueued { vc, packet: pid, cycles_left: cycles, result };
+                self.engines[node][slot] = Engine::CompressingQueued {
+                    vc,
+                    packet: pid,
+                    cycles_left: cycles,
+                    result,
+                };
             }
             Mode::Stream => {
-                let Payload::Raw(line) = &pkt.payload else { unreachable!("checked above") };
+                let Payload::Raw(line) = &pkt.payload else {
+                    unreachable!("checked above")
+                };
                 let result = self.codec.compress(line);
                 let latency = self.codec.compression_latency().max(1);
                 self.engines[node][slot] = Engine::Compressing {
@@ -621,7 +710,12 @@ mod tests {
     }
 
     fn eager_params() -> DiscoParams {
-        DiscoParams { cc_threshold: -10.0, cd_threshold: -100.0, beta: 0.0, ..DiscoParams::default() }
+        DiscoParams {
+            cc_threshold: -10.0,
+            cd_threshold: -100.0,
+            beta: 0.0,
+            ..DiscoParams::default()
+        }
     }
 
     fn compressible_line() -> CacheLine {
@@ -635,23 +729,44 @@ mod tests {
         // Block the east link by filling the downstream VC1 with a parked
         // packet: send one response and lock node 1's west input.
         let msg = Msg::new(crate::protocol::Op::Writeback, 0, 5).encode();
-        let p1 = net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg);
+        let p1 = net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(compressible_line()),
+            true,
+            msg,
+        );
         // A second response queues behind it.
         let msg2 = Msg::new(crate::protocol::Op::Writeback, 0, 6).encode();
-        net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg2);
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(compressible_line()),
+            true,
+            msg2,
+        );
         // Park node-0's east output by exhausting its credits so the
         // responses idle in the local input VC.
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         for _ in 0..60 {
             net.tick();
             layer.tick(&mut net);
         }
-        assert!(layer.stats().compressions >= 1, "stats: {:?}", layer.stats());
+        assert!(
+            layer.stats().compressions >= 1,
+            "stats: {:?}",
+            layer.stats()
+        );
         // The idling front packet must now be compressed in the store.
         assert!(net.store().get(p1).payload.is_compressed());
         // Release the credits and let everything drain.
         for _ in 0..8 {
-            net.router_mut(NodeId(0)).return_credit(disco_noc::Direction::East, 1);
+            net.router_mut(NodeId(0))
+                .return_credit(disco_noc::Direction::East, 1);
         }
         let mut delivered = Vec::new();
         for _ in 0..200 {
@@ -683,14 +798,28 @@ mod tests {
         let codec = Codec::delta();
         let enc = codec.compress(&compressible_line());
         let msg = Msg::new(crate::protocol::Op::DataToCore, 1, 5).encode();
-        let pid = net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Compressed(enc), true, msg);
+        let pid = net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Compressed(enc),
+            true,
+            msg,
+        );
         // Stall it at node 0 (no credits east) so the engine sees it idle.
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         for _ in 0..40 {
             net.tick();
             layer.tick(&mut net);
         }
-        assert_eq!(layer.stats().decompressions, 1, "stats: {:?}", layer.stats());
+        assert_eq!(
+            layer.stats().decompressions,
+            1,
+            "stats: {:?}",
+            layer.stats()
+        );
         match &net.store().get(pid).payload {
             Payload::Raw(l) => assert_eq!(*l, compressible_line()),
             other => panic!("expected decompressed payload, got {other:?}"),
@@ -705,7 +834,14 @@ mod tests {
         let mut net = congested_net();
         let mut layer = DiscoLayer::new(DiscoParams::default(), Codec::delta(), 2);
         let msg = Msg::new(crate::protocol::Op::Writeback, 0, 5).encode();
-        net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg);
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(compressible_line()),
+            true,
+            msg,
+        );
         for _ in 0..100 {
             net.tick();
             layer.tick(&mut net);
@@ -726,15 +862,27 @@ mod tests {
         let mut layer = DiscoLayer::new(strict, Codec::delta(), 2);
         for k in 0..6u64 {
             let msg = Msg::new(crate::protocol::Op::Writeback, 0, k).encode();
-            net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg);
+            net.send(
+                NodeId(0),
+                NodeId(1),
+                PacketClass::Response,
+                Payload::Raw(compressible_line()),
+                true,
+                msg,
+            );
         }
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         for _ in 0..80 {
             net.tick();
             layer.tick(&mut net);
         }
         assert_eq!(layer.stats().compressions, 0);
-        assert!(layer.stats().low_confidence > 0, "candidates must be seen and rejected");
+        assert!(
+            layer.stats().low_confidence > 0,
+            "candidates must be seen and rejected"
+        );
     }
 
     #[test]
@@ -755,25 +903,44 @@ mod tests {
                 msg,
             ));
         }
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         for _ in 0..80 {
             net.tick();
             layer.tick(&mut net);
         }
-        assert!(layer.stats().queue_compressions > 0, "stats: {:?}", layer.stats());
-        let queued_compressed =
-            ids.iter().filter(|&&id| net.store().get(id).payload.is_compressed()).count();
+        assert!(
+            layer.stats().queue_compressions > 0,
+            "stats: {:?}",
+            layer.stats()
+        );
+        let queued_compressed = ids
+            .iter()
+            .filter(|&&id| net.store().get(id).payload.is_compressed())
+            .count();
         assert!(queued_compressed >= 2, "several queued packets must shrink");
     }
 
     #[test]
     fn adaptive_thresholds_stay_within_bounds() {
-        let params = DiscoParams { adaptive: true, epoch_cycles: 8, ..DiscoParams::default() };
+        let params = DiscoParams {
+            adaptive: true,
+            epoch_cycles: 8,
+            ..DiscoParams::default()
+        };
         let mut net = congested_net();
         let mut layer = DiscoLayer::new(params, Codec::delta(), 2);
         for k in 0..8u64 {
             let msg = Msg::new(crate::protocol::Op::Writeback, 0, k).encode();
-            net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg);
+            net.send(
+                NodeId(0),
+                NodeId(1),
+                PacketClass::Response,
+                Payload::Raw(compressible_line()),
+                true,
+                msg,
+            );
         }
         for _ in 0..600 {
             net.tick();
@@ -806,7 +973,9 @@ mod tests {
         );
         // Stall the east output and hand-deliver flits into the west...
         // rather: the local input VC of node 0, head first.
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         let flits = disco_noc::packet::flits_for(pid, 8, 0);
         let local = disco_noc::Direction::Local.index();
         for (i, f) in flits.into_iter().enumerate() {
@@ -839,7 +1008,14 @@ mod tests {
         let mut net = congested_net();
         let mut layer = DiscoLayer::new(DiscoParams::default(), Codec::delta(), 2);
         let msg = Msg::new(crate::protocol::Op::Writeback, 0, 1).encode();
-        net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(compressible_line()), true, msg);
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(compressible_line()),
+            true,
+            msg,
+        );
         for _ in 0..3_000 {
             net.tick();
             layer.tick(&mut net);
@@ -865,13 +1041,26 @@ mod tests {
         }
         let noise = CacheLine::from_bytes(bytes);
         let msg = Msg::new(crate::protocol::Op::Writeback, 0, 5).encode();
-        net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Raw(noise), true, msg);
-        assert!(net.router_mut(NodeId(0)).try_take_credits(disco_noc::Direction::East, 1, 8));
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(noise),
+            true,
+            msg,
+        );
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(disco_noc::Direction::East, 1, 8));
         for _ in 0..30 {
             net.tick();
             layer.tick(&mut net);
         }
-        assert!(layer.stats().incompressible >= 1, "stats: {:?}", layer.stats());
+        assert!(
+            layer.stats().incompressible >= 1,
+            "stats: {:?}",
+            layer.stats()
+        );
         assert_eq!(layer.stats().compressions, 0);
     }
 }

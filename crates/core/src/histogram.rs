@@ -29,11 +29,18 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     fn bucket_of(value: u64) -> usize {
-        ((64 - value.max(1).leading_zeros()) as usize).saturating_sub(1).min(BUCKETS - 1)
+        ((64 - value.max(1).leading_zeros()) as usize)
+            .saturating_sub(1)
+            .min(BUCKETS - 1)
     }
 
     /// Records one sample.

@@ -53,8 +53,8 @@ pub mod system;
 pub mod training;
 
 pub use arbitrator::{DiscoParams, Pressure};
-pub use histogram::LatencyHistogram;
 pub use engine::{DiscoLayer, DiscoStats};
+pub use histogram::LatencyHistogram;
 pub use placement::CompressionPlacement;
 pub use report::SimReport;
 pub use system::{SimBuilder, SimError, System};

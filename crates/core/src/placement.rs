@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn cnc_doubles_sites() {
         use CompressionPlacement::*;
-        assert_eq!(CacheAndNi.compressor_sites(16), 2 * CacheOnly.compressor_sites(16));
+        assert_eq!(
+            CacheAndNi.compressor_sites(16),
+            2 * CacheOnly.compressor_sites(16)
+        );
         assert_eq!(Disco.compressor_sites(16), 16);
         assert_eq!(Baseline.compressor_sites(16), 0);
     }

@@ -35,7 +35,9 @@ pub enum Op {
 }
 
 impl Op {
-    const ALL: [Op; 11] = [
+    /// Every message operation, in tag-code order. Static analyses
+    /// (`disco-verify`) iterate this to prove handler exhaustiveness.
+    pub const ALL: [Op; 11] = [
         Op::ReadReq,
         Op::WriteReq,
         Op::DataToCore,
@@ -50,7 +52,10 @@ impl Op {
     ];
 
     fn code(self) -> u64 {
-        Op::ALL.iter().position(|&o| o == self).expect("op is in ALL") as u64
+        Op::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("op is in ALL") as u64
     }
 
     fn from_code(code: u64) -> Option<Op> {
@@ -80,7 +85,11 @@ pub struct Msg {
 impl Msg {
     /// Builds a message.
     pub fn new(op: Op, requester: usize, line: u64) -> Self {
-        Msg { op, requester, line }
+        Msg {
+            op,
+            requester,
+            line,
+        }
     }
 
     /// Packs into a packet tag.
@@ -96,9 +105,26 @@ impl Msg {
     }
 
     /// Unpacks from a packet tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the low tag bits do not name a valid [`Op`]; use
+    /// [`Msg::try_decode`] for tags from untrusted sources.
     pub fn decode(tag: u64) -> Msg {
-        let op = Op::from_code(tag & 0xf).expect("tag carries a valid op");
-        Msg { op, requester: ((tag >> 4) & 0xff) as usize, line: tag >> 12 }
+        match Msg::try_decode(tag) {
+            Some(msg) => msg,
+            None => panic!("tag {tag:#x} does not carry a valid op"),
+        }
+    }
+
+    /// Unpacks from a packet tag, rejecting invalid op codes.
+    pub fn try_decode(tag: u64) -> Option<Msg> {
+        let op = Op::from_code(tag & 0xf)?;
+        Some(Msg {
+            op,
+            requester: ((tag >> 4) & 0xff) as usize,
+            line: tag >> 12,
+        })
     }
 }
 

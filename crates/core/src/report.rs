@@ -90,11 +90,31 @@ impl SimReport {
         writeln!(w, "config.scheme = {}", self.scheme.name())?;
         writeln!(w, "sim.cycles = {}", self.cycles)?;
         writeln!(w, "core.demand_misses = {}", self.demand_misses)?;
-        writeln!(w, "core.avg_access_latency = {:.4}", self.avg_access_latency())?;
-        writeln!(w, "core.avg_onchip_latency = {:.4}", self.avg_onchip_latency())?;
-        writeln!(w, "core.onchip_latency_p50 = {:.1}", self.latency_histogram.percentile(0.5))?;
-        writeln!(w, "core.onchip_latency_p90 = {:.1}", self.latency_histogram.percentile(0.9))?;
-        writeln!(w, "core.onchip_latency_p99 = {:.1}", self.latency_histogram.percentile(0.99))?;
+        writeln!(
+            w,
+            "core.avg_access_latency = {:.4}",
+            self.avg_access_latency()
+        )?;
+        writeln!(
+            w,
+            "core.avg_onchip_latency = {:.4}",
+            self.avg_onchip_latency()
+        )?;
+        writeln!(
+            w,
+            "core.onchip_latency_p50 = {:.1}",
+            self.latency_histogram.percentile(0.5)
+        )?;
+        writeln!(
+            w,
+            "core.onchip_latency_p90 = {:.1}",
+            self.latency_histogram.percentile(0.9)
+        )?;
+        writeln!(
+            w,
+            "core.onchip_latency_p99 = {:.1}",
+            self.latency_histogram.percentile(0.99)
+        )?;
         writeln!(w, "l1.hits = {}", self.l1.hits)?;
         writeln!(w, "l1.misses = {}", self.l1.misses)?;
         writeln!(w, "l1.miss_rate = {:.4}", self.l1.miss_rate())?;
@@ -105,17 +125,59 @@ impl SimReport {
         writeln!(w, "llc.miss_rate = {:.4}", self.banks.miss_rate())?;
         writeln!(w, "llc.evictions = {}", self.banks.evictions)?;
         writeln!(w, "llc.bytes_accessed = {}", self.banks.bytes_accessed)?;
+        writeln!(w, "noc.cycles = {}", self.network.cycles)?;
+        writeln!(
+            w,
+            "noc.packets_injected = {}",
+            self.network.packets_injected
+        )?;
+        writeln!(
+            w,
+            "noc.packets_delivered = {}",
+            self.network.packets_delivered
+        )?;
         writeln!(w, "noc.link_flits = {}", self.network.link_flits)?;
-        writeln!(w, "noc.avg_packet_latency = {:.4}", self.network.avg_packet_latency())?;
+        writeln!(w, "noc.buffer_writes = {}", self.network.buffer_writes)?;
+        writeln!(w, "noc.buffer_reads = {}", self.network.buffer_reads)?;
+        writeln!(w, "noc.crossbar_flits = {}", self.network.crossbar_flits)?;
+        writeln!(w, "noc.arbitrations = {}", self.network.arbitrations)?;
+        writeln!(
+            w,
+            "noc.avg_packet_latency = {:.4}",
+            self.network.avg_packet_latency()
+        )?;
+        writeln!(
+            w,
+            "noc.total_packet_latency = {}",
+            self.network.total_packet_latency
+        )?;
+        writeln!(w, "noc.avg_hops = {:.4}", self.network.avg_hops())?;
+        writeln!(w, "noc.total_hops = {}", self.network.total_hops)?;
         writeln!(w, "noc.sa_losses = {}", self.network.sa_losses)?;
+        let [dreq, dresp, dcoh] = self.network.delivered_by_class;
+        writeln!(w, "noc.delivered_by_class = {dreq} {dresp} {dcoh}")?;
+        let [lreq, lresp, lcoh] = self.network.latency_by_class;
+        writeln!(w, "noc.latency_by_class = {lreq} {lresp} {lcoh}")?;
         writeln!(w, "dram.reads = {}", self.dram.reads)?;
         writeln!(w, "dram.writes = {}", self.dram.writes)?;
         writeln!(w, "dram.row_hit_rate = {:.4}", self.dram.row_hit_rate())?;
         writeln!(w, "compression.lines = {}", self.compression.lines())?;
-        writeln!(w, "compression.mean_ratio = {:.4}", self.compression.mean_ratio())?;
+        writeln!(
+            w,
+            "compression.mean_ratio = {:.4}",
+            self.compression.mean_ratio()
+        )?;
         writeln!(w, "energy.total_pj = {:.1}", self.energy.total_pj())?;
-        writeln!(w, "energy.noc_dynamic_pj = {:.1}", self.energy.noc_dynamic_pj)?;
-        writeln!(w, "energy.cache_dynamic_pj = {:.1}", self.energy.cache_dynamic_pj)?;
+        writeln!(
+            w,
+            "energy.noc_dynamic_pj = {:.1}",
+            self.energy.noc_dynamic_pj
+        )?;
+        writeln!(
+            w,
+            "energy.cache_dynamic_pj = {:.1}",
+            self.energy.cache_dynamic_pj
+        )?;
         writeln!(w, "energy.compressor_pj = {:.1}", self.energy.compressor_pj)?;
         if let Some(d) = &self.disco {
             writeln!(w, "disco.started = {}", d.started)?;
@@ -125,6 +187,7 @@ impl SimReport {
             writeln!(w, "disco.aborts = {}", d.aborts)?;
             writeln!(w, "disco.incompressible = {}", d.incompressible)?;
             writeln!(w, "disco.growth_stalls = {}", d.growth_stalls)?;
+            writeln!(w, "disco.low_confidence = {}", d.low_confidence)?;
             writeln!(w, "disco.flits_saved = {}", d.flits_saved)?;
         }
         Ok(())
@@ -157,8 +220,11 @@ mod tests {
             "dram.row_hit_rate = ",
             "disco.compressions = ",
         ] {
-            assert!(text.contains(key), "missing {key} in:
-{text}");
+            assert!(
+                text.contains(key),
+                "missing {key} in:
+{text}"
+            );
         }
         // Every line parses as `key = value`.
         for line in text.lines() {

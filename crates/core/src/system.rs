@@ -45,7 +45,11 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::DeadlineExceeded { max_cycles, outstanding, suspicious_stalls } => write!(
+            SimError::DeadlineExceeded {
+                max_cycles,
+                outstanding,
+                suspicious_stalls,
+            } => write!(
                 f,
                 "simulation did not drain within {max_cycles} cycles \
                  ({outstanding} accesses outstanding, {suspicious_stalls} suspicious stalls)"
@@ -83,7 +87,12 @@ impl Tile {
 #[derive(Debug, Clone)]
 enum Event {
     /// A request reached the bank and the tag/data access finished.
-    BankRequest { bank: usize, line: u64, requester: usize, write: bool },
+    BankRequest {
+        bank: usize,
+        line: u64,
+        requester: usize,
+        write: bool,
+    },
     /// Store `stored` into the bank (fill or writeback after codec prep);
     /// optionally respond to the waiters queued on a bank miss.
     BankStore {
@@ -96,7 +105,11 @@ enum Event {
     },
     /// The fill (after ejection-side decompression, if any) reaches the
     /// core: fill L1, complete the MSHR.
-    CoreFill { core: usize, line: u64, data: CacheLine },
+    CoreFill {
+        core: usize,
+        line: u64,
+        data: CacheLine,
+    },
     /// Inject a packet.
     Send {
         src: usize,
@@ -165,7 +178,8 @@ impl System {
     }
 
     fn current_value(&self, line: u64) -> CacheLine {
-        self.values.line(line, self.versions.get(&line).copied().unwrap_or(0))
+        self.values
+            .line(line, self.versions.get(&line).copied().unwrap_or(0))
     }
 
     fn bump_version(&mut self, line: u64) -> CacheLine {
@@ -199,7 +213,10 @@ impl System {
                 // Decompress in the bank controller before injection.
                 let lat = self.codec.decompression_latency(c);
                 self.codec_ops.decompressions += 1;
-                let line = self.codec.decompress(c).expect("stored encodings are valid");
+                let line = self
+                    .codec
+                    .decompress(c)
+                    .expect("stored encodings are valid");
                 (Payload::Raw(line), lat)
             }
             (CacheOnly, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
@@ -257,9 +274,10 @@ impl System {
         use CompressionPlacement::*;
         let line = match payload {
             Payload::Raw(l) => *l,
-            Payload::Compressed(c) => {
-                self.codec.decompress(c).expect("in-flight encodings are valid")
-            }
+            Payload::Compressed(c) => self
+                .codec
+                .decompress(c)
+                .expect("in-flight encodings are valid"),
             Payload::None => unreachable!("data packets carry payloads"),
         };
         match (self.placement, payload) {
@@ -312,7 +330,10 @@ impl System {
         match payload {
             Payload::Raw(l) => (*l, 0),
             Payload::Compressed(c) => {
-                let line = self.codec.decompress(c).expect("in-flight encodings are valid");
+                let line = self
+                    .codec
+                    .decompress(c)
+                    .expect("in-flight encodings are valid");
                 let lat = match self.placement {
                     Ideal => 0,
                     _ => {
@@ -338,7 +359,10 @@ impl System {
     }
 
     fn outstanding(&self) -> usize {
-        self.tiles.iter().map(|t| (t.trace.len() - t.pos) + t.mshr.in_use()).sum()
+        self.tiles
+            .iter()
+            .map(|t| (t.trace.len() - t.pos) + t.mshr.in_use())
+            .sum()
     }
 
     fn tick(&mut self) {
@@ -360,7 +384,9 @@ impl System {
         let now = self.now();
         #[allow(clippy::while_let_loop)] // two-condition exit reads clearer this way
         loop {
-            let Some((&t, _)) = self.events.iter().next() else { break };
+            let Some((&t, _)) = self.events.iter().next() else {
+                break;
+            };
             if t > now {
                 break;
             }
@@ -389,7 +415,10 @@ impl System {
             debug_assert!(ready);
             // Writes update the line's value (version bump) on a hit.
             let write_value = write.then(|| self.bump_version(line));
-            let hit = self.tiles[core].l1.access(LineAddr(line), write_value).is_some();
+            let hit = self.tiles[core]
+                .l1
+                .access(LineAddr(line), write_value)
+                .is_some();
             if !hit {
                 match self.tiles[core].mshr.allocate(LineAddr(line), now, write) {
                     MshrOutcome::Full => {
@@ -460,7 +489,14 @@ impl System {
             }
             Op::DataToCore => {
                 let (line, lat) = self.core_receive(&pkt.payload);
-                self.schedule(now + lat, Event::CoreFill { core: node, line: msg.line, data: line });
+                self.schedule(
+                    now + lat,
+                    Event::CoreFill {
+                        core: node,
+                        line: msg.line,
+                        data: line,
+                    },
+                );
             }
             Op::Writeback => {
                 let (stored, lat) = self.store_prep(&pkt.payload);
@@ -590,9 +626,17 @@ impl System {
     fn handle_event(&mut self, ev: Event) {
         let now = self.now();
         match ev {
-            Event::Send { src, dst, class, payload, tag } => {
+            Event::Send {
+                src,
+                dst,
+                class,
+                payload,
+                tag,
+            } => {
                 let compressible = class == PacketClass::Response;
-                let id = self.net.send(NodeId(src), NodeId(dst), class, payload, compressible, tag);
+                let id = self
+                    .net
+                    .send(NodeId(src), NodeId(dst), class, payload, compressible, tag);
                 // Rule 1 of §3.3-B: read responses and fills are on the
                 // demand critical path and keep their priority even when
                 // uncompressed; only latency-tolerant writebacks are
@@ -601,7 +645,12 @@ impl System {
                 self.net.store_mut().get_mut(id).critical =
                     matches!(op, Op::DataToCore | Op::MemFill);
             }
-            Event::BankRequest { bank, line, requester, write } => {
+            Event::BankRequest {
+                bank,
+                line,
+                requester,
+                write,
+            } => {
                 let actions = if write {
                     self.dirs[bank].write(LineAddr(line), requester)
                 } else {
@@ -638,7 +687,8 @@ impl System {
                                                 dst: mc,
                                                 class: PacketClass::Request,
                                                 payload: Payload::None,
-                                                tag: Msg::new(Op::MemRead, requester, line).encode(),
+                                                tag: Msg::new(Op::MemRead, requester, line)
+                                                    .encode(),
                                             },
                                         );
                                     }
@@ -673,7 +723,14 @@ impl System {
                     }
                 }
             }
-            Event::BankStore { bank, line, stored, dirty, writeback_from, respond_waiters } => {
+            Event::BankStore {
+                bank,
+                line,
+                stored,
+                dirty,
+                writeback_from,
+                respond_waiters,
+            } => {
                 if let Some(core) = writeback_from {
                     self.dirs[bank].writeback(LineAddr(line), core);
                 }
@@ -810,7 +867,10 @@ impl System {
             (_, StoredLine::Compressed(c)) => {
                 let lat = self.codec.decompression_latency(c);
                 self.codec_ops.decompressions += 1;
-                let line = self.codec.decompress(c).expect("stored encodings are valid");
+                let line = self
+                    .codec
+                    .decompress(c)
+                    .expect("stored encodings are valid");
                 (Payload::Raw(line), lat)
             }
         }
@@ -1155,16 +1215,13 @@ impl SimBuilder {
             compressed: self.placement.compressed_storage(),
             ..self.bank
         };
-        let banks = (0..tiles_n).map(|i| NucaBank::new(bank_cfg, i, tiles_n)).collect();
+        let banks = (0..tiles_n)
+            .map(|i| NucaBank::new(bank_cfg, i, tiles_n))
+            .collect();
         let disco = (self.placement == CompressionPlacement::Disco)
             .then(|| DiscoLayer::new(self.disco, codec.clone(), tiles_n));
         // Memory controllers at the mesh corners.
-        let mcs = vec![
-            0,
-            self.cols - 1,
-            tiles_n - self.cols,
-            tiles_n - 1,
-        ];
+        let mcs = vec![0, self.cols - 1, tiles_n - self.cols, tiles_n - 1];
         let max_cycles = if self.max_cycles > 0 {
             self.max_cycles
         } else {
@@ -1257,7 +1314,10 @@ mod tests {
             // Every L1 miss became a completed demand miss (merged misses
             // complete with their primary).
             assert!(r.demand_misses > 0, "{placement}");
-            assert!(r.l1.hits + r.l1.misses >= 4 * 200, "{placement}: all accesses issued");
+            assert!(
+                r.l1.hits + r.l1.misses >= 4 * 200,
+                "{placement}: all accesses issued"
+            );
         }
     }
 
@@ -1311,7 +1371,11 @@ mod tests {
             .max_cycles(50)
             .run()
             .expect_err("cannot drain in 50 cycles");
-        let SimError::DeadlineExceeded { max_cycles, outstanding, suspicious_stalls } = err;
+        let SimError::DeadlineExceeded {
+            max_cycles,
+            outstanding,
+            suspicious_stalls,
+        } = err;
         assert_eq!(max_cycles, 50);
         assert!(outstanding > 0);
         assert_eq!(suspicious_stalls, 0, "a too-small budget is not a deadlock");
@@ -1330,7 +1394,10 @@ mod tests {
             .run()
             .expect("drains");
         assert_eq!(r.scheme, SchemeKind::Sc2);
-        assert!(r.compression.mean_ratio() > 1.2, "trained SC2 must compress x264 lines");
+        assert!(
+            r.compression.mean_ratio() > 1.2,
+            "trained SC2 must compress x264 lines"
+        );
     }
 
     #[test]

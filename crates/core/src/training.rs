@@ -77,7 +77,10 @@ pub fn train(
     seed: u64,
     grid: &TrainingGrid,
 ) -> Trained {
-    assert!(!benchmarks.is_empty(), "training needs at least one workload");
+    assert!(
+        !benchmarks.is_empty(),
+        "training needs at least one workload"
+    );
     let score_of = |params: DiscoParams| -> f64 {
         let mut log_sum = 0.0;
         for &b in benchmarks {
@@ -95,7 +98,10 @@ pub fn train(
         (log_sum / benchmarks.len() as f64).exp()
     };
 
-    let mut best = TrainingPoint { params: DiscoParams::default(), score: f64::INFINITY };
+    let mut best = TrainingPoint {
+        params: DiscoParams::default(),
+        score: f64::INFINITY,
+    };
     let mut history = Vec::new();
     best.score = score_of(best.params);
     history.push(best);
@@ -116,7 +122,10 @@ pub fn train(
             if candidate == best.params {
                 continue; // already scored
             }
-            let point = TrainingPoint { params: candidate, score: score_of(candidate) };
+            let point = TrainingPoint {
+                params: candidate,
+                score: score_of(candidate),
+            };
             history.push(point);
             if point.score < best.score {
                 best = point;
@@ -143,7 +152,10 @@ mod tests {
     #[test]
     fn training_explores_and_improves_or_matches() {
         let trained = train(&[Benchmark::Dedup], 600, 3, &tiny_grid());
-        assert!(trained.history.len() >= 2, "must evaluate beyond the default");
+        assert!(
+            trained.history.len() >= 2,
+            "must evaluate beyond the default"
+        );
         let default_score = trained.history[0].score;
         assert!(trained.best.score <= default_score + 1e-9);
         // The absurd CC_th = 64 (no compression ever) must not win on a

@@ -164,7 +164,11 @@ mod tests {
     fn totals_are_sums() {
         let m = EnergyModel::default();
         let b = m.evaluate(&counts());
-        let manual = b.noc_dynamic_pj + b.noc_static_pj + b.cache_dynamic_pj + b.cache_static_pj + b.compressor_pj;
+        let manual = b.noc_dynamic_pj
+            + b.noc_static_pj
+            + b.cache_dynamic_pj
+            + b.cache_static_pj
+            + b.compressor_pj;
         assert!((b.total_pj() - manual).abs() < 1e-9);
         assert!(b.total_pj() > 0.0);
     }
@@ -189,8 +193,14 @@ mod tests {
         let mut a = counts();
         a.compressions = 0;
         a.decompressions = 0;
-        let one = m.evaluate(&EnergyCounts { compressor_sites: 16, ..a });
-        let two = m.evaluate(&EnergyCounts { compressor_sites: 32, ..a });
+        let one = m.evaluate(&EnergyCounts {
+            compressor_sites: 16,
+            ..a
+        });
+        let two = m.evaluate(&EnergyCounts {
+            compressor_sites: 32,
+            ..a
+        });
         assert!(two.compressor_pj > one.compressor_pj);
     }
 

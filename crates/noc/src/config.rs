@@ -31,7 +31,10 @@ pub struct SchedulingPolicy {
 
 impl Default for SchedulingPolicy {
     fn default() -> Self {
-        SchedulingPolicy { prioritize_critical: true, demote_uncompressed: false }
+        SchedulingPolicy {
+            prioritize_critical: true,
+            demote_uncompressed: false,
+        }
     }
 }
 
@@ -78,8 +81,14 @@ impl NocConfig {
     /// Panics if any dimension is zero.
     pub fn validate(&self) {
         assert!(self.vcs >= 1, "at least one virtual channel required");
-        assert!(self.buffer_depth >= 1, "buffers must hold at least one flit");
-        assert!(self.pipeline_stages >= 1, "pipeline must be at least one stage");
+        assert!(
+            self.buffer_depth >= 1,
+            "buffers must hold at least one flit"
+        );
+        assert!(
+            self.pipeline_stages >= 1,
+            "pipeline must be at least one stage"
+        );
     }
 }
 
@@ -103,6 +112,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "virtual channel")]
     fn zero_vcs_rejected() {
-        NocConfig { vcs: 0, ..NocConfig::default() }.validate();
+        NocConfig {
+            vcs: 0,
+            ..NocConfig::default()
+        }
+        .validate();
     }
 }

@@ -151,7 +151,9 @@ mod tests {
             true,
             0,
         );
-        assert!(net.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 8));
+        assert!(net
+            .router_mut(NodeId(0))
+            .try_take_credits(Direction::East, 1, 8));
         for _ in 0..20 {
             net.tick();
         }

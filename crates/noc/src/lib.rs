@@ -43,11 +43,11 @@ pub mod topology;
 pub mod traffic;
 
 pub use config::{FlowControl, NocConfig, SchedulingPolicy};
-pub use routing::RoutingAlgorithm;
 pub use health::{StallInfo, StallReason};
 pub use network::{Network, MAX_PACKET_FLITS};
 pub use packet::{Flit, FlitKind, Packet, PacketClass, PacketId, PacketStore, Payload, FLIT_BYTES};
 pub use router::{Router, Vc, PORTS};
+pub use routing::RoutingAlgorithm;
 pub use stats::NetworkStats;
-pub use traffic::{TrafficDriver, TrafficPattern};
 pub use topology::{Direction, Mesh, NodeId};
+pub use traffic::{TrafficDriver, TrafficPattern};

@@ -9,8 +9,7 @@ use crate::topology::{Direction, Mesh, NodeId};
 use std::collections::VecDeque;
 
 /// Maximum packet size in flits: an uncompressed 64 B payload.
-pub const MAX_PACKET_FLITS: usize =
-    disco_compress::LINE_BYTES / crate::packet::FLIT_BYTES;
+pub const MAX_PACKET_FLITS: usize = disco_compress::LINE_BYTES / crate::packet::FLIT_BYTES;
 
 /// In-progress injection of one packet at a node's NI.
 #[derive(Debug, Clone, Copy)]
@@ -134,12 +133,16 @@ impl Network {
         compressible: bool,
         tag: u64,
     ) -> PacketId {
-        let id = self.store.create(src, dst, class, payload, compressible, self.now, tag);
-        // Balance injection across the class's VC group.
+        let id = self
+            .store
+            .create(src, dst, class, payload, compressible, self.now, tag);
+        // Balance injection across the class's VC group. `validate()`
+        // guarantees at least one VC, so the group is never empty and the
+        // fallback VC 0 is unreachable.
         let vc = class
             .vc_range(self.config.vcs)
             .min_by_key(|&v| self.inject_q[src.0][v].len())
-            .expect("class groups are non-empty");
+            .unwrap_or(0);
         self.inject_q[src.0][vc].push_back(id);
         self.stats.packets_injected += 1;
         id
@@ -157,6 +160,51 @@ impl Network {
         self.store.is_empty()
             && self.routers.iter().all(|r| r.total_buffered() == 0)
             && self.inject_q.iter().flatten().all(|q| q.is_empty())
+    }
+
+    /// Checks run-time invariants across every router: per-router state
+    /// legality ([`Router::check_invariants`]) and credit conservation —
+    /// on each link, the upstream credit count plus the downstream buffer
+    /// occupancy never exceeds the buffer depth (strict equality does not
+    /// hold because the extension API may hold credits mid-reshape).
+    ///
+    /// Always compiled; [`Network::tick`] calls it every cycle when the
+    /// `validate` feature is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for r in &self.routers {
+            r.check_invariants()?;
+        }
+        for node in 0..self.routers.len() {
+            for dir in [
+                Direction::North,
+                Direction::South,
+                Direction::East,
+                Direction::West,
+            ] {
+                let Some(next) = self.mesh.neighbor(NodeId(node), dir) else {
+                    continue;
+                };
+                for vc in 0..self.config.vcs {
+                    let credits = self.routers[node].credit_in(dir, vc);
+                    let occupancy = self.routers[next.0]
+                        .vc(dir.opposite().index(), vc)
+                        .occupancy();
+                    if credits + occupancy > self.config.buffer_depth {
+                        return Err(format!(
+                            "credit conservation violated on {}-{dir:?}->{next} vc {vc}: \
+                             {credits} credits + {occupancy} buffered > depth {}",
+                            NodeId(node),
+                            self.config.buffer_depth
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Advances the network one cycle: injection, RC/VA, SA/ST, link
@@ -190,10 +238,13 @@ impl Network {
                 if dep.out == Direction::Local {
                     self.eject(NodeId(i), dep.flit);
                 } else {
-                    let next = self
-                        .mesh
-                        .neighbor(NodeId(i), dep.out)
-                        .expect("routing never exits the mesh");
+                    let Some(next) = self.mesh.neighbor(NodeId(i), dep.out) else {
+                        // All supported routing functions are minimal and
+                        // stay inside the mesh; dropping the flit here
+                        // beats corrupting a neighbour that doesn't exist.
+                        debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
+                        continue;
+                    };
                     let mut flit = dep.flit;
                     flit.ready_at = self.now + self.config.pipeline_stages;
                     self.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
@@ -201,6 +252,10 @@ impl Network {
                     self.stats.buffer_writes += 1;
                 }
             }
+        }
+        #[cfg(feature = "validate")]
+        if let Err(msg) = self.check_invariants() {
+            panic!("validate: cycle {}: {msg}", self.now);
         }
     }
 
@@ -215,11 +270,16 @@ impl Network {
                     if let Some(&id) = self.inject_q[node][vc].front() {
                         let total = self.store.get(id).size_flits();
                         self.inject_q[node][vc].pop_front();
-                        self.inject_progress[node][vc] =
-                            Some(InjectProgress { packet: id, sent: 0, total });
+                        self.inject_progress[node][vc] = Some(InjectProgress {
+                            packet: id,
+                            sent: 0,
+                            total,
+                        });
                     }
                 }
-                let Some(mut prog) = self.inject_progress[node][vc] else { continue };
+                let Some(mut prog) = self.inject_progress[node][vc] else {
+                    continue;
+                };
                 let local = Direction::Local.index();
                 if self.routers[node].free_slots(local, vc) == 0 {
                     continue;
@@ -228,8 +288,7 @@ impl Network {
                 self.routers[node].accept(local, vc, flits[prog.sent]);
                 self.stats.buffer_writes += 1;
                 prog.sent += 1;
-                self.inject_progress[node][vc] =
-                    (prog.sent < prog.total).then_some(prog);
+                self.inject_progress[node][vc] = (prog.sent < prog.total).then_some(prog);
                 self.inject_rr[node] = (vc + 1) % vcs;
                 break; // one flit per node per cycle
             }
@@ -289,7 +348,8 @@ impl Network {
                 }
             }
         }
-        let delta = self.routers[node.0].reshape_packet(port, vc, packet, new_len, finalize, self.now);
+        let delta =
+            self.routers[node.0].reshape_packet(port, vc, packet, new_len, finalize, self.now);
         if delta < 0 && port != Direction::Local.index() {
             let from_dir = Direction::ALL[port];
             if let Some(up) = self.mesh.neighbor(node, from_dir) {
@@ -320,7 +380,10 @@ impl Network {
         }
         // Pressure is the best case over the class group's downstream VCs
         // (the packet may win any of them).
-        let class = r.vc(port, vc).front_packet().map(|p| self.store.get(p).class)?;
+        let class = r
+            .vc(port, vc)
+            .front_packet()
+            .map(|p| self.store.get(p).class)?;
         class
             .vc_range(self.config.vcs)
             .map(|v| r.credit_in(dir, v))
@@ -351,7 +414,14 @@ mod tests {
     #[test]
     fn single_flit_packet_crosses_mesh() {
         let mut n = net(4, 4);
-        n.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 9);
+        n.send(
+            NodeId(0),
+            NodeId(15),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            9,
+        );
         let got = run_until_delivered(&mut n, NodeId(15), 200);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].tag, 9);
@@ -363,12 +433,26 @@ mod tests {
     fn zero_load_latency_scales_with_hops() {
         // One hop vs six hops: latency difference ≈ 5 * per-hop cost.
         let mut a = net(4, 4);
-        a.send(NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0);
+        a.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+        );
         run_until_delivered(&mut a, NodeId(1), 100);
         let lat1 = a.stats().avg_packet_latency();
 
         let mut b = net(4, 4);
-        b.send(NodeId(0), NodeId(15), PacketClass::Request, Payload::None, false, 0);
+        b.send(
+            NodeId(0),
+            NodeId(15),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+        );
         run_until_delivered(&mut b, NodeId(15), 100);
         let lat6 = b.stats().avg_packet_latency();
         let per_hop = (lat6 - lat1) / 5.0;
@@ -382,7 +466,14 @@ mod tests {
     fn response_packet_carries_eight_flits() {
         let mut n = net(2, 2);
         let line = CacheLine::from_u64_words([42; 8]);
-        n.send(NodeId(0), NodeId(3), PacketClass::Response, Payload::Raw(line), true, 0);
+        n.send(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+        );
         let got = run_until_delivered(&mut n, NodeId(3), 200);
         assert_eq!(got[0].size_flits(), 8);
         assert_eq!(n.stats().link_flits, 8 * 2); // 2 hops
@@ -428,6 +519,41 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_under_load() {
+        let mut n = net(4, 4);
+        let line = CacheLine::from_u64_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        for i in 0..16usize {
+            n.send(
+                NodeId(i),
+                NodeId((i + 7) % 16),
+                PacketClass::Response,
+                Payload::Raw(line),
+                true,
+                i as u64,
+            );
+            n.send(
+                NodeId(i),
+                NodeId((i + 3) % 16),
+                PacketClass::Request,
+                Payload::None,
+                false,
+                0,
+            );
+        }
+        for _ in 0..2_000 {
+            n.tick();
+            n.check_invariants().expect("invariants hold every cycle");
+            for j in 0..16 {
+                let _ = n.take_delivered(NodeId(j));
+            }
+            if n.is_idle() {
+                break;
+            }
+        }
+        assert!(n.is_idle(), "network must drain");
+    }
+
+    #[test]
     fn heavy_response_traffic_drains() {
         let mut n = net(4, 4);
         let line = CacheLine::from_u64_words([7, 8, 9, 10, 11, 12, 13, 14]);
@@ -468,7 +594,14 @@ mod tests {
         };
         let mut n = Network::new(Mesh::new(3, 3), config);
         let line = CacheLine::zeroed();
-        n.send(NodeId(0), NodeId(8), PacketClass::Response, Payload::Raw(line), true, 0);
+        n.send(
+            NodeId(0),
+            NodeId(8),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+        );
         let got = run_until_delivered(&mut n, NodeId(8), 500);
         assert_eq!(got.len(), 1);
     }
@@ -493,7 +626,14 @@ mod tests {
         };
         let mut n = Network::new(Mesh::new(3, 3), config);
         let line = CacheLine::from_u64_words([1, 2, 3, 4, 5, 6, 7, 8]);
-        n.send(NodeId(0), NodeId(8), PacketClass::Response, Payload::Raw(line), true, 0);
+        n.send(
+            NodeId(0),
+            NodeId(8),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+        );
         let got = run_until_delivered(&mut n, NodeId(8), 1000);
         assert_eq!(got.len(), 1);
         match &got[0].payload {
@@ -509,7 +649,14 @@ mod tests {
         let line = CacheLine::from_u64_words([100, 101, 102, 103, 104, 105, 106, 107]);
         let enc = codec.compress(&line);
         let mut n = net(2, 2);
-        n.send(NodeId(0), NodeId(3), PacketClass::Response, Payload::Compressed(enc.clone()), true, 0);
+        n.send(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Response,
+            Payload::Compressed(enc.clone()),
+            true,
+            0,
+        );
         let got = run_until_delivered(&mut n, NodeId(3), 200);
         assert_eq!(got[0].size_flits(), enc.size_bytes().div_ceil(8));
         assert!(got[0].size_flits() < 8);
@@ -537,7 +684,9 @@ mod tests {
         }
         // Simulate node 0 having spent 8 credits sending them.
         for _ in 0..8 {
-            assert!(n.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 1));
+            assert!(n
+                .router_mut(NodeId(0))
+                .try_take_credits(Direction::East, 1, 1));
         }
         assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 0);
         assert!(n.reshape_resident(NodeId(1), west, 1, id, 2, true));
@@ -563,7 +712,9 @@ mod tests {
         }
         // Upstream thinks 6 slots are free (8 - 2 in transit history is not
         // modelled here; fresh router has full credits). Take all credits.
-        assert!(n.router_mut(NodeId(0)).try_take_credits(Direction::East, 1, 8));
+        assert!(n
+            .router_mut(NodeId(0))
+            .try_take_credits(Direction::East, 1, 8));
         assert!(
             !n.reshape_resident(NodeId(1), west, 1, id, 8, true),
             "growth without upstream credit window must fail"

@@ -211,7 +211,17 @@ impl PacketStore {
         self.next += 1;
         self.packets.insert(
             id.0,
-            Packet { id, src, dst, class, payload, compressible, critical: false, injected_at, tag },
+            Packet {
+                id,
+                src,
+                dst,
+                class,
+                payload,
+                compressible,
+                critical: false,
+                injected_at,
+                tag,
+            },
         );
         id
     }
@@ -223,7 +233,15 @@ impl PacketStore {
     /// Panics if the packet does not exist (a simulator invariant
     /// violation, not a user error).
     pub fn get(&self, id: PacketId) -> &Packet {
-        self.packets.get(&id.0).expect("packet exists")
+        match self.packets.get(&id.0) {
+            Some(p) => p,
+            None => panic!("{id} is not in the store"),
+        }
+    }
+
+    /// Looks up a packet that may already have left the store.
+    pub fn try_get(&self, id: PacketId) -> Option<&Packet> {
+        self.packets.get(&id.0)
     }
 
     /// Mutable lookup.
@@ -232,7 +250,10 @@ impl PacketStore {
     ///
     /// Panics if the packet does not exist.
     pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
-        self.packets.get_mut(&id.0).expect("packet exists")
+        match self.packets.get_mut(&id.0) {
+            Some(p) => p,
+            None => panic!("{id} is not in the store"),
+        }
     }
 
     /// Removes a delivered packet and returns it.
@@ -241,7 +262,10 @@ impl PacketStore {
     ///
     /// Panics if the packet does not exist.
     pub fn remove(&mut self, id: PacketId) -> Packet {
-        self.packets.remove(&id.0).expect("packet exists")
+        match self.packets.remove(&id.0) {
+            Some(p) => p,
+            None => panic!("{id} is not in the store"),
+        }
     }
 
     /// Number of packets currently tracked.

@@ -39,7 +39,11 @@ pub struct Vc {
 
 impl Vc {
     fn new() -> Self {
-        Vc { buffer: VecDeque::new(), state: VcState::Idle, locked: false }
+        Vc {
+            buffer: VecDeque::new(),
+            state: VcState::Idle,
+            locked: false,
+        }
     }
 
     /// Packet at the front of the buffer, if any.
@@ -69,7 +73,9 @@ impl Vc {
 
     /// True if the tail flit of `packet` is buffered here.
     pub fn has_tail_of(&self, packet: PacketId) -> bool {
-        self.buffer.iter().any(|f| f.packet == packet && f.kind.is_tail())
+        self.buffer
+            .iter()
+            .any(|f| f.packet == packet && f.kind.is_tail())
     }
 
     /// True if the front flit is the head of its packet (the packet has
@@ -132,7 +138,15 @@ impl Router {
         // inter-router outputs start with the full downstream buffer.
         let mut credits = vec![vec![config.buffer_depth; config.vcs]; PORTS];
         credits[Direction::Local.index()] = vec![usize::MAX / 2; config.vcs];
-        Router { node, config, inputs, out_alloc, credits, rr_sa: [0; PORTS], sa_losers: Vec::new() }
+        Router {
+            node,
+            config,
+            inputs,
+            out_alloc,
+            credits,
+            rr_sa: [0; PORTS],
+            sa_losers: Vec::new(),
+        }
     }
 
     /// The node this router serves.
@@ -296,21 +310,20 @@ impl Router {
                     candidates.push((port, v, out_vc, prio));
                 }
             }
-            if candidates.is_empty() {
-                continue;
-            }
-            // Winner: highest priority class, round-robin within it.
-            let best_prio = candidates.iter().map(|c| c.3).min().expect("non-empty");
+            // Winner: highest priority class, round-robin within it. The
+            // lexicographic key picks the best-priority candidate closest
+            // after the round-robin pointer.
             let rr = self.rr_sa[oi];
-            let winner = candidates
+            let Some(winner) = candidates
                 .iter()
-                .filter(|c| c.3 == best_prio)
                 .min_by_key(|c| {
                     let flat = c.0 * vcs + c.1;
-                    (flat + PORTS * vcs - rr) % (PORTS * vcs)
+                    (c.3, (flat + PORTS * vcs - rr) % (PORTS * vcs))
                 })
                 .copied()
-                .expect("non-empty");
+            else {
+                continue;
+            };
             self.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
             // Everyone else idles: these are DISCO's compression candidates.
             for c in &candidates {
@@ -319,7 +332,12 @@ impl Router {
                 }
             }
             let (port, v, out_vc, _) = winner;
-            let flit = self.inputs[port][v].buffer.pop_front().expect("candidate has front");
+            let Some(flit) = self.inputs[port][v].buffer.pop_front() else {
+                // A candidate was admitted above only with a ready front
+                // flit; an empty buffer here is unreachable.
+                debug_assert!(false, "SA winner lost its front flit");
+                continue;
+            };
             if out != Direction::Local {
                 self.credits[oi][out_vc] -= 1;
             }
@@ -327,7 +345,13 @@ impl Router {
                 self.out_alloc[oi][out_vc] = None;
                 self.inputs[port][v].state = VcState::Idle;
             }
-            departures.push(Departure { flit, in_port: port, in_vc: v, out, out_vc });
+            departures.push(Departure {
+                flit,
+                in_port: port,
+                in_vc: v,
+                out,
+                out_vc,
+            });
         }
         // VA losers also idle and are therefore compression candidates
         // (§3.2 step 1 collects losers of both VC and switch allocation).
@@ -413,11 +437,10 @@ impl Router {
     ) -> isize {
         let depth = self.config.buffer_depth;
         let vc_ref = &mut self.inputs[port][vc];
-        let start = vc_ref
-            .buffer
-            .iter()
-            .position(|f| f.packet == packet)
-            .expect("reshape requires a resident packet");
+        let start = match vc_ref.buffer.iter().position(|f| f.packet == packet) {
+            Some(s) => s,
+            None => panic!("reshape requires {packet} resident at port {port} vc {vc}"),
+        };
         let seg_len = vc_ref
             .buffer
             .iter()
@@ -431,7 +454,12 @@ impl Router {
         );
         let old_total = vc_ref.buffer.len();
         let before: Vec<Flit> = vc_ref.buffer.iter().take(start).copied().collect();
-        let after: Vec<Flit> = vc_ref.buffer.iter().skip(start + seg_len).copied().collect();
+        let after: Vec<Flit> = vc_ref
+            .buffer
+            .iter()
+            .skip(start + seg_len)
+            .copied()
+            .collect();
         assert!(
             new_len >= 1 && new_len + before.len() + after.len() <= depth,
             "reshape size out of range"
@@ -445,7 +473,11 @@ impl Router {
                 (i, n, true) if i == n - 1 => crate::packet::FlitKind::Tail,
                 _ => crate::packet::FlitKind::Body,
             };
-            vc_ref.buffer.push_back(Flit { packet, kind, ready_at: now });
+            vc_ref.buffer.push_back(Flit {
+                packet,
+                kind,
+                ready_at: now,
+            });
         }
         vc_ref.buffer.extend(after);
         vc_ref.buffer.len() as isize - old_total as isize
@@ -454,6 +486,71 @@ impl Router {
     /// Total flits buffered across all input VCs (for drain checks).
     pub(crate) fn total_buffered(&self) -> usize {
         self.inputs.iter().flatten().map(|v| v.buffer.len()).sum()
+    }
+
+    /// Checks this router's internal legality: buffer bounds, DISCO lock
+    /// state, credit bounds, and the input-state/output-allocation
+    /// bijection. Always compiled; [`crate::Network::tick`] calls it every
+    /// cycle when the `validate` feature is enabled, so the static CDG
+    /// pass (`disco-verify`) and the simulator cross-check each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let depth = self.config.buffer_depth;
+        for port in 0..PORTS {
+            for v in 0..self.config.vcs {
+                let vc = &self.inputs[port][v];
+                if vc.buffer.len() > depth {
+                    return Err(format!(
+                        "{} port {port} vc {v}: occupancy {} exceeds buffer depth {depth}",
+                        self.node,
+                        vc.buffer.len()
+                    ));
+                }
+                if vc.locked && vc.front_packet().is_none() {
+                    return Err(format!(
+                        "{} port {port} vc {v}: locked without a resident packet",
+                        self.node
+                    ));
+                }
+                if let VcState::Active { out, out_vc } = vc.state {
+                    if self.out_alloc[out.index()][out_vc] != Some((port, v)) {
+                        return Err(format!(
+                            "{} port {port} vc {v}: active on {out:?}/{out_vc}, but that \
+                             output is allocated to {:?}",
+                            self.node,
+                            self.out_alloc[out.index()][out_vc]
+                        ));
+                    }
+                }
+            }
+        }
+        for out in Direction::ALL {
+            let oi = out.index();
+            for ov in 0..self.config.vcs {
+                if let Some((port, v)) = self.out_alloc[oi][ov] {
+                    match self.inputs[port][v].state {
+                        VcState::Active { out: o, out_vc } if o == out && out_vc == ov => {}
+                        other => {
+                            return Err(format!(
+                                "{} output {out:?}/{ov}: allocated to port {port} vc {v}, \
+                                 whose state is {other:?}",
+                                self.node
+                            ));
+                        }
+                    }
+                }
+                if out != Direction::Local && self.credits[oi][ov] > depth {
+                    return Err(format!(
+                        "{} output {out:?}/{ov}: {} credits exceed buffer depth {depth}",
+                        self.node, self.credits[oi][ov]
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -473,13 +570,20 @@ mod tests {
         let config = NocConfig::default();
         let mut r = Router::new(NodeId(0), config);
         let (store, id) = store_with_packet(NodeId(3), PacketClass::Request);
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(id, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         let vc = r.vc(Direction::Local.index(), 0);
         assert_eq!(vc.routed_dir(), Some(Direction::East));
         assert!(matches!(
             r.inputs[Direction::Local.index()][0].state,
-            VcState::Active { out: Direction::East, out_vc: 0 }
+            VcState::Active {
+                out: Direction::East,
+                out_vc: 0
+            }
         ));
     }
 
@@ -488,14 +592,21 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let mut r = Router::new(NodeId(0), NocConfig::default());
         let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(id, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         let deps = r.sa(0, &store);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out, Direction::East);
         // Tail departed: VC released.
         assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
-        assert_eq!(r.credit_in(Direction::East, 0), NocConfig::default().buffer_depth - 1);
+        assert_eq!(
+            r.credit_in(Direction::East, 0),
+            NocConfig::default().buffer_depth - 1
+        );
     }
 
     #[test]
@@ -504,10 +615,34 @@ mod tests {
         let mut r = Router::new(NodeId(0), NocConfig::default());
         let mut store = PacketStore::new();
         // Two packets from different ports contending for East.
-        let a = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 0);
-        let b = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 1);
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(a, 1, 0)[0]);
-        r.accept(Direction::North.index(), 0, crate::packet::flits_for(b, 1, 0)[0]);
+        let a = store.create(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            0,
+        );
+        let b = store.create(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            1,
+        );
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(a, 1, 0)[0],
+        );
+        r.accept(
+            Direction::North.index(),
+            0,
+            crate::packet::flits_for(b, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         // Only one can own the East VC; the other stays Routed (VA loser).
         let deps = r.sa(0, &store);
@@ -524,11 +659,35 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let mut r = Router::new(NodeId(0), NocConfig::default());
         let mut store = PacketStore::new();
-        let coh = store.create(NodeId(0), NodeId(3), PacketClass::Coherence, Payload::None, false, 0, 0);
-        let req = store.create(NodeId(0), NodeId(3), PacketClass::Request, Payload::None, false, 0, 1);
+        let coh = store.create(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Coherence,
+            Payload::None,
+            false,
+            0,
+            0,
+        );
+        let req = store.create(
+            NodeId(0),
+            NodeId(3),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            1,
+        );
         // Same class VC (0) in different ports, both to East.
-        r.accept(Direction::North.index(), 0, crate::packet::flits_for(coh, 1, 0)[0]);
-        r.accept(Direction::South.index(), 0, crate::packet::flits_for(req, 1, 0)[0]);
+        r.accept(
+            Direction::North.index(),
+            0,
+            crate::packet::flits_for(coh, 1, 0)[0],
+        );
+        r.accept(
+            Direction::South.index(),
+            0,
+            crate::packet::flits_for(req, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         // Whichever got the out VC in VA wins; force the contest at SA by
         // checking that when both are active... only one can be Active on
@@ -537,7 +696,11 @@ mod tests {
         let first = r.sa(0, &store);
         r.rc_va(1, &store, &mesh);
         let second = r.sa(1, &store);
-        let order: Vec<PacketId> = first.iter().chain(second.iter()).map(|d| d.flit.packet).collect();
+        let order: Vec<PacketId> = first
+            .iter()
+            .chain(second.iter())
+            .map(|d| d.flit.packet)
+            .collect();
         assert_eq!(order.len(), 2);
     }
 
@@ -546,7 +709,11 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         let mut r = Router::new(NodeId(0), NocConfig::default());
         let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(id, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         r.set_locked(Direction::Local.index(), 0, true);
         assert!(r.sa(0, &store).is_empty());
@@ -557,15 +724,42 @@ mod tests {
     #[test]
     fn credits_gate_departure() {
         let mesh = Mesh::new(4, 4);
-        let config = NocConfig { buffer_depth: 1, ..NocConfig::default() };
+        let config = NocConfig {
+            buffer_depth: 1,
+            ..NocConfig::default()
+        };
         let mut r = Router::new(NodeId(0), config);
         let mut store = PacketStore::new();
-        let a = store.create(NodeId(0), NodeId(2), PacketClass::Request, Payload::None, false, 0, 0);
-        let b = store.create(NodeId(0), NodeId(2), PacketClass::Request, Payload::None, false, 0, 1);
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(a, 1, 0)[0]);
+        let a = store.create(
+            NodeId(0),
+            NodeId(2),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            0,
+        );
+        let b = store.create(
+            NodeId(0),
+            NodeId(2),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            1,
+        );
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(a, 1, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         assert_eq!(r.sa(0, &store).len(), 1); // consumes the only credit
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(b, 1, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(b, 1, 0)[0],
+        );
         r.rc_va(1, &store, &mesh);
         assert!(r.sa(1, &store).is_empty(), "no credit left");
         assert_eq!(r.sa_losers(), &[(Direction::Local.index(), 0)]);
@@ -606,21 +800,42 @@ mod tests {
         // output must take the two VCs of the response group (2 and 3),
         // never the control group.
         let mesh = Mesh::new(3, 1);
-        let config = NocConfig { vcs: 4, ..NocConfig::default() };
+        let config = NocConfig {
+            vcs: 4,
+            ..NocConfig::default()
+        };
         let mut r = Router::new(NodeId(0), config);
         let mut store = PacketStore::new();
         let line = disco_compress::CacheLine::zeroed();
         let a = store.create(
-            NodeId(0), NodeId(2), PacketClass::Response,
-            Payload::Raw(line), true, 0, 0,
+            NodeId(0),
+            NodeId(2),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+            0,
         );
         let b = store.create(
-            NodeId(0), NodeId(2), PacketClass::Response,
-            Payload::Raw(line), true, 0, 1,
+            NodeId(0),
+            NodeId(2),
+            PacketClass::Response,
+            Payload::Raw(line),
+            true,
+            0,
+            1,
         );
         // Two different input VCs of the response group hold the heads.
-        r.accept(Direction::Local.index(), 2, crate::packet::flits_for(a, 8, 0)[0]);
-        r.accept(Direction::North.index(), 3, crate::packet::flits_for(b, 8, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            2,
+            crate::packet::flits_for(a, 8, 0)[0],
+        );
+        r.accept(
+            Direction::North.index(),
+            3,
+            crate::packet::flits_for(b, 8, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         let states: Vec<_> = [(Direction::Local.index(), 2), (Direction::North.index(), 3)]
             .into_iter()
@@ -644,18 +859,40 @@ mod tests {
     #[test]
     fn control_and_data_never_share_an_output_vc() {
         let mesh = Mesh::new(2, 1);
-        let config = NocConfig { vcs: 4, ..NocConfig::default() };
+        let config = NocConfig {
+            vcs: 4,
+            ..NocConfig::default()
+        };
         let mut r = Router::new(NodeId(0), config);
         let mut store = PacketStore::new();
         let req = store.create(
-            NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0, 0,
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            0,
         );
         let resp = store.create(
-            NodeId(0), NodeId(1), PacketClass::Response,
-            Payload::Raw(disco_compress::CacheLine::zeroed()), true, 0, 1,
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Response,
+            Payload::Raw(disco_compress::CacheLine::zeroed()),
+            true,
+            0,
+            1,
         );
-        r.accept(Direction::Local.index(), 0, crate::packet::flits_for(req, 1, 0)[0]);
-        r.accept(Direction::Local.index(), 2, crate::packet::flits_for(resp, 8, 0)[0]);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(req, 1, 0)[0],
+        );
+        r.accept(
+            Direction::Local.index(),
+            2,
+            crate::packet::flits_for(resp, 8, 0)[0],
+        );
         r.rc_va(0, &store, &mesh);
         match r.inputs[Direction::Local.index()][0].state {
             VcState::Active { out_vc, .. } => assert!(out_vc < 2),
@@ -670,10 +907,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "flow control violated")]
     fn overflow_panics() {
-        let config = NocConfig { buffer_depth: 2, ..NocConfig::default() };
+        let config = NocConfig {
+            buffer_depth: 2,
+            ..NocConfig::default()
+        };
         let mut r = Router::new(NodeId(0), config);
         let mut store = PacketStore::new();
-        let id = store.create(NodeId(0), NodeId(1), PacketClass::Request, Payload::None, false, 0, 0);
+        let id = store.create(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            0,
+            0,
+        );
         for _ in 0..3 {
             r.accept(0, 0, crate::packet::flits_for(id, 1, 0)[0]);
         }

@@ -112,25 +112,84 @@ pub fn west_first_route(
 ) -> Direction {
     let (hc, hr) = mesh.coords(here);
     let (dc, dr) = mesh.coords(dst);
-    if hc == dc && hr == dr {
-        return Direction::Local;
-    }
     if dc < hc {
         return Direction::West;
     }
-    let mut candidates = Vec::with_capacity(2);
-    if dc > hc {
-        candidates.push(Direction::East);
-    }
-    if dr > hr {
-        candidates.push(Direction::South);
+    let vertical = if dr > hr {
+        Some(Direction::South)
     } else if dr < hr {
-        candidates.push(Direction::North);
+        Some(Direction::North)
+    } else {
+        None
+    };
+    match (dc > hc, vertical) {
+        // Both dimensions remain: adaptively prefer the better-credited
+        // hop (ties go vertical, matching the historical arbitration).
+        (true, Some(v)) if credits(v) >= credits(Direction::East) => v,
+        (true, _) => Direction::East,
+        (false, Some(v)) => v,
+        (false, None) => Direction::Local,
     }
-    candidates
-        .into_iter()
-        .max_by_key(|&d| credits(d))
-        .expect("not at destination, so a minimal direction exists")
+}
+
+/// Every output direction `algorithm` may select from `here` toward
+/// `dst`, over all packet salts and credit states.
+///
+/// This is the routing *relation* rather than one sampled decision, and
+/// it is what static deadlock analysis needs: the channel dependency
+/// graph must contain an edge for every direction the router could
+/// legally pick at run time (O1TURN contributes both dimension orders,
+/// west-first every minimal adaptive candidate).
+///
+/// ```
+/// use disco_noc::routing::{route_choices, RoutingAlgorithm};
+/// use disco_noc::topology::{Direction, Mesh, NodeId};
+///
+/// let mesh = Mesh::new(4, 4);
+/// let xy = route_choices(RoutingAlgorithm::Xy, &mesh, NodeId(0), NodeId(15));
+/// assert_eq!(xy, vec![Direction::East]);
+/// let o1 = route_choices(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15));
+/// assert_eq!(o1, vec![Direction::East, Direction::South]);
+/// ```
+pub fn route_choices(
+    algorithm: RoutingAlgorithm,
+    mesh: &Mesh,
+    here: NodeId,
+    dst: NodeId,
+) -> Vec<Direction> {
+    match algorithm {
+        RoutingAlgorithm::Xy => vec![xy_route(mesh, here, dst)],
+        RoutingAlgorithm::Yx => vec![yx_route(mesh, here, dst)],
+        RoutingAlgorithm::O1Turn => {
+            let a = xy_route(mesh, here, dst);
+            let b = yx_route(mesh, here, dst);
+            if a == b {
+                vec![a]
+            } else {
+                vec![a, b]
+            }
+        }
+        RoutingAlgorithm::WestFirst => {
+            let (hc, hr) = mesh.coords(here);
+            let (dc, dr) = mesh.coords(dst);
+            if hc == dc && hr == dr {
+                return vec![Direction::Local];
+            }
+            if dc < hc {
+                return vec![Direction::West];
+            }
+            let mut candidates = Vec::with_capacity(2);
+            if dc > hc {
+                candidates.push(Direction::East);
+            }
+            if dr > hr {
+                candidates.push(Direction::South);
+            } else if dr < hr {
+                candidates.push(Direction::North);
+            }
+            candidates
+        }
+    }
 }
 
 /// Remaining hop count from `here` to `dst` — the `RC_Hop` term of the
@@ -265,11 +324,19 @@ mod tests {
         // From 0 to 15: East and South both minimal; pick the one with
         // more credits.
         let east_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
-            if d == Direction::East { 8 } else { 1 }
+            if d == Direction::East {
+                8
+            } else {
+                1
+            }
         });
         assert_eq!(east_full, Direction::East);
         let south_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
-            if d == Direction::South { 8 } else { 1 }
+            if d == Direction::South {
+                8
+            } else {
+                1
+            }
         });
         assert_eq!(south_full, Direction::South);
     }
@@ -277,8 +344,22 @@ mod tests {
     #[test]
     fn o1turn_splits_by_salt() {
         let mesh = Mesh::new(4, 4);
-        let even = route(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15), 0, |_| 1);
-        let odd = route(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15), 1, |_| 1);
+        let even = route(
+            RoutingAlgorithm::O1Turn,
+            &mesh,
+            NodeId(0),
+            NodeId(15),
+            0,
+            |_| 1,
+        );
+        let odd = route(
+            RoutingAlgorithm::O1Turn,
+            &mesh,
+            NodeId(0),
+            NodeId(15),
+            1,
+            |_| 1,
+        );
         assert_eq!(even, Direction::East);
         assert_eq!(odd, Direction::South);
     }

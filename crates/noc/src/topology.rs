@@ -138,7 +138,10 @@ impl Mesh {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node_at(&self, col: usize, row: usize) -> NodeId {
-        assert!(col < self.cols && row < self.rows, "coordinates outside mesh");
+        assert!(
+            col < self.cols && row < self.rows,
+            "coordinates outside mesh"
+        );
         NodeId(row * self.cols + col)
     }
 
@@ -192,7 +195,12 @@ mod tests {
     fn neighbor_symmetry() {
         let mesh = Mesh::new(4, 4);
         for n in 0..mesh.nodes() {
-            for dir in [Direction::North, Direction::South, Direction::East, Direction::West] {
+            for dir in [
+                Direction::North,
+                Direction::South,
+                Direction::East,
+                Direction::West,
+            ] {
                 if let Some(m) = mesh.neighbor(NodeId(n), dir) {
                     assert_eq!(mesh.neighbor(m, dir.opposite()), Some(NodeId(n)));
                 }

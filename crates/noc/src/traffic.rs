@@ -73,12 +73,23 @@ impl TrafficDriver {
     /// # Panics
     ///
     /// Panics unless `0.0 < injection_rate <= 8.0`.
-    pub fn new(pattern: TrafficPattern, injection_rate: f64, data_packets: bool, seed: u64) -> Self {
+    pub fn new(
+        pattern: TrafficPattern,
+        injection_rate: f64,
+        data_packets: bool,
+        seed: u64,
+    ) -> Self {
         assert!(
             injection_rate > 0.0 && injection_rate <= 8.0,
             "offered load must be in (0, 8] flits/node/cycle"
         );
-        TrafficDriver { pattern, injection_rate, data_packets, rng: seed | 1, sent: 0 }
+        TrafficDriver {
+            pattern,
+            injection_rate,
+            data_packets,
+            rng: seed | 1,
+            sent: 0,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -108,11 +119,21 @@ impl TrafficDriver {
                 continue;
             };
             let (class, payload) = if self.data_packets {
-                (PacketClass::Response, Payload::Raw(CacheLine::from_u64_words([draw; 8])))
+                (
+                    PacketClass::Response,
+                    Payload::Raw(CacheLine::from_u64_words([draw; 8])),
+                )
             } else {
                 (PacketClass::Request, Payload::None)
             };
-            net.send(NodeId(src), dst, class, payload, self.data_packets, self.sent);
+            net.send(
+                NodeId(src),
+                dst,
+                class,
+                payload,
+                self.data_packets,
+                self.sent,
+            );
             self.sent += 1;
         }
     }
@@ -149,7 +170,9 @@ mod tests {
         let mesh = Mesh::new(4, 4);
         for src in 0..16 {
             if let Some(dst) = TrafficPattern::Transpose.dest(&mesh, NodeId(src), 0) {
-                let back = TrafficPattern::Transpose.dest(&mesh, dst, 0).expect("off-diagonal");
+                let back = TrafficPattern::Transpose
+                    .dest(&mesh, dst, 0)
+                    .expect("off-diagonal");
                 assert_eq!(back, NodeId(src));
             }
         }
@@ -170,8 +193,7 @@ mod tests {
     fn driver_injects_near_offered_load() {
         let mesh = Mesh::new(4, 4);
         let mut net = Network::new(mesh, NocConfig::default());
-        let mut driver =
-            TrafficDriver::new(TrafficPattern::UniformRandom, 0.1, false, 42);
+        let mut driver = TrafficDriver::new(TrafficPattern::UniformRandom, 0.1, false, 42);
         let cycles = 4_000;
         for _ in 0..cycles {
             driver.inject(&mut net);

@@ -2,9 +2,7 @@
 //! delivery under randomized traffic, across all flow controls.
 
 use disco_compress::CacheLine;
-use disco_noc::{
-    FlowControl, Mesh, Network, NocConfig, NodeId, PacketClass, Payload,
-};
+use disco_noc::{FlowControl, Mesh, Network, NocConfig, NodeId, PacketClass, Payload};
 use proptest::prelude::*;
 
 fn drain(net: &mut Network, expect: usize, limit: u64) -> Vec<u64> {
@@ -15,16 +13,28 @@ fn drain(net: &mut Network, expect: usize, limit: u64) -> Vec<u64> {
         for n in 0..nodes {
             got.extend(net.take_delivered(NodeId(n)).into_iter().map(|p| p.tag));
         }
-        assert!(net.now() < limit, "deadline: {}/{} delivered", got.len(), expect);
+        assert!(
+            net.now() < limit,
+            "deadline: {}/{} delivered",
+            got.len(),
+            expect
+        );
     }
     got
 }
 
 #[test]
 fn every_flow_control_delivers_everything() {
-    for fc in [FlowControl::Wormhole, FlowControl::VirtualCutThrough, FlowControl::StoreAndForward]
-    {
-        let config = NocConfig { flow_control: fc, buffer_depth: 8, ..NocConfig::default() };
+    for fc in [
+        FlowControl::Wormhole,
+        FlowControl::VirtualCutThrough,
+        FlowControl::StoreAndForward,
+    ] {
+        let config = NocConfig {
+            flow_control: fc,
+            buffer_depth: 8,
+            ..NocConfig::default()
+        };
         let mut net = Network::new(Mesh::new(3, 3), config);
         let mut sent = 0;
         for src in 0..9usize {
@@ -57,7 +67,14 @@ fn payload_survives_transit_byte_exact() {
         *b = (i as u8).wrapping_mul(37).wrapping_add(5);
     }
     let line = CacheLine::from_bytes(bytes);
-    net.send(NodeId(3), NodeId(12), PacketClass::Response, Payload::Raw(line), true, 0);
+    net.send(
+        NodeId(3),
+        NodeId(12),
+        PacketClass::Response,
+        Payload::Raw(line),
+        true,
+        0,
+    );
     loop {
         net.tick();
         let got = net.take_delivered(NodeId(12));

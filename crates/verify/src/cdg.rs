@@ -1,0 +1,448 @@
+//! Channel-dependency-graph (CDG) deadlock analysis after Dally & Seitz.
+//!
+//! A wormhole network is deadlock-free if the dependency graph over its
+//! (link, virtual channel) resources is acyclic. This module enumerates
+//! every such channel of a [`Mesh`], adds one dependency edge for every
+//! pair of consecutive hops the routing *relation* can produce (adaptive
+//! and oblivious algorithms contribute every direction they may legally
+//! pick), and searches for a cycle. The analysis is conservative: it
+//! over-approximates adaptive algorithms by allowing a packet to re-choose
+//! its dimension order at every hop, so an acyclic verdict is always
+//! sound while a cycle on a purely adaptive relation may be escapable.
+//!
+//! DISCO's engine adds one non-routing dependency class: locking a VC for
+//! blocking de/compression while the resident packet is still *partial*
+//! makes the locked channel wait on its upstream channel for the
+//! remaining flits, closing a two-cycle against the upstream channel's
+//! credit wait. [`CdgOptions::lock_partial_packets`] models that rule and
+//! shows why the engine only locks whole-resident packets.
+
+use disco_noc::packet::PacketClass;
+use disco_noc::routing::{route_choices, RoutingAlgorithm};
+use disco_noc::topology::{Direction, Mesh, NodeId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::ops::Range;
+
+/// One unidirectional (link, virtual channel) resource: the link leaving
+/// `from` toward `to` in direction `dir`, on virtual channel `vc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Upstream node of the link.
+    pub from: usize,
+    /// Downstream node of the link.
+    pub to: usize,
+    /// Port direction at `from`.
+    pub dir: Direction,
+    /// Virtual channel index.
+    pub vc: usize,
+}
+
+impl Channel {
+    fn key(&self) -> (usize, usize, usize) {
+        (self.from, self.dir.index(), self.vc)
+    }
+}
+
+impl PartialOrd for Channel {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Channel {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(node {} -{:?}-> node {}, vc {})",
+            self.from, self.dir, self.to, self.vc
+        )
+    }
+}
+
+/// What to analyze.
+#[derive(Debug, Clone, Copy)]
+pub struct CdgOptions {
+    /// Virtual channels per port (split into class groups exactly as the
+    /// router's VC allocator does).
+    pub vcs: usize,
+    /// The routing relation under test.
+    pub routing: RoutingAlgorithm,
+    /// Model an engine that locks VCs whose packet is only partially
+    /// resident (the deadlock the DISCO engine avoids by locking
+    /// whole-resident packets only).
+    pub lock_partial_packets: bool,
+}
+
+impl CdgOptions {
+    /// Options matching a [`disco_noc::NocConfig`]: its VC count and
+    /// routing algorithm, with the engine's legal locking rule.
+    pub fn from_config(config: &disco_noc::NocConfig) -> Self {
+        CdgOptions {
+            vcs: config.vcs,
+            routing: config.routing,
+            lock_partial_packets: false,
+        }
+    }
+}
+
+/// Outcome of one CDG analysis.
+#[derive(Debug, Clone)]
+pub struct CdgReport {
+    /// Distinct (link, VC) channels the routing relation can use.
+    pub channels: usize,
+    /// Dependency edges between them.
+    pub edges: usize,
+    /// A dependency cycle, if one exists: consecutive channels each wait
+    /// on the next, and the last waits on the first.
+    pub cycle: Option<Vec<Channel>>,
+}
+
+impl CdgReport {
+    /// True when no dependency cycle exists (deadlock freedom).
+    pub fn is_deadlock_free(&self) -> bool {
+        self.cycle.is_none()
+    }
+
+    /// Human-readable rendering of the cycle, if any, closing back on the
+    /// first channel.
+    pub fn cycle_trace(&self) -> Option<String> {
+        self.cycle.as_ref().map(|cycle| {
+            let mut parts: Vec<String> = cycle.iter().map(|c| format!("{c}")).collect();
+            if let Some(first) = cycle.first() {
+                parts.push(format!("{first}"));
+            }
+            parts.join(" -> ")
+        })
+    }
+}
+
+/// The distinct VC groups the router's class split produces: each group
+/// is its own virtual network, so dependencies never cross groups.
+pub fn class_vc_groups(vcs: usize) -> Vec<Range<usize>> {
+    let mut groups: Vec<Range<usize>> = [
+        PacketClass::Request,
+        PacketClass::Response,
+        PacketClass::Coherence,
+    ]
+    .into_iter()
+    .map(|c| c.vc_range(vcs))
+    .collect();
+    groups.sort_by_key(|r| (r.start, r.end));
+    groups.dedup();
+    groups
+}
+
+/// Analyzes a mesh under one of the stock routing algorithms.
+pub fn analyze_mesh(mesh: &Mesh, opts: &CdgOptions) -> CdgReport {
+    analyze_with_route_fn(
+        mesh,
+        &class_vc_groups(opts.vcs),
+        |here, dst| route_choices(opts.routing, mesh, here, dst),
+        opts.lock_partial_packets,
+    )
+}
+
+/// Analyzes a mesh under an arbitrary routing relation. `route_fn` must
+/// return every direction the router may pick at `here` for a packet
+/// bound to `dst`; tests inject deliberately cyclic relations here.
+pub fn analyze_with_route_fn<F>(
+    mesh: &Mesh,
+    vc_groups: &[Range<usize>],
+    route_fn: F,
+    lock_partial_packets: bool,
+) -> CdgReport
+where
+    F: Fn(NodeId, NodeId) -> Vec<Direction>,
+{
+    let mut channels: BTreeSet<Channel> = BTreeSet::new();
+    let mut edges: BTreeSet<(Channel, Channel)> = BTreeSet::new();
+    for group in vc_groups {
+        for src in 0..mesh.nodes() {
+            for dst in 0..mesh.nodes() {
+                if src == dst {
+                    continue;
+                }
+                walk_pair(
+                    mesh,
+                    group,
+                    &route_fn,
+                    NodeId(src),
+                    NodeId(dst),
+                    &mut channels,
+                    &mut edges,
+                );
+            }
+        }
+    }
+    if lock_partial_packets {
+        // A locked channel holding a partial packet waits on its upstream
+        // channel for the remaining flits, while the upstream channel
+        // waits on the locked one for credits: every routing dependency
+        // u -> c gains the reverse c -> u.
+        let reversed: Vec<_> = edges.iter().map(|&(a, b)| (b, a)).collect();
+        edges.extend(reversed);
+    }
+    let cycle = find_cycle(&channels, &edges);
+    CdgReport {
+        channels: channels.len(),
+        edges: edges.len(),
+        cycle,
+    }
+}
+
+/// Explores every path the routing relation allows from `src` to `dst`,
+/// recording the channels it may occupy and the consecutive-hop
+/// dependencies between them.
+fn walk_pair<F>(
+    mesh: &Mesh,
+    group: &Range<usize>,
+    route_fn: &F,
+    src: NodeId,
+    dst: NodeId,
+    channels: &mut BTreeSet<Channel>,
+    edges: &mut BTreeSet<(Channel, Channel)>,
+) where
+    F: Fn(NodeId, NodeId) -> Vec<Direction>,
+{
+    let mut visited = vec![false; mesh.nodes()];
+    let mut queue = VecDeque::from([src]);
+    visited[src.0] = true;
+    while let Some(here) = queue.pop_front() {
+        if here == dst {
+            continue;
+        }
+        for dir in route_fn(here, dst) {
+            if dir == Direction::Local {
+                continue;
+            }
+            let Some(next) = mesh.neighbor(here, dir) else {
+                continue;
+            };
+            for vc in group.clone() {
+                channels.insert(Channel {
+                    from: here.0,
+                    to: next.0,
+                    dir,
+                    vc,
+                });
+            }
+            if next != dst {
+                // The packet holds the current channel while waiting to
+                // acquire any VC of its class group on the next one.
+                for dir2 in route_fn(next, dst) {
+                    if dir2 == Direction::Local {
+                        continue;
+                    }
+                    let Some(after) = mesh.neighbor(next, dir2) else {
+                        continue;
+                    };
+                    for held in group.clone() {
+                        for wanted in group.clone() {
+                            edges.insert((
+                                Channel {
+                                    from: here.0,
+                                    to: next.0,
+                                    dir,
+                                    vc: held,
+                                },
+                                Channel {
+                                    from: next.0,
+                                    to: after.0,
+                                    dir: dir2,
+                                    vc: wanted,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            if !visited[next.0] {
+                visited[next.0] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+}
+
+/// Depth-first search for a cycle; returns the cycle's channels in
+/// dependency order when one exists.
+fn find_cycle(
+    channels: &BTreeSet<Channel>,
+    edges: &BTreeSet<(Channel, Channel)>,
+) -> Option<Vec<Channel>> {
+    let mut adjacency: BTreeMap<Channel, Vec<Channel>> = BTreeMap::new();
+    for &(a, b) in edges {
+        adjacency.entry(a).or_default().push(b);
+    }
+    // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+    let mut color: BTreeMap<Channel, u8> = channels.iter().map(|&c| (c, 0u8)).collect();
+    let mut path: Vec<Channel> = Vec::new();
+    for &start in channels {
+        if color.get(&start) != Some(&0) {
+            continue;
+        }
+        if let Some(cycle) = dfs(start, &adjacency, &mut color, &mut path) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+fn dfs(
+    at: Channel,
+    adjacency: &BTreeMap<Channel, Vec<Channel>>,
+    color: &mut BTreeMap<Channel, u8>,
+    path: &mut Vec<Channel>,
+) -> Option<Vec<Channel>> {
+    color.insert(at, 1);
+    path.push(at);
+    for &next in adjacency.get(&at).map(Vec::as_slice).unwrap_or(&[]) {
+        match color.get(&next).copied().unwrap_or(0) {
+            1 => {
+                // Back edge: the cycle is the path suffix from `next` on.
+                let start = path.iter().position(|&c| c == next).unwrap_or(0);
+                return Some(path[start..].to_vec());
+            }
+            0 => {
+                if let Some(cycle) = dfs(next, adjacency, color, path) {
+                    return Some(cycle);
+                }
+            }
+            _ => {}
+        }
+    }
+    path.pop();
+    color.insert(at, 2);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(alg: RoutingAlgorithm, cols: usize, rows: usize, vcs: usize) -> CdgReport {
+        analyze_mesh(
+            &Mesh::new(cols, rows),
+            &CdgOptions {
+                vcs,
+                routing: alg,
+                lock_partial_packets: false,
+            },
+        )
+    }
+
+    #[test]
+    fn xy_mesh_is_deadlock_free() {
+        let report = clean(RoutingAlgorithm::Xy, 4, 4, 2);
+        assert!(
+            report.is_deadlock_free(),
+            "cycle: {:?}",
+            report.cycle_trace()
+        );
+        assert!(report.channels > 0 && report.edges > 0);
+    }
+
+    #[test]
+    fn yx_and_west_first_are_deadlock_free() {
+        for alg in [RoutingAlgorithm::Yx, RoutingAlgorithm::WestFirst] {
+            for (c, r) in [(2, 2), (4, 4), (5, 3)] {
+                let report = clean(alg, c, r, 2);
+                assert!(
+                    report.is_deadlock_free(),
+                    "{alg:?} on {c}x{r}: {:?}",
+                    report.cycle_trace()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xy_clean_across_vc_counts() {
+        for vcs in [1, 2, 4, 8] {
+            assert!(clean(RoutingAlgorithm::Xy, 4, 4, vcs).is_deadlock_free());
+        }
+    }
+
+    #[test]
+    fn o1turn_sharing_class_vcs_is_flagged() {
+        // O1TURN mixes both dimension orders inside one class VC group, so
+        // the conservative CDG finds the classic XY/YX turn cycle — the
+        // algorithm needs one virtual network per dimension order, which
+        // the class split alone does not provide.
+        let report = clean(RoutingAlgorithm::O1Turn, 4, 4, 2);
+        assert!(!report.is_deadlock_free());
+    }
+
+    #[test]
+    fn injected_cyclic_routing_is_caught_with_trace() {
+        // Clockwise ring on a 2x2 mesh: 0 -E-> 1 -S-> 3 -W-> 2 -N-> 0.
+        let mesh = Mesh::new(2, 2);
+        let ring = |here: NodeId, dst: NodeId| -> Vec<Direction> {
+            if here == dst {
+                return vec![Direction::Local];
+            }
+            vec![match here.0 {
+                0 => Direction::East,
+                1 => Direction::South,
+                3 => Direction::West,
+                _ => Direction::North,
+            }]
+        };
+        let single_vc = class_vc_groups(1);
+        let report = analyze_with_route_fn(&mesh, &single_vc, ring, false);
+        assert_eq!(
+            report.cycle.as_ref().map(Vec::len),
+            Some(4),
+            "the full ring is the cycle: {:?}",
+            report.cycle_trace()
+        );
+        let trace = report.cycle_trace().unwrap_or_default();
+        for node in 0..4 {
+            assert!(
+                trace.contains(&format!("node {node}")),
+                "trace names node {node}: {trace}"
+            );
+        }
+    }
+
+    #[test]
+    fn locking_partial_packets_closes_a_cycle() {
+        // XY itself is clean, but an engine that locks a VC still waiting
+        // on upstream flits creates a two-cycle on any multi-hop route.
+        let opts = CdgOptions {
+            vcs: 2,
+            routing: RoutingAlgorithm::Xy,
+            lock_partial_packets: true,
+        };
+        let report = analyze_mesh(&Mesh::new(2, 2), &opts);
+        let cycle = report.cycle.clone().unwrap_or_default();
+        assert_eq!(cycle.len(), 2, "lock-induced cycles are two-cycles");
+        let trace = report.cycle_trace().unwrap_or_default();
+        assert!(trace.contains("vc"), "trace is readable: {trace}");
+    }
+
+    #[test]
+    fn channel_display_is_readable() {
+        let c = Channel {
+            from: 0,
+            to: 1,
+            dir: Direction::East,
+            vc: 1,
+        };
+        assert_eq!(format!("{c}"), "(node 0 -East-> node 1, vc 1)");
+    }
+
+    #[test]
+    fn class_groups_split_and_dedup() {
+        assert_eq!(class_vc_groups(1), vec![0..1]);
+        assert_eq!(class_vc_groups(2), vec![0..1, 1..2]);
+        assert_eq!(class_vc_groups(4), vec![0..2, 2..4]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Static analyses for the DISCO reproduction, run via `cargo xtask
+//! verify` (and re-run by CI).
+//!
+//! Three passes, each usable as a library:
+//!
+//! - [`cdg`] — Dally–Seitz channel-dependency-graph deadlock analysis
+//!   over the mesh, the routing relation, and DISCO's VC-locking rule.
+//! - [`protocol`] — MOESI transition-table extraction from the live
+//!   directory engine plus totality/reachability checking, and the `Msg`
+//!   tag-encoding roundtrip check.
+//! - [`lints`] — source-convention lints: panic-API-free per-cycle hot
+//!   paths and full stats surfacing in `report.rs`.
+//!
+//! ```
+//! use disco_noc::topology::Mesh;
+//! use disco_verify::cdg::{analyze_mesh, CdgOptions};
+//!
+//! let opts = CdgOptions::from_config(&disco_noc::NocConfig::default());
+//! assert!(analyze_mesh(&Mesh::new(4, 4), &opts).is_deadlock_free());
+//! ```
+
+pub mod cdg;
+pub mod lints;
+pub mod protocol;

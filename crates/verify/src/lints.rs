@@ -1,0 +1,232 @@
+//! Source-convention lints: a lightweight file-walk scanner with no
+//! dependencies beyond `std`.
+//!
+//! Two rules:
+//!
+//! 1. **Panic-free hot paths** — the files executed every simulated cycle
+//!    must not call `.unwrap()` or `.expect(...)`. Recoverable conditions
+//!    must use `Option`/`Result` flow; genuine simulator invariants must
+//!    use `assert!`/`panic!` with a message naming the violated
+//!    invariant. Comment lines are skipped and scanning stops at the
+//!    first `#[cfg(test)]` module, where panicking is idiomatic.
+//! 2. **Stats surfacing** — every public counter field of
+//!    `NetworkStats` and `DiscoStats` must appear in `report.rs`, so no
+//!    measurement silently drops out of the stats file the experiments
+//!    diff.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Files whose per-cycle code must stay panic-API free.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/noc/src/router.rs",
+    "crates/noc/src/network.rs",
+    "crates/noc/src/routing.rs",
+    "crates/noc/src/packet.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/arbitrator.rs",
+    "crates/cache/src/nuca.rs",
+    "crates/cache/src/l1.rs",
+    "crates/cache/src/mshr.rs",
+];
+
+/// The counter structs whose fields must be surfaced, and where they live.
+const STATS_SOURCES: &[(&str, &str)] = &[
+    ("crates/noc/src/stats.rs", "NetworkStats"),
+    ("crates/core/src/engine.rs", "DiscoStats"),
+];
+
+/// Where the counters must be surfaced.
+const REPORT_PATH: &str = "crates/core/src/report.rs";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in, relative to the repository root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// Scans every hot-path file for panicking-API calls.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn scan_hot_paths(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for rel in HOT_PATHS {
+        let text = fs::read_to_string(root.join(rel))?;
+        for (line, message) in scan_source(&text) {
+            violations.push(Violation {
+                file: PathBuf::from(rel),
+                line,
+                message,
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Scans one source text; returns (1-based line, message) findings.
+/// Stops at the first `#[cfg(test)]` and skips comment lines and
+/// trailing line comments (string literals containing `//` are rare
+/// enough in this codebase that the naive split is acceptable).
+pub fn scan_source(text: &str) -> Vec<(usize, String)> {
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = raw.split("//").next().unwrap_or(raw);
+        for pattern in [".unwrap()", ".expect("] {
+            if code.contains(pattern) {
+                findings.push((
+                    idx + 1,
+                    format!("`{pattern}` in a per-cycle hot path; use Option/Result flow or an assert naming the invariant"),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Checks that every public counter field of the stats structs appears in
+/// `report.rs`.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_stats_surfaced(root: &Path) -> io::Result<Vec<Violation>> {
+    let report = fs::read_to_string(root.join(REPORT_PATH))?;
+    let mut violations = Vec::new();
+    for (rel, struct_name) in STATS_SOURCES {
+        let src = fs::read_to_string(root.join(rel))?;
+        let fields = struct_fields(&src, struct_name);
+        if fields.is_empty() {
+            violations.push(Violation {
+                file: PathBuf::from(rel),
+                line: 1,
+                message: format!("struct {struct_name} not found"),
+            });
+            continue;
+        }
+        for (line, field) in fields {
+            if !report.contains(&field) {
+                violations.push(Violation {
+                    file: PathBuf::from(rel),
+                    line,
+                    message: format!("{struct_name}.{field} is not surfaced in {REPORT_PATH}"),
+                });
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// Public field names of `name` in `src`, with their 1-based lines.
+fn struct_fields(src: &str, name: &str) -> Vec<(usize, String)> {
+    let header = format!("pub struct {name} {{");
+    let mut fields = Vec::new();
+    let mut inside = false;
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if !inside {
+            inside = trimmed.starts_with(&header);
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            if let Some((field, _ty)) = rest.split_once(':') {
+                fields.push((idx + 1, field.trim().to_string()));
+            }
+        }
+    }
+    fields
+}
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/verify` → two levels up).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_paths_are_clean() {
+        let violations = scan_hot_paths(&repo_root()).expect("sources readable");
+        assert_eq!(violations, Vec::new(), "hot paths must stay panic-API free");
+    }
+
+    #[test]
+    fn stats_are_surfaced() {
+        let violations = check_stats_surfaced(&repo_root()).expect("sources readable");
+        assert_eq!(violations, Vec::new(), "every counter must reach report.rs");
+    }
+
+    #[test]
+    fn scanner_flags_code_but_not_comments_or_tests() {
+        let text = "\
+fn hot() {\n\
+    let x = maybe().unwrap();\n\
+    // a comment mentioning .unwrap() is fine\n\
+    let y = other(); // trailing .expect( mention is fine\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let z = maybe().expect(\"fine in tests\"); }\n\
+}\n";
+        let findings = scan_source(text);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, 2);
+    }
+
+    #[test]
+    fn scanner_catches_expect() {
+        let findings = scan_source("fn f() { g().expect(\"boom\"); }\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn field_extraction_reads_pub_fields() {
+        let src = "\
+/// Doc.\n\
+pub struct FooStats {\n\
+    /// A counter.\n\
+    pub alpha: u64,\n\
+    /// Another.\n\
+    pub beta_by_class: [u64; 3],\n\
+    hidden: u64,\n\
+}\n";
+        let fields: Vec<String> = struct_fields(src, "FooStats")
+            .into_iter()
+            .map(|f| f.1)
+            .collect();
+        assert_eq!(
+            fields,
+            vec!["alpha".to_string(), "beta_by_class".to_string()]
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Protocol-exhaustiveness analysis: the MOESI directory transition table
+//! and the [`Msg`] tag encoding.
+//!
+//! The directory in `disco-cache::coherence` is a protocol *engine*; its
+//! transition function lives in Rust `match` arms rather than a table, so
+//! nothing forces it to be total over the abstract state space. This
+//! module recovers the table by driving a real [`Directory`] through one
+//! representative concrete state per [`StateKind`] and one call per
+//! [`DirEvent`], then checks the result for unhandled (state × event)
+//! pairs and abstract states unreachable from `Uncached`. Tests inject
+//! deliberately incomplete tables to prove the checker rejects them.
+
+use disco_cache::addr::LineAddr;
+use disco_cache::coherence::{Directory, StateKind};
+use disco_core::protocol::{Msg, Op};
+
+/// The events the system layer can fire at a directory, mirroring the
+/// public [`Directory`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirEvent {
+    /// A core reads the line.
+    Read,
+    /// A core requests ownership to write.
+    Write,
+    /// The owner writes the dirty line back.
+    Writeback,
+    /// A sharer silently drops its clean copy.
+    DropSharer,
+    /// The bank evicts the line and recalls every copy.
+    Recall,
+}
+
+impl DirEvent {
+    /// Every directory event.
+    pub const ALL: [DirEvent; 5] = [
+        DirEvent::Read,
+        DirEvent::Write,
+        DirEvent::Writeback,
+        DirEvent::DropSharer,
+        DirEvent::Recall,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirEvent::Read => "Read",
+            DirEvent::Write => "Write",
+            DirEvent::Writeback => "Writeback",
+            DirEvent::DropSharer => "DropSharer",
+            DirEvent::Recall => "Recall",
+        }
+    }
+}
+
+/// One abstract transition: in state `from`, event `event` leads to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Abstract state before the event.
+    pub from: StateKind,
+    /// The event applied.
+    pub event: DirEvent,
+    /// Abstract state after the event.
+    pub to: StateKind,
+}
+
+/// An abstract MOESI transition table.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionTable {
+    /// The transitions, at most one per (state, event) pair.
+    pub transitions: Vec<Transition>,
+}
+
+impl TransitionTable {
+    /// The successor state for `(from, event)`, if the table handles it.
+    pub fn lookup(&self, from: StateKind, event: DirEvent) -> Option<StateKind> {
+        self.transitions
+            .iter()
+            .find(|t| t.from == from && t.event == event)
+            .map(|t| t.to)
+    }
+}
+
+/// Extracts the abstract transition table from the real [`Directory`] by
+/// constructing one representative concrete state per [`StateKind`] and
+/// applying every [`DirEvent`] to it.
+pub fn extract_directory_table() -> TransitionTable {
+    let addr = LineAddr(0x40);
+    let mut transitions = Vec::new();
+    for from in StateKind::ALL {
+        for event in DirEvent::ALL {
+            let mut dir = directory_in(from, addr);
+            apply(&mut dir, addr, event);
+            transitions.push(Transition {
+                from,
+                event,
+                to: dir.state(addr).kind(),
+            });
+        }
+    }
+    TransitionTable { transitions }
+}
+
+/// A directory holding `addr` in a representative concrete state of
+/// `kind`: core 0 is the owner where one exists, core 1 a sharer.
+fn directory_in(kind: StateKind, addr: LineAddr) -> Directory {
+    let mut dir = Directory::new();
+    match kind {
+        StateKind::Uncached => {}
+        StateKind::Shared => {
+            let _ = dir.read(addr, 0);
+            let _ = dir.read(addr, 1);
+        }
+        StateKind::Owned => {
+            let _ = dir.write(addr, 0);
+            let _ = dir.read(addr, 1);
+        }
+    }
+    debug_assert_eq!(dir.state(addr).kind(), kind);
+    dir
+}
+
+/// Applies one event to the representative state: reads and writes come
+/// from a third core (2), writebacks from the owner (0), and drops from
+/// the sharer (1).
+fn apply(dir: &mut Directory, addr: LineAddr, event: DirEvent) {
+    match event {
+        DirEvent::Read => {
+            let _ = dir.read(addr, 2);
+        }
+        DirEvent::Write => {
+            let _ = dir.write(addr, 2);
+        }
+        DirEvent::Writeback => dir.writeback(addr, 0),
+        DirEvent::DropSharer => dir.drop_sharer(addr, 1),
+        DirEvent::Recall => {
+            let _ = dir.recall(addr);
+        }
+    }
+}
+
+/// Findings of one protocol analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolReport {
+    /// (state, event) pairs the table does not handle.
+    pub missing: Vec<(StateKind, DirEvent)>,
+    /// Abstract states no event sequence from `Uncached` can reach.
+    pub unreachable: Vec<StateKind>,
+}
+
+impl ProtocolReport {
+    /// True when the table is total and every state is reachable.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty() && self.unreachable.is_empty()
+    }
+}
+
+/// Checks a transition table for totality over (state × event) and for
+/// reachability of every abstract state from `Uncached`.
+pub fn check_table(table: &TransitionTable) -> ProtocolReport {
+    let mut report = ProtocolReport::default();
+    for from in StateKind::ALL {
+        for event in DirEvent::ALL {
+            if table.lookup(from, event).is_none() {
+                report.missing.push((from, event));
+            }
+        }
+    }
+    let mut reached = vec![StateKind::Uncached];
+    let mut frontier = vec![StateKind::Uncached];
+    while let Some(state) = frontier.pop() {
+        for event in DirEvent::ALL {
+            if let Some(next) = table.lookup(state, event) {
+                if !reached.contains(&next) {
+                    reached.push(next);
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    for state in StateKind::ALL {
+        if !reached.contains(&state) {
+            report.unreachable.push(state);
+        }
+    }
+    report
+}
+
+/// Checks the [`Msg`] tag encoding: every [`Op`] must survive an
+/// encode/decode roundtrip, and tag codes beyond the enum must be
+/// rejected by [`Msg::try_decode`]. Returns one message per violation.
+pub fn check_ops() -> Vec<String> {
+    let mut errors = Vec::new();
+    for op in Op::ALL {
+        let msg = Msg::new(op, 5, 0x1234);
+        match Msg::try_decode(msg.encode()) {
+            Some(decoded) if decoded == msg => {}
+            other => errors.push(format!(
+                "{op:?} fails the encode/decode roundtrip: {other:?}"
+            )),
+        }
+    }
+    for code in Op::ALL.len() as u64..16 {
+        if Msg::try_decode(code).is_some() {
+            errors.push(format!("tag code {code} decodes but names no Op"));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracted_table_is_total_and_reachable() {
+        let table = extract_directory_table();
+        assert_eq!(
+            table.transitions.len(),
+            StateKind::ALL.len() * DirEvent::ALL.len()
+        );
+        let report = check_table(&table);
+        assert!(
+            report.is_complete(),
+            "missing {:?}, unreachable {:?}",
+            report.missing,
+            report.unreachable
+        );
+    }
+
+    #[test]
+    fn extracted_transitions_match_moesi() {
+        let table = extract_directory_table();
+        assert_eq!(
+            table.lookup(StateKind::Uncached, DirEvent::Read),
+            Some(StateKind::Shared)
+        );
+        assert_eq!(
+            table.lookup(StateKind::Uncached, DirEvent::Write),
+            Some(StateKind::Owned)
+        );
+        assert_eq!(
+            table.lookup(StateKind::Shared, DirEvent::Write),
+            Some(StateKind::Owned)
+        );
+        assert_eq!(
+            table.lookup(StateKind::Owned, DirEvent::Writeback),
+            Some(StateKind::Shared)
+        );
+        assert_eq!(
+            table.lookup(StateKind::Owned, DirEvent::Recall),
+            Some(StateKind::Uncached)
+        );
+    }
+
+    #[test]
+    fn incomplete_table_is_rejected() {
+        let mut table = extract_directory_table();
+        table
+            .transitions
+            .retain(|t| !(t.from == StateKind::Shared && t.event == DirEvent::Write));
+        let report = check_table(&table);
+        assert_eq!(report.missing, vec![(StateKind::Shared, DirEvent::Write)]);
+        assert!(!report.is_complete());
+    }
+
+    #[test]
+    fn unreachable_state_is_rejected() {
+        // Redirect every transition into Owned elsewhere: Owned becomes
+        // unreachable from Uncached even though the table stays total.
+        let mut table = extract_directory_table();
+        for t in &mut table.transitions {
+            if t.to == StateKind::Owned {
+                t.to = StateKind::Shared;
+            }
+        }
+        let report = check_table(&table);
+        assert!(report.missing.is_empty());
+        assert_eq!(report.unreachable, vec![StateKind::Owned]);
+    }
+
+    #[test]
+    fn op_encoding_is_exhaustive() {
+        assert_eq!(check_ops(), Vec::<String>::new());
+    }
+}

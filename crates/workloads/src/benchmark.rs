@@ -76,7 +76,13 @@ impl Benchmark {
                 shared_frac: 0.04,
                 stride_frac: 0.55,
                 locality: 2.0,
-                value: ValueProfile { zero: 0.18, near_base: 0.08, small_int: 0.10, repeated: 0.06, float_like: 0.38 },
+                value: ValueProfile {
+                    zero: 0.18,
+                    near_base: 0.08,
+                    small_int: 0.10,
+                    repeated: 0.06,
+                    float_like: 0.38,
+                },
             },
             // Computer-vision pipeline, moderate sharing of body model.
             Bodytrack => WorkloadProfile {
@@ -87,7 +93,13 @@ impl Benchmark {
                 shared_frac: 0.18,
                 stride_frac: 0.45,
                 locality: 1.8,
-                value: ValueProfile { zero: 0.22, near_base: 0.12, small_int: 0.22, repeated: 0.08, float_like: 0.16 },
+                value: ValueProfile {
+                    zero: 0.22,
+                    near_base: 0.12,
+                    small_int: 0.22,
+                    repeated: 0.08,
+                    float_like: 0.16,
+                },
             },
             // Huge pointer-chasing working set: the LLC-stressing outlier.
             Canneal => WorkloadProfile {
@@ -98,7 +110,13 @@ impl Benchmark {
                 shared_frac: 0.30,
                 stride_frac: 0.08,
                 locality: 1.05,
-                value: ValueProfile { zero: 0.10, near_base: 0.42, small_int: 0.12, repeated: 0.04, float_like: 0.04 },
+                value: ValueProfile {
+                    zero: 0.10,
+                    near_base: 0.42,
+                    small_int: 0.12,
+                    repeated: 0.04,
+                    float_like: 0.04,
+                },
             },
             // Streaming dedup pipeline: hashes compress poorly, metadata well.
             Dedup => WorkloadProfile {
@@ -109,7 +127,13 @@ impl Benchmark {
                 shared_frac: 0.22,
                 stride_frac: 0.50,
                 locality: 1.6,
-                value: ValueProfile { zero: 0.20, near_base: 0.14, small_int: 0.12, repeated: 0.06, float_like: 0.04 },
+                value: ValueProfile {
+                    zero: 0.20,
+                    near_base: 0.14,
+                    small_int: 0.12,
+                    repeated: 0.06,
+                    float_like: 0.04,
+                },
             },
             // Physics FP simulation over a large mesh.
             Facesim => WorkloadProfile {
@@ -120,7 +144,13 @@ impl Benchmark {
                 shared_frac: 0.12,
                 stride_frac: 0.60,
                 locality: 1.5,
-                value: ValueProfile { zero: 0.14, near_base: 0.10, small_int: 0.06, repeated: 0.05, float_like: 0.45 },
+                value: ValueProfile {
+                    zero: 0.14,
+                    near_base: 0.10,
+                    small_int: 0.06,
+                    repeated: 0.05,
+                    float_like: 0.45,
+                },
             },
             // Content-similarity search pipeline, shared database.
             Ferret => WorkloadProfile {
@@ -131,7 +161,13 @@ impl Benchmark {
                 shared_frac: 0.34,
                 stride_frac: 0.35,
                 locality: 1.7,
-                value: ValueProfile { zero: 0.16, near_base: 0.18, small_int: 0.16, repeated: 0.06, float_like: 0.14 },
+                value: ValueProfile {
+                    zero: 0.16,
+                    near_base: 0.18,
+                    small_int: 0.16,
+                    repeated: 0.06,
+                    float_like: 0.14,
+                },
             },
             // SPH fluid solver: FP with neighbour lists.
             Fluidanimate => WorkloadProfile {
@@ -142,7 +178,13 @@ impl Benchmark {
                 shared_frac: 0.10,
                 stride_frac: 0.40,
                 locality: 1.7,
-                value: ValueProfile { zero: 0.17, near_base: 0.16, small_int: 0.08, repeated: 0.04, float_like: 0.40 },
+                value: ValueProfile {
+                    zero: 0.17,
+                    near_base: 0.16,
+                    small_int: 0.08,
+                    repeated: 0.04,
+                    float_like: 0.40,
+                },
             },
             // FP-growth itemset mining: integer-heavy trees.
             Freqmine => WorkloadProfile {
@@ -153,7 +195,13 @@ impl Benchmark {
                 shared_frac: 0.16,
                 stride_frac: 0.30,
                 locality: 1.8,
-                value: ValueProfile { zero: 0.24, near_base: 0.20, small_int: 0.26, repeated: 0.05, float_like: 0.02 },
+                value: ValueProfile {
+                    zero: 0.24,
+                    near_base: 0.20,
+                    small_int: 0.26,
+                    repeated: 0.05,
+                    float_like: 0.02,
+                },
             },
             // Streaming k-means: large sequential sweeps, little reuse.
             Streamcluster => WorkloadProfile {
@@ -164,7 +212,13 @@ impl Benchmark {
                 shared_frac: 0.26,
                 stride_frac: 0.75,
                 locality: 1.05,
-                value: ValueProfile { zero: 0.12, near_base: 0.08, small_int: 0.10, repeated: 0.06, float_like: 0.34 },
+                value: ValueProfile {
+                    zero: 0.12,
+                    near_base: 0.08,
+                    small_int: 0.10,
+                    repeated: 0.06,
+                    float_like: 0.34,
+                },
             },
             // Tiny working set: mostly L1-resident.
             Swaptions => WorkloadProfile {
@@ -175,7 +229,13 @@ impl Benchmark {
                 shared_frac: 0.02,
                 stride_frac: 0.45,
                 locality: 2.0,
-                value: ValueProfile { zero: 0.15, near_base: 0.08, small_int: 0.10, repeated: 0.05, float_like: 0.36 },
+                value: ValueProfile {
+                    zero: 0.15,
+                    near_base: 0.08,
+                    small_int: 0.10,
+                    repeated: 0.05,
+                    float_like: 0.36,
+                },
             },
             // Image pipeline: strided filters over pixel buffers.
             Vips => WorkloadProfile {
@@ -186,7 +246,13 @@ impl Benchmark {
                 shared_frac: 0.14,
                 stride_frac: 0.70,
                 locality: 1.5,
-                value: ValueProfile { zero: 0.20, near_base: 0.08, small_int: 0.30, repeated: 0.14, float_like: 0.02 },
+                value: ValueProfile {
+                    zero: 0.20,
+                    near_base: 0.08,
+                    small_int: 0.30,
+                    repeated: 0.14,
+                    float_like: 0.02,
+                },
             },
             // Video encode: motion vectors and residuals, many zeros.
             X264 => WorkloadProfile {
@@ -197,7 +263,13 @@ impl Benchmark {
                 shared_frac: 0.20,
                 stride_frac: 0.55,
                 locality: 1.7,
-                value: ValueProfile { zero: 0.32, near_base: 0.06, small_int: 0.28, repeated: 0.10, float_like: 0.02 },
+                value: ValueProfile {
+                    zero: 0.32,
+                    near_base: 0.06,
+                    small_int: 0.28,
+                    repeated: 0.10,
+                    float_like: 0.02,
+                },
             },
         }
     }
@@ -274,7 +346,9 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 12);
-        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
+        assert!(names.iter().all(|n| n
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())));
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            TraceIoError::Parse { line_number, message } => {
+            TraceIoError::Parse {
+                line_number,
+                message,
+            } => {
                 write!(f, "trace line {line_number}: {message}")
             }
         }
@@ -63,7 +66,10 @@ impl From<std::io::Error> for TraceIoError {
 /// # Errors
 ///
 /// Propagates I/O failures from the writer.
-pub fn write_traces<W: Write>(mut writer: W, traces: &[Vec<MemAccess>]) -> Result<(), TraceIoError> {
+pub fn write_traces<W: Write>(
+    mut writer: W,
+    traces: &[Vec<MemAccess>],
+) -> Result<(), TraceIoError> {
     writeln!(writer, "# disco trace v1: core gap line rw")?;
     for (core, trace) in traces.iter().enumerate() {
         for a in trace {
@@ -96,7 +102,10 @@ pub fn read_traces<R: Read>(reader: R) -> Result<Vec<Vec<MemAccess>>, TraceIoErr
             continue;
         }
         let mut fields = body.split_whitespace();
-        let parse_err = |message: String| TraceIoError::Parse { line_number, message };
+        let parse_err = |message: String| TraceIoError::Parse {
+            line_number,
+            message,
+        };
         let core: usize = fields
             .next()
             .ok_or_else(|| parse_err("missing core".into()))?
@@ -107,7 +116,9 @@ pub fn read_traces<R: Read>(reader: R) -> Result<Vec<Vec<MemAccess>>, TraceIoErr
             .ok_or_else(|| parse_err("missing gap".into()))?
             .parse()
             .map_err(|e| parse_err(format!("bad gap: {e}")))?;
-        let line_field = fields.next().ok_or_else(|| parse_err("missing line".into()))?;
+        let line_field = fields
+            .next()
+            .ok_or_else(|| parse_err("missing line".into()))?;
         let addr = u64::from_str_radix(line_field, 16)
             .map_err(|e| parse_err(format!("bad line address: {e}")))?;
         let write = match fields.next() {
@@ -121,7 +132,11 @@ pub fn read_traces<R: Read>(reader: R) -> Result<Vec<Vec<MemAccess>>, TraceIoErr
         if traces.len() <= core {
             traces.resize_with(core + 1, Vec::new);
         }
-        traces[core].push(MemAccess { gap, line: addr, write });
+        traces[core].push(MemAccess {
+            gap,
+            line: addr,
+            write,
+        });
     }
     Ok(traces)
 }
@@ -146,8 +161,22 @@ mod tests {
         let text = "# header\n\n0 5 ff R # inline comment\n\n1 2 a0 W\n";
         let traces = read_traces(text.as_bytes()).expect("read");
         assert_eq!(traces.len(), 2);
-        assert_eq!(traces[0], vec![MemAccess { gap: 5, line: 0xff, write: false }]);
-        assert_eq!(traces[1], vec![MemAccess { gap: 2, line: 0xa0, write: true }]);
+        assert_eq!(
+            traces[0],
+            vec![MemAccess {
+                gap: 5,
+                line: 0xff,
+                write: false
+            }]
+        );
+        assert_eq!(
+            traces[1],
+            vec![MemAccess {
+                gap: 2,
+                line: 0xa0,
+                write: true
+            }]
+        );
     }
 
     #[test]
@@ -162,7 +191,10 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let err = read_traces("0 1 zz R\n".as_bytes()).expect_err("bad hex");
         match err {
-            TraceIoError::Parse { line_number, message } => {
+            TraceIoError::Parse {
+                line_number,
+                message,
+            } => {
                 assert_eq!(line_number, 1);
                 assert!(message.contains("line address"), "{message}");
             }

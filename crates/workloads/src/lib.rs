@@ -23,6 +23,7 @@
 
 pub mod benchmark;
 pub mod io;
+pub mod rng;
 pub mod trace;
 pub mod value;
 

@@ -1,0 +1,162 @@
+//! Small, self-contained deterministic PRNG for trace generation.
+//!
+//! The repo must build with no network access, so the external `rand`
+//! crate is replaced by this xoshiro256++ implementation (Blackman &
+//! Vigna), seeded through SplitMix64 exactly as `rand` seeds `StdRng`
+//! substitutes. Streams are fully determined by the seed, which is all
+//! the simulator needs — statistical quality far exceeds what synthetic
+//! trace generation can distinguish.
+
+/// SplitMix64 step: expands a 64-bit seed into independent state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// ```
+/// use disco_workloads::rng::Rng64;
+///
+/// let mut a = Rng64::seed_from_u64(7);
+/// let mut b = Rng64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `lo..hi` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.gen_below(range.end - range.start)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..17);
+            assert!((10..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_tracks_probability() {
+        let mut r = Rng64::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn gen_below_handles_powers_of_two_and_odd_bounds() {
+        let mut r = Rng64::seed_from_u64(11);
+        for bound in [1u64, 2, 3, 7, 8, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(r.gen_below(bound) < bound);
+            }
+        }
+    }
+}

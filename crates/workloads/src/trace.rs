@@ -1,8 +1,7 @@
 //! Per-core memory trace generation from a workload profile.
 
 use crate::benchmark::WorkloadProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// One memory access in a core's trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +45,11 @@ impl TraceGenerator {
     /// Panics if `cores` is zero.
     pub fn new(profile: WorkloadProfile, cores: usize, seed: u64) -> Self {
         assert!(cores > 0, "need at least one core");
-        TraceGenerator { profile, cores, seed }
+        TraceGenerator {
+            profile,
+            cores,
+            seed,
+        }
     }
 
     /// The profile driving generation.
@@ -56,13 +59,15 @@ impl TraceGenerator {
 
     /// Produces `len` accesses for every core.
     pub fn generate(&self, len: usize) -> Vec<Vec<MemAccess>> {
-        (0..self.cores).map(|c| self.generate_core(c, len)).collect()
+        (0..self.cores)
+            .map(|c| self.generate_core(c, len))
+            .collect()
     }
 
     /// Produces one core's trace.
     pub fn generate_core(&self, core: usize, len: usize) -> Vec<MemAccess> {
         let p = &self.profile;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ ((core as u64) << 32) ^ 0x5eed);
+        let mut rng = Rng64::seed_from_u64(self.seed ^ ((core as u64) << 32) ^ 0x5eed);
         // Region layout: [shared | core0 private | core1 private | ...]
         let shared_lines = ((p.working_set_lines as f64) * p.shared_frac.max(0.02)).ceil() as u64;
         let private_lines =
@@ -87,9 +92,9 @@ impl TraceGenerator {
             } else {
                 // Skewed random jump: u^locality biases toward low indices
                 // (the hot end of the region).
-                let u: f64 = rng.gen::<f64>();
+                let u: f64 = rng.gen_f64();
                 let skewed = u.powf(p.locality);
-                
+
                 if shared {
                     (skewed * shared_lines as f64) as u64
                 } else {
@@ -99,14 +104,18 @@ impl TraceGenerator {
                 }
             };
             let gap = Self::geometric(&mut rng, mean_gap);
-            out.push(MemAccess { gap, line, write: rng.gen_bool(p.write_frac) });
+            out.push(MemAccess {
+                gap,
+                line,
+                write: rng.gen_bool(p.write_frac),
+            });
         }
         out
     }
 
     /// Geometric inter-arrival with the given mean (≥ 1).
-    fn geometric(rng: &mut StdRng, mean: f64) -> u64 {
-        let u: f64 = rng.gen::<f64>().max(1e-12);
+    fn geometric(rng: &mut Rng64, mean: f64) -> u64 {
+        let u: f64 = rng.gen_f64().max(1e-12);
         let g = (-u.ln() * mean).round() as u64;
         g.max(1)
     }
@@ -137,7 +146,10 @@ mod tests {
         let shared_lines = ((p.working_set_lines as f64) * p.shared_frac.max(0.02)).ceil() as u64;
         // Private accesses of different cores never collide.
         let private_of = |t: &[MemAccess]| {
-            t.iter().map(|a| a.line).filter(|&l| l >= shared_lines).collect::<Vec<_>>()
+            t.iter()
+                .map(|a| a.line)
+                .filter(|&l| l >= shared_lines)
+                .collect::<Vec<_>>()
         };
         let c0 = private_of(&traces[0]);
         let c1 = private_of(&traces[1]);
@@ -152,7 +164,10 @@ mod tests {
         let writes: usize = traces.iter().flatten().filter(|a| a.write).count();
         let frac = writes as f64 / total as f64;
         let expect = Benchmark::X264.profile().write_frac;
-        assert!((frac - expect).abs() < 0.03, "write frac {frac} vs {expect}");
+        assert!(
+            (frac - expect).abs() < 0.03,
+            "write frac {frac} vs {expect}"
+        );
     }
 
     #[test]
@@ -163,7 +178,10 @@ mod tests {
             let s: u64 = ts.iter().flatten().map(|a| a.gap).sum();
             s as f64 / ts.iter().map(|t| t.len()).sum::<usize>() as f64
         };
-        assert!(mean(&hot) < mean(&cold), "hotter benchmark must have smaller gaps");
+        assert!(
+            mean(&hot) < mean(&cold),
+            "hotter benchmark must have smaller gaps"
+        );
     }
 
     #[test]

@@ -32,7 +32,13 @@ pub struct ValueProfile {
 impl ValueProfile {
     /// A balanced default (moderate compressibility).
     pub fn balanced() -> Self {
-        ValueProfile { zero: 0.15, near_base: 0.2, small_int: 0.2, repeated: 0.1, float_like: 0.15 }
+        ValueProfile {
+            zero: 0.15,
+            near_base: 0.2,
+            small_int: 0.2,
+            repeated: 0.1,
+            float_like: 0.15,
+        }
     }
 
     fn validate(&self) {
@@ -41,7 +47,13 @@ impl ValueProfile {
             (0.0..=1.0 + 1e-9).contains(&sum),
             "value profile fractions must sum to at most 1 (got {sum})"
         );
-        for f in [self.zero, self.near_base, self.small_int, self.repeated, self.float_like] {
+        for f in [
+            self.zero,
+            self.near_base,
+            self.small_int,
+            self.repeated,
+            self.float_like,
+        ] {
             assert!((0.0..=1.0).contains(&f), "fractions must lie in [0, 1]");
         }
     }
@@ -185,7 +197,13 @@ mod tests {
     #[test]
     fn zero_profile_gives_zero_lines() {
         let m = ValueModel::new(
-            ValueProfile { zero: 1.0, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            ValueProfile {
+                zero: 1.0,
+                near_base: 0.0,
+                small_int: 0.0,
+                repeated: 0.0,
+                float_like: 0.0,
+            },
             1,
         );
         for addr in 0..100 {
@@ -196,7 +214,13 @@ mod tests {
     #[test]
     fn random_profile_is_incompressible() {
         let m = ValueModel::new(
-            ValueProfile { zero: 0.0, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            ValueProfile {
+                zero: 0.0,
+                near_base: 0.0,
+                small_int: 0.0,
+                repeated: 0.0,
+                float_like: 0.0,
+            },
             1,
         );
         let codec = Codec::delta();
@@ -221,18 +245,33 @@ mod tests {
     #[test]
     fn profile_fractions_roughly_respected() {
         let m = ValueModel::new(
-            ValueProfile { zero: 0.5, near_base: 0.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+            ValueProfile {
+                zero: 0.5,
+                near_base: 0.0,
+                small_int: 0.0,
+                repeated: 0.0,
+                float_like: 0.0,
+            },
             9,
         );
         let zeros = (0..2000).filter(|&a| m.line(a, 0).is_zero()).count();
-        assert!((800..1200).contains(&zeros), "got {zeros} zero lines of 2000");
+        assert!(
+            (800..1200).contains(&zeros),
+            "got {zeros} zero lines of 2000"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at most 1")]
     fn overfull_profile_rejected() {
         let _ = ValueModel::new(
-            ValueProfile { zero: 0.5, near_base: 0.5, small_int: 0.5, repeated: 0.0, float_like: 0.0 },
+            ValueProfile {
+                zero: 0.5,
+                near_base: 0.5,
+                small_int: 0.5,
+                repeated: 0.0,
+                float_like: 0.0,
+            },
             0,
         );
     }

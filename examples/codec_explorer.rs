@@ -22,7 +22,9 @@ fn main() {
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SchemeKind::ALL.len()];
     for bench in Benchmark::ALL {
         let model = ValueModel::new(bench.profile().value, 11);
-        let lines: Vec<_> = (0..400u64).map(|a| model.line(a * 5 + 2, (a % 3) as u32)).collect();
+        let lines: Vec<_> = (0..400u64)
+            .map(|a| model.line(a * 5 + 2, (a % 3) as u32))
+            .collect();
         print!("{:<14}", bench.name());
         for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
             // SC2 trains on the workload it serves, as its hardware does.

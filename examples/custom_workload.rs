@@ -20,7 +20,13 @@ fn main() -> Result<(), SimError> {
         shared_frac: 0.35,
         stride_frac: 0.80,
         locality: 1.2,
-        value: ValueProfile { zero: 0.45, near_base: 0.10, small_int: 0.20, repeated: 0.05, float_like: 0.05 },
+        value: ValueProfile {
+            zero: 0.45,
+            near_base: 0.10,
+            small_int: 0.20,
+            repeated: 0.05,
+            float_like: 0.05,
+        },
     };
 
     // Generate traces once and archive them to a buffer (a file works the
@@ -28,7 +34,11 @@ fn main() -> Result<(), SimError> {
     let traces = TraceGenerator::new(profile, 16, 77).generate(4_000);
     let mut archive = Vec::new();
     write_traces(&mut archive, &traces).expect("in-memory write cannot fail");
-    println!("archived trace: {} KiB, {} accesses", archive.len() / 1024, 16 * 4_000);
+    println!(
+        "archived trace: {} KiB, {} accesses",
+        archive.len() / 1024,
+        16 * 4_000
+    );
 
     let replayed = read_traces(archive.as_slice()).expect("round-trip");
     assert_eq!(replayed, traces, "replay is bit-identical");

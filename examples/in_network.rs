@@ -16,7 +16,10 @@ use disco::noc::{Mesh, Network, NocConfig, NodeId, PacketClass, Payload, Schedul
 fn main() {
     let mesh = Mesh::new(4, 4);
     let config = NocConfig {
-        scheduling: SchedulingPolicy { prioritize_critical: true, demote_uncompressed: true },
+        scheduling: SchedulingPolicy {
+            prioritize_critical: true,
+            demote_uncompressed: true,
+        },
         ..NocConfig::default()
     };
     let mut net = Network::new(mesh, config);
@@ -39,7 +42,14 @@ fn main() {
     for wave in 0..20u64 {
         for src in 1..mesh.nodes() {
             let tag = Msg::new(Op::Writeback, 0, wave * 64 + src as u64).encode();
-            net.send(NodeId(src), NodeId(0), PacketClass::Response, Payload::Raw(line), true, tag);
+            net.send(
+                NodeId(src),
+                NodeId(0),
+                PacketClass::Response,
+                Payload::Raw(line),
+                true,
+                tag,
+            );
             sent += 1;
         }
     }
@@ -61,17 +71,26 @@ fn main() {
     let net_stats = *net.stats();
     println!("hotspot drained in {} cycles", net.now());
     println!("packets delivered:        {delivered}");
-    println!("arrived compressed:       {compressed_on_arrival} ({:.0}%)", 100.0 * compressed_on_arrival as f64 / delivered as f64);
+    println!(
+        "arrived compressed:       {compressed_on_arrival} ({:.0}%)",
+        100.0 * compressed_on_arrival as f64 / delivered as f64
+    );
     println!("flits on links:           {}", net_stats.link_flits);
     println!("flits saved in-network:   {}", stats.flits_saved);
     println!();
     println!("engine starts:            {}", stats.started);
-    println!("  completed compressions: {} ({} in the NI queue)", stats.compressions, stats.queue_compressions);
+    println!(
+        "  completed compressions: {} ({} in the NI queue)",
+        stats.compressions, stats.queue_compressions
+    );
     println!("  non-blocking aborts:    {}", stats.aborts);
     println!("  incompressible:         {}", stats.incompressible);
     println!("  rejected (confidence):  {}", stats.low_confidence);
     println!();
-    println!("avg packet latency:       {:.1} cycles", net_stats.avg_packet_latency());
+    println!(
+        "avg packet latency:       {:.1} cycles",
+        net_stats.avg_packet_latency()
+    );
 
     println!("\nde/compressions per router (the hotspot's neighbourhood works hardest):");
     for row in 0..4 {

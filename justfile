@@ -1,0 +1,29 @@
+# Offline mirror of .github/workflows/ci.yml. `just ci` is the full gate.
+
+# Run the complete CI gate locally.
+ci: fmt-check clippy verify test
+
+# Check formatting without rewriting.
+fmt-check:
+    cargo fmt --all --check
+
+# Rewrite formatting in place.
+fmt:
+    cargo fmt --all
+
+# Workspace lints, warnings denied.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Static analyses: CDG deadlock freedom, MOESI exhaustiveness, source lints.
+verify:
+    cargo xtask verify
+
+# Workspace tests, plus the NoC suite with per-cycle invariant validation.
+test:
+    cargo test --workspace -q
+    cargo test -q -p disco-noc --features validate
+
+# Regenerate tests/golden_stats.txt after report.rs changes.
+update-golden:
+    UPDATE_GOLDEN=1 cargo test -q --test golden

@@ -51,7 +51,12 @@ fn sc2_has_the_highest_ratio_like_table1() {
         lines.extend(corpus(bench, 150));
     }
     let sc2 = mean_ratio(SchemeKind::Sc2, &lines);
-    for kind in [SchemeKind::Delta, SchemeKind::Fpc, SchemeKind::Sfpc, SchemeKind::Bdi] {
+    for kind in [
+        SchemeKind::Delta,
+        SchemeKind::Fpc,
+        SchemeKind::Sfpc,
+        SchemeKind::Bdi,
+    ] {
         let r = mean_ratio(kind, &lines);
         assert!(
             sc2 > r * 0.98,
@@ -73,7 +78,9 @@ fn sfpc_trades_ratio_for_speed_vs_fpc() {
     let f = Codec::fpc();
     let s = Codec::sfpc();
     let line = CacheLine::zeroed();
-    assert!(s.decompression_latency(&s.compress(&line)) < f.decompression_latency(&f.compress(&line)));
+    assert!(
+        s.decompression_latency(&s.compress(&line)) < f.decompression_latency(&f.compress(&line))
+    );
 }
 
 #[test]
@@ -81,7 +88,13 @@ fn delta_and_bdi_agree_on_family_strengths() {
     // Both are base-delta schemes; on near-base pointer data both must
     // compress well.
     let model = ValueModel::new(
-        disco::workloads::ValueProfile { zero: 0.0, near_base: 1.0, small_int: 0.0, repeated: 0.0, float_like: 0.0 },
+        disco::workloads::ValueProfile {
+            zero: 0.0,
+            near_base: 1.0,
+            small_int: 0.0,
+            repeated: 0.0,
+            float_like: 0.0,
+        },
         5,
     );
     let lines: Vec<CacheLine> = (0..200).map(|a| model.line(a, 0)).collect();

@@ -17,7 +17,11 @@ fn ping_pong(cores: usize, rounds: usize, write: bool) -> Vec<Vec<MemAccess>> {
         } else {
             cores as u64 * 400
         };
-        traces[core].push(MemAccess { gap, line: 0x1000, write });
+        traces[core].push(MemAccess {
+            gap,
+            line: 0x1000,
+            write,
+        });
     }
     traces
 }
@@ -48,7 +52,11 @@ fn write_ping_pong_generates_ownership_transfers() {
         "ownership must bounce between the writers: {:?}",
         r.directory
     );
-    assert!(r.l1.invalidations >= 15, "L1 copies must be recalled: {:?}", r.l1);
+    assert!(
+        r.l1.invalidations >= 15,
+        "L1 copies must be recalled: {:?}",
+        r.l1
+    );
 }
 
 #[test]
@@ -56,7 +64,11 @@ fn read_sharing_is_invalidation_free() {
     // Many cores reading one line never invalidate each other.
     let r = run(ping_pong(8, 64, false));
     assert_eq!(r.directory.invalidations, 0, "{:?}", r.directory);
-    assert!(r.directory.bank_reads >= 8, "each core misses once: {:?}", r.directory);
+    assert!(
+        r.directory.bank_reads >= 8,
+        "each core misses once: {:?}",
+        r.directory
+    );
 }
 
 #[test]
@@ -65,8 +77,16 @@ fn reader_after_writer_gets_forwarded_data() {
     // dirty owner (cache-to-cache transfer) instead of serving stale bank
     // data.
     let mut traces = vec![Vec::new(); 2];
-    traces[0].push(MemAccess { gap: 10, line: 0x2000, write: true });
-    traces[1].push(MemAccess { gap: 600, line: 0x2000, write: false });
+    traces[0].push(MemAccess {
+        gap: 10,
+        line: 0x2000,
+        write: true,
+    });
+    traces[1].push(MemAccess {
+        gap: 600,
+        line: 0x2000,
+        write: false,
+    });
     let r = run(traces);
     assert!(
         r.directory.owner_forwards >= 1,
@@ -81,7 +101,11 @@ fn response_class_dominates_traffic_for_data_patterns() {
     let r = run(ping_pong(2, 30, true));
     let resp = r.network.delivered_by_class[disco::noc::stats::class_index(PacketClass::Response)];
     let coh = r.network.delivered_by_class[disco::noc::stats::class_index(PacketClass::Coherence)];
-    assert!(resp > 0 && coh > 0, "both classes must appear: {:?}", r.network);
+    assert!(
+        resp > 0 && coh > 0,
+        "both classes must appear: {:?}",
+        r.network
+    );
     // §3.3-C: response packets carry the payload bytes, so they dominate
     // flit traffic even when coherence packets are frequent.
     assert!(
@@ -95,8 +119,13 @@ fn response_class_dominates_traffic_for_data_patterns() {
 fn next_line_prefetcher_halves_strided_demand_misses() {
     // A pure sequential walk with generous gaps: every miss on line L
     // prefetches L+1, so demand misses alternate (miss, hit, miss, ...).
-    let walk: Vec<MemAccess> =
-        (0..400u64).map(|i| MemAccess { gap: 200, line: 0x4000 + i, write: false }).collect();
+    let walk: Vec<MemAccess> = (0..400u64)
+        .map(|i| MemAccess {
+            gap: 200,
+            line: 0x4000 + i,
+            write: false,
+        })
+        .collect();
     let base = SimBuilder::new()
         .mesh(4, 4)
         .placement(CompressionPlacement::Baseline)
@@ -114,7 +143,11 @@ fn next_line_prefetcher_halves_strided_demand_misses() {
         .prefetch_next_line(true)
         .run()
         .expect("drains");
-    assert!(base.demand_misses >= 395, "walk is all misses: {}", base.demand_misses);
+    assert!(
+        base.demand_misses >= 395,
+        "walk is all misses: {}",
+        base.demand_misses
+    );
     assert!(
         pf.demand_misses * 2 <= base.demand_misses + 20,
         "prefetching must roughly halve demand misses: {} vs {}",

@@ -10,7 +10,12 @@ use disco::workloads::{Benchmark, ValueModel};
 use proptest::prelude::*;
 
 fn eager() -> DiscoParams {
-    DiscoParams { cc_threshold: -10.0, cd_threshold: -10.0, beta: 0.1, ..DiscoParams::default() }
+    DiscoParams {
+        cc_threshold: -10.0,
+        cd_threshold: -10.0,
+        beta: 0.1,
+        ..DiscoParams::default()
+    }
 }
 
 /// Drives random data traffic with an over-eager DISCO layer (maximum
@@ -29,7 +34,14 @@ fn drive_and_check(lines: &[CacheLine], ops: &[Op]) {
         }
         let op = ops[i % ops.len()];
         let tag = Msg::new(op, dst.min(255), i as u64).encode();
-        net.send(NodeId(src), NodeId(dst), PacketClass::Response, Payload::Raw(*line), true, tag);
+        net.send(
+            NodeId(src),
+            NodeId(dst),
+            PacketClass::Response,
+            Payload::Raw(*line),
+            true,
+            tag,
+        );
         expected.push((dst, i as u64, *line));
     }
     let mut delivered = 0;
@@ -80,15 +92,25 @@ fn stalled_compressed_packet_is_decompressed_in_network() {
     let line = CacheLine::from_u64_words([1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007]);
     let enc = codec.compress(&line);
     let tag = Msg::new(Op::DataToCore, 1, 7).encode();
-    net.send(NodeId(0), NodeId(1), PacketClass::Response, Payload::Compressed(enc), true, tag);
-    assert!(net.router_mut(NodeId(0)).try_take_credits(disco::noc::Direction::East, 1, 8));
+    net.send(
+        NodeId(0),
+        NodeId(1),
+        PacketClass::Response,
+        Payload::Compressed(enc),
+        true,
+        tag,
+    );
+    assert!(net
+        .router_mut(NodeId(0))
+        .try_take_credits(disco::noc::Direction::East, 1, 8));
     for _ in 0..60 {
         net.tick();
         layer.tick(&mut net);
     }
     assert_eq!(layer.stats().decompressions, 1, "{:?}", layer.stats());
     for _ in 0..8 {
-        net.router_mut(NodeId(0)).return_credit(disco::noc::Direction::East, 1);
+        net.router_mut(NodeId(0))
+            .return_credit(disco::noc::Direction::East, 1);
     }
     let pkt = loop {
         net.tick();
@@ -102,7 +124,11 @@ fn stalled_compressed_packet_is_decompressed_in_network() {
         Payload::Raw(l) => assert_eq!(*l, line),
         other => panic!("expected raw delivery, got {other:?}"),
     }
-    assert_eq!(pkt.size_flits(), 8, "decompressed packet carries all 8 flits");
+    assert_eq!(
+        pkt.size_flits(),
+        8,
+        "decompressed packet carries all 8 flits"
+    );
 }
 
 #[test]
@@ -120,7 +146,14 @@ fn dense_hotspot_preserves_compressed_payloads() {
         let src = 1 + (k as usize % 8);
         let enc = codec.compress(&line);
         let tag = Msg::new(Op::DataToCore, 0, k).encode();
-        net.send(NodeId(src), NodeId(0), PacketClass::Response, Payload::Compressed(enc), true, tag);
+        net.send(
+            NodeId(src),
+            NodeId(0),
+            PacketClass::Response,
+            Payload::Compressed(enc),
+            true,
+            tag,
+        );
     }
     let mut got = 0;
     while got < n_pkts {

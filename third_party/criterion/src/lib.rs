@@ -1,0 +1,195 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking API, vendored so the workspace builds with no registry
+//! access.
+//!
+//! Covers what this repository's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up + timed-batch wall-clock loop printing mean
+//! time-per-iteration (and throughput when configured); there is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_FOR: Duration = Duration::from_millis(200);
+/// Warm-up time before measurement.
+const WARM_UP_FOR: Duration = Duration::from_millis(50);
+
+/// Throughput units attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, e.g. `BenchmarkId::from_parameter("fpc")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the closure under timing. Passed to every benchmark body.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, then repeated timed batches.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP_FOR {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Batch size from the warm-up rate, at least 1.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((MEASURE_FOR.as_secs_f64() / 10.0 / per_iter) as u64).max(1);
+        let mut iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_FOR {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.mean_ns = measure_start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(full_id: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { mean_ns: f64::NAN };
+    f(&mut bencher);
+    let mut line = format!("{full_id:<48} {:>14.1} ns/iter", bencher.mean_ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib = bytes as f64 / bencher.mean_ns * 1e9 / (1u64 << 30) as f64;
+            line.push_str(&format!("  {gib:>8.3} GiB/s"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / bencher.mean_ns * 1e9 / 1e6;
+            line.push_str(&format!("  {meps:>8.3} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attaches throughput units to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks a plain routine within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.throughput, routine);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone routine.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        routine: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Fixed-size array strategies (`uniform8` / `uniform16` / `uniform32`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[S::Value; N]` by running the element strategy N times.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// An array strategy applying `strategy` to every element.
+        pub fn $name<S: Strategy>(strategy: S) -> UniformArray<S, $n> {
+            UniformArray(strategy)
+        }
+    )*};
+}
+
+uniform_fn!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);

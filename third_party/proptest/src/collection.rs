@@ -1,0 +1,28 @@
+//! Variable-size collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Generates `Vec<S::Value>` with a length drawn from `sizes`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(self.sizes.start < self.sizes.end, "empty size range");
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose length lies in `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}

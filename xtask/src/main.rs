@@ -1,0 +1,189 @@
+//! Workspace task runner: `cargo xtask verify` drives the `disco-verify`
+//! static-analysis pass and fails the build on any finding.
+
+use disco_noc::routing::RoutingAlgorithm;
+use disco_noc::topology::Mesh;
+use disco_noc::NocConfig;
+use disco_verify::{cdg, lints, protocol};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("verify") => verify(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask verify");
+    eprintln!();
+    eprintln!("  verify   run the static analyses: channel-dependency-graph");
+    eprintln!("           deadlock freedom, MOESI transition-table");
+    eprintln!("           exhaustiveness, and source-convention lints");
+}
+
+fn verify() -> ExitCode {
+    let mut failures = 0usize;
+    failures += verify_cdg();
+    failures += verify_protocol();
+    failures += verify_lints();
+    if failures == 0 {
+        println!("verify: all analyses passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify: {failures} analysis failure(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Channel-dependency-graph pass: the default configuration and every
+/// deterministic/turn-model algorithm must be acyclic on the Table 2
+/// mesh. Known-cyclic configurations are reported as notes, proving the
+/// analysis has teeth without failing the build.
+fn verify_cdg() -> usize {
+    let mut failures = 0;
+    let config = NocConfig::default();
+    let mesh = Mesh::new(4, 4);
+    for routing in [
+        RoutingAlgorithm::Xy,
+        RoutingAlgorithm::Yx,
+        RoutingAlgorithm::WestFirst,
+    ] {
+        let opts = cdg::CdgOptions {
+            vcs: config.vcs,
+            routing,
+            lock_partial_packets: false,
+        };
+        let report = cdg::analyze_mesh(&mesh, &opts);
+        match report.cycle_trace() {
+            None => println!(
+                "cdg: {routing:?} on 4x4/{} VCs: acyclic ({} channels, {} dependencies)",
+                config.vcs, report.channels, report.edges
+            ),
+            Some(trace) => {
+                eprintln!(
+                    "cdg: FAIL {routing:?} on 4x4/{} VCs: cycle {trace}",
+                    config.vcs
+                );
+                failures += 1;
+            }
+        }
+    }
+    let o1 = cdg::analyze_mesh(
+        &mesh,
+        &cdg::CdgOptions {
+            vcs: config.vcs,
+            routing: RoutingAlgorithm::O1Turn,
+            lock_partial_packets: false,
+        },
+    );
+    if !o1.is_deadlock_free() {
+        println!(
+            "cdg: note: O1Turn sharing the class VC groups is cyclic (needs one virtual \
+             network per dimension order); it is not part of the default configuration"
+        );
+    }
+    let locked = cdg::analyze_mesh(
+        &mesh,
+        &cdg::CdgOptions {
+            vcs: config.vcs,
+            routing: config.routing,
+            lock_partial_packets: true,
+        },
+    );
+    if !locked.is_deadlock_free() {
+        println!(
+            "cdg: note: locking partially resident packets would close a cycle — the \
+             engine therefore locks whole-resident packets only"
+        );
+    }
+    failures
+}
+
+/// Protocol pass: the extracted MOESI table must be total and fully
+/// reachable, and the `Msg` tag encoding must roundtrip every `Op`.
+fn verify_protocol() -> usize {
+    let mut failures = 0;
+    let table = protocol::extract_directory_table();
+    let report = protocol::check_table(&table);
+    if report.is_complete() {
+        println!(
+            "protocol: MOESI table total over {} transitions, every state reachable",
+            table.transitions.len()
+        );
+    } else {
+        for (state, event) in &report.missing {
+            eprintln!(
+                "protocol: FAIL unhandled ({} x {})",
+                state.name(),
+                event.name()
+            );
+        }
+        for state in &report.unreachable {
+            eprintln!(
+                "protocol: FAIL state {} unreachable from Uncached",
+                state.name()
+            );
+        }
+        failures += 1;
+    }
+    let op_errors = protocol::check_ops();
+    if op_errors.is_empty() {
+        println!("protocol: Msg tag encoding roundtrips all ops, rejects stray codes");
+    } else {
+        for e in &op_errors {
+            eprintln!("protocol: FAIL {e}");
+        }
+        failures += 1;
+    }
+    failures
+}
+
+/// Lint pass: panic-API-free hot paths and fully surfaced stats.
+fn verify_lints() -> usize {
+    let root = lints::repo_root();
+    let mut failures = 0;
+    match lints::scan_hot_paths(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "lints: {} hot-path files are panic-API free",
+                lints::HOT_PATHS.len()
+            );
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lints: FAIL {v}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("lints: FAIL cannot read sources: {e}");
+            failures += 1;
+        }
+    }
+    match lints::check_stats_surfaced(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lints: every NetworkStats/DiscoStats counter is surfaced in report.rs");
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lints: FAIL {v}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("lints: FAIL cannot read sources: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
