@@ -1,0 +1,177 @@
+//! Parallel experiment harness: fan independent sweep points across OS
+//! threads and report machine-readable throughput numbers.
+//!
+//! Each point is a complete, self-contained simulation (own `Network`,
+//! own `TrafficDriver`, own RNG seed), so points share no state and the
+//! fan-out needs no synchronization beyond joining. Results come back in
+//! point order regardless of the thread count, and each point's stats
+//! are byte-identical to a serial run of the same point — the harness
+//! parallelizes *between* configurations; the `parallel` cargo feature
+//! additionally shards the cycle kernel *within* one (see
+//! `NocConfig::compute_shards`).
+
+use disco_noc::traffic::{TrafficDriver, TrafficPattern};
+use disco_noc::{Mesh, Network, NetworkStats, NocConfig, NodeId};
+use std::time::Instant;
+
+/// One configuration of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Synthetic destination pattern.
+    pub pattern: TrafficPattern,
+    /// Offered load in flits/node/cycle.
+    pub injection_rate: f64,
+    /// Driver RNG seed.
+    pub seed: u64,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Mesh rows.
+    pub rows: usize,
+    /// Cycles to simulate.
+    pub cycles: u64,
+    /// Kernel shard request (see `NocConfig::compute_shards`; ignored
+    /// without the `parallel` feature).
+    pub compute_shards: usize,
+}
+
+/// Measurements for one executed point.
+#[derive(Debug, Clone, Copy)]
+pub struct PointResult {
+    /// The configuration that produced this result.
+    pub point: SweepPoint,
+    /// Final network counters.
+    pub stats: NetworkStats,
+    /// Wall-clock seconds for the simulation loop.
+    pub wall_secs: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// Runs one sweep point to completion.
+pub fn run_point(point: &SweepPoint) -> PointResult {
+    let config = NocConfig {
+        compute_shards: point.compute_shards,
+        ..NocConfig::default()
+    };
+    let mut net = Network::new(Mesh::new(point.cols, point.rows), config);
+    let nodes = point.cols * point.rows;
+    let mut driver = TrafficDriver::new(point.pattern, point.injection_rate, true, point.seed);
+    let start = Instant::now();
+    for _ in 0..point.cycles {
+        driver.inject(&mut net);
+        net.tick();
+        for n in 0..nodes {
+            let _ = net.take_delivered(NodeId(n));
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+    PointResult {
+        point: *point,
+        stats: *net.stats(),
+        wall_secs,
+        cycles_per_sec: point.cycles as f64 / wall_secs,
+    }
+}
+
+/// Runs every point, fanning them round-robin across `threads` OS
+/// threads (1 = fully serial). Results are returned in point order.
+pub fn run_sweep(points: &[SweepPoint], threads: usize) -> Vec<PointResult> {
+    let threads = threads.max(1).min(points.len().max(1));
+    if threads <= 1 {
+        return points.iter().map(run_point).collect();
+    }
+    let mut indexed: Vec<(usize, PointResult)> = Vec::with_capacity(points.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    points
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, p)| (i, run_point(p)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(_) => panic!("sweep worker panicked"),
+            }
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Minimal JSON string escaping (the only strings we emit are pattern
+/// names and file-safe labels, but stay correct anyway).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Short label for a pattern, for JSON and filenames.
+pub fn pattern_name(pattern: TrafficPattern) -> &'static str {
+    match pattern {
+        TrafficPattern::UniformRandom => "uniform_random",
+        TrafficPattern::Hotspot(_) => "hotspot",
+        TrafficPattern::Transpose => "transpose",
+        TrafficPattern::BitComplement => "bit_complement",
+        TrafficPattern::RingNext => "ring_next",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_points() -> Vec<SweepPoint> {
+        [0.05, 0.2, 0.4]
+            .iter()
+            .map(|&rate| SweepPoint {
+                pattern: TrafficPattern::UniformRandom,
+                injection_rate: rate,
+                seed: 2016,
+                cols: 4,
+                rows: 4,
+                cycles: 400,
+                compute_shards: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_results() {
+        let points = tiny_points();
+        let serial = run_sweep(&points, 1);
+        let fanned = run_sweep(&points, 3);
+        assert_eq!(serial.len(), fanned.len());
+        for (s, f) in serial.iter().zip(&fanned) {
+            assert_eq!(s.point.injection_rate, f.point.injection_rate);
+            assert_eq!(s.stats, f.stats, "thread count must not change stats");
+        }
+    }
+
+    #[test]
+    fn heavier_load_moves_more_flits() {
+        let results = run_sweep(&tiny_points(), 2);
+        assert!(results[2].stats.link_flits > results[0].stats.link_flits);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

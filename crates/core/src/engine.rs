@@ -115,6 +115,39 @@ impl Engine {
     }
 }
 
+/// How a started engine will operate on its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// One-shot compression of a fully resident packet.
+    Whole,
+    /// Separate-flit streaming compression of the front packet.
+    Stream,
+    /// Whole-packet decompression near the destination.
+    Decomp,
+    /// Compression of a packet still in the NI injection queue.
+    Queued,
+}
+
+/// A de/compression start decided by the pure scan phase and applied by
+/// [`DiscoLayer::commit_start`]. `port` is `usize::MAX` for
+/// [`Mode::Queued`] (the packet has no input port yet).
+#[derive(Debug, Clone, Copy)]
+struct StartAction {
+    slot: usize,
+    port: usize,
+    vc: usize,
+    packet: PacketId,
+    mode: Mode,
+}
+
+/// Everything the scan phase decided for one node.
+#[derive(Debug, Clone, Default)]
+struct NodeScan {
+    starts: Vec<StartAction>,
+    /// Idle engine slots that saw candidates but rejected all of them.
+    low_confidence: u64,
+}
+
 /// The DISCO in-network compression layer: engines per router plus the
 /// shared arbitrator parameters and codec.
 #[derive(Debug)]
@@ -211,6 +244,13 @@ impl DiscoLayer {
 
     /// Runs every router's engine for one cycle. Call after
     /// [`Network::tick`] so the cycle's allocation losers are fresh.
+    ///
+    /// Mirrors the NoC's compute → commit split: engine *progress*
+    /// ([`step_engine`](Self::step_engine)) mutates shared state and runs
+    /// serially in node order; the candidate *scan* is a pure function of
+    /// the resulting network state and parallelizes across nodes; the
+    /// *commit* applies the chosen starts in node order. Results are
+    /// therefore identical for any shard count.
     pub fn tick(&mut self, net: &mut Network) {
         self.cycle += 1;
         if self.params.adaptive && self.cycle - self.epoch_started >= self.params.epoch_cycles {
@@ -221,12 +261,92 @@ impl DiscoLayer {
             for slot in 0..self.engines[node].len() {
                 self.step_engine(net, node, slot);
             }
-            for slot in 0..self.engines[node].len() {
-                if matches!(self.engines[node][slot], Engine::Idle) {
-                    self.try_start(net, node, slot);
-                }
+        }
+        let scans = self.compute_scans(net);
+        for (node, scan) in scans.into_iter().enumerate() {
+            self.stats.low_confidence += scan.low_confidence;
+            for action in scan.starts {
+                self.commit_start(net, node, action);
             }
         }
+    }
+
+    /// Scan phase: one [`NodeScan`] per node, returned in node order.
+    fn compute_scans(&self, net: &Network) -> Vec<NodeScan> {
+        #[cfg(feature = "parallel")]
+        if net.compute_shards() > 1 {
+            return self.compute_scans_sharded(net);
+        }
+        (0..self.engines.len())
+            .map(|node| self.scan_node(net, node))
+            .collect()
+    }
+
+    /// Fans [`scan_node`](Self::scan_node) out over the same shard count
+    /// the network uses, joining shards in node order so the result is
+    /// indistinguishable from the serial scan.
+    #[cfg(feature = "parallel")]
+    fn compute_scans_sharded(&self, net: &Network) -> Vec<NodeScan> {
+        let nodes = self.engines.len();
+        if nodes == 0 {
+            return Vec::new();
+        }
+        let shards = net.compute_shards().min(nodes);
+        let chunk = nodes.div_ceil(shards).max(1);
+        let mut scans = Vec::with_capacity(nodes);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nodes)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(nodes);
+                    s.spawn(move || {
+                        (start..end)
+                            .map(|node| self.scan_node(net, node))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(shard) => scans.extend(shard),
+                    Err(_) => panic!("scan-phase worker panicked"),
+                }
+            }
+        });
+        scans
+    }
+
+    /// Pure per-node scan: decides which packets this node's idle engine
+    /// slots would start on, without touching any state. Packets claimed
+    /// by earlier slots in the same scan count as busy for later ones,
+    /// exactly as the serial start loop saw them.
+    fn scan_node(&self, net: &Network, node: usize) -> NodeScan {
+        let mut scan = NodeScan::default();
+        let mut busy: Vec<PacketId> = self.engines[node]
+            .iter()
+            .filter_map(Engine::target)
+            .collect();
+        for slot in 0..self.engines[node].len() {
+            if !matches!(self.engines[node][slot], Engine::Idle) {
+                continue;
+            }
+            let (best, saw_candidate) = self.pick_candidate(net, node, &busy);
+            match best {
+                Some((port, vc, packet, mode)) => {
+                    busy.push(packet);
+                    scan.starts.push(StartAction {
+                        slot,
+                        port,
+                        vc,
+                        packet,
+                        mode,
+                    });
+                }
+                None if saw_candidate => scan.low_confidence += 1,
+                None => {}
+            }
+        }
+        scan
     }
 
     /// Progress an active engine by one cycle.
@@ -472,8 +592,10 @@ impl DiscoLayer {
         }
     }
 
-    /// Step 1 + 2: filter this cycle's losers and start the best
-    /// candidate, if any clears its threshold.
+    /// Step 1 + 2: filter this cycle's losers and pick the best candidate
+    /// for one engine slot, if any clears its threshold. Pure — reads the
+    /// network, writes nothing. Returns the pick and whether any
+    /// candidate was seen at all (for the low-confidence counter).
     ///
     /// Candidates are the compressible data packets resident in a losing
     /// VC's buffer: the front packet (streamed separate-flit if its tail
@@ -481,20 +603,15 @@ impl DiscoLayer {
     /// be scheduled until the front leaves and therefore de/compresses
     /// risk-free — the compressor "copies the packets from input buffer"
     /// (§3.2 step 3), wherever they sit.
-    fn try_start(&mut self, net: &mut Network, node: usize, slot: usize) {
-        #[derive(Clone, Copy, PartialEq)]
-        enum Mode {
-            Whole,
-            Stream,
-            Decomp,
-            Queued,
-        }
+    #[allow(clippy::type_complexity)] // a one-shot (pick, saw_candidate) pair
+    fn pick_candidate(
+        &self,
+        net: &Network,
+        node: usize,
+        busy: &[PacketId],
+    ) -> (Option<(usize, usize, PacketId, Mode)>, bool) {
         let node_id = NodeId(node);
         let depth = net.config().buffer_depth;
-        let busy: Vec<PacketId> = self.engines[node]
-            .iter()
-            .filter_map(Engine::target)
-            .collect();
         let losers: Vec<(usize, usize)> = net.router(node_id).sa_losers().to_vec();
         let mut best: Option<(f64, usize, usize, PacketId, Mode)> = None;
         let mut saw_candidate = false;
@@ -606,12 +723,26 @@ impl DiscoLayer {
                 best = Some((conf, usize::MAX, response_vc, pid, Mode::Queued));
             }
         }
-        let Some((_, port, vc, pid, mode)) = best else {
-            if saw_candidate {
-                self.stats.low_confidence += 1;
-            }
-            return;
-        };
+        let pick = best.map(|(_, port, vc, pid, mode)| (port, vc, pid, mode));
+        (pick, saw_candidate)
+    }
+
+    /// Commit phase for one start: charge the codec, build the engine,
+    /// and (for blocking decompression) take the VC lock. The only
+    /// mutation site of the start path.
+    fn commit_start(&mut self, net: &mut Network, node: usize, action: StartAction) {
+        let StartAction {
+            slot,
+            port,
+            vc,
+            packet: pid,
+            mode,
+        } = action;
+        let node_id = NodeId(node);
+        debug_assert!(
+            matches!(self.engines[node][slot], Engine::Idle),
+            "scan only targets idle slots"
+        );
         let pkt = net.store().get(pid);
         self.stats.started += 1;
         match mode {

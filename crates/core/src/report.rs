@@ -154,6 +154,11 @@ impl SimReport {
         writeln!(w, "noc.avg_hops = {:.4}", self.network.avg_hops())?;
         writeln!(w, "noc.total_hops = {}", self.network.total_hops)?;
         writeln!(w, "noc.sa_losses = {}", self.network.sa_losses)?;
+        writeln!(
+            w,
+            "noc.routing_violations = {}",
+            self.network.routing_violations
+        )?;
         let [dreq, dresp, dcoh] = self.network.delivered_by_class;
         writeln!(w, "noc.delivered_by_class = {dreq} {dresp} {dcoh}")?;
         let [lreq, lresp, lcoh] = self.network.latency_by_class;

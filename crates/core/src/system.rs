@@ -36,8 +36,10 @@ pub enum SimError {
         /// Accesses still outstanding.
         outstanding: usize,
         /// Packets the NoC watchdog flags as unable to make progress by
-        /// themselves (locked or tail-less VCs). Zero means the budget
-        /// was simply too small; non-zero means a flow-control bug.
+        /// themselves (locked or tail-less VCs), plus any flits dropped
+        /// at the mesh edge (`routing_violations` — flit conservation
+        /// broken). Zero means the budget was simply too small; non-zero
+        /// means a flow-control bug.
         suspicious_stalls: usize,
     },
 }
@@ -894,7 +896,8 @@ impl System {
                                     | disco_noc::StallReason::MissingTail
                             )
                         })
-                        .count(),
+                        .count()
+                        + self.net.stats().routing_violations as usize,
                 });
             }
             self.tick();

@@ -1,0 +1,88 @@
+//! The **commit** half of the cycle kernel: the only place router state
+//! is mutated during a tick.
+//!
+//! [`commit_cycle`] applies every router's [`RouterOutcome`] in fixed
+//! node order — local allocation state first, then the cross-router
+//! effects of each departure (upstream credit return, link delivery,
+//! ejection) and the stat delta. Because the outcomes were computed
+//! from the cycle-start snapshot and the pass always walks nodes
+//! `0..n`, the committed state is identical no matter how the compute
+//! phase was scheduled, which is what keeps serial and `parallel`
+//! builds byte-exact.
+//!
+//! The `disco-verify` commit-confinement lint pins this property down
+//! statically: outside this module and `router.rs` itself, no code may
+//! write a router's internal fields.
+
+use crate::network::Network;
+use crate::phase::RouterOutcome;
+use crate::router::{Router, VcState};
+use crate::topology::{Direction, NodeId};
+
+/// Applies one router's own action lists: RC/VA state transitions, the
+/// winners' buffer pops and credit decrements, round-robin pointers,
+/// and the loser list the DISCO layer reads.
+pub(crate) fn commit_router_local(router: &mut Router, outcome: &RouterOutcome) {
+    for &(port, v, dir) in &outcome.routes {
+        router.inputs[port][v].state = VcState::Routed(dir);
+    }
+    for &(port, v, dir, out_vc) in &outcome.grants {
+        router.out_alloc[dir.index()][out_vc] = Some((port, v));
+        router.inputs[port][v].state = VcState::Active { out: dir, out_vc };
+    }
+    for dep in &outcome.departures {
+        let popped = router.inputs[dep.in_port][dep.in_vc].buffer.pop_front();
+        assert!(
+            popped.is_some_and(|f| f.packet == dep.flit.packet),
+            "commit desynchronized from compute: departing flit is not the buffer front"
+        );
+        if dep.out != Direction::Local {
+            router.credits[dep.out.index()][dep.out_vc] -= 1;
+        }
+        if dep.flit.kind.is_tail() {
+            router.out_alloc[dep.out.index()][dep.out_vc] = None;
+            router.inputs[dep.in_port][dep.in_vc].state = VcState::Idle;
+        }
+    }
+    router.rr_sa = outcome.rr_sa;
+    router.sa_losers.clear();
+    router.sa_losers.extend_from_slice(&outcome.sa_losers);
+}
+
+/// Applies every router's outcome in node order: local state, then the
+/// cross-router effects (credit returns upstream, link deliveries with
+/// the pipeline delay stamped in, ejections) and the stat merge.
+pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
+    debug_assert_eq!(outcomes.len(), net.routers.len());
+    let now = net.now;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        commit_router_local(&mut net.routers[i], outcome);
+        for dep in &outcome.departures {
+            // Return a credit upstream for the freed slot.
+            if dep.in_port != Direction::Local.index() {
+                let from_dir = Direction::ALL[dep.in_port];
+                if let Some(up) = net.mesh.neighbor(NodeId(i), from_dir) {
+                    net.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
+                }
+            }
+            if dep.out == Direction::Local {
+                if dep.flit.kind.is_tail() {
+                    net.delivered[i].push(dep.flit.packet);
+                }
+            } else {
+                let Some(next) = net.mesh.neighbor(NodeId(i), dep.out) else {
+                    // All supported routing functions are minimal and
+                    // stay inside the mesh; dropping the flit here beats
+                    // corrupting a neighbour that doesn't exist. The
+                    // compute phase counted it in routing_violations.
+                    debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
+                    continue;
+                };
+                let mut flit = dep.flit;
+                flit.ready_at = now + net.config.pipeline_stages;
+                net.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
+            }
+        }
+        net.stats.accumulate(&outcome.stats);
+    }
+}

@@ -116,9 +116,15 @@ impl Network {
     }
 
     /// True if any buffered packet is in a state that cannot resolve by
-    /// itself (locked or tail-less). A healthy congested network returns
-    /// `false` — credit and queueing stalls clear on their own.
+    /// itself (locked or tail-less), or if a flit was ever dropped at the
+    /// mesh edge ([`crate::NetworkStats::routing_violations`] — flit
+    /// conservation is broken, so counts can never reconcile again: a
+    /// flow-control bug, not congestion). A healthy congested network
+    /// returns `false` — credit and queueing stalls clear on their own.
     pub fn has_suspicious_stall(&self) -> bool {
+        if self.stats().routing_violations > 0 {
+            return true;
+        }
         self.health_check()
             .iter()
             .any(|s| matches!(s.reason, StallReason::Locked | StallReason::MissingTail))
@@ -187,6 +193,16 @@ mod tests {
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].reason, StallReason::Locked);
         assert_eq!(report[0].resident_flits, 3);
+    }
+
+    #[test]
+    fn routing_violation_is_suspicious() {
+        let mut net = Network::new(Mesh::new(2, 2), NocConfig::default());
+        assert!(!net.has_suspicious_stall());
+        // A dropped off-mesh flit breaks flit conservation even though no
+        // packet is visibly stuck yet.
+        net.stats_mut().routing_violations = 1;
+        assert!(net.has_suspicious_stall());
     }
 
     #[test]

@@ -32,10 +32,12 @@
 //! assert_eq!(net.take_delivered(NodeId(15)).len(), 1);
 //! ```
 
+mod commit;
 pub mod config;
 pub mod health;
 pub mod network;
 pub mod packet;
+mod phase;
 pub mod router;
 pub mod routing;
 pub mod stats;

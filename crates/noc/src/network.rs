@@ -2,7 +2,7 @@
 //! the extension API the DISCO layer drives.
 
 use crate::config::{FlowControl, NocConfig};
-use crate::packet::{flits_for, Flit, Packet, PacketClass, PacketId, PacketStore, Payload};
+use crate::packet::{flits_for, Packet, PacketClass, PacketId, PacketStore, Payload};
 use crate::router::Router;
 use crate::stats::NetworkStats;
 use crate::topology::{Direction, Mesh, NodeId};
@@ -35,9 +35,9 @@ struct InjectProgress {
 /// ```
 #[derive(Debug)]
 pub struct Network {
-    mesh: Mesh,
-    config: NocConfig,
-    routers: Vec<Router>,
+    pub(crate) mesh: Mesh,
+    pub(crate) config: NocConfig,
+    pub(crate) routers: Vec<Router>,
     store: PacketStore,
     /// Per-node, per-VC injection queues.
     inject_q: Vec<Vec<VecDeque<PacketId>>>,
@@ -47,9 +47,31 @@ pub struct Network {
     /// Round-robin over VCs for the single NI injection port.
     inject_rr: Vec<usize>,
     /// Packets fully ejected at each node, awaiting pickup.
-    delivered: Vec<Vec<PacketId>>,
-    stats: NetworkStats,
-    now: u64,
+    pub(crate) delivered: Vec<Vec<PacketId>>,
+    pub(crate) stats: NetworkStats,
+    pub(crate) now: u64,
+    /// Worker count for the compute phase, resolved once at build time
+    /// from [`NocConfig::compute_shards`] and the host.
+    #[cfg(feature = "parallel")]
+    shards: usize,
+}
+
+/// Resolves [`NocConfig::compute_shards`] against the host and mesh
+/// size. Auto mode (`0`) engages threads only when each worker gets a
+/// meaningful slice of routers; scoped-thread spawn overhead dwarfs the
+/// per-cycle compute of a small mesh.
+#[cfg(feature = "parallel")]
+fn effective_shards(requested: usize, routers: usize) -> usize {
+    const MIN_ROUTERS_PER_SHARD: usize = 16;
+    match requested {
+        0 => {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            cores.min(routers / MIN_ROUTERS_PER_SHARD).max(1)
+        }
+        n => n.min(routers.max(1)),
+    }
 }
 
 impl Network {
@@ -80,6 +102,23 @@ impl Network {
             delivered: vec![Vec::new(); n],
             stats: NetworkStats::new(),
             now: 0,
+            #[cfg(feature = "parallel")]
+            shards: effective_shards(config.compute_shards, n),
+        }
+    }
+
+    /// The number of workers the compute phase fans out over. Always `1`
+    /// in serial builds; under the `parallel` feature it is resolved
+    /// from [`NocConfig::compute_shards`]. The DISCO layer reuses it for
+    /// its own candidate scan.
+    pub fn compute_shards(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.shards
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            1
         }
     }
 
@@ -101,6 +140,13 @@ impl Network {
     /// Accumulated event counters.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Test-only mutable counters (e.g. staging a routing violation for
+    /// the health-check diagnostics).
+    #[cfg(test)]
+    pub(crate) fn stats_mut(&mut self) -> &mut NetworkStats {
+        &mut self.stats
     }
 
     /// The central packet store.
@@ -207,56 +253,71 @@ impl Network {
         Ok(())
     }
 
-    /// Advances the network one cycle: injection, RC/VA, SA/ST, link
-    /// traversal, ejection.
+    /// Advances the network one cycle: injection, then the pure compute
+    /// phase (RC/VA/SA for every router over the cycle-start snapshot),
+    /// then the node-ordered commit pass (switch/link traversal, credit
+    /// returns, ejection). Flits delivered to a neighbour become ready
+    /// only after the pipeline delay, so a flit advances at most one hop
+    /// per cycle regardless of commit order.
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
         self.inject();
-        for r in &mut self.routers {
-            r.rc_va(self.now, &self.store, &self.mesh);
-        }
-        // SA + switch/link traversal, router by router. Flits delivered to a
-        // neighbour become ready only after the pipeline delay, so a flit
-        // advances at most one hop per cycle regardless of router order.
-        for i in 0..self.routers.len() {
-            let departures = self.routers[i].sa(self.now, &self.store);
-            self.stats.sa_losses += self.routers[i].sa_losers().len() as u64;
-            if !departures.is_empty() {
-                self.stats.arbitrations += 1;
-            }
-            for dep in departures {
-                self.stats.buffer_reads += 1;
-                self.stats.crossbar_flits += 1;
-                // Return a credit upstream for the freed slot.
-                if dep.in_port != Direction::Local.index() {
-                    let from_dir = Direction::ALL[dep.in_port];
-                    if let Some(up) = self.mesh.neighbor(NodeId(i), from_dir) {
-                        self.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
-                    }
-                }
-                if dep.out == Direction::Local {
-                    self.eject(NodeId(i), dep.flit);
-                } else {
-                    let Some(next) = self.mesh.neighbor(NodeId(i), dep.out) else {
-                        // All supported routing functions are minimal and
-                        // stay inside the mesh; dropping the flit here
-                        // beats corrupting a neighbour that doesn't exist.
-                        debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
-                        continue;
-                    };
-                    let mut flit = dep.flit;
-                    flit.ready_at = self.now + self.config.pipeline_stages;
-                    self.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
-                    self.stats.link_flits += 1;
-                    self.stats.buffer_writes += 1;
-                }
-            }
-        }
+        let outcomes = self.compute_phase();
+        crate::commit::commit_cycle(self, &outcomes);
         #[cfg(feature = "validate")]
         if let Err(msg) = self.check_invariants() {
             panic!("validate: cycle {}: {msg}", self.now);
         }
+    }
+
+    /// Runs [`crate::phase::compute_router`] for every router. Routers
+    /// are disjoint state and the function is pure, so the sharded path
+    /// returns bit-identical outcomes in the same node order.
+    fn compute_phase(&self) -> Vec<crate::phase::RouterOutcome> {
+        #[cfg(feature = "parallel")]
+        if self.shards > 1 {
+            return self.compute_phase_sharded();
+        }
+        self.routers
+            .iter()
+            .map(|r| crate::phase::compute_router(r, self.now, &self.store, &self.mesh))
+            .collect()
+    }
+
+    /// Fans the per-router compute over scoped worker threads, one
+    /// contiguous router chunk per shard, and reassembles the outcomes
+    /// in node order.
+    #[cfg(feature = "parallel")]
+    fn compute_phase_sharded(&self) -> Vec<crate::phase::RouterOutcome> {
+        let chunk = self.routers.len().div_ceil(self.shards);
+        let now = self.now;
+        let store = &self.store;
+        let mesh = &self.mesh;
+        let mut outcomes = Vec::with_capacity(self.routers.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .routers
+                .chunks(chunk)
+                .map(|routers| {
+                    s.spawn(move || {
+                        routers
+                            .iter()
+                            .map(|r| crate::phase::compute_router(r, now, store, mesh))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(shard) => outcomes.extend(shard),
+                    // A worker panic is a simulator bug (compute is pure);
+                    // re-panic on the main thread with context.
+                    Err(_) => panic!("compute-phase worker panicked"),
+                }
+            }
+        });
+        outcomes
     }
 
     /// NI injection: one flit per node per cycle, round-robin over VCs.
@@ -292,21 +353,6 @@ impl Network {
                 self.inject_rr[node] = (vc + 1) % vcs;
                 break; // one flit per node per cycle
             }
-        }
-    }
-
-    /// Handles a flit ejected at `node`'s NI.
-    fn eject(&mut self, node: NodeId, flit: Flit) {
-        if flit.kind.is_tail() {
-            let pkt = self.store.get(flit.packet);
-            self.stats.packets_delivered += 1;
-            let latency = self.now - pkt.injected_at;
-            self.stats.total_packet_latency += latency;
-            self.stats.total_hops += self.mesh.hops(pkt.src, pkt.dst) as u64;
-            let ci = crate::stats::class_index(pkt.class);
-            self.stats.delivered_by_class[ci] += 1;
-            self.stats.latency_by_class[ci] += latency;
-            self.delivered[node.0].push(flit.packet);
         }
     }
 
@@ -516,6 +562,52 @@ mod tests {
         }
         assert_eq!(got, expected);
         assert!(n.is_idle());
+    }
+
+    /// Sharding only changes scheduling of the pure compute phase, so
+    /// every router's full state and every counter must match the
+    /// single-shard run bit for bit, cycle by cycle.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn sharded_compute_matches_serial() {
+        let run = |shards: usize| {
+            let config = NocConfig {
+                compute_shards: shards,
+                ..NocConfig::default()
+            };
+            let mut n = Network::new(Mesh::new(4, 4), config);
+            let line = CacheLine::from_u64_words([3, 5, 7, 9, 11, 13, 15, 17]);
+            for i in 0..16usize {
+                n.send(
+                    NodeId(i),
+                    NodeId((i + 5) % 16),
+                    PacketClass::Response,
+                    Payload::Raw(line),
+                    true,
+                    i as u64,
+                );
+                n.send(
+                    NodeId(i),
+                    NodeId((i * 3 + 1) % 16),
+                    PacketClass::Request,
+                    Payload::None,
+                    false,
+                    i as u64,
+                );
+            }
+            for _ in 0..400 {
+                n.tick();
+            }
+            // Routers embed a copy of the config; mask the one field that
+            // legitimately differs between runs so everything else must
+            // match bit for bit.
+            let routers = format!("{:?}", n.routers)
+                .replace(&format!("compute_shards: {shards}"), "compute_shards: _");
+            (format!("{:?}", n.stats()), routers)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "4 shards must be bit-exact");
+        assert_eq!(serial, run(16), "one router per shard must be bit-exact");
     }
 
     #[test]

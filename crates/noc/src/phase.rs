@@ -1,0 +1,300 @@
+//! The pure **compute** half of the cycle kernel.
+//!
+//! [`compute_router`] runs one router's RC, VA, and SA stages as a pure
+//! function over an immutable snapshot of that router's state at the
+//! start of the cycle, and returns the decisions as typed action lists
+//! ([`RouterOutcome`]). It mutates nothing: within-cycle dependencies
+//! (VA sees this cycle's RC, SA sees this cycle's VA) are tracked in
+//! small local overlays of the per-VC state and the output allocation
+//! table, while buffers and credits are only read.
+//!
+//! Because every router's outcome depends only on the cycle-start
+//! snapshot, the compute phase may run for all routers in any order —
+//! or in parallel (`parallel` feature) — and the result is identical by
+//! construction. All mutation happens afterwards in the commit pass
+//! ([`crate::commit`]), in fixed node order.
+
+use crate::config::FlowControl;
+use crate::packet::{Flit, PacketClass, PacketId, PacketStore, Payload};
+use crate::router::{Router, VcState, PORTS};
+use crate::routing::route;
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, Mesh};
+
+/// A flit leaving a router this cycle, to be applied by the commit pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Departure {
+    pub flit: Flit,
+    pub in_port: usize,
+    pub in_vc: usize,
+    pub out: Direction,
+    pub out_vc: usize,
+}
+
+/// Everything one router decided in one cycle's compute phase: typed
+/// action lists plus this router's stat delta. The commit pass applies
+/// the lists in node order; nothing here aliases router state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RouterOutcome {
+    /// RC results: `(in_port, in_vc, out_dir)` — the VC becomes `Routed`.
+    pub routes: Vec<(usize, usize, Direction)>,
+    /// VA results: `(in_port, in_vc, out_dir, out_vc)` — the VC becomes
+    /// `Active` and acquires the output VC.
+    pub grants: Vec<(usize, usize, Direction, usize)>,
+    /// SA winners: one flit leaves per output port, with the credit
+    /// decrement, link delivery or ejection applied at commit.
+    pub departures: Vec<Departure>,
+    /// Post-arbitration round-robin pointers, one per output port.
+    pub rr_sa: [usize; PORTS],
+    /// This cycle's allocation losers (the DISCO compression candidates).
+    pub sa_losers: Vec<(usize, usize)>,
+    /// This router's contribution to the network counters this cycle.
+    pub stats: NetworkStats,
+}
+
+/// Priority class for switch allocation (§3.3-B): lower wins.
+fn sa_priority(router: &Router, store: &PacketStore, packet: PacketId) -> u8 {
+    let pkt = store.get(packet);
+    let policy = router.config.scheduling;
+    if policy.demote_uncompressed
+        && pkt.compressible
+        && !pkt.critical
+        && matches!(pkt.payload, Payload::Raw(_))
+    {
+        return 2;
+    }
+    if policy.prioritize_critical && pkt.class == PacketClass::Coherence {
+        return 1;
+    }
+    0
+}
+
+/// The virtual channels a packet class may use: the VC space is split
+/// into one virtual network per class group to stay deadlock-free.
+fn class_vcs(router: &Router, class: PacketClass) -> std::ops::Range<usize> {
+    class.vc_range(router.config.vcs)
+}
+
+/// Runs RC + VA + SA for one router against its cycle-start snapshot and
+/// returns the typed outcome. Pure: `router` is only read.
+pub(crate) fn compute_router(
+    router: &Router,
+    now: u64,
+    store: &PacketStore,
+    mesh: &Mesh,
+) -> RouterOutcome {
+    let vcs = router.config.vcs;
+    let flat = |port: usize, v: usize| port * vcs + v;
+    // Local overlays: VA must see this cycle's RC and SA must see this
+    // cycle's VA, all without touching the router.
+    let mut state: Vec<VcState> = Vec::with_capacity(PORTS * vcs);
+    for port in 0..PORTS {
+        for v in 0..vcs {
+            state.push(router.inputs[port][v].state);
+        }
+    }
+    let mut alloc: Vec<Option<(usize, usize)>> = Vec::with_capacity(PORTS * vcs);
+    for oi in 0..PORTS {
+        for ov in 0..vcs {
+            alloc.push(router.out_alloc[oi][ov]);
+        }
+    }
+    let mut outcome = RouterOutcome {
+        rr_sa: router.rr_sa,
+        ..RouterOutcome::default()
+    };
+
+    // RC + VA, in the same (port, vc) order as the legacy in-place loop.
+    for port in 0..PORTS {
+        for v in 0..vcs {
+            // RC: a fresh head flit gets its output direction.
+            if state[flat(port, v)] == VcState::Idle {
+                let front = match router.inputs[port][v].buffer.front() {
+                    Some(f) if f.kind.is_head() && f.ready_at <= now => *f,
+                    _ => continue,
+                };
+                let pkt = store.get(front.packet);
+                let group = class_vcs(router, pkt.class);
+                let dir = route(
+                    router.config.routing,
+                    mesh,
+                    router.node,
+                    pkt.dst,
+                    front.packet.0,
+                    |d| {
+                        group
+                            .clone()
+                            .map(|vc| router.credits[d.index()][vc])
+                            .max()
+                            .unwrap_or(0)
+                    },
+                );
+                state[flat(port, v)] = VcState::Routed(dir);
+                outcome.routes.push((port, v, dir));
+            }
+            // VA: acquire the class VC on the output port.
+            if let VcState::Routed(dir) = state[flat(port, v)] {
+                let packet = match router.inputs[port][v].front_packet() {
+                    Some(p) => p,
+                    None => continue,
+                };
+                let pkt = store.get(packet);
+                // Acquire any free VC of the class group on the output
+                // port (VCT/SAF additionally need whole-packet credit,
+                // §3.3-A).
+                let out_vc = class_vcs(router, pkt.class).find(|&cand| {
+                    if alloc[flat(dir.index(), cand)].is_some() {
+                        return false;
+                    }
+                    match router.config.flow_control {
+                        FlowControl::Wormhole => true,
+                        _ => router.credits[dir.index()][cand] >= pkt.size_flits(),
+                    }
+                });
+                let Some(out_vc) = out_vc else { continue };
+                alloc[flat(dir.index(), out_vc)] = Some((port, v));
+                state[flat(port, v)] = VcState::Active { out: dir, out_vc };
+                outcome.grants.push((port, v, dir, out_vc));
+            }
+        }
+    }
+
+    // SA + traversal decisions: one winner per output port. Credits are
+    // read from the snapshot only — each output is arbitrated exactly
+    // once per cycle and outputs never share a credit counter, so no
+    // overlay is needed.
+    for out in Direction::ALL {
+        let oi = out.index();
+        // Gather candidates: active VCs routed to this output with a
+        // ready front flit and downstream credit.
+        let mut candidates: Vec<(usize, usize, usize, u8)> = Vec::new(); // (port, vc, out_vc, prio)
+        for port in 0..PORTS {
+            for v in 0..vcs {
+                let (o, out_vc) = match state[flat(port, v)] {
+                    VcState::Active { out: o, out_vc } => (o, out_vc),
+                    _ => continue,
+                };
+                if o != out {
+                    continue;
+                }
+                let vc = &router.inputs[port][v];
+                let front = match vc.buffer.front() {
+                    Some(f) if f.ready_at <= now => *f,
+                    _ => continue,
+                };
+                if vc.locked {
+                    // Committed de/compression: the shadow is invalid
+                    // and must not be scheduled.
+                    continue;
+                }
+                if router.credits[oi][out_vc] == 0 {
+                    outcome.sa_losers.push((port, v));
+                    continue;
+                }
+                if router.config.flow_control == FlowControl::StoreAndForward
+                    && front.kind.is_head()
+                    && !front.kind.is_tail()
+                    && !vc.has_tail_of(front.packet)
+                {
+                    // SAF: the whole packet must be buffered before the
+                    // head may leave.
+                    continue;
+                }
+                let prio = sa_priority(router, store, front.packet);
+                candidates.push((port, v, out_vc, prio));
+            }
+        }
+        // Winner: highest priority class, round-robin within it. The
+        // lexicographic key picks the best-priority candidate closest
+        // after the round-robin pointer.
+        let rr = outcome.rr_sa[oi];
+        let Some(winner) = candidates
+            .iter()
+            .min_by_key(|c| {
+                let flat_in = c.0 * vcs + c.1;
+                (c.3, (flat_in + PORTS * vcs - rr) % (PORTS * vcs))
+            })
+            .copied()
+        else {
+            continue;
+        };
+        outcome.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
+        // Everyone else idles: these are DISCO's compression candidates.
+        for c in &candidates {
+            if (c.0, c.1) != (winner.0, winner.1) {
+                outcome.sa_losers.push((c.0, c.1));
+            }
+        }
+        let (port, v, out_vc, _) = winner;
+        let flit = match router.inputs[port][v].buffer.front() {
+            Some(f) => *f,
+            None => {
+                // A candidate was admitted above only with a ready front
+                // flit; an empty buffer here is unreachable.
+                debug_assert!(false, "SA winner lost its front flit");
+                continue;
+            }
+        };
+        if flit.kind.is_tail() {
+            // Release the output VC and idle the input within this
+            // cycle's overlay (matters for the VA-loser sweep below).
+            alloc[flat(oi, out_vc)] = None;
+            state[flat(port, v)] = VcState::Idle;
+        }
+        outcome.departures.push(Departure {
+            flit,
+            in_port: port,
+            in_vc: v,
+            out,
+            out_vc,
+        });
+    }
+
+    // VA losers also idle and are therefore compression candidates
+    // (§3.2 step 1 collects losers of both VC and switch allocation).
+    for port in 0..PORTS {
+        for v in 0..vcs {
+            let vc = &router.inputs[port][v];
+            if vc.locked {
+                continue;
+            }
+            if let VcState::Routed(_) = state[flat(port, v)] {
+                if matches!(vc.buffer.front(), Some(f) if f.ready_at <= now) {
+                    outcome.sa_losers.push((port, v));
+                }
+            }
+        }
+    }
+
+    // Stat delta: everything the legacy loop counted inline, derived
+    // purely from the decisions above.
+    outcome.stats.sa_losses = outcome.sa_losers.len() as u64;
+    if !outcome.departures.is_empty() {
+        outcome.stats.arbitrations = 1;
+    }
+    for dep in &outcome.departures {
+        outcome.stats.buffer_reads += 1;
+        outcome.stats.crossbar_flits += 1;
+        if dep.out == Direction::Local {
+            if dep.flit.kind.is_tail() {
+                let pkt = store.get(dep.flit.packet);
+                outcome.stats.packets_delivered += 1;
+                let latency = now - pkt.injected_at;
+                outcome.stats.total_packet_latency += latency;
+                outcome.stats.total_hops += mesh.hops(pkt.src, pkt.dst) as u64;
+                let ci = crate::stats::class_index(pkt.class);
+                outcome.stats.delivered_by_class[ci] += 1;
+                outcome.stats.latency_by_class[ci] += latency;
+            }
+        } else if mesh.neighbor(router.node, dep.out).is_some() {
+            outcome.stats.link_flits += 1;
+            outcome.stats.buffer_writes += 1;
+        } else {
+            // The commit pass drops this flit (no neighbour to corrupt);
+            // the counter keeps the conservation bug visible in release
+            // builds where the debug assertion is compiled out.
+            outcome.stats.routing_violations += 1;
+        }
+    }
+    outcome
+}

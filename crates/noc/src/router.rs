@@ -3,14 +3,16 @@
 //!
 //! Per cycle the router performs route computation (RC) for new head
 //! flits, virtual-channel allocation (VA), and switch allocation (SA)
-//! with per-class priorities. Pipeline depth is modelled by delaying a
-//! flit's readiness after each hop. Credit-based backpressure tracks the
-//! free slots of each downstream virtual channel.
+//! with per-class priorities — all three stages run as the pure
+//! [`crate::phase::compute_router`] function over this struct's
+//! cycle-start snapshot, and the resulting action lists are applied by
+//! [`crate::commit`]. Pipeline depth is modelled by delaying a flit's
+//! readiness after each hop. Credit-based backpressure tracks the free
+//! slots of each downstream virtual channel.
 
-use crate::config::{FlowControl, NocConfig};
-use crate::packet::{Flit, PacketClass, PacketId, PacketStore, Payload};
-use crate::routing::route;
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::config::NocConfig;
+use crate::packet::{Flit, PacketId};
+use crate::topology::{Direction, NodeId};
 use std::collections::VecDeque;
 
 /// Number of router ports (N/S/E/W/Local).
@@ -101,31 +103,24 @@ impl Vc {
     }
 }
 
-/// A flit leaving the router this cycle, to be delivered by the network.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Departure {
-    pub flit: Flit,
-    pub in_port: usize,
-    pub in_vc: usize,
-    pub out: Direction,
-    pub out_vc: usize,
-}
-
-/// A mesh router.
+/// A mesh router. Fields are crate-visible so the pure compute phase
+/// ([`crate::phase`]) can snapshot them and the commit pass
+/// ([`crate::commit`]) can apply action lists; everything else goes
+/// through the public accessors.
 #[derive(Debug, Clone)]
 pub struct Router {
-    node: NodeId,
-    config: NocConfig,
-    inputs: Vec<Vec<Vc>>,
+    pub(crate) node: NodeId,
+    pub(crate) config: NocConfig,
+    pub(crate) inputs: Vec<Vec<Vc>>,
     /// Which (in_port, in_vc) currently owns each (out_port, out_vc).
-    out_alloc: Vec<Vec<Option<(usize, usize)>>>,
+    pub(crate) out_alloc: Vec<Vec<Option<(usize, usize)>>>,
     /// Free slots in the downstream input buffer per (out_port, out_vc).
-    credits: Vec<Vec<usize>>,
+    pub(crate) credits: Vec<Vec<usize>>,
     /// Per-output round-robin pointer over flattened (port, vc) inputs.
-    rr_sa: [usize; PORTS],
+    pub(crate) rr_sa: [usize; PORTS],
     /// Switch-allocation losers of the last cycle: the idling packets the
     /// DISCO arbitrator filters (§3.2 step 1).
-    sa_losers: Vec<(usize, usize)>,
+    pub(crate) sa_losers: Vec<(usize, usize)>,
 }
 
 impl Router {
@@ -183,192 +178,6 @@ impl Router {
     /// Sets or clears the DISCO shadow lock on a VC.
     pub fn set_locked(&mut self, port: usize, vc: usize, locked: bool) {
         self.inputs[port][vc].locked = locked;
-    }
-
-    /// The virtual channels a packet class may use: the VC space is split
-    /// into one virtual network per class group to stay deadlock-free.
-    fn class_vcs(&self, class: PacketClass) -> std::ops::Range<usize> {
-        class.vc_range(self.config.vcs)
-    }
-
-    /// Route computation + virtual-channel allocation for every input VC.
-    pub(crate) fn rc_va(&mut self, now: u64, store: &PacketStore, mesh: &Mesh) {
-        for port in 0..PORTS {
-            for v in 0..self.config.vcs {
-                // RC: a fresh head flit gets its output direction.
-                if self.inputs[port][v].state == VcState::Idle {
-                    let front = match self.inputs[port][v].buffer.front() {
-                        Some(f) if f.kind.is_head() && f.ready_at <= now => *f,
-                        _ => continue,
-                    };
-                    let pkt = store.get(front.packet);
-                    let group = self.class_vcs(pkt.class);
-                    let dir = route(
-                        self.config.routing,
-                        mesh,
-                        self.node,
-                        pkt.dst,
-                        front.packet.0,
-                        |d| {
-                            group
-                                .clone()
-                                .map(|vc| self.credits[d.index()][vc])
-                                .max()
-                                .unwrap_or(0)
-                        },
-                    );
-                    self.inputs[port][v].state = VcState::Routed(dir);
-                }
-                // VA: acquire the class VC on the output port.
-                if let VcState::Routed(dir) = self.inputs[port][v].state {
-                    let packet = match self.inputs[port][v].front_packet() {
-                        Some(p) => p,
-                        None => continue,
-                    };
-                    let pkt = store.get(packet);
-                    // Acquire any free VC of the class group on the output
-                    // port (VCT/SAF additionally need whole-packet credit,
-                    // §3.3-A).
-                    let out_vc = self.class_vcs(pkt.class).find(|&cand| {
-                        if self.out_alloc[dir.index()][cand].is_some() {
-                            return false;
-                        }
-                        match self.config.flow_control {
-                            FlowControl::Wormhole => true,
-                            _ => self.credits[dir.index()][cand] >= pkt.size_flits(),
-                        }
-                    });
-                    let Some(out_vc) = out_vc else { continue };
-                    self.out_alloc[dir.index()][out_vc] = Some((port, v));
-                    self.inputs[port][v].state = VcState::Active { out: dir, out_vc };
-                }
-            }
-        }
-    }
-
-    /// Priority class for switch allocation (§3.3-B): lower wins.
-    fn sa_priority(&self, store: &PacketStore, packet: PacketId) -> u8 {
-        let pkt = store.get(packet);
-        let policy = self.config.scheduling;
-        if policy.demote_uncompressed
-            && pkt.compressible
-            && !pkt.critical
-            && matches!(pkt.payload, Payload::Raw(_))
-        {
-            return 2;
-        }
-        if policy.prioritize_critical && pkt.class == PacketClass::Coherence {
-            return 1;
-        }
-        0
-    }
-
-    /// Switch allocation + traversal: picks one winner per output port and
-    /// pops its front flit. Returns the departing flits.
-    pub(crate) fn sa(&mut self, now: u64, store: &PacketStore) -> Vec<Departure> {
-        self.sa_losers.clear();
-        let mut departures = Vec::new();
-        let vcs = self.config.vcs;
-        for out in Direction::ALL {
-            let oi = out.index();
-            // Gather candidates: active VCs routed to this output with a
-            // ready front flit and downstream credit.
-            let mut candidates: Vec<(usize, usize, usize, u8)> = Vec::new(); // (port, vc, out_vc, prio)
-            for port in 0..PORTS {
-                for v in 0..vcs {
-                    let vc = &self.inputs[port][v];
-                    let (o, out_vc) = match vc.state {
-                        VcState::Active { out: o, out_vc } => (o, out_vc),
-                        _ => continue,
-                    };
-                    if o != out {
-                        continue;
-                    }
-                    let front = match vc.buffer.front() {
-                        Some(f) if f.ready_at <= now => *f,
-                        _ => continue,
-                    };
-                    if vc.locked {
-                        // Committed de/compression: the shadow is invalid
-                        // and must not be scheduled.
-                        continue;
-                    }
-                    if self.credits[oi][out_vc] == 0 {
-                        self.sa_losers.push((port, v));
-                        continue;
-                    }
-                    if self.config.flow_control == FlowControl::StoreAndForward
-                        && front.kind.is_head()
-                        && !front.kind.is_tail()
-                        && !vc.has_tail_of(front.packet)
-                    {
-                        // SAF: the whole packet must be buffered before the
-                        // head may leave.
-                        continue;
-                    }
-                    let prio = self.sa_priority(store, front.packet);
-                    candidates.push((port, v, out_vc, prio));
-                }
-            }
-            // Winner: highest priority class, round-robin within it. The
-            // lexicographic key picks the best-priority candidate closest
-            // after the round-robin pointer.
-            let rr = self.rr_sa[oi];
-            let Some(winner) = candidates
-                .iter()
-                .min_by_key(|c| {
-                    let flat = c.0 * vcs + c.1;
-                    (c.3, (flat + PORTS * vcs - rr) % (PORTS * vcs))
-                })
-                .copied()
-            else {
-                continue;
-            };
-            self.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
-            // Everyone else idles: these are DISCO's compression candidates.
-            for c in &candidates {
-                if (c.0, c.1) != (winner.0, winner.1) {
-                    self.sa_losers.push((c.0, c.1));
-                }
-            }
-            let (port, v, out_vc, _) = winner;
-            let Some(flit) = self.inputs[port][v].buffer.pop_front() else {
-                // A candidate was admitted above only with a ready front
-                // flit; an empty buffer here is unreachable.
-                debug_assert!(false, "SA winner lost its front flit");
-                continue;
-            };
-            if out != Direction::Local {
-                self.credits[oi][out_vc] -= 1;
-            }
-            if flit.kind.is_tail() {
-                self.out_alloc[oi][out_vc] = None;
-                self.inputs[port][v].state = VcState::Idle;
-            }
-            departures.push(Departure {
-                flit,
-                in_port: port,
-                in_vc: v,
-                out,
-                out_vc,
-            });
-        }
-        // VA losers also idle and are therefore compression candidates
-        // (§3.2 step 1 collects losers of both VC and switch allocation).
-        for port in 0..PORTS {
-            for v in 0..vcs {
-                let vc = &self.inputs[port][v];
-                if vc.locked {
-                    continue;
-                }
-                if let VcState::Routed(_) = vc.state {
-                    if matches!(vc.buffer.front(), Some(f) if f.ready_at <= now) {
-                        self.sa_losers.push((port, v));
-                    }
-                }
-            }
-        }
-        departures
     }
 
     /// Accepts a flit arriving on an input port (from a link or the NI).
@@ -557,6 +366,18 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::commit::commit_router_local;
+    use crate::packet::{PacketClass, PacketStore, Payload};
+    use crate::phase::{compute_router, Departure};
+    use crate::topology::Mesh;
+
+    /// One router-local cycle: pure compute, then commit, as the network
+    /// kernel does — minus the cross-router effects.
+    fn step(r: &mut Router, now: u64, store: &PacketStore, mesh: &Mesh) -> Vec<Departure> {
+        let outcome = compute_router(r, now, store, mesh);
+        commit_router_local(r, &outcome);
+        outcome.departures
+    }
 
     fn store_with_packet(dst: NodeId, class: PacketClass) -> (PacketStore, PacketId) {
         let mut store = PacketStore::new();
@@ -565,7 +386,7 @@ mod tests {
     }
 
     #[test]
-    fn rc_va_assigns_route_and_vc() {
+    fn compute_assigns_route_and_vc() {
         let mesh = Mesh::new(4, 4);
         let config = NocConfig::default();
         let mut r = Router::new(NodeId(0), config);
@@ -575,16 +396,32 @@ mod tests {
             0,
             crate::packet::flits_for(id, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
-        let vc = r.vc(Direction::Local.index(), 0);
-        assert_eq!(vc.routed_dir(), Some(Direction::East));
-        assert!(matches!(
-            r.inputs[Direction::Local.index()][0].state,
-            VcState::Active {
-                out: Direction::East,
-                out_vc: 0
-            }
-        ));
+        let outcome = compute_router(&r, 0, &store, &mesh);
+        assert_eq!(
+            outcome.routes,
+            vec![(Direction::Local.index(), 0, Direction::East)]
+        );
+        assert_eq!(
+            outcome.grants,
+            vec![(Direction::Local.index(), 0, Direction::East, 0)]
+        );
+    }
+
+    #[test]
+    fn compute_is_pure_until_commit() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let (store, id) = store_with_packet(NodeId(3), PacketClass::Request);
+        r.accept(
+            Direction::Local.index(),
+            0,
+            crate::packet::flits_for(id, 1, 0)[0],
+        );
+        let before = format!("{r:?}");
+        let outcome = compute_router(&r, 0, &store, &mesh);
+        assert_eq!(format!("{r:?}"), before, "compute must not mutate");
+        commit_router_local(&mut r, &outcome);
+        assert_ne!(format!("{r:?}"), before, "commit applies the outcome");
     }
 
     #[test]
@@ -597,8 +434,7 @@ mod tests {
             0,
             crate::packet::flits_for(id, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
-        let deps = r.sa(0, &store);
+        let deps = step(&mut r, 0, &store, &mesh);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out, Direction::East);
         // Tail departed: VC released.
@@ -643,13 +479,11 @@ mod tests {
             0,
             crate::packet::flits_for(b, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
         // Only one can own the East VC; the other stays Routed (VA loser).
-        let deps = r.sa(0, &store);
+        let deps = step(&mut r, 0, &store, &mesh);
         assert_eq!(deps.len(), 1);
         // Next cycle the VA loser acquires the VC and departs.
-        r.rc_va(1, &store, &mesh);
-        let deps2 = r.sa(1, &store);
+        let deps2 = step(&mut r, 1, &store, &mesh);
         assert_eq!(deps2.len(), 1);
         assert_ne!(deps[0].flit.packet, deps2[0].flit.packet);
     }
@@ -688,14 +522,12 @@ mod tests {
             0,
             crate::packet::flits_for(req, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
         // Whichever got the out VC in VA wins; force the contest at SA by
         // checking that when both are active... only one can be Active on
         // out_vc 0, so the loser is a VA loser. The request should not be
         // starved across two cycles.
-        let first = r.sa(0, &store);
-        r.rc_va(1, &store, &mesh);
-        let second = r.sa(1, &store);
+        let first = step(&mut r, 0, &store, &mesh);
+        let second = step(&mut r, 1, &store, &mesh);
         let order: Vec<PacketId> = first
             .iter()
             .chain(second.iter())
@@ -714,11 +546,11 @@ mod tests {
             0,
             crate::packet::flits_for(id, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
         r.set_locked(Direction::Local.index(), 0, true);
-        assert!(r.sa(0, &store).is_empty());
+        // RC/VA still run for a locked VC; only SA skips it.
+        assert!(step(&mut r, 0, &store, &mesh).is_empty());
         r.set_locked(Direction::Local.index(), 0, false);
-        assert_eq!(r.sa(1, &store).len(), 1);
+        assert_eq!(step(&mut r, 1, &store, &mesh).len(), 1);
     }
 
     #[test]
@@ -753,18 +585,16 @@ mod tests {
             0,
             crate::packet::flits_for(a, 1, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
-        assert_eq!(r.sa(0, &store).len(), 1); // consumes the only credit
+        assert_eq!(step(&mut r, 0, &store, &mesh).len(), 1); // consumes the only credit
         r.accept(
             Direction::Local.index(),
             0,
             crate::packet::flits_for(b, 1, 0)[0],
         );
-        r.rc_va(1, &store, &mesh);
-        assert!(r.sa(1, &store).is_empty(), "no credit left");
+        assert!(step(&mut r, 1, &store, &mesh).is_empty(), "no credit left");
         assert_eq!(r.sa_losers(), &[(Direction::Local.index(), 0)]);
         r.return_credit(Direction::East, 0);
-        assert_eq!(r.sa(2, &store).len(), 1);
+        assert_eq!(step(&mut r, 2, &store, &mesh).len(), 1);
     }
 
     #[test]
@@ -836,7 +666,9 @@ mod tests {
             3,
             crate::packet::flits_for(b, 8, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
+        let _ = step(&mut r, 0, &store, &mesh);
+        // The SA winner's head departed but neither packet is done, so
+        // both VCs stay Active on their granted output VC.
         let states: Vec<_> = [(Direction::Local.index(), 2), (Direction::North.index(), 3)]
             .into_iter()
             .map(|(p, v)| r.inputs[p][v].state)
@@ -893,14 +725,21 @@ mod tests {
             2,
             crate::packet::flits_for(resp, 8, 0)[0],
         );
-        r.rc_va(0, &store, &mesh);
-        match r.inputs[Direction::Local.index()][0].state {
-            VcState::Active { out_vc, .. } => assert!(out_vc < 2),
-            other => panic!("request not active: {other:?}"),
+        let outcome = compute_router(&r, 0, &store, &mesh);
+        let grant_of = |port: usize, v: usize| {
+            outcome
+                .grants
+                .iter()
+                .find(|g| g.0 == port && g.1 == v)
+                .map(|g| g.3)
+        };
+        match grant_of(Direction::Local.index(), 0) {
+            Some(out_vc) => assert!(out_vc < 2),
+            None => panic!("request got no VC grant"),
         }
-        match r.inputs[Direction::Local.index()][2].state {
-            VcState::Active { out_vc, .. } => assert!(out_vc >= 2),
-            other => panic!("response not active: {other:?}"),
+        match grant_of(Direction::Local.index(), 2) {
+            Some(out_vc) => assert!(out_vc >= 2),
+            None => panic!("response got no VC grant"),
         }
     }
 

@@ -32,12 +32,40 @@ pub struct NetworkStats {
     pub delivered_by_class: [u64; 3],
     /// Summed end-to-end latency by class (same indexing).
     pub latency_by_class: [u64; 3],
+    /// Flits a router tried to forward off the mesh edge. The commit pass
+    /// drops such a flit rather than corrupt a neighbour that does not
+    /// exist, so a non-zero count means flit conservation is broken — a
+    /// routing-function bug, never a runtime condition.
+    pub routing_violations: u64,
 }
 
 impl NetworkStats {
     /// Zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Adds another counter block into this one, field by field. The
+    /// commit pass merges the per-router deltas of the compute phase in
+    /// node order; u64 addition commutes, so the totals are identical
+    /// for any shard count.
+    pub fn accumulate(&mut self, delta: &NetworkStats) {
+        self.cycles += delta.cycles;
+        self.packets_injected += delta.packets_injected;
+        self.packets_delivered += delta.packets_delivered;
+        self.link_flits += delta.link_flits;
+        self.buffer_writes += delta.buffer_writes;
+        self.buffer_reads += delta.buffer_reads;
+        self.crossbar_flits += delta.crossbar_flits;
+        self.arbitrations += delta.arbitrations;
+        self.sa_losses += delta.sa_losses;
+        self.total_packet_latency += delta.total_packet_latency;
+        self.total_hops += delta.total_hops;
+        for i in 0..3 {
+            self.delivered_by_class[i] += delta.delivered_by_class[i];
+            self.latency_by_class[i] += delta.latency_by_class[i];
+        }
+        self.routing_violations += delta.routing_violations;
     }
 
     /// Mean end-to-end packet latency in cycles.
@@ -106,6 +134,42 @@ mod tests {
         s.latency_by_class[class_index(PacketClass::Response)] = 60;
         assert_eq!(s.avg_latency_of(PacketClass::Response), 30.0);
         assert_eq!(s.avg_latency_of(PacketClass::Request), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_every_field() {
+        let mut a = NetworkStats {
+            cycles: 1,
+            packets_injected: 2,
+            packets_delivered: 3,
+            link_flits: 4,
+            buffer_writes: 5,
+            buffer_reads: 6,
+            crossbar_flits: 7,
+            arbitrations: 8,
+            sa_losses: 9,
+            total_packet_latency: 10,
+            total_hops: 11,
+            delivered_by_class: [1, 2, 3],
+            latency_by_class: [4, 5, 6],
+            routing_violations: 12,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 2);
+        assert_eq!(a.packets_injected, 4);
+        assert_eq!(a.packets_delivered, 6);
+        assert_eq!(a.link_flits, 8);
+        assert_eq!(a.buffer_writes, 10);
+        assert_eq!(a.buffer_reads, 12);
+        assert_eq!(a.crossbar_flits, 14);
+        assert_eq!(a.arbitrations, 16);
+        assert_eq!(a.sa_losses, 18);
+        assert_eq!(a.total_packet_latency, 20);
+        assert_eq!(a.total_hops, 22);
+        assert_eq!(a.delivered_by_class, [2, 4, 6]);
+        assert_eq!(a.latency_by_class, [8, 10, 12]);
+        assert_eq!(a.routing_violations, 24);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Source-convention lints: a lightweight file-walk scanner with no
 //! dependencies beyond `std`.
 //!
-//! Two rules:
+//! Three rules:
 //!
 //! 1. **Panic-free hot paths** — the files executed every simulated cycle
 //!    must not call `.unwrap()` or `.expect(...)`. Recoverable conditions
@@ -13,6 +13,11 @@
 //!    `NetworkStats` and `DiscoStats` must appear in `report.rs`, so no
 //!    measurement silently drops out of the stats file the experiments
 //!    diff.
+//! 3. **Commit confinement** — the phase-split cycle kernel keeps its
+//!    determinism guarantee only if every `Router` field write happens in
+//!    the node-ordered commit pass. No file in `crates/noc/src` other
+//!    than `commit.rs` (and `router.rs` itself) may mutate a router's
+//!    `inputs`, `out_alloc`, `credits`, `rr_sa`, or `sa_losers` directly.
 
 use std::fs;
 use std::io;
@@ -22,6 +27,8 @@ use std::path::{Path, PathBuf};
 pub const HOT_PATHS: &[&str] = &[
     "crates/noc/src/router.rs",
     "crates/noc/src/network.rs",
+    "crates/noc/src/phase.rs",
+    "crates/noc/src/commit.rs",
     "crates/noc/src/routing.rs",
     "crates/noc/src/packet.rs",
     "crates/core/src/engine.rs",
@@ -29,6 +36,27 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/cache/src/nuca.rs",
     "crates/cache/src/l1.rs",
     "crates/cache/src/mshr.rs",
+];
+
+/// `Router` fields only the commit pass may write. The compute phase
+/// reads them through snapshots; everything else goes through `Router`
+/// methods.
+const ROUTER_FIELDS: &[&str] = &["inputs", "out_alloc", "credits", "rr_sa", "sa_losers"];
+
+/// Method calls that mutate a field's container in place.
+const MUTATING_CALLS: &[&str] = &[
+    ".push(",
+    ".pop_front(",
+    ".pop_back(",
+    ".clear(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".insert(",
+    ".remove(",
+    ".drain(",
+    ".truncate(",
+    ".swap(",
+    ".fill(",
 ];
 
 /// The counter structs whose fields must be surfaced, and where they live.
@@ -102,6 +130,138 @@ pub fn scan_source(text: &str) -> Vec<(usize, String)> {
         }
     }
     findings
+}
+
+/// Scans `crates/noc/src` for `Router` field mutations outside the
+/// commit module (rule 3).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_commit_confinement(root: &Path) -> io::Result<Vec<Violation>> {
+    let dir = Path::new("crates/noc/src");
+    let mut names: Vec<String> = fs::read_dir(root.join(dir))?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".rs") && n != "router.rs" && n != "commit.rs")
+        .collect();
+    names.sort();
+    let mut violations = Vec::new();
+    for name in names {
+        let rel = dir.join(&name);
+        let text = fs::read_to_string(root.join(&rel))?;
+        for (line, message) in scan_confinement(&text) {
+            violations.push(Violation {
+                file: rel.clone(),
+                line,
+                message,
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Scans one source text for `Router` field writes; returns (1-based
+/// line, message) findings. A write is a field access whose receiver is
+/// a `router`/`routers[...]` binding followed by an assignment operator
+/// or an in-place mutating call. Comment handling and the `#[cfg(test)]`
+/// cutoff match [`scan_source`].
+pub fn scan_confinement(text: &str) -> Vec<(usize, String)> {
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = raw.split("//").next().unwrap_or(raw);
+        for field in ROUTER_FIELDS {
+            let needle = format!(".{field}");
+            let mut search = 0;
+            while let Some(pos) = code[search..].find(&needle) {
+                let start = search + pos;
+                let end = start + needle.len();
+                search = end;
+                // Token boundary: `.rr_sa` must not match `.rr_sample`.
+                if code[end..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    continue;
+                }
+                if !receiver_is_router(&code[..start]) {
+                    continue;
+                }
+                if is_mutated(&code[end..]) {
+                    findings.push((
+                        idx + 1,
+                        format!(
+                            "Router field `{field}` mutated outside the commit pass; \
+                             route the write through crates/noc/src/commit.rs"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Whether the expression ending just before a field access is a
+/// `router` binding or an element of a `routers` collection (skipping
+/// back over balanced index brackets, e.g. `self.routers[i]`).
+fn receiver_is_router(before: &str) -> bool {
+    let bytes = before.as_bytes();
+    let mut i = before.len();
+    while i > 0 && bytes[i - 1] == b']' {
+        let mut depth = 0usize;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let end = i;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    matches!(&before[i..end], "router" | "routers")
+}
+
+/// Whether the rest of a line after a field access writes to it: an
+/// in-place mutating call anywhere downstream, or an assignment operator
+/// (`=`, `+=`, …) that is not part of a comparison, `=>`, or `..=`.
+fn is_mutated(rest: &str) -> bool {
+    if MUTATING_CALLS.iter().any(|p| rest.contains(p)) {
+        return true;
+    }
+    let bytes = rest.as_bytes();
+    for (j, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = j.checked_sub(1).map(|k| bytes[k]);
+        let next = bytes.get(j + 1);
+        if matches!(prev, Some(b'=' | b'!' | b'<' | b'>' | b'.')) {
+            continue; // ==, !=, <=, >=, ..=  (or second char of ==)
+        }
+        if next == Some(&b'=') || next == Some(&b'>') {
+            continue; // first char of ==, or =>
+        }
+        return true; // plain or compound assignment
+    }
+    false
 }
 
 /// Checks that every public counter field of the stats structs appears in
@@ -184,6 +344,45 @@ mod tests {
     fn stats_are_surfaced() {
         let violations = check_stats_surfaced(&repo_root()).expect("sources readable");
         assert_eq!(violations, Vec::new(), "every counter must reach report.rs");
+    }
+
+    #[test]
+    fn noc_commit_confinement_holds() {
+        let violations = check_commit_confinement(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "Router fields may only be written by the commit pass"
+        );
+    }
+
+    #[test]
+    fn confinement_flags_writes_but_not_reads() {
+        let text = "\
+fn compute(router: &Router, routers: &mut [Router]) {\n\
+    let snapshot = router.out_alloc.clone();\n\
+    let c = router.credits[0][1];\n\
+    if router.credits[0][1] >= 8 || router.credits[0][1] != 0 {}\n\
+    let o = RouterOutcome { rr_sa: router.rr_sa };\n\
+    outcome.sa_losers.push((0, 1));\n\
+    router.credits[0][1] -= 1;\n\
+    routers[next].inputs[0][1].state = VcState::Idle;\n\
+    router.sa_losers.clear();\n\
+    // router.rr_sa = [0; 5] in a comment is fine\n\
+}\n";
+        let lines: Vec<usize> = scan_confinement(text).into_iter().map(|f| f.0).collect();
+        assert_eq!(lines, vec![7, 8, 9], "exactly the three writes");
+    }
+
+    #[test]
+    fn confinement_stops_at_tests_and_respects_boundaries() {
+        let text = "\
+fn f(router: &Router) { let x = router.rr_sample; }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t(router: &mut Router) { router.credits[0][0] += 1; }\n\
+}\n";
+        assert_eq!(scan_confinement(text), Vec::new());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Determinism matrix: the phase-split cycle kernel must produce
+//! byte-identical stats regardless of how many shards the compute phase
+//! runs on. Serial builds ignore `compute_shards`, so there the matrix
+//! degenerates to a (cheap) self-comparison; under `--features parallel`
+//! it pins the real property — commit order, not thread schedule,
+//! decides every outcome. CI runs this file under all four feature
+//! combinations (default, `parallel`, `validate`, `parallel,validate`).
+
+use disco::core::{CompressionPlacement, SimBuilder};
+use disco::noc::{NocConfig, RoutingAlgorithm};
+use disco::workloads::Benchmark;
+
+/// Full stats report for one matrix point at a given shard count.
+fn stats_with_shards(
+    seed: u64,
+    placement: CompressionPlacement,
+    routing: RoutingAlgorithm,
+    shards: usize,
+) -> String {
+    let noc = NocConfig {
+        routing,
+        compute_shards: shards,
+        ..NocConfig::default()
+    };
+    let report = SimBuilder::new()
+        .mesh(4, 4)
+        .placement(placement)
+        .benchmark(Benchmark::Dedup)
+        .trace_len(300)
+        .seed(seed)
+        .noc(noc)
+        .run()
+        .expect("matrix run drains");
+    let mut buf = Vec::new();
+    report.write_stats(&mut buf).expect("in-memory write");
+    String::from_utf8(buf).expect("stats are utf8")
+}
+
+#[test]
+fn shard_count_never_changes_stats() {
+    for seed in [1u64, 2, 3] {
+        for placement in [CompressionPlacement::Baseline, CompressionPlacement::Disco] {
+            for routing in [RoutingAlgorithm::Xy, RoutingAlgorithm::WestFirst] {
+                let serial = stats_with_shards(seed, placement, routing, 1);
+                let sharded = stats_with_shards(seed, placement, routing, 4);
+                assert_eq!(
+                    serial, sharded,
+                    "seed {seed}, {placement}, {routing:?}: \
+                     4-shard stats diverged from 1-shard"
+                );
+            }
+        }
+    }
+}
+
+/// One router per shard is the most adversarial decomposition: every
+/// cross-router effect crosses a shard boundary.
+#[test]
+fn one_router_per_shard_matches_serial() {
+    let serial = stats_with_shards(7, CompressionPlacement::Disco, RoutingAlgorithm::Xy, 1);
+    let extreme = stats_with_shards(7, CompressionPlacement::Disco, RoutingAlgorithm::Xy, 16);
+    assert_eq!(serial, extreme);
+}
+
+/// A sharded run must also satisfy the runtime invariant checker: when
+/// the `validate` feature is on (CI's `parallel,validate` job), this run
+/// walks credit conservation and VC-state legality every cycle.
+#[test]
+fn sharded_run_passes_validation() {
+    let stats = stats_with_shards(11, CompressionPlacement::Disco, RoutingAlgorithm::Xy, 4);
+    assert!(stats.contains("noc.routing_violations = 0"));
+}

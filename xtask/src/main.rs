@@ -148,7 +148,8 @@ fn verify_protocol() -> usize {
     failures
 }
 
-/// Lint pass: panic-API-free hot paths and fully surfaced stats.
+/// Lint pass: panic-API-free hot paths, fully surfaced stats, and
+/// Router-mutation confinement to the commit pass.
 fn verify_lints() -> usize {
     let root = lints::repo_root();
     let mut failures = 0;
@@ -173,6 +174,21 @@ fn verify_lints() -> usize {
     match lints::check_stats_surfaced(&root) {
         Ok(violations) if violations.is_empty() => {
             println!("lints: every NetworkStats/DiscoStats counter is surfaced in report.rs");
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lints: FAIL {v}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("lints: FAIL cannot read sources: {e}");
+            failures += 1;
+        }
+    }
+    match lints::check_commit_confinement(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lints: Router mutations are confined to the commit pass");
         }
         Ok(violations) => {
             for v in &violations {
