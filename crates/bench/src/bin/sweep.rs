@@ -98,6 +98,7 @@ fn main() -> ExitCode {
                 rows: args.mesh,
                 cycles: args.cycles,
                 compute_shards: args.shards,
+                trace_capacity: 0,
             })
         })
         .collect();

@@ -32,6 +32,9 @@ pub struct SweepPoint {
     /// Kernel shard request (see `NocConfig::compute_shards`; ignored
     /// without the `parallel` feature).
     pub compute_shards: usize,
+    /// Trace ring-buffer capacity override (0 = crate default; ignored
+    /// without the `trace` feature). Used by the tracing-overhead bench.
+    pub trace_capacity: usize,
 }
 
 /// Measurements for one executed point.
@@ -45,6 +48,12 @@ pub struct PointResult {
     pub wall_secs: f64,
     /// Simulated cycles per wall-clock second.
     pub cycles_per_sec: f64,
+    /// Events the tracer emitted over the run (`trace` builds only).
+    #[cfg(feature = "trace")]
+    pub trace_emitted: u64,
+    /// Events the ring buffer dropped (`trace` builds only).
+    #[cfg(feature = "trace")]
+    pub trace_dropped: u64,
 }
 
 /// Runs one sweep point to completion.
@@ -54,6 +63,10 @@ pub fn run_point(point: &SweepPoint) -> PointResult {
         ..NocConfig::default()
     };
     let mut net = Network::new(Mesh::new(point.cols, point.rows), config);
+    #[cfg(feature = "trace")]
+    if point.trace_capacity > 0 {
+        net.set_trace_capacity(point.trace_capacity);
+    }
     let nodes = point.cols * point.rows;
     let mut driver = TrafficDriver::new(point.pattern, point.injection_rate, true, point.seed);
     let start = Instant::now();
@@ -70,6 +83,10 @@ pub fn run_point(point: &SweepPoint) -> PointResult {
         stats: *net.stats(),
         wall_secs,
         cycles_per_sec: point.cycles as f64 / wall_secs,
+        #[cfg(feature = "trace")]
+        trace_emitted: net.tracer().emitted(),
+        #[cfg(feature = "trace")]
+        trace_dropped: net.tracer().dropped(),
     }
 }
 
@@ -148,6 +165,7 @@ mod tests {
                 rows: 4,
                 cycles: 400,
                 compute_shards: 1,
+                trace_capacity: 0,
             })
             .collect()
     }

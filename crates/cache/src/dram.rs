@@ -55,6 +55,10 @@ pub struct Dram {
     bank_free_at: Vec<u64>,
     open_row: Vec<Option<u64>>,
     stats: DramStats,
+    /// Off-chip access events since the last [`Dram::drain_trace`]; the
+    /// harness drains and cycle-stamps these at the end of each tick.
+    #[cfg(feature = "trace")]
+    site_log: disco_trace::EventList,
 }
 
 impl Dram {
@@ -65,12 +69,20 @@ impl Dram {
             bank_free_at: vec![0; config.banks],
             open_row: vec![None; config.banks],
             stats: DramStats::default(),
+            #[cfg(feature = "trace")]
+            site_log: disco_trace::EventList::default(),
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Takes the events accumulated since the last drain (`trace` only).
+    #[cfg(feature = "trace")]
+    pub fn drain_trace(&mut self) -> Vec<disco_trace::Event> {
+        self.site_log.drain()
     }
 
     /// Issues an access at cycle `now`; returns the completion cycle.
@@ -81,7 +93,8 @@ impl Dram {
         let row = addr.0 / self.config.banks as u64 / self.config.row_lines.max(1) as u64;
         let start = now.max(self.bank_free_at[bank]);
         self.stats.conflict_cycles += start - now;
-        let latency = if self.open_row[bank] == Some(row) {
+        let row_hit = self.open_row[bank] == Some(row);
+        let latency = if row_hit {
             self.stats.row_hits += 1;
             self.config.row_hit_latency
         } else {
@@ -89,6 +102,14 @@ impl Dram {
             self.open_row[bank] = Some(row);
             self.config.access_latency
         };
+        disco_trace::emit!(
+            self.site_log,
+            disco_trace::Event::DramAccess {
+                line: addr.0,
+                write,
+                row_hit,
+            }
+        );
         let done = start + latency;
         self.bank_free_at[bank] = start + self.config.bank_busy;
         if write {

@@ -112,6 +112,13 @@ pub struct NucaBank {
     policy: ReplacementPolicy,
     clock: u64,
     stats: BankStats,
+    /// Boundary-crossing events since the last [`NucaBank::drain_trace`].
+    /// The bank has no notion of the global cycle, so the harness drains
+    /// and stamps these at the end of each tick, in bank-index order.
+    #[cfg(feature = "trace")]
+    site_log: disco_trace::EventList,
+    #[cfg(feature = "trace")]
+    bank_id: u16,
 }
 
 impl NucaBank {
@@ -125,7 +132,17 @@ impl NucaBank {
             policy: ReplacementPolicy::new(config.replacement, 0xba5e ^ bank_id as u64),
             clock: 0,
             stats: BankStats::default(),
+            #[cfg(feature = "trace")]
+            site_log: disco_trace::EventList::default(),
+            #[cfg(feature = "trace")]
+            bank_id: bank_id as u16,
         }
+    }
+
+    /// Takes the events accumulated since the last drain (`trace` only).
+    #[cfg(feature = "trace")]
+    pub fn drain_trace(&mut self) -> Vec<disco_trace::Event> {
+        self.site_log.drain()
     }
 
     /// The bank's configuration.
@@ -161,12 +178,28 @@ impl NucaBank {
                 let entry = &mut self.sets[set][i];
                 self.policy.touch(&mut entry.repl, clock);
                 self.stats.hits += 1;
+                disco_trace::emit!(
+                    self.site_log,
+                    disco_trace::Event::L2Access {
+                        node: self.bank_id,
+                        line: addr.0,
+                        hit: true,
+                    }
+                );
                 let data = &self.sets[set][i].data;
                 self.stats.bytes_accessed += data.size_bytes() as u64;
                 Some(data)
             }
             None => {
                 self.stats.misses += 1;
+                disco_trace::emit!(
+                    self.site_log,
+                    disco_trace::Event::L2Access {
+                        node: self.bank_id,
+                        line: addr.0,
+                        hit: false,
+                    }
+                );
                 None
             }
         }
@@ -196,6 +229,13 @@ impl NucaBank {
         self.clock += 1;
         self.stats.insertions += 1;
         self.stats.bytes_accessed += data.size_bytes() as u64;
+        disco_trace::emit!(
+            self.site_log,
+            disco_trace::Event::L2Insert {
+                node: self.bank_id,
+                line: addr.0,
+            }
+        );
         let tag = self.tag_of(addr);
         let set = self.set_of(addr);
         let sets_count = self.config.sets();

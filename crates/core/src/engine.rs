@@ -370,6 +370,15 @@ impl DiscoLayer {
                     // The packet started moving (it reached the front and
                     // the switch granted it): non-blocking abort.
                     self.stats.aborts += 1;
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::COMPRESS,
+                            outcome: disco_trace::codec::ABORTED,
+                        }
+                    );
                     return;
                 }
                 cycles_left -= 1;
@@ -386,6 +395,15 @@ impl DiscoLayer {
                 if !result.is_compressed() {
                     net.store_mut().get_mut(packet).compressible = false;
                     self.stats.incompressible += 1;
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::COMPRESS,
+                            outcome: disco_trace::codec::INCOMPRESSIBLE,
+                        }
+                    );
                     return;
                 }
                 let old_size = net.store().get(packet).size_flits();
@@ -396,6 +414,15 @@ impl DiscoLayer {
                 self.stats.compressions += 1;
                 self.per_node_ops[node] += 1;
                 self.stats.flits_saved += (old_size - final_flits) as u64;
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecEnd {
+                        packet: packet.0,
+                        node: node as u16,
+                        op: disco_trace::codec::COMPRESS,
+                        outcome: disco_trace::codec::DONE,
+                    }
+                );
             }
             Engine::Compressing {
                 port,
@@ -414,6 +441,15 @@ impl DiscoLayer {
                     // aborts; the store payload is still raw, so the
                     // packet continues uncompressed (§3.2 step 3).
                     self.stats.aborts += 1;
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::COMPRESS,
+                            outcome: disco_trace::codec::ABORTED,
+                        }
+                    );
                     return;
                 }
                 if !committed {
@@ -439,6 +475,15 @@ impl DiscoLayer {
                         // it again (a header "attempted" bit).
                         net.store_mut().get_mut(packet).compressible = false;
                         self.stats.incompressible += 1;
+                        disco_trace::emit!(
+                            net,
+                            disco_trace::Event::CodecEnd {
+                                packet: packet.0,
+                                node: node as u16,
+                                op: disco_trace::codec::COMPRESS,
+                                outcome: disco_trace::codec::INCOMPRESSIBLE,
+                            }
+                        );
                         return;
                     }
                     committed = true;
@@ -471,6 +516,15 @@ impl DiscoLayer {
                         self.stats.compressions += 1;
                         self.per_node_ops[node] += 1;
                         self.stats.flits_saved += (old_size - final_flits) as u64;
+                        disco_trace::emit!(
+                            net,
+                            disco_trace::Event::CodecEnd {
+                                packet: packet.0,
+                                node: node as u16,
+                                op: disco_trace::codec::COMPRESS,
+                                outcome: disco_trace::codec::DONE,
+                            }
+                        );
                         return;
                     }
                     // Mid-stream reshape: if the packet's tail has already
@@ -487,6 +541,15 @@ impl DiscoLayer {
                     idle_cycles += 1;
                     if idle_cycles > 64 {
                         self.stats.aborts += 1;
+                        disco_trace::emit!(
+                            net,
+                            disco_trace::Event::CodecEnd {
+                                packet: packet.0,
+                                node: node as u16,
+                                op: disco_trace::codec::COMPRESS,
+                                outcome: disco_trace::codec::ABORTED,
+                            }
+                        );
                         return;
                     }
                 }
@@ -511,6 +574,15 @@ impl DiscoLayer {
                 if !net.inject_backlog(node_id, vc).contains(&packet) {
                     // Injection started before compression finished.
                     self.stats.aborts += 1;
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::COMPRESS,
+                            outcome: disco_trace::codec::ABORTED,
+                        }
+                    );
                     return;
                 }
                 cycles_left -= 1;
@@ -526,6 +598,15 @@ impl DiscoLayer {
                 if !result.is_compressed() {
                     net.store_mut().get_mut(packet).compressible = false;
                     self.stats.incompressible += 1;
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::COMPRESS,
+                            outcome: disco_trace::codec::INCOMPRESSIBLE,
+                        }
+                    );
                     return;
                 }
                 let old_size = net.store().get(packet).size_flits();
@@ -535,6 +616,15 @@ impl DiscoLayer {
                 self.stats.queue_compressions += 1;
                 self.per_node_ops[node] += 1;
                 self.stats.flits_saved += (old_size - final_flits) as u64;
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecEnd {
+                        packet: packet.0,
+                        node: node as u16,
+                        op: disco_trace::codec::COMPRESS,
+                        outcome: disco_trace::codec::DONE,
+                    }
+                );
             }
             Engine::Decompressing {
                 port,
@@ -553,6 +643,15 @@ impl DiscoLayer {
                     if !self.params.non_blocking {
                         net.router_mut(node_id).set_locked(port, vc, false);
                     }
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::DECOMPRESS,
+                            outcome: disco_trace::codec::ABORTED,
+                        }
+                    );
                     return;
                 }
                 latency_left = latency_left.saturating_sub(1);
@@ -574,6 +673,15 @@ impl DiscoLayer {
                     if !self.params.non_blocking {
                         net.router_mut(node_id).set_locked(port, vc, false);
                     }
+                    disco_trace::emit!(
+                        net,
+                        disco_trace::Event::CodecEnd {
+                            packet: packet.0,
+                            node: node as u16,
+                            op: disco_trace::codec::DECOMPRESS,
+                            outcome: disco_trace::codec::GROWTH_STALL,
+                        }
+                    );
                     return;
                 }
                 {
@@ -588,6 +696,15 @@ impl DiscoLayer {
                 }
                 self.stats.decompressions += 1;
                 self.per_node_ops[node] += 1;
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecEnd {
+                        packet: packet.0,
+                        node: node as u16,
+                        op: disco_trace::codec::DECOMPRESS,
+                        outcome: disco_trace::codec::DONE,
+                    }
+                );
             }
         }
     }
@@ -773,6 +890,15 @@ impl DiscoLayer {
                     latency_left: latency,
                     line,
                 };
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecStart {
+                        packet: pid.0,
+                        node: node as u16,
+                        op: disco_trace::codec::DECOMPRESS,
+                        blocking: !self.params.non_blocking,
+                    }
+                );
             }
             Mode::Whole => {
                 let Payload::Raw(line) = &pkt.payload else {
@@ -789,6 +915,15 @@ impl DiscoLayer {
                     cycles_left: cycles,
                     result,
                 };
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecStart {
+                        packet: pid.0,
+                        node: node as u16,
+                        op: disco_trace::codec::COMPRESS,
+                        blocking: false,
+                    }
+                );
             }
             Mode::Queued => {
                 let Payload::Raw(line) = &pkt.payload else {
@@ -804,6 +939,15 @@ impl DiscoLayer {
                     cycles_left: cycles,
                     result,
                 };
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecStart {
+                        packet: pid.0,
+                        node: node as u16,
+                        op: disco_trace::codec::COMPRESS,
+                        blocking: false,
+                    }
+                );
             }
             Mode::Stream => {
                 let Payload::Raw(line) = &pkt.payload else {
@@ -822,6 +966,15 @@ impl DiscoLayer {
                     idle_cycles: 0,
                     result,
                 };
+                disco_trace::emit!(
+                    net,
+                    disco_trace::Event::CodecStart {
+                        packet: pid.0,
+                        node: node as u16,
+                        op: disco_trace::codec::COMPRESS,
+                        blocking: false,
+                    }
+                );
             }
         }
     }

@@ -57,4 +57,6 @@ pub use engine::{DiscoLayer, DiscoStats};
 pub use histogram::LatencyHistogram;
 pub use placement::CompressionPlacement;
 pub use report::SimReport;
+#[cfg(feature = "trace")]
+pub use report::TraceCapture;
 pub use system::{SimBuilder, SimError, System};

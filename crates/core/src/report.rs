@@ -9,6 +9,24 @@ use disco_compress::{CompressionStats, SchemeKind};
 use disco_energy::{EnergyBreakdown, EnergyCounts, EnergyModel};
 use disco_noc::NetworkStats;
 
+/// Trace capture attached to a report when the run opted into tracing
+/// (see [`SimBuilder::capture_trace`](crate::SimBuilder::capture_trace)).
+#[cfg(feature = "trace")]
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// Events emitted over the whole run.
+    pub events: u64,
+    /// Events the ring buffer dropped (always 0 here: the harness drains
+    /// the ring every tick, so the capture is lossless).
+    pub dropped: u64,
+    /// Per-packet latency decomposition and its aggregates.
+    pub provenance: disco_trace::ProvenanceReport,
+    /// Raw cycle-stamped records, kept only when
+    /// [`SimBuilder::retain_trace_records`](crate::SimBuilder::retain_trace_records)
+    /// asked for them; feed these to [`disco_trace::export`].
+    pub records: Vec<disco_trace::Record>,
+}
+
 /// Everything measured by one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -48,6 +66,10 @@ pub struct SimReport {
     pub energy_counts: EnergyCounts,
     /// Evaluated energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Trace capture and latency provenance (None unless the run opted
+    /// in via the builder).
+    #[cfg(feature = "trace")]
+    pub trace: Option<TraceCapture>,
 }
 
 impl SimReport {
@@ -194,6 +216,47 @@ impl SimReport {
             writeln!(w, "disco.growth_stalls = {}", d.growth_stalls)?;
             writeln!(w, "disco.low_confidence = {}", d.low_confidence)?;
             writeln!(w, "disco.flits_saved = {}", d.flits_saved)?;
+        }
+        // Provenance keys appear only when the run captured a trace, so
+        // golden stats are identical across feature legs.
+        #[cfg(feature = "trace")]
+        if let Some(t) = &self.trace {
+            let p = &t.provenance.totals;
+            writeln!(w, "trace.events = {}", t.events)?;
+            writeln!(w, "trace.dropped = {}", t.dropped)?;
+            writeln!(w, "provenance.packets = {}", p.packets)?;
+            writeln!(w, "provenance.incomplete = {}", p.incomplete)?;
+            writeln!(w, "provenance.latency_cycles = {}", p.latency_cycles)?;
+            writeln!(w, "provenance.protocol_cycles = {}", p.protocol_cycles)?;
+            writeln!(
+                w,
+                "provenance.serialization_cycles = {}",
+                p.serialization_cycles
+            )?;
+            writeln!(w, "provenance.link_cycles = {}", p.link_cycles)?;
+            writeln!(w, "provenance.queuing_cycles = {}", p.queuing_cycles)?;
+            writeln!(w, "provenance.codec_cycles = {}", p.codec_cycles)?;
+            writeln!(
+                w,
+                "provenance.codec_hidden_cycles = {}",
+                p.codec_hidden_cycles
+            )?;
+            writeln!(
+                w,
+                "provenance.codec_exposed_cycles = {}",
+                p.codec_exposed_cycles
+            )?;
+            writeln!(
+                w,
+                "provenance.endpoint_codec_cycles = {}",
+                p.endpoint_codec_cycles
+            )?;
+            writeln!(
+                w,
+                "provenance.hidden_coverage = {:.4}",
+                t.provenance.hidden_coverage()
+            )?;
+            writeln!(w, "provenance.exact = {}", t.provenance.exact)?;
         }
         Ok(())
     }

@@ -130,6 +130,16 @@ struct CodecOps {
     decompressions: u64,
 }
 
+/// Trace capture state for a run that opted into provenance analysis.
+/// Records drain out of the network tracer once per tick, in node order,
+/// so the capture is lossless and shard-invariant.
+#[cfg(feature = "trace")]
+struct TraceState {
+    analyzer: disco_trace::ProvenanceAnalyzer,
+    records: Vec<disco_trace::Record>,
+    retain: bool,
+}
+
 /// The full-system simulator. Build one with [`SimBuilder`].
 pub struct System {
     placement: CompressionPlacement,
@@ -160,6 +170,8 @@ pub struct System {
     energy_model: EnergyModel,
     banks_total: usize,
     prefetch_next_line: bool,
+    #[cfg(feature = "trace")]
+    trace: Option<TraceState>,
 }
 
 impl System {
@@ -203,6 +215,18 @@ impl System {
     /// Bank → core/requester: form and extra latency when a bank sends a
     /// stored line out.
     fn bank_send(&mut self, stored: &StoredLine) -> (Payload, u64) {
+        let r = self.bank_send_inner(stored);
+        #[cfg(feature = "trace")]
+        if r.1 > 0 {
+            self.net.trace_record(disco_trace::Event::EndpointCodec {
+                site: disco_trace::site::BANK_SEND,
+                cycles: r.1 as u32,
+            });
+        }
+        r
+    }
+
+    fn bank_send_inner(&mut self, stored: &StoredLine) -> (Payload, u64) {
         use CompressionPlacement::*;
         match (self.placement, stored) {
             (Baseline, StoredLine::Raw(l)) => (Payload::Raw(*l), 0),
@@ -247,6 +271,18 @@ impl System {
 
     /// Data payload injected by a core or memory controller.
     fn endpoint_send(&mut self, line: &CacheLine) -> (Payload, u64) {
+        let r = self.endpoint_send_inner(line);
+        #[cfg(feature = "trace")]
+        if r.1 > 0 {
+            self.net.trace_record(disco_trace::Event::EndpointCodec {
+                site: disco_trace::site::ENDPOINT_SEND,
+                cycles: r.1 as u32,
+            });
+        }
+        r
+    }
+
+    fn endpoint_send_inner(&mut self, line: &CacheLine) -> (Payload, u64) {
         use CompressionPlacement::*;
         match self.placement {
             Baseline | CacheOnly | Disco => (Payload::Raw(*line), 0),
@@ -273,6 +309,18 @@ impl System {
 
     /// Form and codec latency for storing an arriving payload in a bank.
     fn store_prep(&mut self, payload: &Payload) -> (StoredLine, u64) {
+        let r = self.store_prep_inner(payload);
+        #[cfg(feature = "trace")]
+        if r.1 > 0 {
+            self.net.trace_record(disco_trace::Event::EndpointCodec {
+                site: disco_trace::site::STORE_PREP,
+                cycles: r.1 as u32,
+            });
+        }
+        r
+    }
+
+    fn store_prep_inner(&mut self, payload: &Payload) -> (StoredLine, u64) {
         use CompressionPlacement::*;
         let line = match payload {
             Payload::Raw(l) => *l,
@@ -328,6 +376,18 @@ impl System {
     /// Ejection-side latency when a data payload reaches a core's NI and
     /// must enter the MSHR raw.
     fn core_receive(&mut self, payload: &Payload) -> (CacheLine, u64) {
+        let r = self.core_receive_inner(payload);
+        #[cfg(feature = "trace")]
+        if r.1 > 0 {
+            self.net.trace_record(disco_trace::Event::EndpointCodec {
+                site: disco_trace::site::CORE_RECEIVE,
+                cycles: r.1 as u32,
+            });
+        }
+        r
+    }
+
+    fn core_receive_inner(&mut self, payload: &Payload) -> (CacheLine, u64) {
         use CompressionPlacement::*;
         match payload {
             Payload::Raw(l) => (*l, 0),
@@ -401,6 +461,44 @@ impl System {
         for core in 0..nodes {
             self.issue_core(core);
         }
+        #[cfg(feature = "trace")]
+        self.drain_trace_tick();
+    }
+
+    /// Moves this tick's events out of the per-component site logs and the
+    /// network tracer into the provenance analyzer. Banks drain in index
+    /// order, then DRAM — a fixed order, so the capture is byte-identical
+    /// at any shard count. Draining every tick keeps the ring from ever
+    /// overflowing, making the capture lossless.
+    #[cfg(feature = "trace")]
+    fn drain_trace_tick(&mut self) {
+        for bank in &mut self.banks {
+            for ev in bank.drain_trace() {
+                self.net.trace_record(ev);
+            }
+        }
+        for ev in self.dram.drain_trace() {
+            self.net.trace_record(ev);
+        }
+        if let Some(ts) = &mut self.trace {
+            let records = self.net.tracer_mut().drain();
+            ts.analyzer.ingest_all(&records);
+            if ts.retain {
+                ts.records.extend(records);
+            }
+        }
+    }
+
+    /// Consumes the capture state into the report attachment.
+    #[cfg(feature = "trace")]
+    fn finish_trace(&mut self) -> Option<crate::report::TraceCapture> {
+        let state = self.trace.take()?;
+        Some(crate::report::TraceCapture {
+            events: self.net.tracer().emitted(),
+            dropped: self.net.tracer().dropped(),
+            provenance: state.analyzer.finish(),
+            records: state.records,
+        })
     }
 
     fn issue_core(&mut self, core: usize) {
@@ -617,6 +715,13 @@ impl System {
                 if let Payload::Compressed(c) = &pkt.payload {
                     if self.placement != CompressionPlacement::Ideal {
                         self.codec_ops.decompressions += 1;
+                        disco_trace::emit!(
+                            self.net,
+                            disco_trace::Event::EndpointCodec {
+                                site: disco_trace::site::WRITEBACK,
+                                cycles: self.codec.decompression_latency(c) as u32,
+                            }
+                        );
                     }
                     let _ = c;
                 }
@@ -854,6 +959,18 @@ impl System {
 
     /// Payload form for a dirty LLC eviction heading to DRAM.
     fn bank_evict_payload(&mut self, stored: &StoredLine) -> (Payload, u64) {
+        let r = self.bank_evict_payload_inner(stored);
+        #[cfg(feature = "trace")]
+        if r.1 > 0 {
+            self.net.trace_record(disco_trace::Event::EndpointCodec {
+                site: disco_trace::site::BANK_EVICT,
+                cycles: r.1 as u32,
+            });
+        }
+        r
+    }
+
+    fn bank_evict_payload_inner(&mut self, stored: &StoredLine) -> (Payload, u64) {
         use CompressionPlacement::*;
         match (self.placement, stored) {
             (Disco, StoredLine::Compressed(c)) => (Payload::Compressed(c.clone()), 0),
@@ -902,7 +1019,17 @@ impl System {
             }
             self.tick();
         }
-        Ok(self.into_report())
+        #[cfg(not(feature = "trace"))]
+        {
+            Ok(self.into_report())
+        }
+        #[cfg(feature = "trace")]
+        {
+            let capture = self.finish_trace();
+            let mut report = self.into_report();
+            report.trace = capture;
+            Ok(report)
+        }
     }
 
     fn into_report(self) -> SimReport {
@@ -970,6 +1097,8 @@ impl System {
             disco: disco_stats,
             energy_counts,
             energy,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 }
@@ -1013,6 +1142,10 @@ pub struct SimBuilder {
     demote_override: Option<bool>,
     external_traces: Option<Vec<Vec<MemAccess>>>,
     prefetch_next_line: bool,
+    #[cfg(feature = "trace")]
+    capture_trace: bool,
+    #[cfg(feature = "trace")]
+    retain_trace_records: bool,
 }
 
 impl Default for SimBuilder {
@@ -1045,6 +1178,10 @@ impl SimBuilder {
             demote_override: None,
             external_traces: None,
             prefetch_next_line: false,
+            #[cfg(feature = "trace")]
+            capture_trace: false,
+            #[cfg(feature = "trace")]
+            retain_trace_records: false,
         }
     }
 
@@ -1149,6 +1286,30 @@ impl SimBuilder {
         self
     }
 
+    /// Captures a cycle-stamped event trace and runs the latency
+    /// provenance analysis on it; the result is attached to the report as
+    /// [`SimReport::trace`](crate::SimReport). Only the provenance
+    /// aggregates are kept; use
+    /// [`retain_trace_records`](SimBuilder::retain_trace_records) to also
+    /// keep the raw records for export.
+    #[cfg(feature = "trace")]
+    pub fn capture_trace(mut self, capture: bool) -> Self {
+        self.capture_trace = capture;
+        self
+    }
+
+    /// Keeps every raw trace record in the report (implies
+    /// [`capture_trace`](SimBuilder::capture_trace)), for the JSONL and
+    /// Chrome trace exporters. Memory scales with the event count.
+    #[cfg(feature = "trace")]
+    pub fn retain_trace_records(mut self, retain: bool) -> Self {
+        self.retain_trace_records = retain;
+        if retain {
+            self.capture_trace = true;
+        }
+        self
+    }
+
     /// Drives the cores with externally supplied traces (one per core,
     /// e.g. loaded with [`disco_workloads::read_traces`]) instead of the
     /// synthetic generator. Missing cores idle; extra traces are an
@@ -1172,6 +1333,8 @@ impl SimBuilder {
         noc.scheduling.demote_uncompressed = self
             .demote_override
             .unwrap_or(self.placement == CompressionPlacement::Disco);
+        #[cfg(feature = "trace")]
+        let pipeline_stages = noc.pipeline_stages;
         let net = Network::new(mesh, noc);
         let profile = if self.scale_profile {
             self.profile.scaled_to(tiles_n)
@@ -1257,6 +1420,12 @@ impl SimBuilder {
             energy_model: self.energy,
             banks_total: tiles_n,
             prefetch_next_line: self.prefetch_next_line,
+            #[cfg(feature = "trace")]
+            trace: self.capture_trace.then(|| TraceState {
+                analyzer: disco_trace::ProvenanceAnalyzer::new(pipeline_stages),
+                records: Vec::new(),
+                retain: self.retain_trace_records,
+            }),
         };
         system.run(max_cycles)
     }
@@ -1329,6 +1498,41 @@ mod tests {
         let r = tiny(CompressionPlacement::CacheOnly);
         assert!(r.total_onchip_latency <= r.total_miss_latency);
         assert!(r.avg_onchip_latency() > 0.0);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_capture_is_lossless_and_exact() {
+        let report = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(5)
+            .retain_trace_records(true)
+            .run()
+            .expect("drains");
+        let t = report.trace.as_ref().expect("capture requested");
+        assert_eq!(t.dropped, 0, "per-tick draining never overflows");
+        assert!(!t.records.is_empty());
+        assert_eq!(t.events, t.records.len() as u64);
+        let p = &t.provenance;
+        assert!(p.exact, "every decomposition sums to its latency");
+        assert_eq!(p.totals.incomplete, 0, "lossless capture tracks all");
+        assert_eq!(p.totals.packets, report.network.packets_delivered);
+        assert_eq!(
+            p.totals.latency_cycles, report.network.total_packet_latency,
+            "provenance covers exactly the NoC's own latency accounting"
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn uncaptured_runs_report_no_trace() {
+        let r = tiny(CompressionPlacement::Disco);
+        assert!(r.trace.is_none());
+        let c = tiny(CompressionPlacement::Disco);
+        assert_eq!(r.cycles, c.cycles, "tracing plumbing is inert by default");
     }
 
     #[test]

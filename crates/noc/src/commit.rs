@@ -57,6 +57,11 @@ pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
     let now = net.now;
     for (i, outcome) in outcomes.iter().enumerate() {
         commit_router_local(&mut net.routers[i], outcome);
+        // Cycle-stamp this router's compute-phase events here, in node
+        // order: the trace byte-stream is then independent of how the
+        // compute phase was scheduled across shards.
+        #[cfg(feature = "trace")]
+        net.tracer.record_all(&outcome.events);
         for dep in &outcome.departures {
             // Return a credit upstream for the freed slot.
             if dep.in_port != Direction::Local.index() {
@@ -68,6 +73,13 @@ pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
             if dep.out == Direction::Local {
                 if dep.flit.kind.is_tail() {
                     net.delivered[i].push(dep.flit.packet);
+                    disco_trace::emit!(
+                        net.tracer,
+                        disco_trace::Event::Eject {
+                            packet: dep.flit.packet.0,
+                            node: i as u16,
+                        }
+                    );
                 }
             } else {
                 let Some(next) = net.mesh.neighbor(NodeId(i), dep.out) else {

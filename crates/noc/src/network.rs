@@ -54,6 +54,11 @@ pub struct Network {
     /// from [`NocConfig::compute_shards`] and the host.
     #[cfg(feature = "parallel")]
     shards: usize,
+    /// Cycle-stamped trace event collector. Fed only from the serial
+    /// paths (NI injection, the commit pass), so its byte stream is
+    /// independent of the compute-phase shard count.
+    #[cfg(feature = "trace")]
+    pub(crate) tracer: disco_trace::Tracer,
 }
 
 /// Resolves [`NocConfig::compute_shards`] against the host and mesh
@@ -104,6 +109,8 @@ impl Network {
             now: 0,
             #[cfg(feature = "parallel")]
             shards: effective_shards(config.compute_shards, n),
+            #[cfg(feature = "trace")]
+            tracer: disco_trace::Tracer::default(),
         }
     }
 
@@ -140,6 +147,33 @@ impl Network {
     /// Accumulated event counters.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Read access to the trace event collector.
+    #[cfg(feature = "trace")]
+    pub fn tracer(&self) -> &disco_trace::Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the trace collector: harnesses drain it once
+    /// per cycle for lossless capture.
+    #[cfg(feature = "trace")]
+    pub fn tracer_mut(&mut self) -> &mut disco_trace::Tracer {
+        &mut self.tracer
+    }
+
+    /// Records one event at the current cycle — the sink surface
+    /// [`disco_trace::emit!`] uses from the layers above the NoC
+    /// (codec engines, endpoint codecs).
+    #[cfg(feature = "trace")]
+    pub fn trace_record(&mut self, event: disco_trace::Event) {
+        self.tracer.trace_record(event);
+    }
+
+    /// Re-bounds the trace ring buffer (drop-oldest beyond `capacity`).
+    #[cfg(feature = "trace")]
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.tracer.set_capacity(capacity);
     }
 
     /// Test-only mutable counters (e.g. staging a routing violation for
@@ -191,6 +225,16 @@ impl Network {
             .unwrap_or(0);
         self.inject_q[src.0][vc].push_back(id);
         self.stats.packets_injected += 1;
+        disco_trace::emit!(
+            self.tracer,
+            disco_trace::Event::Inject {
+                packet: id.0,
+                src: src.0 as u16,
+                dst: dst.0 as u16,
+                class: crate::stats::class_index(class) as u8,
+                flits: self.store.get(id).size_flits() as u8,
+            }
+        );
         id
     }
 
@@ -262,6 +306,8 @@ impl Network {
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        #[cfg(feature = "trace")]
+        self.tracer.set_cycle(self.now);
         self.inject();
         let outcomes = self.compute_phase();
         crate::commit::commit_cycle(self, &outcomes);
@@ -336,6 +382,13 @@ impl Network {
                             sent: 0,
                             total,
                         });
+                        disco_trace::emit!(
+                            self.tracer,
+                            disco_trace::Event::NiStart {
+                                packet: id.0,
+                                node: node as u16,
+                            }
+                        );
                     }
                 }
                 let Some(mut prog) = self.inject_progress[node][vc] else {
@@ -349,7 +402,18 @@ impl Network {
                 self.routers[node].accept(local, vc, flits[prog.sent]);
                 self.stats.buffer_writes += 1;
                 prog.sent += 1;
-                self.inject_progress[node][vc] = (prog.sent < prog.total).then_some(prog);
+                if prog.sent < prog.total {
+                    self.inject_progress[node][vc] = Some(prog);
+                } else {
+                    self.inject_progress[node][vc] = None;
+                    disco_trace::emit!(
+                        self.tracer,
+                        disco_trace::Event::NiDone {
+                            packet: prog.packet.0,
+                            node: node as u16,
+                        }
+                    );
+                }
                 self.inject_rr[node] = (vc + 1) % vcs;
                 break; // one flit per node per cycle
             }

@@ -50,6 +50,11 @@ pub(crate) struct RouterOutcome {
     pub sa_losers: Vec<(usize, usize)>,
     /// This router's contribution to the network counters this cycle.
     pub stats: NetworkStats,
+    /// Trace events decided this cycle, in stage order. Carried out of
+    /// the pure compute phase and cycle-stamped by the commit pass in
+    /// node order, which keeps the trace shard-count invariant.
+    #[cfg(feature = "trace")]
+    pub events: disco_trace::EventList,
 }
 
 /// Priority class for switch allocation (§3.3-B): lower wins.
@@ -131,6 +136,16 @@ pub(crate) fn compute_router(
                 );
                 state[flat(port, v)] = VcState::Routed(dir);
                 outcome.routes.push((port, v, dir));
+                disco_trace::emit!(
+                    outcome.events,
+                    disco_trace::Event::Route {
+                        packet: front.packet.0,
+                        node: router.node.0 as u16,
+                        in_port: port as u8,
+                        in_vc: v as u8,
+                        out_dir: dir.index() as u8,
+                    }
+                );
             }
             // VA: acquire the class VC on the output port.
             if let VcState::Routed(dir) = state[flat(port, v)] {
@@ -155,6 +170,17 @@ pub(crate) fn compute_router(
                 alloc[flat(dir.index(), out_vc)] = Some((port, v));
                 state[flat(port, v)] = VcState::Active { out: dir, out_vc };
                 outcome.grants.push((port, v, dir, out_vc));
+                disco_trace::emit!(
+                    outcome.events,
+                    disco_trace::Event::VcAlloc {
+                        packet: packet.0,
+                        node: router.node.0 as u16,
+                        in_port: port as u8,
+                        in_vc: v as u8,
+                        out_dir: dir.index() as u8,
+                        out_vc: out_vc as u8,
+                    }
+                );
             }
         }
     }
@@ -189,6 +215,16 @@ pub(crate) fn compute_router(
                 }
                 if router.credits[oi][out_vc] == 0 {
                     outcome.sa_losers.push((port, v));
+                    disco_trace::emit!(
+                        outcome.events,
+                        disco_trace::Event::VcStall {
+                            packet: front.packet.0,
+                            node: router.node.0 as u16,
+                            port: port as u8,
+                            vc: v as u8,
+                            reason: disco_trace::stall::NO_CREDIT,
+                        }
+                    );
                     continue;
                 }
                 if router.config.flow_control == FlowControl::StoreAndForward
@@ -223,6 +259,19 @@ pub(crate) fn compute_router(
         for c in &candidates {
             if (c.0, c.1) != (winner.0, winner.1) {
                 outcome.sa_losers.push((c.0, c.1));
+                disco_trace::emit!(
+                    outcome.events,
+                    disco_trace::Event::VcStall {
+                        packet: router.inputs[c.0][c.1]
+                            .buffer
+                            .front()
+                            .map_or(0, |f| f.packet.0),
+                        node: router.node.0 as u16,
+                        port: c.0 as u8,
+                        vc: c.1 as u8,
+                        reason: disco_trace::stall::LOST_ARBITRATION,
+                    }
+                );
             }
         }
         let (port, v, out_vc, _) = winner;
@@ -240,6 +289,22 @@ pub(crate) fn compute_router(
             // cycle's overlay (matters for the VA-loser sweep below).
             alloc[flat(oi, out_vc)] = None;
             state[flat(port, v)] = VcState::Idle;
+        }
+        // Traverse events only for head and tail flits: the head marks
+        // the hop's start, the tail its departure time (what the
+        // provenance pass consumes); body flits would only add volume.
+        #[cfg(feature = "trace")]
+        if flit.kind.is_head() || flit.kind.is_tail() {
+            disco_trace::emit!(
+                outcome.events,
+                disco_trace::Event::Traverse {
+                    packet: flit.packet.0,
+                    node: router.node.0 as u16,
+                    out_dir: oi as u8,
+                    head: flit.kind.is_head(),
+                    tail: flit.kind.is_tail(),
+                }
+            );
         }
         outcome.departures.push(Departure {
             flit,
@@ -261,6 +326,16 @@ pub(crate) fn compute_router(
             if let VcState::Routed(_) = state[flat(port, v)] {
                 if matches!(vc.buffer.front(), Some(f) if f.ready_at <= now) {
                     outcome.sa_losers.push((port, v));
+                    disco_trace::emit!(
+                        outcome.events,
+                        disco_trace::Event::VcStall {
+                            packet: vc.buffer.front().map_or(0, |f| f.packet.0),
+                            node: router.node.0 as u16,
+                            port: port as u8,
+                            vc: v as u8,
+                            reason: disco_trace::stall::NO_FREE_VC,
+                        }
+                    );
                 }
             }
         }

@@ -1,0 +1,462 @@
+//! Typed trace events and their cycle-stamped records.
+//!
+//! Every field is an integer (or bool) derived from simulation state, so
+//! serialized records are bit-reproducible across hosts and shard
+//! counts. Identifier widths follow the simulator: packet ids are `u64`
+//! ([`PacketId`](../../noc/src/packet.rs) indices), node ids fit `u16`
+//! (meshes are at most 256×256), ports/VCs/directions fit `u8`.
+
+use std::fmt::Write as _;
+
+/// VC stall reason codes carried by [`Event::VcStall`].
+pub mod stall {
+    /// The winning VC had no downstream credit this cycle.
+    pub const NO_CREDIT: u8 = 0;
+    /// Lost switch allocation to a higher-priority or round-robin rival.
+    pub const LOST_ARBITRATION: u8 = 1;
+    /// VC allocation failed: no free output VC of the packet's class.
+    pub const NO_FREE_VC: u8 = 2;
+}
+
+/// Codec operation and outcome codes carried by the codec events.
+pub mod codec {
+    /// Operation: compression (whole-packet, streaming, or NI-queued).
+    pub const COMPRESS: u8 = 0;
+    /// Operation: decompression.
+    pub const DECOMPRESS: u8 = 1;
+
+    /// Outcome: the operation committed its result.
+    pub const DONE: u8 = 0;
+    /// Outcome: aborted (packet departed, backlog emptied, engine idle).
+    pub const ABORTED: u8 = 1;
+    /// Outcome: finished but the payload was incompressible.
+    pub const INCOMPRESSIBLE: u8 = 2;
+    /// Outcome: decompression result did not fit the input buffer.
+    pub const GROWTH_STALL: u8 = 3;
+}
+
+/// Endpoint (non-in-network) codec site codes for [`Event::EndpointCodec`].
+pub mod site {
+    /// Bank responding to a read (CC decompress, CNC decompress+compress).
+    pub const BANK_SEND: u8 = 0;
+    /// Core/NI sending a line into the network (CNC compress).
+    pub const ENDPOINT_SEND: u8 = 1;
+    /// Preparing a line for compressed L2 storage.
+    pub const STORE_PREP: u8 = 2;
+    /// Core receiving a compressed response (decompress before use).
+    pub const CORE_RECEIVE: u8 = 3;
+    /// Bank eviction path (decompress before writeback payload built).
+    pub const BANK_EVICT: u8 = 4;
+    /// Memory writeback decompress at the memory controller.
+    pub const WRITEBACK: u8 = 5;
+}
+
+/// One simulation event. See module docs for field width conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A packet entered the source NI injection queue.
+    Inject {
+        /// Packet id.
+        packet: u64,
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Packet class index (request/response/writeback).
+        class: u8,
+        /// Packet size in flits at injection time.
+        flits: u8,
+    },
+    /// The NI popped the packet from its queue and began injecting flits.
+    NiStart {
+        /// Packet id.
+        packet: u64,
+        /// Injecting node.
+        node: u16,
+    },
+    /// The NI accepted the packet's last flit into the local input VC.
+    NiDone {
+        /// Packet id.
+        packet: u64,
+        /// Injecting node.
+        node: u16,
+    },
+    /// Route computation picked an output direction for a head flit.
+    Route {
+        /// Packet id.
+        packet: u64,
+        /// Router node.
+        node: u16,
+        /// Input port index.
+        in_port: u8,
+        /// Input VC index.
+        in_vc: u8,
+        /// Chosen output direction index.
+        out_dir: u8,
+    },
+    /// VC allocation granted an output VC to a routed head flit.
+    VcAlloc {
+        /// Packet id.
+        packet: u64,
+        /// Router node.
+        node: u16,
+        /// Input port index.
+        in_port: u8,
+        /// Input VC index.
+        in_vc: u8,
+        /// Output direction index.
+        out_dir: u8,
+        /// Granted output VC index.
+        out_vc: u8,
+    },
+    /// A flit won switch allocation and traversed the crossbar (ST).
+    ///
+    /// Emitted only for head and tail flits (body flits add volume but
+    /// no analytical information; the tail carries the hop's departure
+    /// time, the head its start).
+    Traverse {
+        /// Packet id.
+        packet: u64,
+        /// Router node.
+        node: u16,
+        /// Output direction index.
+        out_dir: u8,
+        /// True when this is the packet's head flit.
+        head: bool,
+        /// True when this is the packet's tail flit.
+        tail: bool,
+    },
+    /// The packet's tail flit left through the Local port: delivered.
+    Eject {
+        /// Packet id.
+        packet: u64,
+        /// Delivering node.
+        node: u16,
+    },
+    /// A ready VC failed to move a flit this cycle.
+    VcStall {
+        /// Packet id at the head of the stalled VC.
+        packet: u64,
+        /// Router node.
+        node: u16,
+        /// Input port index.
+        port: u8,
+        /// Input VC index.
+        vc: u8,
+        /// Reason code from [`stall`].
+        reason: u8,
+    },
+    /// An in-network codec engine started working on a resident packet.
+    CodecStart {
+        /// Packet id.
+        packet: u64,
+        /// Router node hosting the engine.
+        node: u16,
+        /// Operation code from [`codec`].
+        op: u8,
+        /// True when the engine locks the VC (blocking decompression).
+        blocking: bool,
+    },
+    /// An in-network codec engine finished (or abandoned) its packet.
+    CodecEnd {
+        /// Packet id.
+        packet: u64,
+        /// Router node hosting the engine.
+        node: u16,
+        /// Operation code from [`codec`].
+        op: u8,
+        /// Outcome code from [`codec`].
+        outcome: u8,
+    },
+    /// An endpoint codec charged latency outside the network (CC/CNC
+    /// placements and fallback paths); never overlapped with queuing.
+    EndpointCodec {
+        /// Site code from [`site`].
+        site: u8,
+        /// Cycles charged.
+        cycles: u32,
+    },
+    /// A NUCA L2 bank lookup crossed the cache boundary.
+    L2Access {
+        /// Bank node/index.
+        node: u16,
+        /// Line address.
+        line: u64,
+        /// True on hit.
+        hit: bool,
+    },
+    /// A NUCA L2 bank insert/update wrote the cache arrays.
+    L2Insert {
+        /// Bank node/index.
+        node: u16,
+        /// Line address.
+        line: u64,
+    },
+    /// A DRAM access left the chip.
+    DramAccess {
+        /// Line address.
+        line: u64,
+        /// True for writes.
+        write: bool,
+        /// True when the open-row buffer hit.
+        row_hit: bool,
+    },
+}
+
+impl Event {
+    /// Short stable name used by both exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::Inject { .. } => "inject",
+            Event::NiStart { .. } => "ni_start",
+            Event::NiDone { .. } => "ni_done",
+            Event::Route { .. } => "route",
+            Event::VcAlloc { .. } => "vc_alloc",
+            Event::Traverse { .. } => "traverse",
+            Event::Eject { .. } => "eject",
+            Event::VcStall { .. } => "vc_stall",
+            Event::CodecStart { .. } => "codec_start",
+            Event::CodecEnd { .. } => "codec_end",
+            Event::EndpointCodec { .. } => "endpoint_codec",
+            Event::L2Access { .. } => "l2_access",
+            Event::L2Insert { .. } => "l2_insert",
+            Event::DramAccess { .. } => "dram_access",
+        }
+    }
+}
+
+/// A cycle-stamped event, as stored in the ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Simulated cycle at which the event was committed.
+    pub cycle: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl Record {
+    /// Appends this record as one compact JSON object (no newline).
+    ///
+    /// All values are integers or booleans, keys are emitted in a fixed
+    /// order, and there is no whitespace — the output is a deterministic
+    /// function of the record.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"cycle\":{},\"event\":\"{}\"",
+            self.cycle,
+            self.event.name()
+        );
+        match self.event {
+            Event::Inject {
+                packet,
+                src,
+                dst,
+                class,
+                flits,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"src\":{src},\"dst\":{dst},\"class\":{class},\"flits\":{flits}"
+                );
+            }
+            Event::NiStart { packet, node } | Event::NiDone { packet, node } => {
+                let _ = write!(out, ",\"packet\":{packet},\"node\":{node}");
+            }
+            Event::Route {
+                packet,
+                node,
+                in_port,
+                in_vc,
+                out_dir,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"in_port\":{in_port},\"in_vc\":{in_vc},\"out_dir\":{out_dir}"
+                );
+            }
+            Event::VcAlloc {
+                packet,
+                node,
+                in_port,
+                in_vc,
+                out_dir,
+                out_vc,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"in_port\":{in_port},\"in_vc\":{in_vc},\"out_dir\":{out_dir},\"out_vc\":{out_vc}"
+                );
+            }
+            Event::Traverse {
+                packet,
+                node,
+                out_dir,
+                head,
+                tail,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"out_dir\":{out_dir},\"head\":{head},\"tail\":{tail}"
+                );
+            }
+            Event::Eject { packet, node } => {
+                let _ = write!(out, ",\"packet\":{packet},\"node\":{node}");
+            }
+            Event::VcStall {
+                packet,
+                node,
+                port,
+                vc,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"port\":{port},\"vc\":{vc},\"reason\":{reason}"
+                );
+            }
+            Event::CodecStart {
+                packet,
+                node,
+                op,
+                blocking,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"op\":{op},\"blocking\":{blocking}"
+                );
+            }
+            Event::CodecEnd {
+                packet,
+                node,
+                op,
+                outcome,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"packet\":{packet},\"node\":{node},\"op\":{op},\"outcome\":{outcome}"
+                );
+            }
+            Event::EndpointCodec { site, cycles } => {
+                let _ = write!(out, ",\"site\":{site},\"cycles\":{cycles}");
+            }
+            Event::L2Access { node, line, hit } => {
+                let _ = write!(out, ",\"node\":{node},\"line\":{line},\"hit\":{hit}");
+            }
+            Event::L2Insert { node, line } => {
+                let _ = write!(out, ",\"node\":{node},\"line\":{line}");
+            }
+            Event::DramAccess {
+                line,
+                write,
+                row_hit,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"line\":{line},\"write\":{write},\"row_hit\":{row_hit}"
+                );
+            }
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_compact_and_keyed() {
+        let rec = Record {
+            cycle: 7,
+            event: Event::Inject {
+                packet: 3,
+                src: 0,
+                dst: 15,
+                class: 1,
+                flits: 5,
+            },
+        };
+        let mut s = String::new();
+        rec.write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"cycle\":7,\"event\":\"inject\",\"packet\":3,\"src\":0,\"dst\":15,\"class\":1,\"flits\":5}"
+        );
+    }
+
+    #[test]
+    fn every_variant_serializes_with_its_name() {
+        let variants = [
+            Event::NiStart { packet: 1, node: 2 },
+            Event::NiDone { packet: 1, node: 2 },
+            Event::Route {
+                packet: 1,
+                node: 2,
+                in_port: 0,
+                in_vc: 1,
+                out_dir: 2,
+            },
+            Event::VcAlloc {
+                packet: 1,
+                node: 2,
+                in_port: 0,
+                in_vc: 1,
+                out_dir: 2,
+                out_vc: 0,
+            },
+            Event::Traverse {
+                packet: 1,
+                node: 2,
+                out_dir: 4,
+                head: true,
+                tail: false,
+            },
+            Event::Eject { packet: 1, node: 2 },
+            Event::VcStall {
+                packet: 1,
+                node: 2,
+                port: 3,
+                vc: 0,
+                reason: stall::NO_CREDIT,
+            },
+            Event::CodecStart {
+                packet: 1,
+                node: 2,
+                op: codec::COMPRESS,
+                blocking: false,
+            },
+            Event::CodecEnd {
+                packet: 1,
+                node: 2,
+                op: codec::COMPRESS,
+                outcome: codec::DONE,
+            },
+            Event::EndpointCodec {
+                site: site::BANK_SEND,
+                cycles: 9,
+            },
+            Event::L2Access {
+                node: 2,
+                line: 77,
+                hit: true,
+            },
+            Event::L2Insert { node: 2, line: 77 },
+            Event::DramAccess {
+                line: 77,
+                write: false,
+                row_hit: true,
+            },
+        ];
+        for ev in variants {
+            let mut s = String::new();
+            Record {
+                cycle: 0,
+                event: ev,
+            }
+            .write_json(&mut s);
+            assert!(s.contains(ev.name()), "{s}");
+            assert!(s.starts_with('{') && s.ends_with('}'));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Trace exporters: line-delimited JSON and Chrome/Perfetto JSON.
+//!
+//! Both formats are emitted with fixed key order, integer-only values,
+//! and no whitespace, so the bytes are a deterministic function of the
+//! record stream — the determinism tests compare them directly.
+
+use crate::event::{codec, Event, Record};
+use std::fmt::Write as _;
+
+/// Serializes records as JSONL: one compact JSON object per line,
+/// trailing newline included.
+pub fn jsonl_string(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 64);
+    for rec in records {
+        rec.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Thread lane ids used in the Chrome export: one "process" per node,
+/// with the router pipeline, codec engines, and memory system on
+/// separate "threads".
+mod lane {
+    pub const ROUTER: u8 = 0;
+    pub const CODEC: u8 = 1;
+    pub const MEMORY: u8 = 2;
+    pub const ENDPOINT: u8 = 3;
+}
+
+fn codec_name(op: u8) -> &'static str {
+    if op == codec::DECOMPRESS {
+        "decompress"
+    } else {
+        "compress"
+    }
+}
+
+fn instant(out: &mut String, name: &str, ts: u64, pid: u64, tid: u8, args: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"args\":{{{args}}}}}"
+    );
+}
+
+/// Serializes records in the Chrome trace-event JSON format that
+/// Perfetto and `chrome://tracing` load directly.
+///
+/// Mapping: `ts` is the simulated cycle (rendered as microseconds),
+/// `pid` is the mesh node, `tid` separates the router pipeline, codec
+/// engines, and memory lanes. Codec operations become `B`/`E` duration
+/// slices; endpoint codec charges become `X` complete slices; all other
+/// events are thread-scoped instants.
+pub fn chrome_trace_string(records: &[Record]) -> String {
+    let mut out = String::with_capacity(records.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = rec.cycle;
+        match rec.event {
+            Event::Inject { packet, src, dst, class, flits } => instant(
+                &mut out,
+                "inject",
+                ts,
+                u64::from(src),
+                lane::ROUTER,
+                &format!("\"packet\":{packet},\"dst\":{dst},\"class\":{class},\"flits\":{flits}"),
+            ),
+            Event::NiStart { packet, node } => instant(
+                &mut out,
+                "ni_start",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet}"),
+            ),
+            Event::NiDone { packet, node } => instant(
+                &mut out,
+                "ni_done",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet}"),
+            ),
+            Event::Route { packet, node, in_port, in_vc, out_dir } => instant(
+                &mut out,
+                "route",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!(
+                    "\"packet\":{packet},\"in_port\":{in_port},\"in_vc\":{in_vc},\"out_dir\":{out_dir}"
+                ),
+            ),
+            Event::VcAlloc { packet, node, out_dir, out_vc, .. } => instant(
+                &mut out,
+                "vc_alloc",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet},\"out_dir\":{out_dir},\"out_vc\":{out_vc}"),
+            ),
+            Event::Traverse { packet, node, out_dir, head, tail } => instant(
+                &mut out,
+                "traverse",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet},\"out_dir\":{out_dir},\"head\":{head},\"tail\":{tail}"),
+            ),
+            Event::Eject { packet, node } => instant(
+                &mut out,
+                "eject",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet}"),
+            ),
+            Event::VcStall { packet, node, port, vc, reason } => instant(
+                &mut out,
+                "vc_stall",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet},\"port\":{port},\"vc\":{vc},\"reason\":{reason}"),
+            ),
+            Event::CodecStart { packet, node, op, blocking } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":{},\"tid\":{},\"args\":{{\"packet\":{packet},\"blocking\":{blocking}}}}}",
+                    codec_name(op),
+                    node,
+                    lane::CODEC,
+                );
+            }
+            Event::CodecEnd { packet, node, op, outcome } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":{},\"tid\":{},\"args\":{{\"packet\":{packet},\"outcome\":{outcome}}}}}",
+                    codec_name(op),
+                    node,
+                    lane::CODEC,
+                );
+            }
+            Event::EndpointCodec { site, cycles } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"endpoint_codec\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{cycles},\"pid\":0,\"tid\":{},\"args\":{{\"site\":{site}}}}}",
+                    lane::ENDPOINT,
+                );
+            }
+            Event::L2Access { node, line, hit } => instant(
+                &mut out,
+                "l2_access",
+                ts,
+                u64::from(node),
+                lane::MEMORY,
+                &format!("\"line\":{line},\"hit\":{hit}"),
+            ),
+            Event::L2Insert { node, line } => instant(
+                &mut out,
+                "l2_insert",
+                ts,
+                u64::from(node),
+                lane::MEMORY,
+                &format!("\"line\":{line}"),
+            ),
+            Event::DramAccess { line, write, row_hit } => instant(
+                &mut out,
+                "dram_access",
+                ts,
+                0,
+                lane::MEMORY,
+                &format!("\"line\":{line},\"write\":{write},\"row_hit\":{row_hit}"),
+            ),
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record {
+                cycle: 1,
+                event: Event::Inject {
+                    packet: 9,
+                    src: 0,
+                    dst: 3,
+                    class: 2,
+                    flits: 5,
+                },
+            },
+            Record {
+                cycle: 2,
+                event: Event::CodecStart {
+                    packet: 9,
+                    node: 0,
+                    op: codec::COMPRESS,
+                    blocking: false,
+                },
+            },
+            Record {
+                cycle: 6,
+                event: Event::CodecEnd {
+                    packet: 9,
+                    node: 0,
+                    op: codec::COMPRESS,
+                    outcome: codec::DONE,
+                },
+            },
+            Record {
+                cycle: 8,
+                event: Event::Eject { packet: 9, node: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let s = jsonl_string(&sample());
+        assert_eq!(s.lines().count(), 4);
+        for line in s.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn chrome_trace_is_wrapped_and_balanced() {
+        let s = chrome_trace_string(&sample());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("}"));
+        assert!(s.contains("\"ph\":\"B\""));
+        assert!(s.contains("\"ph\":\"E\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        // No trailing comma before the closing bracket.
+        assert!(!s.contains(",]"));
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let s = chrome_trace_string(&[]);
+        assert!(s.contains("\"traceEvents\":[]"));
+    }
+}

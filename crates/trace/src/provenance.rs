@@ -1,0 +1,680 @@
+//! Latency provenance: decompose each packet's end-to-end latency into
+//! {serialization, link, queuing, codec, protocol} cycles that sum
+//! **exactly** to the measured latency, and compute the paper's
+//! hidden-latency coverage (codec cycles overlapped with time the
+//! packet was queued anyway).
+//!
+//! # The decomposition
+//!
+//! For a packet injected (enqueued at the source NI) at cycle `t0`,
+//! whose first flit entered the network at `s` ([`Event::NiStart`]),
+//! whose last flit was accepted at `a` ([`Event::NiDone`], tail ready
+//! at `a+1`), whose tail left hop `i` at commit cycle `d_i`
+//! (tail [`Event::Traverse`]), and which was delivered at
+//! `te = d_H` ([`Event::Eject`] — the cycle `NetworkStats` measures):
+//!
+//! * **protocol** `= s − t0` — source NI queuing before injection
+//!   begins (backpressure from the local input VC, NI-queued
+//!   compression holds).
+//! * **serialization** `= (a+1) − s` — pushing the packet's flits over
+//!   the narrow NI interface, one per cycle; shrinks when compression
+//!   shortens the packet.
+//! * **link** `= H·P` — the pipeline/link latency of `H` hops at `P`
+//!   (`NocConfig::pipeline_stages`) cycles each; the unavoidable floor.
+//! * **queuing + codec** `= Σᵢ wᵢ` where `w₀ = d₀ − (a+1)` and
+//!   `wᵢ = dᵢ − (dᵢ₋₁ + P)` — the tail's wait at each hop beyond the
+//!   pipeline floor. The portion overlapped by a *blocking* codec span
+//!   (VC-locked decompression) is charged to **codec**; the remainder
+//!   is **queuing**.
+//!
+//! The five components telescope: their sum is `te − t0` with no
+//! rounding, for every packet (checked, surfaced as
+//! [`ProvenanceReport::exact`]). Components are *signed*: a mid-flight
+//! compression rebuilds the resident flits ready-at-now, so a reshaped
+//! tail can depart a hop earlier than the uncompressed tail would have
+//! arrived — a negative `wᵢ` is real time credit bought by compression.
+//!
+//! # Hidden-latency coverage
+//!
+//! A non-blocking codec span at a node the packet visited, overlapped
+//! with the packet's residency window at that node, is *hidden* work —
+//! the paper's central claim is that DISCO hides most codec cycles
+//! there. Blocking spans and endpoint (CC/CNC) codec charges are
+//! *exposed*. Coverage `= hidden / (hidden + exposed + endpoint)`.
+
+use crate::event::{Event, Record};
+use std::collections::BTreeMap;
+
+/// One packet's exact latency decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketProvenance {
+    /// Packet id.
+    pub packet: u64,
+    /// Source node.
+    pub src: u16,
+    /// Destination node.
+    pub dst: u16,
+    /// Measured end-to-end latency (eject − inject), as `NetworkStats`
+    /// counts it.
+    pub latency: u64,
+    /// Source-NI queuing cycles before injection began.
+    pub protocol: i64,
+    /// NI serialization cycles.
+    pub serialization: i64,
+    /// Pipeline/link floor cycles (hops × pipeline stages).
+    pub link: i64,
+    /// Router queuing cycles not overlapped by blocking codec work.
+    pub queuing: i64,
+    /// Blocking codec cycles overlapped with residency (exposed).
+    pub codec: i64,
+    /// Non-blocking codec cycles overlapped with residency (hidden).
+    pub hidden: u64,
+}
+
+impl PacketProvenance {
+    /// Sum of the five components; equals `latency` for every packet
+    /// the analyzer marks complete.
+    pub fn component_sum(&self) -> i64 {
+        self.protocol + self.serialization + self.link + self.queuing + self.codec
+    }
+}
+
+/// Aggregate decomposition over all complete packets of a run.
+///
+/// Every field is surfaced in `report.rs` (`provenance.*` keys) and
+/// covered by the disco-verify counters-surfaced lint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvenanceTotals {
+    /// Packets with a full inject→eject event history.
+    pub packets: u64,
+    /// Packets excluded for missing milestones (in flight at shutdown,
+    /// or injected before capture began).
+    pub incomplete: u64,
+    /// Σ measured end-to-end latency over complete packets; must equal
+    /// `NetworkStats::total_packet_latency` when capture is lossless
+    /// and every delivered packet completed.
+    pub latency_cycles: u64,
+    /// Σ serialization component.
+    pub serialization_cycles: i64,
+    /// Σ link component.
+    pub link_cycles: i64,
+    /// Σ queuing component.
+    pub queuing_cycles: i64,
+    /// Σ codec (exposed, in-network blocking) component.
+    pub codec_cycles: i64,
+    /// Σ protocol component.
+    pub protocol_cycles: i64,
+    /// Σ codec cycles hidden under queuing (non-blocking overlap).
+    pub codec_hidden_cycles: u64,
+    /// Σ codec cycles exposed on the critical path (blocking overlap).
+    pub codec_exposed_cycles: u64,
+    /// Σ endpoint codec cycles (CC/CNC placements, fallback paths) —
+    /// never overlapped with network queuing by construction.
+    pub endpoint_codec_cycles: u64,
+}
+
+/// Result of the provenance pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProvenanceReport {
+    /// Aggregates over all complete packets.
+    pub totals: ProvenanceTotals,
+    /// Per-packet decompositions, in packet-id order.
+    pub packets: Vec<PacketProvenance>,
+    /// True iff every complete packet's five components summed exactly
+    /// to its measured latency.
+    pub exact: bool,
+}
+
+impl ProvenanceReport {
+    /// Fraction of all codec work (in-network + endpoint) that was
+    /// hidden under router queuing. The paper's headline metric: DISCO
+    /// should approach 1.0 where CC/CNC sit at 0.
+    pub fn hidden_coverage(&self) -> f64 {
+        let t = &self.totals;
+        let denom = t.codec_hidden_cycles + t.codec_exposed_cycles + t.endpoint_codec_cycles;
+        if denom == 0 {
+            return 0.0;
+        }
+        t.codec_hidden_cycles as f64 / denom as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CodecSpan {
+    node: u16,
+    op: u8,
+    blocking: bool,
+    start: u64,
+    end: Option<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Track {
+    src: u16,
+    dst: u16,
+    inject: Option<u64>,
+    ni_start: Option<u64>,
+    ni_done: Option<u64>,
+    eject: Option<u64>,
+    /// (node, tail-departure commit cycle) per hop, path order.
+    hops: Vec<(u16, u64)>,
+    codec: Vec<CodecSpan>,
+}
+
+/// Streaming analyzer: feed it every [`Record`] of a run (the system
+/// harness drains the tracer once per cycle, so feeding is lossless),
+/// then call [`ProvenanceAnalyzer::finish`].
+///
+/// Finalization is lazy on purpose: a codec abort for a packet is
+/// detected one cycle *after* the packet left the router, so
+/// [`Event::CodecEnd`] can arrive after [`Event::Eject`]. Tracks are
+/// therefore only resolved when the run is over.
+#[derive(Debug, Clone)]
+pub struct ProvenanceAnalyzer {
+    pipeline_stages: u64,
+    tracks: BTreeMap<u64, Track>,
+    endpoint_codec_cycles: u64,
+}
+
+impl ProvenanceAnalyzer {
+    /// Creates an analyzer for a network with the given per-hop
+    /// pipeline depth (`NocConfig::pipeline_stages`).
+    pub fn new(pipeline_stages: u64) -> Self {
+        ProvenanceAnalyzer {
+            pipeline_stages,
+            tracks: BTreeMap::new(),
+            endpoint_codec_cycles: 0,
+        }
+    }
+
+    /// Ingests one record.
+    pub fn ingest(&mut self, rec: &Record) {
+        let cycle = rec.cycle;
+        match rec.event {
+            Event::Inject {
+                packet, src, dst, ..
+            } => {
+                let t = self.tracks.entry(packet).or_default();
+                t.src = src;
+                t.dst = dst;
+                t.inject = Some(cycle);
+            }
+            Event::NiStart { packet, .. } => {
+                self.tracks.entry(packet).or_default().ni_start = Some(cycle);
+            }
+            Event::NiDone { packet, .. } => {
+                self.tracks.entry(packet).or_default().ni_done = Some(cycle);
+            }
+            Event::Traverse {
+                packet, node, tail, ..
+            } => {
+                if tail {
+                    self.tracks
+                        .entry(packet)
+                        .or_default()
+                        .hops
+                        .push((node, cycle));
+                }
+            }
+            Event::Eject { packet, .. } => {
+                self.tracks.entry(packet).or_default().eject = Some(cycle);
+            }
+            Event::CodecStart {
+                packet,
+                node,
+                op,
+                blocking,
+            } => {
+                self.tracks
+                    .entry(packet)
+                    .or_default()
+                    .codec
+                    .push(CodecSpan {
+                        node,
+                        op,
+                        blocking,
+                        start: cycle,
+                        end: None,
+                    });
+            }
+            Event::CodecEnd {
+                packet, node, op, ..
+            } => {
+                if let Some(t) = self.tracks.get_mut(&packet) {
+                    if let Some(span) = t
+                        .codec
+                        .iter_mut()
+                        .rev()
+                        .find(|s| s.end.is_none() && s.node == node && s.op == op)
+                    {
+                        span.end = Some(cycle);
+                    }
+                }
+            }
+            Event::EndpointCodec { cycles, .. } => {
+                self.endpoint_codec_cycles += u64::from(cycles);
+            }
+            // Routing-pipeline and memory events carry no provenance.
+            Event::Route { .. }
+            | Event::VcAlloc { .. }
+            | Event::VcStall { .. }
+            | Event::L2Access { .. }
+            | Event::L2Insert { .. }
+            | Event::DramAccess { .. } => {}
+        }
+    }
+
+    /// Ingests a batch of records in order.
+    pub fn ingest_all(&mut self, records: &[Record]) {
+        for rec in records {
+            self.ingest(rec);
+        }
+    }
+
+    /// Resolves all tracks into the final report.
+    pub fn finish(self) -> ProvenanceReport {
+        let pipeline = self.pipeline_stages as i64;
+        let mut report = ProvenanceReport {
+            exact: true,
+            ..ProvenanceReport::default()
+        };
+        report.totals.endpoint_codec_cycles = self.endpoint_codec_cycles;
+        for (&packet, track) in &self.tracks {
+            let (Some(t0), Some(s), Some(a), Some(te)) =
+                (track.inject, track.ni_start, track.ni_done, track.eject)
+            else {
+                report.totals.incomplete += 1;
+                continue;
+            };
+            let Some(&(_, d_last)) = track.hops.last() else {
+                report.totals.incomplete += 1;
+                continue;
+            };
+            if d_last != te || track.hops.is_empty() {
+                // A delivered packet's last tail traversal *is* its
+                // ejection; anything else means the capture was lossy.
+                report.totals.incomplete += 1;
+                continue;
+            }
+
+            let protocol = s as i64 - t0 as i64;
+            let serialization = (a as i64 + 1) - s as i64;
+            let hops = track.hops.len() as i64;
+            let link = (hops - 1) * pipeline;
+
+            // Residency window [arrival, departure) per hop, and the
+            // wait (window length) beyond the pipeline floor.
+            let mut windows: Vec<(u16, i64, i64)> = Vec::with_capacity(track.hops.len());
+            let mut raw_wait = 0i64;
+            let mut arrival = a as i64 + 1;
+            for &(node, depart) in &track.hops {
+                let depart = depart as i64;
+                windows.push((node, arrival, depart));
+                raw_wait += depart - arrival;
+                arrival = depart + pipeline;
+            }
+
+            let mut exposed = 0i64;
+            let mut hidden = 0i64;
+            for span in &track.codec {
+                let Some(end) = span.end else { continue };
+                let (cs, ce) = (span.start as i64, end as i64);
+                // The packet visits each node once (minimal routing);
+                // find its residency window there.
+                let Some(&(_, w0, w1)) = windows.iter().find(|w| w.0 == span.node) else {
+                    continue;
+                };
+                // Source-node spans may also overlap the NI period
+                // (queued compression works on packets still in the NI
+                // queue), which counts as hidden but never as exposed.
+                let hidden_w0 = if span.node == track.src {
+                    t0 as i64
+                } else {
+                    w0
+                };
+                if span.blocking {
+                    exposed += overlap(cs, ce, w0, w1);
+                } else {
+                    hidden += overlap(cs, ce, hidden_w0, w1);
+                }
+            }
+            let queuing = raw_wait - exposed;
+            let latency = te - t0;
+
+            let pp = PacketProvenance {
+                packet,
+                src: track.src,
+                dst: track.dst,
+                latency,
+                protocol,
+                serialization,
+                link,
+                queuing,
+                codec: exposed,
+                hidden: hidden.max(0) as u64,
+            };
+            if pp.component_sum() != latency as i64 {
+                report.exact = false;
+            }
+            report.totals.packets += 1;
+            report.totals.latency_cycles += latency;
+            report.totals.protocol_cycles += protocol;
+            report.totals.serialization_cycles += serialization;
+            report.totals.link_cycles += link;
+            report.totals.queuing_cycles += queuing;
+            report.totals.codec_cycles += exposed;
+            report.totals.codec_hidden_cycles += hidden.max(0) as u64;
+            report.totals.codec_exposed_cycles += exposed.max(0) as u64;
+            report.packets.push(pp);
+        }
+        report
+    }
+}
+
+/// Length of the intersection of half-open intervals `[a0, a1)` and
+/// `[b0, b1)`, clamped at zero.
+fn overlap(a0: i64, a1: i64, b0: i64, b1: i64) -> i64 {
+    (a1.min(b1) - a0.max(b0)).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::codec;
+
+    const P: u64 = 2;
+
+    fn rec(cycle: u64, event: Event) -> Record {
+        Record { cycle, event }
+    }
+
+    /// Packet 9: inject@0, ni_start@1, ni_done@3, tail departs src 0 at
+    /// 6, node 1 at 9, node 2 (Local) at 12, eject@12.
+    fn base_stream() -> Vec<Record> {
+        vec![
+            rec(
+                0,
+                Event::Inject {
+                    packet: 9,
+                    src: 0,
+                    dst: 2,
+                    class: 2,
+                    flits: 3,
+                },
+            ),
+            rec(1, Event::NiStart { packet: 9, node: 0 }),
+            rec(3, Event::NiDone { packet: 9, node: 0 }),
+            rec(
+                6,
+                Event::Traverse {
+                    packet: 9,
+                    node: 0,
+                    out_dir: 0,
+                    head: false,
+                    tail: true,
+                },
+            ),
+            rec(
+                9,
+                Event::Traverse {
+                    packet: 9,
+                    node: 1,
+                    out_dir: 0,
+                    head: false,
+                    tail: true,
+                },
+            ),
+            rec(
+                12,
+                Event::Traverse {
+                    packet: 9,
+                    node: 2,
+                    out_dir: 4,
+                    head: false,
+                    tail: true,
+                },
+            ),
+            rec(12, Event::Eject { packet: 9, node: 2 }),
+        ]
+    }
+
+    #[test]
+    fn plain_packet_decomposes_exactly() {
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&base_stream());
+        let rep = an.finish();
+        assert!(rep.exact);
+        assert_eq!(rep.totals.packets, 1);
+        assert_eq!(rep.totals.incomplete, 0);
+        let p = rep.packets[0];
+        assert_eq!(p.latency, 12);
+        assert_eq!(p.protocol, 1); // s(1) - t0(0)
+        assert_eq!(p.serialization, 3); // a+1(4) - s(1)
+        assert_eq!(p.link, 4); // 2 hops * P
+        assert_eq!(p.queuing, 4); // w0=6-4, w1=9-8, w2=12-11
+        assert_eq!(p.codec, 0);
+        assert_eq!(p.component_sum(), 12);
+    }
+
+    #[test]
+    fn nonblocking_codec_overlap_is_hidden() {
+        let mut stream = base_stream();
+        stream.push(rec(
+            7,
+            Event::CodecStart {
+                packet: 9,
+                node: 1,
+                op: codec::COMPRESS,
+                blocking: false,
+            },
+        ));
+        stream.push(rec(
+            9,
+            Event::CodecEnd {
+                packet: 9,
+                node: 1,
+                op: codec::COMPRESS,
+                outcome: codec::DONE,
+            },
+        ));
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        let p = rep.packets[0];
+        // Residency at node 1 is [8, 9); span [7, 9) overlaps 1 cycle.
+        assert_eq!(p.hidden, 1);
+        assert_eq!(p.codec, 0);
+        assert_eq!(p.queuing, 4); // hidden work does not change the sum
+        assert!(rep.exact);
+        assert!((rep.hidden_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_codec_overlap_moves_queuing_to_codec() {
+        let mut stream = base_stream();
+        stream.push(rec(
+            4,
+            Event::CodecStart {
+                packet: 9,
+                node: 0,
+                op: codec::DECOMPRESS,
+                blocking: true,
+            },
+        ));
+        stream.push(rec(
+            6,
+            Event::CodecEnd {
+                packet: 9,
+                node: 0,
+                op: codec::DECOMPRESS,
+                outcome: codec::DONE,
+            },
+        ));
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        let p = rep.packets[0];
+        // Residency at src is [4, 6); the whole blocking span is exposed.
+        assert_eq!(p.codec, 2);
+        assert_eq!(p.queuing, 2);
+        assert_eq!(p.component_sum(), 12);
+        assert!(rep.exact);
+        assert_eq!(rep.totals.codec_exposed_cycles, 2);
+        assert!((rep.hidden_coverage() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ni_queued_compression_counts_as_hidden_at_the_source() {
+        let mut stream = base_stream();
+        // Queued compression working while the packet sits in the NI
+        // queue: [0, 1) is before ni_start but inside the src window.
+        stream.push(rec(
+            0,
+            Event::CodecStart {
+                packet: 9,
+                node: 0,
+                op: codec::COMPRESS,
+                blocking: false,
+            },
+        ));
+        stream.push(rec(
+            1,
+            Event::CodecEnd {
+                packet: 9,
+                node: 0,
+                op: codec::COMPRESS,
+                outcome: codec::DONE,
+            },
+        ));
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        assert_eq!(rep.packets[0].hidden, 1);
+        assert!(rep.exact);
+    }
+
+    #[test]
+    fn endpoint_codec_cycles_dilute_coverage() {
+        let mut stream = base_stream();
+        stream.push(rec(
+            6,
+            Event::CodecStart {
+                packet: 9,
+                node: 1,
+                op: codec::COMPRESS,
+                blocking: false,
+            },
+        ));
+        stream.push(rec(
+            9,
+            Event::CodecEnd {
+                packet: 9,
+                node: 1,
+                op: codec::COMPRESS,
+                outcome: codec::DONE,
+            },
+        ));
+        stream.push(rec(
+            2,
+            Event::EndpointCodec {
+                site: crate::event::site::BANK_SEND,
+                cycles: 3,
+            },
+        ));
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        assert_eq!(rep.totals.codec_hidden_cycles, 1);
+        assert_eq!(rep.totals.endpoint_codec_cycles, 3);
+        assert!((rep.hidden_coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_flight_packets_are_counted_incomplete() {
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest(&rec(
+            0,
+            Event::Inject {
+                packet: 1,
+                src: 0,
+                dst: 3,
+                class: 0,
+                flits: 1,
+            },
+        ));
+        an.ingest(&rec(1, Event::NiStart { packet: 1, node: 0 }));
+        let rep = an.finish();
+        assert_eq!(rep.totals.packets, 0);
+        assert_eq!(rep.totals.incomplete, 1);
+        assert!(rep.packets.is_empty());
+    }
+
+    #[test]
+    fn codec_end_after_eject_still_resolves() {
+        let mut stream = base_stream();
+        stream.push(rec(
+            11,
+            Event::CodecStart {
+                packet: 9,
+                node: 2,
+                op: codec::COMPRESS,
+                blocking: false,
+            },
+        ));
+        // Abort detected one cycle after delivery.
+        stream.push(rec(
+            13,
+            Event::CodecEnd {
+                packet: 9,
+                node: 2,
+                op: codec::COMPRESS,
+                outcome: codec::ABORTED,
+            },
+        ));
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        assert_eq!(rep.totals.packets, 1);
+        // Residency at node 2 is [11, 12); span [11, 13) overlaps 1.
+        assert_eq!(rep.packets[0].hidden, 1);
+        assert!(rep.exact);
+    }
+
+    #[test]
+    fn single_hop_packet_has_zero_link() {
+        // src == dst: the only tail traversal is the Local departure.
+        let stream = vec![
+            rec(
+                0,
+                Event::Inject {
+                    packet: 4,
+                    src: 5,
+                    dst: 5,
+                    class: 0,
+                    flits: 1,
+                },
+            ),
+            rec(1, Event::NiStart { packet: 4, node: 5 }),
+            rec(1, Event::NiDone { packet: 4, node: 5 }),
+            rec(
+                3,
+                Event::Traverse {
+                    packet: 4,
+                    node: 5,
+                    out_dir: 4,
+                    head: true,
+                    tail: true,
+                },
+            ),
+            rec(3, Event::Eject { packet: 4, node: 5 }),
+        ];
+        let mut an = ProvenanceAnalyzer::new(P);
+        an.ingest_all(&stream);
+        let rep = an.finish();
+        let p = rep.packets[0];
+        assert_eq!(p.link, 0);
+        assert_eq!(p.latency, 3);
+        assert_eq!(p.component_sum(), 3);
+        assert!(rep.exact);
+    }
+}

@@ -1,7 +1,7 @@
 //! Source-convention lints: a lightweight file-walk scanner with no
 //! dependencies beyond `std`.
 //!
-//! Three rules:
+//! Four rules:
 //!
 //! 1. **Panic-free hot paths** — the files executed every simulated cycle
 //!    must not call `.unwrap()` or `.expect(...)`. Recoverable conditions
@@ -10,14 +10,19 @@
 //!    invariant. Comment lines are skipped and scanning stops at the
 //!    first `#[cfg(test)]` module, where panicking is idiomatic.
 //! 2. **Stats surfacing** — every public counter field of
-//!    `NetworkStats` and `DiscoStats` must appear in `report.rs`, so no
-//!    measurement silently drops out of the stats file the experiments
-//!    diff.
+//!    `NetworkStats`, `DiscoStats`, and `ProvenanceTotals` must appear in
+//!    `report.rs`, so no measurement silently drops out of the stats file
+//!    the experiments diff.
 //! 3. **Commit confinement** — the phase-split cycle kernel keeps its
 //!    determinism guarantee only if every `Router` field write happens in
 //!    the node-ordered commit pass. No file in `crates/noc/src` other
 //!    than `commit.rs` (and `router.rs` itself) may mutate a router's
 //!    `inputs`, `out_alloc`, `credits`, `rr_sa`, or `sa_losers` directly.
+//! 4. **No wall-clock in the trace path** — trace records are stamped
+//!    with the simulated cycle, never host time, or the export stops
+//!    being byte-identical across shard counts and reruns. Nothing under
+//!    `crates/trace/src` and no emission-site file may mention
+//!    `std::time`, `Instant`, or `SystemTime`.
 
 use std::fs;
 use std::io;
@@ -36,6 +41,10 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/cache/src/nuca.rs",
     "crates/cache/src/l1.rs",
     "crates/cache/src/mshr.rs",
+    "crates/cache/src/dram.rs",
+    "crates/trace/src/event.rs",
+    "crates/trace/src/ring.rs",
+    "crates/trace/src/provenance.rs",
 ];
 
 /// `Router` fields only the commit pass may write. The compute phase
@@ -63,6 +72,7 @@ const MUTATING_CALLS: &[&str] = &[
 const STATS_SOURCES: &[(&str, &str)] = &[
     ("crates/noc/src/stats.rs", "NetworkStats"),
     ("crates/core/src/engine.rs", "DiscoStats"),
+    ("crates/trace/src/provenance.rs", "ProvenanceTotals"),
 ];
 
 /// Where the counters must be surfaced.
@@ -264,6 +274,82 @@ fn is_mutated(rest: &str) -> bool {
     false
 }
 
+/// Emission-site files that must never read wall-clock time (rule 4).
+/// Every `.rs` file under `crates/trace/src` is additionally walked.
+/// (`crates/bench`'s harnesses legitimately use `Instant` for wall-clock
+/// throughput measurement and are deliberately out of scope.)
+pub const WALLCLOCK_FREE: &[&str] = &[
+    "crates/noc/src/phase.rs",
+    "crates/noc/src/commit.rs",
+    "crates/noc/src/network.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/system.rs",
+    "crates/cache/src/nuca.rs",
+    "crates/cache/src/dram.rs",
+];
+
+/// Host-time sources forbidden in deterministic tracing code.
+const WALLCLOCK_PATTERNS: &[&str] = &["std::time", "Instant", "SystemTime"];
+
+/// Scans the trace crate and every emission site for wall-clock time
+/// sources (rule 4).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_no_wallclock(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut rels: Vec<PathBuf> = WALLCLOCK_FREE.iter().map(PathBuf::from).collect();
+    let trace_dir = Path::new("crates/trace/src");
+    let mut names: Vec<String> = fs::read_dir(root.join(trace_dir))?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    rels.extend(names.into_iter().map(|n| trace_dir.join(n)));
+    let mut violations = Vec::new();
+    for rel in rels {
+        let text = fs::read_to_string(root.join(&rel))?;
+        for (line, message) in scan_wallclock(&text) {
+            violations.push(Violation {
+                file: rel.clone(),
+                line,
+                message,
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Scans one source text for wall-clock time sources; returns (1-based
+/// line, message) findings. Comment handling and the `#[cfg(test)]`
+/// cutoff match [`scan_source`].
+pub fn scan_wallclock(text: &str) -> Vec<(usize, String)> {
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = raw.split("//").next().unwrap_or(raw);
+        for pattern in WALLCLOCK_PATTERNS {
+            if code.contains(pattern) {
+                findings.push((
+                    idx + 1,
+                    format!(
+                        "wall-clock source `{pattern}` in deterministic tracing code; \
+                         stamp with the simulated cycle instead"
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
 /// Checks that every public counter field of the stats structs appears in
 /// `report.rs`.
 ///
@@ -344,6 +430,32 @@ mod tests {
     fn stats_are_surfaced() {
         let violations = check_stats_surfaced(&repo_root()).expect("sources readable");
         assert_eq!(violations, Vec::new(), "every counter must reach report.rs");
+    }
+
+    #[test]
+    fn trace_path_is_wallclock_free() {
+        let violations = check_no_wallclock(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "trace records must be cycle-stamped, never wall-clock-stamped"
+        );
+    }
+
+    #[test]
+    fn wallclock_scanner_flags_code_but_not_comments_or_tests() {
+        let text = "\
+fn bad() { let t = std::time::Instant::now(); }\n\
+// a comment mentioning Instant is fine\n\
+fn ok() { let c = self.cycle; } // trailing SystemTime mention is fine\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { let _ = std::time::SystemTime::now(); }\n\
+}\n";
+        let findings = scan_wallclock(text);
+        // Line 1 matches both `std::time` and `Instant`.
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.0 == 1));
     }
 
     #[test]

@@ -45,4 +45,7 @@ pub use disco_compress as compress;
 pub use disco_core as core;
 pub use disco_energy as energy;
 pub use disco_noc as noc;
+/// Deterministic event tracing + latency provenance (`trace` feature).
+#[cfg(feature = "trace")]
+pub use disco_trace as trace;
 pub use disco_workloads as workloads;

@@ -70,3 +70,41 @@ fn sharded_run_passes_validation() {
     let stats = stats_with_shards(11, CompressionPlacement::Disco, RoutingAlgorithm::Xy, 4);
     assert!(stats.contains("noc.routing_violations = 0"));
 }
+
+/// The trace is part of the determinism contract too: every event is
+/// committed in node order and stamped with the simulated cycle (never
+/// wall-clock), so the exported JSONL must be byte-identical at any
+/// shard count. CI runs this under `parallel,trace`; without `parallel`
+/// the shard request is ignored and the comparison is a self-check.
+#[cfg(feature = "trace")]
+#[test]
+fn trace_jsonl_is_shard_invariant() {
+    let export = |shards: usize| {
+        let noc = NocConfig {
+            compute_shards: shards,
+            ..NocConfig::default()
+        };
+        let report = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(300)
+            .seed(9)
+            .noc(noc)
+            .retain_trace_records(true)
+            .run()
+            .expect("matrix run drains");
+        let t = report.trace.expect("capture requested");
+        assert!(t.provenance.exact, "{shards} shards: decomposition exact");
+        disco::trace::export::jsonl_string(&t.records)
+    };
+    let serial = export(1);
+    assert!(!serial.is_empty());
+    for shards in [4, 16] {
+        assert_eq!(
+            serial,
+            export(shards),
+            "JSONL export diverged at {shards} shards"
+        );
+    }
+}

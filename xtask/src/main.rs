@@ -148,8 +148,9 @@ fn verify_protocol() -> usize {
     failures
 }
 
-/// Lint pass: panic-API-free hot paths, fully surfaced stats, and
-/// Router-mutation confinement to the commit pass.
+/// Lint pass: panic-API-free hot paths, fully surfaced stats,
+/// Router-mutation confinement to the commit pass, and a wall-clock-free
+/// trace path.
 fn verify_lints() -> usize {
     let root = lints::repo_root();
     let mut failures = 0;
@@ -173,7 +174,9 @@ fn verify_lints() -> usize {
     }
     match lints::check_stats_surfaced(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("lints: every NetworkStats/DiscoStats counter is surfaced in report.rs");
+            println!(
+                "lints: every NetworkStats/DiscoStats/ProvenanceTotals counter is surfaced in report.rs"
+            );
         }
         Ok(violations) => {
             for v in &violations {
@@ -189,6 +192,21 @@ fn verify_lints() -> usize {
     match lints::check_commit_confinement(&root) {
         Ok(violations) if violations.is_empty() => {
             println!("lints: Router mutations are confined to the commit pass");
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lints: FAIL {v}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("lints: FAIL cannot read sources: {e}");
+            failures += 1;
+        }
+    }
+    match lints::check_no_wallclock(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lints: trace crate and emission sites are wall-clock free");
         }
         Ok(violations) => {
             for v in &violations {
