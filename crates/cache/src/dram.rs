@@ -55,6 +55,13 @@ pub struct Dram {
     bank_free_at: Vec<u64>,
     open_row: Vec<Option<u64>>,
     stats: DramStats,
+    /// Fault schedule for bank-stall bursts (`faults` only). `None`
+    /// keeps the timing byte-identical to a faults-free build.
+    #[cfg(feature = "faults")]
+    plan: Option<disco_faults::FaultPlan>,
+    /// Extra cycles charged by injected bank stalls (`faults` only).
+    #[cfg(feature = "faults")]
+    fault_stall_cycles: u64,
     /// Off-chip access events since the last [`Dram::drain_trace`]; the
     /// harness drains and cycle-stamps these at the end of each tick.
     #[cfg(feature = "trace")]
@@ -69,6 +76,10 @@ impl Dram {
             bank_free_at: vec![0; config.banks],
             open_row: vec![None; config.banks],
             stats: DramStats::default(),
+            #[cfg(feature = "faults")]
+            plan: None,
+            #[cfg(feature = "faults")]
+            fault_stall_cycles: 0,
             #[cfg(feature = "trace")]
             site_log: disco_trace::EventList::default(),
         }
@@ -77,6 +88,18 @@ impl Dram {
     /// Counters so far.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Arms the bank-stall fault schedule (`faults` only).
+    #[cfg(feature = "faults")]
+    pub fn set_fault_plan(&mut self, plan: disco_faults::FaultPlan) {
+        self.plan = plan.is_active().then_some(plan);
+    }
+
+    /// Cycles lost to injected bank stalls (`faults` only).
+    #[cfg(feature = "faults")]
+    pub fn fault_stall_cycles(&self) -> u64 {
+        self.fault_stall_cycles
     }
 
     /// Takes the events accumulated since the last drain (`trace` only).
@@ -91,8 +114,23 @@ impl Dram {
     pub fn access(&mut self, addr: LineAddr, now: u64, write: bool) -> u64 {
         let bank = (addr.0 % self.config.banks as u64) as usize;
         let row = addr.0 / self.config.banks as u64 / self.config.row_lines.max(1) as u64;
-        let start = now.max(self.bank_free_at[bank]);
+        #[allow(unused_mut)]
+        let mut start = now.max(self.bank_free_at[bank]);
         self.stats.conflict_cycles += start - now;
+        // A scheduled bank-stall burst holds the bank for an extra
+        // penalty window before it can begin service. The lost cycles
+        // are tallied separately from ordinary bank conflicts.
+        #[cfg(feature = "faults")]
+        if let Some(plan) = &self.plan {
+            if plan.window_fires(
+                disco_faults::FaultKind::DramStall,
+                now,
+                disco_faults::site::dram_bank(bank),
+            ) {
+                self.fault_stall_cycles += plan.dram_stall_penalty;
+                start += plan.dram_stall_penalty;
+            }
+        }
         let row_hit = self.open_row[bank] == Some(row);
         let latency = if row_hit {
             self.stats.row_hits += 1;
@@ -178,5 +216,28 @@ mod tests {
     #[test]
     fn empty_stats_hit_rate_is_zero() {
         assert_eq!(Dram::new(DramConfig::default()).stats().row_hit_rate(), 0.0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn bank_stalls_delay_service_and_are_counted() {
+        let mut plan = disco_faults::FaultPlan::new(11);
+        plan.dram_stall_rate = 1.0; // every window stalls
+        let mut d = Dram::new(DramConfig::default());
+        d.set_fault_plan(plan.clone());
+        let done = d.access(LineAddr(0), 50, false);
+        assert_eq!(done, 50 + plan.dram_stall_penalty + 160);
+        assert_eq!(d.fault_stall_cycles(), plan.dram_stall_penalty);
+        // Ordinary conflict accounting stays separate from fault stalls.
+        assert_eq!(d.stats().conflict_cycles, 0);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn inactive_plan_leaves_timing_untouched() {
+        let mut d = Dram::new(DramConfig::default());
+        d.set_fault_plan(disco_faults::FaultPlan::new(11)); // all rates zero
+        assert_eq!(d.access(LineAddr(0), 50, false), 210);
+        assert_eq!(d.fault_stall_cycles(), 0);
     }
 }

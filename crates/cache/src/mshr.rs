@@ -14,7 +14,9 @@ pub struct MshrEntry {
     /// True if any merged access was a write (fetch-for-ownership).
     pub write: bool,
     /// Number of accesses merged into this entry (primary + secondaries).
-    pub merged: u32,
+    /// Wide on purpose: long fault-recovery stalls can pile an unbounded
+    /// number of secondaries onto one entry.
+    pub merged: u64,
     /// True while the entry only serves a prefetch. A demand access
     /// merging into it clears the flag and restarts the latency clock
     /// (late-prefetch accounting).

@@ -82,7 +82,7 @@ enum Engine {
         consumed: usize,
         prefix_flits: usize,
         /// Cycles since the last fragment was consumed (progress guard).
-        idle_cycles: u32,
+        idle_cycles: u64,
         result: CompressedLine,
     },
     /// Compression of a whole packet still waiting in the NI injection
@@ -362,9 +362,15 @@ impl DiscoLayer {
                 result,
             } => {
                 let vc_ref = net.router(node_id).vc(port, vc);
-                let whole = {
-                    let size = net.store().get(packet).size_flits();
-                    vc_ref.resident_of(packet) == size && vc_ref.has_tail_of(packet)
+                // `try_get`: the fault layer may have retired the packet
+                // outright (dropped or eaten at ejection), which also
+                // reads as "no longer whole here".
+                let whole = match net.store().try_get(packet) {
+                    Some(pkt) => {
+                        let size = pkt.size_flits();
+                        vc_ref.resident_of(packet) == size && vc_ref.has_tail_of(packet)
+                    }
+                    None => false,
                 };
                 if !whole {
                     // The packet started moving (it reached the front and
@@ -406,6 +412,28 @@ impl DiscoLayer {
                     );
                     return;
                 }
+                // Fault hook: a corrupted compressor output is caught by
+                // decompress-and-verify here and the packet falls back to
+                // uncompressed delivery (same downstream handling as an
+                // incompressible line).
+                #[cfg(feature = "faults")]
+                let result = match net.fault_codec_output(node_id, packet, result) {
+                    Some(r) => r,
+                    None => {
+                        net.store_mut().get_mut(packet).compressible = false;
+                        self.stats.incompressible += 1;
+                        disco_trace::emit!(
+                            net,
+                            disco_trace::Event::CodecEnd {
+                                packet: packet.0,
+                                node: node as u16,
+                                op: disco_trace::codec::COMPRESS,
+                                outcome: disco_trace::codec::INCOMPRESSIBLE,
+                            }
+                        );
+                        return;
+                    }
+                };
                 let old_size = net.store().get(packet).size_flits();
                 let final_flits = result.size_bytes().div_ceil(FLIT_BYTES).max(1);
                 net.store_mut().get_mut(packet).payload = Payload::Compressed(result);
@@ -485,6 +513,27 @@ impl DiscoLayer {
                             }
                         );
                         return;
+                    }
+                    // Fault hook at the commit decision — before any
+                    // resident flit is consumed, so the fallback path is
+                    // identical to an incompressible line.
+                    #[cfg(feature = "faults")]
+                    match net.fault_codec_output(node_id, packet, result.clone()) {
+                        Some(_) => {}
+                        None => {
+                            net.store_mut().get_mut(packet).compressible = false;
+                            self.stats.incompressible += 1;
+                            disco_trace::emit!(
+                                net,
+                                disco_trace::Event::CodecEnd {
+                                    packet: packet.0,
+                                    node: node as u16,
+                                    op: disco_trace::codec::COMPRESS,
+                                    outcome: disco_trace::codec::INCOMPRESSIBLE,
+                                }
+                            );
+                            return;
+                        }
                     }
                     committed = true;
                 }
@@ -609,6 +658,25 @@ impl DiscoLayer {
                     );
                     return;
                 }
+                // Fault hook: see the compressing-whole case above.
+                #[cfg(feature = "faults")]
+                let result = match net.fault_codec_output(node_id, packet, result) {
+                    Some(r) => r,
+                    None => {
+                        net.store_mut().get_mut(packet).compressible = false;
+                        self.stats.incompressible += 1;
+                        disco_trace::emit!(
+                            net,
+                            disco_trace::Event::CodecEnd {
+                                packet: packet.0,
+                                node: node as u16,
+                                op: disco_trace::codec::COMPRESS,
+                                outcome: disco_trace::codec::INCOMPRESSIBLE,
+                            }
+                        );
+                        return;
+                    }
+                };
                 let old_size = net.store().get(packet).size_flits();
                 let final_flits = result.size_bytes().div_ceil(FLIT_BYTES).max(1);
                 net.store_mut().get_mut(packet).payload = Payload::Compressed(result);
@@ -634,9 +702,13 @@ impl DiscoLayer {
                 line,
             } => {
                 let vc_ref = net.router(node_id).vc(port, vc);
-                let whole = {
-                    let size = net.store().get(packet).size_flits();
-                    vc_ref.resident_of(packet) == size && vc_ref.has_tail_of(packet)
+                // `try_get`: see the compressing-whole case above.
+                let whole = match net.store().try_get(packet) {
+                    Some(pkt) => {
+                        let size = pkt.size_flits();
+                        vc_ref.resident_of(packet) == size && vc_ref.has_tail_of(packet)
+                    }
+                    None => false,
                 };
                 if !whole {
                     self.stats.aborts += 1;

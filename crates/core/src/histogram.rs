@@ -178,4 +178,23 @@ mod tests {
     fn out_of_range_percentile_panics() {
         LatencyHistogram::new().percentile(1.5);
     }
+
+    #[test]
+    fn sum_stays_exact_past_u32_range() {
+        // Regression guard for the accumulator widths: fault-recovery
+        // retransmission storms produce per-miss latencies that overflow
+        // a u32 running sum long before the run ends. `sum`, `count`,
+        // and `max` must all be 64-bit.
+        let mut h = LatencyHistogram::new();
+        let big = u64::from(u32::MAX) + 7;
+        for _ in 0..4 {
+            h.record(big);
+        }
+        assert_eq!(h.mean(), big as f64);
+        assert_eq!(h.max(), big);
+        let mut doubled = h;
+        doubled.merge(&h);
+        assert_eq!(doubled.count(), 8);
+        assert_eq!(doubled.mean(), big as f64);
+    }
 }

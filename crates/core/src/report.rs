@@ -66,6 +66,10 @@ pub struct SimReport {
     pub energy_counts: EnergyCounts,
     /// Evaluated energy breakdown.
     pub energy: EnergyBreakdown,
+    /// Fault-injection ledger (None unless the run armed a fault plan
+    /// via [`SimBuilder::faults`](crate::SimBuilder::faults)).
+    #[cfg(feature = "faults")]
+    pub faults: Option<disco_faults::FaultStats>,
     /// Trace capture and latency provenance (None unless the run opted
     /// in via the builder).
     #[cfg(feature = "trace")]
@@ -216,6 +220,23 @@ impl SimReport {
             writeln!(w, "disco.growth_stalls = {}", d.growth_stalls)?;
             writeln!(w, "disco.low_confidence = {}", d.low_confidence)?;
             writeln!(w, "disco.flits_saved = {}", d.flits_saved)?;
+        }
+        // Fault keys appear only when the run armed an active plan, so
+        // golden stats are identical across feature legs.
+        #[cfg(feature = "faults")]
+        if let Some(f) = &self.faults {
+            writeln!(w, "faults.injected = {}", f.injected)?;
+            writeln!(w, "faults.detected = {}", f.detected)?;
+            writeln!(w, "faults.recovered = {}", f.recovered)?;
+            writeln!(w, "faults.unrecoverable = {}", f.unrecoverable)?;
+            writeln!(w, "faults.retries = {}", f.retries)?;
+            writeln!(w, "faults.fallback_deliveries = {}", f.fallback_deliveries)?;
+            writeln!(w, "faults.undetected = {}", f.undetected)?;
+            writeln!(w, "faults.link_drops = {}", f.link_drops)?;
+            writeln!(w, "faults.payload_bit_flips = {}", f.payload_bit_flips)?;
+            writeln!(w, "faults.codec_corruptions = {}", f.codec_corruptions)?;
+            writeln!(w, "faults.port_stall_cycles = {}", f.port_stall_cycles)?;
+            writeln!(w, "faults.dram_stall_cycles = {}", f.dram_stall_cycles)?;
         }
         // Provenance keys appear only when the run captured a trace, so
         // golden stats are identical across feature legs.

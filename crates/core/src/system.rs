@@ -42,6 +42,14 @@ pub enum SimError {
         /// means a flow-control bug.
         suspicious_stalls: usize,
     },
+    /// A corrupted payload reached its destination without the NI
+    /// checksum catching it (`faults` only). Any occurrence is a bug in
+    /// the detection layer, never an acceptable outcome.
+    #[cfg(feature = "faults")]
+    SilentCorruption {
+        /// Deliveries whose payload differed from the pristine copy.
+        undetected: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +63,11 @@ impl fmt::Display for SimError {
                 f,
                 "simulation did not drain within {max_cycles} cycles \
                  ({outstanding} accesses outstanding, {suspicious_stalls} suspicious stalls)"
+            ),
+            #[cfg(feature = "faults")]
+            SimError::SilentCorruption { undetected } => write!(
+                f,
+                "{undetected} corrupted deliveries escaped fault detection"
             ),
         }
     }
@@ -220,7 +233,7 @@ impl System {
         if r.1 > 0 {
             self.net.trace_record(disco_trace::Event::EndpointCodec {
                 site: disco_trace::site::BANK_SEND,
-                cycles: r.1 as u32,
+                cycles: r.1,
             });
         }
         r
@@ -276,7 +289,7 @@ impl System {
         if r.1 > 0 {
             self.net.trace_record(disco_trace::Event::EndpointCodec {
                 site: disco_trace::site::ENDPOINT_SEND,
-                cycles: r.1 as u32,
+                cycles: r.1,
             });
         }
         r
@@ -314,7 +327,7 @@ impl System {
         if r.1 > 0 {
             self.net.trace_record(disco_trace::Event::EndpointCodec {
                 site: disco_trace::site::STORE_PREP,
-                cycles: r.1 as u32,
+                cycles: r.1,
             });
         }
         r
@@ -381,7 +394,7 @@ impl System {
         if r.1 > 0 {
             self.net.trace_record(disco_trace::Event::EndpointCodec {
                 site: disco_trace::site::CORE_RECEIVE,
-                cycles: r.1 as u32,
+                cycles: r.1,
             });
         }
         r
@@ -719,7 +732,7 @@ impl System {
                             self.net,
                             disco_trace::Event::EndpointCodec {
                                 site: disco_trace::site::WRITEBACK,
-                                cycles: self.codec.decompression_latency(c) as u32,
+                                cycles: self.codec.decompression_latency(c),
                             }
                         );
                     }
@@ -964,7 +977,7 @@ impl System {
         if r.1 > 0 {
             self.net.trace_record(disco_trace::Event::EndpointCodec {
                 site: disco_trace::site::BANK_EVICT,
-                cycles: r.1 as u32,
+                cycles: r.1,
             });
         }
         r
@@ -1019,6 +1032,17 @@ impl System {
             }
             self.tick();
         }
+        // Health rule: the fault layer may lose performance, never data.
+        // A delivery whose payload differs from the pristine copy without
+        // the checksum firing is silent corruption and fails the run.
+        #[cfg(feature = "faults")]
+        if let Some(stats) = self.net.fault_stats() {
+            if stats.undetected > 0 {
+                return Err(SimError::SilentCorruption {
+                    undetected: stats.undetected,
+                });
+            }
+        }
         #[cfg(not(feature = "trace"))]
         {
             Ok(self.into_report())
@@ -1060,6 +1084,13 @@ impl System {
             directory.write_requests += s.write_requests;
         }
         let net = *self.net.stats();
+        // Fold the DRAM-side stall tally into the network-side ledger so
+        // the report carries one complete FaultStats.
+        #[cfg(feature = "faults")]
+        let faults = self.net.fault_stats().copied().map(|mut f| {
+            f.dram_stall_cycles += self.dram.fault_stall_cycles();
+            f
+        });
         let disco_stats = self.disco.as_ref().map(|d| *d.stats());
         let tiles = self.tiles.len() as u64;
         let energy_counts = EnergyCounts {
@@ -1097,6 +1128,8 @@ impl System {
             disco: disco_stats,
             energy_counts,
             energy,
+            #[cfg(feature = "faults")]
+            faults,
             #[cfg(feature = "trace")]
             trace: None,
         }
@@ -1142,6 +1175,8 @@ pub struct SimBuilder {
     demote_override: Option<bool>,
     external_traces: Option<Vec<Vec<MemAccess>>>,
     prefetch_next_line: bool,
+    #[cfg(feature = "faults")]
+    fault_plan: Option<disco_faults::FaultPlan>,
     #[cfg(feature = "trace")]
     capture_trace: bool,
     #[cfg(feature = "trace")]
@@ -1178,6 +1213,8 @@ impl SimBuilder {
             demote_override: None,
             external_traces: None,
             prefetch_next_line: false,
+            #[cfg(feature = "faults")]
+            fault_plan: None,
             #[cfg(feature = "trace")]
             capture_trace: false,
             #[cfg(feature = "trace")]
@@ -1237,6 +1274,15 @@ impl SimBuilder {
     /// NoC parameters.
     pub fn noc(mut self, noc: NocConfig) -> Self {
         self.noc = noc;
+        self
+    }
+
+    /// Arms a deterministic fault schedule (`faults` only). An inactive
+    /// plan (all rates zero, no dead links) is equivalent to not calling
+    /// this at all.
+    #[cfg(feature = "faults")]
+    pub fn faults(mut self, plan: disco_faults::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -1351,6 +1397,26 @@ impl SimBuilder {
         } else {
             Codec::from_kind(self.scheme)
         };
+        // The fault context needs the trained codec for its
+        // decompress-and-verify checks, so it is armed only now.
+        #[cfg(feature = "faults")]
+        let net = {
+            let mut net = net;
+            if let Some(plan) = &self.fault_plan {
+                net.set_fault_plan(plan.clone(), codec.clone());
+            }
+            net
+        };
+        #[cfg(feature = "faults")]
+        let dram = {
+            let mut dram = Dram::new(self.dram);
+            if let Some(plan) = &self.fault_plan {
+                dram.set_fault_plan(plan.clone());
+            }
+            dram
+        };
+        #[cfg(not(feature = "faults"))]
+        let dram = Dram::new(self.dram);
         let traces = match self.external_traces {
             Some(mut t) => {
                 assert!(
@@ -1404,7 +1470,7 @@ impl SimBuilder {
             banks,
             dirs: (0..tiles_n).map(|_| Directory::new()).collect(),
             bank_pending: (0..tiles_n).map(|_| HashMap::new()).collect(),
-            dram: Dram::new(self.dram),
+            dram,
             mcs,
             values: ValueModel::new(profile.value, self.seed ^ 0xda7a),
             versions: HashMap::new(),
@@ -1578,11 +1644,16 @@ mod tests {
             .max_cycles(50)
             .run()
             .expect_err("cannot drain in 50 cycles");
+        // Irrefutable without `faults` (the enum then has one variant).
+        #[allow(irrefutable_let_patterns)]
         let SimError::DeadlineExceeded {
             max_cycles,
             outstanding,
             suspicious_stalls,
-        } = err;
+        } = err
+        else {
+            panic!("expected DeadlineExceeded, got {err:?}");
+        };
         assert_eq!(max_cycles, 50);
         assert!(outstanding > 0);
         assert_eq!(suspicious_stalls, 0, "a too-small budget is not a deadlock");
@@ -1639,5 +1710,93 @@ mod tests {
         assert!(tiny(CompressionPlacement::Disco).disco.is_some());
         assert!(tiny(CompressionPlacement::Ideal).disco.is_none());
         assert!(tiny(CompressionPlacement::Baseline).disco.is_none());
+    }
+
+    #[cfg(feature = "faults")]
+    fn faulty(placement: CompressionPlacement, rate: f64) -> SimReport {
+        SimBuilder::new()
+            .mesh(2, 2)
+            .placement(placement)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(400)
+            .seed(5)
+            .faults(disco_faults::FaultPlan::uniform(5, rate))
+            .run()
+            .expect("faulty run drains")
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn rate_zero_plan_matches_fault_free_run() {
+        let clean = tiny(CompressionPlacement::Disco);
+        let armed = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(5)
+            .faults(disco_faults::FaultPlan::new(5))
+            .run()
+            .expect("drains");
+        assert!(armed.faults.is_none(), "inactive plan must be discarded");
+        assert_eq!(clean.cycles, armed.cycles);
+        assert_eq!(clean.total_miss_latency, armed.total_miss_latency);
+        assert_eq!(clean.network, armed.network);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn faulty_runs_recover_everything_and_reconcile() {
+        for placement in [CompressionPlacement::Baseline, CompressionPlacement::Disco] {
+            let r = faulty(placement, 1e-4);
+            let f = r.faults.expect("active plan reports fault stats");
+            assert!(f.reconciles(), "ledger must reconcile: {f:?}");
+            assert_eq!(f.undetected, 0, "no silent corruption");
+            assert_eq!(f.unrecoverable, 0, "rate 1e-4 must stay recoverable");
+        }
+    }
+
+    /// A bit flip can be *masked*: the DISCO engine snapshots the raw
+    /// line when an operation starts, so a flip landing on a link while
+    /// the compression is in flight is erased when the codec commit
+    /// overwrites the payload. The ejection check settles such faults as
+    /// detected-and-recovered without a retransmission — flips are the
+    /// only kind armed here, so any detection beyond the retry count is
+    /// a settled masked fault, and the ledger must still reconcile.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn masked_bit_flips_settle_at_ejection() {
+        let plan = disco_faults::FaultPlan {
+            payload_bit_flip_rate: 5e-3,
+            ..disco_faults::FaultPlan::new(1)
+        };
+        let r = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Canneal)
+            .trace_len(600)
+            .seed(2016)
+            .faults(plan)
+            .run()
+            .expect("faulty run drains");
+        let f = r.faults.expect("active plan reports fault stats");
+        assert!(f.payload_bit_flips > 0, "no flips landed: {f:?}");
+        assert!(
+            f.detected > f.retries,
+            "config no longer exercises the masked-flip path: {f:?}"
+        );
+        assert!(f.reconciles(), "ledger must reconcile: {f:?}");
+        assert_eq!(f.undetected, 0, "no silent corruption");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn fault_stats_reach_the_stats_file() {
+        let r = faulty(CompressionPlacement::Disco, 1e-4);
+        let mut buf = Vec::new();
+        r.write_stats(&mut buf).expect("in-memory write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("faults.injected = "));
+        assert!(text.contains("faults.dram_stall_cycles = "));
     }
 }

@@ -70,6 +70,13 @@ pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
                     net.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
                 }
             }
+            // Fault hook: an injected drop (or a failed ejection-time
+            // integrity check) eats the flit here — after the upstream
+            // credit return, instead of link delivery or ejection.
+            #[cfg(feature = "faults")]
+            if crate::faults::intercept_departure(net, i, dep) {
+                continue;
+            }
             if dep.out == Direction::Local {
                 if dep.flit.kind.is_tail() {
                     net.delivered[i].push(dep.flit.packet);
@@ -96,5 +103,9 @@ pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
             }
         }
         net.stats.accumulate(&outcome.stats);
+        #[cfg(feature = "faults")]
+        if let Some(ctx) = net.faults.as_mut() {
+            ctx.stats.port_stall_cycles += outcome.fault_port_stalls;
+        }
     }
 }

@@ -34,6 +34,7 @@
 
 mod commit;
 pub mod config;
+pub(crate) mod faults;
 pub mod health;
 pub mod network;
 pub mod packet;
@@ -45,6 +46,8 @@ pub mod topology;
 pub mod traffic;
 
 pub use config::{FlowControl, NocConfig, SchedulingPolicy};
+#[cfg(feature = "faults")]
+pub use disco_faults::{FaultKind, FaultPlan, FaultStats};
 pub use health::{StallInfo, StallReason};
 pub use network::{Network, MAX_PACKET_FLITS};
 pub use packet::{Flit, FlitKind, Packet, PacketClass, PacketId, PacketStore, Payload, FLIT_BYTES};

@@ -38,7 +38,7 @@ pub struct Network {
     pub(crate) mesh: Mesh,
     pub(crate) config: NocConfig,
     pub(crate) routers: Vec<Router>,
-    store: PacketStore,
+    pub(crate) store: PacketStore,
     /// Per-node, per-VC injection queues.
     inject_q: Vec<Vec<VecDeque<PacketId>>>,
     /// Per-node in-flight injection (one NI port, one packet at a time
@@ -59,6 +59,11 @@ pub struct Network {
     /// independent of the compute-phase shard count.
     #[cfg(feature = "trace")]
     pub(crate) tracer: disco_trace::Tracer,
+    /// Commit-side fault injection/recovery state, present only while a
+    /// plan with a non-zero schedule is installed
+    /// ([`Network::set_fault_plan`]).
+    #[cfg(feature = "faults")]
+    pub(crate) faults: Option<crate::faults::FaultCtx>,
 }
 
 /// Resolves [`NocConfig::compute_shards`] against the host and mesh
@@ -111,6 +116,8 @@ impl Network {
             shards: effective_shards(config.compute_shards, n),
             #[cfg(feature = "trace")]
             tracer: disco_trace::Tracer::default(),
+            #[cfg(feature = "faults")]
+            faults: None,
         }
     }
 
@@ -235,6 +242,10 @@ impl Network {
                 flits: self.store.get(id).size_flits() as u8,
             }
         );
+        #[cfg(feature = "faults")]
+        if let Some(ctx) = self.faults.as_mut() {
+            ctx.on_send(id, &self.store);
+        }
         id
     }
 
@@ -245,8 +256,15 @@ impl Network {
         ids.into_iter().map(|id| self.store.remove(id)).collect()
     }
 
-    /// True when no packet is queued, in flight, or awaiting pickup.
+    /// True when no packet is queued, in flight, or awaiting pickup, and
+    /// no fault recovery (retransmission, in-progress drop) is pending.
     pub fn is_idle(&self) -> bool {
+        #[cfg(feature = "faults")]
+        if let Some(ctx) = &self.faults {
+            if !ctx.quiescent() {
+                return false;
+            }
+        }
         self.store.is_empty()
             && self.routers.iter().all(|r| r.total_buffered() == 0)
             && self.inject_q.iter().flatten().all(|q| q.is_empty())
@@ -308,6 +326,8 @@ impl Network {
         self.stats.cycles += 1;
         #[cfg(feature = "trace")]
         self.tracer.set_cycle(self.now);
+        #[cfg(feature = "faults")]
+        crate::faults::drain_retransmits(self);
         self.inject();
         let outcomes = self.compute_phase();
         crate::commit::commit_cycle(self, &outcomes);
@@ -325,9 +345,10 @@ impl Network {
         if self.shards > 1 {
             return self.compute_phase_sharded();
         }
+        let gate = self.fault_gate();
         self.routers
             .iter()
-            .map(|r| crate::phase::compute_router(r, self.now, &self.store, &self.mesh))
+            .map(|r| crate::phase::compute_router(r, self.now, &self.store, &self.mesh, gate))
             .collect()
     }
 
@@ -340,6 +361,7 @@ impl Network {
         let now = self.now;
         let store = &self.store;
         let mesh = &self.mesh;
+        let gate = self.fault_gate();
         let mut outcomes = Vec::with_capacity(self.routers.len());
         std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -349,7 +371,7 @@ impl Network {
                     s.spawn(move || {
                         routers
                             .iter()
-                            .map(|r| crate::phase::compute_router(r, now, store, mesh))
+                            .map(|r| crate::phase::compute_router(r, now, store, mesh, gate))
                             .collect::<Vec<_>>()
                     })
                 })

@@ -55,6 +55,11 @@ pub(crate) struct RouterOutcome {
     /// node order, which keeps the trace shard-count invariant.
     #[cfg(feature = "trace")]
     pub events: disco_trace::EventList,
+    /// Output-port arbitration rounds forfeited to an injected port
+    /// stall or flaky-link outage this cycle; folded into
+    /// `FaultStats::port_stall_cycles` by the commit pass.
+    #[cfg(feature = "faults")]
+    pub fault_port_stalls: u64,
 }
 
 /// Priority class for switch allocation (§3.3-B): lower wins.
@@ -87,6 +92,7 @@ pub(crate) fn compute_router(
     now: u64,
     store: &PacketStore,
     mesh: &Mesh,
+    gate: crate::faults::FaultGate<'_>,
 ) -> RouterOutcome {
     let vcs = router.config.vcs;
     let flat = |port: usize, v: usize| port * vcs + v;
@@ -134,6 +140,9 @@ pub(crate) fn compute_router(
                             .unwrap_or(0)
                     },
                 );
+                // Escape faulted links where a deadlock-free detour
+                // exists; the identity when no fault plan is active.
+                let dir = gate.adjust_route(mesh, router.node, pkt.dst, dir);
                 state[flat(port, v)] = VcState::Routed(dir);
                 outcome.routes.push((port, v, dir));
                 disco_trace::emit!(
@@ -239,6 +248,34 @@ pub(crate) fn compute_router(
                 let prio = sa_priority(router, store, front.packet);
                 candidates.push((port, v, out_vc, prio));
             }
+        }
+        // An injected port stall (or flaky-link outage window) forfeits
+        // this output's arbitration round outright: every candidate
+        // idles — and, like any SA loser, becomes a DISCO compression
+        // candidate.
+        #[cfg(feature = "faults")]
+        if !candidates.is_empty()
+            && out != Direction::Local
+            && gate.output_blocked(now, router.node.0, oi)
+        {
+            outcome.fault_port_stalls += 1;
+            for c in &candidates {
+                outcome.sa_losers.push((c.0, c.1));
+                disco_trace::emit!(
+                    outcome.events,
+                    disco_trace::Event::VcStall {
+                        packet: router.inputs[c.0][c.1]
+                            .buffer
+                            .front()
+                            .map_or(0, |f| f.packet.0),
+                        node: router.node.0 as u16,
+                        port: c.0 as u8,
+                        vc: c.1 as u8,
+                        reason: disco_trace::stall::FAULT_STALL,
+                    }
+                );
+            }
+            continue;
         }
         // Winner: highest priority class, round-robin within it. The
         // lexicographic key picks the best-priority candidate closest

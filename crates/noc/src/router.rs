@@ -374,7 +374,7 @@ mod tests {
     /// One router-local cycle: pure compute, then commit, as the network
     /// kernel does — minus the cross-router effects.
     fn step(r: &mut Router, now: u64, store: &PacketStore, mesh: &Mesh) -> Vec<Departure> {
-        let outcome = compute_router(r, now, store, mesh);
+        let outcome = compute_router(r, now, store, mesh, crate::faults::FaultGate::inert());
         commit_router_local(r, &outcome);
         outcome.departures
     }
@@ -396,7 +396,7 @@ mod tests {
             0,
             crate::packet::flits_for(id, 1, 0)[0],
         );
-        let outcome = compute_router(&r, 0, &store, &mesh);
+        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
         assert_eq!(
             outcome.routes,
             vec![(Direction::Local.index(), 0, Direction::East)]
@@ -418,7 +418,7 @@ mod tests {
             crate::packet::flits_for(id, 1, 0)[0],
         );
         let before = format!("{r:?}");
-        let outcome = compute_router(&r, 0, &store, &mesh);
+        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
         assert_eq!(format!("{r:?}"), before, "compute must not mutate");
         commit_router_local(&mut r, &outcome);
         assert_ne!(format!("{r:?}"), before, "commit applies the outcome");
@@ -725,7 +725,7 @@ mod tests {
             2,
             crate::packet::flits_for(resp, 8, 0)[0],
         );
-        let outcome = compute_router(&r, 0, &store, &mesh);
+        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
         let grant_of = |port: usize, v: usize| {
             outcome
                 .grants

@@ -199,6 +199,63 @@ pub fn remaining_hops(mesh: &Mesh, here: NodeId, dst: NodeId) -> usize {
     mesh.hops(here, dst)
 }
 
+/// Fault-aware escape routing: detours around a dead link on the primary
+/// route where a turn-model-legal detour exists.
+///
+/// The escape relation is deliberately conservative so that the union of
+/// the primary dimension-order routes and every escape stays acyclic (the
+/// `disco-verify` channel-dependency pass proves this for the shipped
+/// combination): only *eastward* primary hops are escaped, via a vertical
+/// detour, which never introduces a turn into West and keeps the
+/// west-first turn discipline intact. A dead West or vertical link has no
+/// west-first-legal detour, so the packet proceeds onto the dead link and
+/// is black-holed there — detection and NI retransmission recover it, and
+/// retry exhaustion bounds the loss.
+///
+/// The detour prefers the minimal vertical direction (stays minimal);
+/// when the destination is in the same row — or that hop is itself dead
+/// or off-mesh — it sidesteps one row (South, then North) and lets
+/// dimension-order routing resume east from there. Escapes are a pure
+/// function of `(here, dst)`, so per-destination channel walks see a
+/// deterministic relation.
+pub fn escape_route(
+    mesh: &Mesh,
+    here: NodeId,
+    dst: NodeId,
+    primary: Direction,
+    dead: impl Fn(NodeId, Direction) -> bool,
+) -> Direction {
+    if primary == Direction::Local || !dead(here, primary) {
+        return primary;
+    }
+    if primary != Direction::East {
+        return primary;
+    }
+    let (_, hr) = mesh.coords(here);
+    let (_, dr) = mesh.coords(dst);
+    let minimal_vertical = if dr > hr {
+        Some(Direction::South)
+    } else if dr < hr {
+        Some(Direction::North)
+    } else {
+        None
+    };
+    if let Some(v) = minimal_vertical {
+        if mesh.neighbor(here, v).is_some() && !dead(here, v) {
+            return v;
+        }
+    }
+    for v in [Direction::South, Direction::North] {
+        if Some(v) == minimal_vertical {
+            continue;
+        }
+        if mesh.neighbor(here, v).is_some() && !dead(here, v) {
+            return v;
+        }
+    }
+    primary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +396,87 @@ mod tests {
             }
         });
         assert_eq!(south_full, Direction::South);
+    }
+
+    #[test]
+    fn escape_detours_dead_east_links() {
+        let mesh = Mesh::new(4, 4);
+        let dead = |n: NodeId, d: Direction| n == NodeId(5) && d == Direction::East;
+        // 5 -> 7 (same row): East is dead, sidestep South and resume.
+        assert_eq!(
+            escape_route(&mesh, NodeId(5), NodeId(7), Direction::East, dead),
+            Direction::South
+        );
+        // 5 -> 3 (row above): the minimal vertical wins.
+        assert_eq!(
+            escape_route(&mesh, NodeId(5), NodeId(3), Direction::East, dead),
+            Direction::North
+        );
+        // Alive links pass through untouched.
+        assert_eq!(
+            escape_route(&mesh, NodeId(6), NodeId(7), Direction::East, dead),
+            Direction::East
+        );
+        assert_eq!(
+            escape_route(&mesh, NodeId(5), NodeId(5), Direction::Local, dead),
+            Direction::Local
+        );
+    }
+
+    #[test]
+    fn escape_walks_deliver_around_a_dead_link() {
+        // Every (src, dst) pair still reaches its destination under
+        // XY + escape with one dead East link, except pairs that must
+        // cross a dead *West* link (none here).
+        let mesh = Mesh::new(4, 4);
+        let dead = |n: NodeId, d: Direction| n == NodeId(5) && d == Direction::East;
+        for a in 0..16 {
+            for b in 0..16 {
+                let mut here = NodeId(a);
+                let dst = NodeId(b);
+                let mut steps = 0;
+                loop {
+                    let primary = xy_route(&mesh, here, dst);
+                    let dir = escape_route(&mesh, here, dst, primary, dead);
+                    if dir == Direction::Local {
+                        break;
+                    }
+                    assert!(!dead(here, dir), "walked onto the dead link {a}->{b}");
+                    here = mesh.neighbor(here, dir).expect("escape stays in mesh");
+                    steps += 1;
+                    assert!(steps <= 16, "escape walk loops {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_never_introduces_west_turns() {
+        // The acyclicity argument: no escape ever returns West, so the
+        // XY ∪ escape union contains no turn into the West direction.
+        let mesh = Mesh::new(4, 4);
+        let dead = |n: NodeId, _: Direction| n.0.is_multiple_of(3);
+        for a in 0..16 {
+            for b in 0..16 {
+                let primary = xy_route(&mesh, NodeId(a), NodeId(b));
+                let dir = escape_route(&mesh, NodeId(a), NodeId(b), primary, dead);
+                if dir == Direction::West {
+                    assert_eq!(primary, Direction::West, "escape invented a West hop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_west_link_has_no_escape() {
+        // West-first discipline leaves no legal detour: the primary is
+        // returned unchanged and the recovery layer handles the loss.
+        let mesh = Mesh::new(4, 4);
+        let dead = |n: NodeId, d: Direction| n == NodeId(1) && d == Direction::West;
+        assert_eq!(
+            escape_route(&mesh, NodeId(1), NodeId(0), Direction::West, dead),
+            Direction::West
+        );
     }
 
     #[test]

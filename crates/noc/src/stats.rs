@@ -173,6 +173,26 @@ mod tests {
     }
 
     #[test]
+    fn latency_accumulators_are_64_bit() {
+        // Regression guard for the accumulator widths: long runs with
+        // fault-recovery retransmissions push per-class latency sums past
+        // u32 range, so every cycle sum must be u64.
+        let big = u64::from(u32::MAX) + 3;
+        let mut a = NetworkStats {
+            total_packet_latency: big,
+            latency_by_class: [big, big, big],
+            packets_delivered: 1,
+            delivered_by_class: [1, 1, 1],
+            ..NetworkStats::new()
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total_packet_latency, 2 * big);
+        assert_eq!(a.latency_by_class, [2 * big; 3]);
+        assert_eq!(a.avg_packet_latency(), big as f64);
+    }
+
+    #[test]
     fn class_indices_are_distinct() {
         use crate::packet::PacketClass;
         let idx = [

@@ -16,6 +16,9 @@ pub mod stall {
     pub const LOST_ARBITRATION: u8 = 1;
     /// VC allocation failed: no free output VC of the packet's class.
     pub const NO_FREE_VC: u8 = 2;
+    /// The output port is fault-stalled (injected port stall or flaky
+    /// link window; `faults` feature).
+    pub const FAULT_STALL: u8 = 3;
 }
 
 /// Codec operation and outcome codes carried by the codec events.
@@ -173,8 +176,9 @@ pub enum Event {
     EndpointCodec {
         /// Site code from [`site`].
         site: u8,
-        /// Cycles charged.
-        cycles: u32,
+        /// Cycles charged. 64-bit: long fault-retry runs overflow a u32
+        /// accumulator upstream, so the event carries full width.
+        cycles: u64,
     },
     /// A NUCA L2 bank lookup crossed the cache boundary.
     L2Access {
@@ -201,6 +205,40 @@ pub enum Event {
         /// True when the open-row buffer hit.
         row_hit: bool,
     },
+    /// A fault was injected (`faults` feature).
+    FaultInject {
+        /// Fault kind code (`disco_faults::FaultKind::code`).
+        kind: u8,
+        /// Affected packet id (0 for packet-less sites).
+        packet: u64,
+        /// Node at which the fault struck.
+        node: u16,
+    },
+    /// A fault was detected (checksum mismatch, loss timeout, or
+    /// decompress-and-verify failure).
+    FaultDetect {
+        /// Fault kind code of the detected fault.
+        kind: u8,
+        /// Affected packet id.
+        packet: u64,
+        /// Node at which detection happened.
+        node: u16,
+    },
+    /// The NI retransmitted a lost or corrupted transfer.
+    Retransmit {
+        /// The replacement packet's id.
+        packet: u64,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A corrupted compression was abandoned and the line delivered
+    /// uncompressed instead.
+    FaultFallback {
+        /// Affected packet id.
+        packet: u64,
+        /// Node hosting the compressor that failed verification.
+        node: u16,
+    },
 }
 
 impl Event {
@@ -221,6 +259,10 @@ impl Event {
             Event::L2Access { .. } => "l2_access",
             Event::L2Insert { .. } => "l2_insert",
             Event::DramAccess { .. } => "dram_access",
+            Event::FaultInject { .. } => "fault_inject",
+            Event::FaultDetect { .. } => "fault_detect",
+            Event::Retransmit { .. } => "retransmit",
+            Event::FaultFallback { .. } => "fault_fallback",
         }
     }
 }
@@ -356,6 +398,16 @@ impl Record {
                     ",\"line\":{line},\"write\":{write},\"row_hit\":{row_hit}"
                 );
             }
+            Event::FaultInject { kind, packet, node }
+            | Event::FaultDetect { kind, packet, node } => {
+                let _ = write!(out, ",\"kind\":{kind},\"packet\":{packet},\"node\":{node}");
+            }
+            Event::Retransmit { packet, attempt } => {
+                let _ = write!(out, ",\"packet\":{packet},\"attempt\":{attempt}");
+            }
+            Event::FaultFallback { packet, node } => {
+                let _ = write!(out, ",\"packet\":{packet},\"node\":{node}");
+            }
         }
         out.push('}');
     }
@@ -447,6 +499,21 @@ mod tests {
                 write: false,
                 row_hit: true,
             },
+            Event::FaultInject {
+                kind: 0,
+                packet: 1,
+                node: 2,
+            },
+            Event::FaultDetect {
+                kind: 3,
+                packet: 1,
+                node: 2,
+            },
+            Event::Retransmit {
+                packet: 1,
+                attempt: 2,
+            },
+            Event::FaultFallback { packet: 1, node: 2 },
         ];
         for ev in variants {
             let mut s = String::new();
@@ -458,5 +525,22 @@ mod tests {
             assert!(s.contains(ev.name()), "{s}");
             assert!(s.starts_with('{') && s.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn endpoint_codec_carries_u64_cycle_sums() {
+        // Regression: the accumulated endpoint-codec latency of a long
+        // fault-retry run exceeds u32; the record must carry full width.
+        let big = u64::from(u32::MAX) + 17;
+        let mut s = String::new();
+        Record {
+            cycle: 1,
+            event: Event::EndpointCodec {
+                site: site::WRITEBACK,
+                cycles: big,
+            },
+        }
+        .write_json(&mut s);
+        assert!(s.contains(&format!("\"cycles\":{big}")), "{s}");
     }
 }

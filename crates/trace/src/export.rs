@@ -175,6 +175,38 @@ pub fn chrome_trace_string(records: &[Record]) -> String {
                 lane::MEMORY,
                 &format!("\"line\":{line},\"write\":{write},\"row_hit\":{row_hit}"),
             ),
+            Event::FaultInject { kind, packet, node } => instant(
+                &mut out,
+                "fault_inject",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"kind\":{kind},\"packet\":{packet}"),
+            ),
+            Event::FaultDetect { kind, packet, node } => instant(
+                &mut out,
+                "fault_detect",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"kind\":{kind},\"packet\":{packet}"),
+            ),
+            Event::Retransmit { packet, attempt } => instant(
+                &mut out,
+                "retransmit",
+                ts,
+                0,
+                lane::ROUTER,
+                &format!("\"packet\":{packet},\"attempt\":{attempt}"),
+            ),
+            Event::FaultFallback { packet, node } => instant(
+                &mut out,
+                "fault_fallback",
+                ts,
+                u64::from(node),
+                lane::ROUTER,
+                &format!("\"packet\":{packet}"),
+            ),
         }
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");

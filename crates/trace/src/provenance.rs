@@ -252,15 +252,21 @@ impl ProvenanceAnalyzer {
                 }
             }
             Event::EndpointCodec { cycles, .. } => {
-                self.endpoint_codec_cycles += u64::from(cycles);
+                self.endpoint_codec_cycles += cycles;
             }
-            // Routing-pipeline and memory events carry no provenance.
+            // Routing-pipeline, memory, and fault events carry no
+            // latency provenance (a retransmitted packet is a fresh
+            // Inject and gets its own track).
             Event::Route { .. }
             | Event::VcAlloc { .. }
             | Event::VcStall { .. }
             | Event::L2Access { .. }
             | Event::L2Insert { .. }
-            | Event::DramAccess { .. } => {}
+            | Event::DramAccess { .. }
+            | Event::FaultInject { .. }
+            | Event::FaultDetect { .. }
+            | Event::Retransmit { .. }
+            | Event::FaultFallback { .. } => {}
         }
     }
 

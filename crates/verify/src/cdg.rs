@@ -429,6 +429,34 @@ mod tests {
     }
 
     #[test]
+    fn escape_routing_around_dead_links_stays_acyclic() {
+        // The fault layer's dead-link detours must not re-introduce the
+        // turn cycles XY forbids. Model the exact relation the routers
+        // use under an active plan: XY adjusted by `escape_route` for a
+        // representative dead-link set.
+        use disco_noc::routing::{escape_route, xy_route};
+        let mesh = Mesh::new(4, 4);
+        let dead = [(5usize, Direction::East), (10usize, Direction::South)];
+        let is_dead = |n: NodeId, d: Direction| dead.contains(&(n.0, d));
+        let route = |here: NodeId, dst: NodeId| -> Vec<Direction> {
+            vec![escape_route(
+                &mesh,
+                here,
+                dst,
+                xy_route(&mesh, here, dst),
+                is_dead,
+            )]
+        };
+        let report = analyze_with_route_fn(&mesh, &class_vc_groups(2), route, false);
+        assert!(
+            report.is_deadlock_free(),
+            "escape detours form a cycle: {:?}",
+            report.cycle_trace()
+        );
+        assert!(report.channels > 0 && report.edges > 0);
+    }
+
+    #[test]
     fn channel_display_is_readable() {
         let c = Channel {
             from: 0,

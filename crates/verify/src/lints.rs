@@ -1,7 +1,7 @@
 //! Source-convention lints: a lightweight file-walk scanner with no
 //! dependencies beyond `std`.
 //!
-//! Four rules:
+//! Five rules:
 //!
 //! 1. **Panic-free hot paths** — the files executed every simulated cycle
 //!    must not call `.unwrap()` or `.expect(...)`. Recoverable conditions
@@ -23,6 +23,14 @@
 //!    being byte-identical across shard counts and reruns. Nothing under
 //!    `crates/trace/src` and no emission-site file may mention
 //!    `std::time`, `Instant`, or `SystemTime`.
+//! 5. **Fault-kind coverage** — every `FaultKind` variant declared in
+//!    `crates/faults/src/lib.rs` must have at least one injection site
+//!    (a `FaultKind::<Variant>` reference in non-test simulator code
+//!    outside the faults crate) and at least one test exercising it
+//!    (the variant or its `<snake_case>_rate` knob referenced inside a
+//!    `#[cfg(test)]` region or a `tests/` integration file). A variant
+//!    that can never fire, or fires without a test pinning its
+//!    behaviour, is dead weight in the fault model.
 
 use std::fs;
 use std::io;
@@ -36,6 +44,8 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/noc/src/commit.rs",
     "crates/noc/src/routing.rs",
     "crates/noc/src/packet.rs",
+    "crates/noc/src/faults.rs",
+    "crates/faults/src/lib.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/arbitrator.rs",
     "crates/cache/src/nuca.rs",
@@ -73,6 +83,7 @@ const STATS_SOURCES: &[(&str, &str)] = &[
     ("crates/noc/src/stats.rs", "NetworkStats"),
     ("crates/core/src/engine.rs", "DiscoStats"),
     ("crates/trace/src/provenance.rs", "ProvenanceTotals"),
+    ("crates/faults/src/lib.rs", "FaultStats"),
 ];
 
 /// Where the counters must be surfaced.
@@ -383,6 +394,154 @@ pub fn check_stats_surfaced(root: &Path) -> io::Result<Vec<Violation>> {
     Ok(violations)
 }
 
+/// Where `FaultKind` is declared.
+const FAULT_KIND_PATH: &str = "crates/faults/src/lib.rs";
+
+/// Checks that every `FaultKind` variant has an injection site in
+/// non-test simulator code and a test exercising it (rule 5).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_fault_kind_coverage(root: &Path) -> io::Result<Vec<Violation>> {
+    let decl = fs::read_to_string(root.join(FAULT_KIND_PATH))?;
+    let variants = enum_variants(&decl, "FaultKind");
+    if variants.is_empty() {
+        return Ok(vec![Violation {
+            file: PathBuf::from(FAULT_KIND_PATH),
+            line: 1,
+            message: "enum FaultKind not found".to_string(),
+        }]);
+    }
+    // Split every simulator source into its non-test and test regions.
+    let mut non_test = String::new();
+    let mut test = String::new();
+    for rel in rust_sources(root)? {
+        // The declaring crate defines the variants; its non-test code is
+        // not an injection site. Its tests still count.
+        let is_decl = rel == Path::new(FAULT_KIND_PATH);
+        let is_integration = rel.starts_with("tests");
+        let text = fs::read_to_string(root.join(&rel))?;
+        let mut in_tests = is_integration;
+        for raw in text.lines() {
+            let trimmed = raw.trim_start();
+            if trimmed.starts_with("#[cfg(test)]") {
+                in_tests = true;
+            }
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            let code = raw.split("//").next().unwrap_or(raw);
+            if in_tests {
+                test.push_str(code);
+                test.push('\n');
+            } else if !is_decl {
+                non_test.push_str(code);
+                non_test.push('\n');
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    for (line, variant) in variants {
+        let reference = format!("FaultKind::{variant}");
+        if !non_test.contains(&reference) {
+            violations.push(Violation {
+                file: PathBuf::from(FAULT_KIND_PATH),
+                line,
+                message: format!(
+                    "FaultKind::{variant} has no injection site (no reference in \
+                     non-test simulator code)"
+                ),
+            });
+        }
+        let knob = format!("{}_rate", camel_to_snake(&variant));
+        if !test.contains(&reference) && !test.contains(&knob) {
+            violations.push(Violation {
+                file: PathBuf::from(FAULT_KIND_PATH),
+                line,
+                message: format!(
+                    "FaultKind::{variant} has no test (neither the variant nor \
+                     `{knob}` appears in test code)"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Variant names of `pub enum name` in `src`, with their 1-based lines.
+fn enum_variants(src: &str, name: &str) -> Vec<(usize, String)> {
+    let header = format!("pub enum {name} {{");
+    let mut variants = Vec::new();
+    let mut inside = false;
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if !inside {
+            inside = trimmed.starts_with(&header);
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            break;
+        }
+        let first = trimmed.split([' ', '=', ',', '(']).next().unwrap_or("");
+        if !first.is_empty() && first.chars().next().is_some_and(char::is_uppercase) {
+            variants.push((idx + 1, first.to_string()));
+        }
+    }
+    variants
+}
+
+/// `CamelCase` → `snake_case` (for rate-knob needle derivation).
+fn camel_to_snake(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Every `.rs` file under `crates/*/src` and `tests/`, sorted for
+/// deterministic scan order.
+fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut rels = Vec::new();
+    for entry in fs::read_dir(root.join("crates"))? {
+        let entry = entry?;
+        let src = entry.path().join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        collect_rs(&src, root, &mut rels)?;
+    }
+    let tests = root.join("tests");
+    if tests.is_dir() {
+        collect_rs(&tests, root, &mut rels)?;
+    }
+    rels.sort();
+    Ok(rels)
+}
+
+/// Recursively collects `.rs` files under `dir` as root-relative paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Public field names of `name` in `src`, with their 1-based lines.
 fn struct_fields(src: &str, name: &str) -> Vec<(usize, String)> {
     let header = format!("pub struct {name} {{");
@@ -518,6 +677,42 @@ mod tests {\n\
     fn scanner_catches_expect() {
         let findings = scan_source("fn f() { g().expect(\"boom\"); }\n");
         assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn fault_kinds_are_covered() {
+        let violations = check_fault_kind_coverage(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "every FaultKind needs an injection site and a test"
+        );
+    }
+
+    #[test]
+    fn enum_extraction_reads_variants() {
+        let src = "\
+/// Doc.\n\
+pub enum FaultKind {\n\
+    /// Drops a packet.\n\
+    LinkDrop = 0,\n\
+    PayloadBitFlip = 3,\n\
+}\n";
+        let variants: Vec<String> = enum_variants(src, "FaultKind")
+            .into_iter()
+            .map(|v| v.1)
+            .collect();
+        assert_eq!(
+            variants,
+            vec!["LinkDrop".to_string(), "PayloadBitFlip".to_string()]
+        );
+    }
+
+    #[test]
+    fn camel_to_snake_handles_acronym_free_names() {
+        assert_eq!(camel_to_snake("LinkDrop"), "link_drop");
+        assert_eq!(camel_to_snake("PayloadBitFlip"), "payload_bit_flip");
+        assert_eq!(camel_to_snake("DramStall"), "dram_stall");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub use disco_cache as cache;
 pub use disco_compress as compress;
 pub use disco_core as core;
 pub use disco_energy as energy;
+/// Deterministic fault plans, integrity checksums, and fault accounting
+/// (`faults` feature).
+#[cfg(feature = "faults")]
+pub use disco_faults as faults;
 pub use disco_noc as noc;
 /// Deterministic event tracing + latency provenance (`trace` feature).
 #[cfg(feature = "trace")]

@@ -71,6 +71,100 @@ fn sharded_run_passes_validation() {
     assert!(stats.contains("noc.routing_violations = 0"));
 }
 
+/// Fault injection must not weaken the determinism contract: the fault
+/// schedule is a pure function of `(seed, kind, cycle, site)` and all
+/// fault bookkeeping runs in the node-ordered serial passes, so the
+/// whole stats file — FaultStats included — must be byte-identical at
+/// any shard count, at any fault rate. CI runs this leg under `faults`
+/// and `parallel,faults,trace`.
+#[cfg(feature = "faults")]
+mod faults_matrix {
+    use super::*;
+    use disco::faults::FaultPlan;
+
+    /// Full stats report for one faulty matrix point.
+    fn faulty_stats(seed: u64, rate: f64, shards: usize) -> String {
+        let noc = NocConfig {
+            compute_shards: shards,
+            ..NocConfig::default()
+        };
+        let report = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(300)
+            .seed(seed)
+            .noc(noc)
+            .faults(FaultPlan::uniform(seed ^ 0xfa17, rate))
+            .run()
+            .expect("faulty matrix run drains");
+        let mut buf = Vec::new();
+        report.write_stats(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("stats are utf8")
+    }
+
+    #[test]
+    fn fault_stats_are_shard_invariant() {
+        for seed in [1u64, 2, 3] {
+            for rate in [0.0, 1e-4] {
+                let serial = faulty_stats(seed, rate, 1);
+                for shards in [4, 16] {
+                    assert_eq!(
+                        serial,
+                        faulty_stats(seed, rate, shards),
+                        "seed {seed}, rate {rate}: {shards}-shard stats diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A rate-zero plan is indistinguishable from never arming one: the
+    /// context is discarded at install time, so timing, stats, and the
+    /// stats file bytes all match the fault-free build.
+    #[test]
+    fn rate_zero_matches_fault_free_run() {
+        let clean = stats_with_shards(2, CompressionPlacement::Disco, RoutingAlgorithm::Xy, 1);
+        let armed = faulty_stats(2, 0.0, 1);
+        assert_eq!(clean, armed, "inactive plan must be a no-op");
+    }
+
+    /// JSONL byte-identity extends to faulty runs (fault events, eaten
+    /// ejections, and retransmissions are all committed in node order).
+    #[cfg(feature = "trace")]
+    #[test]
+    fn faulty_trace_jsonl_is_shard_invariant() {
+        let export = |shards: usize| {
+            let noc = NocConfig {
+                compute_shards: shards,
+                ..NocConfig::default()
+            };
+            let report = SimBuilder::new()
+                .mesh(4, 4)
+                .placement(CompressionPlacement::Disco)
+                .benchmark(Benchmark::Dedup)
+                .trace_len(300)
+                .seed(9)
+                .noc(noc)
+                .faults(FaultPlan::uniform(0xfa17, 1e-4))
+                .retain_trace_records(true)
+                .run()
+                .expect("faulty matrix run drains");
+            let t = report.trace.expect("capture requested");
+            disco::trace::export::jsonl_string(&t.records)
+        };
+        let serial = export(1);
+        assert!(!serial.is_empty());
+        for shards in [4, 16] {
+            assert_eq!(
+                serial,
+                export(shards),
+                "faulty JSONL export diverged at {shards} shards"
+            );
+        }
+    }
+}
+
 /// The trace is part of the determinism contract too: every event is
 /// committed in node order and stamped with the simulated cycle (never
 /// wall-clock), so the exported JSONL must be byte-identical at any

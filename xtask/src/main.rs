@@ -149,8 +149,8 @@ fn verify_protocol() -> usize {
 }
 
 /// Lint pass: panic-API-free hot paths, fully surfaced stats,
-/// Router-mutation confinement to the commit pass, and a wall-clock-free
-/// trace path.
+/// Router-mutation confinement to the commit pass, a wall-clock-free
+/// trace path, and fault-kind injection/test coverage.
 fn verify_lints() -> usize {
     let root = lints::repo_root();
     let mut failures = 0;
@@ -207,6 +207,21 @@ fn verify_lints() -> usize {
     match lints::check_no_wallclock(&root) {
         Ok(violations) if violations.is_empty() => {
             println!("lints: trace crate and emission sites are wall-clock free");
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("lints: FAIL {v}");
+            }
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("lints: FAIL cannot read sources: {e}");
+            failures += 1;
+        }
+    }
+    match lints::check_fault_kind_coverage(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lints: every FaultKind has an injection site and a test");
         }
         Ok(violations) => {
             for v in &violations {
