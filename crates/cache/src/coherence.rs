@@ -177,11 +177,23 @@ impl Directory {
                     vec![CohAction::ForwardToOwner { owner, to: core }],
                 )
             }
-            owned => {
-                // Owner re-reads its own line (e.g. after an L1 eviction
-                // raced the directory): serve from bank.
+            DirState::Owned { owner, mut sharers } => {
+                // Owner re-reads its own line: its ReadReq overtook its
+                // own Writeback (the two ride different virtual networks
+                // and are unordered). Serve from bank and account the
+                // re-fetched copy as a share, so the demotion when the
+                // writeback lands keeps it invalidatable; without this a
+                // later writer never recalls the copy and the core reads
+                // the stale line forever (found by disco-verify's
+                // bounded model checker).
                 self.stats.bank_reads += 1;
-                (owned, vec![CohAction::DataFromBank { to: core }])
+                if !sharers.contains(&core) {
+                    sharers.push(core);
+                }
+                (
+                    DirState::Owned { owner, sharers },
+                    vec![CohAction::DataFromBank { to: core }],
+                )
             }
         };
         self.lines.insert(addr.0, new_state);
@@ -208,7 +220,10 @@ impl Directory {
             }
             DirState::Owned { owner, sharers } => {
                 for s in sharers {
-                    if s != core {
+                    // The owner can appear among the sharers (it re-read
+                    // during its own writeback's flight); the forward
+                    // below already revokes its copy.
+                    if s != core && s != owner {
                         self.stats.invalidations += 1;
                         actions.push(CohAction::Invalidate { core: s });
                     }
@@ -281,8 +296,12 @@ impl Directory {
                 self.stats.invalidations += 1;
                 actions.push(CohAction::Invalidate { core: owner });
                 for s in sharers {
-                    self.stats.invalidations += 1;
-                    actions.push(CohAction::Invalidate { core: s });
+                    // The owner can also be listed as a sharer (re-read
+                    // during its writeback's flight); invalidate once.
+                    if s != owner {
+                        self.stats.invalidations += 1;
+                        actions.push(CohAction::Invalidate { core: s });
+                    }
                 }
             }
             _ => {}

@@ -4,6 +4,8 @@
 //! packet tag; handlers at banks, cores, and memory controllers decode it
 //! to drive the MOESI protocol of §3.3-C.
 
+use disco_noc::PacketClass;
+
 /// Message operations between tiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
@@ -68,6 +70,27 @@ impl Op {
     /// These are DISCO's in-network *decompression* targets.
     pub fn wants_raw_at_destination(self) -> bool {
         matches!(self, Op::DataToCore | Op::MemWriteback)
+    }
+
+    /// The virtual-network class this operation travels on. The mapping
+    /// is total and pure — every injection site derives its class from
+    /// the op, so a message can never ride the wrong virtual network.
+    /// `disco-verify`'s protocol pass composes this with the per-class
+    /// CDG results to argue message-dependency deadlock freedom.
+    pub fn class(self) -> PacketClass {
+        match self {
+            Op::ReadReq | Op::WriteReq | Op::MemRead => PacketClass::Request,
+            Op::DataToCore | Op::Writeback | Op::MemFill | Op::MemWriteback => {
+                PacketClass::Response
+            }
+            Op::Invalidate | Op::InvalAck | Op::FwdRead | Op::FwdWrite => PacketClass::Coherence,
+        }
+    }
+
+    /// Ops whose packets are latency-critical (block a core's MSHR):
+    /// demand fills to cores and DRAM fills to banks.
+    pub fn is_critical(self) -> bool {
+        matches!(self, Op::DataToCore | Op::MemFill)
     }
 }
 
@@ -156,5 +179,16 @@ mod tests {
     #[should_panic(expected = "8 bits")]
     fn oversized_requester_rejected() {
         let _ = Msg::new(Op::ReadReq, 256, 0).encode();
+    }
+
+    #[test]
+    fn data_carriers_ride_the_response_network() {
+        // Decompression targets and critical fills are all data-bearing,
+        // so they must travel the Response (data) virtual network.
+        for op in Op::ALL {
+            if op.wants_raw_at_destination() || op.is_critical() {
+                assert_eq!(op.class(), PacketClass::Response, "{op:?}");
+            }
+        }
     }
 }

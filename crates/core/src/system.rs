@@ -125,11 +125,11 @@ enum Event {
         line: u64,
         data: CacheLine,
     },
-    /// Inject a packet.
+    /// Inject a packet; its class, compressibility, and criticality are
+    /// all derived from the protocol op in the tag (`Op::class`).
     Send {
         src: usize,
         dst: usize,
-        class: PacketClass,
         payload: Payload,
         tag: u64,
     },
@@ -547,7 +547,6 @@ impl System {
                             Event::Send {
                                 src: core,
                                 dst: bank,
-                                class: PacketClass::Request,
                                 payload: Payload::None,
                                 tag: Msg::new(op, core, line).encode(),
                             },
@@ -565,7 +564,6 @@ impl System {
                                     Event::Send {
                                         src: core,
                                         dst: bank,
-                                        class: PacketClass::Request,
                                         payload: Payload::None,
                                         tag: Msg::new(Op::ReadReq, core, next).encode(),
                                     },
@@ -640,7 +638,6 @@ impl System {
                             Event::Send {
                                 src: node,
                                 dst: home,
-                                class: PacketClass::Response,
                                 payload,
                                 tag: Msg::new(Op::Writeback, node, msg.line).encode(),
                             },
@@ -652,7 +649,6 @@ impl System {
                             Event::Send {
                                 src: node,
                                 dst: home,
-                                class: PacketClass::Coherence,
                                 payload: Payload::None,
                                 tag: Msg::new(Op::InvalAck, node, msg.line).encode(),
                             },
@@ -664,6 +660,16 @@ impl System {
                 // Non-blocking invalidation: nothing further to do.
             }
             Op::FwdRead | Op::FwdWrite => {
+                // A write-forward revokes this core's copy — including a
+                // fill still in flight to it (its re-read raced the
+                // forward on another virtual network). Poison the
+                // pending miss like Op::Invalidate does, or the late
+                // fill would install a copy the directory no longer
+                // tracks (found by disco-verify's bounded model
+                // checker).
+                if msg.op == Op::FwdWrite && self.tiles[node].mshr.pending(LineAddr(msg.line)) {
+                    self.tiles[node].poisoned.insert(msg.line);
+                }
                 // This core owns a dirty copy; supply it to the requester
                 // directly (cache-to-cache).
                 let line = match self.tiles[node].l1.access(LineAddr(msg.line), None) {
@@ -681,7 +687,6 @@ impl System {
                     Event::Send {
                         src: node,
                         dst: msg.requester,
-                        class: PacketClass::Response,
                         payload,
                         tag: Msg::new(Op::DataToCore, msg.requester, msg.line).encode(),
                     },
@@ -701,7 +706,6 @@ impl System {
                     Event::Send {
                         src: node,
                         dst: bank,
-                        class: PacketClass::Response,
                         payload,
                         tag: Msg::new(Op::MemFill, msg.requester, msg.line).encode(),
                     },
@@ -749,10 +753,15 @@ impl System {
             Event::Send {
                 src,
                 dst,
-                class,
                 payload,
                 tag,
             } => {
+                // The op alone decides the virtual network: deriving the
+                // class here (rather than trusting each injection site)
+                // makes the Op -> class mapping a single checkable
+                // function, which disco-verify's protocol pass leans on.
+                let op = Msg::decode(tag).op;
+                let class = op.class();
                 let compressible = class == PacketClass::Response;
                 let id = self
                     .net
@@ -761,9 +770,7 @@ impl System {
                 // demand critical path and keep their priority even when
                 // uncompressed; only latency-tolerant writebacks are
                 // demoted by rule 2.
-                let op = Msg::decode(tag).op;
-                self.net.store_mut().get_mut(id).critical =
-                    matches!(op, Op::DataToCore | Op::MemFill);
+                self.net.store_mut().get_mut(id).critical = op.is_critical();
             }
             Event::BankRequest {
                 bank,
@@ -788,7 +795,6 @@ impl System {
                                         Event::Send {
                                             src: bank,
                                             dst: to,
-                                            class: PacketClass::Response,
                                             payload,
                                             tag: Msg::new(Op::DataToCore, to, line).encode(),
                                         },
@@ -805,7 +811,6 @@ impl System {
                                             Event::Send {
                                                 src: bank,
                                                 dst: mc,
-                                                class: PacketClass::Request,
                                                 payload: Payload::None,
                                                 tag: Msg::new(Op::MemRead, requester, line)
                                                     .encode(),
@@ -822,7 +827,6 @@ impl System {
                                 Event::Send {
                                     src: bank,
                                     dst: owner,
-                                    class: PacketClass::Coherence,
                                     payload: Payload::None,
                                     tag: Msg::new(op, to, line).encode(),
                                 },
@@ -834,7 +838,6 @@ impl System {
                                 Event::Send {
                                     src: bank,
                                     dst: core,
-                                    class: PacketClass::Coherence,
                                     payload: Payload::None,
                                     tag: Msg::new(Op::Invalidate, core, line).encode(),
                                 },
@@ -864,7 +867,6 @@ impl System {
                                 Event::Send {
                                     src: bank,
                                     dst: core,
-                                    class: PacketClass::Coherence,
                                     payload: Payload::None,
                                     tag: Msg::new(Op::Invalidate, core, ev.addr.0).encode(),
                                 },
@@ -879,7 +881,6 @@ impl System {
                             Event::Send {
                                 src: bank,
                                 dst: mc,
-                                class: PacketClass::Response,
                                 payload,
                                 tag: Msg::new(Op::MemWriteback, 0, ev.addr.0).encode(),
                             },
@@ -901,7 +902,6 @@ impl System {
                                 Event::Send {
                                     src: bank,
                                     dst: to,
-                                    class: PacketClass::Response,
                                     payload,
                                     tag: Msg::new(Op::DataToCore, to, line).encode(),
                                 },
@@ -944,7 +944,6 @@ impl System {
                             Event::Send {
                                 src: core,
                                 dst: home,
-                                class: PacketClass::Response,
                                 payload,
                                 tag: Msg::new(Op::Writeback, core, line).encode(),
                             },
@@ -960,7 +959,6 @@ impl System {
                         Event::Send {
                             src: core,
                             dst: home,
-                            class: PacketClass::Response,
                             payload,
                             tag: Msg::new(Op::Writeback, core, wb.addr.0).encode(),
                         },

@@ -1,0 +1,493 @@
+//! Bounded explicit-state exploration with deterministic parallelism.
+//!
+//! [`explore`] walks every reachable state of a [`TransitionSystem`] up
+//! to a depth bound, deduplicating by canonical encoding, checking the
+//! system's invariants on each state exactly once, and recording parent
+//! pointers so any violation can be replayed as a schedule of action
+//! labels from an initial state.
+//!
+//! The search is breadth-first and layer-synchronized: each frontier is
+//! split into contiguous chunks that workers expand in parallel against
+//! a read-only view of the visited set, and the per-chunk results are
+//! merged back **in chunk order**. Every state is therefore discovered
+//! by the same (lowest-BFS-order) parent and expanded exactly once, so
+//! the state count, transition count, depth, and the rendered report are
+//! byte-identical for any worker count — the property pinned by
+//! `tests/determinism.rs`.
+
+use std::collections::HashMap;
+use std::thread;
+
+/// An abstract transition system the explorer can walk.
+///
+/// Implementations must be deterministic: `enabled` and `apply` may
+/// depend only on the state, and `encode` must be a canonical injective
+/// encoding (equal encodings ⇔ equal states).
+pub trait TransitionSystem: Sync {
+    /// Model state. Cloned freely; keep it compact. (`Sync` because
+    /// frontier workers read parent states from the shared arena.)
+    type State: Clone + Send + Sync;
+
+    /// The initial states (the worklist seeds).
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// Human-readable labels of the actions enabled in `s`, in a fixed
+    /// order. `apply(s, i)` executes the action labelled `enabled(s)[i]`.
+    fn enabled(&self, s: &Self::State) -> Vec<String>;
+
+    /// Executes enabled action `i` on `s`, returning the successor.
+    fn apply(&self, s: &Self::State, i: usize) -> Self::State;
+
+    /// Invariant violations in `s` (empty when the state is healthy).
+    fn check(&self, s: &Self::State) -> Vec<String>;
+
+    /// True if `s` is allowed to have no enabled actions; a state that
+    /// is neither quiescent nor has successors is reported as stuck.
+    fn quiescent(&self, s: &Self::State) -> bool;
+
+    /// Canonical byte encoding used for deduplication.
+    fn encode(&self, s: &Self::State) -> Vec<u8>;
+}
+
+/// Exploration bounds and parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions {
+    /// Maximum BFS depth (number of actions from an initial state).
+    pub max_depth: usize,
+    /// Hard cap on deduplicated states (guards against blow-up; the
+    /// report is marked truncated when hit).
+    pub max_states: usize,
+    /// Worker threads per layer. `1` is fully serial; any value yields
+    /// byte-identical reports.
+    pub workers: usize,
+    /// Keep at most this many violations (each with its schedule).
+    pub max_violations: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            max_depth: 64,
+            max_states: 2_000_000,
+            workers: 1,
+            max_violations: 8,
+        }
+    }
+}
+
+/// One invariant violation with its replayable counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What was violated (one line per broken invariant in the state).
+    pub messages: Vec<String>,
+    /// Action labels from the initial state to the violating state.
+    pub schedule: Vec<String>,
+    /// BFS depth at which the violation occurred.
+    pub depth: usize,
+}
+
+/// Result of a bounded exploration.
+///
+/// [`ExploreReport::render`] is deliberately free of wall-clock content
+/// so the rendered text is byte-identical run-to-run; timing belongs to
+/// the caller (the xtask JSON wrapper records it out-of-band).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Deduplicated states discovered (and checked).
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Deepest layer reached.
+    pub max_depth_reached: usize,
+    /// True if the depth or state bound cut the search short.
+    pub truncated: bool,
+    /// Violations found (capped at `max_violations`), in BFS order.
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// True if no invariant was violated in the explored space.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic text rendering: summary line plus one replayable
+    /// schedule block per violation.
+    pub fn render(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{name}: {} states, {} transitions, depth {}{}",
+            self.states,
+            self.transitions,
+            self.max_depth_reached,
+            if self.truncated {
+                " (bounded: search truncated)"
+            } else {
+                " (complete within bounds)"
+            },
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}: counterexample {} at depth {}:",
+                i + 1,
+                v.depth
+            );
+            for m in &v.messages {
+                let _ = writeln!(out, "{name}:   violated: {m}");
+            }
+            for (step, action) in v.schedule.iter().enumerate() {
+                let _ = writeln!(out, "{name}:   step {:>3}: {action}", step + 1);
+            }
+        }
+        out
+    }
+}
+
+/// Arena entry: parent index, action index taken from the parent, and
+/// the state itself (kept so schedules can re-derive action labels).
+struct Node<S> {
+    parent: u32,
+    action: u16,
+    state: S,
+    depth: u32,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Explores `sys` breadth-first within `opts` bounds.
+///
+/// Deterministic by construction: see the module docs. Violations are
+/// reported in BFS discovery order; each carries the schedule of action
+/// labels reconstructed from the arena's parent chain.
+pub fn explore<T: TransitionSystem>(sys: &T, opts: &ExploreOptions) -> ExploreReport {
+    let workers = opts.workers.max(1);
+    let mut arena: Vec<Node<T::State>> = Vec::new();
+    let mut visited: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut transitions: u64 = 0;
+    let mut truncated = false;
+    let mut max_depth_reached = 0usize;
+
+    let mut frontier: Vec<u32> = Vec::new();
+    for s in sys.initial() {
+        let enc = sys.encode(&s);
+        if visited.contains_key(&enc) {
+            continue;
+        }
+        let id = arena.len() as u32;
+        visited.insert(enc, id);
+        arena.push(Node {
+            parent: NO_PARENT,
+            action: 0,
+            state: s,
+            depth: 0,
+        });
+        frontier.push(id);
+    }
+    for &id in &frontier {
+        check_node(sys, &arena, id, opts, &mut violations);
+    }
+
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        if depth >= opts.max_depth {
+            truncated = true;
+            break;
+        }
+        depth += 1;
+        // Expand the frontier in parallel chunks. Workers only read the
+        // arena and produce (parent, action, child, encoding) records;
+        // all arena/visited writes happen in the in-order merge below.
+        let chunk = frontier.len().div_ceil(workers);
+        let mut produced: Vec<Expanded<T::State>> = if workers == 1 {
+            vec![expand_chunk(sys, &arena, &frontier)]
+        } else {
+            let arena_ref = &arena;
+            thread::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|ids| scope.spawn(move || expand_chunk(sys, arena_ref, ids)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(e) => std::panic::resume_unwind(e),
+                    })
+                    .collect()
+            })
+        };
+        let mut next_frontier = Vec::new();
+        'merge: for batch in produced.iter_mut() {
+            for (parent, action, child, enc) in batch.drain(..) {
+                transitions += 1;
+                if visited.contains_key(&enc) {
+                    continue;
+                }
+                if arena.len() >= opts.max_states {
+                    truncated = true;
+                    break 'merge;
+                }
+                let id = arena.len() as u32;
+                visited.insert(enc, id);
+                arena.push(Node {
+                    parent,
+                    action,
+                    state: child,
+                    depth: depth as u32,
+                });
+                next_frontier.push(id);
+                check_node(sys, &arena, id, opts, &mut violations);
+            }
+        }
+        if !next_frontier.is_empty() {
+            max_depth_reached = depth;
+        }
+        frontier = next_frontier;
+    }
+
+    ExploreReport {
+        states: arena.len() as u64,
+        transitions,
+        max_depth_reached,
+        truncated,
+        violations,
+    }
+}
+
+/// Expands one contiguous frontier chunk; pure with respect to shared
+/// state (reads the arena, writes nothing).
+/// One worker's expansion records: (parent id, action index, successor
+/// state, canonical encoding).
+type Expanded<S> = Vec<(u32, u16, S, Vec<u8>)>;
+
+fn expand_chunk<T: TransitionSystem>(
+    sys: &T,
+    arena: &[Node<T::State>],
+    ids: &[u32],
+) -> Expanded<T::State> {
+    let mut out = Vec::new();
+    for &id in ids {
+        let state = &arena[id as usize].state;
+        let n = sys.enabled(state).len();
+        for action in 0..n {
+            let child = sys.apply(state, action);
+            let enc = sys.encode(&child);
+            out.push((id, action as u16, child, enc));
+        }
+    }
+    out
+}
+
+/// Checks invariants and stuck-freedom on a freshly inserted node,
+/// recording a violation (with its replay schedule) if anything fails.
+fn check_node<T: TransitionSystem>(
+    sys: &T,
+    arena: &[Node<T::State>],
+    id: u32,
+    opts: &ExploreOptions,
+    violations: &mut Vec<Violation>,
+) {
+    if violations.len() >= opts.max_violations {
+        return;
+    }
+    let node = &arena[id as usize];
+    let mut messages = sys.check(&node.state);
+    if sys.enabled(&node.state).is_empty() && !sys.quiescent(&node.state) {
+        messages.push("stuck state: no action enabled, system not quiescent".to_string());
+    }
+    if messages.is_empty() {
+        return;
+    }
+    violations.push(Violation {
+        messages,
+        schedule: schedule_of(sys, arena, id),
+        depth: node.depth as usize,
+    });
+}
+
+/// Reconstructs the action-label schedule from an initial state to
+/// `id` by walking parent pointers and re-deriving each label from the
+/// parent's enabled list.
+fn schedule_of<T: TransitionSystem>(sys: &T, arena: &[Node<T::State>], id: u32) -> Vec<String> {
+    let mut rev: Vec<(u32, u16)> = Vec::new();
+    let mut cur = id;
+    while arena[cur as usize].parent != NO_PARENT {
+        let node = &arena[cur as usize];
+        rev.push((node.parent, node.action));
+        cur = node.parent;
+    }
+    rev.reverse();
+    rev.into_iter()
+        .map(|(parent, action)| {
+            let labels = sys.enabled(&arena[parent as usize].state);
+            labels
+                .get(action as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<action #{action}>"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter system: increment/decrement on [0, limit]; invariant
+    /// `value != poison`; quiescent only at 0.
+    struct Counter {
+        limit: u8,
+        poison: Option<u8>,
+    }
+
+    impl TransitionSystem for Counter {
+        type State = u8;
+
+        fn initial(&self) -> Vec<u8> {
+            vec![0]
+        }
+
+        fn enabled(&self, s: &u8) -> Vec<String> {
+            let mut acts = Vec::new();
+            if *s < self.limit {
+                acts.push(format!("inc({s})"));
+            }
+            if *s > 0 {
+                acts.push(format!("dec({s})"));
+            }
+            acts
+        }
+
+        fn apply(&self, s: &u8, i: usize) -> u8 {
+            let acts = self.enabled(s);
+            if acts[i].starts_with("inc") {
+                s + 1
+            } else {
+                s - 1
+            }
+        }
+
+        fn check(&self, s: &u8) -> Vec<String> {
+            match self.poison {
+                Some(p) if *s == p => vec![format!("hit poison value {p}")],
+                _ => Vec::new(),
+            }
+        }
+
+        fn quiescent(&self, s: &u8) -> bool {
+            *s == 0
+        }
+
+        fn encode(&self, s: &u8) -> Vec<u8> {
+            vec![*s]
+        }
+    }
+
+    #[test]
+    fn explores_full_space_and_stays_clean() {
+        let sys = Counter {
+            limit: 10,
+            poison: None,
+        };
+        let report = explore(&sys, &ExploreOptions::default());
+        assert!(report.clean());
+        assert_eq!(report.states, 11);
+        assert!(!report.truncated);
+        assert_eq!(report.max_depth_reached, 10);
+    }
+
+    #[test]
+    fn finds_violation_with_minimal_schedule() {
+        let sys = Counter {
+            limit: 10,
+            poison: Some(3),
+        };
+        let report = explore(&sys, &ExploreOptions::default());
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.depth, 3, "BFS finds the shortest counterexample");
+        assert_eq!(v.schedule, vec!["inc(0)", "inc(1)", "inc(2)"]);
+        assert_eq!(v.messages, vec!["hit poison value 3"]);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let sys = Counter {
+            limit: 200,
+            poison: None,
+        };
+        let opts = ExploreOptions {
+            max_depth: 5,
+            ..ExploreOptions::default()
+        };
+        let report = explore(&sys, &opts);
+        assert!(report.truncated);
+        assert_eq!(report.states, 6);
+    }
+
+    #[test]
+    fn report_is_identical_across_worker_counts() {
+        let sys = Counter {
+            limit: 50,
+            poison: Some(37),
+        };
+        let base = explore(
+            &sys,
+            &ExploreOptions {
+                workers: 1,
+                ..ExploreOptions::default()
+            },
+        );
+        for workers in [2, 4, 7] {
+            let parallel = explore(
+                &sys,
+                &ExploreOptions {
+                    workers,
+                    ..ExploreOptions::default()
+                },
+            );
+            assert_eq!(base, parallel, "{workers} workers diverged");
+            assert_eq!(base.render("test"), parallel.render("test"));
+        }
+    }
+
+    /// Stuck detection: a system whose only state has no actions and is
+    /// not quiescent must be flagged.
+    struct Dead;
+
+    impl TransitionSystem for Dead {
+        type State = ();
+
+        fn initial(&self) -> Vec<()> {
+            vec![()]
+        }
+
+        fn enabled(&self, _: &()) -> Vec<String> {
+            Vec::new()
+        }
+
+        fn apply(&self, _: &(), _: usize) {}
+
+        fn check(&self, _: &()) -> Vec<String> {
+            Vec::new()
+        }
+
+        fn quiescent(&self, _: &()) -> bool {
+            false
+        }
+
+        fn encode(&self, _: &()) -> Vec<u8> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn stuck_states_are_reported() {
+        let report = explore(&Dead, &ExploreOptions::default());
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].messages[0].contains("stuck"));
+    }
+}

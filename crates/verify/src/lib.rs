@@ -3,15 +3,27 @@
 //! Static analyses for the DISCO reproduction, run via `cargo xtask
 //! verify` (and re-run by CI).
 //!
-//! Three passes, each usable as a library:
+//! Six passes, each usable as a library:
 //!
 //! - [`cdg`] — Dally–Seitz channel-dependency-graph deadlock analysis
 //!   over the mesh, the routing relation, and DISCO's VC-locking rule.
 //! - [`protocol`] — MOESI transition-table extraction from the live
-//!   directory engine plus totality/reachability checking, and the `Msg`
-//!   tag-encoding roundtrip check.
-//! - [`lints`] — source-convention lints: panic-API-free per-cycle hot
-//!   paths and full stats surfacing in `report.rs`.
+//!   directory engine plus totality/reachability checking, the `Msg`
+//!   tag-encoding roundtrip check, and the op → virtual-network class
+//!   mapping composed with the CDG results.
+//! - [`model`] + [`explorer`] — bounded model checking: every delivery
+//!   interleaving of the coherence protocol (driving the live
+//!   `Directory`) explored to a depth bound, with counterexamples as
+//!   replayable message schedules.
+//! - [`credits`] — symbolic credit/buffer conservation proof over the
+//!   router pipeline's operation set, plus a live-network conformance
+//!   check.
+//! - [`ast`] — a Rust lexer/token-tree layer giving AST-grade lints
+//!   (mutation through helper methods, `#[cfg]`-hidden branches,
+//!   aliased `&mut`) on top of —
+//! - [`lints`] — the lint pass: panic-API-free per-cycle hot paths,
+//!   full stats surfacing, commit confinement, wall-clock freedom, and
+//!   fault-kind coverage.
 //!
 //! ```
 //! use disco_noc::topology::Mesh;
@@ -21,6 +33,10 @@
 //! assert!(analyze_mesh(&Mesh::new(4, 4), &opts).is_deadlock_free());
 //! ```
 
+pub mod ast;
 pub mod cdg;
+pub mod credits;
+pub mod explorer;
 pub mod lints;
+pub mod model;
 pub mod protocol;

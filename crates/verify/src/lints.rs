@@ -32,9 +32,12 @@
 //!    that can never fire, or fires without a test pinning its
 //!    behaviour, is dead weight in the fault model.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::ast;
 
 /// Files whose per-cycle code must stay panic-API free.
 pub const HOT_PATHS: &[&str] = &[
@@ -575,6 +578,195 @@ pub fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+// ---------------------------------------------------------------------------
+// AST-grade variants. The string scanners above are kept as regression
+// baselines (tests/verify_mutations.rs demonstrates the defects they
+// miss); `cargo xtask verify` runs the versions below, which operate on
+// parsed token trees (crate::ast) and therefore see through helper
+// methods, `#[cfg]`-hidden branches, and code placed after a
+// `#[cfg(test)]` module.
+// ---------------------------------------------------------------------------
+
+/// Files whose code runs in the serial (single-threaded) part of the
+/// cycle: the commit pass itself, the network driver that calls it, and
+/// the serial fault injector. These may call `&mut self` `Router`
+/// methods; everything else in `crates/noc/src` — above all the compute
+/// phase — must not even borrow a router mutably.
+pub const SERIAL_CONTEXT: &[&str] = &[
+    "crates/noc/src/router.rs",
+    "crates/noc/src/commit.rs",
+    "crates/noc/src/network.rs",
+    "crates/noc/src/faults.rs",
+];
+
+/// Where the compute phase (and its purity contract) lives.
+const COMPUTE_PHASE_PATH: &str = "crates/noc/src/phase.rs";
+
+/// Where `Router` and its `&mut self` mutator methods are declared.
+const ROUTER_PATH: &str = "crates/noc/src/router.rs";
+
+/// Wraps a parse failure as a reportable violation so a syntax-level
+/// regression in a scanned file fails the lint pass instead of crashing
+/// it.
+fn parse_failure(rel: &Path, err: String) -> Violation {
+    Violation {
+        file: rel.to_path_buf(),
+        line: 1,
+        message: format!("AST lint could not parse file: {err}"),
+    }
+}
+
+/// AST-grade panic-free hot-path scan: [`scan_hot_paths`] on parsed
+/// token trees. Unlike the string scan it keeps going after a
+/// `#[cfg(test)]` module (skipping only the test items themselves), so
+/// per-cycle code hidden behind `#[cfg(feature = …)]` or placed below a
+/// test module is still checked.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn scan_hot_paths_ast(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for rel in HOT_PATHS {
+        let rel = Path::new(rel);
+        let text = fs::read_to_string(root.join(rel))?;
+        match ast::scan_panics(&text) {
+            Ok(findings) => {
+                violations.extend(findings.into_iter().map(|(line, message)| Violation {
+                    file: rel.to_path_buf(),
+                    line,
+                    message,
+                }))
+            }
+            Err(e) => violations.push(parse_failure(rel, e)),
+        }
+    }
+    Ok(violations)
+}
+
+/// AST-grade commit-confinement check. Extracts the `&mut self` method
+/// set from the live `Router` impl, then scans every file in
+/// `crates/noc/src` except `router.rs`/`commit.rs`:
+///
+/// - direct `Router` field writes are flagged everywhere (as before,
+///   but now including `#[cfg]`-hidden branches and code after test
+///   modules);
+/// - calls to `&mut self` `Router` methods and `&mut` borrows of router
+///   bindings are additionally flagged outside [`SERIAL_CONTEXT`] —
+///   this closes the helper-method blind spot of [`scan_confinement`],
+///   which only sees spelled-out field assignments.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_commit_confinement_ast(root: &Path) -> io::Result<Vec<Violation>> {
+    let router_src = fs::read_to_string(root.join(ROUTER_PATH))?;
+    let mut_methods = match ast::router_mut_methods(&router_src) {
+        Ok(m) => m,
+        Err(e) => return Ok(vec![parse_failure(Path::new(ROUTER_PATH), e)]),
+    };
+    let dir = Path::new("crates/noc/src");
+    let mut names: Vec<String> = fs::read_dir(root.join(dir))?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".rs") && n != "router.rs" && n != "commit.rs")
+        .collect();
+    names.sort();
+    let mut violations = Vec::new();
+    for name in names {
+        let rel = dir.join(&name);
+        let serial = SERIAL_CONTEXT.iter().any(|s| Path::new(s) == rel);
+        let rules = ast::ConfinementRules {
+            direct_writes: true,
+            method_calls: !serial,
+        };
+        let text = fs::read_to_string(root.join(&rel))?;
+        match ast::scan_confinement(&text, ROUTER_FIELDS, &mut_methods, rules) {
+            Ok(findings) => {
+                violations.extend(findings.into_iter().map(|(line, message)| Violation {
+                    file: rel.clone(),
+                    line,
+                    message,
+                }))
+            }
+            Err(e) => violations.push(parse_failure(&rel, e)),
+        }
+    }
+    Ok(violations)
+}
+
+/// AST-grade wall-clock check over the same file set as
+/// [`check_no_wallclock`], using identifier tokens instead of substring
+/// matches (so a struct field named `instant_rate` no longer trips it,
+/// while `std::time::Instant` behind `#[cfg(feature = …)]` does).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_no_wallclock_ast(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut rels: Vec<PathBuf> = WALLCLOCK_FREE.iter().map(PathBuf::from).collect();
+    let trace_dir = Path::new("crates/trace/src");
+    let mut names: Vec<String> = fs::read_dir(root.join(trace_dir))?
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    rels.extend(names.into_iter().map(|n| trace_dir.join(n)));
+    let mut violations = Vec::new();
+    for rel in rels {
+        let text = fs::read_to_string(root.join(&rel))?;
+        match ast::scan_wallclock(&text) {
+            Ok(findings) => {
+                violations.extend(findings.into_iter().map(|(line, message)| Violation {
+                    file: rel.clone(),
+                    line,
+                    message,
+                }))
+            }
+            Err(e) => violations.push(parse_failure(&rel, e)),
+        }
+    }
+    Ok(violations)
+}
+
+/// Compute-phase purity check: `crates/noc/src/phase.rs` must keep the
+/// `compute_router(router: &Router, …)` shared-reference signature the
+/// determinism argument rests on, and must not smuggle writes through
+/// interior mutability (`RefCell`, `Cell`, `Mutex`, atomics, …).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_compute_purity(root: &Path) -> io::Result<Vec<Violation>> {
+    let rel = Path::new(COMPUTE_PHASE_PATH);
+    let text = fs::read_to_string(root.join(rel))?;
+    let findings = match ast::scan_compute_purity(&text, true) {
+        Ok(f) => f,
+        Err(e) => return Ok(vec![parse_failure(rel, e)]),
+    };
+    Ok(findings
+        .into_iter()
+        .map(|(line, message)| Violation {
+            file: rel.to_path_buf(),
+            line,
+            message,
+        })
+        .collect())
+}
+
+/// The `&mut self` method names of the live `Router`, for callers that
+/// want to reuse the extracted set (xtask reporting, tests).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading `router.rs` under `root`; a parse
+/// failure is reported as `io::ErrorKind::InvalidData`.
+pub fn live_router_mut_methods(root: &Path) -> io::Result<BTreeSet<String>> {
+    let src = fs::read_to_string(root.join(ROUTER_PATH))?;
+    ast::router_mut_methods(&src).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +869,59 @@ mod tests {\n\
     fn scanner_catches_expect() {
         let findings = scan_source("fn f() { g().expect(\"boom\"); }\n");
         assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn ast_hot_paths_are_clean() {
+        let violations = scan_hot_paths_ast(&repo_root()).expect("sources readable");
+        assert_eq!(violations, Vec::new(), "AST panic scan must stay clean");
+    }
+
+    #[test]
+    fn ast_commit_confinement_holds() {
+        let violations = check_commit_confinement_ast(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "no helper-method or cfg-hidden Router mutation outside the serial context"
+        );
+    }
+
+    #[test]
+    fn ast_trace_path_is_wallclock_free() {
+        let violations = check_no_wallclock_ast(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "AST wall-clock scan must stay clean"
+        );
+    }
+
+    #[test]
+    fn compute_phase_is_pure() {
+        let violations = check_compute_purity(&repo_root()).expect("sources readable");
+        assert_eq!(
+            violations,
+            Vec::new(),
+            "compute_router must keep its &Router signature and avoid interior mutability"
+        );
+    }
+
+    #[test]
+    fn live_router_exposes_expected_mut_methods() {
+        let methods = live_router_mut_methods(&repo_root()).expect("router.rs parses");
+        for expected in [
+            "set_locked",
+            "accept",
+            "return_credit",
+            "try_take_credits",
+            "reshape_packet",
+        ] {
+            assert!(
+                methods.contains(expected),
+                "Router::{expected} (&mut self) should be extracted, got {methods:?}"
+            );
+        }
     }
 
     #[test]

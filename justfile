@@ -15,9 +15,16 @@ fmt:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Static analyses: CDG deadlock freedom, MOESI exhaustiveness, source lints.
+# The disco-verify analysis suite: bounded protocol model checking,
+# credit-conservation proof, CDG deadlock freedom, MOESI exhaustiveness,
+# message-class composition, AST-grade lints.
 verify:
     cargo xtask verify
+
+# Same analyses, plus the machine-readable report CI uploads as the
+# VERIFY_REPORT artifact (schema disco-verify/1).
+verify-json:
+    cargo xtask verify --json VERIFY_REPORT.json
 
 # Workspace tests, plus the NoC suite with per-cycle invariant validation
 # and the tracing determinism/golden legs.

@@ -202,3 +202,49 @@ fn trace_jsonl_is_shard_invariant() {
         );
     }
 }
+
+/// The model checker's report — state counts, depth, and every
+/// counterexample schedule — must be byte-identical run to run and at
+/// any worklist worker count, or `cargo xtask verify --json` artifacts
+/// could not be diffed across CI runs. The explorer guarantees this by
+/// merging per-chunk frontier results in chunk order; this pins it on a
+/// configuration small enough for the test tier.
+#[test]
+fn model_checker_report_is_worker_invariant() {
+    use disco_verify::explorer::{explore, ExploreOptions};
+    use disco_verify::model::{LiveDir, ProtocolModel, ScriptOp};
+
+    let run = |workers: usize| {
+        let model = ProtocolModel::new(
+            LiveDir::default(),
+            vec![
+                vec![ScriptOp::Write, ScriptOp::Read],
+                vec![ScriptOp::Read, ScriptOp::Write],
+            ],
+        );
+        let report = explore(
+            &model,
+            &ExploreOptions {
+                max_depth: 32,
+                max_states: 500_000,
+                workers,
+                max_violations: 8,
+            },
+        );
+        (report.states, report.transitions, report.render("model"))
+    };
+    let (states, transitions, baseline) = run(1);
+    assert!(states > 1_000, "two-writer model explores a real space");
+    for workers in [2, 4] {
+        let (s, t, render) = run(workers);
+        assert_eq!(states, s, "state count diverged at {workers} workers");
+        assert_eq!(
+            transitions, t,
+            "transition count diverged at {workers} workers"
+        );
+        assert_eq!(
+            baseline, render,
+            "rendered report diverged at {workers} workers"
+        );
+    }
+}
