@@ -148,6 +148,21 @@ struct NodeScan {
     low_confidence: u64,
 }
 
+/// One shard's reusable scan arena: the per-node scan results for the
+/// shard's contiguous node span plus the busy-packet working list. Like
+/// the NoC's compute slots, allocations reach their high-water mark
+/// once and are reused every cycle; the `Mutex` is uncontended (shards
+/// are disjoint) and exists only to hand the slot to a pool worker
+/// safely.
+#[derive(Debug, Default)]
+struct ScanSlot {
+    /// One scan per node in this shard's span, in node order.
+    scans: Vec<NodeScan>,
+    /// Packets already claimed by engines or earlier slots of the node
+    /// under scan.
+    busy: Vec<PacketId>,
+}
+
 /// The DISCO in-network compression layer: engines per router plus the
 /// shared arbitrator parameters and codec.
 #[derive(Debug)]
@@ -166,6 +181,9 @@ pub struct DiscoLayer {
     epoch_started: u64,
     epoch_stats: DiscoStats,
     cycle: u64,
+    /// Per-shard scan arenas, sized lazily to the network's shard count
+    /// and taken out of `self` during each tick's scan + commit.
+    scan_slots: Vec<std::sync::Mutex<ScanSlot>>,
 }
 
 impl DiscoLayer {
@@ -182,6 +200,7 @@ impl DiscoLayer {
             epoch_started: 0,
             epoch_stats: DiscoStats::default(),
             cycle: 0,
+            scan_slots: Vec::new(),
         }
     }
 
@@ -262,75 +281,99 @@ impl DiscoLayer {
                 self.step_engine(net, node, slot);
             }
         }
-        let scans = self.compute_scans(net);
-        for (node, scan) in scans.into_iter().enumerate() {
-            self.stats.low_confidence += scan.low_confidence;
-            for action in scan.starts {
-                self.commit_start(net, node, action);
+        // Detach the arenas so the scan can borrow `self` immutably and
+        // the slots mutably at the same time (mirrors `Network::tick`).
+        if self.scan_slots.len() != net.compute_shards() {
+            self.scan_slots
+                .resize_with(net.compute_shards(), Default::default);
+        }
+        let mut slots = std::mem::take(&mut self.scan_slots);
+        self.compute_scans(net, &mut slots);
+        // Commit in node order: shard slots hold contiguous node spans in
+        // shard order, so a running counter walks nodes exactly `0..n`.
+        let mut node = 0;
+        for slot in slots.iter_mut() {
+            let slot = match slot.get_mut() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for scan in &slot.scans {
+                self.stats.low_confidence += scan.low_confidence;
+                for &action in &scan.starts {
+                    self.commit_start(net, node, action);
+                }
+                node += 1;
             }
         }
+        debug_assert_eq!(node, self.engines.len(), "scan slots must tile the nodes");
+        self.scan_slots = slots;
     }
 
-    /// Scan phase: one [`NodeScan`] per node, returned in node order.
-    fn compute_scans(&self, net: &Network) -> Vec<NodeScan> {
+    /// Scan phase: fills one [`NodeScan`] per node into the shard slots,
+    /// spans in node order within each slot.
+    fn compute_scans(&self, net: &Network, slots: &mut [std::sync::Mutex<ScanSlot>]) {
         #[cfg(feature = "parallel")]
         if net.compute_shards() > 1 {
-            return self.compute_scans_sharded(net);
+            self.compute_scans_sharded(net, slots);
+            return;
         }
-        (0..self.engines.len())
-            .map(|node| self.scan_node(net, node))
-            .collect()
+        let slot = match slots[0].get_mut() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.scans
+            .resize_with(self.engines.len(), NodeScan::default);
+        for node in 0..self.engines.len() {
+            let ScanSlot { scans, busy } = &mut *slot;
+            self.scan_node_into(net, node, busy, &mut scans[node]);
+        }
     }
 
-    /// Fans [`scan_node`](Self::scan_node) out over the same shard count
-    /// the network uses, joining shards in node order so the result is
-    /// indistinguishable from the serial scan.
+    /// Fans [`scan_node_into`](Self::scan_node_into) out over the
+    /// network's persistent worker pool, shard `s` scanning the node
+    /// span [`Network::shard_span`]`(s)` into slot `s` — the same
+    /// decomposition and worker set as the NoC compute phase, so a
+    /// shard's scan arena stays warm in the same worker's cache.
     #[cfg(feature = "parallel")]
-    fn compute_scans_sharded(&self, net: &Network) -> Vec<NodeScan> {
-        let nodes = self.engines.len();
-        if nodes == 0 {
-            return Vec::new();
-        }
-        let shards = net.compute_shards().min(nodes);
-        let chunk = nodes.div_ceil(shards).max(1);
-        let mut scans = Vec::with_capacity(nodes);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..nodes)
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(nodes);
-                    s.spawn(move || {
-                        (start..end)
-                            .map(|node| self.scan_node(net, node))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join() {
-                    Ok(shard) => scans.extend(shard),
-                    Err(_) => panic!("scan-phase worker panicked"),
-                }
+    fn compute_scans_sharded(&self, net: &Network, slots: &mut [std::sync::Mutex<ScanSlot>]) {
+        let slots: &[std::sync::Mutex<ScanSlot>] = slots;
+        net.run_sharded(&|shard| {
+            let span = net.shard_span(shard);
+            // Uncontended: worker `shard` is the only thread touching
+            // slot `shard` during a run.
+            let mut slot = match slots[shard].lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let ScanSlot { scans, busy } = &mut *slot;
+            scans.resize_with(span.len(), NodeScan::default);
+            for (k, node) in span.enumerate() {
+                self.scan_node_into(net, node, busy, &mut scans[k]);
             }
         });
-        scans
     }
 
     /// Pure per-node scan: decides which packets this node's idle engine
     /// slots would start on, without touching any state. Packets claimed
     /// by earlier slots in the same scan count as busy for later ones,
-    /// exactly as the serial start loop saw them.
-    fn scan_node(&self, net: &Network, node: usize) -> NodeScan {
-        let mut scan = NodeScan::default();
-        let mut busy: Vec<PacketId> = self.engines[node]
-            .iter()
-            .filter_map(Engine::target)
-            .collect();
+    /// exactly as the serial start loop saw them. `busy` and `scan` are
+    /// reusable arenas; both are cleared here.
+    fn scan_node_into(
+        &self,
+        net: &Network,
+        node: usize,
+        busy: &mut Vec<PacketId>,
+        scan: &mut NodeScan,
+    ) {
+        scan.starts.clear();
+        scan.low_confidence = 0;
+        busy.clear();
+        busy.extend(self.engines[node].iter().filter_map(Engine::target));
         for slot in 0..self.engines[node].len() {
             if !matches!(self.engines[node][slot], Engine::Idle) {
                 continue;
             }
-            let (best, saw_candidate) = self.pick_candidate(net, node, &busy);
+            let (best, saw_candidate) = self.pick_candidate(net, node, busy);
             match best {
                 Some((port, vc, packet, mode)) => {
                     busy.push(packet);
@@ -346,7 +389,6 @@ impl DiscoLayer {
                 None => {}
             }
         }
-        scan
     }
 
     /// Progress an active engine by one cycle.
@@ -801,15 +843,14 @@ impl DiscoLayer {
     ) -> (Option<(usize, usize, PacketId, Mode)>, bool) {
         let node_id = NodeId(node);
         let depth = net.config().buffer_depth;
-        let losers: Vec<(usize, usize)> = net.router(node_id).sa_losers().to_vec();
         let mut best: Option<(f64, usize, usize, PacketId, Mode)> = None;
         let mut saw_candidate = false;
-        for (port, vc) in losers {
+        for &(port, vc) in net.router(node_id).sa_losers() {
             let vc_ref = net.router(node_id).vc(port, vc);
             if vc_ref.is_locked() {
                 continue;
             }
-            for pid in vc_ref.resident_packets() {
+            for pid in vc_ref.resident_packets_iter() {
                 if busy.contains(&pid) {
                     continue;
                 }
@@ -875,13 +916,8 @@ impl DiscoLayer {
         let response_vc = disco_noc::PacketClass::Response
             .vc()
             .min(net.config().vcs - 1);
-        let backlog: Vec<PacketId> = net
-            .inject_backlog(node_id, response_vc)
-            .iter()
-            .copied()
-            .take(4)
-            .collect();
-        for (pos, pid) in backlog.into_iter().enumerate() {
+        let backlog = net.inject_backlog(node_id, response_vc).iter().copied();
+        for (pos, pid) in backlog.take(4).enumerate() {
             if busy.contains(&pid) {
                 continue;
             }

@@ -4,44 +4,49 @@
 //! [`commit_cycle`] applies every router's [`RouterOutcome`] in fixed
 //! node order — local allocation state first, then the cross-router
 //! effects of each departure (upstream credit return, link delivery,
-//! ejection) and the stat delta. Because the outcomes were computed
-//! from the cycle-start snapshot and the pass always walks nodes
-//! `0..n`, the committed state is identical no matter how the compute
-//! phase was scheduled, which is what keeps serial and `parallel`
-//! builds byte-exact.
+//! ejection) and the stat delta. Outcomes live in per-shard slots, but
+//! shards own *contiguous* node ranges, so walking the slots in shard
+//! order with a running node counter **is** node order `0..n`. Because
+//! the outcomes were computed from the cycle-start snapshot, the
+//! committed state is identical no matter how the compute phase was
+//! scheduled, which is what keeps serial and `parallel` builds
+//! byte-exact.
 //!
 //! The `disco-verify` commit-confinement lint pins this property down
 //! statically: outside this module and `router.rs` itself, no code may
 //! write a router's internal fields.
 
-use crate::network::Network;
+use crate::network::{Network, ShardSlot};
 use crate::phase::RouterOutcome;
 use crate::router::{Router, VcState};
 use crate::topology::{Direction, NodeId};
+use std::sync::Mutex;
 
 /// Applies one router's own action lists: RC/VA state transitions, the
 /// winners' buffer pops and credit decrements, round-robin pointers,
 /// and the loser list the DISCO layer reads.
 pub(crate) fn commit_router_local(router: &mut Router, outcome: &RouterOutcome) {
+    let vcs = router.config.vcs;
+    let flat = |port: usize, v: usize| port * vcs + v;
     for &(port, v, dir) in &outcome.routes {
-        router.inputs[port][v].state = VcState::Routed(dir);
+        router.inputs[flat(port, v)].state = VcState::Routed(dir);
     }
     for &(port, v, dir, out_vc) in &outcome.grants {
-        router.out_alloc[dir.index()][out_vc] = Some((port, v));
-        router.inputs[port][v].state = VcState::Active { out: dir, out_vc };
+        router.out_alloc[flat(dir.index(), out_vc)] = Some((port, v));
+        router.inputs[flat(port, v)].state = VcState::Active { out: dir, out_vc };
     }
     for dep in &outcome.departures {
-        let popped = router.inputs[dep.in_port][dep.in_vc].buffer.pop_front();
+        let popped = router.pop_front_flit(dep.in_port, dep.in_vc);
         assert!(
             popped.is_some_and(|f| f.packet == dep.flit.packet),
             "commit desynchronized from compute: departing flit is not the buffer front"
         );
         if dep.out != Direction::Local {
-            router.credits[dep.out.index()][dep.out_vc] -= 1;
+            router.credits[flat(dep.out.index(), dep.out_vc)] -= 1;
         }
         if dep.flit.kind.is_tail() {
-            router.out_alloc[dep.out.index()][dep.out_vc] = None;
-            router.inputs[dep.in_port][dep.in_vc].state = VcState::Idle;
+            router.out_alloc[flat(dep.out.index(), dep.out_vc)] = None;
+            router.inputs[flat(dep.in_port, dep.in_vc)].state = VcState::Idle;
         }
     }
     router.rr_sa = outcome.rr_sa;
@@ -49,63 +54,86 @@ pub(crate) fn commit_router_local(router: &mut Router, outcome: &RouterOutcome) 
     router.sa_losers.extend_from_slice(&outcome.sa_losers);
 }
 
-/// Applies every router's outcome in node order: local state, then the
-/// cross-router effects (credit returns upstream, link deliveries with
-/// the pipeline delay stamped in, ejections) and the stat merge.
-pub(crate) fn commit_cycle(net: &mut Network, outcomes: &[RouterOutcome]) {
-    debug_assert_eq!(outcomes.len(), net.routers.len());
+/// Applies one node's outcome: local state, then the cross-router
+/// effects (credit returns upstream, link deliveries with the pipeline
+/// delay stamped in, ejections) and the stat merge.
+fn commit_node(net: &mut Network, i: usize, outcome: &RouterOutcome) {
     let now = net.now;
-    for (i, outcome) in outcomes.iter().enumerate() {
-        commit_router_local(&mut net.routers[i], outcome);
-        // Cycle-stamp this router's compute-phase events here, in node
-        // order: the trace byte-stream is then independent of how the
-        // compute phase was scheduled across shards.
-        #[cfg(feature = "trace")]
-        net.tracer.record_all(&outcome.events);
-        for dep in &outcome.departures {
-            // Return a credit upstream for the freed slot.
-            if dep.in_port != Direction::Local.index() {
-                let from_dir = Direction::ALL[dep.in_port];
-                if let Some(up) = net.mesh.neighbor(NodeId(i), from_dir) {
-                    net.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
-                }
-            }
-            // Fault hook: an injected drop (or a failed ejection-time
-            // integrity check) eats the flit here — after the upstream
-            // credit return, instead of link delivery or ejection.
-            #[cfg(feature = "faults")]
-            if crate::faults::intercept_departure(net, i, dep) {
-                continue;
-            }
-            if dep.out == Direction::Local {
-                if dep.flit.kind.is_tail() {
-                    net.delivered[i].push(dep.flit.packet);
-                    disco_trace::emit!(
-                        net.tracer,
-                        disco_trace::Event::Eject {
-                            packet: dep.flit.packet.0,
-                            node: i as u16,
-                        }
-                    );
-                }
-            } else {
-                let Some(next) = net.mesh.neighbor(NodeId(i), dep.out) else {
-                    // All supported routing functions are minimal and
-                    // stay inside the mesh; dropping the flit here beats
-                    // corrupting a neighbour that doesn't exist. The
-                    // compute phase counted it in routing_violations.
-                    debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
-                    continue;
-                };
-                let mut flit = dep.flit;
-                flit.ready_at = now + net.config.pipeline_stages;
-                net.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
+    commit_router_local(&mut net.routers[i], outcome);
+    // Cycle-stamp this router's compute-phase events here, in node
+    // order: the trace byte-stream is then independent of how the
+    // compute phase was scheduled across shards.
+    #[cfg(feature = "trace")]
+    net.tracer.record_all(&outcome.events);
+    for dep in &outcome.departures {
+        // Return a credit upstream for the freed slot.
+        if dep.in_port != Direction::Local.index() {
+            let from_dir = Direction::ALL[dep.in_port];
+            if let Some(up) = net.mesh.neighbor(NodeId(i), from_dir) {
+                net.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
             }
         }
-        net.stats.accumulate(&outcome.stats);
+        // Fault hook: an injected drop (or a failed ejection-time
+        // integrity check) eats the flit here — after the upstream
+        // credit return, instead of link delivery or ejection.
         #[cfg(feature = "faults")]
-        if let Some(ctx) = net.faults.as_mut() {
-            ctx.stats.port_stall_cycles += outcome.fault_port_stalls;
+        if crate::faults::intercept_departure(net, i, dep) {
+            continue;
+        }
+        if dep.out == Direction::Local {
+            if dep.flit.kind.is_tail() {
+                net.delivered[i].push(dep.flit.packet);
+                disco_trace::emit!(
+                    net.tracer,
+                    disco_trace::Event::Eject {
+                        packet: dep.flit.packet.0,
+                        node: i as u16,
+                    }
+                );
+            }
+        } else {
+            let Some(next) = net.mesh.neighbor(NodeId(i), dep.out) else {
+                // All supported routing functions are minimal and
+                // stay inside the mesh; dropping the flit here beats
+                // corrupting a neighbour that doesn't exist. The
+                // compute phase counted it in routing_violations.
+                debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
+                continue;
+            };
+            let mut flit = dep.flit;
+            flit.ready_at = now + net.config.pipeline_stages;
+            net.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
         }
     }
+    net.stats.accumulate(&outcome.stats);
+    #[cfg(feature = "faults")]
+    if let Some(ctx) = net.faults.as_mut() {
+        ctx.stats.port_stall_cycles += outcome.fault_port_stalls;
+    }
+}
+
+/// Applies every shard slot's outcomes in shard order. Shard `s` owns
+/// the contiguous node range [`Network::shard_span`]`(s)`, so the
+/// running counter visits nodes exactly in order `0..n` — the same
+/// schedule the serial path produces.
+pub(crate) fn commit_cycle(net: &mut Network, slots: &mut [Mutex<ShardSlot>]) {
+    let mut node = 0;
+    for slot in slots.iter_mut() {
+        // The compute phase is over and we hold `&mut`: the lock cannot
+        // be contended, and a poisoned slot only means a compute worker
+        // panicked *after* the pool already re-raised the panic.
+        let slot = match slot.get_mut() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for outcome in &slot.outcomes {
+            commit_node(net, node, outcome);
+            node += 1;
+        }
+    }
+    debug_assert_eq!(
+        node,
+        net.routers.len(),
+        "shard slots must tile the node range"
+    );
 }

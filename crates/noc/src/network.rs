@@ -2,11 +2,30 @@
 //! the extension API the DISCO layer drives.
 
 use crate::config::{FlowControl, NocConfig};
-use crate::packet::{flits_for, Packet, PacketClass, PacketId, PacketStore, Payload};
+use crate::packet::{flit_at, Packet, PacketClass, PacketId, PacketStore, Payload};
+use crate::phase::{ComputeScratch, RouterOutcome};
 use crate::router::Router;
 use crate::stats::NetworkStats;
 use crate::topology::{Direction, Mesh, NodeId};
 use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One shard's reusable compute arena: the outcome slots for the
+/// shard's contiguous router range plus the RC/VA/SA scratch space.
+/// Allocations grow to their high-water mark once and are reused every
+/// cycle afterwards — the steady-state compute phase allocates nothing.
+///
+/// The `Mutex` is uncontended by construction (shards are disjoint and
+/// each worker touches only its own slot); it exists to make the
+/// hand-off to worker threads safe in the type system without putting
+/// any interior mutability into the pure compute code itself.
+#[derive(Debug, Default)]
+pub(crate) struct ShardSlot {
+    /// One outcome per router in this shard's span, in node order.
+    pub(crate) outcomes: Vec<RouterOutcome>,
+    /// Overlay + candidate arenas reused across the shard's routers.
+    pub(crate) scratch: ComputeScratch,
+}
 
 /// Maximum packet size in flits: an uncompressed 64 B payload.
 pub const MAX_PACKET_FLITS: usize = disco_compress::LINE_BYTES / crate::packet::FLIT_BYTES;
@@ -50,10 +69,19 @@ pub struct Network {
     pub(crate) delivered: Vec<Vec<PacketId>>,
     pub(crate) stats: NetworkStats,
     pub(crate) now: u64,
+    /// Per-shard compute arenas, taken out of `self` for the duration of
+    /// each tick's compute + commit so the phases can borrow the network
+    /// and the slots independently. Length equals the shard count.
+    scratch: Vec<Mutex<ShardSlot>>,
     /// Worker count for the compute phase, resolved once at build time
     /// from [`NocConfig::compute_shards`] and the host.
     #[cfg(feature = "parallel")]
     shards: usize,
+    /// Persistent compute workers (`shards - 1` parked threads), spawned
+    /// once at construction. `None` when one shard suffices — the serial
+    /// path must not pay any pool cost, not even an idle thread.
+    #[cfg(feature = "parallel")]
+    pool: Option<crate::pool::WorkerPool>,
     /// Cycle-stamped trace event collector. Fed only from the serial
     /// paths (NI injection, the commit pass), so its byte stream is
     /// independent of the compute-phase shard count.
@@ -101,6 +129,10 @@ impl Network {
             );
         }
         let n = mesh.nodes();
+        #[cfg(feature = "parallel")]
+        let shards = effective_shards(config.compute_shards, n);
+        #[cfg(not(feature = "parallel"))]
+        let shards = 1;
         Network {
             mesh,
             config,
@@ -112,8 +144,17 @@ impl Network {
             delivered: vec![Vec::new(); n],
             stats: NetworkStats::new(),
             now: 0,
+            scratch: (0..shards)
+                .map(|_| Mutex::new(ShardSlot::default()))
+                .collect(),
             #[cfg(feature = "parallel")]
-            shards: effective_shards(config.compute_shards, n),
+            shards,
+            #[cfg(feature = "parallel")]
+            pool: if shards > 1 {
+                Some(crate::pool::WorkerPool::new(shards - 1))
+            } else {
+                None
+            },
             #[cfg(feature = "trace")]
             tracer: disco_trace::Tracer::default(),
             #[cfg(feature = "faults")]
@@ -134,6 +175,43 @@ impl Network {
         {
             1
         }
+    }
+
+    /// Number of live pool worker threads. `0` whenever one shard
+    /// suffices: the serial path never spins up a pool (pinned by
+    /// `tests/determinism.rs`).
+    pub fn pool_workers(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.pool.as_ref().map_or(0, |p| p.workers())
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            0
+        }
+    }
+
+    /// The contiguous router range shard `shard` owns. Spans tile
+    /// `0..nodes` in shard order, which is what lets the commit pass
+    /// walk shard slots sequentially and still visit nodes in order.
+    pub fn shard_span(&self, shard: usize) -> std::ops::Range<usize> {
+        let n = self.routers.len();
+        let chunk = n.div_ceil(self.compute_shards().max(1));
+        let start = (shard * chunk).min(n);
+        start..(start + chunk).min(n)
+    }
+
+    /// Runs `task(shard)` for every shard index, on the persistent pool
+    /// when one exists (shard 0 on the calling thread, the rest on
+    /// parked workers) and inline otherwise. The DISCO layer reuses this
+    /// for its candidate scan so both phases share one worker set.
+    pub fn run_sharded(&self, task: &(dyn Fn(usize) + Sync)) {
+        #[cfg(feature = "parallel")]
+        if let Some(pool) = &self.pool {
+            pool.run(task);
+            return;
+        }
+        task(0);
     }
 
     /// Current cycle.
@@ -329,63 +407,80 @@ impl Network {
         #[cfg(feature = "faults")]
         crate::faults::drain_retransmits(self);
         self.inject();
-        let outcomes = self.compute_phase();
-        crate::commit::commit_cycle(self, &outcomes);
+        // Detach the arenas from `self` so the compute phase can borrow
+        // the network immutably and the slots mutably at the same time.
+        let mut slots = std::mem::take(&mut self.scratch);
+        self.compute_phase(&mut slots);
+        crate::commit::commit_cycle(self, &mut slots);
+        self.scratch = slots;
         #[cfg(feature = "validate")]
         if let Err(msg) = self.check_invariants() {
             panic!("validate: cycle {}: {msg}", self.now);
         }
     }
 
-    /// Runs [`crate::phase::compute_router`] for every router. Routers
-    /// are disjoint state and the function is pure, so the sharded path
-    /// returns bit-identical outcomes in the same node order.
-    fn compute_phase(&self) -> Vec<crate::phase::RouterOutcome> {
+    /// Runs [`crate::phase::compute_router`] for every router, writing
+    /// into the reusable shard slots. Routers are disjoint state and the
+    /// function is pure, so the sharded path fills bit-identical
+    /// outcomes in the same node order.
+    fn compute_phase(&self, slots: &mut [Mutex<ShardSlot>]) {
         #[cfg(feature = "parallel")]
         if self.shards > 1 {
-            return self.compute_phase_sharded();
+            self.compute_phase_sharded(slots);
+            return;
         }
         let gate = self.fault_gate();
-        self.routers
-            .iter()
-            .map(|r| crate::phase::compute_router(r, self.now, &self.store, &self.mesh, gate))
-            .collect()
+        let slot = match slots[0].get_mut() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.outcomes
+            .resize_with(self.routers.len(), RouterOutcome::default);
+        for (i, router) in self.routers.iter().enumerate() {
+            crate::phase::compute_router(
+                router,
+                self.now,
+                &self.store,
+                &self.mesh,
+                gate,
+                &mut slot.scratch,
+                &mut slot.outcomes[i],
+            );
+        }
     }
 
-    /// Fans the per-router compute over scoped worker threads, one
-    /// contiguous router chunk per shard, and reassembles the outcomes
-    /// in node order.
+    /// Fans the per-router compute over the persistent pool: shard `s`
+    /// computes its contiguous span into slot `s`. Shards are pinned to
+    /// workers, so a slot's arena stays warm in one worker's cache
+    /// across cycles.
     #[cfg(feature = "parallel")]
-    fn compute_phase_sharded(&self) -> Vec<crate::phase::RouterOutcome> {
-        let chunk = self.routers.len().div_ceil(self.shards);
+    fn compute_phase_sharded(&self, slots: &mut [Mutex<ShardSlot>]) {
         let now = self.now;
-        let store = &self.store;
-        let mesh = &self.mesh;
         let gate = self.fault_gate();
-        let mut outcomes = Vec::with_capacity(self.routers.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .routers
-                .chunks(chunk)
-                .map(|routers| {
-                    s.spawn(move || {
-                        routers
-                            .iter()
-                            .map(|r| crate::phase::compute_router(r, now, store, mesh, gate))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join() {
-                    Ok(shard) => outcomes.extend(shard),
-                    // A worker panic is a simulator bug (compute is pure);
-                    // re-panic on the main thread with context.
-                    Err(_) => panic!("compute-phase worker panicked"),
-                }
+        let slots: &[Mutex<ShardSlot>] = slots;
+        self.run_sharded(&|shard| {
+            let span = self.shard_span(shard);
+            // Uncontended by construction: worker `shard` is the only
+            // thread that ever touches slot `shard` during a run.
+            let mut slot = match slots[shard].lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let slot = &mut *slot;
+            slot.outcomes
+                .resize_with(span.len(), RouterOutcome::default);
+            for (k, i) in span.enumerate() {
+                crate::phase::compute_router(
+                    &self.routers[i],
+                    now,
+                    &self.store,
+                    &self.mesh,
+                    gate,
+                    &mut slot.scratch,
+                    &mut slot.outcomes[k],
+                );
             }
         });
-        outcomes
     }
 
     /// NI injection: one flit per node per cycle, round-robin over VCs.
@@ -420,8 +515,8 @@ impl Network {
                 if self.routers[node].free_slots(local, vc) == 0 {
                     continue;
                 }
-                let flits = flits_for(prog.packet, prog.total, self.now + 1);
-                self.routers[node].accept(local, vc, flits[prog.sent]);
+                let flit = flit_at(prog.packet, prog.sent, prog.total, self.now + 1);
+                self.routers[node].accept(local, vc, flit);
                 self.stats.buffer_writes += 1;
                 prog.sent += 1;
                 if prog.sent < prog.total {
@@ -526,6 +621,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::flits_for;
     use disco_compress::CacheLine;
 
     fn net(cols: usize, rows: usize) -> Network {

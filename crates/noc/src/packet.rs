@@ -164,21 +164,70 @@ pub struct Flit {
     pub ready_at: u64,
 }
 
+/// Builds flit `index` of a packet of `size` flits — the allocation-free
+/// single-flit form the NI injection hot path uses.
+pub fn flit_at(id: PacketId, index: usize, size: usize, ready_at: u64) -> Flit {
+    debug_assert!(
+        index < size,
+        "flit index {index} out of a {size}-flit packet"
+    );
+    Flit {
+        packet: id,
+        kind: match (index, size) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (i, s) if i == s - 1 => FlitKind::Tail,
+            _ => FlitKind::Body,
+        },
+        ready_at,
+    }
+}
+
 /// Builds the flit sequence for a packet of `size` flits.
 pub fn flits_for(id: PacketId, size: usize, ready_at: u64) -> Vec<Flit> {
     assert!(size >= 1, "packets have at least a head flit");
-    (0..size)
-        .map(|i| Flit {
-            packet: id,
-            kind: match (i, size) {
-                (0, 1) => FlitKind::HeadTail,
-                (0, _) => FlitKind::Head,
-                (i, s) if i == s - 1 => FlitKind::Tail,
-                _ => FlitKind::Body,
-            },
-            ready_at,
-        })
-        .collect()
+    (0..size).map(|i| flit_at(id, i, size, ready_at)).collect()
+}
+
+/// Multiplicative hasher for the store's `u64` packet-id keys. Ids are
+/// dense and monotonic, so a single Fibonacci-hash multiply spreads them
+/// across buckets as well as SipHash does — without SipHash's per-lookup
+/// cost, which profiled as a top entry in the cycle kernel (`store.get`
+/// runs for every RC/VA/SA stage of every active VC, every cycle).
+/// HashDoS resistance is irrelevant here: keys are simulator-assigned,
+/// never adversarial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHashBuilder;
+
+/// Hasher state for [`IdHashBuilder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::BuildHasher for IdHashBuilder {
+    type Hasher = IdHasher;
+
+    fn build_hasher(&self) -> IdHasher {
+        IdHasher(0)
+    }
+}
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64 key path): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // 2^64 / φ — the classic Fibonacci multiplier mixes low-entropy
+        // sequential ids into the high bits HashMap's bucket index uses.
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
 }
 
 /// Central owner of all in-flight packets. Flits reference packets by id;
@@ -186,7 +235,7 @@ pub fn flits_for(id: PacketId, size: usize, ready_at: u64) -> Vec<Flit> {
 #[derive(Debug, Default)]
 pub struct PacketStore {
     next: u64,
-    packets: HashMap<u64, Packet>,
+    packets: HashMap<u64, Packet, IdHashBuilder>,
 }
 
 impl PacketStore {

@@ -2,11 +2,18 @@
 //!
 //! [`compute_router`] runs one router's RC, VA, and SA stages as a pure
 //! function over an immutable snapshot of that router's state at the
-//! start of the cycle, and returns the decisions as typed action lists
-//! ([`RouterOutcome`]). It mutates nothing: within-cycle dependencies
-//! (VA sees this cycle's RC, SA sees this cycle's VA) are tracked in
-//! small local overlays of the per-VC state and the output allocation
-//! table, while buffers and credits are only read.
+//! start of the cycle, and writes the decisions as typed action lists
+//! into a caller-provided [`RouterOutcome`]. It mutates no router state:
+//! within-cycle dependencies (VA sees this cycle's RC, SA sees this
+//! cycle's VA) are tracked in small overlays of the per-VC state and the
+//! output allocation table, while buffers and credits are only read.
+//!
+//! The overlays and the SA candidate list live in a reusable
+//! [`ComputeScratch`] arena, and the outcome's action lists are cleared
+//! (not reallocated) on entry — so a steady-state cycle performs **zero
+//! heap allocations**: every buffer reaches its high-water capacity once
+//! and is reused for the rest of the run. `crates/noc/tests` pins this
+//! with a counting global allocator.
 //!
 //! Because every router's outcome depends only on the cycle-start
 //! snapshot, the compute phase may run for all routers in any order —
@@ -33,7 +40,9 @@ pub(crate) struct Departure {
 
 /// Everything one router decided in one cycle's compute phase: typed
 /// action lists plus this router's stat delta. The commit pass applies
-/// the lists in node order; nothing here aliases router state.
+/// the lists in node order; nothing here aliases router state. Outcomes
+/// are arena-owned and reused across cycles — [`RouterOutcome::reset`]
+/// clears contents while keeping every allocation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RouterOutcome {
     /// RC results: `(in_port, in_vc, out_dir)` — the VC becomes `Routed`.
@@ -62,6 +71,40 @@ pub(crate) struct RouterOutcome {
     pub fault_port_stalls: u64,
 }
 
+impl RouterOutcome {
+    /// Clears per-cycle contents while retaining every allocation, and
+    /// seeds the round-robin pointers from the router snapshot.
+    fn reset(&mut self, rr_sa: [usize; PORTS]) {
+        self.routes.clear();
+        self.grants.clear();
+        self.departures.clear();
+        self.sa_losers.clear();
+        self.rr_sa = rr_sa;
+        self.stats = NetworkStats::new();
+        #[cfg(feature = "trace")]
+        self.events.0.clear();
+        #[cfg(feature = "faults")]
+        {
+            self.fault_port_stalls = 0;
+        }
+    }
+}
+
+/// Reusable per-shard working memory for [`compute_router`]: the RC/VA
+/// overlays and the SA candidate list. One arena serves every router of
+/// a shard in sequence; capacities grow to the high-water mark once and
+/// then stay — no per-router, per-cycle allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ComputeScratch {
+    /// VC-state overlay (VA sees this cycle's RC), `port * vcs + vc`.
+    state: Vec<VcState>,
+    /// Output-allocation overlay (SA sees this cycle's VA), same layout.
+    alloc: Vec<Option<(usize, usize)>>,
+    /// SA candidates for the output port under arbitration:
+    /// `(port, vc, out_vc, prio)`.
+    candidates: Vec<(usize, usize, usize, u8)>,
+}
+
 /// Priority class for switch allocation (§3.3-B): lower wins.
 fn sa_priority(router: &Router, store: &PacketStore, packet: PacketId) -> u8 {
     let pkt = store.get(packet);
@@ -86,41 +129,49 @@ fn class_vcs(router: &Router, class: PacketClass) -> std::ops::Range<usize> {
 }
 
 /// Runs RC + VA + SA for one router against its cycle-start snapshot and
-/// returns the typed outcome. Pure: `router` is only read.
+/// writes the typed outcome into `out`. Pure with respect to the router:
+/// `router` is only read; the only mutation targets are the caller's
+/// arena (`scratch`) and outcome slot (`out`), which alias no router
+/// state.
 pub(crate) fn compute_router(
     router: &Router,
     now: u64,
     store: &PacketStore,
     mesh: &Mesh,
     gate: crate::faults::FaultGate<'_>,
-) -> RouterOutcome {
+    scratch: &mut ComputeScratch,
+    out: &mut RouterOutcome,
+) {
+    out.reset(router.rr_sa);
+    // Idle fast path: with no buffered flit there is no RC candidate, no
+    // VA-eligible VC with a front packet, no SA candidate, and no VA
+    // loser — the stage loops below would decide nothing. On big meshes
+    // most routers are idle most cycles; skip them outright.
+    if router.total_buffered() == 0 {
+        return;
+    }
     let vcs = router.config.vcs;
     let flat = |port: usize, v: usize| port * vcs + v;
     // Local overlays: VA must see this cycle's RC and SA must see this
     // cycle's VA, all without touching the router.
-    let mut state: Vec<VcState> = Vec::with_capacity(PORTS * vcs);
-    for port in 0..PORTS {
-        for v in 0..vcs {
-            state.push(router.inputs[port][v].state);
-        }
+    let ComputeScratch {
+        state,
+        alloc,
+        candidates,
+    } = scratch;
+    state.clear();
+    alloc.clear();
+    for i in 0..PORTS * vcs {
+        state.push(router.inputs[i].state);
+        alloc.push(router.out_alloc[i]);
     }
-    let mut alloc: Vec<Option<(usize, usize)>> = Vec::with_capacity(PORTS * vcs);
-    for oi in 0..PORTS {
-        for ov in 0..vcs {
-            alloc.push(router.out_alloc[oi][ov]);
-        }
-    }
-    let mut outcome = RouterOutcome {
-        rr_sa: router.rr_sa,
-        ..RouterOutcome::default()
-    };
 
     // RC + VA, in the same (port, vc) order as the legacy in-place loop.
     for port in 0..PORTS {
         for v in 0..vcs {
             // RC: a fresh head flit gets its output direction.
             if state[flat(port, v)] == VcState::Idle {
-                let front = match router.inputs[port][v].buffer.front() {
+                let front = match router.inputs[flat(port, v)].buffer.front() {
                     Some(f) if f.kind.is_head() && f.ready_at <= now => *f,
                     _ => continue,
                 };
@@ -135,7 +186,7 @@ pub(crate) fn compute_router(
                     |d| {
                         group
                             .clone()
-                            .map(|vc| router.credits[d.index()][vc])
+                            .map(|vc| router.credits[flat(d.index(), vc)])
                             .max()
                             .unwrap_or(0)
                     },
@@ -144,9 +195,9 @@ pub(crate) fn compute_router(
                 // exists; the identity when no fault plan is active.
                 let dir = gate.adjust_route(mesh, router.node, pkt.dst, dir);
                 state[flat(port, v)] = VcState::Routed(dir);
-                outcome.routes.push((port, v, dir));
+                out.routes.push((port, v, dir));
                 disco_trace::emit!(
-                    outcome.events,
+                    out.events,
                     disco_trace::Event::Route {
                         packet: front.packet.0,
                         node: router.node.0 as u16,
@@ -158,7 +209,7 @@ pub(crate) fn compute_router(
             }
             // VA: acquire the class VC on the output port.
             if let VcState::Routed(dir) = state[flat(port, v)] {
-                let packet = match router.inputs[port][v].front_packet() {
+                let packet = match router.inputs[flat(port, v)].front_packet() {
                     Some(p) => p,
                     None => continue,
                 };
@@ -172,15 +223,15 @@ pub(crate) fn compute_router(
                     }
                     match router.config.flow_control {
                         FlowControl::Wormhole => true,
-                        _ => router.credits[dir.index()][cand] >= pkt.size_flits(),
+                        _ => router.credits[flat(dir.index(), cand)] >= pkt.size_flits(),
                     }
                 });
                 let Some(out_vc) = out_vc else { continue };
                 alloc[flat(dir.index(), out_vc)] = Some((port, v));
                 state[flat(port, v)] = VcState::Active { out: dir, out_vc };
-                outcome.grants.push((port, v, dir, out_vc));
+                out.grants.push((port, v, dir, out_vc));
                 disco_trace::emit!(
-                    outcome.events,
+                    out.events,
                     disco_trace::Event::VcAlloc {
                         packet: packet.0,
                         node: router.node.0 as u16,
@@ -198,21 +249,21 @@ pub(crate) fn compute_router(
     // read from the snapshot only — each output is arbitrated exactly
     // once per cycle and outputs never share a credit counter, so no
     // overlay is needed.
-    for out in Direction::ALL {
-        let oi = out.index();
-        // Gather candidates: active VCs routed to this output with a
-        // ready front flit and downstream credit.
-        let mut candidates: Vec<(usize, usize, usize, u8)> = Vec::new(); // (port, vc, out_vc, prio)
+    for outdir in Direction::ALL {
+        let oi = outdir.index();
+        // Gather candidates into the reusable arena: active VCs routed to
+        // this output with a ready front flit and downstream credit.
+        candidates.clear();
         for port in 0..PORTS {
             for v in 0..vcs {
                 let (o, out_vc) = match state[flat(port, v)] {
                     VcState::Active { out: o, out_vc } => (o, out_vc),
                     _ => continue,
                 };
-                if o != out {
+                if o != outdir {
                     continue;
                 }
-                let vc = &router.inputs[port][v];
+                let vc = &router.inputs[flat(port, v)];
                 let front = match vc.buffer.front() {
                     Some(f) if f.ready_at <= now => *f,
                     _ => continue,
@@ -222,10 +273,10 @@ pub(crate) fn compute_router(
                     // and must not be scheduled.
                     continue;
                 }
-                if router.credits[oi][out_vc] == 0 {
-                    outcome.sa_losers.push((port, v));
+                if router.credits[flat(oi, out_vc)] == 0 {
+                    out.sa_losers.push((port, v));
                     disco_trace::emit!(
-                        outcome.events,
+                        out.events,
                         disco_trace::Event::VcStall {
                             packet: front.packet.0,
                             node: router.node.0 as u16,
@@ -255,16 +306,16 @@ pub(crate) fn compute_router(
         // candidate.
         #[cfg(feature = "faults")]
         if !candidates.is_empty()
-            && out != Direction::Local
+            && outdir != Direction::Local
             && gate.output_blocked(now, router.node.0, oi)
         {
-            outcome.fault_port_stalls += 1;
-            for c in &candidates {
-                outcome.sa_losers.push((c.0, c.1));
+            out.fault_port_stalls += 1;
+            for c in candidates.iter() {
+                out.sa_losers.push((c.0, c.1));
                 disco_trace::emit!(
-                    outcome.events,
+                    out.events,
                     disco_trace::Event::VcStall {
-                        packet: router.inputs[c.0][c.1]
+                        packet: router.inputs[flat(c.0, c.1)]
                             .buffer
                             .front()
                             .map_or(0, |f| f.packet.0),
@@ -280,7 +331,7 @@ pub(crate) fn compute_router(
         // Winner: highest priority class, round-robin within it. The
         // lexicographic key picks the best-priority candidate closest
         // after the round-robin pointer.
-        let rr = outcome.rr_sa[oi];
+        let rr = out.rr_sa[oi];
         let Some(winner) = candidates
             .iter()
             .min_by_key(|c| {
@@ -291,15 +342,15 @@ pub(crate) fn compute_router(
         else {
             continue;
         };
-        outcome.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
+        out.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
         // Everyone else idles: these are DISCO's compression candidates.
-        for c in &candidates {
+        for c in candidates.iter() {
             if (c.0, c.1) != (winner.0, winner.1) {
-                outcome.sa_losers.push((c.0, c.1));
+                out.sa_losers.push((c.0, c.1));
                 disco_trace::emit!(
-                    outcome.events,
+                    out.events,
                     disco_trace::Event::VcStall {
-                        packet: router.inputs[c.0][c.1]
+                        packet: router.inputs[flat(c.0, c.1)]
                             .buffer
                             .front()
                             .map_or(0, |f| f.packet.0),
@@ -312,7 +363,7 @@ pub(crate) fn compute_router(
             }
         }
         let (port, v, out_vc, _) = winner;
-        let flit = match router.inputs[port][v].buffer.front() {
+        let flit = match router.inputs[flat(port, v)].buffer.front() {
             Some(f) => *f,
             None => {
                 // A candidate was admitted above only with a ready front
@@ -333,7 +384,7 @@ pub(crate) fn compute_router(
         #[cfg(feature = "trace")]
         if flit.kind.is_head() || flit.kind.is_tail() {
             disco_trace::emit!(
-                outcome.events,
+                out.events,
                 disco_trace::Event::Traverse {
                     packet: flit.packet.0,
                     node: router.node.0 as u16,
@@ -343,11 +394,11 @@ pub(crate) fn compute_router(
                 }
             );
         }
-        outcome.departures.push(Departure {
+        out.departures.push(Departure {
             flit,
             in_port: port,
             in_vc: v,
-            out,
+            out: outdir,
             out_vc,
         });
     }
@@ -356,15 +407,15 @@ pub(crate) fn compute_router(
     // (§3.2 step 1 collects losers of both VC and switch allocation).
     for port in 0..PORTS {
         for v in 0..vcs {
-            let vc = &router.inputs[port][v];
+            let vc = &router.inputs[flat(port, v)];
             if vc.locked {
                 continue;
             }
             if let VcState::Routed(_) = state[flat(port, v)] {
                 if matches!(vc.buffer.front(), Some(f) if f.ready_at <= now) {
-                    outcome.sa_losers.push((port, v));
+                    out.sa_losers.push((port, v));
                     disco_trace::emit!(
-                        outcome.events,
+                        out.events,
                         disco_trace::Event::VcStall {
                             packet: vc.buffer.front().map_or(0, |f| f.packet.0),
                             node: router.node.0 as u16,
@@ -380,33 +431,32 @@ pub(crate) fn compute_router(
 
     // Stat delta: everything the legacy loop counted inline, derived
     // purely from the decisions above.
-    outcome.stats.sa_losses = outcome.sa_losers.len() as u64;
-    if !outcome.departures.is_empty() {
-        outcome.stats.arbitrations = 1;
+    out.stats.sa_losses = out.sa_losers.len() as u64;
+    if !out.departures.is_empty() {
+        out.stats.arbitrations = 1;
     }
-    for dep in &outcome.departures {
-        outcome.stats.buffer_reads += 1;
-        outcome.stats.crossbar_flits += 1;
+    for dep in &out.departures {
+        out.stats.buffer_reads += 1;
+        out.stats.crossbar_flits += 1;
         if dep.out == Direction::Local {
             if dep.flit.kind.is_tail() {
                 let pkt = store.get(dep.flit.packet);
-                outcome.stats.packets_delivered += 1;
+                out.stats.packets_delivered += 1;
                 let latency = now - pkt.injected_at;
-                outcome.stats.total_packet_latency += latency;
-                outcome.stats.total_hops += mesh.hops(pkt.src, pkt.dst) as u64;
+                out.stats.total_packet_latency += latency;
+                out.stats.total_hops += mesh.hops(pkt.src, pkt.dst) as u64;
                 let ci = crate::stats::class_index(pkt.class);
-                outcome.stats.delivered_by_class[ci] += 1;
-                outcome.stats.latency_by_class[ci] += latency;
+                out.stats.delivered_by_class[ci] += 1;
+                out.stats.latency_by_class[ci] += latency;
             }
         } else if mesh.neighbor(router.node, dep.out).is_some() {
-            outcome.stats.link_flits += 1;
-            outcome.stats.buffer_writes += 1;
+            out.stats.link_flits += 1;
+            out.stats.buffer_writes += 1;
         } else {
             // The commit pass drops this flit (no neighbour to corrupt);
             // the counter keeps the conservation bug visible in release
             // builds where the debug assertion is compiled out.
-            outcome.stats.routing_violations += 1;
+            out.stats.routing_violations += 1;
         }
     }
-    outcome
 }

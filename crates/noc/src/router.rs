@@ -40,9 +40,12 @@ pub struct Vc {
 }
 
 impl Vc {
-    fn new() -> Self {
+    /// Builds an empty VC with its buffer storage preallocated to the
+    /// configured depth, so steady-state flit acceptance never grows the
+    /// deque (the zero-allocation hot-loop contract).
+    fn with_depth(depth: usize) -> Self {
         Vc {
-            buffer: VecDeque::new(),
+            buffer: VecDeque::with_capacity(depth),
             state: VcState::Idle,
             locked: false,
         }
@@ -93,13 +96,22 @@ impl Vc {
 
     /// Distinct packets resident in this buffer, in queue order.
     pub fn resident_packets(&self) -> Vec<PacketId> {
-        let mut out: Vec<PacketId> = Vec::new();
-        for f in &self.buffer {
-            if out.last() != Some(&f.packet) {
-                out.push(f.packet);
+        self.resident_packets_iter().collect()
+    }
+
+    /// Iterator form of [`resident_packets`](Self::resident_packets) —
+    /// the candidate-scan hot loop uses this to avoid a per-VC
+    /// allocation.
+    pub fn resident_packets_iter(&self) -> impl Iterator<Item = PacketId> + '_ {
+        let mut prev: Option<PacketId> = None;
+        self.buffer.iter().filter_map(move |f| {
+            if prev == Some(f.packet) {
+                None
+            } else {
+                prev = Some(f.packet);
+                Some(f.packet)
             }
-        }
-        out
+        })
     }
 }
 
@@ -111,28 +123,39 @@ impl Vc {
 pub struct Router {
     pub(crate) node: NodeId,
     pub(crate) config: NocConfig,
-    pub(crate) inputs: Vec<Vec<Vc>>,
-    /// Which (in_port, in_vc) currently owns each (out_port, out_vc).
-    pub(crate) out_alloc: Vec<Vec<Option<(usize, usize)>>>,
-    /// Free slots in the downstream input buffer per (out_port, out_vc).
-    pub(crate) credits: Vec<Vec<usize>>,
+    /// Input VCs in struct-of-arrays layout, flattened `port * vcs + vc`.
+    /// One contiguous allocation keeps the compute phase's inner loops on
+    /// a single cache-friendly array instead of chasing per-port Vecs.
+    pub(crate) inputs: Vec<Vc>,
+    /// Which (in_port, in_vc) currently owns each output VC, flattened
+    /// `out_port * vcs + out_vc`.
+    pub(crate) out_alloc: Vec<Option<(usize, usize)>>,
+    /// Free slots in the downstream input buffer, flattened
+    /// `out_port * vcs + out_vc`.
+    pub(crate) credits: Vec<usize>,
     /// Per-output round-robin pointer over flattened (port, vc) inputs.
     pub(crate) rr_sa: [usize; PORTS],
     /// Switch-allocation losers of the last cycle: the idling packets the
     /// DISCO arbitrator filters (§3.2 step 1).
     pub(crate) sa_losers: Vec<(usize, usize)>,
+    /// Total flits buffered across all input VCs, maintained on every
+    /// accept/pop/reshape. `0` lets the compute phase skip the router
+    /// outright — on large meshes most routers are idle most cycles.
+    pub(crate) buffered: usize,
 }
 
 impl Router {
     pub(crate) fn new(node: NodeId, config: NocConfig) -> Self {
-        let inputs = (0..PORTS)
-            .map(|_| (0..config.vcs).map(|_| Vc::new()).collect())
+        let inputs = (0..PORTS * config.vcs)
+            .map(|_| Vc::with_depth(config.buffer_depth))
             .collect();
-        let out_alloc = vec![vec![None; config.vcs]; PORTS];
+        let out_alloc = vec![None; PORTS * config.vcs];
         // The local (ejection) output is modelled with unlimited credits;
         // inter-router outputs start with the full downstream buffer.
-        let mut credits = vec![vec![config.buffer_depth; config.vcs]; PORTS];
-        credits[Direction::Local.index()] = vec![usize::MAX / 2; config.vcs];
+        let mut credits = vec![config.buffer_depth; PORTS * config.vcs];
+        for v in 0..config.vcs {
+            credits[Direction::Local.index() * config.vcs + v] = usize::MAX / 2;
+        }
         Router {
             node,
             config,
@@ -140,8 +163,15 @@ impl Router {
             out_alloc,
             credits,
             rr_sa: [0; PORTS],
-            sa_losers: Vec::new(),
+            sa_losers: Vec::with_capacity(PORTS * config.vcs),
+            buffered: 0,
         }
+    }
+
+    /// Flat index of `(port, vc)` into the SoA state arrays.
+    #[inline]
+    pub(crate) fn idx(&self, port: usize, vc: usize) -> usize {
+        port * self.config.vcs + vc
     }
 
     /// The node this router serves.
@@ -155,19 +185,19 @@ impl Router {
     ///
     /// Panics if `port`/`vc` are out of range.
     pub fn vc(&self, port: usize, vc: usize) -> &Vc {
-        &self.inputs[port][vc]
+        &self.inputs[self.idx(port, vc)]
     }
 
     /// Free slots reported by the downstream router for `(dir, vc)` — the
     /// `credit_in` signal of the confidence counter (Fig. 3).
     pub fn credit_in(&self, dir: Direction, vc: usize) -> usize {
-        self.credits[dir.index()][vc]
+        self.credits[self.idx(dir.index(), vc)]
     }
 
     /// Occupied slots of a local input VC — the complement of the
     /// `credit_out` signal this router sends upstream.
     pub fn local_occupancy(&self, port: usize, vc: usize) -> usize {
-        self.inputs[port][vc].buffer.len()
+        self.inputs[self.idx(port, vc)].buffer.len()
     }
 
     /// Switch-allocation losers of the last cycle (input port, vc).
@@ -177,7 +207,8 @@ impl Router {
 
     /// Sets or clears the DISCO shadow lock on a VC.
     pub fn set_locked(&mut self, port: usize, vc: usize, locked: bool) {
-        self.inputs[port][vc].locked = locked;
+        let idx = self.idx(port, vc);
+        self.inputs[idx].locked = locked;
     }
 
     /// Accepts a flit arriving on an input port (from a link or the NI).
@@ -189,19 +220,34 @@ impl Router {
     /// Panics if the buffer is full — credits must prevent that; an
     /// overflow is a flow-control bug, not a runtime condition.
     pub fn accept(&mut self, port: usize, vc: usize, flit: Flit) {
-        let buf = &mut self.inputs[port][vc].buffer;
+        let idx = self.idx(port, vc);
+        let depth = self.config.buffer_depth;
+        let node = self.node;
+        let buf = &mut self.inputs[idx].buffer;
         assert!(
-            buf.len() < self.config.buffer_depth,
-            "buffer overflow at {} port {port} vc {vc}: flow control violated",
-            self.node
+            buf.len() < depth,
+            "buffer overflow at {node} port {port} vc {vc}: flow control violated"
         );
         buf.push_back(flit);
+        self.buffered += 1;
+    }
+
+    /// Pops the front flit of an input VC, keeping the occupancy counter
+    /// in sync. The commit pass uses this for every departure.
+    pub(crate) fn pop_front_flit(&mut self, port: usize, vc: usize) -> Option<Flit> {
+        let idx = self.idx(port, vc);
+        let flit = self.inputs[idx].buffer.pop_front();
+        if flit.is_some() {
+            self.buffered -= 1;
+        }
+        flit
     }
 
     /// Returns a credit to an output VC (downstream freed a slot).
     /// Public for the in-network-processing extension layer and tests.
     pub fn return_credit(&mut self, out: Direction, vc: usize) {
-        self.credits[out.index()][vc] += 1;
+        let idx = self.idx(out.index(), vc);
+        self.credits[idx] += 1;
     }
 
     /// Consumes `n` credits of an output VC if available (used when an
@@ -209,7 +255,8 @@ impl Router {
     /// happens in *this* router's input buffer, so this is called on the
     /// upstream router to account for the reduced free space).
     pub fn try_take_credits(&mut self, out: Direction, vc: usize, n: usize) -> bool {
-        let c = &mut self.credits[out.index()][vc];
+        let idx = self.idx(out.index(), vc);
+        let c = &mut self.credits[idx];
         if *c >= n {
             *c -= n;
             true
@@ -220,7 +267,7 @@ impl Router {
 
     /// Free slots in a local input VC buffer.
     pub fn free_slots(&self, port: usize, vc: usize) -> usize {
-        self.config.buffer_depth - self.inputs[port][vc].buffer.len()
+        self.config.buffer_depth - self.inputs[self.idx(port, vc)].buffer.len()
     }
 
     /// Rebuilds one resident packet's flits in place (DISCO
@@ -245,7 +292,8 @@ impl Router {
         now: u64,
     ) -> isize {
         let depth = self.config.buffer_depth;
-        let vc_ref = &mut self.inputs[port][vc];
+        let idx = self.idx(port, vc);
+        let vc_ref = &mut self.inputs[idx];
         let start = match vc_ref.buffer.iter().position(|f| f.packet == packet) {
             Some(s) => s,
             None => panic!("reshape requires {packet} resident at port {port} vc {vc}"),
@@ -289,12 +337,16 @@ impl Router {
             });
         }
         vc_ref.buffer.extend(after);
-        vc_ref.buffer.len() as isize - old_total as isize
+        let delta = vc_ref.buffer.len() as isize - old_total as isize;
+        self.buffered = (self.buffered as isize + delta) as usize;
+        delta
     }
 
     /// Total flits buffered across all input VCs (for drain checks).
+    /// Maintained incrementally; `check_invariants` cross-checks it
+    /// against the actual buffer contents.
     pub(crate) fn total_buffered(&self) -> usize {
-        self.inputs.iter().flatten().map(|v| v.buffer.len()).sum()
+        self.buffered
     }
 
     /// Checks this router's internal legality: buffer bounds, DISCO lock
@@ -308,9 +360,16 @@ impl Router {
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         let depth = self.config.buffer_depth;
+        let actual: usize = self.inputs.iter().map(|v| v.buffer.len()).sum();
+        if actual != self.buffered {
+            return Err(format!(
+                "{}: occupancy counter {} desynchronized from buffers ({actual} flits)",
+                self.node, self.buffered
+            ));
+        }
         for port in 0..PORTS {
             for v in 0..self.config.vcs {
-                let vc = &self.inputs[port][v];
+                let vc = &self.inputs[self.idx(port, v)];
                 if vc.buffer.len() > depth {
                     return Err(format!(
                         "{} port {port} vc {v}: occupancy {} exceeds buffer depth {depth}",
@@ -325,12 +384,12 @@ impl Router {
                     ));
                 }
                 if let VcState::Active { out, out_vc } = vc.state {
-                    if self.out_alloc[out.index()][out_vc] != Some((port, v)) {
+                    if self.out_alloc[self.idx(out.index(), out_vc)] != Some((port, v)) {
                         return Err(format!(
                             "{} port {port} vc {v}: active on {out:?}/{out_vc}, but that \
                              output is allocated to {:?}",
                             self.node,
-                            self.out_alloc[out.index()][out_vc]
+                            self.out_alloc[self.idx(out.index(), out_vc)]
                         ));
                     }
                 }
@@ -339,8 +398,8 @@ impl Router {
         for out in Direction::ALL {
             let oi = out.index();
             for ov in 0..self.config.vcs {
-                if let Some((port, v)) = self.out_alloc[oi][ov] {
-                    match self.inputs[port][v].state {
+                if let Some((port, v)) = self.out_alloc[self.idx(oi, ov)] {
+                    match self.inputs[self.idx(port, v)].state {
                         VcState::Active { out: o, out_vc } if o == out && out_vc == ov => {}
                         other => {
                             return Err(format!(
@@ -351,10 +410,11 @@ impl Router {
                         }
                     }
                 }
-                if out != Direction::Local && self.credits[oi][ov] > depth {
+                if out != Direction::Local && self.credits[self.idx(oi, ov)] > depth {
                     return Err(format!(
                         "{} output {out:?}/{ov}: {} credits exceed buffer depth {depth}",
-                        self.node, self.credits[oi][ov]
+                        self.node,
+                        self.credits[self.idx(oi, ov)]
                     ));
                 }
             }
@@ -368,13 +428,30 @@ mod tests {
     use super::*;
     use crate::commit::commit_router_local;
     use crate::packet::{PacketClass, PacketStore, Payload};
-    use crate::phase::{compute_router, Departure};
+    use crate::phase::{compute_router, ComputeScratch, Departure, RouterOutcome};
     use crate::topology::Mesh;
+
+    /// Runs the pure compute with throwaway arenas (production code
+    /// reuses them; tests don't care).
+    fn compute(r: &Router, now: u64, store: &PacketStore, mesh: &Mesh) -> RouterOutcome {
+        let mut scratch = ComputeScratch::default();
+        let mut out = RouterOutcome::default();
+        compute_router(
+            r,
+            now,
+            store,
+            mesh,
+            crate::faults::FaultGate::inert(),
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
 
     /// One router-local cycle: pure compute, then commit, as the network
     /// kernel does — minus the cross-router effects.
     fn step(r: &mut Router, now: u64, store: &PacketStore, mesh: &Mesh) -> Vec<Departure> {
-        let outcome = compute_router(r, now, store, mesh, crate::faults::FaultGate::inert());
+        let outcome = compute(r, now, store, mesh);
         commit_router_local(r, &outcome);
         outcome.departures
     }
@@ -396,7 +473,7 @@ mod tests {
             0,
             crate::packet::flits_for(id, 1, 0)[0],
         );
-        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
+        let outcome = compute(&r, 0, &store, &mesh);
         assert_eq!(
             outcome.routes,
             vec![(Direction::Local.index(), 0, Direction::East)]
@@ -418,7 +495,7 @@ mod tests {
             crate::packet::flits_for(id, 1, 0)[0],
         );
         let before = format!("{r:?}");
-        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
+        let outcome = compute(&r, 0, &store, &mesh);
         assert_eq!(format!("{r:?}"), before, "compute must not mutate");
         commit_router_local(&mut r, &outcome);
         assert_ne!(format!("{r:?}"), before, "commit applies the outcome");
@@ -438,7 +515,7 @@ mod tests {
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].out, Direction::East);
         // Tail departed: VC released.
-        assert_eq!(r.inputs[Direction::Local.index()][0].state, VcState::Idle);
+        assert_eq!(r.vc(Direction::Local.index(), 0).state, VcState::Idle);
         assert_eq!(
             r.credit_in(Direction::East, 0),
             NocConfig::default().buffer_depth - 1
@@ -671,7 +748,7 @@ mod tests {
         // both VCs stay Active on their granted output VC.
         let states: Vec<_> = [(Direction::Local.index(), 2), (Direction::North.index(), 3)]
             .into_iter()
-            .map(|(p, v)| r.inputs[p][v].state)
+            .map(|(p, v)| r.vc(p, v).state)
             .collect();
         let mut out_vcs = Vec::new();
         for st in states {
@@ -725,7 +802,7 @@ mod tests {
             2,
             crate::packet::flits_for(resp, 8, 0)[0],
         );
-        let outcome = compute_router(&r, 0, &store, &mesh, crate::faults::FaultGate::inert());
+        let outcome = compute(&r, 0, &store, &mesh);
         let grant_of = |port: usize, v: usize| {
             outcome
                 .grants

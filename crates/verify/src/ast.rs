@@ -1149,4 +1149,19 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert!(findings[0].1.contains("&mut"));
     }
+
+    /// Caller-provided scratch arenas are the sanctioned way for the
+    /// compute phase to avoid per-cycle allocation: extra `&mut`
+    /// out-params are fine as long as the *router* stays a shared
+    /// reference (the purity contract is about router state, not about
+    /// where the results are written).
+    #[test]
+    fn purity_accepts_mut_scratch_out_params() {
+        let arena = "pub fn compute_router(router: &Router, now: u64, \
+                     scratch: &mut ComputeScratch, out: &mut RouterOutcome) {}";
+        assert_eq!(
+            scan_compute_purity(arena, true).expect("parses"),
+            Vec::new()
+        );
+    }
 }

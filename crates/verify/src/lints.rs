@@ -44,6 +44,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/noc/src/router.rs",
     "crates/noc/src/network.rs",
     "crates/noc/src/phase.rs",
+    "crates/noc/src/pool.rs",
     "crates/noc/src/commit.rs",
     "crates/noc/src/routing.rs",
     "crates/noc/src/packet.rs",
@@ -294,6 +295,7 @@ fn is_mutated(rest: &str) -> bool {
 /// throughput measurement and are deliberately out of scope.)
 pub const WALLCLOCK_FREE: &[&str] = &[
     "crates/noc/src/phase.rs",
+    "crates/noc/src/pool.rs",
     "crates/noc/src/commit.rs",
     "crates/noc/src/network.rs",
     "crates/core/src/engine.rs",

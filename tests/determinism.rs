@@ -71,6 +71,97 @@ fn sharded_run_passes_validation() {
     assert!(stats.contains("noc.routing_violations = 0"));
 }
 
+/// The 16x16 leg: at 256 routers the parallel build actually engages
+/// the persistent worker pool (auto-sharding refuses to split meshes
+/// smaller than 16 routers per shard), so this is the configuration
+/// where a commit-order bug or a pool race would first become visible.
+/// 3 seeds × {Baseline, DISCO} × shards {1, 4, 16}, byte-compared.
+#[test]
+fn large_mesh_is_shard_invariant() {
+    let stats_16x16 = |seed: u64, placement: CompressionPlacement, shards: usize| {
+        let noc = NocConfig {
+            compute_shards: shards,
+            ..NocConfig::default()
+        };
+        let report = SimBuilder::new()
+            .mesh(16, 16)
+            .placement(placement)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(200)
+            .seed(seed)
+            .noc(noc)
+            .run()
+            .expect("16x16 matrix run drains");
+        let mut buf = Vec::new();
+        report.write_stats(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("stats are utf8")
+    };
+    // Serial builds ignore `compute_shards`, so each comparison there
+    // is a self-check; one matrix point keeps the default-feature test
+    // tier fast. The parallel build — where the pool actually runs —
+    // covers the full 3-seed × 2-placement matrix (CI's `parallel*`
+    // legs).
+    let seeds: &[u64] = if cfg!(feature = "parallel") {
+        &[1, 2, 3]
+    } else {
+        &[1]
+    };
+    let placements: &[CompressionPlacement] = if cfg!(feature = "parallel") {
+        &[CompressionPlacement::Baseline, CompressionPlacement::Disco]
+    } else {
+        &[CompressionPlacement::Disco]
+    };
+    for &seed in seeds {
+        for &placement in placements {
+            let serial = stats_16x16(seed, placement, 1);
+            for shards in [4, 16] {
+                assert_eq!(
+                    serial,
+                    stats_16x16(seed, placement, shards),
+                    "seed {seed}, {placement}: 16x16 diverged at {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+/// Dropping to 1 shard must route through the serial compute path with
+/// no worker pool spun up — a single-shard "parallel" run that parked a
+/// thread anyway would pay rendezvous cost for nothing. Conversely, a
+/// parallel build asked for N shards must hold N-1 parked workers
+/// (index 0 runs on the caller's thread).
+#[test]
+fn single_shard_spins_up_no_pool() {
+    use disco::noc::{Mesh, Network};
+
+    let noc = NocConfig {
+        compute_shards: 1,
+        ..NocConfig::default()
+    };
+    let net = Network::new(Mesh::new(4, 4), noc);
+    assert_eq!(net.compute_shards(), 1);
+    assert_eq!(
+        net.pool_workers(),
+        0,
+        "1 shard must not spin up a worker pool"
+    );
+
+    #[cfg(feature = "parallel")]
+    {
+        let noc = NocConfig {
+            compute_shards: 4,
+            ..NocConfig::default()
+        };
+        let net = Network::new(Mesh::new(4, 4), noc);
+        assert_eq!(net.compute_shards(), 4);
+        assert_eq!(
+            net.pool_workers(),
+            3,
+            "4 shards must hold exactly 3 parked workers"
+        );
+    }
+}
+
 /// Fault injection must not weaken the determinism contract: the fault
 /// schedule is a pure function of `(seed, kind, cycle, site)` and all
 /// fault bookkeeping runs in the node-ordered serial passes, so the
