@@ -6,7 +6,7 @@ use disco_compress::CacheLine;
 use disco_noc::{Mesh, Network, NocConfig, NodeId, PacketClass, Payload};
 
 fn drive(net: &mut Network, data: bool, cycles: u64) -> u64 {
-    let nodes = net.mesh().nodes();
+    let nodes = net.topology().tiles();
     let mut delivered = 0u64;
     for t in 0..cycles {
         if t % 4 == 0 {

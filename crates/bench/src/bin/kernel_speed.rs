@@ -8,7 +8,8 @@
 //! is visible as such instead of masquerading as a parallel result.
 //!
 //! `cargo run --release --features parallel -p disco-bench --bin kernel_speed -- \
-//!     [--meshes 8,16,32] [--cycles 0 (auto per mesh)] [--rate 0.1] \
+//!     [--meshes 8,16,32] [--topology mesh|ring|hring|torus|cmesh] \
+//!     [--cycles 0 (auto per mesh)] [--rate 0.1] \
 //!     [--shards 0 (auto = host cores)] [--seeds 2016,2018] \
 //!     [--out BENCH_pr7.json] \
 //!     [--gate-speedup 2.0] [--baseline BENCH_pr7.json]`
@@ -20,6 +21,7 @@
 
 use disco_bench::sweep::{run_point, PointResult, SweepPoint};
 use disco_noc::traffic::TrafficPattern;
+use disco_noc::TopologyChoice;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -31,6 +33,7 @@ const PR3_PARALLEL_SPEEDUP: f64 = 0.952;
 
 struct Args {
     meshes: Vec<usize>,
+    topology: TopologyChoice,
     cycles: u64,
     rate: f64,
     shards: usize,
@@ -43,6 +46,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         meshes: vec![8, 16, 32],
+        topology: TopologyChoice::Mesh,
         cycles: 0,
         rate: 0.1,
         shards: 0,
@@ -73,6 +77,9 @@ fn parse_args() -> Result<Args, String> {
                     .into_iter()
                     .map(|m| m as usize)
                     .collect();
+            }
+            "--topology" => {
+                args.topology = TopologyChoice::parse(&value).ok_or_else(|| bad("--topology"))?;
             }
             "--cycles" => args.cycles = value.parse().map_err(|_| bad("--cycles"))?,
             "--rate" => args.rate = value.parse().map_err(|_| bad("--rate"))?,
@@ -115,11 +122,19 @@ struct MeshResult {
     deterministic: bool,
 }
 
-fn run_mesh(mesh: usize, cycles: u64, rate: f64, shards: usize, seeds: &[u64]) -> MeshResult {
+fn run_mesh(
+    topology: TopologyChoice,
+    mesh: usize,
+    cycles: u64,
+    rate: f64,
+    shards: usize,
+    seeds: &[u64],
+) -> MeshResult {
     let mut points = Vec::new();
     let mut deterministic = true;
     for &seed in seeds {
         let base = SweepPoint {
+            topology,
             pattern: TrafficPattern::UniformRandom,
             injection_rate: rate,
             seed,
@@ -209,10 +224,11 @@ fn main() -> ExitCode {
     for &mesh in &args.meshes {
         let cycles = cycles_for(mesh, args.cycles);
         println!(
-            "kernel_speed: {mesh}x{mesh}, {cycles} cycles x {} seed(s), serial then {shards} shards",
+            "kernel_speed: {mesh}x{mesh} {}, {cycles} cycles x {} seed(s), serial then {shards} shards",
+            args.topology,
             args.seeds.len()
         );
-        let result = run_mesh(mesh, cycles, args.rate, shards, &args.seeds);
+        let result = run_mesh(args.topology, mesh, cycles, args.rate, shards, &args.seeds);
         println!(
             "kernel_speed: {mesh}x{mesh}: serial {:.0} c/s, sharded {:.0} c/s, speedup {:.3}x",
             result.serial_cps, result.sharded_cps, result.speedup
@@ -231,6 +247,7 @@ fn main() -> ExitCode {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"kernel_speed\",");
+    let _ = writeln!(json, "  \"topology\": \"{}\",", args.topology);
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");
     let _ = writeln!(json, "  \"shards\": {shards},");
     let _ = writeln!(json, "  \"shards_exceed_cores\": {},", shards > host_cores);

@@ -5,17 +5,20 @@
 //! every counter; the runner exits non-zero if they diverge.
 //!
 //! `cargo run --release -p disco-bench --bin sweep -- \
-//!     [--mesh 8] [--cycles 20000] [--threads N] [--shards S] \
+//!     [--mesh 8] [--topology mesh|ring|hring|torus|cmesh] \
+//!     [--cycles 20000] [--threads N] [--shards S] \
 //!     [--rates 0.05,0.1,0.2,0.3] [--out BENCH_pr3.json]`
 
 use disco_bench::sweep::{pattern_name, run_sweep, PointResult, SweepPoint};
 use disco_noc::traffic::TrafficPattern;
+use disco_noc::TopologyChoice;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
 struct Args {
     mesh: usize,
+    topology: TopologyChoice,
     cycles: u64,
     threads: usize,
     shards: usize,
@@ -26,6 +29,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         mesh: 8,
+        topology: TopologyChoice::Mesh,
         cycles: 20_000,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         shards: 1,
@@ -40,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
         let bad = |what: &str| format!("invalid {what}: {value}");
         match flag.as_str() {
             "--mesh" => args.mesh = value.parse().map_err(|_| bad("--mesh"))?,
+            "--topology" => {
+                args.topology = TopologyChoice::parse(&value).ok_or_else(|| bad("--topology"))?;
+            }
             "--cycles" => args.cycles = value.parse().map_err(|_| bad("--cycles"))?,
             "--threads" => args.threads = value.parse().map_err(|_| bad("--threads"))?,
             "--shards" => args.shards = value.parse().map_err(|_| bad("--shards"))?,
@@ -110,6 +117,7 @@ fn main() -> ExitCode {
         .iter()
         .flat_map(|&rate| {
             seeds.iter().map(move |&seed| SweepPoint {
+                topology: args.topology,
                 pattern: TrafficPattern::UniformRandom,
                 injection_rate: rate,
                 seed,
@@ -122,10 +130,11 @@ fn main() -> ExitCode {
         })
         .collect();
     println!(
-        "sweep: {} points ({}x{} mesh, {} cycles each), serial then {} threads",
+        "sweep: {} points ({}x{} {}, {} cycles each), serial then {} threads",
         points.len(),
         args.mesh,
         args.mesh,
+        args.topology,
         args.cycles,
         args.threads
     );
@@ -153,6 +162,7 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"sweep\",");
     let _ = writeln!(json, "  \"mesh\": \"{}x{}\",", args.mesh, args.mesh);
+    let _ = writeln!(json, "  \"topology\": \"{}\",", args.topology);
     let _ = writeln!(json, "  \"cycles_per_point\": {},", args.cycles);
     let _ = writeln!(json, "  \"threads\": {},", args.threads);
     let _ = writeln!(json, "  \"host_cores\": {host_cores},");

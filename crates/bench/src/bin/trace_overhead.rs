@@ -72,6 +72,7 @@ fn points_for(args: &Args, trace_capacity: usize) -> Vec<SweepPoint> {
         .iter()
         .flat_map(|&rate| {
             seeds.iter().map(move |&seed| SweepPoint {
+                topology: disco_noc::TopologyChoice::Mesh,
                 pattern: TrafficPattern::UniformRandom,
                 injection_rate: rate,
                 seed,

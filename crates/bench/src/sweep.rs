@@ -11,12 +11,14 @@
 //! `NocConfig::compute_shards`).
 
 use disco_noc::traffic::{TrafficDriver, TrafficPattern};
-use disco_noc::{Mesh, Network, NetworkStats, NocConfig, NodeId};
+use disco_noc::{Network, NetworkStats, NocConfig, NodeId, TopologyChoice};
 use std::time::Instant;
 
 /// One configuration of the sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepPoint {
+    /// NoC topology (tiles stay `cols × rows` on every choice).
+    pub topology: TopologyChoice,
     /// Synthetic destination pattern.
     pub pattern: TrafficPattern,
     /// Offered load in flits/node/cycle.
@@ -58,16 +60,18 @@ pub struct PointResult {
 
 /// Runs one sweep point to completion.
 pub fn run_point(point: &SweepPoint) -> PointResult {
+    let topo = point.topology.build(point.cols, point.rows);
     let config = NocConfig {
+        vcs: NocConfig::default().vcs.max(topo.min_vcs()),
         compute_shards: point.compute_shards,
         ..NocConfig::default()
     };
-    let mut net = Network::new(Mesh::new(point.cols, point.rows), config);
+    let nodes = topo.tiles();
+    let mut net = Network::new(topo, config);
     #[cfg(feature = "trace")]
     if point.trace_capacity > 0 {
         net.set_trace_capacity(point.trace_capacity);
     }
-    let nodes = point.cols * point.rows;
     let mut driver = TrafficDriver::new(point.pattern, point.injection_rate, true, point.seed);
     let start = Instant::now();
     for _ in 0..point.cycles {
@@ -158,6 +162,7 @@ mod tests {
         [0.05, 0.2, 0.4]
             .iter()
             .map(|&rate| SweepPoint {
+                topology: TopologyChoice::Mesh,
                 pattern: TrafficPattern::UniformRandom,
                 injection_rate: rate,
                 seed: 2016,
@@ -179,6 +184,28 @@ mod tests {
         for (s, f) in serial.iter().zip(&fanned) {
             assert_eq!(s.point.injection_rate, f.point.injection_rate);
             assert_eq!(s.stats, f.stats, "thread count must not change stats");
+        }
+    }
+
+    #[test]
+    fn every_topology_runs_a_point() {
+        for choice in TopologyChoice::ALL {
+            let point = SweepPoint {
+                topology: choice,
+                pattern: TrafficPattern::UniformRandom,
+                injection_rate: 0.1,
+                seed: 7,
+                cols: 4,
+                rows: 4,
+                cycles: 300,
+                compute_shards: 1,
+                trace_capacity: 0,
+            };
+            let r = run_point(&point);
+            assert!(
+                r.stats.packets_delivered > 0,
+                "{choice}: no packets delivered"
+            );
         }
     }
 

@@ -88,6 +88,9 @@ enum Engine {
     /// Compression of a whole packet still waiting in the NI injection
     /// queue: no flits exist yet, so completion is a pure payload swap.
     CompressingQueued {
+        /// The tile whose NI queue holds the packet (distinct from the
+        /// engine's router only on the concentrated mesh).
+        tile: usize,
         vc: usize,
         packet: PacketId,
         cycles_left: u64,
@@ -657,12 +660,13 @@ impl DiscoLayer {
                 };
             }
             Engine::CompressingQueued {
+                tile,
                 vc,
                 packet,
                 mut cycles_left,
                 result,
             } => {
-                if !net.inject_backlog(node_id, vc).contains(&packet) {
+                if !net.inject_backlog(NodeId(tile), vc).contains(&packet) {
                     // Injection started before compression finished.
                     self.stats.aborts += 1;
                     disco_trace::emit!(
@@ -679,6 +683,7 @@ impl DiscoLayer {
                 cycles_left -= 1;
                 if cycles_left > 0 {
                     self.engines[node][slot] = Engine::CompressingQueued {
+                        tile,
                         vc,
                         packet,
                         cycles_left,
@@ -869,7 +874,14 @@ impl DiscoLayer {
                 let pressure = Pressure {
                     local_occupancy: vc_ref.occupancy(),
                     remote_occupancy: remote,
-                    hops_remaining: remaining_hops(net.mesh(), node_id, pkt.dst),
+                    // A representative tile of this router: `hops` maps
+                    // tiles to routers, so any of the router's tiles
+                    // yields the same distance.
+                    hops_remaining: remaining_hops(
+                        net.topology(),
+                        NodeId(node * net.topology().concentration()),
+                        pkt.dst,
+                    ),
                 };
                 let candidate = match &pkt.payload {
                     Payload::Raw(_) if whole => {
@@ -912,40 +924,47 @@ impl DiscoLayer {
         // NI injection backlog: whole packets idling before they even
         // enter the router. Local pressure counts the queue ahead of the
         // packet; remote pressure reads the credits on the packet's first
-        // hop (its RC output is known from XY routing).
+        // hop (its RC output is known from the deterministic route). The
+        // router serves one NI queue per attached tile (more than one
+        // only on the concentrated mesh); for a queued pick the
+        // StartAction's `port` field carries the tile index.
         let response_vc = disco_noc::PacketClass::Response
             .vc()
             .min(net.config().vcs - 1);
-        let backlog = net.inject_backlog(node_id, response_vc).iter().copied();
-        for (pos, pid) in backlog.take(4).enumerate() {
-            if busy.contains(&pid) {
-                continue;
-            }
-            let pkt = net.store().get(pid);
-            if !pkt.compressible || !matches!(pkt.payload, Payload::Raw(_)) {
-                continue;
-            }
-            let dir = disco_noc::routing::xy_route(net.mesh(), node_id, pkt.dst);
-            let remote = if dir == disco_noc::Direction::Local {
-                0
-            } else {
-                depth.saturating_sub(net.router(node_id).credit_in(dir, response_vc).min(depth))
-            };
-            let local_port = disco_noc::Direction::Local.index();
-            let pressure = Pressure {
-                local_occupancy: pos
-                    + 1
-                    + net.router(node_id).local_occupancy(local_port, response_vc),
-                remote_occupancy: remote,
-                hops_remaining: remaining_hops(net.mesh(), node_id, pkt.dst),
-            };
-            saw_candidate = true;
-            if !self.params.should_compress(&pressure) {
-                continue;
-            }
-            let conf = self.params.compression_confidence(&pressure);
-            if best.is_none_or(|(c, ..)| conf > c) {
-                best = Some((conf, usize::MAX, response_vc, pid, Mode::Queued));
+        let concentration = net.topology().concentration();
+        for tile in node * concentration..(node + 1) * concentration {
+            let tile_id = NodeId(tile);
+            let backlog = net.inject_backlog(tile_id, response_vc).iter().copied();
+            for (pos, pid) in backlog.take(4).enumerate() {
+                if busy.contains(&pid) {
+                    continue;
+                }
+                let pkt = net.store().get(pid);
+                if !pkt.compressible || !matches!(pkt.payload, Payload::Raw(_)) {
+                    continue;
+                }
+                let dir = disco_noc::routing::xy_route(net.topology(), node_id, pkt.dst);
+                let remote = if net.topology().is_local(dir) {
+                    0
+                } else {
+                    depth.saturating_sub(net.router(node_id).credit_in(dir, response_vc).min(depth))
+                };
+                let local_port = net.topology().local_port(tile_id).0;
+                let pressure = Pressure {
+                    local_occupancy: pos
+                        + 1
+                        + net.router(node_id).local_occupancy(local_port, response_vc),
+                    remote_occupancy: remote,
+                    hops_remaining: remaining_hops(net.topology(), tile_id, pkt.dst),
+                };
+                saw_candidate = true;
+                if !self.params.should_compress(&pressure) {
+                    continue;
+                }
+                let conf = self.params.compression_confidence(&pressure);
+                if best.is_none_or(|(c, ..)| conf > c) {
+                    best = Some((conf, tile, response_vc, pid, Mode::Queued));
+                }
             }
         }
         let pick = best.map(|(_, port, vc, pid, mode)| (port, vc, pid, mode));
@@ -1042,6 +1061,7 @@ impl DiscoLayer {
                 let cycles = self.codec.compression_latency().max(1)
                     + total_raw.div_ceil(self.params.fragment_rate.max(1) as u64);
                 self.engines[node][slot] = Engine::CompressingQueued {
+                    tile: port,
                     vc,
                     packet: pid,
                     cycles_left: cycles,
@@ -1143,7 +1163,7 @@ mod tests {
         // responses idle in the local input VC.
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         for _ in 0..60 {
             net.tick();
             layer.tick(&mut net);
@@ -1158,7 +1178,7 @@ mod tests {
         // Release the credits and let everything drain.
         for _ in 0..8 {
             net.router_mut(NodeId(0))
-                .return_credit(disco_noc::Direction::East, 1);
+                .return_credit(disco_noc::topology::EAST, 1);
         }
         let mut delivered = Vec::new();
         for _ in 0..200 {
@@ -1201,7 +1221,7 @@ mod tests {
         // Stall it at node 0 (no credits east) so the engine sees it idle.
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         for _ in 0..40 {
             net.tick();
             layer.tick(&mut net);
@@ -1265,7 +1285,7 @@ mod tests {
         }
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         for _ in 0..80 {
             net.tick();
             layer.tick(&mut net);
@@ -1297,7 +1317,7 @@ mod tests {
         }
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         for _ in 0..80 {
             net.tick();
             layer.tick(&mut net);
@@ -1367,9 +1387,9 @@ mod tests {
         // rather: the local input VC of node 0, head first.
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         let flits = disco_noc::packet::flits_for(pid, 8, 0);
-        let local = disco_noc::Direction::Local.index();
+        let local = net.topology().local_port(NodeId(0)).0;
         for (i, f) in flits.into_iter().enumerate() {
             net.router_mut(NodeId(0)).accept(local, 1, f);
             // Several engine cycles between fragment arrivals.
@@ -1443,7 +1463,7 @@ mod tests {
         );
         assert!(net
             .router_mut(NodeId(0))
-            .try_take_credits(disco_noc::Direction::East, 1, 8));
+            .try_take_credits(disco_noc::topology::EAST, 1, 8));
         for _ in 0..30 {
             net.tick();
             layer.tick(&mut net);

@@ -19,7 +19,7 @@ use disco_cache::{
 use disco_compress::scheme::Compressor;
 use disco_compress::{CacheLine, Codec, CompressionStats, SchemeKind};
 use disco_energy::{EnergyCounts, EnergyModel};
-use disco_noc::{Mesh, Network, NocConfig, NodeId, Packet, PacketClass, Payload};
+use disco_noc::{Network, NocConfig, NodeId, Packet, PacketClass, Payload, TopologyChoice};
 use disco_workloads::{Benchmark, MemAccess, TraceGenerator, ValueModel, WorkloadProfile};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
@@ -1156,6 +1156,7 @@ impl System {
 pub struct SimBuilder {
     cols: usize,
     rows: usize,
+    topology: TopologyChoice,
     placement: CompressionPlacement,
     scheme: SchemeKind,
     profile: WorkloadProfile,
@@ -1194,6 +1195,7 @@ impl SimBuilder {
         SimBuilder {
             cols: 4,
             rows: 4,
+            topology: TopologyChoice::Mesh,
             placement: CompressionPlacement::Disco,
             scheme: SchemeKind::Delta,
             profile: Benchmark::Blackscholes.profile(),
@@ -1224,6 +1226,18 @@ impl SimBuilder {
     pub fn mesh(mut self, cols: usize, rows: usize) -> Self {
         self.cols = cols;
         self.rows = rows;
+        self
+    }
+
+    /// NoC topology. The tile count stays `cols × rows` regardless of
+    /// the choice: a ring folds the grid into a single cycle, a
+    /// hierarchical ring uses `rows` local rings of `cols` tiles, and a
+    /// concentrated mesh attaches 4 tiles per router. If the selected
+    /// [`NocConfig`] has fewer VCs than the topology's deadlock-freedom
+    /// floor ([`disco_noc::Topology::min_vcs`], e.g. dateline shapes
+    /// need an even split per class), the VC count is raised to it.
+    pub fn topology(mut self, topology: TopologyChoice) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -1372,14 +1386,23 @@ impl SimBuilder {
     /// the cycle budget.
     pub fn run(self) -> Result<SimReport, SimError> {
         let tiles_n = self.cols * self.rows;
-        let mesh = Mesh::new(self.cols, self.rows);
+        let topo = self.topology.build(self.cols, self.rows);
+        assert_eq!(
+            topo.tiles(),
+            tiles_n,
+            "topology {} at {}x{} must expose cols*rows tiles",
+            self.topology,
+            self.cols,
+            self.rows
+        );
         let mut noc = self.noc;
+        noc.vcs = noc.vcs.max(topo.min_vcs());
         noc.scheduling.demote_uncompressed = self
             .demote_override
             .unwrap_or(self.placement == CompressionPlacement::Disco);
         #[cfg(feature = "trace")]
         let pipeline_stages = noc.pipeline_stages;
-        let net = Network::new(mesh, noc);
+        let net = Network::new(topo, noc);
         let profile = if self.scale_profile {
             self.profile.scaled_to(tiles_n)
         } else {
@@ -1448,9 +1471,12 @@ impl SimBuilder {
         let banks = (0..tiles_n)
             .map(|i| NucaBank::new(bank_cfg, i, tiles_n))
             .collect();
+        // One DISCO engine set per *router* (§3.2: the compressor sits in
+        // the router), so a concentrated mesh shares an engine among its
+        // attached tiles.
         let disco = (self.placement == CompressionPlacement::Disco)
-            .then(|| DiscoLayer::new(self.disco, codec.clone(), tiles_n));
-        // Memory controllers at the mesh corners.
+            .then(|| DiscoLayer::new(self.disco, codec.clone(), net.topology().routers()));
+        // Memory controllers at the grid corners (spread tiles on rings).
         let mcs = vec![0, self.cols - 1, tiles_n - self.cols, tiles_n - 1];
         let max_cycles = if self.max_cycles > 0 {
             self.max_cycles

@@ -19,7 +19,7 @@
 use crate::network::{Network, ShardSlot};
 use crate::phase::RouterOutcome;
 use crate::router::{Router, VcState};
-use crate::topology::{Direction, NodeId};
+use crate::topology::{NodeId, PortId};
 use std::sync::Mutex;
 
 /// Applies one router's own action lists: RC/VA state transitions, the
@@ -32,7 +32,7 @@ pub(crate) fn commit_router_local(router: &mut Router, outcome: &RouterOutcome) 
         router.inputs[flat(port, v)].state = VcState::Routed(dir);
     }
     for &(port, v, dir, out_vc) in &outcome.grants {
-        router.out_alloc[flat(dir.index(), out_vc)] = Some((port, v));
+        router.out_alloc[flat(dir.0, out_vc)] = Some((port, v));
         router.inputs[flat(port, v)].state = VcState::Active { out: dir, out_vc };
     }
     for dep in &outcome.departures {
@@ -41,15 +41,15 @@ pub(crate) fn commit_router_local(router: &mut Router, outcome: &RouterOutcome) 
             popped.is_some_and(|f| f.packet == dep.flit.packet),
             "commit desynchronized from compute: departing flit is not the buffer front"
         );
-        if dep.out != Direction::Local {
-            router.credits[flat(dep.out.index(), dep.out_vc)] -= 1;
+        if dep.out.0 < router.link_ports {
+            router.credits[flat(dep.out.0, dep.out_vc)] -= 1;
         }
         if dep.flit.kind.is_tail() {
-            router.out_alloc[flat(dep.out.index(), dep.out_vc)] = None;
+            router.out_alloc[flat(dep.out.0, dep.out_vc)] = None;
             router.inputs[flat(dep.in_port, dep.in_vc)].state = VcState::Idle;
         }
     }
-    router.rr_sa = outcome.rr_sa;
+    router.rr_sa.clone_from(&outcome.rr_sa);
     router.sa_losers.clear();
     router.sa_losers.extend_from_slice(&outcome.sa_losers);
 }
@@ -66,11 +66,12 @@ fn commit_node(net: &mut Network, i: usize, outcome: &RouterOutcome) {
     #[cfg(feature = "trace")]
     net.tracer.record_all(&outcome.events);
     for dep in &outcome.departures {
-        // Return a credit upstream for the freed slot.
-        if dep.in_port != Direction::Local.index() {
-            let from_dir = Direction::ALL[dep.in_port];
-            if let Some(up) = net.mesh.neighbor(NodeId(i), from_dir) {
-                net.routers[up.0].return_credit(from_dir.opposite(), dep.in_vc);
+        // Return a credit upstream for the freed slot: the topology's
+        // input-source table names the upstream router and its output
+        // port directly, for any radix and even unidirectional links.
+        if dep.in_port < net.routers[i].link_ports {
+            if let Some((up, up_out)) = net.topology.in_source(NodeId(i), PortId(dep.in_port)) {
+                net.routers[up.0].return_credit(up_out, dep.in_vc);
             }
         }
         // Fault hook: an injected drop (or a failed ejection-time
@@ -80,29 +81,33 @@ fn commit_node(net: &mut Network, i: usize, outcome: &RouterOutcome) {
         if crate::faults::intercept_departure(net, i, dep) {
             continue;
         }
-        if dep.out == Direction::Local {
+        if net.topology.is_local(dep.out) {
             if dep.flit.kind.is_tail() {
-                net.delivered[i].push(dep.flit.packet);
+                let tile = net
+                    .topology
+                    .tile_at(NodeId(i), dep.out)
+                    .unwrap_or(NodeId(i));
+                net.delivered[tile.0].push(dep.flit.packet);
                 disco_trace::emit!(
                     net.tracer,
                     disco_trace::Event::Eject {
                         packet: dep.flit.packet.0,
-                        node: i as u16,
+                        node: tile.0 as u16,
                     }
                 );
             }
         } else {
-            let Some(next) = net.mesh.neighbor(NodeId(i), dep.out) else {
-                // All supported routing functions are minimal and
-                // stay inside the mesh; dropping the flit here beats
-                // corrupting a neighbour that doesn't exist. The
+            let Some((next, next_in)) = net.topology.out_link(NodeId(i), dep.out) else {
+                // All supported routing functions are minimal and stay
+                // on live links; dropping the flit here beats
+                // corrupting a router that isn't connected. The
                 // compute phase counted it in routing_violations.
-                debug_assert!(false, "node {i} routed {:?} off the mesh edge", dep.out);
+                debug_assert!(false, "node {i} routed {:?} onto a dead port", dep.out);
                 continue;
             };
             let mut flit = dep.flit;
             flit.ready_at = now + net.config.pipeline_stages;
-            net.routers[next.0].accept(dep.out.opposite().index(), dep.out_vc, flit);
+            net.routers[next.0].accept(next_in.0, dep.out_vc, flit);
         }
     }
     net.stats.accumulate(&outcome.stats);

@@ -82,6 +82,21 @@ impl Default for NocConfig {
 }
 
 impl NocConfig {
+    /// The cheap low-buffer ring router of "A Ring Router
+    /// Microarchitecture for NoCs" (arxiv 2007.02242): a single-stage
+    /// pipeline with 4-flit buffers, wormhole flow control, and the 4
+    /// VCs the ring's dateline discipline needs. Pair with
+    /// [`crate::topology::Ring`] or
+    /// [`crate::topology::HierarchicalRing`].
+    pub fn low_buffer_ring() -> Self {
+        NocConfig {
+            vcs: 4,
+            buffer_depth: 4,
+            pipeline_stages: 1,
+            ..NocConfig::default()
+        }
+    }
+
     /// Validates parameter sanity.
     ///
     /// # Panics

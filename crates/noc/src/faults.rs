@@ -36,7 +36,7 @@
 //! `compute_shards` count.
 
 use crate::network::Network;
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{NodeId, PortId, Topology};
 
 #[cfg(feature = "faults")]
 use crate::packet::{Packet, PacketClass, PacketId, Payload};
@@ -74,24 +74,24 @@ impl<'a> FaultGate<'a> {
 
     /// Applies fault-aware escape routing on top of the primary route
     /// decision: packets steer around configured dead links where a
-    /// west-first-legal detour exists (see
+    /// deadlock-free detour exists for the topology (see
     /// [`crate::routing::escape_route`]).
     pub(crate) fn adjust_route(
         &self,
-        mesh: &Mesh,
+        topo: &Topology,
         here: NodeId,
         dst: NodeId,
-        primary: Direction,
-    ) -> Direction {
+        primary: PortId,
+    ) -> PortId {
         #[cfg(feature = "faults")]
         if let Some(plan) = self.plan {
             if !plan.dead_links.is_empty() {
-                return crate::routing::escape_route(mesh, here, dst, primary, |n, d| {
-                    plan.link_is_dead(n.0, d.index())
+                return crate::routing::escape_route(topo, here, dst, primary, |n, p| {
+                    plan.link_is_dead(n.0, p.0)
                 });
             }
         }
-        let _ = (mesh, here, dst);
+        let _ = (topo, here, dst);
         primary
     }
 
@@ -240,9 +240,9 @@ impl FaultCtx {
             // ledger stays exact.
             return false;
         }
-        let link = site::link(node, dep.out.index());
+        let link = site::link(node, dep.out.0);
         if dep.flit.kind.is_head()
-            && (self.plan.link_is_dead(node, dep.out.index())
+            && (self.plan.link_is_dead(node, dep.out.0)
                 || self.plan.fires(FaultKind::LinkDrop, now, link))
         {
             self.stats.injected += 1;
@@ -422,7 +422,7 @@ pub(crate) fn intercept_departure(net: &mut Network, node: usize, dep: &Departur
     let Some(mut ctx) = net.faults.take() else {
         return false;
     };
-    let eaten = if dep.out == Direction::Local {
+    let eaten = if net.topology.is_local(dep.out) {
         ctx.handle_ejection(net, node, dep)
     } else {
         ctx.handle_link_departure(net, node, dep)
@@ -579,7 +579,7 @@ mod tests {
     use crate::config::NocConfig;
     use crate::network::Network;
     use crate::packet::{PacketClass, Payload};
-    use crate::topology::Mesh;
+    use crate::topology::{Mesh, Ring, EAST, WEST};
     use disco_compress::{CacheLine, Codec};
 
     fn faulty_net(plan: FaultPlan) -> Network {
@@ -592,7 +592,7 @@ mod tests {
         let mut got = Vec::new();
         while !net.is_idle() {
             net.tick();
-            for node in 0..net.mesh().nodes() {
+            for node in 0..net.topology().tiles() {
                 got.extend(net.take_delivered(NodeId(node)));
             }
             assert!(net.now() < limit, "network failed to drain");
@@ -676,7 +676,7 @@ mod tests {
     fn dead_link_reroutes_and_delivers() {
         let mut plan = FaultPlan::new(1);
         // Node 5 -East-> 6 is dead; XY routes 4->7 straight over it.
-        plan.dead_links.push((5, Direction::East.index()));
+        plan.dead_links.push((5, EAST.0));
         let mut net = faulty_net(plan);
         net.send(
             NodeId(4),
@@ -692,6 +692,68 @@ mod tests {
         let stats = *net.fault_stats().expect("plan active");
         assert_eq!(stats.link_drops, 0, "escape must avoid the dead link");
         assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn ring_dead_link_reverses_and_delivers() {
+        use crate::topology::CLOCKWISE;
+        let mut plan = FaultPlan::new(2);
+        // The clockwise link out of node 2 is dead; 0->4 ties toward
+        // clockwise and must escape the long way round instead.
+        plan.dead_links.push((2, CLOCKWISE.0));
+        let mut net = Network::new(Ring::new(8), NocConfig::low_buffer_ring());
+        net.set_fault_plan(plan, Codec::delta());
+        net.send(
+            NodeId(0),
+            NodeId(4),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            7,
+        );
+        let got = drain(&mut net, 5_000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tag, 7);
+        let stats = *net.fault_stats().expect("plan active");
+        assert_eq!(stats.link_drops, 0, "escape must avoid the dead link");
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn torus_dead_link_black_holes_and_retransmission_gives_up() {
+        use crate::topology::Torus;
+        let mut plan = FaultPlan::new(6);
+        // The torus has no escape routing (it would break the dateline
+        // proof): a dead link on the only minimal route black-holes the
+        // packet and the NI retry bound eventually writes it off.
+        plan.dead_links.push((0, EAST.0));
+        plan.max_retries = 2;
+        plan.retry_timeout = 8;
+        let mut net = Network::new(
+            Torus::new(4, 4),
+            NocConfig {
+                vcs: 4,
+                ..NocConfig::default()
+            },
+        );
+        net.set_fault_plan(plan, Codec::delta());
+        net.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            1,
+        );
+        for _ in 0..2_000 {
+            net.tick();
+            let _ = net.take_delivered(NodeId(1));
+        }
+        let stats = *net.fault_stats().expect("plan active");
+        assert!(net.is_idle(), "transfer must be abandoned, not stuck");
+        assert_eq!(stats.retries, 2);
+        assert!(stats.unrecoverable > 0, "{stats:?}");
+        assert!(stats.reconciles(), "{stats:?}");
     }
 
     #[test]
@@ -748,7 +810,7 @@ mod tests {
     fn retry_bound_marks_unrecoverable() {
         let mut plan = FaultPlan::new(5);
         // A dead link with no escape: destinations due West black-hole.
-        plan.dead_links.push((1, Direction::West.index()));
+        plan.dead_links.push((1, WEST.0));
         plan.max_retries = 2;
         plan.retry_timeout = 8;
         let mut net = faulty_net(plan);

@@ -9,8 +9,7 @@
 
 use crate::network::Network;
 use crate::packet::PacketId;
-use crate::router::PORTS;
-use crate::topology::{Direction, NodeId};
+use crate::topology::NodeId;
 use std::fmt;
 
 /// Why a buffered packet is not making progress right now.
@@ -72,9 +71,9 @@ impl Network {
     /// flow-control bug.
     pub fn health_check(&self) -> Vec<StallInfo> {
         let mut out = Vec::new();
-        for node in 0..self.mesh().nodes() {
+        for node in 0..self.topology().routers() {
             let router = self.router(NodeId(node));
-            for port in 0..PORTS {
+            for port in 0..router.ports() {
                 for vc in 0..self.config().vcs {
                     let vc_ref = router.vc(port, vc);
                     for (idx, packet) in vc_ref.resident_packets().into_iter().enumerate() {
@@ -84,11 +83,11 @@ impl Network {
                         } else if vc_ref.is_locked() {
                             StallReason::Locked
                         } else if vc_ref.front_is_head() {
-                            match vc_ref.routed_dir() {
+                            match vc_ref.routed_port() {
                                 None => StallReason::Unrouted,
-                                Some(Direction::Local) => StallReason::Schedulable,
-                                Some(dir) => {
-                                    if router.credit_in(dir, vc) == 0 {
+                                Some(p) if router.is_local_port(p) => StallReason::Schedulable,
+                                Some(p) => {
+                                    if router.credit_in(p, vc) == 0 {
                                         StallReason::NoCredit
                                     } else {
                                         StallReason::Schedulable
@@ -116,8 +115,8 @@ impl Network {
     }
 
     /// True if any buffered packet is in a state that cannot resolve by
-    /// itself (locked or tail-less), or if a flit was ever dropped at the
-    /// mesh edge ([`crate::NetworkStats::routing_violations`] — flit
+    /// itself (locked or tail-less), or if a flit was ever dropped at a
+    /// dead port ([`crate::NetworkStats::routing_violations`] — flit
     /// conservation is broken, so counts can never reconcile again: a
     /// flow-control bug, not congestion). A healthy congested network
     /// returns `false` — credit and queueing stalls clear on their own.
@@ -136,7 +135,7 @@ mod tests {
     use super::*;
     use crate::config::NocConfig;
     use crate::packet::{flits_for, PacketClass, Payload};
-    use crate::topology::Mesh;
+    use crate::topology::{Mesh, EAST};
     use disco_compress::CacheLine;
 
     #[test]
@@ -157,9 +156,7 @@ mod tests {
             true,
             0,
         );
-        assert!(net
-            .router_mut(NodeId(0))
-            .try_take_credits(Direction::East, 1, 8));
+        assert!(net.router_mut(NodeId(0)).try_take_credits(EAST, 1, 8));
         for _ in 0..20 {
             net.tick();
         }
@@ -183,7 +180,7 @@ mod tests {
             0,
             0,
         );
-        let local = Direction::Local.index();
+        let local = net.topology().local_port(NodeId(0)).0;
         for f in flits_for(id, 3, 0) {
             net.router_mut(NodeId(0)).accept(local, 1, f);
         }
@@ -218,7 +215,7 @@ mod tests {
             0,
         );
         // Body flits only: as if the head departed and the tail vanished.
-        let local = Direction::Local.index();
+        let local = net.topology().local_port(NodeId(0)).0;
         let flits = flits_for(id, 8, 0);
         for f in &flits[1..4] {
             net.router_mut(NodeId(0)).accept(local, 1, *f);
@@ -246,7 +243,7 @@ mod tests {
         };
         let a = mk(&mut net, 0);
         let b = mk(&mut net, 1);
-        let local = Direction::Local.index();
+        let local = net.topology().local_port(NodeId(0)).0;
         for f in flits_for(a, 3, 0) {
             net.router_mut(NodeId(0)).accept(local, 1, f);
         }

@@ -1,15 +1,16 @@
 #![warn(missing_docs)]
 
-//! Cycle-stepped mesh Network-on-Chip simulator for the DISCO
-//! reproduction.
+//! Cycle-stepped Network-on-Chip simulator for the DISCO reproduction.
 //!
 //! Models the substrate the paper evaluates on (Booksim-class fidelity,
-//! Table 2 parameters): a `k×k` 2-D mesh of 5-port routers with a 3-stage
-//! pipeline, two virtual channels (one virtual network for
-//! request/coherence traffic, one for data responses), 8-flit input
-//! buffers, credit-based backpressure, deterministic XY routing, and
-//! wormhole / virtual cut-through / store-and-forward flow control
-//! (§3.3-A).
+//! Table 2 parameters): virtual-channel routers with a configurable
+//! pipeline, per-class virtual networks, credit-based backpressure,
+//! and wormhole / virtual cut-through / store-and-forward flow control
+//! (§3.3-A). Topology is **data, not code**: a [`Topology`] value of
+//! per-router port tables describes the graph, and the paper's `k×k`
+//! mesh of 5-port routers is just one [`topology::TopologySpec`] among
+//! [`topology::Ring`], [`topology::HierarchicalRing`],
+//! [`topology::Torus`], and [`topology::ConcentratedMesh`].
 //!
 //! The DISCO router extensions (compressor engine, arbitrator, shadow
 //! packets) live in `disco-core` and drive this crate through a dedicated
@@ -53,8 +54,11 @@ pub use disco_faults::{FaultKind, FaultPlan, FaultStats};
 pub use health::{StallInfo, StallReason};
 pub use network::{Network, MAX_PACKET_FLITS};
 pub use packet::{Flit, FlitKind, Packet, PacketClass, PacketId, PacketStore, Payload, FLIT_BYTES};
-pub use router::{Router, Vc, PORTS};
+pub use router::{Router, Vc};
 pub use routing::RoutingAlgorithm;
 pub use stats::NetworkStats;
-pub use topology::{Direction, Mesh, NodeId};
+pub use topology::{
+    ConcentratedMesh, HierarchicalRing, Mesh, NodeId, PortId, Ring, Topology, TopologyChoice,
+    TopologyKind, TopologySpec, Torus,
+};
 pub use traffic::{TrafficDriver, TrafficPattern};

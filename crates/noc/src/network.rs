@@ -6,7 +6,7 @@ use crate::packet::{flit_at, Packet, PacketClass, PacketId, PacketStore, Payload
 use crate::phase::{ComputeScratch, RouterOutcome};
 use crate::router::Router;
 use crate::stats::NetworkStats;
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{NodeId, PortId, Topology, TopologySpec};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -38,7 +38,7 @@ struct InjectProgress {
     total: usize,
 }
 
-/// The mesh network.
+/// The network, over any [`Topology`].
 ///
 /// ```
 /// use disco_noc::{Network, NocConfig};
@@ -54,18 +54,18 @@ struct InjectProgress {
 /// ```
 #[derive(Debug)]
 pub struct Network {
-    pub(crate) mesh: Mesh,
+    pub(crate) topology: Topology,
     pub(crate) config: NocConfig,
     pub(crate) routers: Vec<Router>,
     pub(crate) store: PacketStore,
-    /// Per-node, per-VC injection queues.
+    /// Per-tile, per-VC injection queues.
     inject_q: Vec<Vec<VecDeque<PacketId>>>,
-    /// Per-node in-flight injection (one NI port, one packet at a time
+    /// Per-tile in-flight injection (one NI port, one packet at a time
     /// per VC).
     inject_progress: Vec<Vec<Option<InjectProgress>>>,
     /// Round-robin over VCs for the single NI injection port.
     inject_rr: Vec<usize>,
-    /// Packets fully ejected at each node, awaiting pickup.
+    /// Packets fully ejected at each tile, awaiting pickup.
     pub(crate) delivered: Vec<Vec<PacketId>>,
     pub(crate) stats: NetworkStats,
     pub(crate) now: u64,
@@ -94,10 +94,10 @@ pub struct Network {
     pub(crate) faults: Option<crate::faults::FaultCtx>,
 }
 
-/// Resolves [`NocConfig::compute_shards`] against the host and mesh
+/// Resolves [`NocConfig::compute_shards`] against the host and network
 /// size. Auto mode (`0`) engages threads only when each worker gets a
 /// meaningful slice of routers; scoped-thread spawn overhead dwarfs the
-/// per-cycle compute of a small mesh.
+/// per-cycle compute of a small network.
 #[cfg(feature = "parallel")]
 fn effective_shards(requested: usize, routers: usize) -> usize {
     const MIN_ROUTERS_PER_SHARD: usize = 16;
@@ -113,14 +113,16 @@ fn effective_shards(requested: usize, routers: usize) -> usize {
 }
 
 impl Network {
-    /// Builds an idle network.
+    /// Builds an idle network over `spec`'s topology.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid, or if a non-wormhole flow
+    /// Panics if the configuration is invalid, if a non-wormhole flow
     /// control is paired with buffers too small to hold a whole packet
-    /// (§3.3-A requires whole-packet residency for VCT/SAF).
-    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+    /// (§3.3-A requires whole-packet residency for VCT/SAF), or if the
+    /// topology's dateline discipline needs more VCs than configured
+    /// ([`Topology::min_vcs`]).
+    pub fn new(spec: impl TopologySpec, config: NocConfig) -> Self {
         config.validate();
         if config.flow_control != FlowControl::Wormhole {
             assert!(
@@ -128,20 +130,33 @@ impl Network {
                 "VCT/SAF need buffer_depth >= {MAX_PACKET_FLITS} to hold a whole packet"
             );
         }
-        let n = mesh.nodes();
+        let topology = spec.build();
+        assert!(
+            config.vcs >= topology.min_vcs(),
+            "{} needs at least {} virtual channels for its dateline discipline, got {}",
+            topology.name(),
+            topology.min_vcs(),
+            config.vcs
+        );
+        let routers = topology.routers();
+        let tiles = topology.tiles();
         #[cfg(feature = "parallel")]
-        let shards = effective_shards(config.compute_shards, n);
+        let shards = effective_shards(config.compute_shards, routers);
         #[cfg(not(feature = "parallel"))]
         let shards = 1;
+        let radix = topology.radix();
+        let link_ports = topology.link_ports();
         Network {
-            mesh,
+            topology,
             config,
-            routers: (0..n).map(|i| Router::new(NodeId(i), config)).collect(),
+            routers: (0..routers)
+                .map(|i| Router::new(NodeId(i), config, radix, link_ports))
+                .collect(),
             store: PacketStore::new(),
-            inject_q: vec![vec![VecDeque::new(); config.vcs]; n],
-            inject_progress: vec![vec![None; config.vcs]; n],
-            inject_rr: vec![0; n],
-            delivered: vec![Vec::new(); n],
+            inject_q: vec![vec![VecDeque::new(); config.vcs]; tiles],
+            inject_progress: vec![vec![None; config.vcs]; tiles],
+            inject_rr: vec![0; tiles],
+            delivered: vec![Vec::new(); tiles],
             stats: NetworkStats::new(),
             now: 0,
             scratch: (0..shards)
@@ -191,8 +206,8 @@ impl Network {
         }
     }
 
-    /// The contiguous router range shard `shard` owns. Spans tile
-    /// `0..nodes` in shard order, which is what lets the commit pass
+    /// The contiguous router range shard `shard` owns. Spans routers
+    /// `0..n` in shard order, which is what lets the commit pass
     /// walk shard slots sequentially and still visit nodes in order.
     pub fn shard_span(&self, shard: usize) -> std::ops::Range<usize> {
         let n = self.routers.len();
@@ -219,9 +234,9 @@ impl Network {
         self.now
     }
 
-    /// The mesh topology.
-    pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+    /// The network's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The configuration.
@@ -288,7 +303,7 @@ impl Network {
         &mut self.routers[node.0]
     }
 
-    /// Enqueues a packet for injection at `src`'s NI. Returns its id.
+    /// Enqueues a packet for injection at tile `src`'s NI. Returns its id.
     pub fn send(
         &mut self,
         src: NodeId,
@@ -327,8 +342,8 @@ impl Network {
         id
     }
 
-    /// Packets fully delivered at `node` since the last call, removed from
-    /// the store.
+    /// Packets fully delivered at tile `node` since the last call,
+    /// removed from the store.
     pub fn take_delivered(&mut self, node: NodeId) -> Vec<Packet> {
         let ids = std::mem::take(&mut self.delivered[node.0]);
         ids.into_iter().map(|id| self.store.remove(id)).collect()
@@ -365,23 +380,17 @@ impl Network {
             r.check_invariants()?;
         }
         for node in 0..self.routers.len() {
-            for dir in [
-                Direction::North,
-                Direction::South,
-                Direction::East,
-                Direction::West,
-            ] {
-                let Some(next) = self.mesh.neighbor(NodeId(node), dir) else {
+            for port in 0..self.topology.link_ports() {
+                let out = PortId(port);
+                let Some((next, next_in)) = self.topology.out_link(NodeId(node), out) else {
                     continue;
                 };
                 for vc in 0..self.config.vcs {
-                    let credits = self.routers[node].credit_in(dir, vc);
-                    let occupancy = self.routers[next.0]
-                        .vc(dir.opposite().index(), vc)
-                        .occupancy();
+                    let credits = self.routers[node].credit_in(out, vc);
+                    let occupancy = self.routers[next.0].vc(next_in.0, vc).occupancy();
                     if credits + occupancy > self.config.buffer_depth {
                         return Err(format!(
-                            "credit conservation violated on {}-{dir:?}->{next} vc {vc}: \
+                            "credit conservation violated on {}-{out}->{next} vc {vc}: \
                              {credits} credits + {occupancy} buffered > depth {}",
                             NodeId(node),
                             self.config.buffer_depth
@@ -396,7 +405,7 @@ impl Network {
     /// Advances the network one cycle: injection, then the pure compute
     /// phase (RC/VA/SA for every router over the cycle-start snapshot),
     /// then the node-ordered commit pass (switch/link traversal, credit
-    /// returns, ejection). Flits delivered to a neighbour become ready
+    /// returns, ejection). Flits delivered downstream become ready
     /// only after the pipeline delay, so a flit advances at most one hop
     /// per cycle regardless of commit order.
     pub fn tick(&mut self) {
@@ -441,7 +450,7 @@ impl Network {
                 router,
                 self.now,
                 &self.store,
-                &self.mesh,
+                &self.topology,
                 gate,
                 &mut slot.scratch,
                 &mut slot.outcomes[i],
@@ -474,7 +483,7 @@ impl Network {
                     &self.routers[i],
                     now,
                     &self.store,
-                    &self.mesh,
+                    &self.topology,
                     gate,
                     &mut slot.scratch,
                     &mut slot.outcomes[k],
@@ -483,18 +492,22 @@ impl Network {
         });
     }
 
-    /// NI injection: one flit per node per cycle, round-robin over VCs.
+    /// NI injection: one flit per tile per cycle, round-robin over VCs.
+    /// Each tile owns one local port on its router (tiles and routers
+    /// coincide except on the concentrated mesh).
     fn inject(&mut self) {
-        for node in 0..self.routers.len() {
+        for tile in 0..self.inject_q.len() {
             let vcs = self.config.vcs;
-            let start = self.inject_rr[node];
+            let router = self.topology.router_of(NodeId(tile)).0;
+            let local = self.topology.local_port(NodeId(tile)).0;
+            let start = self.inject_rr[tile];
             for k in 0..vcs {
                 let vc = (start + k) % vcs;
-                if self.inject_progress[node][vc].is_none() {
-                    if let Some(&id) = self.inject_q[node][vc].front() {
+                if self.inject_progress[tile][vc].is_none() {
+                    if let Some(&id) = self.inject_q[tile][vc].front() {
                         let total = self.store.get(id).size_flits();
-                        self.inject_q[node][vc].pop_front();
-                        self.inject_progress[node][vc] = Some(InjectProgress {
+                        self.inject_q[tile][vc].pop_front();
+                        self.inject_progress[tile][vc] = Some(InjectProgress {
                             packet: id,
                             sent: 0,
                             total,
@@ -503,36 +516,35 @@ impl Network {
                             self.tracer,
                             disco_trace::Event::NiStart {
                                 packet: id.0,
-                                node: node as u16,
+                                node: tile as u16,
                             }
                         );
                     }
                 }
-                let Some(mut prog) = self.inject_progress[node][vc] else {
+                let Some(mut prog) = self.inject_progress[tile][vc] else {
                     continue;
                 };
-                let local = Direction::Local.index();
-                if self.routers[node].free_slots(local, vc) == 0 {
+                if self.routers[router].free_slots(local, vc) == 0 {
                     continue;
                 }
                 let flit = flit_at(prog.packet, prog.sent, prog.total, self.now + 1);
-                self.routers[node].accept(local, vc, flit);
+                self.routers[router].accept(local, vc, flit);
                 self.stats.buffer_writes += 1;
                 prog.sent += 1;
                 if prog.sent < prog.total {
-                    self.inject_progress[node][vc] = Some(prog);
+                    self.inject_progress[tile][vc] = Some(prog);
                 } else {
-                    self.inject_progress[node][vc] = None;
+                    self.inject_progress[tile][vc] = None;
                     disco_trace::emit!(
                         self.tracer,
                         disco_trace::Event::NiDone {
                             packet: prog.packet.0,
-                            node: node as u16,
+                            node: tile as u16,
                         }
                     );
                 }
-                self.inject_rr[node] = (vc + 1) % vcs;
-                break; // one flit per node per cycle
+                self.inject_rr[tile] = (vc + 1) % vcs;
+                break; // one flit per tile per cycle
             }
         }
     }
@@ -561,34 +573,35 @@ impl Network {
         if seg_len == 0 {
             return false;
         }
+        let upstream = if port < self.topology.link_ports() {
+            self.topology.in_source(node, PortId(port))
+        } else {
+            None
+        };
         if new_len > seg_len {
             let growth = new_len - seg_len;
             if self.routers[node.0].free_slots(port, vc) < growth {
                 return false;
             }
-            if port != Direction::Local.index() {
-                let from_dir = Direction::ALL[port];
-                if let Some(up) = self.mesh.neighbor(node, from_dir) {
-                    if !self.routers[up.0].try_take_credits(from_dir.opposite(), vc, growth) {
-                        return false;
-                    }
+            if let Some((up, up_out)) = upstream {
+                if !self.routers[up.0].try_take_credits(up_out, vc, growth) {
+                    return false;
                 }
             }
         }
         let delta =
             self.routers[node.0].reshape_packet(port, vc, packet, new_len, finalize, self.now);
-        if delta < 0 && port != Direction::Local.index() {
-            let from_dir = Direction::ALL[port];
-            if let Some(up) = self.mesh.neighbor(node, from_dir) {
+        if delta < 0 {
+            if let Some((up, up_out)) = upstream {
                 for _ in 0..(-delta) {
-                    self.routers[up.0].return_credit(from_dir.opposite(), vc);
+                    self.routers[up.0].return_credit(up_out, vc);
                 }
             }
         }
         true
     }
 
-    /// Packets waiting in a node's NI injection queue for `vc` (none of
+    /// Packets waiting in a tile's NI injection queue for `vc` (none of
     /// them has started injecting — the in-flight packet is popped when
     /// injection begins). These are idle whole packets the DISCO layer
     /// may compress in place.
@@ -601,8 +614,8 @@ impl Network {
     /// `None` when the packet has no computed route yet.
     pub fn downstream_credits(&self, node: NodeId, port: usize, vc: usize) -> Option<usize> {
         let r = &self.routers[node.0];
-        let dir = r.vc(port, vc).routed_dir()?;
-        if dir == Direction::Local {
+        let dir = r.vc(port, vc).routed_port()?;
+        if self.topology.is_local(dir) {
             return Some(usize::MAX / 2);
         }
         // Pressure is the best case over the class group's downstream VCs
@@ -622,6 +635,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::packet::flits_for;
+    use crate::topology::{Mesh, Ring, TopologyChoice, Torus, EAST, WEST};
     use disco_compress::CacheLine;
 
     fn net(cols: usize, rows: usize) -> Network {
@@ -743,6 +757,139 @@ mod tests {
             }
         }
         assert_eq!(got, expected);
+        assert!(n.is_idle());
+    }
+
+    /// All-to-all traffic drains on every shipped topology at a 16-tile
+    /// budget, with invariants checked each cycle — the end-to-end
+    /// smoke test of the per-topology routing + dateline discipline.
+    #[test]
+    fn every_topology_delivers_all_to_all() {
+        for choice in TopologyChoice::ALL {
+            let topo = choice.build(4, 4);
+            let config = NocConfig {
+                vcs: topo.min_vcs().max(2),
+                ..NocConfig::default()
+            };
+            let tiles = topo.tiles();
+            let mut n = Network::new(topo, config);
+            let mut expected = vec![0usize; tiles];
+            for i in 0..tiles {
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..tiles {
+                    if i != j {
+                        n.send(
+                            NodeId(i),
+                            NodeId(j),
+                            PacketClass::Request,
+                            Payload::None,
+                            false,
+                            (i * tiles + j) as u64,
+                        );
+                        expected[j] += 1;
+                    }
+                }
+            }
+            let mut got = vec![0usize; tiles];
+            for _ in 0..10_000 {
+                n.tick();
+                n.check_invariants()
+                    .unwrap_or_else(|e| panic!("{choice}: {e}"));
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..tiles {
+                    got[j] += n.take_delivered(NodeId(j)).len();
+                }
+                if n.is_idle() {
+                    break;
+                }
+            }
+            assert_eq!(got, expected, "{choice} must deliver everything");
+            assert!(n.is_idle(), "{choice} must drain");
+        }
+    }
+
+    /// Heavy multi-flit wormhole traffic on the wrap topologies: the
+    /// regime where an un-datelined design would actually deadlock.
+    #[test]
+    fn wrap_topologies_drain_heavy_responses() {
+        let legs: [(&str, Network); 2] = [
+            (
+                "ring",
+                Network::new(Ring::new(16), NocConfig::low_buffer_ring()),
+            ),
+            (
+                "torus",
+                Network::new(
+                    Torus::new(4, 4),
+                    NocConfig {
+                        vcs: 4,
+                        ..NocConfig::default()
+                    },
+                ),
+            ),
+        ];
+        for (name, mut n) in legs {
+            let line = CacheLine::from_u64_words([7, 8, 9, 10, 11, 12, 13, 14]);
+            for i in 0..16usize {
+                for k in 0..4u64 {
+                    // Wrap-heavy pattern: every destination is across
+                    // the dateline from most sources.
+                    let dst = NodeId((i + 11) % 16);
+                    n.send(
+                        NodeId(i),
+                        dst,
+                        PacketClass::Response,
+                        Payload::Raw(line),
+                        true,
+                        k,
+                    );
+                }
+            }
+            let mut delivered = 0;
+            for _ in 0..40_000 {
+                n.tick();
+                for j in 0..16 {
+                    delivered += n.take_delivered(NodeId(j)).len();
+                }
+                if n.is_idle() {
+                    break;
+                }
+            }
+            assert_eq!(delivered, 64, "{name} must deliver everything");
+            assert!(n.is_idle(), "{name} must drain — deadlock otherwise");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dateline")]
+    fn ring_with_too_few_vcs_rejected() {
+        let _ = Network::new(Ring::new(8), NocConfig::default()); // vcs 2 < 4
+    }
+
+    #[test]
+    fn cmesh_tiles_map_to_shared_routers() {
+        use crate::topology::ConcentratedMesh;
+        let mut n = Network::new(ConcentratedMesh::new(2, 2, 4), NocConfig::default());
+        // Tiles 0 and 1 share router 0; cross-router and same-router
+        // deliveries both work.
+        n.send(
+            NodeId(0),
+            NodeId(1),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            1,
+        );
+        n.send(
+            NodeId(2),
+            NodeId(15),
+            PacketClass::Request,
+            Payload::None,
+            false,
+            2,
+        );
+        assert_eq!(run_until_delivered(&mut n, NodeId(1), 200).len(), 1);
+        assert_eq!(run_until_delivered(&mut n, NodeId(15), 200).len(), 1);
         assert!(n.is_idle());
     }
 
@@ -938,7 +1085,7 @@ mod tests {
 
     #[test]
     fn reshape_resident_returns_credits_upstream() {
-        // Manually stage a 8-flit response resident in a router's East input
+        // Manually stage a 8-flit response resident in a router's West input
         // and shrink it; the western neighbour must get its credits back.
         let mut n = net(2, 1);
         let line = CacheLine::zeroed();
@@ -952,19 +1099,17 @@ mod tests {
             0,
         );
         // Flits sit in node 1's West input port (arrived from node 0).
-        let west = Direction::West.index();
+        let west = WEST.0;
         for f in flits_for(id, 8, 0) {
             n.router_mut(NodeId(1)).accept(west, 1, f);
         }
         // Simulate node 0 having spent 8 credits sending them.
         for _ in 0..8 {
-            assert!(n
-                .router_mut(NodeId(0))
-                .try_take_credits(Direction::East, 1, 1));
+            assert!(n.router_mut(NodeId(0)).try_take_credits(EAST, 1, 1));
         }
-        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 0);
+        assert_eq!(n.router(NodeId(0)).credit_in(EAST, 1), 0);
         assert!(n.reshape_resident(NodeId(1), west, 1, id, 2, true));
-        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 6);
+        assert_eq!(n.router(NodeId(0)).credit_in(EAST, 1), 6);
         assert_eq!(n.router(NodeId(1)).vc(west, 1).occupancy(), 2);
     }
 
@@ -980,24 +1125,22 @@ mod tests {
             0,
             0,
         );
-        let west = Direction::West.index();
+        let west = WEST.0;
         for f in flits_for(id, 2, 0) {
             n.router_mut(NodeId(1)).accept(west, 1, f);
         }
         // Upstream thinks 6 slots are free (8 - 2 in transit history is not
         // modelled here; fresh router has full credits). Take all credits.
-        assert!(n
-            .router_mut(NodeId(0))
-            .try_take_credits(Direction::East, 1, 8));
+        assert!(n.router_mut(NodeId(0)).try_take_credits(EAST, 1, 8));
         assert!(
             !n.reshape_resident(NodeId(1), west, 1, id, 8, true),
             "growth without upstream credit window must fail"
         );
         // Return credits; now growth succeeds.
         for _ in 0..8 {
-            n.router_mut(NodeId(0)).return_credit(Direction::East, 1);
+            n.router_mut(NodeId(0)).return_credit(EAST, 1);
         }
         assert!(n.reshape_resident(NodeId(1), west, 1, id, 8, true));
-        assert_eq!(n.router(NodeId(0)).credit_in(Direction::East, 1), 2);
+        assert_eq!(n.router(NodeId(0)).credit_in(EAST, 1), 2);
     }
 }

@@ -23,10 +23,10 @@
 
 use crate::config::FlowControl;
 use crate::packet::{Flit, PacketClass, PacketId, PacketStore, Payload};
-use crate::router::{Router, VcState, PORTS};
-use crate::routing::route;
+use crate::router::{Router, VcState};
+use crate::routing::{output_vc_range, route};
 use crate::stats::NetworkStats;
-use crate::topology::{Direction, Mesh};
+use crate::topology::{PortId, Topology};
 
 /// A flit leaving a router this cycle, to be applied by the commit pass.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +34,7 @@ pub(crate) struct Departure {
     pub flit: Flit,
     pub in_port: usize,
     pub in_vc: usize,
-    pub out: Direction,
+    pub out: PortId,
     pub out_vc: usize,
 }
 
@@ -45,16 +45,16 @@ pub(crate) struct Departure {
 /// clears contents while keeping every allocation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RouterOutcome {
-    /// RC results: `(in_port, in_vc, out_dir)` — the VC becomes `Routed`.
-    pub routes: Vec<(usize, usize, Direction)>,
-    /// VA results: `(in_port, in_vc, out_dir, out_vc)` — the VC becomes
+    /// RC results: `(in_port, in_vc, out_port)` — the VC becomes `Routed`.
+    pub routes: Vec<(usize, usize, PortId)>,
+    /// VA results: `(in_port, in_vc, out_port, out_vc)` — the VC becomes
     /// `Active` and acquires the output VC.
-    pub grants: Vec<(usize, usize, Direction, usize)>,
+    pub grants: Vec<(usize, usize, PortId, usize)>,
     /// SA winners: one flit leaves per output port, with the credit
     /// decrement, link delivery or ejection applied at commit.
     pub departures: Vec<Departure>,
     /// Post-arbitration round-robin pointers, one per output port.
-    pub rr_sa: [usize; PORTS],
+    pub rr_sa: Vec<usize>,
     /// This cycle's allocation losers (the DISCO compression candidates).
     pub sa_losers: Vec<(usize, usize)>,
     /// This router's contribution to the network counters this cycle.
@@ -74,12 +74,13 @@ pub(crate) struct RouterOutcome {
 impl RouterOutcome {
     /// Clears per-cycle contents while retaining every allocation, and
     /// seeds the round-robin pointers from the router snapshot.
-    fn reset(&mut self, rr_sa: [usize; PORTS]) {
+    fn reset(&mut self, rr_sa: &[usize]) {
         self.routes.clear();
         self.grants.clear();
         self.departures.clear();
         self.sa_losers.clear();
-        self.rr_sa = rr_sa;
+        self.rr_sa.clear();
+        self.rr_sa.extend_from_slice(rr_sa);
         self.stats = NetworkStats::new();
         #[cfg(feature = "trace")]
         self.events.0.clear();
@@ -137,12 +138,12 @@ pub(crate) fn compute_router(
     router: &Router,
     now: u64,
     store: &PacketStore,
-    mesh: &Mesh,
+    topo: &Topology,
     gate: crate::faults::FaultGate<'_>,
     scratch: &mut ComputeScratch,
     out: &mut RouterOutcome,
 ) {
-    out.reset(router.rr_sa);
+    out.reset(&router.rr_sa);
     // Idle fast path: with no buffered flit there is no RC candidate, no
     // VA-eligible VC with a front packet, no SA candidate, and no VA
     // loser — the stage loops below would decide nothing. On big meshes
@@ -151,6 +152,7 @@ pub(crate) fn compute_router(
         return;
     }
     let vcs = router.config.vcs;
+    let ports = router.ports;
     let flat = |port: usize, v: usize| port * vcs + v;
     // Local overlays: VA must see this cycle's RC and SA must see this
     // cycle's VA, all without touching the router.
@@ -161,15 +163,15 @@ pub(crate) fn compute_router(
     } = scratch;
     state.clear();
     alloc.clear();
-    for i in 0..PORTS * vcs {
+    for i in 0..ports * vcs {
         state.push(router.inputs[i].state);
         alloc.push(router.out_alloc[i]);
     }
 
     // RC + VA, in the same (port, vc) order as the legacy in-place loop.
-    for port in 0..PORTS {
+    for port in 0..ports {
         for v in 0..vcs {
-            // RC: a fresh head flit gets its output direction.
+            // RC: a fresh head flit gets its output port.
             if state[flat(port, v)] == VcState::Idle {
                 let front = match router.inputs[flat(port, v)].buffer.front() {
                     Some(f) if f.kind.is_head() && f.ready_at <= now => *f,
@@ -179,21 +181,21 @@ pub(crate) fn compute_router(
                 let group = class_vcs(router, pkt.class);
                 let dir = route(
                     router.config.routing,
-                    mesh,
+                    topo,
                     router.node,
                     pkt.dst,
                     front.packet.0,
-                    |d| {
+                    |p| {
                         group
                             .clone()
-                            .map(|vc| router.credits[flat(d.index(), vc)])
+                            .map(|vc| router.credits[flat(p.0, vc)])
                             .max()
                             .unwrap_or(0)
                     },
                 );
                 // Escape faulted links where a deadlock-free detour
                 // exists; the identity when no fault plan is active.
-                let dir = gate.adjust_route(mesh, router.node, pkt.dst, dir);
+                let dir = gate.adjust_route(topo, router.node, pkt.dst, dir);
                 state[flat(port, v)] = VcState::Routed(dir);
                 out.routes.push((port, v, dir));
                 disco_trace::emit!(
@@ -203,7 +205,7 @@ pub(crate) fn compute_router(
                         node: router.node.0 as u16,
                         in_port: port as u8,
                         in_vc: v as u8,
-                        out_dir: dir.index() as u8,
+                        out_dir: dir.0 as u8,
                     }
                 );
             }
@@ -215,19 +217,23 @@ pub(crate) fn compute_router(
                 };
                 let pkt = store.get(packet);
                 // Acquire any free VC of the class group on the output
-                // port (VCT/SAF additionally need whole-packet credit,
-                // §3.3-A).
-                let out_vc = class_vcs(router, pkt.class).find(|&cand| {
-                    if alloc[flat(dir.index(), cand)].is_some() {
-                        return false;
-                    }
-                    match router.config.flow_control {
-                        FlowControl::Wormhole => true,
-                        _ => router.credits[flat(dir.index(), cand)] >= pkt.size_flits(),
-                    }
-                });
+                // port, narrowed by the topology's dateline discipline
+                // (identity on the mesh; low/high half-groups on the
+                // wrap topologies). VCT/SAF additionally need
+                // whole-packet credit (§3.3-A).
+                let class_group = class_vcs(router, pkt.class);
+                let out_vc =
+                    output_vc_range(topo, router.node, dir, pkt.dst, class_group).find(|&cand| {
+                        if alloc[flat(dir.0, cand)].is_some() {
+                            return false;
+                        }
+                        match router.config.flow_control {
+                            FlowControl::Wormhole => true,
+                            _ => router.credits[flat(dir.0, cand)] >= pkt.size_flits(),
+                        }
+                    });
                 let Some(out_vc) = out_vc else { continue };
-                alloc[flat(dir.index(), out_vc)] = Some((port, v));
+                alloc[flat(dir.0, out_vc)] = Some((port, v));
                 state[flat(port, v)] = VcState::Active { out: dir, out_vc };
                 out.grants.push((port, v, dir, out_vc));
                 disco_trace::emit!(
@@ -237,7 +243,7 @@ pub(crate) fn compute_router(
                         node: router.node.0 as u16,
                         in_port: port as u8,
                         in_vc: v as u8,
-                        out_dir: dir.index() as u8,
+                        out_dir: dir.0 as u8,
                         out_vc: out_vc as u8,
                     }
                 );
@@ -249,12 +255,12 @@ pub(crate) fn compute_router(
     // read from the snapshot only — each output is arbitrated exactly
     // once per cycle and outputs never share a credit counter, so no
     // overlay is needed.
-    for outdir in Direction::ALL {
-        let oi = outdir.index();
+    for oi in 0..ports {
+        let outdir = PortId(oi);
         // Gather candidates into the reusable arena: active VCs routed to
         // this output with a ready front flit and downstream credit.
         candidates.clear();
-        for port in 0..PORTS {
+        for port in 0..ports {
             for v in 0..vcs {
                 let (o, out_vc) = match state[flat(port, v)] {
                     VcState::Active { out: o, out_vc } => (o, out_vc),
@@ -306,7 +312,7 @@ pub(crate) fn compute_router(
         // candidate.
         #[cfg(feature = "faults")]
         if !candidates.is_empty()
-            && outdir != Direction::Local
+            && !router.is_local_port(outdir)
             && gate.output_blocked(now, router.node.0, oi)
         {
             out.fault_port_stalls += 1;
@@ -336,13 +342,13 @@ pub(crate) fn compute_router(
             .iter()
             .min_by_key(|c| {
                 let flat_in = c.0 * vcs + c.1;
-                (c.3, (flat_in + PORTS * vcs - rr) % (PORTS * vcs))
+                (c.3, (flat_in + ports * vcs - rr) % (ports * vcs))
             })
             .copied()
         else {
             continue;
         };
-        out.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (PORTS * vcs);
+        out.rr_sa[oi] = (winner.0 * vcs + winner.1 + 1) % (ports * vcs);
         // Everyone else idles: these are DISCO's compression candidates.
         for c in candidates.iter() {
             if (c.0, c.1) != (winner.0, winner.1) {
@@ -405,7 +411,7 @@ pub(crate) fn compute_router(
 
     // VA losers also idle and are therefore compression candidates
     // (§3.2 step 1 collects losers of both VC and switch allocation).
-    for port in 0..PORTS {
+    for port in 0..ports {
         for v in 0..vcs {
             let vc = &router.inputs[flat(port, v)];
             if vc.locked {
@@ -438,22 +444,22 @@ pub(crate) fn compute_router(
     for dep in &out.departures {
         out.stats.buffer_reads += 1;
         out.stats.crossbar_flits += 1;
-        if dep.out == Direction::Local {
+        if router.is_local_port(dep.out) {
             if dep.flit.kind.is_tail() {
                 let pkt = store.get(dep.flit.packet);
                 out.stats.packets_delivered += 1;
                 let latency = now - pkt.injected_at;
                 out.stats.total_packet_latency += latency;
-                out.stats.total_hops += mesh.hops(pkt.src, pkt.dst) as u64;
+                out.stats.total_hops += topo.hops(pkt.src, pkt.dst) as u64;
                 let ci = crate::stats::class_index(pkt.class);
                 out.stats.delivered_by_class[ci] += 1;
                 out.stats.latency_by_class[ci] += latency;
             }
-        } else if mesh.neighbor(router.node, dep.out).is_some() {
+        } else if topo.out_link(router.node, dep.out).is_some() {
             out.stats.link_flits += 1;
             out.stats.buffer_writes += 1;
         } else {
-            // The commit pass drops this flit (no neighbour to corrupt);
+            // The commit pass drops this flit (no link to corrupt);
             // the counter keeps the conservation bug visible in release
             // builds where the debug assertion is compiled out.
             out.stats.routing_violations += 1;

@@ -1,5 +1,7 @@
-//! The 5-port, 3-stage virtual-channel router (Fig. 2a, minus the DISCO
-//! units, which `disco-core` layers on through the extension API).
+//! The radix-parametric virtual-channel router (Fig. 2a, minus the
+//! DISCO units, which `disco-core` layers on through the extension
+//! API). The paper's mesh instantiates it at radix 5 (N/S/E/W/Local);
+//! the ring kinds at radix 3; the concentrated mesh at 4 + c.
 //!
 //! Per cycle the router performs route computation (RC) for new head
 //! flits, virtual-channel allocation (VA), and switch allocation (SA)
@@ -12,11 +14,8 @@
 
 use crate::config::NocConfig;
 use crate::packet::{Flit, PacketId};
-use crate::topology::{Direction, NodeId};
+use crate::topology::{NodeId, PortId};
 use std::collections::VecDeque;
-
-/// Number of router ports (N/S/E/W/Local).
-pub const PORTS: usize = 5;
 
 /// Progress of one input virtual channel's front packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,9 +23,9 @@ pub(crate) enum VcState {
     /// No packet being processed.
     Idle,
     /// Route computed; waiting for an output VC.
-    Routed(Direction),
+    Routed(PortId),
     /// Output VC acquired; flits stream through the switch.
-    Active { out: Direction, out_vc: usize },
+    Active { out: PortId, out_vc: usize },
 }
 
 /// One input virtual channel.
@@ -66,12 +65,12 @@ impl Vc {
         self.locked
     }
 
-    /// The output direction this VC's front packet is routed toward, once
-    /// RC has run.
-    pub fn routed_dir(&self) -> Option<Direction> {
+    /// The output port this VC's front packet is routed toward, once RC
+    /// has run.
+    pub fn routed_port(&self) -> Option<PortId> {
         match self.state {
             VcState::Idle => None,
-            VcState::Routed(d) => Some(d),
+            VcState::Routed(p) => Some(p),
             VcState::Active { out, .. } => Some(out),
         }
     }
@@ -115,14 +114,20 @@ impl Vc {
     }
 }
 
-/// A mesh router. Fields are crate-visible so the pure compute phase
-/// ([`crate::phase`]) can snapshot them and the commit pass
-/// ([`crate::commit`]) can apply action lists; everything else goes
-/// through the public accessors.
+/// A router of any topology. Fields are crate-visible so the pure
+/// compute phase ([`crate::phase`]) can snapshot them and the commit
+/// pass ([`crate::commit`]) can apply action lists; everything else
+/// goes through the public accessors.
 #[derive(Debug, Clone)]
 pub struct Router {
     pub(crate) node: NodeId,
     pub(crate) config: NocConfig,
+    /// Ports on this router (the topology's radix), local ports
+    /// included.
+    pub(crate) ports: usize,
+    /// Ports `0..link_ports` face other routers; `link_ports..ports`
+    /// are local NI ports with unbounded ejection credits.
+    pub(crate) link_ports: usize,
     /// Input VCs in struct-of-arrays layout, flattened `port * vcs + vc`.
     /// One contiguous allocation keeps the compute phase's inner loops on
     /// a single cache-friendly array instead of chasing per-port Vecs.
@@ -134,36 +139,40 @@ pub struct Router {
     /// `out_port * vcs + out_vc`.
     pub(crate) credits: Vec<usize>,
     /// Per-output round-robin pointer over flattened (port, vc) inputs.
-    pub(crate) rr_sa: [usize; PORTS],
+    pub(crate) rr_sa: Vec<usize>,
     /// Switch-allocation losers of the last cycle: the idling packets the
     /// DISCO arbitrator filters (§3.2 step 1).
     pub(crate) sa_losers: Vec<(usize, usize)>,
     /// Total flits buffered across all input VCs, maintained on every
     /// accept/pop/reshape. `0` lets the compute phase skip the router
-    /// outright — on large meshes most routers are idle most cycles.
+    /// outright — on large networks most routers are idle most cycles.
     pub(crate) buffered: usize,
 }
 
 impl Router {
-    pub(crate) fn new(node: NodeId, config: NocConfig) -> Self {
-        let inputs = (0..PORTS * config.vcs)
+    pub(crate) fn new(node: NodeId, config: NocConfig, ports: usize, link_ports: usize) -> Self {
+        let inputs = (0..ports * config.vcs)
             .map(|_| Vc::with_depth(config.buffer_depth))
             .collect();
-        let out_alloc = vec![None; PORTS * config.vcs];
-        // The local (ejection) output is modelled with unlimited credits;
+        let out_alloc = vec![None; ports * config.vcs];
+        // Local (ejection) outputs are modelled with unlimited credits;
         // inter-router outputs start with the full downstream buffer.
-        let mut credits = vec![config.buffer_depth; PORTS * config.vcs];
-        for v in 0..config.vcs {
-            credits[Direction::Local.index() * config.vcs + v] = usize::MAX / 2;
+        let mut credits = vec![config.buffer_depth; ports * config.vcs];
+        for port in link_ports..ports {
+            for v in 0..config.vcs {
+                credits[port * config.vcs + v] = usize::MAX / 2;
+            }
         }
         Router {
             node,
             config,
+            ports,
+            link_ports,
             inputs,
             out_alloc,
             credits,
-            rr_sa: [0; PORTS],
-            sa_losers: Vec::with_capacity(PORTS * config.vcs),
+            rr_sa: vec![0; ports],
+            sa_losers: Vec::with_capacity(ports * config.vcs),
             buffered: 0,
         }
     }
@@ -179,6 +188,21 @@ impl Router {
         self.node
     }
 
+    /// Ports on this router (the topology's radix).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Ports `0..link_ports()` face other routers.
+    pub fn link_ports(&self) -> usize {
+        self.link_ports
+    }
+
+    /// True for a local (NI) port of this router.
+    pub fn is_local_port(&self, port: PortId) -> bool {
+        port.0 >= self.link_ports
+    }
+
     /// Immutable view of an input virtual channel.
     ///
     /// # Panics
@@ -188,10 +212,10 @@ impl Router {
         &self.inputs[self.idx(port, vc)]
     }
 
-    /// Free slots reported by the downstream router for `(dir, vc)` — the
+    /// Free slots reported by the downstream router for `(out, vc)` — the
     /// `credit_in` signal of the confidence counter (Fig. 3).
-    pub fn credit_in(&self, dir: Direction, vc: usize) -> usize {
-        self.credits[self.idx(dir.index(), vc)]
+    pub fn credit_in(&self, out: PortId, vc: usize) -> usize {
+        self.credits[self.idx(out.0, vc)]
     }
 
     /// Occupied slots of a local input VC — the complement of the
@@ -245,8 +269,8 @@ impl Router {
 
     /// Returns a credit to an output VC (downstream freed a slot).
     /// Public for the in-network-processing extension layer and tests.
-    pub fn return_credit(&mut self, out: Direction, vc: usize) {
-        let idx = self.idx(out.index(), vc);
+    pub fn return_credit(&mut self, out: PortId, vc: usize) {
+        let idx = self.idx(out.0, vc);
         self.credits[idx] += 1;
     }
 
@@ -254,8 +278,8 @@ impl Router {
     /// in-network decompression grows a downstream-bound... — growth
     /// happens in *this* router's input buffer, so this is called on the
     /// upstream router to account for the reduced free space).
-    pub fn try_take_credits(&mut self, out: Direction, vc: usize, n: usize) -> bool {
-        let idx = self.idx(out.index(), vc);
+    pub fn try_take_credits(&mut self, out: PortId, vc: usize, n: usize) -> bool {
+        let idx = self.idx(out.0, vc);
         let c = &mut self.credits[idx];
         if *c >= n {
             *c -= n;
@@ -367,7 +391,7 @@ impl Router {
                 self.node, self.buffered
             ));
         }
-        for port in 0..PORTS {
+        for port in 0..self.ports {
             for v in 0..self.config.vcs {
                 let vc = &self.inputs[self.idx(port, v)];
                 if vc.buffer.len() > depth {
@@ -384,35 +408,35 @@ impl Router {
                     ));
                 }
                 if let VcState::Active { out, out_vc } = vc.state {
-                    if self.out_alloc[self.idx(out.index(), out_vc)] != Some((port, v)) {
+                    if self.out_alloc[self.idx(out.0, out_vc)] != Some((port, v)) {
                         return Err(format!(
-                            "{} port {port} vc {v}: active on {out:?}/{out_vc}, but that \
+                            "{} port {port} vc {v}: active on {out}/{out_vc}, but that \
                              output is allocated to {:?}",
                             self.node,
-                            self.out_alloc[self.idx(out.index(), out_vc)]
+                            self.out_alloc[self.idx(out.0, out_vc)]
                         ));
                     }
                 }
             }
         }
-        for out in Direction::ALL {
-            let oi = out.index();
+        for oi in 0..self.ports {
+            let out = PortId(oi);
             for ov in 0..self.config.vcs {
                 if let Some((port, v)) = self.out_alloc[self.idx(oi, ov)] {
                     match self.inputs[self.idx(port, v)].state {
                         VcState::Active { out: o, out_vc } if o == out && out_vc == ov => {}
                         other => {
                             return Err(format!(
-                                "{} output {out:?}/{ov}: allocated to port {port} vc {v}, \
+                                "{} output {out}/{ov}: allocated to port {port} vc {v}, \
                                  whose state is {other:?}",
                                 self.node
                             ));
                         }
                     }
                 }
-                if out != Direction::Local && self.credits[self.idx(oi, ov)] > depth {
+                if oi < self.link_ports && self.credits[self.idx(oi, ov)] > depth {
                     return Err(format!(
-                        "{} output {out:?}/{ov}: {} credits exceed buffer depth {depth}",
+                        "{} output {out}/{ov}: {} credits exceed buffer depth {depth}",
                         self.node,
                         self.credits[self.idx(oi, ov)]
                     ));
@@ -429,18 +453,29 @@ mod tests {
     use crate::commit::commit_router_local;
     use crate::packet::{PacketClass, PacketStore, Payload};
     use crate::phase::{compute_router, ComputeScratch, Departure, RouterOutcome};
-    use crate::topology::Mesh;
+    use crate::topology::{Mesh, Topology, TopologySpec, EAST};
+
+    /// The mesh local port index.
+    const LOCAL: usize = 4;
+    /// The mesh North port index.
+    const NORTH_P: usize = 0;
+    /// The mesh South port index.
+    const SOUTH_P: usize = 1;
+
+    fn mesh_router(node: NodeId, config: NocConfig) -> Router {
+        Router::new(node, config, 5, 4)
+    }
 
     /// Runs the pure compute with throwaway arenas (production code
     /// reuses them; tests don't care).
-    fn compute(r: &Router, now: u64, store: &PacketStore, mesh: &Mesh) -> RouterOutcome {
+    fn compute(r: &Router, now: u64, store: &PacketStore, topo: &Topology) -> RouterOutcome {
         let mut scratch = ComputeScratch::default();
         let mut out = RouterOutcome::default();
         compute_router(
             r,
             now,
             store,
-            mesh,
+            topo,
             crate::faults::FaultGate::inert(),
             &mut scratch,
             &mut out,
@@ -450,8 +485,8 @@ mod tests {
 
     /// One router-local cycle: pure compute, then commit, as the network
     /// kernel does — minus the cross-router effects.
-    fn step(r: &mut Router, now: u64, store: &PacketStore, mesh: &Mesh) -> Vec<Departure> {
-        let outcome = compute(r, now, store, mesh);
+    fn step(r: &mut Router, now: u64, store: &PacketStore, topo: &Topology) -> Vec<Departure> {
+        let outcome = compute(r, now, store, topo);
         commit_router_local(r, &outcome);
         outcome.departures
     }
@@ -464,36 +499,22 @@ mod tests {
 
     #[test]
     fn compute_assigns_route_and_vc() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         let config = NocConfig::default();
-        let mut r = Router::new(NodeId(0), config);
+        let mut r = mesh_router(NodeId(0), config);
         let (store, id) = store_with_packet(NodeId(3), PacketClass::Request);
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(id, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(id, 1, 0)[0]);
         let outcome = compute(&r, 0, &store, &mesh);
-        assert_eq!(
-            outcome.routes,
-            vec![(Direction::Local.index(), 0, Direction::East)]
-        );
-        assert_eq!(
-            outcome.grants,
-            vec![(Direction::Local.index(), 0, Direction::East, 0)]
-        );
+        assert_eq!(outcome.routes, vec![(LOCAL, 0, EAST)]);
+        assert_eq!(outcome.grants, vec![(LOCAL, 0, EAST, 0)]);
     }
 
     #[test]
     fn compute_is_pure_until_commit() {
-        let mesh = Mesh::new(4, 4);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mesh = Mesh::new(4, 4).build();
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let (store, id) = store_with_packet(NodeId(3), PacketClass::Request);
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(id, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(id, 1, 0)[0]);
         let before = format!("{r:?}");
         let outcome = compute(&r, 0, &store, &mesh);
         assert_eq!(format!("{r:?}"), before, "compute must not mutate");
@@ -503,29 +524,22 @@ mod tests {
 
     #[test]
     fn sa_moves_single_flit_packet() {
-        let mesh = Mesh::new(4, 4);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mesh = Mesh::new(4, 4).build();
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(id, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(id, 1, 0)[0]);
         let deps = step(&mut r, 0, &store, &mesh);
         assert_eq!(deps.len(), 1);
-        assert_eq!(deps[0].out, Direction::East);
+        assert_eq!(deps[0].out, EAST);
         // Tail departed: VC released.
-        assert_eq!(r.vc(Direction::Local.index(), 0).state, VcState::Idle);
-        assert_eq!(
-            r.credit_in(Direction::East, 0),
-            NocConfig::default().buffer_depth - 1
-        );
+        assert_eq!(r.vc(LOCAL, 0).state, VcState::Idle);
+        assert_eq!(r.credit_in(EAST, 0), NocConfig::default().buffer_depth - 1);
     }
 
     #[test]
     fn sa_records_losers() {
-        let mesh = Mesh::new(4, 4);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mesh = Mesh::new(4, 4).build();
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let mut store = PacketStore::new();
         // Two packets from different ports contending for East.
         let a = store.create(
@@ -546,16 +560,8 @@ mod tests {
             0,
             1,
         );
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(a, 1, 0)[0],
-        );
-        r.accept(
-            Direction::North.index(),
-            0,
-            crate::packet::flits_for(b, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(a, 1, 0)[0]);
+        r.accept(NORTH_P, 0, crate::packet::flits_for(b, 1, 0)[0]);
         // Only one can own the East VC; the other stays Routed (VA loser).
         let deps = step(&mut r, 0, &store, &mesh);
         assert_eq!(deps.len(), 1);
@@ -567,8 +573,8 @@ mod tests {
 
     #[test]
     fn coherence_yields_to_critical() {
-        let mesh = Mesh::new(4, 4);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mesh = Mesh::new(4, 4).build();
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let mut store = PacketStore::new();
         let coh = store.create(
             NodeId(0),
@@ -589,16 +595,8 @@ mod tests {
             1,
         );
         // Same class VC (0) in different ports, both to East.
-        r.accept(
-            Direction::North.index(),
-            0,
-            crate::packet::flits_for(coh, 1, 0)[0],
-        );
-        r.accept(
-            Direction::South.index(),
-            0,
-            crate::packet::flits_for(req, 1, 0)[0],
-        );
+        r.accept(NORTH_P, 0, crate::packet::flits_for(coh, 1, 0)[0]);
+        r.accept(SOUTH_P, 0, crate::packet::flits_for(req, 1, 0)[0]);
         // Whichever got the out VC in VA wins; force the contest at SA by
         // checking that when both are active... only one can be Active on
         // out_vc 0, so the loser is a VA loser. The request should not be
@@ -615,29 +613,25 @@ mod tests {
 
     #[test]
     fn locked_vc_is_skipped() {
-        let mesh = Mesh::new(4, 4);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mesh = Mesh::new(4, 4).build();
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let (store, id) = store_with_packet(NodeId(1), PacketClass::Request);
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(id, 1, 0)[0],
-        );
-        r.set_locked(Direction::Local.index(), 0, true);
+        r.accept(LOCAL, 0, crate::packet::flits_for(id, 1, 0)[0]);
+        r.set_locked(LOCAL, 0, true);
         // RC/VA still run for a locked VC; only SA skips it.
         assert!(step(&mut r, 0, &store, &mesh).is_empty());
-        r.set_locked(Direction::Local.index(), 0, false);
+        r.set_locked(LOCAL, 0, false);
         assert_eq!(step(&mut r, 1, &store, &mesh).len(), 1);
     }
 
     #[test]
     fn credits_gate_departure() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         let config = NocConfig {
             buffer_depth: 1,
             ..NocConfig::default()
         };
-        let mut r = Router::new(NodeId(0), config);
+        let mut r = mesh_router(NodeId(0), config);
         let mut store = PacketStore::new();
         let a = store.create(
             NodeId(0),
@@ -657,27 +651,18 @@ mod tests {
             0,
             1,
         );
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(a, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(a, 1, 0)[0]);
         assert_eq!(step(&mut r, 0, &store, &mesh).len(), 1); // consumes the only credit
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(b, 1, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(b, 1, 0)[0]);
         assert!(step(&mut r, 1, &store, &mesh).is_empty(), "no credit left");
-        assert_eq!(r.sa_losers(), &[(Direction::Local.index(), 0)]);
-        r.return_credit(Direction::East, 0);
+        assert_eq!(r.sa_losers(), &[(LOCAL, 0)]);
+        r.return_credit(EAST, 0);
         assert_eq!(step(&mut r, 2, &store, &mesh).len(), 1);
     }
 
     #[test]
     fn reshape_shrinks_and_reports_delta() {
-        let mesh = Mesh::new(2, 2);
-        let mut r = Router::new(NodeId(0), NocConfig::default());
+        let mut r = mesh_router(NodeId(0), NocConfig::default());
         let mut store = PacketStore::new();
         let line = disco_compress::CacheLine::zeroed();
         let id = store.create(
@@ -690,12 +675,11 @@ mod tests {
             0,
         );
         for f in crate::packet::flits_for(id, 8, 0) {
-            r.accept(Direction::North.index(), 1, f);
+            r.accept(NORTH_P, 1, f);
         }
-        let _ = mesh;
-        let delta = r.reshape_packet(Direction::North.index(), 1, id, 2, true, 5);
+        let delta = r.reshape_packet(NORTH_P, 1, id, 2, true, 5);
         assert_eq!(delta, -6);
-        let vc = r.vc(Direction::North.index(), 1);
+        let vc = r.vc(NORTH_P, 1);
         assert_eq!(vc.occupancy(), 2);
         assert!(vc.buffer.back().unwrap().kind.is_tail());
         assert!(vc.buffer.front().unwrap().kind.is_head());
@@ -706,12 +690,12 @@ mod tests {
         // With 4 VCs, two concurrent response packets toward the same
         // output must take the two VCs of the response group (2 and 3),
         // never the control group.
-        let mesh = Mesh::new(3, 1);
+        let mesh = Mesh::new(3, 1).build();
         let config = NocConfig {
             vcs: 4,
             ..NocConfig::default()
         };
-        let mut r = Router::new(NodeId(0), config);
+        let mut r = mesh_router(NodeId(0), config);
         let mut store = PacketStore::new();
         let line = disco_compress::CacheLine::zeroed();
         let a = store.create(
@@ -733,20 +717,12 @@ mod tests {
             1,
         );
         // Two different input VCs of the response group hold the heads.
-        r.accept(
-            Direction::Local.index(),
-            2,
-            crate::packet::flits_for(a, 8, 0)[0],
-        );
-        r.accept(
-            Direction::North.index(),
-            3,
-            crate::packet::flits_for(b, 8, 0)[0],
-        );
+        r.accept(LOCAL, 2, crate::packet::flits_for(a, 8, 0)[0]);
+        r.accept(NORTH_P, 3, crate::packet::flits_for(b, 8, 0)[0]);
         let _ = step(&mut r, 0, &store, &mesh);
         // The SA winner's head departed but neither packet is done, so
         // both VCs stay Active on their granted output VC.
-        let states: Vec<_> = [(Direction::Local.index(), 2), (Direction::North.index(), 3)]
+        let states: Vec<_> = [(LOCAL, 2), (NORTH_P, 3)]
             .into_iter()
             .map(|(p, v)| r.vc(p, v).state)
             .collect();
@@ -754,7 +730,7 @@ mod tests {
         for st in states {
             match st {
                 VcState::Active { out, out_vc } => {
-                    assert_eq!(out, Direction::East);
+                    assert_eq!(out, EAST);
                     assert!(out_vc >= 2, "responses stay in the upper VC group");
                     out_vcs.push(out_vc);
                 }
@@ -767,12 +743,12 @@ mod tests {
 
     #[test]
     fn control_and_data_never_share_an_output_vc() {
-        let mesh = Mesh::new(2, 1);
+        let mesh = Mesh::new(2, 1).build();
         let config = NocConfig {
             vcs: 4,
             ..NocConfig::default()
         };
-        let mut r = Router::new(NodeId(0), config);
+        let mut r = mesh_router(NodeId(0), config);
         let mut store = PacketStore::new();
         let req = store.create(
             NodeId(0),
@@ -792,16 +768,8 @@ mod tests {
             0,
             1,
         );
-        r.accept(
-            Direction::Local.index(),
-            0,
-            crate::packet::flits_for(req, 1, 0)[0],
-        );
-        r.accept(
-            Direction::Local.index(),
-            2,
-            crate::packet::flits_for(resp, 8, 0)[0],
-        );
+        r.accept(LOCAL, 0, crate::packet::flits_for(req, 1, 0)[0]);
+        r.accept(LOCAL, 2, crate::packet::flits_for(resp, 8, 0)[0]);
         let outcome = compute(&r, 0, &store, &mesh);
         let grant_of = |port: usize, v: usize| {
             outcome
@@ -810,14 +778,28 @@ mod tests {
                 .find(|g| g.0 == port && g.1 == v)
                 .map(|g| g.3)
         };
-        match grant_of(Direction::Local.index(), 0) {
+        match grant_of(LOCAL, 0) {
             Some(out_vc) => assert!(out_vc < 2),
             None => panic!("request got no VC grant"),
         }
-        match grant_of(Direction::Local.index(), 2) {
+        match grant_of(LOCAL, 2) {
             Some(out_vc) => assert!(out_vc >= 2),
             None => panic!("response got no VC grant"),
         }
+    }
+
+    #[test]
+    fn ring_router_has_three_ports() {
+        let r = Router::new(NodeId(0), NocConfig::default(), 3, 2);
+        assert_eq!(r.ports(), 3);
+        assert_eq!(r.link_ports(), 2);
+        assert!(r.is_local_port(PortId(2)));
+        assert!(!r.is_local_port(PortId(1)));
+        // Local ejection credits are unbounded; link credits start at
+        // the downstream buffer depth.
+        assert!(r.credit_in(PortId(2), 0) > NocConfig::default().buffer_depth);
+        assert_eq!(r.credit_in(PortId(0), 0), NocConfig::default().buffer_depth);
+        r.check_invariants().expect("fresh ring router is legal");
     }
 
     #[test]
@@ -827,7 +809,7 @@ mod tests {
             buffer_depth: 2,
             ..NocConfig::default()
         };
-        let mut r = Router::new(NodeId(0), config);
+        let mut r = mesh_router(NodeId(0), config);
         let mut store = PacketStore::new();
         let id = store.create(
             NodeId(0),

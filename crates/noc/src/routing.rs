@@ -1,14 +1,29 @@
-//! Routing algorithms: deterministic XY/YX dimension order, O1TURN, and
-//! west-first turn-model adaptive routing.
+//! Routing: deterministic XY/YX dimension order, O1TURN, and west-first
+//! adaptive routing on the mesh family, plus the deterministic
+//! per-topology routes (shortest-direction ring, dimension-order wrap
+//! torus, two-level hierarchical ring) and the dateline virtual-channel
+//! discipline that keeps the wrapped shapes deadlock-free.
 //!
 //! The paper's baseline uses XY (Table 2) and §3.3 discusses how routing
 //! strategies interact with non-blocking selective de/compression; the
-//! additional algorithms here support that study. All are minimal, so
-//! `RC_Hop` (Eq. 2) remains the Manhattan distance.
+//! additional algorithms support that study. Routes take a *router*
+//! `here` and a *tile* `dst` (distinct only on the concentrated mesh)
+//! and return the output [`PortId`]; at the destination router the
+//! tile's own local port is returned.
+//!
+//! On the ring, torus, and hierarchical ring the [`RoutingAlgorithm`]
+//! knob is ignored: each has a single deterministic route, because the
+//! dateline deadlock proof below is per-direction and adaptive or
+//! salt-split routing would mix dimension orders the proof does not
+//! cover.
 
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{
+    NodeId, PortId, Topology, TopologyKind, CLOCKWISE, COUNTER_CLOCKWISE, EAST, GLOBAL_CLOCKWISE,
+    NORTH, SOUTH, WEST,
+};
+use std::ops::Range;
 
-/// A routing algorithm for the mesh.
+/// A routing algorithm for the mesh family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoutingAlgorithm {
     /// Dimension-order: X first, then Y (Table 2 default). Deadlock-free
@@ -27,301 +42,527 @@ pub enum RoutingAlgorithm {
     WestFirst,
 }
 
-/// Computes the output port from `here` toward `dst` under XY routing:
-/// first traverse the X dimension (columns), then Y (rows); `Local` when
-/// already at the destination.
-///
-/// XY routing on a mesh is deadlock-free within one virtual network,
-/// which is why Table 2 pairs it with only two VCs.
-///
-/// ```
-/// use disco_noc::routing::xy_route;
-/// use disco_noc::topology::{Direction, Mesh, NodeId};
-///
-/// let mesh = Mesh::new(4, 4);
-/// assert_eq!(xy_route(&mesh, NodeId(0), NodeId(3)), Direction::East);
-/// assert_eq!(xy_route(&mesh, NodeId(3), NodeId(15)), Direction::South);
-/// assert_eq!(xy_route(&mesh, NodeId(9), NodeId(9)), Direction::Local);
-/// ```
-pub fn xy_route(mesh: &Mesh, here: NodeId, dst: NodeId) -> Direction {
-    let (hc, hr) = mesh.coords(here);
-    let (dc, dr) = mesh.coords(dst);
+/// Grid XY hop from router `here` toward router `dest` (callers
+/// guarantee `here != dest`).
+fn grid_xy(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let (hc, hr) = topo.coords(here);
+    let (dc, dr) = topo.coords(dest);
     if hc < dc {
-        Direction::East
+        EAST
     } else if hc > dc {
-        Direction::West
+        WEST
     } else if hr < dr {
-        Direction::South
-    } else if hr > dr {
-        Direction::North
+        SOUTH
     } else {
-        Direction::Local
+        NORTH
     }
 }
 
-/// Computes the output port under YX dimension-order routing.
-pub fn yx_route(mesh: &Mesh, here: NodeId, dst: NodeId) -> Direction {
-    let (hc, hr) = mesh.coords(here);
-    let (dc, dr) = mesh.coords(dst);
+/// Grid YX hop (rows first).
+fn grid_yx(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let (hc, hr) = topo.coords(here);
+    let (dc, dr) = topo.coords(dest);
     if hr < dr {
-        Direction::South
+        SOUTH
     } else if hr > dr {
-        Direction::North
+        NORTH
     } else if hc < dc {
-        Direction::East
-    } else if hc > dc {
-        Direction::West
+        EAST
     } else {
-        Direction::Local
+        WEST
     }
+}
+
+/// Shortest-direction ring hop; ties go clockwise.
+fn ring_route(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let n = topo.routers();
+    let cw = (dest.0 + n - here.0) % n;
+    if cw <= n - cw {
+        CLOCKWISE
+    } else {
+        COUNTER_CLOCKWISE
+    }
+}
+
+/// Dimension-order torus hop: columns first, per-dimension shortest
+/// wrap direction, ties eastward/southward.
+fn torus_route(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let (hc, hr) = topo.coords(here);
+    let (dc, dr) = topo.coords(dest);
+    let (cols, rows) = (topo.cols(), topo.rows());
+    if hc != dc {
+        let east = (dc + cols - hc) % cols;
+        if east <= cols - east {
+            EAST
+        } else {
+            WEST
+        }
+    } else {
+        let south = (dr + rows - hr) % rows;
+        if south <= rows - south {
+            SOUTH
+        } else {
+            NORTH
+        }
+    }
+}
+
+/// Hierarchical-ring hop: clockwise around the local ring to the
+/// destination (same ring) or to the hub, then clockwise around the
+/// global ring, then clockwise to the destination position.
+fn hring_route(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let l = topo.cols();
+    let (hg, hp) = (here.0 / l, here.0 % l);
+    let dg = dest.0 / l;
+    if hg == dg || hp != 0 {
+        CLOCKWISE
+    } else {
+        GLOBAL_CLOCKWISE
+    }
+}
+
+/// The deterministic XY-family hop from router `here` toward tile
+/// `dst`; the single route of the non-grid kinds. The DISCO engine uses
+/// this to predict a packet's next hop.
+///
+/// ```
+/// use disco_noc::routing::xy_route;
+/// use disco_noc::topology::{Mesh, NodeId, TopologySpec, EAST, SOUTH};
+///
+/// let mesh = Mesh::new(4, 4).build();
+/// assert_eq!(xy_route(&mesh, NodeId(0), NodeId(3)), EAST);
+/// assert_eq!(xy_route(&mesh, NodeId(3), NodeId(15)), SOUTH);
+/// assert_eq!(xy_route(&mesh, NodeId(9), NodeId(9)), mesh.local_port(NodeId(9)));
+/// ```
+pub fn xy_route(topo: &Topology, here: NodeId, dst: NodeId) -> PortId {
+    route(RoutingAlgorithm::Xy, topo, here, dst, 0, |_| 0)
+}
+
+/// The YX dimension-order hop (grid kinds; elsewhere the deterministic
+/// route).
+pub fn yx_route(topo: &Topology, here: NodeId, dst: NodeId) -> PortId {
+    route(RoutingAlgorithm::Yx, topo, here, dst, 0, |_| 0)
 }
 
 /// Routes one hop under `algorithm`. `packet_salt` differentiates
 /// packets for O1TURN; `credits` reports downstream free slots for the
-/// adaptive choice (higher = preferred).
+/// adaptive choice (higher = preferred). Non-grid topologies ignore
+/// both and take their single deterministic route.
 pub fn route(
     algorithm: RoutingAlgorithm,
-    mesh: &Mesh,
+    topo: &Topology,
     here: NodeId,
     dst: NodeId,
     packet_salt: u64,
-    credits: impl Fn(Direction) -> usize,
-) -> Direction {
-    match algorithm {
-        RoutingAlgorithm::Xy => xy_route(mesh, here, dst),
-        RoutingAlgorithm::Yx => yx_route(mesh, here, dst),
-        RoutingAlgorithm::O1Turn => {
-            if packet_salt.is_multiple_of(2) {
-                xy_route(mesh, here, dst)
-            } else {
-                yx_route(mesh, here, dst)
+    credits: impl Fn(PortId) -> usize,
+) -> PortId {
+    let dest = topo.router_of(dst);
+    if here == dest {
+        return topo.local_port(dst);
+    }
+    match topo.kind() {
+        TopologyKind::Mesh | TopologyKind::ConcentratedMesh => match algorithm {
+            RoutingAlgorithm::Xy => grid_xy(topo, here, dest),
+            RoutingAlgorithm::Yx => grid_yx(topo, here, dest),
+            RoutingAlgorithm::O1Turn => {
+                if packet_salt.is_multiple_of(2) {
+                    grid_xy(topo, here, dest)
+                } else {
+                    grid_yx(topo, here, dest)
+                }
             }
-        }
-        RoutingAlgorithm::WestFirst => west_first_route(mesh, here, dst, credits),
+            RoutingAlgorithm::WestFirst => west_first_route(topo, here, dst, credits),
+        },
+        TopologyKind::Ring => ring_route(topo, here, dest),
+        TopologyKind::Torus => torus_route(topo, here, dest),
+        TopologyKind::HierarchicalRing => hring_route(topo, here, dest),
     }
 }
 
-/// West-first turn model: if the destination lies to the west, go west
-/// (deterministic); otherwise adaptively pick among the minimal
-/// directions (East/North/South) the one with the most credits.
+/// West-first turn model on the grid kinds: if the destination lies to
+/// the west, go west (deterministic); otherwise adaptively pick among
+/// the minimal directions (East/North/South) the one with the most
+/// credits.
 pub fn west_first_route(
-    mesh: &Mesh,
+    topo: &Topology,
     here: NodeId,
     dst: NodeId,
-    credits: impl Fn(Direction) -> usize,
-) -> Direction {
-    let (hc, hr) = mesh.coords(here);
-    let (dc, dr) = mesh.coords(dst);
+    credits: impl Fn(PortId) -> usize,
+) -> PortId {
+    let dest = topo.router_of(dst);
+    if here == dest {
+        return topo.local_port(dst);
+    }
+    let (hc, hr) = topo.coords(here);
+    let (dc, dr) = topo.coords(dest);
     if dc < hc {
-        return Direction::West;
+        return WEST;
     }
     let vertical = if dr > hr {
-        Some(Direction::South)
+        Some(SOUTH)
     } else if dr < hr {
-        Some(Direction::North)
+        Some(NORTH)
     } else {
         None
     };
     match (dc > hc, vertical) {
         // Both dimensions remain: adaptively prefer the better-credited
         // hop (ties go vertical, matching the historical arbitration).
-        (true, Some(v)) if credits(v) >= credits(Direction::East) => v,
-        (true, _) => Direction::East,
+        (true, Some(v)) if credits(v) >= credits(EAST) => v,
+        (true, _) => EAST,
         (false, Some(v)) => v,
-        (false, None) => Direction::Local,
+        (false, None) => topo.local_port(dst),
     }
 }
 
-/// Every output direction `algorithm` may select from `here` toward
-/// `dst`, over all packet salts and credit states.
+/// Every output port `algorithm` may select from router `here` toward
+/// tile `dst`, over all packet salts and credit states.
 ///
 /// This is the routing *relation* rather than one sampled decision, and
 /// it is what static deadlock analysis needs: the channel dependency
-/// graph must contain an edge for every direction the router could
-/// legally pick at run time (O1TURN contributes both dimension orders,
-/// west-first every minimal adaptive candidate).
+/// graph must contain an edge for every port the router could legally
+/// pick at run time (O1TURN contributes both dimension orders,
+/// west-first every minimal adaptive candidate; the non-grid kinds are
+/// single-valued).
 ///
 /// ```
 /// use disco_noc::routing::{route_choices, RoutingAlgorithm};
-/// use disco_noc::topology::{Direction, Mesh, NodeId};
+/// use disco_noc::topology::{Mesh, NodeId, TopologySpec, EAST, SOUTH};
 ///
-/// let mesh = Mesh::new(4, 4);
+/// let mesh = Mesh::new(4, 4).build();
 /// let xy = route_choices(RoutingAlgorithm::Xy, &mesh, NodeId(0), NodeId(15));
-/// assert_eq!(xy, vec![Direction::East]);
+/// assert_eq!(xy, vec![EAST]);
 /// let o1 = route_choices(RoutingAlgorithm::O1Turn, &mesh, NodeId(0), NodeId(15));
-/// assert_eq!(o1, vec![Direction::East, Direction::South]);
+/// assert_eq!(o1, vec![EAST, SOUTH]);
 /// ```
 pub fn route_choices(
     algorithm: RoutingAlgorithm,
-    mesh: &Mesh,
+    topo: &Topology,
     here: NodeId,
     dst: NodeId,
-) -> Vec<Direction> {
-    match algorithm {
-        RoutingAlgorithm::Xy => vec![xy_route(mesh, here, dst)],
-        RoutingAlgorithm::Yx => vec![yx_route(mesh, here, dst)],
-        RoutingAlgorithm::O1Turn => {
-            let a = xy_route(mesh, here, dst);
-            let b = yx_route(mesh, here, dst);
-            if a == b {
-                vec![a]
+) -> Vec<PortId> {
+    let dest = topo.router_of(dst);
+    if here == dest {
+        return vec![topo.local_port(dst)];
+    }
+    match topo.kind() {
+        TopologyKind::Mesh | TopologyKind::ConcentratedMesh => match algorithm {
+            RoutingAlgorithm::Xy => vec![grid_xy(topo, here, dest)],
+            RoutingAlgorithm::Yx => vec![grid_yx(topo, here, dest)],
+            RoutingAlgorithm::O1Turn => {
+                let a = grid_xy(topo, here, dest);
+                let b = grid_yx(topo, here, dest);
+                if a == b {
+                    vec![a]
+                } else {
+                    vec![a, b]
+                }
+            }
+            RoutingAlgorithm::WestFirst => {
+                let (hc, hr) = topo.coords(here);
+                let (dc, dr) = topo.coords(dest);
+                if dc < hc {
+                    return vec![WEST];
+                }
+                let mut candidates = Vec::with_capacity(2);
+                if dc > hc {
+                    candidates.push(EAST);
+                }
+                if dr > hr {
+                    candidates.push(SOUTH);
+                } else if dr < hr {
+                    candidates.push(NORTH);
+                }
+                candidates
+            }
+        },
+        TopologyKind::Ring => vec![ring_route(topo, here, dest)],
+        TopologyKind::Torus => vec![torus_route(topo, here, dest)],
+        TopologyKind::HierarchicalRing => vec![hring_route(topo, here, dest)],
+    }
+}
+
+/// Remaining hop count from `here` to `dst` (both tiles) — the `RC_Hop`
+/// term of the decompression confidence equation (Eq. 2). This is the
+/// deterministic route length: minimal everywhere except the
+/// unidirectional hierarchical ring.
+pub fn remaining_hops(topo: &Topology, here: NodeId, dst: NodeId) -> usize {
+    topo.hops(here, dst)
+}
+
+/// The output-VC subset a packet routed from `here` through `out`
+/// toward `dst` may allocate, within its class group — the **dateline**
+/// discipline that makes the wrapped topologies deadlock-free.
+///
+/// Each class VC group of a ring direction is split into a low half and
+/// a high half with the dateline at router 0 (per dimension on the
+/// torus; per ring level on the hierarchical ring). A hop that still
+/// has the dateline ahead of it runs on the low half; a hop past it (or
+/// on a path that never wraps) runs high. Within one direction the low
+/// edge set `{i→i+1 : i > dest}` cannot contain the wrap edge (`0 >
+/// dest` is impossible) and the high set `{i→i+1 : i < dest}` cannot
+/// either, so both halves are acyclic, and a packet only ever moves
+/// low→high (crossing router 0 flips `here > dest` to `here < dest`),
+/// giving a total order. The hierarchical ring orders local-low <
+/// global-low < global-high < local-high the same way: the run to the
+/// hub targets position 0, which is never clockwise-ahead of a non-hub
+/// (`target < here`), so it is all-low; post-hub hops target `dest >
+/// 0 = here at the hub` onward, all-high. The mesh family needs no
+/// dateline and keeps the full group — byte-identical to the
+/// pre-topology-substrate behaviour.
+///
+/// `disco-verify`'s channel-dependency pass machine-checks all of this;
+/// the prose is the intuition, the CDG walk is the proof.
+pub fn output_vc_range(
+    topo: &Topology,
+    here: NodeId,
+    out: PortId,
+    dst: NodeId,
+    group: Range<usize>,
+) -> Range<usize> {
+    if topo.is_local(out) || group.len() < 2 {
+        return group;
+    }
+    let mid = group.start + group.len() / 2;
+    let (low, high) = (group.start..mid, mid..group.end);
+    let dest = topo.router_of(dst);
+    match topo.kind() {
+        TopologyKind::Mesh | TopologyKind::ConcentratedMesh => group,
+        TopologyKind::Ring => {
+            // CW traffic is pre-dateline while `here > dest` (the wrap
+            // edge n-1→0 is still ahead); CCW mirrors it.
+            let pre_dateline = match out {
+                CLOCKWISE => here.0 > dest.0,
+                _ => here.0 < dest.0,
+            };
+            if pre_dateline {
+                low
             } else {
-                vec![a, b]
+                high
             }
         }
-        RoutingAlgorithm::WestFirst => {
-            let (hc, hr) = mesh.coords(here);
-            let (dc, dr) = mesh.coords(dst);
-            if hc == dc && hr == dr {
-                return vec![Direction::Local];
+        TopologyKind::Torus => {
+            let (hc, hr) = topo.coords(here);
+            let (dc, dr) = topo.coords(dest);
+            let pre_dateline = match out {
+                EAST => hc > dc,
+                WEST => hc < dc,
+                SOUTH => hr > dr,
+                _ => hr < dr,
+            };
+            if pre_dateline {
+                low
+            } else {
+                high
             }
-            if dc < hc {
-                return vec![Direction::West];
+        }
+        TopologyKind::HierarchicalRing => {
+            let l = topo.cols();
+            let (hg, hp) = (here.0 / l, here.0 % l);
+            let (dg, dp) = (dest.0 / l, dest.0 % l);
+            let pre_dateline = if out == GLOBAL_CLOCKWISE {
+                dg < hg
+            } else {
+                // Local-ring target: the destination position when
+                // already on its ring, else the hub (position 0).
+                let target = if hg == dg { dp } else { 0 };
+                target < hp
+            };
+            if pre_dateline {
+                low
+            } else {
+                high
             }
-            let mut candidates = Vec::with_capacity(2);
-            if dc > hc {
-                candidates.push(Direction::East);
-            }
-            if dr > hr {
-                candidates.push(Direction::South);
-            } else if dr < hr {
-                candidates.push(Direction::North);
-            }
-            candidates
         }
     }
 }
 
-/// Remaining hop count from `here` to `dst` — the `RC_Hop` term of the
-/// decompression confidence equation (Eq. 2). All supported algorithms
-/// are minimal, so this is the Manhattan distance.
-pub fn remaining_hops(mesh: &Mesh, here: NodeId, dst: NodeId) -> usize {
-    mesh.hops(here, dst)
+/// True when the `port`-direction ring walk from `from` to `to` crosses
+/// a dead or missing link.
+fn ring_path_dead(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    port: PortId,
+    dead: &impl Fn(NodeId, PortId) -> bool,
+) -> bool {
+    let mut node = from;
+    for _ in 0..topo.routers() {
+        if node == to {
+            return false;
+        }
+        if dead(node, port) {
+            return true;
+        }
+        match topo.out_link(node, port) {
+            Some((next, _)) => node = next,
+            None => return true,
+        }
+    }
+    true
 }
 
-/// Fault-aware escape routing: detours around a dead link on the primary
-/// route where a turn-model-legal detour exists.
+/// Fault-aware escape routing: detours around a dead link on the
+/// primary route where a provably safe detour exists.
 ///
-/// The escape relation is deliberately conservative so that the union of
-/// the primary dimension-order routes and every escape stays acyclic (the
+/// The escape relation is deliberately conservative so that the union
+/// of the primary routes and every escape stays acyclic (the
 /// `disco-verify` channel-dependency pass proves this for the shipped
-/// combination): only *eastward* primary hops are escaped, via a vertical
-/// detour, which never introduces a turn into West and keeps the
-/// west-first turn discipline intact. A dead West or vertical link has no
-/// west-first-legal detour, so the packet proceeds onto the dead link and
-/// is black-holed there — detection and NI retransmission recover it, and
-/// retry exhaustion bounds the loss.
+/// combinations):
 ///
-/// The detour prefers the minimal vertical direction (stays minimal);
-/// when the destination is in the same row — or that hop is itself dead
-/// or off-mesh — it sidesteps one row (South, then North) and lets
-/// dimension-order routing resume east from there. Escapes are a pure
-/// function of `(here, dst)`, so per-destination channel walks see a
-/// deterministic relation.
+/// - **Mesh / concentrated mesh** — only *eastward* primary hops are
+///   escaped, via a vertical detour, which never introduces a turn into
+///   West and keeps the west-first turn discipline intact. A dead West
+///   or vertical link has no west-first-legal detour, so the packet
+///   proceeds onto the dead link and is black-holed there — detection
+///   and NI retransmission recover it, and retry exhaustion bounds the
+///   loss. The detour prefers the minimal vertical direction; when the
+///   destination is in the same row — or that hop is itself dead or
+///   off-mesh — it sidesteps one row (South, then North) and lets
+///   dimension-order routing resume east from there.
+/// - **Ring** — the whole remaining path in the primary direction is
+///   checked against the dead-link set; if blocked, and the opposite
+///   direction is clear, the packet reverses *once, globally*: because
+///   a clockwise path from any later position only grows the blocked
+///   clockwise path, every subsequent hop makes the same
+///   direction choice, so no packet ever alternates directions and the
+///   per-direction dateline proofs stand untouched. (Escaping on the
+///   immediate-link test the mesh uses would ping-pong between the two
+///   directions — a genuine two-channel cycle.)
+/// - **Torus / hierarchical ring** — no escape: a reversal would break
+///   the dateline order (the hierarchical ring has no reverse links at
+///   all), so dead links black-hole and NI retransmission owns
+///   recovery, exactly like the mesh's dead-West case.
+///
+/// Escapes are a pure function of `(here, dst)` and the dead set, so
+/// per-destination channel walks see a deterministic relation.
 pub fn escape_route(
-    mesh: &Mesh,
+    topo: &Topology,
     here: NodeId,
     dst: NodeId,
-    primary: Direction,
-    dead: impl Fn(NodeId, Direction) -> bool,
-) -> Direction {
-    if primary == Direction::Local || !dead(here, primary) {
+    primary: PortId,
+    dead: impl Fn(NodeId, PortId) -> bool,
+) -> PortId {
+    if topo.is_local(primary) {
         return primary;
     }
-    if primary != Direction::East {
-        return primary;
-    }
-    let (_, hr) = mesh.coords(here);
-    let (_, dr) = mesh.coords(dst);
-    let minimal_vertical = if dr > hr {
-        Some(Direction::South)
-    } else if dr < hr {
-        Some(Direction::North)
-    } else {
-        None
-    };
-    if let Some(v) = minimal_vertical {
-        if mesh.neighbor(here, v).is_some() && !dead(here, v) {
-            return v;
+    match topo.kind() {
+        TopologyKind::Mesh | TopologyKind::ConcentratedMesh => {
+            if !dead(here, primary) || primary != EAST {
+                return primary;
+            }
+            let (_, hr) = topo.coords(here);
+            let (_, dr) = topo.coords(topo.router_of(dst));
+            let minimal_vertical = if dr > hr {
+                Some(SOUTH)
+            } else if dr < hr {
+                Some(NORTH)
+            } else {
+                None
+            };
+            if let Some(v) = minimal_vertical {
+                if topo.out_link(here, v).is_some() && !dead(here, v) {
+                    return v;
+                }
+            }
+            for v in [SOUTH, NORTH] {
+                if Some(v) == minimal_vertical {
+                    continue;
+                }
+                if topo.out_link(here, v).is_some() && !dead(here, v) {
+                    return v;
+                }
+            }
+            primary
         }
-    }
-    for v in [Direction::South, Direction::North] {
-        if Some(v) == minimal_vertical {
-            continue;
+        TopologyKind::Ring => {
+            let dest = topo.router_of(dst);
+            let other = PortId(1 - primary.0);
+            if ring_path_dead(topo, here, dest, primary, &dead)
+                && !ring_path_dead(topo, here, dest, other, &dead)
+            {
+                other
+            } else {
+                primary
+            }
         }
-        if mesh.neighbor(here, v).is_some() && !dead(here, v) {
-            return v;
-        }
+        TopologyKind::Torus | TopologyKind::HierarchicalRing => primary,
     }
-    primary
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{HierarchicalRing, Mesh, Ring, TopologyChoice, TopologySpec, Torus};
+
+    /// Walks the deterministic route (salt 0, flat credits) from tile
+    /// `src` to tile `dst`, returning the hop count; panics on a loop.
+    fn walk(topo: &Topology, alg: RoutingAlgorithm, src: NodeId, dst: NodeId, salt: u64) -> usize {
+        let mut here = topo.router_of(src);
+        let mut steps = 0;
+        loop {
+            let port = route(alg, topo, here, dst, salt, |_| 4);
+            if topo.is_local(port) {
+                assert_eq!(port, topo.local_port(dst), "ejected at the wrong tile port");
+                return steps;
+            }
+            here = topo
+                .out_link(here, port)
+                .expect("route follows live links")
+                .0;
+            steps += 1;
+            assert!(steps <= 4 * topo.routers(), "routing loop {src}->{dst}");
+        }
+    }
 
     #[test]
     fn x_before_y() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         // From 0 (0,0) to 15 (3,3): go East until column matches.
         let mut here = NodeId(0);
         let dst = NodeId(15);
         let mut path = Vec::new();
         loop {
-            let dir = xy_route(&mesh, here, dst);
-            if dir == Direction::Local {
+            let port = xy_route(&mesh, here, dst);
+            if mesh.is_local(port) {
                 break;
             }
-            path.push(dir);
-            here = mesh.neighbor(here, dir).expect("route stays in mesh");
+            path.push(port);
+            here = mesh.out_link(here, port).expect("route stays in mesh").0;
         }
-        assert_eq!(
-            path,
-            vec![
-                Direction::East,
-                Direction::East,
-                Direction::East,
-                Direction::South,
-                Direction::South,
-                Direction::South
-            ]
-        );
+        assert_eq!(path, vec![EAST, EAST, EAST, SOUTH, SOUTH, SOUTH]);
     }
 
     #[test]
     fn route_length_equals_manhattan() {
-        let mesh = Mesh::new(5, 3);
-        for a in 0..mesh.nodes() {
-            for b in 0..mesh.nodes() {
-                let (mut here, dst) = (NodeId(a), NodeId(b));
-                let mut steps = 0;
-                while xy_route(&mesh, here, dst) != Direction::Local {
-                    here = mesh.neighbor(here, xy_route(&mesh, here, dst)).unwrap();
-                    steps += 1;
-                    assert!(steps <= mesh.nodes(), "routing loop");
-                }
+        let mesh = Mesh::new(5, 3).build();
+        for a in 0..mesh.tiles() {
+            for b in 0..mesh.tiles() {
+                let steps = walk(&mesh, RoutingAlgorithm::Xy, NodeId(a), NodeId(b), 0);
                 assert_eq!(steps, mesh.hops(NodeId(a), NodeId(b)));
             }
         }
     }
 
     #[test]
-    fn remaining_hops_matches_mesh() {
-        let mesh = Mesh::new(4, 4);
+    fn remaining_hops_matches_topology() {
+        let mesh = Mesh::new(4, 4).build();
         assert_eq!(remaining_hops(&mesh, NodeId(0), NodeId(15)), 6);
+        let ring = Ring::new(8).build();
+        assert_eq!(remaining_hops(&ring, NodeId(0), NodeId(6)), 2);
     }
 
     #[test]
     fn yx_routes_y_first() {
-        let mesh = Mesh::new(4, 4);
-        assert_eq!(yx_route(&mesh, NodeId(0), NodeId(15)), Direction::South);
-        assert_eq!(yx_route(&mesh, NodeId(12), NodeId(15)), Direction::East);
-        assert_eq!(yx_route(&mesh, NodeId(5), NodeId(5)), Direction::Local);
+        let mesh = Mesh::new(4, 4).build();
+        assert_eq!(yx_route(&mesh, NodeId(0), NodeId(15)), SOUTH);
+        assert_eq!(yx_route(&mesh, NodeId(12), NodeId(15)), EAST);
+        assert!(mesh.is_local(yx_route(&mesh, NodeId(5), NodeId(5))));
     }
 
     #[test]
-    fn all_algorithms_are_minimal() {
-        let mesh = Mesh::new(4, 4);
+    fn all_algorithms_are_minimal_on_the_mesh() {
+        let mesh = Mesh::new(4, 4).build();
         for alg in [
             RoutingAlgorithm::Xy,
             RoutingAlgorithm::Yx,
@@ -331,19 +572,118 @@ mod tests {
             for a in 0..16 {
                 for b in 0..16 {
                     for salt in [0u64, 1] {
-                        let mut here = NodeId(a);
-                        let dst = NodeId(b);
-                        let mut steps = 0;
-                        loop {
-                            let dir = route(alg, &mesh, here, dst, salt, |_| 4);
-                            if dir == Direction::Local {
-                                break;
-                            }
-                            here = mesh.neighbor(here, dir).expect("in mesh");
-                            steps += 1;
-                            assert!(steps <= 12, "{alg:?} non-minimal {a}->{b}");
-                        }
+                        let steps = walk(&mesh, alg, NodeId(a), NodeId(b), salt);
                         assert_eq!(steps, mesh.hops(NodeId(a), NodeId(b)), "{alg:?} {a}->{b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_topology_delivers_every_pair_at_route_length() {
+        for choice in TopologyChoice::ALL {
+            let topo = choice.build(4, 4);
+            for a in 0..topo.tiles() {
+                for b in 0..topo.tiles() {
+                    for salt in [0u64, 1] {
+                        let steps = walk(&topo, RoutingAlgorithm::Xy, NodeId(a), NodeId(b), salt);
+                        assert_eq!(
+                            steps,
+                            topo.hops(NodeId(a), NodeId(b)),
+                            "{choice} {a}->{b} route length"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_goes_the_short_way_with_clockwise_ties() {
+        let ring = Ring::new(8).build();
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &ring, NodeId(0), NodeId(3), 0, |_| 0),
+            CLOCKWISE
+        );
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &ring, NodeId(0), NodeId(6), 0, |_| 0),
+            COUNTER_CLOCKWISE
+        );
+        // Exactly opposite: tie resolves clockwise.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &ring, NodeId(0), NodeId(4), 0, |_| 0),
+            CLOCKWISE
+        );
+    }
+
+    #[test]
+    fn torus_wraps_where_shorter() {
+        let torus = Torus::new(4, 4).build();
+        // 0 → 3 is one westward wrap hop, not three eastward.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &torus, NodeId(0), NodeId(3), 0, |_| 0),
+            WEST
+        );
+        // 0 → 12 wraps north.
+        assert_eq!(
+            route(
+                RoutingAlgorithm::Xy,
+                &torus,
+                NodeId(0),
+                NodeId(12),
+                0,
+                |_| 0
+            ),
+            NORTH
+        );
+        // Columns resolve before rows.
+        assert_eq!(
+            route(
+                RoutingAlgorithm::Xy,
+                &torus,
+                NodeId(0),
+                NodeId(13),
+                0,
+                |_| 0
+            ),
+            EAST
+        );
+    }
+
+    #[test]
+    fn hring_routes_via_hubs() {
+        let hring = HierarchicalRing::new(3, 4).build();
+        // Same ring: clockwise.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &hring, NodeId(1), NodeId(3), 0, |_| 0),
+            CLOCKWISE
+        );
+        // Cross ring off-hub: clockwise toward the hub.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &hring, NodeId(1), NodeId(6), 0, |_| 0),
+            CLOCKWISE
+        );
+        // Cross ring at the hub: take the global ring.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &hring, NodeId(0), NodeId(6), 0, |_| 0),
+            GLOBAL_CLOCKWISE
+        );
+    }
+
+    #[test]
+    fn non_grid_choices_are_single_valued() {
+        for choice in [
+            TopologyChoice::Ring,
+            TopologyChoice::HRing,
+            TopologyChoice::Torus,
+        ] {
+            let topo = choice.build(4, 4);
+            for alg in [RoutingAlgorithm::O1Turn, RoutingAlgorithm::WestFirst] {
+                for a in 0..topo.tiles() {
+                    for b in 0..topo.tiles() {
+                        let choices = route_choices(alg, &topo, NodeId(a), NodeId(b));
+                        assert_eq!(choices.len(), 1, "{choice} must stay deterministic");
                     }
                 }
             }
@@ -354,22 +694,23 @@ mod tests {
     fn west_first_never_turns_to_west() {
         // Once moving non-west, a west-first route must not need west
         // again: destinations west of the source start with West hops.
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         for a in 0..16 {
             for b in 0..16 {
                 let mut here = NodeId(a);
                 let dst = NodeId(b);
                 let mut seen_non_west = false;
                 loop {
-                    let dir = west_first_route(&mesh, here, dst, |_| 1);
-                    match dir {
-                        Direction::Local => break,
-                        Direction::West => {
-                            assert!(!seen_non_west, "illegal turn back west {a}->{b}")
-                        }
-                        _ => seen_non_west = true,
+                    let port = west_first_route(&mesh, here, dst, |_| 1);
+                    if mesh.is_local(port) {
+                        break;
                     }
-                    here = mesh.neighbor(here, dir).expect("in mesh");
+                    if port == WEST {
+                        assert!(!seen_non_west, "illegal turn back west {a}->{b}");
+                    } else {
+                        seen_non_west = true;
+                    }
+                    here = mesh.out_link(here, port).expect("in mesh").0;
                 }
             }
         }
@@ -377,49 +718,41 @@ mod tests {
 
     #[test]
     fn west_first_adapts_to_credits() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         // From 0 to 15: East and South both minimal; pick the one with
         // more credits.
-        let east_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
-            if d == Direction::East {
-                8
-            } else {
-                1
-            }
-        });
-        assert_eq!(east_full, Direction::East);
-        let south_full = west_first_route(&mesh, NodeId(0), NodeId(15), |d| {
-            if d == Direction::South {
-                8
-            } else {
-                1
-            }
-        });
-        assert_eq!(south_full, Direction::South);
+        let east_full =
+            west_first_route(
+                &mesh,
+                NodeId(0),
+                NodeId(15),
+                |p| if p == EAST { 8 } else { 1 },
+            );
+        assert_eq!(east_full, EAST);
+        let south_full =
+            west_first_route(
+                &mesh,
+                NodeId(0),
+                NodeId(15),
+                |p| if p == SOUTH { 8 } else { 1 },
+            );
+        assert_eq!(south_full, SOUTH);
     }
 
     #[test]
     fn escape_detours_dead_east_links() {
-        let mesh = Mesh::new(4, 4);
-        let dead = |n: NodeId, d: Direction| n == NodeId(5) && d == Direction::East;
+        let mesh = Mesh::new(4, 4).build();
+        let dead = |n: NodeId, p: PortId| n == NodeId(5) && p == EAST;
         // 5 -> 7 (same row): East is dead, sidestep South and resume.
-        assert_eq!(
-            escape_route(&mesh, NodeId(5), NodeId(7), Direction::East, dead),
-            Direction::South
-        );
+        assert_eq!(escape_route(&mesh, NodeId(5), NodeId(7), EAST, dead), SOUTH);
         // 5 -> 3 (row above): the minimal vertical wins.
-        assert_eq!(
-            escape_route(&mesh, NodeId(5), NodeId(3), Direction::East, dead),
-            Direction::North
-        );
+        assert_eq!(escape_route(&mesh, NodeId(5), NodeId(3), EAST, dead), NORTH);
         // Alive links pass through untouched.
+        assert_eq!(escape_route(&mesh, NodeId(6), NodeId(7), EAST, dead), EAST);
+        let local = mesh.local_port(NodeId(5));
         assert_eq!(
-            escape_route(&mesh, NodeId(6), NodeId(7), Direction::East, dead),
-            Direction::East
-        );
-        assert_eq!(
-            escape_route(&mesh, NodeId(5), NodeId(5), Direction::Local, dead),
-            Direction::Local
+            escape_route(&mesh, NodeId(5), NodeId(5), local, dead),
+            local
         );
     }
 
@@ -428,8 +761,8 @@ mod tests {
         // Every (src, dst) pair still reaches its destination under
         // XY + escape with one dead East link, except pairs that must
         // cross a dead *West* link (none here).
-        let mesh = Mesh::new(4, 4);
-        let dead = |n: NodeId, d: Direction| n == NodeId(5) && d == Direction::East;
+        let mesh = Mesh::new(4, 4).build();
+        let dead = |n: NodeId, p: PortId| n == NodeId(5) && p == EAST;
         for a in 0..16 {
             for b in 0..16 {
                 let mut here = NodeId(a);
@@ -437,12 +770,12 @@ mod tests {
                 let mut steps = 0;
                 loop {
                     let primary = xy_route(&mesh, here, dst);
-                    let dir = escape_route(&mesh, here, dst, primary, dead);
-                    if dir == Direction::Local {
+                    let port = escape_route(&mesh, here, dst, primary, dead);
+                    if mesh.is_local(port) {
                         break;
                     }
-                    assert!(!dead(here, dir), "walked onto the dead link {a}->{b}");
-                    here = mesh.neighbor(here, dir).expect("escape stays in mesh");
+                    assert!(!dead(here, port), "walked onto the dead link {a}->{b}");
+                    here = mesh.out_link(here, port).expect("escape stays in mesh").0;
                     steps += 1;
                     assert!(steps <= 16, "escape walk loops {a}->{b}");
                 }
@@ -454,14 +787,14 @@ mod tests {
     fn escape_never_introduces_west_turns() {
         // The acyclicity argument: no escape ever returns West, so the
         // XY ∪ escape union contains no turn into the West direction.
-        let mesh = Mesh::new(4, 4);
-        let dead = |n: NodeId, _: Direction| n.0.is_multiple_of(3);
+        let mesh = Mesh::new(4, 4).build();
+        let dead = |n: NodeId, _: PortId| n.0.is_multiple_of(3);
         for a in 0..16 {
             for b in 0..16 {
                 let primary = xy_route(&mesh, NodeId(a), NodeId(b));
-                let dir = escape_route(&mesh, NodeId(a), NodeId(b), primary, dead);
-                if dir == Direction::West {
-                    assert_eq!(primary, Direction::West, "escape invented a West hop");
+                let port = escape_route(&mesh, NodeId(a), NodeId(b), primary, dead);
+                if port == WEST {
+                    assert_eq!(primary, WEST, "escape invented a West hop");
                 }
             }
         }
@@ -471,17 +804,62 @@ mod tests {
     fn dead_west_link_has_no_escape() {
         // West-first discipline leaves no legal detour: the primary is
         // returned unchanged and the recovery layer handles the loss.
-        let mesh = Mesh::new(4, 4);
-        let dead = |n: NodeId, d: Direction| n == NodeId(1) && d == Direction::West;
+        let mesh = Mesh::new(4, 4).build();
+        let dead = |n: NodeId, p: PortId| n == NodeId(1) && p == WEST;
+        assert_eq!(escape_route(&mesh, NodeId(1), NodeId(0), WEST, dead), WEST);
+    }
+
+    #[test]
+    fn ring_escape_reverses_once_and_delivers() {
+        let ring = Ring::new(8).build();
+        // Dead clockwise link at 1: 0 → 3 must reverse and go the long
+        // way counter-clockwise.
+        let dead = |n: NodeId, p: PortId| n == NodeId(1) && p == CLOCKWISE;
+        for (a, b) in (0..8).flat_map(|a| (0..8).map(move |b| (a, b))) {
+            let mut here = NodeId(a);
+            let dst = NodeId(b);
+            let mut directions = Vec::new();
+            let mut steps = 0;
+            loop {
+                let primary = route(RoutingAlgorithm::Xy, &ring, here, dst, 0, |_| 0);
+                let port = escape_route(&ring, here, dst, primary, dead);
+                if ring.is_local(port) {
+                    break;
+                }
+                assert!(!dead(here, port), "walked onto the dead link {a}->{b}");
+                if directions.last() != Some(&port) {
+                    directions.push(port);
+                }
+                here = ring.out_link(here, port).expect("in ring").0;
+                steps += 1;
+                assert!(steps <= 8, "ring escape loops {a}->{b}");
+            }
+            assert!(
+                directions.len() <= 1,
+                "{a}->{b} alternated directions {directions:?}: that is the CDG cycle \
+                 the path-blocked escape exists to prevent"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_and_hring_have_no_escape() {
+        let torus = Torus::new(4, 4).build();
+        let all_dead = |_: NodeId, _: PortId| true;
         assert_eq!(
-            escape_route(&mesh, NodeId(1), NodeId(0), Direction::West, dead),
-            Direction::West
+            escape_route(&torus, NodeId(0), NodeId(1), EAST, all_dead),
+            EAST
+        );
+        let hring = HierarchicalRing::new(2, 4).build();
+        assert_eq!(
+            escape_route(&hring, NodeId(1), NodeId(3), CLOCKWISE, all_dead),
+            CLOCKWISE
         );
     }
 
     #[test]
     fn o1turn_splits_by_salt() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         let even = route(
             RoutingAlgorithm::O1Turn,
             &mesh,
@@ -498,7 +876,104 @@ mod tests {
             1,
             |_| 1,
         );
-        assert_eq!(even, Direction::East);
-        assert_eq!(odd, Direction::South);
+        assert_eq!(even, EAST);
+        assert_eq!(odd, SOUTH);
+    }
+
+    #[test]
+    fn mesh_keeps_the_full_vc_group() {
+        let mesh = Mesh::new(4, 4).build();
+        assert_eq!(
+            output_vc_range(&mesh, NodeId(0), EAST, NodeId(3), 0..2),
+            0..2
+        );
+        assert_eq!(
+            output_vc_range(&mesh, NodeId(0), EAST, NodeId(3), 2..4),
+            2..4
+        );
+    }
+
+    #[test]
+    fn ring_dateline_splits_the_group() {
+        let ring = Ring::new(8).build();
+        // CW from 6 to 2 wraps: pre-dateline, low half.
+        assert_eq!(
+            output_vc_range(&ring, NodeId(6), CLOCKWISE, NodeId(2), 2..4),
+            2..3
+        );
+        // Same packet after the wrap (at 1, dest 2): high half.
+        assert_eq!(
+            output_vc_range(&ring, NodeId(1), CLOCKWISE, NodeId(2), 2..4),
+            3..4
+        );
+        // CW without a wrap ahead: high.
+        assert_eq!(
+            output_vc_range(&ring, NodeId(1), CLOCKWISE, NodeId(3), 0..2),
+            1..2
+        );
+        // CCW mirrors.
+        assert_eq!(
+            output_vc_range(&ring, NodeId(2), COUNTER_CLOCKWISE, NodeId(6), 0..2),
+            0..1
+        );
+    }
+
+    #[test]
+    fn torus_dateline_is_per_dimension() {
+        let torus = Torus::new(4, 4).build();
+        // Eastward with a column wrap ahead (col 3 → col 1): low.
+        assert_eq!(
+            output_vc_range(&torus, NodeId(3), EAST, NodeId(1), 2..4),
+            2..3
+        );
+        // Eastward, no wrap: high.
+        assert_eq!(
+            output_vc_range(&torus, NodeId(0), EAST, NodeId(1), 2..4),
+            3..4
+        );
+        // Southward with a row wrap ahead (row 3 → row 0... row 1): low.
+        assert_eq!(
+            output_vc_range(&torus, NodeId(12), SOUTH, NodeId(4), 2..4),
+            2..3
+        );
+    }
+
+    #[test]
+    fn hring_hub_run_is_low_and_post_hub_high() {
+        let hring = HierarchicalRing::new(3, 4).build();
+        // Off-hub toward another ring: heading to the hub, low.
+        assert_eq!(
+            output_vc_range(&hring, NodeId(1), CLOCKWISE, NodeId(6), 0..2),
+            0..1
+        );
+        // On the destination ring past the hub: high.
+        assert_eq!(
+            output_vc_range(&hring, NodeId(4), CLOCKWISE, NodeId(6), 0..2),
+            1..2
+        );
+        // Global ring with the hub dateline ahead: 2 → 1 wraps, low.
+        assert_eq!(
+            output_vc_range(&hring, NodeId(8), GLOBAL_CLOCKWISE, NodeId(4), 0..2),
+            0..1
+        );
+        // Global ring without a wrap: high.
+        assert_eq!(
+            output_vc_range(&hring, NodeId(0), GLOBAL_CLOCKWISE, NodeId(4), 0..2),
+            1..2
+        );
+    }
+
+    #[test]
+    fn local_ports_and_tiny_groups_keep_the_group() {
+        let ring = Ring::new(8).build();
+        let local = ring.local_port(NodeId(0));
+        assert_eq!(
+            output_vc_range(&ring, NodeId(0), local, NodeId(0), 0..2),
+            0..2
+        );
+        assert_eq!(
+            output_vc_range(&ring, NodeId(6), CLOCKWISE, NodeId(2), 0..1),
+            0..1
+        );
     }
 }

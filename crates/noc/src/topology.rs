@@ -1,9 +1,36 @@
-//! Mesh topology: node identifiers, coordinates, and port directions.
+//! Graph-described topologies: node identifiers, per-router port
+//! tables, and the builders for every shipped network shape.
+//!
+//! Topology is **data, not code**: a [`Topology`] is a pair of link
+//! tables — `out_links[(router, port)] → (downstream router, its input
+//! port)` and `in_sources[(router, port)] → (upstream router, its
+//! output port)` — plus a little per-kind geometry the routing
+//! functions use. Every router of a topology has the same `radix`;
+//! ports `0..link_ports` face other routers (a missing link is `None`,
+//! e.g. at a mesh edge), ports `link_ports..radix` are the local NI
+//! injection/ejection ports of the tiles concentrated on that router.
+//!
+//! The shipped shapes:
+//!
+//! | kind | radix | links | notes |
+//! |---|---|---|---|
+//! | [`Mesh`] | 5 | N0 S1 E2 W3 | the paper's k×k baseline |
+//! | [`Ring`] | 3 | CW0 CCW1 | low-buffer ring router (arxiv 2007.02242) |
+//! | [`HierarchicalRing`] | 3 | LCW0 GCW1 | unidirectional local rings + a global ring over hubs |
+//! | [`Torus`] | 5 | N0 S1 E2 W3 | wraparound mesh; dateline VCs for deadlock freedom |
+//! | [`ConcentratedMesh`] | 4+c | N0 S1 E2 W3 | c tiles share each router |
+//!
+//! Port reversal is **total**: [`Topology::opposite`] returns `Option`
+//! and never panics — a local port or a dead link is simply `None`.
+//! Unidirectional links (the hierarchical ring) are why the two tables
+//! are separate; for bidirectional shapes they mirror each other.
 
 use std::fmt;
 
-/// Identifies a tile/router in the mesh, numbered row-major from the
-/// north-west corner.
+/// Identifies a tile (core + NI) in the network, and — for every
+/// topology except the concentrated mesh, where `concentration` tiles
+/// share a router — equivalently a router. Router-indexed APIs say so
+/// explicitly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
@@ -13,82 +40,326 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A router port direction. `Local` is the NI injection/ejection port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Direction {
-    /// Toward row − 1.
-    North,
-    /// Toward row + 1.
-    South,
-    /// Toward column + 1.
-    East,
-    /// Toward column − 1.
-    West,
-    /// The tile's network interface.
-    Local,
-}
+/// A router port index in `0..radix`. Dense per topology: ports
+/// `0..link_ports` are inter-router links, the rest are local NI ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
 
-impl Direction {
-    /// All five port directions.
-    pub const ALL: [Direction; 5] = [
-        Direction::North,
-        Direction::South,
-        Direction::East,
-        Direction::West,
-        Direction::Local,
-    ];
-
-    /// Port index (0..5).
-    pub fn index(self) -> usize {
-        match self {
-            Direction::North => 0,
-            Direction::South => 1,
-            Direction::East => 2,
-            Direction::West => 3,
-            Direction::Local => 4,
-        }
-    }
-
-    /// The direction a flit sent out this way arrives *from* at the
-    /// neighbouring router.
-    ///
-    /// # Panics
-    ///
-    /// Panics for [`Direction::Local`], which has no opposite.
-    pub fn opposite(self) -> Direction {
-        match self {
-            Direction::North => Direction::South,
-            Direction::South => Direction::North,
-            Direction::East => Direction::West,
-            Direction::West => Direction::East,
-            Direction::Local => panic!("local port has no opposite"),
-        }
-    }
-}
-
-impl fmt::Display for Direction {
+impl fmt::Display for PortId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Direction::North => "N",
-            Direction::South => "S",
-            Direction::East => "E",
-            Direction::West => "W",
-            Direction::Local => "L",
-        };
-        f.write_str(s)
+        write!(f, "p{}", self.0)
     }
 }
 
-/// A `cols × rows` 2-D mesh.
+/// Canonical mesh/torus/cmesh port: toward row − 1.
+pub const NORTH: PortId = PortId(0);
+/// Canonical mesh/torus/cmesh port: toward row + 1.
+pub const SOUTH: PortId = PortId(1);
+/// Canonical mesh/torus/cmesh port: toward column + 1.
+pub const EAST: PortId = PortId(2);
+/// Canonical mesh/torus/cmesh port: toward column − 1.
+pub const WEST: PortId = PortId(3);
+/// Canonical ring/hring port: clockwise around the (local) ring.
+pub const CLOCKWISE: PortId = PortId(0);
+/// Canonical ring port: counter-clockwise.
+pub const COUNTER_CLOCKWISE: PortId = PortId(1);
+/// Canonical hring port: clockwise around the global hub ring.
+pub const GLOBAL_CLOCKWISE: PortId = PortId(1);
+
+/// Which family a [`Topology`] belongs to; routing and deadlock
+/// avoidance dispatch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 2-D mesh (the paper's baseline).
+    Mesh,
+    /// Single bidirectional ring.
+    Ring,
+    /// Unidirectional local rings joined by a unidirectional global
+    /// ring over their hub routers.
+    HierarchicalRing,
+    /// 2-D torus (mesh with wraparound links).
+    Torus,
+    /// 2-D mesh with `concentration` tiles per router.
+    ConcentratedMesh,
+}
+
+/// A built network graph: uniform-radix routers, two link tables, and
+/// the per-kind geometry routing needs. Construct one through a
+/// [`TopologySpec`] builder such as [`Mesh::new`] or [`Ring::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: TopologyKind,
+    routers: usize,
+    tiles: usize,
+    radix: usize,
+    link_ports: usize,
+    concentration: usize,
+    /// Router-grid columns (mesh/torus/cmesh), ring length (ring), or
+    /// local-ring size (hring).
+    cols: usize,
+    /// Router-grid rows (mesh/torus/cmesh), 1 (ring), or ring count
+    /// (hring).
+    rows: usize,
+    /// `[(router * radix) + port] → (downstream router, its input
+    /// port)` for the link leaving `router` through `port`.
+    out_links: Vec<Option<(NodeId, PortId)>>,
+    /// `[(router * radix) + port] → (upstream router, its output
+    /// port)` for the link feeding `router`'s input buffer on `port`.
+    in_sources: Vec<Option<(NodeId, PortId)>>,
+}
+
+impl Topology {
+    /// The topology family.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Stable lower-case name (CLI/bench identifier).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Ring => "ring",
+            TopologyKind::HierarchicalRing => "hring",
+            TopologyKind::Torus => "torus",
+            TopologyKind::ConcentratedMesh => "cmesh",
+        }
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Number of tiles (injection/ejection endpoints). Equals
+    /// [`Topology::routers`] × concentration.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Kept name from the mesh-only era: the tile count, which every
+    /// traffic pattern and protocol layer addresses.
+    pub fn nodes(&self) -> usize {
+        self.tiles
+    }
+
+    /// Ports per router, local ports included.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Ports `0..link_ports` face other routers.
+    pub fn link_ports(&self) -> usize {
+        self.link_ports
+    }
+
+    /// Tiles per router (1 for everything but the concentrated mesh).
+    pub fn concentration(&self) -> usize {
+        self.concentration
+    }
+
+    /// Router-grid columns; ring length for ring/hring kinds.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Router-grid rows; ring count for the hierarchical ring.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True for a local (NI) port.
+    pub fn is_local(&self, port: PortId) -> bool {
+        port.0 >= self.link_ports
+    }
+
+    /// The router a tile's NI connects to.
+    pub fn router_of(&self, tile: NodeId) -> NodeId {
+        debug_assert!(tile.0 < self.tiles, "tile {tile} outside topology");
+        NodeId(tile.0 / self.concentration)
+    }
+
+    /// The local port of `tile` at [`Topology::router_of`]`(tile)`.
+    pub fn local_port(&self, tile: NodeId) -> PortId {
+        debug_assert!(tile.0 < self.tiles, "tile {tile} outside topology");
+        PortId(self.link_ports + tile.0 % self.concentration)
+    }
+
+    /// The tile ejected by `router`'s local `port`, or `None` for a
+    /// link port.
+    pub fn tile_at(&self, router: NodeId, port: PortId) -> Option<NodeId> {
+        if !self.is_local(port) || port.0 >= self.radix {
+            return None;
+        }
+        Some(NodeId(
+            router.0 * self.concentration + (port.0 - self.link_ports),
+        ))
+    }
+
+    /// The link leaving `router` through `port`: the downstream router
+    /// and the *input* port the flit arrives on there. `None` for local
+    /// ports and dead/absent links — total, never panics.
+    pub fn out_link(&self, router: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        self.out_links[router.0 * self.radix + port.0]
+    }
+
+    /// The link feeding `router`'s input buffer on `port`: the upstream
+    /// router and the *output* port it sends through. `None` for local
+    /// ports and dead/absent links.
+    pub fn in_source(&self, router: NodeId, port: PortId) -> Option<(NodeId, PortId)> {
+        self.in_sources[router.0 * self.radix + port.0]
+    }
+
+    /// The far-end input port a flit sent from `router` through `port`
+    /// arrives on — the total, panic-free replacement for the old
+    /// `Direction::opposite`. `None` when nothing is attached.
+    pub fn opposite(&self, router: NodeId, port: PortId) -> Option<PortId> {
+        self.out_link(router, port).map(|(_, p)| p)
+    }
+
+    /// `(col, row)` of a router on the grid kinds; `(index, 0)` on a
+    /// ring; `(position, ring)` on the hierarchical ring.
+    pub fn coords(&self, router: NodeId) -> (usize, usize) {
+        debug_assert!(router.0 < self.routers, "router {router} outside topology");
+        (router.0 % self.cols, router.0 / self.cols)
+    }
+
+    /// Router at `(col, row)` (grid coordinates as in
+    /// [`Topology::coords`]).
+    pub fn node_at(&self, col: usize, row: usize) -> NodeId {
+        debug_assert!(
+            col < self.cols && row < self.rows,
+            "coordinates outside topology"
+        );
+        NodeId(row * self.cols + col)
+    }
+
+    /// Hop count of the deterministic route between two *tiles* — the
+    /// `RC_Hop` term of Eq. 2 and the per-packet `hops` statistic.
+    /// Minimal for every kind except the hierarchical ring, whose
+    /// unidirectional route is counted as actually taken.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let ra = self.router_of(a);
+        let rb = self.router_of(b);
+        match self.kind {
+            TopologyKind::Mesh | TopologyKind::ConcentratedMesh => {
+                let (ac, ar) = self.coords(ra);
+                let (bc, br) = self.coords(rb);
+                ac.abs_diff(bc) + ar.abs_diff(br)
+            }
+            TopologyKind::Ring => {
+                let n = self.routers;
+                let cw = (rb.0 + n - ra.0) % n;
+                cw.min(n - cw)
+            }
+            TopologyKind::Torus => {
+                let (ac, ar) = self.coords(ra);
+                let (bc, br) = self.coords(rb);
+                let ce = (bc + self.cols - ac) % self.cols;
+                let rs = (br + self.rows - ar) % self.rows;
+                ce.min(self.cols - ce) + rs.min(self.rows - rs)
+            }
+            TopologyKind::HierarchicalRing => {
+                let l = self.cols;
+                let (ag, ap) = (ra.0 / l, ra.0 % l);
+                let (bg, bp) = (rb.0 / l, rb.0 % l);
+                if ag == bg {
+                    (bp + l - ap) % l
+                } else {
+                    // CW to the hub, CW around the global ring, CW to
+                    // the destination position.
+                    (l - ap) % l + (bg + self.rows - ag) % self.rows + bp
+                }
+            }
+        }
+    }
+
+    /// The fewest virtual channels this topology is deadlock-free
+    /// with: the ring kinds and the torus need each message-class VC
+    /// group split into a low/high dateline pair, so 4; the mesh
+    /// family needs only the two-class split, so 1.
+    pub fn min_vcs(&self) -> usize {
+        match self.kind {
+            TopologyKind::Ring | TopologyKind::HierarchicalRing | TopologyKind::Torus => 4,
+            TopologyKind::Mesh | TopologyKind::ConcentratedMesh => 1,
+        }
+    }
+
+    /// Builds a topology from raw dimensions and a closure emitting the
+    /// outgoing link of each `(router, port)`, then derives and
+    /// cross-checks the reverse table (every link's endpoints must be in
+    /// range, no two links may feed one input port). This is how every
+    /// shipped shape is built, and it is public so downstream code can
+    /// describe arbitrary graphs — e.g. express/long-range link overlays
+    /// — without touching this crate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_links(
+        kind: TopologyKind,
+        routers: usize,
+        radix: usize,
+        link_ports: usize,
+        concentration: usize,
+        cols: usize,
+        rows: usize,
+        out: impl Fn(usize, usize) -> Option<(usize, usize)>,
+    ) -> Self {
+        assert!(routers > 0, "topology must have at least one router");
+        let mut out_links = vec![None; routers * radix];
+        let mut in_sources = vec![None; routers * radix];
+        for n in 0..routers {
+            for p in 0..link_ports {
+                if let Some((m, q)) = out(n, p) {
+                    assert!(
+                        m < routers && q < link_ports && m != n,
+                        "link ({n},{p}) -> ({m},{q}) leaves the router/port range"
+                    );
+                    out_links[n * radix + p] = Some((NodeId(m), PortId(q)));
+                    assert!(
+                        in_sources[m * radix + q].is_none(),
+                        "two links feed router {m} port {q}"
+                    );
+                    in_sources[m * radix + q] = Some((NodeId(n), PortId(p)));
+                }
+            }
+        }
+        Topology {
+            kind,
+            routers,
+            tiles: routers * concentration,
+            radix,
+            link_ports,
+            concentration,
+            cols,
+            rows,
+            out_links,
+            in_sources,
+        }
+    }
+}
+
+/// Anything that can produce a [`Topology`]: the shape builders below,
+/// and `Topology` itself (by clone), so `Network::new` accepts either.
+pub trait TopologySpec {
+    /// Builds the graph.
+    fn build(&self) -> Topology;
+}
+
+impl TopologySpec for Topology {
+    fn build(&self) -> Topology {
+        self.clone()
+    }
+}
+
+/// A `cols × rows` 2-D mesh — the paper's baseline. Ports are
+/// N 0, S 1, E 2, W 3, Local 4.
 ///
 /// ```
-/// use disco_noc::topology::{Direction, Mesh, NodeId};
+/// use disco_noc::topology::{Mesh, NodeId, TopologySpec, EAST, NORTH, WEST};
 ///
-/// let mesh = Mesh::new(4, 4);
-/// assert_eq!(mesh.nodes(), 16);
+/// let mesh = Mesh::new(4, 4).build();
+/// assert_eq!(mesh.tiles(), 16);
 /// assert_eq!(mesh.coords(NodeId(5)), (1, 1));
-/// assert_eq!(mesh.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
-/// assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
+/// assert_eq!(mesh.out_link(NodeId(5), EAST), Some((NodeId(6), WEST)));
+/// assert_eq!(mesh.out_link(NodeId(0), NORTH), None);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mesh {
@@ -97,7 +368,7 @@ pub struct Mesh {
 }
 
 impl Mesh {
-    /// Creates a mesh.
+    /// Creates a mesh spec.
     ///
     /// # Panics
     ///
@@ -117,53 +388,295 @@ impl Mesh {
         self.rows
     }
 
-    /// Total node count.
+    /// Total tile count.
     pub fn nodes(&self) -> usize {
         self.cols * self.rows
     }
+}
 
-    /// `(col, row)` of a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node is out of range.
-    pub fn coords(&self, node: NodeId) -> (usize, usize) {
-        assert!(node.0 < self.nodes(), "node {node} outside mesh");
-        (node.0 % self.cols, node.0 / self.cols)
+/// The four grid directions as `(port, dcol, drow, far port)`; shared
+/// by the mesh/torus/cmesh builders.
+const GRID_PORTS: [(usize, isize, isize, usize); 4] = [
+    (0, 0, -1, 1), // North arrives on the neighbour's South port
+    (1, 0, 1, 0),  // South → North
+    (2, 1, 0, 3),  // East → West
+    (3, -1, 0, 2), // West → East
+];
+
+/// Grid-link closure for a non-wrapping `cols × rows` router grid.
+fn grid_link(cols: usize, rows: usize) -> impl Fn(usize, usize) -> Option<(usize, usize)> {
+    move |n, p| {
+        let (c, r) = (n % cols, n / cols);
+        let (_, dc, dr, far) = GRID_PORTS[p];
+        let nc = c.checked_add_signed(dc)?;
+        let nr = r.checked_add_signed(dr)?;
+        (nc < cols && nr < rows).then_some((nr * cols + nc, far))
     }
+}
 
-    /// Node at `(col, row)`.
+impl TopologySpec for Mesh {
+    fn build(&self) -> Topology {
+        Topology::from_links(
+            TopologyKind::Mesh,
+            self.cols * self.rows,
+            5,
+            4,
+            1,
+            self.cols,
+            self.rows,
+            grid_link(self.cols, self.rows),
+        )
+    }
+}
+
+/// A single bidirectional ring of `nodes` routers. Ports are
+/// CW 0 (toward `i+1`), CCW 1 (toward `i-1`), Local 2 — the 3-port
+/// low-cost ring router of arxiv 2007.02242, whose suggested low-buffer
+/// parameters are [`crate::NocConfig::low_buffer_ring`]. Deadlock
+/// freedom comes from dateline VC splitting (see
+/// `routing::output_vc_range`), so it needs `vcs ≥ 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    nodes: usize,
+}
+
+impl Ring {
+    /// Creates a ring spec.
     ///
     /// # Panics
     ///
-    /// Panics if the coordinates are out of range.
-    pub fn node_at(&self, col: usize, row: usize) -> NodeId {
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "ring must have at least one node");
+        Ring { nodes }
+    }
+}
+
+impl TopologySpec for Ring {
+    fn build(&self) -> Topology {
+        let n = self.nodes;
+        Topology::from_links(TopologyKind::Ring, n, 3, 2, 1, n, 1, move |i, p| {
+            if n < 2 {
+                return None;
+            }
+            match p {
+                0 => Some(((i + 1) % n, 1)),
+                1 => Some(((i + n - 1) % n, 0)),
+                _ => None,
+            }
+        })
+    }
+}
+
+/// `rings` unidirectional local rings of `ring_size` routers each,
+/// joined by a unidirectional global ring over their hub routers
+/// (position 0 of each local ring). Ports are local-CW 0, global-CW 1
+/// (dead off-hub), Local 2.
+///
+/// Keeping both levels unidirectional keeps the router at ring radix
+/// (2007.02242's cost argument) and makes the deadlock proof a strict
+/// low < high dateline order: the hop to the hub always runs on low
+/// VCs, the post-hub hops on high, and the global ring sits between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalRing {
+    rings: usize,
+    ring_size: usize,
+}
+
+impl HierarchicalRing {
+    /// Creates a hierarchical-ring spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(rings: usize, ring_size: usize) -> Self {
         assert!(
-            col < self.cols && row < self.rows,
-            "coordinates outside mesh"
+            rings > 0 && ring_size > 0,
+            "hierarchical ring needs positive ring count and size"
         );
-        NodeId(row * self.cols + col)
+        HierarchicalRing { rings, ring_size }
+    }
+}
+
+impl TopologySpec for HierarchicalRing {
+    fn build(&self) -> Topology {
+        let (r, l) = (self.rings, self.ring_size);
+        Topology::from_links(
+            TopologyKind::HierarchicalRing,
+            r * l,
+            3,
+            2,
+            1,
+            l,
+            r,
+            move |n, p| {
+                let (ring, pos) = (n / l, n % l);
+                match p {
+                    0 if l >= 2 => Some((ring * l + (pos + 1) % l, 0)),
+                    1 if pos == 0 && r >= 2 => Some((((ring + 1) % r) * l, 1)),
+                    _ => None,
+                }
+            },
+        )
+    }
+}
+
+/// A `cols × rows` 2-D torus: the mesh port layout plus wraparound
+/// links. A dimension of size 1 leaves its ports dead rather than
+/// self-linked. Wrap links make each dimension a ring, so deadlock
+/// freedom needs the dateline VC split (`vcs ≥ 4`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus {
+    cols: usize,
+    rows: usize,
+}
+
+impl Torus {
+    /// Creates a torus spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "torus dimensions must be positive");
+        Torus { cols, rows }
+    }
+}
+
+impl TopologySpec for Torus {
+    fn build(&self) -> Topology {
+        let (cols, rows) = (self.cols, self.rows);
+        Topology::from_links(
+            TopologyKind::Torus,
+            cols * rows,
+            5,
+            4,
+            1,
+            cols,
+            rows,
+            move |n, p| {
+                let (c, r) = (n % cols, n / cols);
+                let (_, dc, dr, far) = GRID_PORTS[p];
+                // A size-1 dimension would self-link; leave it dead.
+                if (dc != 0 && cols < 2) || (dr != 0 && rows < 2) {
+                    return None;
+                }
+                let nc = (c + cols).wrapping_add_signed(dc) % cols;
+                let nr = (r + rows).wrapping_add_signed(dr) % rows;
+                Some((nr * cols + nc, far))
+            },
+        )
+    }
+}
+
+/// A `cols × rows` router grid with `concentration` tiles per router
+/// (the "hundreds of cores" configurations of arxiv 1607.07766 reach
+/// scale this way). Ports are the mesh N/S/E/W plus `concentration`
+/// local ports; tile `t` hangs off router `t / concentration` at local
+/// port `4 + t % concentration`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcentratedMesh {
+    cols: usize,
+    rows: usize,
+    concentration: usize,
+}
+
+impl ConcentratedMesh {
+    /// Creates a concentrated-mesh spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(cols: usize, rows: usize, concentration: usize) -> Self {
+        assert!(
+            cols > 0 && rows > 0 && concentration > 0,
+            "concentrated mesh needs positive dimensions and concentration"
+        );
+        ConcentratedMesh {
+            cols,
+            rows,
+            concentration,
+        }
+    }
+}
+
+impl TopologySpec for ConcentratedMesh {
+    fn build(&self) -> Topology {
+        Topology::from_links(
+            TopologyKind::ConcentratedMesh,
+            self.cols * self.rows,
+            4 + self.concentration,
+            4,
+            self.concentration,
+            self.cols,
+            self.rows,
+            grid_link(self.cols, self.rows),
+        )
+    }
+}
+
+/// CLI-facing topology selector: maps a `(cols, rows)` tile budget onto
+/// each shape so sweeps can vary topology while holding the tile count
+/// (and thus offered load) fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyChoice {
+    /// `cols × rows` mesh.
+    #[default]
+    Mesh,
+    /// A ring of `cols × rows` tiles.
+    Ring,
+    /// `rows` local rings of `cols` tiles.
+    HRing,
+    /// `cols × rows` torus.
+    Torus,
+    /// Concentration-4 mesh over the same tile count
+    /// (`⌈cols/2⌉ × ⌈rows/2⌉` routers).
+    CMesh,
+}
+
+impl TopologyChoice {
+    /// Every shipped choice, in CLI order.
+    pub const ALL: [TopologyChoice; 5] = [
+        TopologyChoice::Mesh,
+        TopologyChoice::Ring,
+        TopologyChoice::HRing,
+        TopologyChoice::Torus,
+        TopologyChoice::CMesh,
+    ];
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyChoice::Mesh => "mesh",
+            TopologyChoice::Ring => "ring",
+            TopologyChoice::HRing => "hring",
+            TopologyChoice::Torus => "torus",
+            TopologyChoice::CMesh => "cmesh",
+        }
     }
 
-    /// The neighbour in a direction, or `None` at the mesh edge or for
-    /// [`Direction::Local`].
-    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
-        let (c, r) = self.coords(node);
-        let (nc, nr) = match dir {
-            Direction::North => (c, r.checked_sub(1)?),
-            Direction::South => (c, r + 1),
-            Direction::East => (c + 1, r),
-            Direction::West => (c.checked_sub(1)?, r),
-            Direction::Local => return None,
-        };
-        (nc < self.cols && nr < self.rows).then(|| self.node_at(nc, nr))
+    /// Parses a CLI name (`mesh|ring|hring|torus|cmesh`).
+    pub fn parse(s: &str) -> Option<TopologyChoice> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
     }
 
-    /// Manhattan hop distance between two nodes.
-    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
-        let (ac, ar) = self.coords(a);
-        let (bc, br) = self.coords(b);
-        ac.abs_diff(bc) + ar.abs_diff(br)
+    /// Builds the topology for a `cols × rows` tile budget.
+    pub fn build(self, cols: usize, rows: usize) -> Topology {
+        match self {
+            TopologyChoice::Mesh => Mesh::new(cols, rows).build(),
+            TopologyChoice::Ring => Ring::new(cols * rows).build(),
+            TopologyChoice::HRing => HierarchicalRing::new(rows, cols).build(),
+            TopologyChoice::Torus => Torus::new(cols, rows).build(),
+            TopologyChoice::CMesh => {
+                ConcentratedMesh::new(cols.div_ceil(2), rows.div_ceil(2), 4).build()
+            }
+        }
+    }
+}
+
+impl fmt::Display for TopologyChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -171,49 +684,176 @@ impl Mesh {
 mod tests {
     use super::*;
 
-    #[test]
-    fn coords_roundtrip() {
-        let mesh = Mesh::new(4, 3);
-        for n in 0..mesh.nodes() {
-            let (c, r) = mesh.coords(NodeId(n));
-            assert_eq!(mesh.node_at(c, r), NodeId(n));
-        }
-    }
-
-    #[test]
-    fn neighbors_at_edges() {
-        let mesh = Mesh::new(3, 3);
-        assert_eq!(mesh.neighbor(NodeId(0), Direction::West), None);
-        assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
-        assert_eq!(mesh.neighbor(NodeId(8), Direction::East), None);
-        assert_eq!(mesh.neighbor(NodeId(8), Direction::South), None);
-        assert_eq!(mesh.neighbor(NodeId(4), Direction::North), Some(NodeId(1)));
-        assert_eq!(mesh.neighbor(NodeId(4), Direction::Local), None);
-    }
-
-    #[test]
-    fn neighbor_symmetry() {
-        let mesh = Mesh::new(4, 4);
-        for n in 0..mesh.nodes() {
-            for dir in [
-                Direction::North,
-                Direction::South,
-                Direction::East,
-                Direction::West,
-            ] {
-                if let Some(m) = mesh.neighbor(NodeId(n), dir) {
-                    assert_eq!(mesh.neighbor(m, dir.opposite()), Some(NodeId(n)));
+    /// Every `out_links` entry must be mirrored by `in_sources` at the
+    /// far end, and vice versa — the bijection `Topology::from_links`
+    /// promises.
+    fn assert_tables_mirror(topo: &Topology) {
+        for n in 0..topo.routers() {
+            for p in 0..topo.radix() {
+                let (n, p) = (NodeId(n), PortId(p));
+                if let Some((m, q)) = topo.out_link(n, p) {
+                    assert_eq!(
+                        topo.in_source(m, q),
+                        Some((n, p)),
+                        "{n} {p} out/in mismatch"
+                    );
+                }
+                if let Some((m, q)) = topo.in_source(n, p) {
+                    assert_eq!(topo.out_link(m, q), Some((n, p)), "{n} {p} in/out mismatch");
                 }
             }
         }
     }
 
     #[test]
-    fn hops_is_manhattan() {
-        let mesh = Mesh::new(4, 4);
+    fn mesh_ports_are_pinned() {
+        // The golden-stats byte-identity contract: mesh port numbering
+        // must stay N 0, S 1, E 2, W 3, Local 4 forever.
+        let mesh = Mesh::new(4, 4).build();
+        assert_eq!(mesh.radix(), 5);
+        assert_eq!(mesh.link_ports(), 4);
+        assert_eq!(mesh.out_link(NodeId(5), NORTH), Some((NodeId(1), SOUTH)));
+        assert_eq!(mesh.out_link(NodeId(5), SOUTH), Some((NodeId(9), NORTH)));
+        assert_eq!(mesh.out_link(NodeId(5), EAST), Some((NodeId(6), WEST)));
+        assert_eq!(mesh.out_link(NodeId(5), WEST), Some((NodeId(4), EAST)));
+        assert_eq!(mesh.local_port(NodeId(5)), PortId(4));
+        assert!(mesh.is_local(PortId(4)));
+    }
+
+    #[test]
+    fn mesh_edges_are_dead_and_coords_roundtrip() {
+        let mesh = Mesh::new(4, 3).build();
+        assert_eq!(mesh.out_link(NodeId(0), NORTH), None);
+        assert_eq!(mesh.out_link(NodeId(0), WEST), None);
+        assert_eq!(mesh.out_link(NodeId(11), SOUTH), None);
+        assert_eq!(mesh.out_link(NodeId(11), EAST), None);
+        for n in 0..mesh.routers() {
+            let (c, r) = mesh.coords(NodeId(n));
+            assert_eq!(mesh.node_at(c, r), NodeId(n));
+        }
+        assert_tables_mirror(&mesh);
+    }
+
+    #[test]
+    fn opposite_is_total() {
+        // The old Direction::opposite panicked on Local; the table
+        // lookup must be None for local ports, dead links, and live
+        // links alike — never a panic.
+        let mesh = Mesh::new(3, 3).build();
+        assert_eq!(mesh.opposite(NodeId(4), PortId(4)), None);
+        assert_eq!(mesh.opposite(NodeId(0), NORTH), None);
+        assert_eq!(mesh.opposite(NodeId(4), EAST), Some(WEST));
+        let hring = HierarchicalRing::new(2, 4).build();
+        for n in 0..hring.routers() {
+            for p in 0..hring.radix() {
+                let _ = hring.opposite(NodeId(n), PortId(p));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_hops_is_manhattan() {
+        let mesh = Mesh::new(4, 4).build();
         assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
         assert_eq!(mesh.hops(NodeId(5), NodeId(5)), 0);
         assert_eq!(mesh.hops(NodeId(0), NodeId(3)), 3);
+    }
+
+    #[test]
+    fn ring_links_and_hops() {
+        let ring = Ring::new(8).build();
+        assert_eq!(ring.radix(), 3);
+        assert_eq!(
+            ring.out_link(NodeId(0), CLOCKWISE),
+            Some((NodeId(1), PortId(1)))
+        );
+        assert_eq!(
+            ring.out_link(NodeId(0), COUNTER_CLOCKWISE),
+            Some((NodeId(7), PortId(0)))
+        );
+        assert_eq!(ring.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(ring.hops(NodeId(0), NodeId(6)), 2);
+        assert_eq!(ring.hops(NodeId(0), NodeId(4)), 4);
+        assert_eq!(ring.min_vcs(), 4);
+        assert_tables_mirror(&ring);
+    }
+
+    #[test]
+    fn torus_wraps_and_degenerate_dims_are_dead() {
+        let torus = Torus::new(4, 4).build();
+        assert_eq!(torus.out_link(NodeId(0), NORTH), Some((NodeId(12), SOUTH)));
+        assert_eq!(torus.out_link(NodeId(0), WEST), Some((NodeId(3), EAST)));
+        assert_eq!(torus.hops(NodeId(0), NodeId(15)), 2);
+        assert_tables_mirror(&torus);
+        let line = Torus::new(1, 4).build();
+        assert_eq!(line.out_link(NodeId(0), EAST), None);
+        assert_eq!(line.out_link(NodeId(0), WEST), None);
+        assert_eq!(line.out_link(NodeId(0), SOUTH), Some((NodeId(1), NORTH)));
+        assert_tables_mirror(&line);
+    }
+
+    #[test]
+    fn hring_is_unidirectional_with_hub_global_ring() {
+        let hring = HierarchicalRing::new(3, 4).build();
+        assert_eq!(hring.routers(), 12);
+        // Local rings run CW only: an out on port 0 arrives on port 0.
+        assert_eq!(
+            hring.out_link(NodeId(1), CLOCKWISE),
+            Some((NodeId(2), PortId(0)))
+        );
+        assert_eq!(
+            hring.out_link(NodeId(3), CLOCKWISE),
+            Some((NodeId(0), PortId(0)))
+        );
+        // Only hubs (position 0) join the global ring.
+        assert_eq!(
+            hring.out_link(NodeId(0), GLOBAL_CLOCKWISE),
+            Some((NodeId(4), PortId(1)))
+        );
+        assert_eq!(
+            hring.out_link(NodeId(8), GLOBAL_CLOCKWISE),
+            Some((NodeId(0), PortId(1)))
+        );
+        assert_eq!(hring.out_link(NodeId(1), GLOBAL_CLOCKWISE), None);
+        // Unidirectional: the CCW-side input exists, the output is the
+        // only way around.
+        assert_eq!(
+            hring.in_source(NodeId(2), PortId(0)),
+            Some((NodeId(1), PortId(0)))
+        );
+        assert_tables_mirror(&hring);
+        // Route length: 1 → hub 0 takes 3 CW hops, one global hop, then
+        // 2 CW hops to position 2 of ring 1.
+        assert_eq!(hring.hops(NodeId(1), NodeId(6)), 6);
+        assert_eq!(hring.hops(NodeId(1), NodeId(3)), 2);
+    }
+
+    #[test]
+    fn cmesh_concentrates_tiles() {
+        let cmesh = ConcentratedMesh::new(2, 2, 4).build();
+        assert_eq!(cmesh.routers(), 4);
+        assert_eq!(cmesh.tiles(), 16);
+        assert_eq!(cmesh.radix(), 8);
+        assert_eq!(cmesh.link_ports(), 4);
+        assert_eq!(cmesh.router_of(NodeId(5)), NodeId(1));
+        assert_eq!(cmesh.local_port(NodeId(5)), PortId(5));
+        assert_eq!(cmesh.tile_at(NodeId(1), PortId(5)), Some(NodeId(5)));
+        assert_eq!(cmesh.tile_at(NodeId(1), EAST), None);
+        // Tiles on the same router are zero hops apart.
+        assert_eq!(cmesh.hops(NodeId(0), NodeId(3)), 0);
+        assert_eq!(cmesh.hops(NodeId(0), NodeId(15)), 2);
+        assert_tables_mirror(&cmesh);
+    }
+
+    #[test]
+    fn choice_builds_every_kind_at_fixed_tile_budget() {
+        for choice in TopologyChoice::ALL {
+            let topo = choice.build(4, 4);
+            assert_eq!(topo.tiles(), 16, "{choice} must keep the tile budget");
+            assert_eq!(topo.name(), choice.name());
+            assert_eq!(TopologyChoice::parse(choice.name()), Some(choice));
+        }
+        assert_eq!(TopologyChoice::parse("hypercube"), None);
     }
 
     #[test]
@@ -223,11 +863,16 @@ mod tests {
     }
 
     #[test]
-    fn direction_indices_are_dense() {
-        let mut seen = [false; 5];
-        for d in Direction::ALL {
-            seen[d.index()] = true;
+    fn single_node_shapes_have_only_dead_links() {
+        for topo in [
+            Mesh::new(1, 1).build(),
+            Ring::new(1).build(),
+            Torus::new(1, 1).build(),
+            HierarchicalRing::new(1, 1).build(),
+        ] {
+            for p in 0..topo.link_ports() {
+                assert_eq!(topo.out_link(NodeId(0), PortId(p)), None);
+            }
         }
-        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::network::Network;
 use crate::packet::{PacketClass, Payload};
-use crate::topology::{Mesh, NodeId};
+use crate::topology::{NodeId, Topology, TopologyKind};
 use disco_compress::CacheLine;
 
 /// Classic synthetic destination patterns.
@@ -13,21 +13,22 @@ pub enum TrafficPattern {
     UniformRandom,
     /// Every node sends to one fixed node.
     Hotspot(NodeId),
-    /// `(x, y) → (y, x)` — stresses the mesh diagonal (square meshes).
+    /// `(x, y) → (y, x)` — stresses the grid diagonal on square grid
+    /// topologies; index mirror elsewhere.
     Transpose,
     /// Destination = bit-complement of the source index.
     BitComplement,
-    /// Destination = the next node in row-major order (neighbor-ish,
+    /// Destination = the next node in index order (neighbor-ish,
     /// light load).
     RingNext,
 }
 
 impl TrafficPattern {
-    /// Destination for a packet from `src`; `draw` supplies randomness
-    /// for the random pattern. Returns `None` when the pattern maps the
-    /// source onto itself (no packet is sent).
-    pub fn dest(self, mesh: &Mesh, src: NodeId, draw: u64) -> Option<NodeId> {
-        let n = mesh.nodes();
+    /// Destination for a packet from tile `src`; `draw` supplies
+    /// randomness for the random pattern. Returns `None` when the
+    /// pattern maps the source onto itself (no packet is sent).
+    pub fn dest(self, topo: &Topology, src: NodeId, draw: u64) -> Option<NodeId> {
+        let n = topo.tiles();
         let dst = match self {
             TrafficPattern::UniformRandom => {
                 let pick = (draw as usize) % (n - 1);
@@ -36,11 +37,14 @@ impl TrafficPattern {
             }
             TrafficPattern::Hotspot(h) => h,
             TrafficPattern::Transpose => {
-                let (c, r) = mesh.coords(src);
-                if c < mesh.rows() && r < mesh.cols() {
-                    mesh.node_at(r, c)
+                // Coordinate transpose only where tiles form the grid
+                // themselves (mesh/torus); on rings and the concentrated
+                // mesh, mirror through the tile index instead.
+                let grid_tiles = matches!(topo.kind(), TopologyKind::Mesh | TopologyKind::Torus);
+                let (c, r) = topo.coords(src);
+                if grid_tiles && c < topo.rows() && r < topo.cols() {
+                    topo.node_at(r, c)
                 } else {
-                    // Non-square fallback: mirror through the node index.
                     NodeId(n - 1 - src.0)
                 }
             }
@@ -108,14 +112,15 @@ impl TrafficDriver {
     pub fn inject(&mut self, net: &mut Network) {
         let packet_flits = if self.data_packets { 8.0 } else { 1.0 };
         let p = (self.injection_rate / packet_flits).min(1.0);
-        let mesh = *net.mesh();
-        for src in 0..mesh.nodes() {
+        let tiles = net.topology().tiles();
+        for src in 0..tiles {
             let draw = self.next_u64();
             let toss = (draw >> 11) as f64 / (1u64 << 53) as f64;
             if toss >= p {
                 continue;
             }
-            let Some(dst) = self.pattern.dest(&mesh, NodeId(src), self.next_u64()) else {
+            let pick = self.next_u64();
+            let Some(dst) = self.pattern.dest(net.topology(), NodeId(src), pick) else {
                 continue;
             };
             let (class, payload) = if self.data_packets {
@@ -143,22 +148,24 @@ impl TrafficDriver {
 mod tests {
     use super::*;
     use crate::config::NocConfig;
+    use crate::topology::{Mesh, Ring, TopologySpec};
 
     #[test]
-    fn patterns_stay_in_mesh_and_avoid_self() {
-        let mesh = Mesh::new(4, 4);
-        for pattern in [
-            TrafficPattern::UniformRandom,
-            TrafficPattern::Hotspot(NodeId(5)),
-            TrafficPattern::Transpose,
-            TrafficPattern::BitComplement,
-            TrafficPattern::RingNext,
-        ] {
-            for src in 0..16 {
-                for draw in [0u64, 7, 123_456] {
-                    if let Some(dst) = pattern.dest(&mesh, NodeId(src), draw) {
-                        assert!(dst.0 < 16, "{pattern:?}");
-                        assert_ne!(dst, NodeId(src), "{pattern:?}");
+    fn patterns_stay_in_bounds_and_avoid_self() {
+        for topo in [Mesh::new(4, 4).build(), Ring::new(16).build()] {
+            for pattern in [
+                TrafficPattern::UniformRandom,
+                TrafficPattern::Hotspot(NodeId(5)),
+                TrafficPattern::Transpose,
+                TrafficPattern::BitComplement,
+                TrafficPattern::RingNext,
+            ] {
+                for src in 0..16 {
+                    for draw in [0u64, 7, 123_456] {
+                        if let Some(dst) = pattern.dest(&topo, NodeId(src), draw) {
+                            assert!(dst.0 < 16, "{pattern:?}");
+                            assert_ne!(dst, NodeId(src), "{pattern:?}");
+                        }
                     }
                 }
             }
@@ -167,7 +174,7 @@ mod tests {
 
     #[test]
     fn transpose_is_an_involution_on_square_meshes() {
-        let mesh = Mesh::new(4, 4);
+        let mesh = Mesh::new(4, 4).build();
         for src in 0..16 {
             if let Some(dst) = TrafficPattern::Transpose.dest(&mesh, NodeId(src), 0) {
                 let back = TrafficPattern::Transpose
@@ -180,7 +187,7 @@ mod tests {
 
     #[test]
     fn hotspot_always_targets_the_spot() {
-        let mesh = Mesh::new(3, 3);
+        let mesh = Mesh::new(3, 3).build();
         for src in 0..9 {
             match TrafficPattern::Hotspot(NodeId(4)).dest(&mesh, NodeId(src), 1) {
                 Some(dst) => assert_eq!(dst, NodeId(4)),
@@ -191,8 +198,7 @@ mod tests {
 
     #[test]
     fn driver_injects_near_offered_load() {
-        let mesh = Mesh::new(4, 4);
-        let mut net = Network::new(mesh, NocConfig::default());
+        let mut net = Network::new(Mesh::new(4, 4), NocConfig::default());
         let mut driver = TrafficDriver::new(TrafficPattern::UniformRandom, 0.1, false, 42);
         let cycles = 4_000;
         for _ in 0..cycles {

@@ -6,7 +6,7 @@ use disco_noc::{FlowControl, Mesh, Network, NocConfig, NodeId, PacketClass, Payl
 use proptest::prelude::*;
 
 fn drain(net: &mut Network, expect: usize, limit: u64) -> Vec<u64> {
-    let nodes = net.mesh().nodes();
+    let nodes = net.topology().tiles();
     let mut got = Vec::new();
     while got.len() < expect {
         net.tick();

@@ -16,7 +16,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use disco_compress::CacheLine;
-use disco_noc::{Mesh, Network, NocConfig, NodeId, PacketClass, Payload};
+use disco_noc::{Mesh, Network, NocConfig, NodeId, PacketClass, Payload, Ring};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -52,22 +52,20 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// A 16x1 line: one warm-up response exercises every router's arena
-/// end to end, then a second response is measured mid-flight. Ticks in
-/// the window must allocate exactly nothing.
-#[test]
-fn steady_state_cycles_allocate_nothing() {
-    let mut net = Network::new(Mesh::new(16, 1), NocConfig::default());
+/// Drives one warm-up response from node 0 to `dst` so every router's
+/// outcome slot, candidate arena, and VC deque reaches capacity, then
+/// measures a second identical response mid-flight: ticks inside the
+/// window must allocate exactly nothing.
+fn assert_steady_state_allocates_nothing(name: &str, net: &mut Network, dst: NodeId) {
     let line = CacheLine::from_u64_words([1, 2, 3, 4, 5, 6, 7, 8]);
 
-    // Warm-up: drive one packet across the whole line so every router's
-    // outcome slot, candidate arena, and VC deque reaches capacity.
-    // Record the flight time so the measurement window below can be
-    // sized to end strictly before the second packet's delivery (the
-    // delivered-queue push is bookkeeping outside the kernel contract).
+    // Warm-up flight. Record the flight time so the measurement window
+    // below can be sized to end strictly before the second packet's
+    // delivery (the delivered-queue push is bookkeeping outside the
+    // kernel contract).
     net.send(
         NodeId(0),
-        NodeId(15),
+        dst,
         PacketClass::Response,
         Payload::Raw(line),
         true,
@@ -78,21 +76,21 @@ fn steady_state_cycles_allocate_nothing() {
     for _ in 0..600 {
         net.tick();
         flight_ticks += 1;
-        arrived += net.take_delivered(NodeId(15)).len();
+        arrived += net.take_delivered(dst).len();
         if arrived == 1 {
             break;
         }
     }
-    assert_eq!(arrived, 1, "warm-up packet must arrive");
-    assert!(net.is_idle(), "warm-up packet must drain");
-    assert!(flight_ticks > 8, "16x1 flight time too short to measure");
+    assert_eq!(arrived, 1, "{name}: warm-up packet must arrive");
+    assert!(net.is_idle(), "{name}: warm-up packet must drain");
+    assert!(flight_ticks > 8, "{name}: flight time too short to measure");
 
     // Second packet, same route — the run is deterministic, so it takes
     // exactly `flight_ticks` again. `send` itself may allocate (packet
     // store insert); that's outside the window.
     net.send(
         NodeId(0),
-        NodeId(15),
+        dst,
         PacketClass::Response,
         Payload::Raw(line),
         true,
@@ -111,21 +109,33 @@ fn steady_state_cycles_allocate_nothing() {
     assert_eq!(
         after - before,
         0,
-        "steady-state ticks must not touch the heap"
+        "{name}: steady-state ticks must not touch the heap"
     );
 
     // The measured packet still arrives intact.
     let mut got = Vec::new();
     for _ in 0..600 {
         net.tick();
-        got.extend(net.take_delivered(NodeId(15)));
+        got.extend(net.take_delivered(dst));
         if !got.is_empty() {
             break;
         }
     }
-    assert_eq!(got.len(), 1);
+    assert_eq!(got.len(), 1, "{name}");
     match &got[0].payload {
         Payload::Raw(l) => assert_eq!(*l, line),
-        other => panic!("expected raw payload, got {other:?}"),
+        other => panic!("{name}: expected raw payload, got {other:?}"),
     }
+}
+
+/// A 16x1 mesh line and a 16-node ring (low-buffer router parameters):
+/// the zero-alloc contract is topology-independent, so both substrates
+/// get the same mid-flight window.
+#[test]
+fn steady_state_cycles_allocate_nothing() {
+    let mut mesh = Network::new(Mesh::new(16, 1), NocConfig::default());
+    assert_steady_state_allocates_nothing("mesh 16x1", &mut mesh, NodeId(15));
+
+    let mut ring = Network::new(Ring::new(16), NocConfig::low_buffer_ring());
+    assert_steady_state_allocates_nothing("ring 16", &mut ring, NodeId(8));
 }

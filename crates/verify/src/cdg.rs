@@ -2,13 +2,22 @@
 //!
 //! A wormhole network is deadlock-free if the dependency graph over its
 //! (link, virtual channel) resources is acyclic. This module enumerates
-//! every such channel of a [`Mesh`], adds one dependency edge for every
-//! pair of consecutive hops the routing *relation* can produce (adaptive
-//! and oblivious algorithms contribute every direction they may legally
-//! pick), and searches for a cycle. The analysis is conservative: it
-//! over-approximates adaptive algorithms by allowing a packet to re-choose
-//! its dimension order at every hop, so an acyclic verdict is always
-//! sound while a cycle on a purely adaptive relation may be escapable.
+//! every such channel of a [`Topology`], adds one dependency edge for
+//! every pair of consecutive hops the routing *relation* can produce
+//! (adaptive and oblivious algorithms contribute every port they may
+//! legally pick), and searches for a cycle. The analysis is
+//! conservative: it over-approximates adaptive algorithms by allowing a
+//! packet to re-choose its dimension order at every hop, so an acyclic
+//! verdict is always sound while a cycle on a purely adaptive relation
+//! may be escapable.
+//!
+//! On the wrapped topologies (ring, torus, hierarchical ring) the walk
+//! narrows each hop's virtual channels to exactly the subset the VC
+//! allocator grants under the dateline discipline
+//! ([`disco_noc::routing::output_vc_range`]), so the acyclicity of the
+//! shipped dateline scheme is machine-checked rather than argued in
+//! prose — and [`CdgOptions::use_datelines`] can switch the narrowing
+//! off to confirm the same routing *without* datelines deadlocks.
 //!
 //! DISCO's engine adds one non-routing dependency class: locking a VC for
 //! blocking de/compression while the resident packet is still *partial*
@@ -18,29 +27,30 @@
 //! shows why the engine only locks whole-resident packets.
 
 use disco_noc::packet::PacketClass;
-use disco_noc::routing::{route_choices, RoutingAlgorithm};
-use disco_noc::topology::{Direction, Mesh, NodeId};
+use disco_noc::routing::{output_vc_range, route_choices, RoutingAlgorithm};
+use disco_noc::topology::{NodeId, PortId, Topology};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::ops::Range;
 
 /// One unidirectional (link, virtual channel) resource: the link leaving
-/// `from` toward `to` in direction `dir`, on virtual channel `vc`.
+/// `from` through output port `port` toward `to`, on virtual channel
+/// `vc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Channel {
     /// Upstream node of the link.
     pub from: usize,
     /// Downstream node of the link.
     pub to: usize,
-    /// Port direction at `from`.
-    pub dir: Direction,
+    /// Output port at `from`.
+    pub port: PortId,
     /// Virtual channel index.
     pub vc: usize,
 }
 
 impl Channel {
     fn key(&self) -> (usize, usize, usize) {
-        (self.from, self.dir.index(), self.vc)
+        (self.from, self.port.0, self.vc)
     }
 }
 
@@ -60,8 +70,8 @@ impl fmt::Display for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "(node {} -{:?}-> node {}, vc {})",
-            self.from, self.dir, self.to, self.vc
+            "(node {} -port {}-> node {}, vc {})",
+            self.from, self.port.0, self.to, self.vc
         )
     }
 }
@@ -74,6 +84,12 @@ pub struct CdgOptions {
     pub vcs: usize,
     /// The routing relation under test.
     pub routing: RoutingAlgorithm,
+    /// Narrow each hop's VCs to the dateline subset the allocator
+    /// grants (the shipped behaviour). Switch off to model a router
+    /// that ignores the dateline split — the wrapped topologies then
+    /// exhibit their classic wrap-edge cycle, which is exactly what a
+    /// rejection test wants to see.
+    pub use_datelines: bool,
     /// Model an engine that locks VCs whose packet is only partially
     /// resident (the deadlock the DISCO engine avoids by locking
     /// whole-resident packets only).
@@ -82,11 +98,13 @@ pub struct CdgOptions {
 
 impl CdgOptions {
     /// Options matching a [`disco_noc::NocConfig`]: its VC count and
-    /// routing algorithm, with the engine's legal locking rule.
+    /// routing algorithm, with the engine's legal locking rule and the
+    /// allocator's real dateline discipline.
     pub fn from_config(config: &disco_noc::NocConfig) -> Self {
         CdgOptions {
             vcs: config.vcs,
             routing: config.routing,
+            use_datelines: true,
             lock_partial_packets: false,
         }
     }
@@ -139,40 +157,57 @@ pub fn class_vc_groups(vcs: usize) -> Vec<Range<usize>> {
     groups
 }
 
-/// Analyzes a mesh under one of the stock routing algorithms.
-pub fn analyze_mesh(mesh: &Mesh, opts: &CdgOptions) -> CdgReport {
-    analyze_with_route_fn(
-        mesh,
+/// Analyzes a topology under one of the stock routing algorithms.
+pub fn analyze(topo: &Topology, opts: &CdgOptions) -> CdgReport {
+    analyze_impl(
+        topo,
         &class_vc_groups(opts.vcs),
-        |here, dst| route_choices(opts.routing, mesh, here, dst),
+        |here, dst| route_choices(opts.routing, topo, here, dst),
+        opts.use_datelines,
         opts.lock_partial_packets,
     )
 }
 
-/// Analyzes a mesh under an arbitrary routing relation. `route_fn` must
-/// return every direction the router may pick at `here` for a packet
-/// bound to `dst`; tests inject deliberately cyclic relations here.
+/// Analyzes a topology under an arbitrary routing relation. `route_fn`
+/// must return every output port the router may pick at `here` for a
+/// packet bound to tile `dst`; tests inject deliberately cyclic
+/// relations here. VC narrowing follows the allocator's real dateline
+/// discipline.
 pub fn analyze_with_route_fn<F>(
-    mesh: &Mesh,
+    topo: &Topology,
     vc_groups: &[Range<usize>],
     route_fn: F,
     lock_partial_packets: bool,
 ) -> CdgReport
 where
-    F: Fn(NodeId, NodeId) -> Vec<Direction>,
+    F: Fn(NodeId, NodeId) -> Vec<PortId>,
+{
+    analyze_impl(topo, vc_groups, route_fn, true, lock_partial_packets)
+}
+
+fn analyze_impl<F>(
+    topo: &Topology,
+    vc_groups: &[Range<usize>],
+    route_fn: F,
+    use_datelines: bool,
+    lock_partial_packets: bool,
+) -> CdgReport
+where
+    F: Fn(NodeId, NodeId) -> Vec<PortId>,
 {
     let mut channels: BTreeSet<Channel> = BTreeSet::new();
     let mut edges: BTreeSet<(Channel, Channel)> = BTreeSet::new();
     for group in vc_groups {
-        for src in 0..mesh.nodes() {
-            for dst in 0..mesh.nodes() {
+        for src in 0..topo.tiles() {
+            for dst in 0..topo.tiles() {
                 if src == dst {
                     continue;
                 }
                 walk_pair(
-                    mesh,
+                    topo,
                     group,
                     &route_fn,
+                    use_datelines,
                     NodeId(src),
                     NodeId(dst),
                     &mut channels,
@@ -197,65 +232,78 @@ where
     }
 }
 
-/// Explores every path the routing relation allows from `src` to `dst`,
-/// recording the channels it may occupy and the consecutive-hop
-/// dependencies between them.
+/// Explores every path the routing relation allows from tile `src` to
+/// tile `dst`, recording the channels it may occupy — narrowed to the
+/// dateline VC subset when asked — and the consecutive-hop dependencies
+/// between them.
+#[allow(clippy::too_many_arguments)]
 fn walk_pair<F>(
-    mesh: &Mesh,
+    topo: &Topology,
     group: &Range<usize>,
     route_fn: &F,
+    use_datelines: bool,
     src: NodeId,
     dst: NodeId,
     channels: &mut BTreeSet<Channel>,
     edges: &mut BTreeSet<(Channel, Channel)>,
 ) where
-    F: Fn(NodeId, NodeId) -> Vec<Direction>,
+    F: Fn(NodeId, NodeId) -> Vec<PortId>,
 {
-    let mut visited = vec![false; mesh.nodes()];
-    let mut queue = VecDeque::from([src]);
-    visited[src.0] = true;
+    let dest = topo.router_of(dst);
+    let vcs_for = |here: NodeId, out: PortId| -> Range<usize> {
+        if use_datelines {
+            output_vc_range(topo, here, out, dst, group.clone())
+        } else {
+            group.clone()
+        }
+    };
+    let mut visited = vec![false; topo.routers()];
+    let start = topo.router_of(src);
+    let mut queue = VecDeque::from([start]);
+    visited[start.0] = true;
     while let Some(here) = queue.pop_front() {
-        if here == dst {
+        if here == dest {
             continue;
         }
         for dir in route_fn(here, dst) {
-            if dir == Direction::Local {
+            if topo.is_local(dir) {
                 continue;
             }
-            let Some(next) = mesh.neighbor(here, dir) else {
+            let Some((next, _)) = topo.out_link(here, dir) else {
                 continue;
             };
-            for vc in group.clone() {
+            for vc in vcs_for(here, dir) {
                 channels.insert(Channel {
                     from: here.0,
                     to: next.0,
-                    dir,
+                    port: dir,
                     vc,
                 });
             }
-            if next != dst {
+            if next != dest {
                 // The packet holds the current channel while waiting to
-                // acquire any VC of its class group on the next one.
+                // acquire a dateline-legal VC of its class group on the
+                // next one.
                 for dir2 in route_fn(next, dst) {
-                    if dir2 == Direction::Local {
+                    if topo.is_local(dir2) {
                         continue;
                     }
-                    let Some(after) = mesh.neighbor(next, dir2) else {
+                    let Some((after, _)) = topo.out_link(next, dir2) else {
                         continue;
                     };
-                    for held in group.clone() {
-                        for wanted in group.clone() {
+                    for held in vcs_for(here, dir) {
+                        for wanted in vcs_for(next, dir2) {
                             edges.insert((
                                 Channel {
                                     from: here.0,
                                     to: next.0,
-                                    dir,
+                                    port: dir,
                                     vc: held,
                                 },
                                 Channel {
                                     from: next.0,
                                     to: after.0,
-                                    dir: dir2,
+                                    port: dir2,
                                     vc: wanted,
                                 },
                             ));
@@ -326,13 +374,17 @@ fn dfs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use disco_noc::topology::{
+        Mesh, Ring, TopologyChoice, TopologySpec, Torus, CLOCKWISE, EAST, NORTH, SOUTH, WEST,
+    };
 
     fn clean(alg: RoutingAlgorithm, cols: usize, rows: usize, vcs: usize) -> CdgReport {
-        analyze_mesh(
-            &Mesh::new(cols, rows),
+        analyze(
+            &Mesh::new(cols, rows).build(),
             &CdgOptions {
                 vcs,
                 routing: alg,
+                use_datelines: true,
                 lock_partial_packets: false,
             },
         )
@@ -371,28 +423,78 @@ mod tests {
     }
 
     #[test]
-    fn o1turn_sharing_class_vcs_is_flagged() {
-        // O1TURN mixes both dimension orders inside one class VC group, so
-        // the conservative CDG finds the classic XY/YX turn cycle — the
-        // algorithm needs one virtual network per dimension order, which
-        // the class split alone does not provide.
-        let report = clean(RoutingAlgorithm::O1Turn, 4, 4, 2);
-        assert!(!report.is_deadlock_free());
+    fn every_shipped_topology_is_deadlock_free() {
+        // The machine-checked half of the dateline argument: with the
+        // allocator's VC narrowing in force, every topology the CLI can
+        // build has an acyclic CDG at its minimum VC count.
+        for choice in TopologyChoice::ALL {
+            let topo = choice.build(4, 4);
+            let report = analyze(
+                &topo,
+                &CdgOptions {
+                    vcs: topo.min_vcs().max(2),
+                    routing: RoutingAlgorithm::Xy,
+                    use_datelines: true,
+                    lock_partial_packets: false,
+                },
+            );
+            assert!(
+                report.is_deadlock_free(),
+                "{choice}: {:?}",
+                report.cycle_trace()
+            );
+            assert!(report.channels > 0 && report.edges > 0, "{choice}");
+        }
+    }
+
+    #[test]
+    fn undatelined_wrap_routing_is_rejected() {
+        // The other half: the *same* routing relation with the dateline
+        // narrowing disabled closes the classic wrap-edge cycle on both
+        // the ring and the torus — proving the dateline is what the
+        // deadlock freedom rests on, not the routing function.
+        for (name, topo) in [
+            ("ring", Ring::new(8).build()),
+            ("torus", Torus::new(4, 4).build()),
+        ] {
+            let opts = CdgOptions {
+                vcs: 4,
+                routing: RoutingAlgorithm::Xy,
+                use_datelines: false,
+                lock_partial_packets: false,
+            };
+            let report = analyze(&topo, &opts);
+            assert!(
+                !report.is_deadlock_free(),
+                "{name} without datelines must cycle"
+            );
+            let trace = report.cycle_trace().unwrap_or_default();
+            assert!(trace.contains("node"), "{name} trace is readable: {trace}");
+            let datelined = analyze(
+                &topo,
+                &CdgOptions {
+                    use_datelines: true,
+                    ..opts
+                },
+            );
+            assert!(datelined.is_deadlock_free(), "{name} with datelines");
+        }
     }
 
     #[test]
     fn injected_cyclic_routing_is_caught_with_trace() {
         // Clockwise ring on a 2x2 mesh: 0 -E-> 1 -S-> 3 -W-> 2 -N-> 0.
-        let mesh = Mesh::new(2, 2);
-        let ring = |here: NodeId, dst: NodeId| -> Vec<Direction> {
+        let mesh = Mesh::new(2, 2).build();
+        let local = mesh.local_port(NodeId(0));
+        let ring = move |here: NodeId, dst: NodeId| -> Vec<PortId> {
             if here == dst {
-                return vec![Direction::Local];
+                return vec![local];
             }
             vec![match here.0 {
-                0 => Direction::East,
-                1 => Direction::South,
-                3 => Direction::West,
-                _ => Direction::North,
+                0 => EAST,
+                1 => SOUTH,
+                3 => WEST,
+                _ => NORTH,
             }]
         };
         let single_vc = class_vc_groups(1);
@@ -419,9 +521,10 @@ mod tests {
         let opts = CdgOptions {
             vcs: 2,
             routing: RoutingAlgorithm::Xy,
+            use_datelines: true,
             lock_partial_packets: true,
         };
-        let report = analyze_mesh(&Mesh::new(2, 2), &opts);
+        let report = analyze(&Mesh::new(2, 2).build(), &opts);
         let cycle = report.cycle.clone().unwrap_or_default();
         assert_eq!(cycle.len(), 2, "lock-induced cycles are two-cycles");
         let trace = report.cycle_trace().unwrap_or_default();
@@ -435,10 +538,10 @@ mod tests {
         // use under an active plan: XY adjusted by `escape_route` for a
         // representative dead-link set.
         use disco_noc::routing::{escape_route, xy_route};
-        let mesh = Mesh::new(4, 4);
-        let dead = [(5usize, Direction::East), (10usize, Direction::South)];
-        let is_dead = |n: NodeId, d: Direction| dead.contains(&(n.0, d));
-        let route = |here: NodeId, dst: NodeId| -> Vec<Direction> {
+        let mesh = Mesh::new(4, 4).build();
+        let dead = [(5usize, EAST), (10usize, SOUTH)];
+        let is_dead = |n: NodeId, p: PortId| dead.contains(&(n.0, p));
+        let route = |here: NodeId, dst: NodeId| -> Vec<PortId> {
             vec![escape_route(
                 &mesh,
                 here,
@@ -457,14 +560,39 @@ mod tests {
     }
 
     #[test]
+    fn ring_escape_reversal_stays_acyclic() {
+        // The ring's path-blocked escape reverses direction at most once
+        // per packet; under the dateline narrowing, the primary ∪ escape
+        // relation must stay acyclic.
+        use disco_noc::routing::{escape_route, xy_route};
+        let ring = Ring::new(8).build();
+        let is_dead = |n: NodeId, p: PortId| n == NodeId(2) && p == CLOCKWISE;
+        let route = |here: NodeId, dst: NodeId| -> Vec<PortId> {
+            vec![escape_route(
+                &ring,
+                here,
+                dst,
+                xy_route(&ring, here, dst),
+                is_dead,
+            )]
+        };
+        let report = analyze_with_route_fn(&ring, &class_vc_groups(4), route, false);
+        assert!(
+            report.is_deadlock_free(),
+            "ring escape forms a cycle: {:?}",
+            report.cycle_trace()
+        );
+    }
+
+    #[test]
     fn channel_display_is_readable() {
         let c = Channel {
             from: 0,
             to: 1,
-            dir: Direction::East,
+            port: EAST,
             vc: 1,
         };
-        assert_eq!(format!("{c}"), "(node 0 -East-> node 1, vc 1)");
+        assert_eq!(format!("{c}"), "(node 0 -port 2-> node 1, vc 1)");
     }
 
     #[test]

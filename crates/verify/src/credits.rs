@@ -36,8 +36,7 @@
 //! bounds `credits + occupancy ≤ depth` mid-flight.
 
 use crate::explorer::{self, ExploreOptions, ExploreReport, TransitionSystem};
-use disco_noc::topology::Mesh;
-use disco_noc::{Direction, Network, NocConfig, NodeId, PacketClass, Payload};
+use disco_noc::{Network, NocConfig, NodeId, PacketClass, Payload, PortId, TopologyChoice};
 
 /// Index of each ledger component.
 const C: usize = 0;
@@ -234,20 +233,53 @@ pub fn check_conservation(ledger: &CreditLedger) -> ExploreReport {
 
 /// Conformance: after draining real traffic, every (link, VC) ledger of
 /// a live [`Network`] must hold *exactly* `buffer_depth` credits — a
-/// leak leaves fewer, a double-free more. Returns a summary on success,
-/// or every discrepancy found.
+/// leak leaves fewer, a double-free more. The check runs over every
+/// shipped topology (at its minimum legal VC count) so the wrapped
+/// shapes' dateline allocation and the concentrated mesh's shared
+/// routers are covered too. Returns a summary on success, or every
+/// discrepancy found.
 ///
 /// # Errors
 ///
-/// One entry per (link, VC) whose credit count differs from
+/// One entry per (topology, link, VC) whose credit count differs from
 /// `buffer_depth` at quiescence, or a description of a non-draining run.
 pub fn verify_live_credits() -> Result<String, Vec<String>> {
-    let config = NocConfig::default();
-    let mesh = Mesh::new(4, 4);
-    let nodes = mesh.nodes();
-    let mut net = Network::new(mesh, config);
+    let mut errors = Vec::new();
+    let mut links = 0usize;
+    let mut delivered = 0usize;
+    let depth = NocConfig::default().buffer_depth;
+    for choice in TopologyChoice::ALL {
+        match verify_live_credits_on(choice) {
+            Ok((l, d)) => {
+                links += l;
+                delivered += d;
+            }
+            Err(mut e) => errors.append(&mut e),
+        }
+    }
+    if errors.is_empty() {
+        Ok(format!(
+            "{} topologies, {links} (link, VC) ledgers at exactly {depth} credits after \
+             {delivered} deliveries",
+            TopologyChoice::ALL.len()
+        ))
+    } else {
+        Err(errors)
+    }
+}
+
+/// One topology's drain-and-audit leg: returns (ledgers checked,
+/// packets delivered) or the list of discrepancies.
+fn verify_live_credits_on(choice: TopologyChoice) -> Result<(usize, usize), Vec<String>> {
+    let topo = choice.build(4, 4);
+    let config = NocConfig {
+        vcs: topo.min_vcs().max(NocConfig::default().vcs),
+        ..NocConfig::default()
+    };
+    let mut net = Network::new(topo, config);
     // Cross traffic on all three classes, including multi-flit raw data
     // responses, so every link direction and both VC groups carry flits.
+    let tiles = net.topology().tiles();
     let mut tag = 0u64;
     for (src, dst) in [
         (0usize, 15usize),
@@ -281,7 +313,7 @@ pub fn verify_live_credits() -> Result<String, Vec<String>> {
     let mut delivered = 0usize;
     for _ in 0..10_000 {
         net.tick();
-        for n in 0..nodes {
+        for n in 0..tiles {
             delivered += net.take_delivered(NodeId(n)).len();
         }
         if net.is_idle() {
@@ -290,41 +322,35 @@ pub fn verify_live_credits() -> Result<String, Vec<String>> {
     }
     if !net.is_idle() {
         return Err(vec![format!(
-            "network failed to drain ({delivered} of {tag} packets delivered)"
+            "{choice}: network failed to drain ({delivered} of {tag} packets delivered)"
         )]);
     }
     let mut errors = Vec::new();
-    let mesh = *net.mesh();
     let depth = net.config().buffer_depth;
     let vcs = net.config().vcs;
     let mut links = 0usize;
-    for n in 0..nodes {
+    for n in 0..net.topology().routers() {
         let router = net.router(NodeId(n));
-        for dir in [
-            Direction::North,
-            Direction::South,
-            Direction::East,
-            Direction::West,
-        ] {
-            if mesh.neighbor(NodeId(n), dir).is_none() {
+        for port in 0..net.topology().link_ports() {
+            let port = PortId(port);
+            if net.topology().out_link(NodeId(n), port).is_none() {
                 continue;
             }
             for vc in 0..vcs {
                 links += 1;
-                let credits = router.credit_in(dir, vc);
+                let credits = router.credit_in(port, vc);
                 if credits != depth {
                     errors.push(format!(
-                        "router {n} {dir:?} vc{vc}: {credits} credits at quiescence, \
-                         expected exactly {depth}"
+                        "{choice}: router {n} port {} vc{vc}: {credits} credits at \
+                         quiescence, expected exactly {depth}",
+                        port.0
                     ));
                 }
             }
         }
     }
     if errors.is_empty() {
-        Ok(format!(
-            "{links} (link, VC) ledgers at exactly {depth} credits after {delivered} deliveries"
-        ))
+        Ok((links, delivered))
     } else {
         Err(errors)
     }

@@ -6,7 +6,9 @@
 //! Six passes, each usable as a library:
 //!
 //! - [`cdg`] — Dally–Seitz channel-dependency-graph deadlock analysis
-//!   over the mesh, the routing relation, and DISCO's VC-locking rule.
+//!   over any [`disco_noc::Topology`], its routing relation (with the
+//!   wrapped shapes' dateline VC narrowing), and DISCO's VC-locking
+//!   rule.
 //! - [`protocol`] — MOESI transition-table extraction from the live
 //!   directory engine plus totality/reachability checking, the `Msg`
 //!   tag-encoding roundtrip check, and the op → virtual-network class
@@ -26,11 +28,12 @@
 //!   fault-kind coverage.
 //!
 //! ```
-//! use disco_noc::topology::Mesh;
-//! use disco_verify::cdg::{analyze_mesh, CdgOptions};
+//! use disco_noc::topology::{Torus, TopologySpec};
+//! use disco_verify::cdg::{analyze, CdgOptions};
 //!
-//! let opts = CdgOptions::from_config(&disco_noc::NocConfig::default());
-//! assert!(analyze_mesh(&Mesh::new(4, 4), &opts).is_deadlock_free());
+//! let config = disco_noc::NocConfig { vcs: 4, ..disco_noc::NocConfig::default() };
+//! let opts = CdgOptions::from_config(&config);
+//! assert!(analyze(&Torus::new(4, 4).build(), &opts).is_deadlock_free());
 //! ```
 
 pub mod ast;

@@ -41,6 +41,7 @@ use crate::ast;
 
 /// Files whose per-cycle code must stay panic-API free.
 pub const HOT_PATHS: &[&str] = &[
+    "crates/noc/src/topology.rs",
     "crates/noc/src/router.rs",
     "crates/noc/src/network.rs",
     "crates/noc/src/phase.rs",

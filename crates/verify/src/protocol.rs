@@ -13,10 +13,10 @@
 use disco_cache::addr::LineAddr;
 use disco_cache::coherence::{Directory, StateKind};
 use disco_core::protocol::{Msg, Op};
-use disco_noc::topology::Mesh;
+use disco_noc::topology::Topology;
 use disco_noc::{NocConfig, PacketClass};
 
-use crate::cdg::{analyze_mesh, class_vc_groups, CdgOptions};
+use crate::cdg::{analyze, class_vc_groups, CdgOptions};
 
 /// The events the system layer can fire at a directory, mirroring the
 /// public [`Directory`] API.
@@ -288,14 +288,15 @@ const DOCUMENTED_CYCLES: &[&[&str]] = &[&["Invalidate", "Writeback"]];
 ///    union covers every VC.
 /// 4. The op-level message-dependency graph ([`op_triggers`]) contains
 ///    no cycle beyond [`DOCUMENTED_CYCLES`].
-/// 5. The CDG analysis itself reports the mesh deadlock-free under
-///    `opts` — together with (3) and (4) this is the full argument: each
-///    packet stays inside its class's VC group for its whole route
-///    (in-network dependencies cannot cross groups), the CDG proves each
-///    group's routing relation acyclic, and every cross-message
-///    dependency passes through an endpoint that consumes
+/// 5. The CDG analysis itself reports the topology deadlock-free under
+///    the config's routing and VC count — together with (3) and (4) this
+///    is the full argument: each packet stays inside its class's VC
+///    group for its whole route (in-network dependencies cannot cross
+///    groups), the CDG proves each group's routing relation acyclic
+///    (with the dateline narrowing on wrapped topologies), and every
+///    cross-message dependency passes through an endpoint that consumes
 ///    unconditionally.
-pub fn check_message_classes(config: &NocConfig, mesh: &Mesh) -> Vec<String> {
+pub fn check_message_classes(config: &NocConfig, topo: &Topology) -> Vec<String> {
     let mut errors = Vec::new();
 
     // 1. Pinned class table.
@@ -344,12 +345,13 @@ pub fn check_message_classes(config: &NocConfig, mesh: &Mesh) -> Vec<String> {
     }
 
     // 5. The in-network half of the argument.
-    let report = analyze_mesh(mesh, &CdgOptions::from_config(config));
+    let report = analyze(topo, &CdgOptions::from_config(config));
     if !report.is_deadlock_free() {
         let trace = report.cycle_trace().unwrap_or_default();
         errors.push(format!(
-            "CDG reports a routing cycle; the class composition argument needs \
-             deadlock-free per-group routing: {trace}"
+            "CDG reports a routing cycle on {}; the class composition argument needs \
+             deadlock-free per-group routing: {trace}",
+            topo.name()
         ));
     }
 
@@ -521,9 +523,17 @@ mod tests {
     }
 
     #[test]
-    fn message_class_composition_holds() {
-        let errors = check_message_classes(&NocConfig::default(), &Mesh::new(4, 4));
-        assert_eq!(errors, Vec::<String>::new());
+    fn message_class_composition_holds_on_every_topology() {
+        use disco_noc::topology::TopologyChoice;
+        for choice in TopologyChoice::ALL {
+            let topo = choice.build(4, 4);
+            let config = NocConfig {
+                vcs: topo.min_vcs().max(NocConfig::default().vcs),
+                ..NocConfig::default()
+            };
+            let errors = check_message_classes(&config, &topo);
+            assert_eq!(errors, Vec::<String>::new(), "{choice}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! combinations (default, `parallel`, `validate`, `parallel,validate`).
 
 use disco::core::{CompressionPlacement, SimBuilder};
-use disco::noc::{NocConfig, RoutingAlgorithm};
+use disco::noc::{NocConfig, RoutingAlgorithm, TopologyChoice};
 use disco::workloads::Benchmark;
 
 /// Full stats report for one matrix point at a given shard count.
@@ -48,6 +48,49 @@ fn shard_count_never_changes_stats() {
                     "seed {seed}, {placement}, {routing:?}: \
                      4-shard stats diverged from 1-shard"
                 );
+            }
+        }
+    }
+}
+
+/// The wrapped topologies join the matrix: ring and torus runs (which
+/// exercise the dateline VC split and, on the ring, radix-3 port
+/// tables) must be byte-identical at any shard count too. 3 seeds ×
+/// {Baseline, DISCO} × shards {1, 4, 16} per topology.
+#[test]
+fn ring_and_torus_are_shard_invariant() {
+    let stats =
+        |topology: TopologyChoice, seed: u64, placement: CompressionPlacement, shards: usize| {
+            let noc = NocConfig {
+                compute_shards: shards,
+                ..NocConfig::default()
+            };
+            let report = SimBuilder::new()
+                .mesh(4, 4)
+                .topology(topology)
+                .placement(placement)
+                .benchmark(Benchmark::Dedup)
+                .trace_len(300)
+                .seed(seed)
+                .noc(noc)
+                .run()
+                .expect("wrapped-topology matrix run drains");
+            let mut buf = Vec::new();
+            report.write_stats(&mut buf).expect("in-memory write");
+            String::from_utf8(buf).expect("stats are utf8")
+        };
+    for topology in [TopologyChoice::Ring, TopologyChoice::Torus] {
+        for seed in [1u64, 2, 3] {
+            for placement in [CompressionPlacement::Baseline, CompressionPlacement::Disco] {
+                let serial = stats(topology, seed, placement, 1);
+                for shards in [4, 16] {
+                    assert_eq!(
+                        serial,
+                        stats(topology, seed, placement, shards),
+                        "{topology}, seed {seed}, {placement}: \
+                         {shards}-shard stats diverged from serial"
+                    );
+                }
             }
         }
     }

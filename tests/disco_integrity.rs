@@ -102,7 +102,7 @@ fn stalled_compressed_packet_is_decompressed_in_network() {
     );
     assert!(net
         .router_mut(NodeId(0))
-        .try_take_credits(disco::noc::Direction::East, 1, 8));
+        .try_take_credits(disco::noc::topology::EAST, 1, 8));
     for _ in 0..60 {
         net.tick();
         layer.tick(&mut net);
@@ -110,7 +110,7 @@ fn stalled_compressed_packet_is_decompressed_in_network() {
     assert_eq!(layer.stats().decompressions, 1, "{:?}", layer.stats());
     for _ in 0..8 {
         net.router_mut(NodeId(0))
-            .return_credit(disco::noc::Direction::East, 1);
+            .return_credit(disco::noc::topology::EAST, 1);
     }
     let pkt = loop {
         net.tick();

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use disco_noc::routing::RoutingAlgorithm;
-use disco_noc::topology::Mesh;
+use disco_noc::topology::{Mesh, TopologyChoice, TopologySpec};
 use disco_noc::NocConfig;
 use disco_verify::explorer::{explore, ExploreOptions};
 use disco_verify::model::{LiveDir, ProtocolModel};
@@ -186,44 +186,73 @@ where
     }
 }
 
-/// Channel-dependency-graph pass: the default configuration and every
-/// deterministic/turn-model algorithm must be acyclic on the Table 2
-/// mesh. Known-cyclic configurations are reported as notes, proving the
-/// analysis has teeth without failing the build.
+/// Channel-dependency-graph pass: every shipped topology must be
+/// acyclic under its default routing (with dateline VC narrowing on the
+/// wrapped shapes), and every deterministic/turn-model algorithm must
+/// be acyclic on the Table 2 mesh. Known-cyclic configurations are
+/// reported as notes, proving the analysis has teeth without failing
+/// the build.
 fn run_cdg() -> (bool, String) {
     let mut failures = 0usize;
     let config = NocConfig::default();
-    let mesh = Mesh::new(4, 4);
-    for routing in [
-        RoutingAlgorithm::Xy,
-        RoutingAlgorithm::Yx,
-        RoutingAlgorithm::WestFirst,
-    ] {
+    for choice in TopologyChoice::ALL {
+        let topo = choice.build(4, 4);
+        let opts = cdg::CdgOptions {
+            vcs: config.vcs.max(topo.min_vcs()),
+            routing: config.routing,
+            use_datelines: true,
+            lock_partial_packets: false,
+        };
+        let report = cdg::analyze(&topo, &opts);
+        match report.cycle_trace() {
+            None => println!(
+                "cdg: {} ({} routers, radix {}) at {} VCs: acyclic ({} channels, {} dependencies)",
+                topo.name(),
+                topo.routers(),
+                topo.radix(),
+                opts.vcs,
+                report.channels,
+                report.edges
+            ),
+            Some(trace) => {
+                eprintln!(
+                    "cdg: FAIL {} at {} VCs: cycle {trace}",
+                    topo.name(),
+                    opts.vcs
+                );
+                failures += 1;
+            }
+        }
+    }
+    let mesh = Mesh::new(4, 4).build();
+    for routing in [RoutingAlgorithm::Yx, RoutingAlgorithm::WestFirst] {
         let opts = cdg::CdgOptions {
             vcs: config.vcs,
             routing,
+            use_datelines: true,
             lock_partial_packets: false,
         };
-        let report = cdg::analyze_mesh(&mesh, &opts);
+        let report = cdg::analyze(&mesh, &opts);
         match report.cycle_trace() {
             None => println!(
-                "cdg: {routing:?} on 4x4/{} VCs: acyclic ({} channels, {} dependencies)",
+                "cdg: {routing:?} on 4x4 mesh/{} VCs: acyclic ({} channels, {} dependencies)",
                 config.vcs, report.channels, report.edges
             ),
             Some(trace) => {
                 eprintln!(
-                    "cdg: FAIL {routing:?} on 4x4/{} VCs: cycle {trace}",
+                    "cdg: FAIL {routing:?} on 4x4 mesh/{} VCs: cycle {trace}",
                     config.vcs
                 );
                 failures += 1;
             }
         }
     }
-    let o1 = cdg::analyze_mesh(
+    let o1 = cdg::analyze(
         &mesh,
         &cdg::CdgOptions {
             vcs: config.vcs,
             routing: RoutingAlgorithm::O1Turn,
+            use_datelines: true,
             lock_partial_packets: false,
         },
     );
@@ -233,11 +262,12 @@ fn run_cdg() -> (bool, String) {
              network per dimension order); it is not part of the default configuration"
         );
     }
-    let locked = cdg::analyze_mesh(
+    let locked = cdg::analyze(
         &mesh,
         &cdg::CdgOptions {
             vcs: config.vcs,
             routing: config.routing,
+            use_datelines: true,
             lock_partial_packets: true,
         },
     );
@@ -247,8 +277,29 @@ fn run_cdg() -> (bool, String) {
              engine therefore locks whole-resident packets only"
         );
     }
+    let undatelined = cdg::analyze(
+        &TopologyChoice::Torus.build(4, 4),
+        &cdg::CdgOptions {
+            vcs: 4,
+            routing: config.routing,
+            use_datelines: false,
+            lock_partial_packets: false,
+        },
+    );
+    if !undatelined.is_deadlock_free() {
+        println!(
+            "cdg: note: the torus without dateline VC narrowing is cyclic — the wrapped \
+             shapes are safe only because the datelines are machine-checked above"
+        );
+    }
     if failures == 0 {
-        (true, "Xy/Yx/WestFirst acyclic on 4x4 mesh".to_string())
+        (
+            true,
+            format!(
+                "{} topologies acyclic (datelined); Xy/Yx/WestFirst acyclic on 4x4 mesh",
+                TopologyChoice::ALL.len()
+            ),
+        )
     } else {
         (false, format!("{failures} routing configuration(s) cyclic"))
     }
@@ -291,11 +342,19 @@ fn run_protocol() -> (bool, String) {
         }
         failures += 1;
     }
-    let class_errors = protocol::check_message_classes(&NocConfig::default(), &Mesh::new(4, 4));
+    let mut class_errors = Vec::new();
+    for choice in TopologyChoice::ALL {
+        let topo = choice.build(4, 4);
+        let config = NocConfig {
+            vcs: NocConfig::default().vcs.max(topo.min_vcs()),
+            ..NocConfig::default()
+        };
+        class_errors.extend(protocol::check_message_classes(&config, &topo));
+    }
     if class_errors.is_empty() {
         println!(
             "protocol: op → class mapping pinned, VC groups partition, only documented \
-             dependency cycles, CDG composition holds"
+             dependency cycles, CDG composition holds on every topology"
         );
     } else {
         for e in &class_errors {
