@@ -104,6 +104,19 @@ fn run_point(
         );
     }
     if let Some(f) = &faults {
+        // A rate so low it injected nothing over this run would print as
+        // a flawless 100%-recovery row — warn that the configuration
+        // under-samples and needs a longer run (disco-serve's
+        // long-run/resume mode exists for exactly this).
+        if f.injected == 0 {
+            let label = format!("{benchmark}/{}", placement.name());
+            let sites = disco_bench::serve::injection_sites(args.mesh * args.mesh);
+            if let Some(w) =
+                disco_bench::serve::injection_warning(&label, rate, report.cycles, sites)
+            {
+                eprintln!("{w}");
+            }
+        }
         assert_eq!(
             f.undetected, 0,
             "{benchmark}/{placement} @ rate {rate}: silent corruption"

@@ -6,6 +6,7 @@
 //! summary statistics the paper quotes in §4.
 
 pub mod experiments;
+pub mod serve;
 pub mod sweep;
 
 use disco_core::{CompressionPlacement, SimBuilder, SimReport};

@@ -1,0 +1,684 @@
+//! Simulation-as-a-service: a long-running job-queue engine behind the
+//! `disco-serve` binary.
+//!
+//! A queue file (JSON, schema below) lists independent simulation jobs
+//! on the [`SimBuilder`] axes. The engine fans them across OS worker
+//! threads (round-robin, like `sweep::run_sweep`), streams a heartbeat
+//! JSONL line per job chunk, auto-checkpoints every
+//! `checkpoint_every` cycles via [`System::snapshot`], and resumes any
+//! job whose checkpoint it finds in the output directory — so a killed
+//! process restarts and finishes its queue with final stats
+//! byte-identical to an uninterrupted run (the snapshot determinism
+//! contract, pinned by `tests/determinism.rs`).
+//!
+//! Queue schema:
+//!
+//! ```json
+//! {
+//!   "checkpoint_every": 2000,
+//!   "jobs": [
+//!     {
+//!       "name": "bs-disco",
+//!       "mesh": 4,                  // or "cols"/"rows"
+//!       "topology": "mesh",         // mesh|ring|hring|torus|cmesh
+//!       "placement": "disco",       // baseline|ideal|cc|cnc|disco
+//!       "scheme": "delta",          // a compress::SchemeKind name
+//!       "benchmark": "blackscholes",
+//!       "trace_len": 10000,
+//!       "seed": 1,
+//!       "compute_shards": 1,
+//!       "max_cycles": 0,            // 0 = auto budget
+//!       "fault_rate": 0.0           // needs the `faults` feature if > 0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Per-job files in the output directory: `<name>.stats` (final stats,
+//! written atomically — its existence marks completion), `<name>.jsonl`
+//! (heartbeat stream), `<name>.ckpt` (latest checkpoint, atomic
+//! tmp+rename). Dropping a `<name>.cancel` marker file stops the job at
+//! its next chunk boundary, checkpoint intact.
+
+use crate::sweep;
+use disco_compress::SchemeKind;
+use disco_core::{CompressionPlacement, SimBuilder, SimError, System};
+use disco_noc::{NocConfig, TopologyChoice};
+use disco_workloads::Benchmark;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+pub mod json;
+
+use json::Json;
+
+/// One queued simulation job on the [`SimBuilder`] axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique, file-safe job name (output files derive from it).
+    pub name: String,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Mesh rows.
+    pub rows: usize,
+    /// NoC topology.
+    pub topology: TopologyChoice,
+    /// Compression placement.
+    pub placement: CompressionPlacement,
+    /// Compression scheme.
+    pub scheme: SchemeKind,
+    /// Workload.
+    pub benchmark: Benchmark,
+    /// Accesses per core.
+    pub trace_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Kernel shard request (ignored without the `parallel` feature).
+    pub compute_shards: usize,
+    /// Cycle budget (0 = auto).
+    pub max_cycles: u64,
+    /// Uniform fault rate (requires the `faults` feature when > 0).
+    pub fault_rate: f64,
+}
+
+impl JobSpec {
+    /// The simulator configuration this job describes.
+    pub fn builder(&self) -> SimBuilder {
+        let noc = NocConfig {
+            compute_shards: self.compute_shards,
+            ..NocConfig::default()
+        };
+        let builder = SimBuilder::new()
+            .mesh(self.cols, self.rows)
+            .topology(self.topology)
+            .placement(self.placement)
+            .scheme(self.scheme)
+            .benchmark(self.benchmark)
+            .trace_len(self.trace_len)
+            .seed(self.seed)
+            .max_cycles(self.max_cycles)
+            .noc(noc);
+        #[cfg(feature = "faults")]
+        let builder = if self.fault_rate > 0.0 {
+            builder.faults(disco_faults::FaultPlan::uniform(
+                self.seed ^ 0xfa17,
+                self.fault_rate,
+            ))
+        } else {
+            builder
+        };
+        builder
+    }
+
+    /// Rough cycle count this job will simulate: the explicit budget if
+    /// set, otherwise an empirical multiple of the trace length.
+    pub fn estimated_cycles(&self) -> u64 {
+        if self.max_cycles > 0 {
+            self.max_cycles
+        } else {
+            self.trace_len as u64 * 20
+        }
+    }
+}
+
+/// A parsed queue file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Jobs, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// Cycles between auto-checkpoints (and heartbeat lines).
+    pub checkpoint_every: u64,
+}
+
+/// Approximate per-cycle fault injection sites of a `cols`×`rows`
+/// system: every router port (≈ 5 per tile on a mesh) is a potential
+/// link/stall/flip site each cycle.
+pub fn injection_sites(tiles: usize) -> u64 {
+    5 * tiles as u64
+}
+
+/// Expected fault injections of a run: rate × cycles × sites.
+pub fn expected_injections(rate: f64, cycles: u64, sites: u64) -> f64 {
+    rate * cycles as f64 * sites as f64
+}
+
+/// The structured warning for the silent "0 faults injected looks like
+/// 100% recovery" trap: a positive fault rate whose expected injection
+/// count rounds to ~0 over the run needs a long-run/resume simulation,
+/// not a bench-length one. Returns a single JSON line, or `None` when
+/// the configuration is sound.
+pub fn injection_warning(label: &str, rate: f64, cycles: u64, sites: u64) -> Option<String> {
+    if rate <= 0.0 {
+        return None;
+    }
+    let expected = expected_injections(rate, cycles, sites);
+    if expected >= 1.0 {
+        return None;
+    }
+    Some(format!(
+        "{{\"warning\":\"expected_injections_rounds_to_zero\",\"job\":\"{}\",\
+         \"rate\":{rate:e},\"cycles\":{cycles},\"sites\":{sites},\
+         \"expected\":{expected:.6},\"hint\":\"a rate this low injects ~0 faults \
+         over this run; use disco-serve long-run/resume mode (or more cycles) \
+         for a meaningful recovery measurement\"}}",
+        sweep::json_escape(label),
+    ))
+}
+
+fn job_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+fn lookup<T: Copy>(
+    what: &str,
+    value: &str,
+    all: &[T],
+    name: impl Fn(T) -> &'static str,
+) -> Result<T, String> {
+    all.iter()
+        .copied()
+        .find(|&v| name(v).eq_ignore_ascii_case(value))
+        .ok_or_else(|| {
+            let names: Vec<_> = all.iter().map(|&v| name(v)).collect();
+            format!("unknown {what} {value:?} (one of: {})", names.join(", "))
+        })
+}
+
+fn parse_job(obj: &Json, index: usize) -> Result<JobSpec, String> {
+    let ctx = |field: &str| format!("jobs[{index}].{field}");
+    let name = obj
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{} missing", ctx("name")))?
+        .to_string();
+    if !job_name_ok(&name) {
+        return Err(format!(
+            "{}: {name:?} is not file-safe (ascii alphanumerics, '-', '_', '.')",
+            ctx("name")
+        ));
+    }
+    let mesh = obj.get("mesh").and_then(Json::as_u64);
+    let cols = obj
+        .get("cols")
+        .and_then(Json::as_u64)
+        .or(mesh)
+        .ok_or_else(|| format!("{} (or mesh) missing", ctx("cols")))? as usize;
+    let rows = obj
+        .get("rows")
+        .and_then(Json::as_u64)
+        .or(mesh)
+        .ok_or_else(|| format!("{} (or mesh) missing", ctx("rows")))? as usize;
+    if cols < 2 || rows < 2 {
+        return Err(format!("{}: grid must be at least 2x2", ctx("mesh")));
+    }
+    let field_str = |field: &str, default: &'static str| {
+        obj.get(field)
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{} must be a string", ctx(field)))
+            })
+            .unwrap_or_else(|| Ok(default.to_string()))
+    };
+    let topology = lookup(
+        "topology",
+        &field_str("topology", "mesh")?,
+        &TopologyChoice::ALL,
+        TopologyChoice::name,
+    )?;
+    let placement = lookup(
+        "placement",
+        &field_str("placement", "disco")?,
+        &CompressionPlacement::ALL,
+        CompressionPlacement::name,
+    )?;
+    let scheme = lookup(
+        "scheme",
+        &field_str("scheme", "Delta")?,
+        &SchemeKind::ALL,
+        SchemeKind::name,
+    )?;
+    let benchmark = lookup(
+        "benchmark",
+        &field_str("benchmark", "blackscholes")?,
+        &Benchmark::ALL,
+        Benchmark::name,
+    )?;
+    let trace_len = obj
+        .get("trace_len")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{} missing", ctx("trace_len")))? as usize;
+    if trace_len == 0 {
+        return Err(format!("{} must be positive", ctx("trace_len")));
+    }
+    let seed = obj.get("seed").and_then(Json::as_u64).unwrap_or(1);
+    let compute_shards = obj
+        .get("compute_shards")
+        .and_then(Json::as_u64)
+        .unwrap_or(1) as usize;
+    let max_cycles = obj.get("max_cycles").and_then(Json::as_u64).unwrap_or(0);
+    let fault_rate = obj.get("fault_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    if fault_rate < 0.0 {
+        return Err(format!("{} must be non-negative", ctx("fault_rate")));
+    }
+    if fault_rate > 0.0 && !cfg!(feature = "faults") {
+        return Err(format!(
+            "{}: fault injection needs a `--features faults` build",
+            ctx("fault_rate")
+        ));
+    }
+    Ok(JobSpec {
+        name,
+        cols,
+        rows,
+        topology,
+        placement,
+        scheme,
+        benchmark,
+        trace_len,
+        seed,
+        compute_shards,
+        max_cycles,
+        fault_rate,
+    })
+}
+
+/// Parses and validates a queue file. Emits the expected-injection
+/// warning (to `warnings`) for every faulty job whose rate rounds to ~0
+/// injections over its estimated length.
+pub fn parse_queue(text: &str) -> Result<(ServeConfig, Vec<String>), String> {
+    let root = json::parse(text)?;
+    let checkpoint_every = root
+        .get("checkpoint_every")
+        .and_then(Json::as_u64)
+        .unwrap_or(2_000)
+        .max(1);
+    let jobs_json = root
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("queue file needs a \"jobs\" array")?;
+    if jobs_json.is_empty() {
+        return Err("queue file lists no jobs".into());
+    }
+    let mut jobs = Vec::with_capacity(jobs_json.len());
+    let mut warnings = Vec::new();
+    for (i, j) in jobs_json.iter().enumerate() {
+        let job = parse_job(j, i)?;
+        if jobs
+            .iter()
+            .any(|existing: &JobSpec| existing.name == job.name)
+        {
+            return Err(format!("duplicate job name {:?}", job.name));
+        }
+        if let Some(w) = injection_warning(
+            &job.name,
+            job.fault_rate,
+            job.estimated_cycles(),
+            injection_sites(job.cols * job.rows),
+        ) {
+            warnings.push(w);
+        }
+        jobs.push(job);
+    }
+    Ok((
+        ServeConfig {
+            jobs,
+            checkpoint_every,
+        },
+        warnings,
+    ))
+}
+
+/// Engine options (the binary's CLI maps 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Per-job output directory (created if missing).
+    pub out_dir: PathBuf,
+    /// Worker threads (jobs fan round-robin; 1 = serial).
+    pub threads: usize,
+    /// Stop the whole server after this many job chunks — a
+    /// deterministic stand-in for a process kill, used by the
+    /// kill-and-resume tests. `None` = run to queue completion.
+    pub max_chunks: Option<u64>,
+}
+
+/// What happened to one job this server run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Final stats written (this run, possibly after a resume).
+    Completed,
+    /// `<name>.stats` already existed; nothing to do.
+    AlreadyDone,
+    /// Stopped by the chunk budget; checkpoint on disk.
+    Interrupted,
+    /// Stopped by a `<name>.cancel` marker; checkpoint on disk.
+    Cancelled,
+    /// The simulation or an output file failed (details on the
+    /// heartbeat stream and stderr).
+    Failed,
+}
+
+/// Outcome tallies for a whole server run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs whose final stats this run wrote.
+    pub completed: usize,
+    /// Jobs already complete when the run started.
+    pub already_done: usize,
+    /// Jobs that resumed from a checkpoint this run.
+    pub resumed: usize,
+    /// Jobs stopped by the chunk budget.
+    pub interrupted: usize,
+    /// Jobs stopped by a cancel marker.
+    pub cancelled: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+struct JobFiles {
+    stats: PathBuf,
+    heartbeat: PathBuf,
+    checkpoint: PathBuf,
+    cancel: PathBuf,
+}
+
+impl JobFiles {
+    fn new(out_dir: &Path, name: &str) -> Self {
+        let p = |ext: &str| out_dir.join(format!("{name}.{ext}"));
+        JobFiles {
+            stats: p("stats"),
+            heartbeat: p("jsonl"),
+            checkpoint: p("ckpt"),
+            cancel: p("cancel"),
+        }
+    }
+
+    fn heartbeat(&self, name: &str, event: &str, sys: Option<&System>) {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"job\":\"{}\",\"event\":\"{event}\"",
+            sweep::json_escape(name)
+        );
+        if let Some(sys) = sys {
+            let _ = write!(
+                line,
+                ",\"cycle\":{},\"outstanding\":{}",
+                sys.now(),
+                sys.outstanding()
+            );
+        }
+        line.push('}');
+        line.push('\n');
+        if let Ok(mut f) = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.heartbeat)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Runs one job: resume from its checkpoint if one exists, step in
+/// `checkpoint_every`-cycle chunks, checkpoint after each, finish with
+/// an atomically-written stats file. `resumed` is set when the job
+/// continued from a checkpoint.
+fn run_job(
+    job: &JobSpec,
+    files: &JobFiles,
+    checkpoint_every: u64,
+    budget: &AtomicI64,
+    resumed: &mut bool,
+) -> JobOutcome {
+    if files.stats.exists() {
+        return JobOutcome::AlreadyDone;
+    }
+    let builder = job.builder();
+    let mut sys = match fs::read(&files.checkpoint) {
+        Ok(bytes) => match System::restore_with(&bytes, &builder) {
+            Ok(sys) => {
+                *resumed = true;
+                files.heartbeat(&job.name, "resumed", Some(&sys));
+                sys
+            }
+            Err(e) => {
+                eprintln!("disco-serve: {}: checkpoint unusable: {e}", job.name);
+                files.heartbeat(&job.name, "failed", None);
+                return JobOutcome::Failed;
+            }
+        },
+        Err(_) => {
+            let sys = builder.build();
+            files.heartbeat(&job.name, "started", Some(&sys));
+            sys
+        }
+    };
+    loop {
+        if files.cancel.exists() {
+            let _ = write_atomic(&files.checkpoint, &sys.snapshot());
+            files.heartbeat(&job.name, "cancelled", Some(&sys));
+            return JobOutcome::Cancelled;
+        }
+        if budget.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            let _ = write_atomic(&files.checkpoint, &sys.snapshot());
+            files.heartbeat(&job.name, "interrupted", Some(&sys));
+            return JobOutcome::Interrupted;
+        }
+        let target = sys.now() + checkpoint_every;
+        match sys.step_until(target) {
+            Ok(false) => {
+                if write_atomic(&files.checkpoint, &sys.snapshot()).is_err() {
+                    eprintln!("disco-serve: {}: cannot write checkpoint", job.name);
+                    files.heartbeat(&job.name, "failed", Some(&sys));
+                    return JobOutcome::Failed;
+                }
+                files.heartbeat(&job.name, "checkpoint", Some(&sys));
+            }
+            Ok(true) => {
+                files.heartbeat(&job.name, "draining", Some(&sys));
+                return match sys.run_to_completion() {
+                    Ok(report) => {
+                        let mut buf = Vec::new();
+                        if report.write_stats(&mut buf).is_err()
+                            || write_atomic(&files.stats, &buf).is_err()
+                        {
+                            eprintln!("disco-serve: {}: cannot write stats", job.name);
+                            files.heartbeat(&job.name, "failed", None);
+                            return JobOutcome::Failed;
+                        }
+                        let _ = fs::remove_file(&files.checkpoint);
+                        files.heartbeat(&job.name, "completed", None);
+                        JobOutcome::Completed
+                    }
+                    Err(e) => {
+                        eprintln!("disco-serve: {}: {e}", job.name);
+                        files.heartbeat(&job.name, "failed", None);
+                        JobOutcome::Failed
+                    }
+                };
+            }
+            Err(e @ SimError::DeadlineExceeded { .. }) => {
+                eprintln!("disco-serve: {}: {e}", job.name);
+                files.heartbeat(&job.name, "failed", Some(&sys));
+                return JobOutcome::Failed;
+            }
+            Err(e) => {
+                eprintln!("disco-serve: {}: {e}", job.name);
+                files.heartbeat(&job.name, "failed", None);
+                return JobOutcome::Failed;
+            }
+        }
+    }
+}
+
+/// Runs the queue. Jobs fan round-robin across `threads` workers; each
+/// worker processes its jobs in submission order. Returns the outcome
+/// tally (the binary turns `failed > 0` into a failing exit code).
+pub fn serve(cfg: &ServeConfig, opts: &ServeOpts) -> Result<ServeSummary, String> {
+    fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+    // i64 so concurrent fetch_subs past zero saturate harmlessly.
+    let budget = AtomicI64::new(match opts.max_chunks {
+        Some(n) => i64::try_from(n).unwrap_or(i64::MAX),
+        None => i64::MAX,
+    });
+    let threads = opts.threads.max(1).min(cfg.jobs.len().max(1));
+    let outcomes: Vec<(JobOutcome, bool)> = if threads <= 1 {
+        cfg.jobs
+            .iter()
+            .map(|job| {
+                let files = JobFiles::new(&opts.out_dir, &job.name);
+                let mut resumed = false;
+                let o = run_job(job, &files, cfg.checkpoint_every, &budget, &mut resumed);
+                (o, resumed)
+            })
+            .collect()
+    } else {
+        let mut indexed: Vec<(usize, (JobOutcome, bool))> = Vec::with_capacity(cfg.jobs.len());
+        std::thread::scope(|s| {
+            let budget = &budget;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        cfg.jobs
+                            .iter()
+                            .enumerate()
+                            .skip(t)
+                            .step_by(threads)
+                            .map(|(i, job)| {
+                                let files = JobFiles::new(&opts.out_dir, &job.name);
+                                let mut resumed = false;
+                                let o = run_job(
+                                    job,
+                                    &files,
+                                    cfg.checkpoint_every,
+                                    budget,
+                                    &mut resumed,
+                                );
+                                (i, (o, resumed))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(_) => panic!("serve worker panicked"),
+                }
+            }
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    };
+    let mut summary = ServeSummary::default();
+    for (outcome, resumed) in outcomes {
+        if resumed {
+            summary.resumed += 1;
+        }
+        match outcome {
+            JobOutcome::Completed => summary.completed += 1,
+            JobOutcome::AlreadyDone => summary.already_done += 1,
+            JobOutcome::Interrupted => summary.interrupted += 1,
+            JobOutcome::Cancelled => summary.cancelled += 1,
+            JobOutcome::Failed => summary.failed += 1,
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue_text() -> &'static str {
+        r#"{
+            "checkpoint_every": 500,
+            "jobs": [
+                {"name": "a", "mesh": 2, "benchmark": "swaptions",
+                 "trace_len": 150, "seed": 1},
+                {"name": "b", "mesh": 2, "placement": "baseline",
+                 "benchmark": "dedup", "trace_len": 150, "seed": 2}
+            ]
+        }"#
+    }
+
+    #[test]
+    fn queue_parses_and_validates() {
+        let (cfg, warnings) = parse_queue(queue_text()).expect("valid queue");
+        assert_eq!(cfg.checkpoint_every, 500);
+        assert_eq!(cfg.jobs.len(), 2);
+        assert_eq!(cfg.jobs[0].name, "a");
+        assert_eq!(cfg.jobs[0].placement, CompressionPlacement::Disco);
+        assert_eq!(cfg.jobs[1].placement, CompressionPlacement::Baseline);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn bad_queues_are_rejected_with_context() {
+        let dup = r#"{"jobs": [
+            {"name": "x", "mesh": 2, "trace_len": 10},
+            {"name": "x", "mesh": 2, "trace_len": 10}
+        ]}"#;
+        assert!(parse_queue(dup).unwrap_err().contains("duplicate"));
+        let bad_bench = r#"{"jobs": [
+            {"name": "x", "mesh": 2, "trace_len": 10, "benchmark": "doom"}
+        ]}"#;
+        let e = parse_queue(bad_bench).unwrap_err();
+        assert!(e.contains("doom") && e.contains("blackscholes"), "{e}");
+        let bad_name = r#"{"jobs": [
+            {"name": "../x", "mesh": 2, "trace_len": 10}
+        ]}"#;
+        assert!(parse_queue(bad_name).unwrap_err().contains("file-safe"));
+        assert!(parse_queue("{}").is_err());
+        assert!(parse_queue("not json").is_err());
+    }
+
+    #[test]
+    fn near_zero_expected_injections_warn() {
+        let w = injection_warning("j", 1e-9, 10_000, 80);
+        let w = w.expect("1e-9 over 10k cycles rounds to ~0");
+        assert!(w.contains("expected_injections_rounds_to_zero"));
+        assert!(w.contains("resume"));
+        assert!(injection_warning("j", 0.0, 10_000, 80).is_none());
+        assert!(injection_warning("j", 1e-3, 10_000, 80).is_none());
+    }
+
+    #[test]
+    fn serve_completes_a_queue_and_is_idempotent() {
+        let (cfg, _) = parse_queue(queue_text()).expect("valid queue");
+        let dir = std::env::temp_dir().join(format!("disco-serve-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let opts = ServeOpts {
+            out_dir: dir.clone(),
+            threads: 2,
+            max_chunks: None,
+        };
+        let summary = serve(&cfg, &opts).expect("serves");
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.failed, 0);
+        for job in &cfg.jobs {
+            let files = JobFiles::new(&dir, &job.name);
+            assert!(files.stats.exists(), "{} missing stats", job.name);
+            assert!(!files.checkpoint.exists(), "{} checkpoint left", job.name);
+            assert!(files.heartbeat.exists(), "{} missing heartbeat", job.name);
+        }
+        let again = serve(&cfg, &opts).expect("re-serves");
+        assert_eq!(again.already_done, 2);
+        assert_eq!(again.completed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

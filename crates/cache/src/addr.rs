@@ -66,6 +66,15 @@ impl fmt::Display for LineAddr {
     }
 }
 
+impl disco_snapshot::Snap for LineAddr {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.0);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(LineAddr(r.take()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -427,3 +427,61 @@ mod tests {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for DirState {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match self {
+            DirState::Uncached => w.put(&0u8),
+            DirState::Shared(sharers) => {
+                w.put(&1u8);
+                w.put(sharers);
+            }
+            DirState::Owned { owner, sharers } => {
+                w.put(&2u8);
+                w.put(owner);
+                w.put(sharers);
+            }
+        }
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => DirState::Uncached,
+            1 => DirState::Shared(r.take()?),
+            2 => DirState::Owned {
+                owner: r.take()?,
+                sharers: r.take()?,
+            },
+            tag => return Err(disco_snapshot::malformed(format!("DirState tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(DirStats {
+    bank_reads,
+    owner_forwards,
+    invalidations,
+    write_requests,
+});
+
+impl Directory {
+    /// Writes the directory's full state (line map in sorted-address
+    /// order, counters).
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.snap_map(&self.lines);
+        w.put(&self.stats);
+    }
+
+    /// Overlays state written by [`Directory::snap_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        self.lines = r.restore_map()?;
+        self.stats = r.take()?;
+        Ok(())
+    }
+}

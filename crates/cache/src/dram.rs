@@ -241,3 +241,51 @@ mod tests {
         assert_eq!(d.fault_stall_cycles(), 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(DramStats {
+    reads,
+    writes,
+    row_hits,
+    row_misses,
+    conflict_cycles,
+});
+
+impl Dram {
+    /// Writes the controller's mutable state. `config` (and the armed
+    /// fault plan) are rebuilt from the builder on restore; the
+    /// `site_log` is drained every tick and empty at boundaries.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.bank_free_at);
+        w.put(&self.open_row);
+        w.put(&self.stats);
+        #[cfg(feature = "faults")]
+        w.put(&self.fault_stall_cycles);
+    }
+
+    /// Overlays state written by [`Dram::snap_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let bank_free_at: Vec<u64> = r.take()?;
+        if bank_free_at.len() != self.bank_free_at.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "DRAM bank count {} in snapshot, {} in rebuilt controller",
+                bank_free_at.len(),
+                self.bank_free_at.len()
+            )));
+        }
+        self.bank_free_at = bank_free_at;
+        self.open_row = r.take()?;
+        self.stats = r.take()?;
+        #[cfg(feature = "faults")]
+        {
+            self.fault_stall_cycles = r.take()?;
+        }
+        Ok(())
+    }
+}

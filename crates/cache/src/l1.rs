@@ -285,3 +285,54 @@ mod tests {
         assert_eq!(l1.sets.len(), 128);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(Entry {
+    tag,
+    line,
+    dirty,
+    repl,
+});
+
+disco_snapshot::snap_fields!(L1Stats {
+    hits,
+    misses,
+    writebacks,
+    invalidations,
+});
+
+impl L1Cache {
+    /// Writes the cache's mutable state (arrays, replacement state,
+    /// clock, counters); `config` is rebuilt from the builder on
+    /// restore.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.sets);
+        w.put(&self.policy);
+        w.put(&self.clock);
+        w.put(&self.stats);
+    }
+
+    /// Overlays state written by [`L1Cache::snap_state`] onto a cache
+    /// freshly built with the same config.
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let sets: Vec<Vec<Entry>> = r.take()?;
+        if sets.len() != self.sets.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "L1 set count {} in snapshot, {} in rebuilt cache",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        self.sets = sets;
+        self.policy = r.take()?;
+        self.clock = r.take()?;
+        self.stats = r.take()?;
+        Ok(())
+    }
+}

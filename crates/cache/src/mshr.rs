@@ -190,3 +190,39 @@ mod tests {
         assert_eq!(e.issued_at, 50, "latency clock restarted at the demand");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(MshrEntry {
+    addr,
+    issued_at,
+    write,
+    merged,
+    prefetch,
+});
+
+impl MshrFile {
+    /// Writes the in-flight miss entries; `capacity` is config.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.snap_map(&self.entries);
+    }
+
+    /// Overlays state written by [`MshrFile::snap_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let entries: std::collections::HashMap<u64, MshrEntry> = r.restore_map()?;
+        if entries.len() > self.capacity {
+            return Err(disco_snapshot::malformed(format!(
+                "{} MSHR entries in snapshot exceed capacity {}",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        self.entries = entries;
+        Ok(())
+    }
+}

@@ -458,3 +458,78 @@ mod tests {
         assert_eq!(bank.sets.len(), 512);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for StoredLine {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match self {
+            StoredLine::Raw(line) => {
+                w.put(&0u8);
+                w.put(line);
+            }
+            StoredLine::Compressed(c) => {
+                w.put(&1u8);
+                w.put(c);
+            }
+        }
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => StoredLine::Raw(r.take()?),
+            1 => StoredLine::Compressed(r.take()?),
+            tag => return Err(disco_snapshot::malformed(format!("StoredLine tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(Entry {
+    tag,
+    data,
+    dirty,
+    repl,
+});
+
+disco_snapshot::snap_fields!(BankStats {
+    hits,
+    misses,
+    insertions,
+    evictions,
+    dirty_evictions,
+    bytes_accessed,
+});
+
+impl NucaBank {
+    /// Writes the bank's mutable state. `config`, `banks_total`, and the
+    /// trace identifiers are rebuilt from the builder; the `site_log` is
+    /// drained every tick and therefore empty at snapshot boundaries.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.sets);
+        w.put(&self.policy);
+        w.put(&self.clock);
+        w.put(&self.stats);
+    }
+
+    /// Overlays state written by [`NucaBank::snap_state`] onto a bank
+    /// freshly built with the same config.
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let sets: Vec<Vec<Entry>> = r.take()?;
+        if sets.len() != self.sets.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "bank set count {} in snapshot, {} in rebuilt bank",
+                sets.len(),
+                self.sets.len()
+            )));
+        }
+        self.sets = sets;
+        self.policy = r.take()?;
+        self.clock = r.take()?;
+        self.stats = r.take()?;
+        Ok(())
+    }
+}

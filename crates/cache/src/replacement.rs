@@ -181,3 +181,32 @@ mod tests {
         let _ = p.victim(&[]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for Replacement {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            Replacement::Lru => 0u8,
+            Replacement::Nru => 1,
+            Replacement::Random => 2,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => Replacement::Lru,
+            1 => Replacement::Nru,
+            2 => Replacement::Random,
+            tag => return Err(disco_snapshot::malformed(format!("Replacement tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(ReplState {
+    last_touch,
+    referenced,
+});
+
+disco_snapshot::snap_fields!(ReplacementPolicy { policy, rng });

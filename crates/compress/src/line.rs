@@ -129,6 +129,16 @@ impl fmt::Display for CacheLine {
     }
 }
 
+impl disco_snapshot::Snap for CacheLine {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.bytes(self.as_bytes());
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        let b = r.bytes(LINE_BYTES)?;
+        Ok(CacheLine::from_bytes(b.try_into().expect("sized read")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

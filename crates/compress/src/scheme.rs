@@ -413,3 +413,51 @@ mod tests {
         assert_send_sync::<CompressedLine>();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for SchemeKind {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        let tag = SchemeKind::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("ALL covers every scheme") as u8;
+        w.put(&tag);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        let tag: u8 = r.take()?;
+        SchemeKind::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| disco_snapshot::malformed(format!("SchemeKind tag {tag}")))
+    }
+}
+
+impl disco_snapshot::Snap for CompressedLine {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.scheme);
+        w.put(&self.data);
+        w.put(&self.bits);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        let scheme: SchemeKind = r.take()?;
+        let data: Vec<u8> = r.take()?;
+        let bits: usize = r.take()?;
+        if bits > data.len() * 8 {
+            return Err(disco_snapshot::malformed(format!(
+                "CompressedLine bit length {bits} exceeds {}-byte buffer",
+                data.len()
+            )));
+        }
+        Ok(CompressedLine { scheme, data, bits })
+    }
+}
+
+disco_snapshot::snap_fields!(CompressionStats {
+    lines,
+    raw_bytes,
+    compressed_bytes,
+    compressed_lines,
+});

@@ -164,3 +164,16 @@ mod tests {
         assert!(eager.should_compress(&p(0, 0, 0)));
     }
 }
+
+disco_snapshot::snap_fields!(DiscoParams {
+    cc_threshold,
+    cd_threshold,
+    gamma,
+    alpha,
+    beta,
+    fragment_rate,
+    non_blocking,
+    adaptive,
+    epoch_cycles,
+    engines_per_router,
+});

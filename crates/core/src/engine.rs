@@ -1476,3 +1476,172 @@ mod tests {
         assert_eq!(layer.stats().compressions, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(DiscoStats {
+    started,
+    compressions,
+    decompressions,
+    aborts,
+    incompressible,
+    growth_stalls,
+    low_confidence,
+    flits_saved,
+    queue_compressions,
+});
+
+impl disco_snapshot::Snap for Engine {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match self {
+            Engine::Idle => w.put(&0u8),
+            Engine::CompressingWhole {
+                port,
+                vc,
+                packet,
+                cycles_left,
+                result,
+            } => {
+                w.put(&1u8);
+                w.put(port);
+                w.put(vc);
+                w.put(packet);
+                w.put(cycles_left);
+                w.put(result);
+            }
+            Engine::Compressing {
+                port,
+                vc,
+                packet,
+                latency_left,
+                committed,
+                consumed,
+                prefix_flits,
+                idle_cycles,
+                result,
+            } => {
+                w.put(&2u8);
+                w.put(port);
+                w.put(vc);
+                w.put(packet);
+                w.put(latency_left);
+                w.put(committed);
+                w.put(consumed);
+                w.put(prefix_flits);
+                w.put(idle_cycles);
+                w.put(result);
+            }
+            Engine::CompressingQueued {
+                tile,
+                vc,
+                packet,
+                cycles_left,
+                result,
+            } => {
+                w.put(&3u8);
+                w.put(tile);
+                w.put(vc);
+                w.put(packet);
+                w.put(cycles_left);
+                w.put(result);
+            }
+            Engine::Decompressing {
+                port,
+                vc,
+                packet,
+                latency_left,
+                line,
+            } => {
+                w.put(&4u8);
+                w.put(port);
+                w.put(vc);
+                w.put(packet);
+                w.put(latency_left);
+                w.put(line);
+            }
+        }
+    }
+
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => Engine::Idle,
+            1 => Engine::CompressingWhole {
+                port: r.take()?,
+                vc: r.take()?,
+                packet: r.take()?,
+                cycles_left: r.take()?,
+                result: r.take()?,
+            },
+            2 => Engine::Compressing {
+                port: r.take()?,
+                vc: r.take()?,
+                packet: r.take()?,
+                latency_left: r.take()?,
+                committed: r.take()?,
+                consumed: r.take()?,
+                prefix_flits: r.take()?,
+                idle_cycles: r.take()?,
+                result: r.take()?,
+            },
+            3 => Engine::CompressingQueued {
+                tile: r.take()?,
+                vc: r.take()?,
+                packet: r.take()?,
+                cycles_left: r.take()?,
+                result: r.take()?,
+            },
+            4 => Engine::Decompressing {
+                port: r.take()?,
+                vc: r.take()?,
+                packet: r.take()?,
+                latency_left: r.take()?,
+                line: r.take()?,
+            },
+            tag => return Err(disco_snapshot::malformed(format!("Engine tag {tag}"))),
+        })
+    }
+}
+
+impl DiscoLayer {
+    /// Writes the layer's mutable state: every engine, the arbitrator's
+    /// effective thresholds, epoch bookkeeping, and counters. `params`,
+    /// the codec, and the per-shard scan arenas are rebuilt from config
+    /// on restore.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.engines);
+        w.put(&self.stats);
+        w.put(&self.per_node_ops);
+        w.put(&self.cc_eff);
+        w.put(&self.cd_eff);
+        w.put(&self.epoch_started);
+        w.put(&self.epoch_stats);
+        w.put(&self.cycle);
+    }
+
+    /// Overlays state written by [`DiscoLayer::snap_state`] onto a layer
+    /// freshly built with the same parameters and node count.
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let engines: Vec<Vec<Engine>> = r.take()?;
+        if engines.len() != self.engines.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{} engine routers in snapshot, {} rebuilt",
+                engines.len(),
+                self.engines.len()
+            )));
+        }
+        self.engines = engines;
+        self.stats = r.take()?;
+        self.per_node_ops = r.take()?;
+        self.cc_eff = r.take()?;
+        self.cd_eff = r.take()?;
+        self.epoch_started = r.take()?;
+        self.epoch_stats = r.take()?;
+        self.cycle = r.take()?;
+        Ok(())
+    }
+}

@@ -198,3 +198,10 @@ mod tests {
         assert_eq!(doubled.mean(), big as f64);
     }
 }
+
+disco_snapshot::snap_fields!(LatencyHistogram {
+    buckets,
+    count,
+    sum,
+    max,
+});

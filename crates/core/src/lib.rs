@@ -59,4 +59,4 @@ pub use placement::CompressionPlacement;
 pub use report::SimReport;
 #[cfg(feature = "trace")]
 pub use report::TraceCapture;
-pub use system::{SimBuilder, SimError, System};
+pub use system::{feature_fingerprint, SimBuilder, SimError, System};

@@ -88,6 +88,23 @@ impl fmt::Display for CompressionPlacement {
     }
 }
 
+impl disco_snapshot::Snap for CompressionPlacement {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        let tag = CompressionPlacement::ALL
+            .iter()
+            .position(|p| p == self)
+            .expect("ALL covers every placement") as u8;
+        w.put(&tag);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        let tag: u8 = r.take()?;
+        CompressionPlacement::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| disco_snapshot::malformed(format!("CompressionPlacement tag {tag}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

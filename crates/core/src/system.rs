@@ -50,6 +50,45 @@ pub enum SimError {
         /// Deliveries whose payload differed from the pristine copy.
         undetected: u64,
     },
+    /// A snapshot stream ended before its decoder finished.
+    SnapshotTruncated {
+        /// Byte offset at which the read ran past the end.
+        offset: usize,
+    },
+    /// The snapshot's format version differs from this binary's.
+    SnapshotVersionMismatch {
+        /// Version recorded in the snapshot.
+        found: u32,
+        /// Version this binary reads/writes.
+        expected: u32,
+    },
+    /// The snapshot was taken by a binary compiled with different
+    /// state-affecting cargo features (e.g. `faults` state cannot
+    /// restore into a build without it).
+    SnapshotFeatureMismatch {
+        /// Fingerprint recorded in the snapshot.
+        found: u32,
+        /// Fingerprint of this binary ([`feature_fingerprint`]).
+        expected: u32,
+    },
+    /// The snapshot bytes are structurally invalid (bad magic, bad enum
+    /// tag, lengths inconsistent with the rebuilt structure, trailing
+    /// garbage, ...).
+    SnapshotCorrupt {
+        /// What was being decoded and why it is invalid.
+        detail: String,
+    },
+    /// The snapshot's embedded configuration differs from the requested
+    /// one on a run-defining axis (topology, placement, seed, ...), so
+    /// restoring it would not resume the same simulation.
+    SnapshotConfigMismatch {
+        /// The builder axis that differs.
+        field: &'static str,
+        /// Value recorded in the snapshot.
+        snapshot: String,
+        /// Value the caller asked to restore into.
+        requested: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,11 +108,54 @@ impl fmt::Display for SimError {
                 f,
                 "{undetected} corrupted deliveries escaped fault detection"
             ),
+            SimError::SnapshotTruncated { offset } => {
+                write!(f, "snapshot truncated: read past end at byte {offset}")
+            }
+            SimError::SnapshotVersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} but this binary reads version {expected}"
+            ),
+            SimError::SnapshotFeatureMismatch { found, expected } => write!(
+                f,
+                "snapshot feature fingerprint {found:#04b} but this binary is {expected:#04b} \
+                 (rebuild with the same cargo features the snapshot was taken with)"
+            ),
+            SimError::SnapshotCorrupt { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
+            SimError::SnapshotConfigMismatch {
+                field,
+                snapshot,
+                requested,
+            } => write!(
+                f,
+                "snapshot was taken with {field} = {snapshot} but the requested \
+                 configuration has {field} = {requested}"
+            ),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<disco_snapshot::SnapError> for SimError {
+    fn from(e: disco_snapshot::SnapError) -> Self {
+        use disco_snapshot::SnapError;
+        match e {
+            SnapError::Truncated { offset } => SimError::SnapshotTruncated { offset },
+            SnapError::BadMagic => SimError::SnapshotCorrupt {
+                detail: "not a DISCO snapshot (bad magic)".into(),
+            },
+            SnapError::VersionMismatch { found, expected } => {
+                SimError::SnapshotVersionMismatch { found, expected }
+            }
+            SnapError::FeatureMismatch { found, expected } => {
+                SimError::SnapshotFeatureMismatch { found, expected }
+            }
+            SnapError::Malformed { detail } => SimError::SnapshotCorrupt { detail },
+        }
+    }
+}
 
 /// Per-core issue width (accesses a core may process per cycle).
 const ISSUE_WIDTH: usize = 4;
@@ -183,13 +265,24 @@ pub struct System {
     energy_model: EnergyModel,
     banks_total: usize,
     prefetch_next_line: bool,
+    /// The configuration this system was built from; embedded in every
+    /// snapshot so a restore can rebuild the derived structure first.
+    builder: SimBuilder,
+    /// Resolved cycle budget ([`SimError::DeadlineExceeded`] past it).
+    max_cycles: u64,
     #[cfg(feature = "trace")]
     trace: Option<TraceState>,
 }
 
 impl System {
-    fn now(&self) -> u64 {
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
         self.net.now()
+    }
+
+    /// True once every core drained its trace and all traffic settled.
+    pub fn is_done(&self) -> bool {
+        self.all_done()
     }
 
     fn schedule(&mut self, at: u64, ev: Event) {
@@ -433,7 +526,9 @@ impl System {
             && self.bank_pending.iter().all(HashMap::is_empty)
     }
 
-    fn outstanding(&self) -> usize {
+    /// Accesses still outstanding: un-issued trace entries plus misses
+    /// in flight. Reaches zero exactly when the run completes.
+    pub fn outstanding(&self) -> usize {
         self.tiles
             .iter()
             .map(|t| (t.trace.len() - t.pos) + t.mshr.in_use())
@@ -1006,12 +1101,33 @@ impl System {
         }
     }
 
-    /// Runs to completion (or the deadline) and reports.
+    /// Runs to completion (or the deadline) and reports, overriding the
+    /// configured cycle budget.
     pub fn run(mut self, max_cycles: u64) -> Result<SimReport, SimError> {
-        while !self.all_done() {
-            if self.now() >= max_cycles {
+        self.max_cycles = max_cycles;
+        self.run_to_completion()
+    }
+
+    /// Advances the simulation until it drains, the cycle budget is
+    /// exhausted, or `target` is reached — whichever comes first. The
+    /// check order (done → deadline → target → tick) matches the
+    /// uninterrupted run loop exactly, so pausing at any cycle and
+    /// continuing is byte-identical to never pausing.
+    ///
+    /// Returns `Ok(true)` when the simulation completed, `Ok(false)`
+    /// when it paused at `target` with work remaining.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] past the cycle budget.
+    pub fn step_until(&mut self, target: u64) -> Result<bool, SimError> {
+        loop {
+            if self.all_done() {
+                return Ok(true);
+            }
+            if self.now() >= self.max_cycles {
                 return Err(SimError::DeadlineExceeded {
-                    max_cycles,
+                    max_cycles: self.max_cycles,
                     outstanding: self.outstanding(),
                     suspicious_stalls: self
                         .net
@@ -1028,8 +1144,22 @@ impl System {
                         + self.net.stats().routing_violations as usize,
                 });
             }
+            if self.now() >= target {
+                return Ok(false);
+            }
             self.tick();
         }
+    }
+
+    /// Runs to completion (or the configured deadline) and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] if the system does not drain within
+    /// the cycle budget; [`SimError::SilentCorruption`] (`faults` only)
+    /// if a corrupted delivery escaped detection.
+    pub fn run_to_completion(mut self) -> Result<SimReport, SimError> {
+        self.step_until(u64::MAX)?;
         // Health rule: the fault layer may lose performance, never data.
         // A delivery whose payload differs from the pristine copy without
         // the checksum firing is silent corruption and fails the run.
@@ -1385,8 +1515,16 @@ impl SimBuilder {
     /// [`SimError::DeadlineExceeded`] if the system does not drain within
     /// the cycle budget.
     pub fn run(self) -> Result<SimReport, SimError> {
-        let tiles_n = self.cols * self.rows;
-        let topo = self.topology.build(self.cols, self.rows);
+        self.build().run_to_completion()
+    }
+
+    /// Builds the simulator without running it, for incremental
+    /// stepping ([`System::step_until`]) and checkpointing
+    /// ([`System::snapshot`] / [`System::restore`]).
+    pub fn build(&self) -> System {
+        let this = self.clone();
+        let tiles_n = this.cols * this.rows;
+        let topo = this.topology.build(this.cols, this.rows);
         assert_eq!(
             topo.tiles(),
             tiles_n,
@@ -1438,7 +1576,7 @@ impl SimBuilder {
         };
         #[cfg(not(feature = "faults"))]
         let dram = Dram::new(self.dram);
-        let traces = match self.external_traces {
+        let traces = match self.external_traces.clone() {
             Some(mut t) => {
                 assert!(
                     t.len() <= tiles_n,
@@ -1484,7 +1622,7 @@ impl SimBuilder {
             // Generous: every access could serialize behind DRAM.
             (self.trace_len as u64 * 400).max(2_000_000)
         };
-        let system = System {
+        System {
             placement: self.placement,
             scheme: self.scheme,
             codec,
@@ -1510,14 +1648,472 @@ impl SimBuilder {
             energy_model: self.energy,
             banks_total: tiles_n,
             prefetch_next_line: self.prefetch_next_line,
+            builder: this,
+            max_cycles,
             #[cfg(feature = "trace")]
             trace: self.capture_trace.then(|| TraceState {
                 analyzer: disco_trace::ProvenanceAnalyzer::new(pipeline_stages),
                 records: Vec::new(),
                 retain: self.retain_trace_records,
             }),
-        };
-        system.run(max_cycles)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+use disco_snapshot::{Snap, SnapError, SnapshotHeader, Writer};
+
+/// Bitmask of the cargo features that change the serialized state
+/// layout of a snapshot. `parallel` and `validate` are deliberately
+/// excluded: they only affect scratch structures that are never
+/// serialized, so snapshots are portable across those builds (and
+/// across `compute_shards` counts — sharding is runtime config).
+pub fn feature_fingerprint() -> u32 {
+    let mut f = 0;
+    if cfg!(feature = "trace") {
+        f |= 1;
+    }
+    if cfg!(feature = "faults") {
+        f |= 2;
+    }
+    f
+}
+
+disco_snapshot::snap_fields!(CodecOps {
+    compressions,
+    decompressions,
+});
+
+impl Snap for Event {
+    fn snap(&self, w: &mut Writer) {
+        match self {
+            Event::BankRequest {
+                bank,
+                line,
+                requester,
+                write,
+            } => {
+                w.put(&0u8);
+                w.put(bank);
+                w.put(line);
+                w.put(requester);
+                w.put(write);
+            }
+            Event::BankStore {
+                bank,
+                line,
+                stored,
+                dirty,
+                writeback_from,
+                respond_waiters,
+            } => {
+                w.put(&1u8);
+                w.put(bank);
+                w.put(line);
+                w.put(stored);
+                w.put(dirty);
+                w.put(writeback_from);
+                w.put(respond_waiters);
+            }
+            Event::CoreFill { core, line, data } => {
+                w.put(&2u8);
+                w.put(core);
+                w.put(line);
+                w.put(data);
+            }
+            Event::Send {
+                src,
+                dst,
+                payload,
+                tag,
+            } => {
+                w.put(&3u8);
+                w.put(src);
+                w.put(dst);
+                w.put(payload);
+                w.put(tag);
+            }
+        }
+    }
+
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => Event::BankRequest {
+                bank: r.take()?,
+                line: r.take()?,
+                requester: r.take()?,
+                write: r.take()?,
+            },
+            1 => Event::BankStore {
+                bank: r.take()?,
+                line: r.take()?,
+                stored: r.take()?,
+                dirty: r.take()?,
+                writeback_from: r.take()?,
+                respond_waiters: r.take()?,
+            },
+            2 => Event::CoreFill {
+                core: r.take()?,
+                line: r.take()?,
+                data: r.take()?,
+            },
+            3 => Event::Send {
+                src: r.take()?,
+                dst: r.take()?,
+                payload: r.take()?,
+                tag: r.take()?,
+            },
+            tag => return Err(disco_snapshot::malformed(format!("Event tag {tag}"))),
+        })
+    }
+}
+
+impl Tile {
+    /// Writes the tile's mutable state; the trace itself is derived
+    /// (regenerated from the builder on restore). The poisoned set is
+    /// written in sorted order (determinism contract).
+    fn snap_state(&self, w: &mut Writer) {
+        self.l1.snap_state(w);
+        self.mshr.snap_state(w);
+        w.put(&self.pos);
+        w.put(&self.next_issue_at);
+        let mut poisoned: Vec<u64> = self.poisoned.iter().copied().collect();
+        poisoned.sort_unstable();
+        w.put(&poisoned);
+    }
+
+    /// Overlays state written by [`Tile::snap_state`] onto a tile
+    /// rebuilt with the same trace.
+    fn restore_state(&mut self, r: &mut disco_snapshot::Reader<'_>) -> Result<(), SnapError> {
+        self.l1.restore_state(r)?;
+        self.mshr.restore_state(r)?;
+        let pos: usize = r.take()?;
+        if pos > self.trace.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "trace cursor {pos} past the rebuilt trace length {}",
+                self.trace.len()
+            )));
+        }
+        self.pos = pos;
+        self.next_issue_at = r.take()?;
+        let poisoned: Vec<u64> = r.take()?;
+        self.poisoned = poisoned.into_iter().collect();
+        Ok(())
+    }
+}
+
+impl Snap for SimBuilder {
+    fn snap(&self, w: &mut Writer) {
+        w.put(&self.cols);
+        w.put(&self.rows);
+        w.put(&self.topology);
+        w.put(&self.placement);
+        w.put(&self.scheme);
+        w.put(&self.profile);
+        w.put(&self.trace_len);
+        w.put(&self.seed);
+        w.put(&self.mshr_entries);
+        w.put(&self.noc);
+        w.put(&self.l1);
+        w.put(&self.bank);
+        w.put(&self.dram);
+        w.put(&self.disco);
+        w.put(&self.energy);
+        w.put(&self.max_cycles);
+        w.put(&self.scale_profile);
+        w.put(&self.demote_override);
+        w.put(&self.external_traces);
+        w.put(&self.prefetch_next_line);
+        #[cfg(feature = "faults")]
+        w.put(&self.fault_plan);
+        #[cfg(feature = "trace")]
+        {
+            w.put(&self.capture_trace);
+            w.put(&self.retain_trace_records);
+        }
+    }
+
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SimBuilder {
+            cols: r.take()?,
+            rows: r.take()?,
+            topology: r.take()?,
+            placement: r.take()?,
+            scheme: r.take()?,
+            profile: r.take()?,
+            trace_len: r.take()?,
+            seed: r.take()?,
+            mshr_entries: r.take()?,
+            noc: r.take()?,
+            l1: r.take()?,
+            bank: r.take()?,
+            dram: r.take()?,
+            disco: r.take()?,
+            energy: r.take()?,
+            max_cycles: r.take()?,
+            scale_profile: r.take()?,
+            demote_override: r.take()?,
+            external_traces: r.take()?,
+            prefetch_next_line: r.take()?,
+            #[cfg(feature = "faults")]
+            fault_plan: r.take()?,
+            #[cfg(feature = "trace")]
+            capture_trace: r.take()?,
+            #[cfg(feature = "trace")]
+            retain_trace_records: r.take()?,
+        })
+    }
+}
+
+impl SimBuilder {
+    /// Compares the run-defining axes of a snapshot's embedded builder
+    /// (`self`) against the configuration a caller asked to restore
+    /// into. Sharding and budget knobs are excluded — those may differ.
+    fn check_matches(&self, requested: &SimBuilder) -> Result<(), SimError> {
+        fn diff<T: PartialEq + fmt::Debug>(
+            field: &'static str,
+            snapshot: &T,
+            requested: &T,
+        ) -> Result<(), SimError> {
+            if snapshot == requested {
+                Ok(())
+            } else {
+                Err(SimError::SnapshotConfigMismatch {
+                    field,
+                    snapshot: format!("{snapshot:?}"),
+                    requested: format!("{requested:?}"),
+                })
+            }
+        }
+        diff("cols", &self.cols, &requested.cols)?;
+        diff("rows", &self.rows, &requested.rows)?;
+        diff("topology", &self.topology, &requested.topology)?;
+        diff("placement", &self.placement, &requested.placement)?;
+        diff("scheme", &self.scheme, &requested.scheme)?;
+        diff("seed", &self.seed, &requested.seed)?;
+        diff("trace_len", &self.trace_len, &requested.trace_len)?;
+        Ok(())
+    }
+}
+
+impl System {
+    /// Serializes the complete mutable simulator state, prefixed with
+    /// the versioned, feature-fingerprinted header and the builder the
+    /// system was constructed from. Restoring the bytes with
+    /// [`System::restore`] and continuing is byte-identical to never
+    /// having paused.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        SnapshotHeader {
+            version: disco_snapshot::FORMAT_VERSION,
+            fingerprint: feature_fingerprint(),
+        }
+        .write(&mut w);
+        w.put(&self.builder);
+        w.put(&self.max_cycles);
+        self.snap_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuilds a simulator from [`System::snapshot`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// The snapshot variants of [`SimError`]: truncated stream, version
+    /// or feature-fingerprint mismatch, or structurally invalid bytes.
+    /// No partial restores: any error leaves nothing behind.
+    pub fn restore(bytes: &[u8]) -> Result<System, SimError> {
+        Self::restore_inner(bytes, None)
+    }
+
+    /// Like [`System::restore`], but first verifies the snapshot's
+    /// embedded configuration matches `requested` on every run-defining
+    /// axis (topology, placement, scheme, seed, trace length), so a job
+    /// runner cannot silently resume the wrong simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotConfigMismatch`] on a differing axis, plus
+    /// everything [`System::restore`] can return.
+    pub fn restore_with(bytes: &[u8], requested: &SimBuilder) -> Result<System, SimError> {
+        Self::restore_inner(bytes, Some(requested))
+    }
+
+    fn restore_inner(bytes: &[u8], requested: Option<&SimBuilder>) -> Result<System, SimError> {
+        let mut r = disco_snapshot::Reader::new(bytes);
+        let header = SnapshotHeader::read(&mut r)?;
+        let expected = feature_fingerprint();
+        if header.fingerprint != expected {
+            return Err(SimError::SnapshotFeatureMismatch {
+                found: header.fingerprint,
+                expected,
+            });
+        }
+        let builder: SimBuilder = r.take()?;
+        if let Some(req) = requested {
+            builder.check_matches(req)?;
+        }
+        let max_cycles: u64 = r.take()?;
+        let mut system = builder.build();
+        system.max_cycles = max_cycles;
+        system.restore_state(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SimError::SnapshotCorrupt {
+                detail: format!(
+                    "{} trailing bytes after the decoded state",
+                    bytes.len() - r.offset()
+                ),
+            });
+        }
+        Ok(system)
+    }
+
+    /// Writes every mutable field; config-derived structure (codec,
+    /// placement tables, memory-controller map, energy model, value
+    /// model) is rebuilt from the embedded builder on restore.
+    fn snap_state(&self, w: &mut Writer) {
+        self.net.snap_state(w);
+        match &self.disco {
+            Some(layer) => {
+                w.put(&true);
+                layer.snap_state(w);
+            }
+            None => w.put(&false),
+        }
+        w.put(&self.tiles.len());
+        for t in &self.tiles {
+            t.snap_state(w);
+        }
+        w.put(&self.banks.len());
+        for b in &self.banks {
+            b.snap_state(w);
+        }
+        w.put(&self.dirs.len());
+        for d in &self.dirs {
+            d.snap_state(w);
+        }
+        w.put(&self.bank_pending.len());
+        for pending in &self.bank_pending {
+            w.snap_map(pending);
+        }
+        self.dram.snap_state(w);
+        w.snap_map(&self.versions);
+        w.put(&self.events);
+        w.put(&self.demand_misses);
+        w.put(&self.total_miss_latency);
+        w.put(&self.onchip_miss_latency);
+        w.put(&self.latency_histogram);
+        w.snap_map(&self.dram_service);
+        w.snap_map(&self.fill_penalty);
+        w.put(&self.compression);
+        w.put(&self.codec_ops);
+        #[cfg(feature = "trace")]
+        match &self.trace {
+            Some(ts) => {
+                w.put(&true);
+                w.put(&ts.analyzer);
+                w.put(&ts.records);
+                w.put(&ts.retain);
+            }
+            None => w.put(&false),
+        }
+    }
+
+    /// Overlays state written by [`System::snap_state`] onto a system
+    /// freshly built from the same builder, validating every count
+    /// against the rebuilt structure.
+    fn restore_state(&mut self, r: &mut disco_snapshot::Reader<'_>) -> Result<(), SnapError> {
+        self.net.restore_state(r)?;
+        let has_disco: bool = r.take()?;
+        match (self.disco.as_mut(), has_disco) {
+            (Some(layer), true) => layer.restore_state(r)?,
+            (None, false) => {}
+            (have, want) => {
+                return Err(disco_snapshot::malformed(format!(
+                    "snapshot {} a DISCO layer but the rebuilt system {}",
+                    if want { "has" } else { "lacks" },
+                    if have.is_some() {
+                        "has one"
+                    } else {
+                        "lacks one"
+                    },
+                )));
+            }
+        }
+        let tiles: usize = r.take()?;
+        if tiles != self.tiles.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{tiles} tiles in snapshot, {} rebuilt",
+                self.tiles.len()
+            )));
+        }
+        for t in &mut self.tiles {
+            t.restore_state(r)?;
+        }
+        let banks: usize = r.take()?;
+        if banks != self.banks.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{banks} banks in snapshot, {} rebuilt",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.restore_state(r)?;
+        }
+        let dirs: usize = r.take()?;
+        if dirs != self.dirs.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{dirs} directories in snapshot, {} rebuilt",
+                self.dirs.len()
+            )));
+        }
+        for d in &mut self.dirs {
+            d.restore_state(r)?;
+        }
+        let pending: usize = r.take()?;
+        if pending != self.bank_pending.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{pending} bank-pending maps in snapshot, {} rebuilt",
+                self.bank_pending.len()
+            )));
+        }
+        for slot in &mut self.bank_pending {
+            *slot = r.restore_map()?;
+        }
+        self.dram.restore_state(r)?;
+        self.versions = r.restore_map()?;
+        self.events = r.take()?;
+        self.demand_misses = r.take()?;
+        self.total_miss_latency = r.take()?;
+        self.onchip_miss_latency = r.take()?;
+        self.latency_histogram = r.take()?;
+        self.dram_service = r.restore_map()?;
+        self.fill_penalty = r.restore_map()?;
+        self.compression = r.take()?;
+        self.codec_ops = r.take()?;
+        #[cfg(feature = "trace")]
+        {
+            let has_trace: bool = r.take()?;
+            match (self.trace.as_mut(), has_trace) {
+                (Some(ts), true) => {
+                    ts.analyzer = r.take()?;
+                    ts.records = r.take()?;
+                    ts.retain = r.take()?;
+                }
+                (None, false) => {}
+                (have, want) => {
+                    return Err(disco_snapshot::malformed(format!(
+                        "snapshot {} trace capture but the rebuilt system {}",
+                        if want { "has" } else { "lacks" },
+                        if have.is_some() { "has it" } else { "lacks it" },
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1811,6 +2407,89 @@ mod tests {
         );
         assert!(f.reconciles(), "ledger must reconcile: {f:?}");
         assert_eq!(f.undetected, 0, "no silent corruption");
+    }
+
+    fn stats_text(r: &SimReport) -> String {
+        let mut buf = Vec::new();
+        r.write_stats(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("utf8")
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_byte_identically() {
+        let builder = SimBuilder::new()
+            .mesh(2, 2)
+            .placement(CompressionPlacement::Disco)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(5);
+        let unbroken = builder.clone().run().expect("drains");
+        let mut sys = builder.build();
+        assert!(!sys.step_until(500).expect("within budget"), "still busy");
+        assert_eq!(sys.now(), 500);
+        let bytes = sys.snapshot();
+        let resumed = System::restore(&bytes)
+            .expect("restores")
+            .run_to_completion()
+            .expect("drains");
+        assert_eq!(stats_text(&unbroken), stats_text(&resumed));
+    }
+
+    #[test]
+    fn snapshot_of_restored_system_is_stable() {
+        let builder = SimBuilder::new()
+            .mesh(2, 2)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(200)
+            .seed(7);
+        let mut sys = builder.build();
+        let _ = sys.step_until(400).expect("within budget");
+        let bytes = sys.snapshot();
+        let restored = System::restore(&bytes).expect("restores");
+        assert_eq!(bytes, restored.snapshot(), "restore is lossless");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_corrupt_bytes() {
+        let builder = SimBuilder::new()
+            .mesh(2, 2)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(100)
+            .seed(5);
+        let mut sys = builder.build();
+        let _ = sys.step_until(200).expect("within budget");
+        let bytes = sys.snapshot();
+        assert!(matches!(
+            System::restore(&bytes[..bytes.len() / 2]),
+            Err(SimError::SnapshotTruncated { .. } | SimError::SnapshotCorrupt { .. })
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            System::restore(&trailing),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_with_flags_config_mismatch() {
+        let builder = SimBuilder::new()
+            .mesh(2, 2)
+            .benchmark(Benchmark::Swaptions)
+            .trace_len(100)
+            .seed(5);
+        let mut sys = builder.build();
+        let _ = sys.step_until(200).expect("within budget");
+        let bytes = sys.snapshot();
+        let err = match System::restore_with(&bytes, &builder.clone().mesh(4, 4)) {
+            Err(e) => e,
+            Ok(_) => panic!("4x4 is not this snapshot's topology"),
+        };
+        assert!(matches!(
+            err,
+            SimError::SnapshotConfigMismatch { field: "cols", .. }
+        ));
+        assert!(System::restore_with(&bytes, &builder).is_ok());
     }
 
     #[cfg(feature = "faults")]

@@ -494,3 +494,37 @@ mod tests {
         assert!(!s.reconciles(), "missed detection must not reconcile");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(FaultPlan {
+    seed,
+    link_drop_rate,
+    link_flaky_rate,
+    port_stall_rate,
+    payload_bit_flip_rate,
+    codec_corruption_rate,
+    dram_stall_rate,
+    dead_links,
+    stall_window,
+    dram_stall_penalty,
+    max_retries,
+    retry_timeout,
+});
+
+disco_snapshot::snap_fields!(FaultStats {
+    injected,
+    detected,
+    recovered,
+    unrecoverable,
+    retries,
+    fallback_deliveries,
+    undetected,
+    link_drops,
+    payload_bit_flips,
+    codec_corruptions,
+    port_stall_cycles,
+    dram_stall_cycles,
+});

@@ -142,3 +142,40 @@ mod tests {
         .validate();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for FlowControl {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            FlowControl::Wormhole => 0u8,
+            FlowControl::VirtualCutThrough => 1,
+            FlowControl::StoreAndForward => 2,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => FlowControl::Wormhole,
+            1 => FlowControl::VirtualCutThrough,
+            2 => FlowControl::StoreAndForward,
+            tag => return Err(disco_snapshot::malformed(format!("FlowControl tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(SchedulingPolicy {
+    prioritize_critical,
+    demote_uncompressed,
+});
+
+disco_snapshot::snap_fields!(NocConfig {
+    vcs,
+    buffer_depth,
+    pipeline_stages,
+    flow_control,
+    routing,
+    scheduling,
+    compute_shards,
+});

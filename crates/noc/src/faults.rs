@@ -903,3 +903,54 @@ mod tests {
         assert!(stats.reconciles(), "{stats:?}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "faults")]
+disco_snapshot::snap_fields!(PristineRecord {
+    payload,
+    checksum,
+    fault_events,
+    pending,
+    resends,
+});
+
+#[cfg(feature = "faults")]
+disco_snapshot::snap_fields!(Retransmit {
+    src,
+    dst,
+    class,
+    payload,
+    compressible,
+    critical,
+    tag,
+    fault_events,
+    resends,
+});
+
+#[cfg(feature = "faults")]
+impl FaultCtx {
+    /// Writes the recovery-side mutable state. The plan and the
+    /// verification codec are rebuilt from the builder config on
+    /// restore.
+    pub(crate) fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.stats);
+        w.snap_map(&self.pristine);
+        w.snap_map(&self.dropping);
+        w.put(&self.retx);
+    }
+
+    /// Overlays state written by [`FaultCtx::snap_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        self.stats = r.take()?;
+        self.pristine = r.restore_map()?;
+        self.dropping = r.restore_map()?;
+        self.retx = r.take()?;
+        Ok(())
+    }
+}

@@ -1144,3 +1144,97 @@ mod tests {
         assert_eq!(n.router(NodeId(0)).credit_in(EAST, 1), 2);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(InjectProgress {
+    packet,
+    sent,
+    total,
+});
+
+impl Network {
+    /// Writes the network's complete mutable state: every router's VC
+    /// arenas and credits, the packet store, the NI injection queues,
+    /// delivery queues, counters, and (when the features are on) the
+    /// trace ring and the fault-recovery ledger. The topology, config,
+    /// and the parallel compute arenas (`scratch`, `shards`, `pool`) are
+    /// rebuilt from config on restore.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&(self.routers.len() as u64));
+        for router in &self.routers {
+            router.snap_state(w);
+        }
+        self.store.snap_state(w);
+        w.put(&self.inject_q);
+        w.put(&self.inject_progress);
+        w.put(&self.inject_rr);
+        w.put(&self.delivered);
+        w.put(&self.stats);
+        w.put(&self.now);
+        #[cfg(feature = "trace")]
+        w.put(&self.tracer);
+        #[cfg(feature = "faults")]
+        {
+            w.put(&self.faults.is_some());
+            if let Some(ctx) = &self.faults {
+                ctx.snap_state(w);
+            }
+        }
+    }
+
+    /// Overlays state written by [`Network::snap_state`] onto a network
+    /// freshly built over the same topology and config (including an
+    /// armed fault plan when the snapshot carries fault state).
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let n: u64 = r.take()?;
+        if n as usize != self.routers.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{n} routers in snapshot, {} in rebuilt network (topology mismatch)",
+                self.routers.len()
+            )));
+        }
+        for router in &mut self.routers {
+            router.restore_state(r)?;
+        }
+        self.store.restore_state(r)?;
+        let inject_q: Vec<Vec<VecDeque<PacketId>>> = r.take()?;
+        if inject_q.len() != self.inject_q.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "{} injection queues in snapshot, {} rebuilt",
+                inject_q.len(),
+                self.inject_q.len()
+            )));
+        }
+        self.inject_q = inject_q;
+        self.inject_progress = r.take()?;
+        self.inject_rr = r.take()?;
+        self.delivered = r.take()?;
+        self.stats = r.take()?;
+        self.now = r.take()?;
+        #[cfg(feature = "trace")]
+        {
+            self.tracer = r.take()?;
+        }
+        #[cfg(feature = "faults")]
+        {
+            let has_faults: bool = r.take()?;
+            match (&mut self.faults, has_faults) {
+                (Some(ctx), true) => ctx.restore_state(r)?,
+                (None, false) => {}
+                (have, want) => {
+                    return Err(disco_snapshot::malformed(format!(
+                        "snapshot fault state present={want}, rebuilt network armed={}",
+                        have.is_some()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}

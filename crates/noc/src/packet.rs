@@ -383,3 +383,114 @@ mod tests {
         assert_eq!(PacketClass::Coherence.vc(), 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for PacketId {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.0);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(PacketId(r.take()?))
+    }
+}
+
+impl disco_snapshot::Snap for PacketClass {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            PacketClass::Request => 0u8,
+            PacketClass::Response => 1,
+            PacketClass::Coherence => 2,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => PacketClass::Request,
+            1 => PacketClass::Response,
+            2 => PacketClass::Coherence,
+            tag => return Err(disco_snapshot::malformed(format!("PacketClass tag {tag}"))),
+        })
+    }
+}
+
+impl disco_snapshot::Snap for FlitKind {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            FlitKind::Head => 0u8,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => FlitKind::Head,
+            1 => FlitKind::Body,
+            2 => FlitKind::Tail,
+            3 => FlitKind::HeadTail,
+            tag => return Err(disco_snapshot::malformed(format!("FlitKind tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(Flit {
+    packet,
+    kind,
+    ready_at,
+});
+
+impl disco_snapshot::Snap for Payload {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match self {
+            Payload::None => w.put(&0u8),
+            Payload::Raw(line) => {
+                w.put(&1u8);
+                w.put(line);
+            }
+            Payload::Compressed(c) => {
+                w.put(&2u8);
+                w.put(c);
+            }
+        }
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => Payload::None,
+            1 => Payload::Raw(r.take()?),
+            2 => Payload::Compressed(r.take()?),
+            tag => return Err(disco_snapshot::malformed(format!("Payload tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(Packet {
+    id,
+    src,
+    dst,
+    class,
+    payload,
+    compressible,
+    critical,
+    injected_at,
+    tag,
+});
+
+impl PacketStore {
+    /// Writes the id counter and every live packet in sorted-id order.
+    pub fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.next);
+        w.snap_map(&self.packets);
+    }
+
+    /// Overlays state written by [`PacketStore::snap_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        self.next = r.take()?;
+        self.packets = r.restore_map()?;
+        Ok(())
+    }
+}

@@ -447,6 +447,115 @@ impl Router {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for VcState {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match self {
+            VcState::Idle => w.put(&0u8),
+            VcState::Routed(port) => {
+                w.put(&1u8);
+                w.put(port);
+            }
+            VcState::Active { out, out_vc } => {
+                w.put(&2u8);
+                w.put(out);
+                w.put(out_vc);
+            }
+        }
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => VcState::Idle,
+            1 => VcState::Routed(r.take()?),
+            2 => VcState::Active {
+                out: r.take()?,
+                out_vc: r.take()?,
+            },
+            tag => return Err(disco_snapshot::malformed(format!("VcState tag {tag}"))),
+        })
+    }
+}
+
+impl Vc {
+    fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.buffer);
+        w.put(&self.state);
+        w.put(&self.locked);
+    }
+
+    /// Overlays checkpointed contents, reusing the existing buffer
+    /// allocation (the zero-alloc hot-loop contract keeps its
+    /// construction-time capacity).
+    fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let flits: std::collections::VecDeque<Flit> = r.take()?;
+        self.buffer.clear();
+        self.buffer.extend(flits);
+        self.state = r.take()?;
+        self.locked = r.take()?;
+        Ok(())
+    }
+}
+
+impl Router {
+    /// Writes the router's mutable state. `node`, `config`, `ports`, and
+    /// `link_ports` are rebuilt from the topology on restore.
+    pub(crate) fn snap_state(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&(self.inputs.len() as u64));
+        for vc in &self.inputs {
+            vc.snap_state(w);
+        }
+        w.put(&self.out_alloc);
+        w.put(&self.credits);
+        w.put(&self.rr_sa);
+        w.put(&self.sa_losers);
+        w.put(&self.buffered);
+    }
+
+    /// Overlays state written by [`Router::snap_state`] onto a router
+    /// freshly built over the same topology and config.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut disco_snapshot::Reader<'_>,
+    ) -> Result<(), disco_snapshot::SnapError> {
+        let n: u64 = r.take()?;
+        if n as usize != self.inputs.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "router {} has {} input VCs in snapshot, {} rebuilt",
+                self.node.0,
+                n,
+                self.inputs.len()
+            )));
+        }
+        for vc in &mut self.inputs {
+            vc.restore_state(r)?;
+        }
+        let out_alloc: Vec<Option<(usize, usize)>> = r.take()?;
+        let credits: Vec<usize> = r.take()?;
+        if out_alloc.len() != self.out_alloc.len() || credits.len() != self.credits.len() {
+            return Err(disco_snapshot::malformed(format!(
+                "router {} output arrays sized {}/{} in snapshot, {}/{} rebuilt",
+                self.node.0,
+                out_alloc.len(),
+                credits.len(),
+                self.out_alloc.len(),
+                self.credits.len()
+            )));
+        }
+        self.out_alloc = out_alloc;
+        self.credits = credits;
+        self.rr_sa = r.take()?;
+        self.sa_losers = r.take()?;
+        self.buffered = r.take()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -490,6 +490,30 @@ pub fn escape_route(
     }
 }
 
+impl disco_snapshot::Snap for RoutingAlgorithm {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            RoutingAlgorithm::Xy => 0u8,
+            RoutingAlgorithm::Yx => 1,
+            RoutingAlgorithm::O1Turn => 2,
+            RoutingAlgorithm::WestFirst => 3,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => RoutingAlgorithm::Xy,
+            1 => RoutingAlgorithm::Yx,
+            2 => RoutingAlgorithm::O1Turn,
+            3 => RoutingAlgorithm::WestFirst,
+            tag => {
+                return Err(disco_snapshot::malformed(format!(
+                    "RoutingAlgorithm tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

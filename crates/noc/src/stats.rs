@@ -205,3 +205,20 @@ mod tests {
         assert_eq!(sorted, [0, 1, 2]);
     }
 }
+
+disco_snapshot::snap_fields!(NetworkStats {
+    cycles,
+    packets_injected,
+    packets_delivered,
+    link_flits,
+    buffer_writes,
+    buffer_reads,
+    crossbar_flits,
+    arbitrations,
+    sa_losses,
+    total_packet_latency,
+    total_hops,
+    delivered_by_class,
+    latency_by_class,
+    routing_violations,
+});

@@ -680,6 +680,54 @@ impl fmt::Display for TopologyChoice {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for NodeId {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.0);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(NodeId(r.take()?))
+    }
+}
+
+impl disco_snapshot::Snap for TopologyChoice {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&match self {
+            TopologyChoice::Mesh => 0u8,
+            TopologyChoice::Ring => 1,
+            TopologyChoice::HRing => 2,
+            TopologyChoice::Torus => 3,
+            TopologyChoice::CMesh => 4,
+        });
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => TopologyChoice::Mesh,
+            1 => TopologyChoice::Ring,
+            2 => TopologyChoice::HRing,
+            3 => TopologyChoice::Torus,
+            4 => TopologyChoice::CMesh,
+            tag => {
+                return Err(disco_snapshot::malformed(format!(
+                    "TopologyChoice tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+impl disco_snapshot::Snap for PortId {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.0);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(PortId(r.take()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

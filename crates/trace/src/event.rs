@@ -544,3 +544,277 @@ mod tests {
         assert!(s.contains(&format!("\"cycles\":{big}")), "{s}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+impl disco_snapshot::Snap for Event {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        match *self {
+            Event::Inject {
+                packet,
+                src,
+                dst,
+                class,
+                flits,
+            } => {
+                w.put(&0u8);
+                w.put(&packet);
+                w.put(&src);
+                w.put(&dst);
+                w.put(&class);
+                w.put(&flits);
+            }
+            Event::NiStart { packet, node } => {
+                w.put(&1u8);
+                w.put(&packet);
+                w.put(&node);
+            }
+            Event::NiDone { packet, node } => {
+                w.put(&2u8);
+                w.put(&packet);
+                w.put(&node);
+            }
+            Event::Route {
+                packet,
+                node,
+                in_port,
+                in_vc,
+                out_dir,
+            } => {
+                w.put(&3u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&in_port);
+                w.put(&in_vc);
+                w.put(&out_dir);
+            }
+            Event::VcAlloc {
+                packet,
+                node,
+                in_port,
+                in_vc,
+                out_dir,
+                out_vc,
+            } => {
+                w.put(&4u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&in_port);
+                w.put(&in_vc);
+                w.put(&out_dir);
+                w.put(&out_vc);
+            }
+            Event::Traverse {
+                packet,
+                node,
+                out_dir,
+                head,
+                tail,
+            } => {
+                w.put(&5u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&out_dir);
+                w.put(&head);
+                w.put(&tail);
+            }
+            Event::Eject { packet, node } => {
+                w.put(&6u8);
+                w.put(&packet);
+                w.put(&node);
+            }
+            Event::VcStall {
+                packet,
+                node,
+                port,
+                vc,
+                reason,
+            } => {
+                w.put(&7u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&port);
+                w.put(&vc);
+                w.put(&reason);
+            }
+            Event::CodecStart {
+                packet,
+                node,
+                op,
+                blocking,
+            } => {
+                w.put(&8u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&op);
+                w.put(&blocking);
+            }
+            Event::CodecEnd {
+                packet,
+                node,
+                op,
+                outcome,
+            } => {
+                w.put(&9u8);
+                w.put(&packet);
+                w.put(&node);
+                w.put(&op);
+                w.put(&outcome);
+            }
+            Event::EndpointCodec { site, cycles } => {
+                w.put(&10u8);
+                w.put(&site);
+                w.put(&cycles);
+            }
+            Event::L2Access { node, line, hit } => {
+                w.put(&11u8);
+                w.put(&node);
+                w.put(&line);
+                w.put(&hit);
+            }
+            Event::L2Insert { node, line } => {
+                w.put(&12u8);
+                w.put(&node);
+                w.put(&line);
+            }
+            Event::DramAccess {
+                line,
+                write,
+                row_hit,
+            } => {
+                w.put(&13u8);
+                w.put(&line);
+                w.put(&write);
+                w.put(&row_hit);
+            }
+            Event::FaultInject { kind, packet, node } => {
+                w.put(&14u8);
+                w.put(&kind);
+                w.put(&packet);
+                w.put(&node);
+            }
+            Event::FaultDetect { kind, packet, node } => {
+                w.put(&15u8);
+                w.put(&kind);
+                w.put(&packet);
+                w.put(&node);
+            }
+            Event::Retransmit { packet, attempt } => {
+                w.put(&16u8);
+                w.put(&packet);
+                w.put(&attempt);
+            }
+            Event::FaultFallback { packet, node } => {
+                w.put(&17u8);
+                w.put(&packet);
+                w.put(&node);
+            }
+        }
+    }
+
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(match r.take::<u8>()? {
+            0 => Event::Inject {
+                packet: r.take()?,
+                src: r.take()?,
+                dst: r.take()?,
+                class: r.take()?,
+                flits: r.take()?,
+            },
+            1 => Event::NiStart {
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            2 => Event::NiDone {
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            3 => Event::Route {
+                packet: r.take()?,
+                node: r.take()?,
+                in_port: r.take()?,
+                in_vc: r.take()?,
+                out_dir: r.take()?,
+            },
+            4 => Event::VcAlloc {
+                packet: r.take()?,
+                node: r.take()?,
+                in_port: r.take()?,
+                in_vc: r.take()?,
+                out_dir: r.take()?,
+                out_vc: r.take()?,
+            },
+            5 => Event::Traverse {
+                packet: r.take()?,
+                node: r.take()?,
+                out_dir: r.take()?,
+                head: r.take()?,
+                tail: r.take()?,
+            },
+            6 => Event::Eject {
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            7 => Event::VcStall {
+                packet: r.take()?,
+                node: r.take()?,
+                port: r.take()?,
+                vc: r.take()?,
+                reason: r.take()?,
+            },
+            8 => Event::CodecStart {
+                packet: r.take()?,
+                node: r.take()?,
+                op: r.take()?,
+                blocking: r.take()?,
+            },
+            9 => Event::CodecEnd {
+                packet: r.take()?,
+                node: r.take()?,
+                op: r.take()?,
+                outcome: r.take()?,
+            },
+            10 => Event::EndpointCodec {
+                site: r.take()?,
+                cycles: r.take()?,
+            },
+            11 => Event::L2Access {
+                node: r.take()?,
+                line: r.take()?,
+                hit: r.take()?,
+            },
+            12 => Event::L2Insert {
+                node: r.take()?,
+                line: r.take()?,
+            },
+            13 => Event::DramAccess {
+                line: r.take()?,
+                write: r.take()?,
+                row_hit: r.take()?,
+            },
+            14 => Event::FaultInject {
+                kind: r.take()?,
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            15 => Event::FaultDetect {
+                kind: r.take()?,
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            16 => Event::Retransmit {
+                packet: r.take()?,
+                attempt: r.take()?,
+            },
+            17 => Event::FaultFallback {
+                packet: r.take()?,
+                node: r.take()?,
+            },
+            tag => return Err(disco_snapshot::malformed(format!("Event tag {tag}"))),
+        })
+    }
+}
+
+disco_snapshot::snap_fields!(Record { cycle, event });

@@ -83,3 +83,12 @@ impl EventList {
         std::mem::take(&mut self.0)
     }
 }
+
+impl disco_snapshot::Snap for EventList {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        w.put(&self.0);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        Ok(EventList(r.take()?))
+    }
+}

@@ -684,3 +684,32 @@ mod tests {
         assert!(rep.exact);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpointing (see crates/snapshot/manifest.txt)
+// ---------------------------------------------------------------------------
+
+disco_snapshot::snap_fields!(CodecSpan {
+    node,
+    op,
+    blocking,
+    start,
+    end,
+});
+
+disco_snapshot::snap_fields!(Track {
+    src,
+    dst,
+    inject,
+    ni_start,
+    ni_done,
+    eject,
+    hops,
+    codec,
+});
+
+disco_snapshot::snap_fields!(ProvenanceAnalyzer {
+    pipeline_stages,
+    tracks,
+    endpoint_codec_cycles,
+});

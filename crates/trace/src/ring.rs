@@ -192,3 +192,11 @@ mod tests {
         assert_eq!(t.len(), 1);
     }
 }
+
+disco_snapshot::snap_fields!(Tracer {
+    buf,
+    capacity,
+    cycle,
+    emitted,
+    dropped,
+});

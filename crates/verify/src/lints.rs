@@ -31,6 +31,13 @@
 //!    `#[cfg(test)]` region or a `tests/` integration file). A variant
 //!    that can never fire, or fires without a test pinning its
 //!    behaviour, is dead weight in the fault model.
+//! 6. **Exhaustive snapshot manifest** — every field of every struct
+//!    that participates in `System::snapshot` must be accounted for in
+//!    `crates/snapshot/manifest.txt` as either `state` (serialized) or
+//!    `derived` (rebuilt from config on restore). Adding a field
+//!    without deciding its checkpoint treatment silently produces
+//!    snapshots that resume into a different simulation; this lint
+//!    turns that into a build failure.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -768,6 +775,196 @@ pub fn check_compute_purity(root: &Path) -> io::Result<Vec<Violation>> {
 pub fn live_router_mut_methods(root: &Path) -> io::Result<BTreeSet<String>> {
     let src = fs::read_to_string(root.join(ROUTER_PATH))?;
     ast::router_mut_methods(&src).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: exhaustive snapshot field manifest
+// ---------------------------------------------------------------------------
+
+/// Where the snapshot field manifest lives.
+pub const SNAPSHOT_MANIFEST_PATH: &str = "crates/snapshot/manifest.txt";
+
+/// One `struct <file> <Name>` block of the snapshot manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Source file, relative to the repository root.
+    pub file: String,
+    /// Struct name.
+    pub name: String,
+    /// Declared fields, in manifest order, with their disposition
+    /// (`"state"` or `"derived"`).
+    pub fields: Vec<(String, String)>,
+    /// 1-based manifest line of the `struct` header.
+    pub line: usize,
+}
+
+/// Parses the manifest format: `struct <relative-path> <StructName>`
+/// headers, one `<field> state|derived` line per field, `#` comments.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_snapshot_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
+    let mut entries: Vec<ManifestEntry> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().unwrap_or_default();
+        if first == "struct" {
+            let (file, name) = (parts.next(), parts.next());
+            match (file, name, parts.next()) {
+                (Some(file), Some(name), None) => entries.push(ManifestEntry {
+                    file: file.to_string(),
+                    name: name.to_string(),
+                    fields: Vec::new(),
+                    line: idx + 1,
+                }),
+                _ => {
+                    return Err(format!(
+                        "manifest line {}: expected `struct <file> <Name>`",
+                        idx + 1
+                    ))
+                }
+            }
+            continue;
+        }
+        let disposition = parts.next();
+        match (entries.last_mut(), disposition, parts.next()) {
+            (Some(entry), Some(d @ ("state" | "derived")), None) => {
+                entry.fields.push((first.to_string(), d.to_string()));
+            }
+            (None, _, _) => {
+                return Err(format!(
+                    "manifest line {}: field before any `struct` header",
+                    idx + 1
+                ))
+            }
+            _ => {
+                return Err(format!(
+                    "manifest line {}: expected `<field> state|derived`",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Every field of struct `name` in `src` — private ones included, which
+/// is what distinguishes this from the rule-2 `struct_fields` scan —
+/// with 1-based lines. Attribute lines (`#[cfg(...)]` etc.) and
+/// comments are skipped; a field line is `[pub[(crate)]] name: Type,`.
+pub fn all_struct_fields(src: &str, name: &str) -> Vec<(usize, String)> {
+    let headers = [
+        format!("pub struct {name} {{"),
+        format!("pub(crate) struct {name} {{"),
+        format!("struct {name} {{"),
+    ];
+    let mut fields = Vec::new();
+    let mut inside = false;
+    for (idx, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        if !inside {
+            inside = headers.iter().any(|h| trimmed.starts_with(h.as_str()));
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if trimmed.starts_with("//") || trimmed.starts_with("#[") {
+            continue;
+        }
+        let rest = trimmed
+            .strip_prefix("pub(crate) ")
+            .or_else(|| trimmed.strip_prefix("pub "))
+            .unwrap_or(trimmed);
+        if let Some((field, after)) = rest.split_once(':') {
+            let field = field.trim();
+            // `::` is a path inside a wrapped type, not a field; a real
+            // field name is a lone identifier.
+            if !after.starts_with(':')
+                && !field.is_empty()
+                && field.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                fields.push((idx + 1, field.to_string()));
+            }
+        }
+    }
+    fields
+}
+
+/// Pure core of rule 6: diffs one manifest entry against the struct
+/// body found in `src`. Returns (line, message) findings — fields the
+/// struct has but the manifest does not (the dangerous direction: an
+/// undeclared field is an unserialized field), and stale manifest
+/// entries for fields the struct no longer has.
+pub fn scan_snapshot_struct(entry: &ManifestEntry, src: &str) -> Vec<(usize, String)> {
+    let actual = all_struct_fields(src, &entry.name);
+    if actual.is_empty() {
+        return vec![(
+            entry.line,
+            format!("struct {} not found in {}", entry.name, entry.file),
+        )];
+    }
+    let mut findings = Vec::new();
+    for (line, field) in &actual {
+        if !entry.fields.iter().any(|(f, _)| f == field) {
+            findings.push((
+                *line,
+                format!(
+                    "{}.{field} is not in {SNAPSHOT_MANIFEST_PATH} — serialize it and \
+                     declare it `state`, or justify it as `derived`",
+                    entry.name
+                ),
+            ));
+        }
+    }
+    for (field, _) in &entry.fields {
+        if !actual.iter().any(|(_, f)| f == field) {
+            findings.push((
+                entry.line,
+                format!(
+                    "manifest declares {}.{field} but the struct has no such field \
+                     (stale entry)",
+                    entry.name
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Checks the snapshot manifest against the live struct bodies (rule 6).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the manifest or the listed sources; a
+/// malformed manifest is reported as `io::ErrorKind::InvalidData`.
+pub fn check_snapshot_manifest(root: &Path) -> io::Result<Vec<Violation>> {
+    let text = fs::read_to_string(root.join(SNAPSHOT_MANIFEST_PATH))?;
+    let entries = parse_snapshot_manifest(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if entries.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot manifest lists no structs",
+        ));
+    }
+    let mut violations = Vec::new();
+    for entry in &entries {
+        let src = fs::read_to_string(root.join(&entry.file))?;
+        for (line, message) in scan_snapshot_struct(entry, &src) {
+            violations.push(Violation {
+                file: PathBuf::from(&entry.file),
+                line,
+                message,
+            });
+        }
+    }
+    Ok(violations)
 }
 
 #[cfg(test)]

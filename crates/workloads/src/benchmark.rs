@@ -360,3 +360,31 @@ mod tests {
         assert_eq!(p4.working_set_lines, p.working_set_lines / 4);
     }
 }
+
+impl disco_snapshot::Snap for Benchmark {
+    fn snap(&self, w: &mut disco_snapshot::Writer) {
+        let tag = Benchmark::ALL
+            .iter()
+            .position(|b| b == self)
+            .expect("ALL covers every benchmark") as u8;
+        w.put(&tag);
+    }
+    fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
+        let tag: u8 = r.take()?;
+        Benchmark::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| disco_snapshot::malformed(format!("Benchmark tag {tag}")))
+    }
+}
+
+disco_snapshot::snap_fields!(WorkloadProfile {
+    benchmark,
+    working_set_lines,
+    intensity,
+    write_frac,
+    shared_frac,
+    stride_frac,
+    locality,
+    value,
+});

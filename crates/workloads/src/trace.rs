@@ -194,3 +194,5 @@ mod tests {
         }
     }
 }
+
+disco_snapshot::snap_fields!(MemAccess { gap, line, write });

@@ -276,3 +276,11 @@ mod tests {
         );
     }
 }
+
+disco_snapshot::snap_fields!(ValueProfile {
+    zero,
+    near_base,
+    small_int,
+    repeated,
+    float_like,
+});

@@ -49,6 +49,9 @@ pub use disco_energy as energy;
 #[cfg(feature = "faults")]
 pub use disco_faults as faults;
 pub use disco_noc as noc;
+/// Versioned binary checkpoint encoding (the `Snap` trait, writer /
+/// reader, snapshot header) behind [`core::System::snapshot`].
+pub use disco_snapshot as snapshot;
 /// Deterministic event tracing + latency provenance (`trace` feature).
 #[cfg(feature = "trace")]
 pub use disco_trace as trace;

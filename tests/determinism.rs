@@ -337,6 +337,84 @@ fn trace_jsonl_is_shard_invariant() {
     }
 }
 
+/// The checkpoint leg of the contract: run-to-cycle-N → snapshot →
+/// restore → run-to-end must be byte-identical to the unbroken run at
+/// every shard count — the stats file, and (feature-gated) the trace
+/// JSONL export and the fault ledger riding in the stats file. CI runs
+/// this under default and `parallel,faults,trace` builds.
+mod snapshot_roundtrip {
+    use super::*;
+    use disco::core::{SimReport, System};
+
+    /// Cycle at which the interrupted run pauses and checkpoints.
+    const SNAPSHOT_AT: u64 = 300;
+
+    fn matrix_builder(seed: u64, placement: CompressionPlacement, shards: usize) -> SimBuilder {
+        let noc = NocConfig {
+            compute_shards: shards,
+            ..NocConfig::default()
+        };
+        let builder = SimBuilder::new()
+            .mesh(4, 4)
+            .placement(placement)
+            .benchmark(Benchmark::Dedup)
+            .trace_len(300)
+            .seed(seed)
+            .noc(noc);
+        #[cfg(feature = "faults")]
+        let builder = builder.faults(disco::faults::FaultPlan::uniform(seed ^ 0xfa17, 1e-4));
+        #[cfg(feature = "trace")]
+        let builder = builder.retain_trace_records(true);
+        builder
+    }
+
+    /// Every byte-comparable artifact of a finished run: the stats file
+    /// (which carries the fault ledger under `faults`) and the exported
+    /// trace JSONL under `trace`.
+    fn artifacts(report: &SimReport) -> String {
+        let mut buf = Vec::new();
+        report.write_stats(&mut buf).expect("in-memory write");
+        #[allow(unused_mut)]
+        let mut out = String::from_utf8(buf).expect("stats are utf8");
+        #[cfg(feature = "trace")]
+        {
+            let t = report.trace.as_ref().expect("capture requested");
+            out.push_str(&disco::trace::export::jsonl_string(&t.records));
+        }
+        out
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical() {
+        for seed in [1u64, 2, 3] {
+            for placement in [CompressionPlacement::Baseline, CompressionPlacement::Disco] {
+                for shards in [1usize, 4, 16] {
+                    let builder = matrix_builder(seed, placement, shards);
+                    let unbroken = artifacts(&builder.clone().run().expect("unbroken run drains"));
+                    let mut sys = builder.build();
+                    assert!(
+                        !sys.step_until(SNAPSHOT_AT).expect("within budget"),
+                        "seed {seed}, {placement}, {shards} shards: \
+                         run finished before cycle {SNAPSHOT_AT}"
+                    );
+                    let bytes = sys.snapshot();
+                    drop(sys);
+                    let resumed = System::restore(&bytes)
+                        .expect("snapshot restores")
+                        .run_to_completion()
+                        .expect("resumed run drains");
+                    assert_eq!(
+                        unbroken,
+                        artifacts(&resumed),
+                        "seed {seed}, {placement}, {shards} shards: \
+                         resumed run diverged from the unbroken run"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The model checker's report — state counts, depth, and every
 /// counterexample schedule — must be byte-identical run to run and at
 /// any worklist worker count, or `cargo xtask verify --json` artifacts

@@ -293,3 +293,95 @@ fn compute_phase_interior_mutability_is_caught() {
         "RefCell in the compute phase must be flagged: {findings:?}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot manifest exhaustiveness (rule 6)
+// ---------------------------------------------------------------------------
+
+/// A field added to a snapshotted struct without updating the manifest
+/// — the exact mutation that ships checkpoints silently missing state.
+/// The manifest diff must flag the undeclared field by name.
+#[test]
+fn unserialized_snapshot_field_is_caught() {
+    let manifest = "\
+        struct crates/core/src/system.rs System\n\
+        net state\n\
+        tiles state\n";
+    let entries = lints::parse_snapshot_manifest(manifest).expect("manifest parses");
+    assert_eq!(entries.len(), 1);
+
+    // The struct as committed: the manifest covers it exactly.
+    let clean = "
+        pub struct System {
+            net: Network,
+            tiles: Vec<Tile>,
+        }
+    ";
+    assert_eq!(lints::scan_snapshot_struct(&entries[0], clean), Vec::new());
+
+    // The mutation: a later PR adds a retry counter, private and
+    // cfg-gated — exactly the kind of field a snapshot audit misses —
+    // and forgets both the manifest and the serializer.
+    let mutated = "
+        pub struct System {
+            net: Network,
+            tiles: Vec<Tile>,
+            #[cfg(feature = \"faults\")]
+            retry_backoff: u64,
+        }
+    ";
+    let findings = lints::scan_snapshot_struct(&entries[0], mutated);
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("retry_backoff")),
+        "the undeclared field must be flagged by name: {findings:?}"
+    );
+}
+
+/// The reverse mutation: a field is deleted from the struct but its
+/// manifest entry lingers. Stale entries must be flagged, or the
+/// manifest rots into documentation nobody can trust.
+#[test]
+fn stale_snapshot_manifest_entry_is_caught() {
+    let manifest = "\
+        struct crates/core/src/system.rs System\n\
+        net state\n\
+        mcs derived\n";
+    let entries = lints::parse_snapshot_manifest(manifest).expect("manifest parses");
+    let shrunk = "
+        pub struct System {
+            net: Network,
+        }
+    ";
+    let findings = lints::scan_snapshot_struct(&entries[0], shrunk);
+    assert!(
+        findings
+            .iter()
+            .any(|(_, m)| m.contains("mcs") && m.contains("stale")),
+        "the stale entry must be flagged: {findings:?}"
+    );
+}
+
+/// Manifest syntax errors (an unknown disposition, a field before any
+/// struct header) must fail parsing loudly, not silently skip lines —
+/// a skipped line is an unchecked field.
+#[test]
+fn malformed_snapshot_manifest_is_rejected() {
+    let bad_disposition = "struct a/b.rs S\nnet sometimes\n";
+    assert!(lints::parse_snapshot_manifest(bad_disposition)
+        .unwrap_err()
+        .contains("state|derived"));
+    let orphan_field = "net state\n";
+    assert!(lints::parse_snapshot_manifest(orphan_field)
+        .unwrap_err()
+        .contains("struct"));
+}
+
+/// The live repository must stay clean under rule 6 end-to-end: every
+/// struct named in the committed manifest exists and matches
+/// field-for-field.
+#[test]
+fn live_snapshot_manifest_is_exhaustive() {
+    let root = lints::repo_root();
+    let violations = lints::check_snapshot_manifest(&root).expect("manifest readable");
+    assert_eq!(violations, Vec::new());
+}

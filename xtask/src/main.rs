@@ -529,8 +529,13 @@ fn run_lints() -> (bool, String) {
         lints::check_fault_kind_coverage(&root),
         "every FaultKind has an injection site and a test",
     );
+    check(
+        "snapshot-manifest",
+        lints::check_snapshot_manifest(&root),
+        "every field of every snapshotted struct is accounted state|derived in the manifest",
+    );
     if failures == 0 {
-        (true, "6 lint families clean (AST-grade)".to_string())
+        (true, "7 lint families clean (AST-grade)".to_string())
     } else {
         (false, format!("{failures} lint famil(ies) failed"))
     }
