@@ -141,32 +141,15 @@ pub fn injection_sites(tiles: usize) -> u64 {
 }
 
 /// Expected fault injections of a run: rate × cycles × sites.
-pub fn expected_injections(rate: f64, cycles: u64, sites: u64) -> f64 {
-    rate * cycles as f64 * sites as f64
-}
+/// (Shared with the DSE driver; see [`disco_pareto::exec`].)
+pub use disco_pareto::exec::expected_injections;
 
 /// The structured warning for the silent "0 faults injected looks like
 /// 100% recovery" trap: a positive fault rate whose expected injection
 /// count rounds to ~0 over the run needs a long-run/resume simulation,
 /// not a bench-length one. Returns a single JSON line, or `None` when
-/// the configuration is sound.
-pub fn injection_warning(label: &str, rate: f64, cycles: u64, sites: u64) -> Option<String> {
-    if rate <= 0.0 {
-        return None;
-    }
-    let expected = expected_injections(rate, cycles, sites);
-    if expected >= 1.0 {
-        return None;
-    }
-    Some(format!(
-        "{{\"warning\":\"expected_injections_rounds_to_zero\",\"job\":\"{}\",\
-         \"rate\":{rate:e},\"cycles\":{cycles},\"sites\":{sites},\
-         \"expected\":{expected:.6},\"hint\":\"a rate this low injects ~0 faults \
-         over this run; use disco-serve long-run/resume mode (or more cycles) \
-         for a meaningful recovery measurement\"}}",
-        sweep::json_escape(label),
-    ))
-}
+/// the configuration is sound. (Shared with the DSE driver.)
+pub use disco_pareto::exec::injection_warning;
 
 fn job_name_ok(name: &str) -> bool {
     !name.is_empty()
@@ -381,11 +364,7 @@ pub struct ServeSummary {
     pub failed: usize,
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
-}
+use disco_pareto::journal::write_atomic;
 
 struct JobFiles {
     stats: PathBuf,

@@ -96,52 +96,14 @@ pub fn run_point(point: &SweepPoint) -> PointResult {
 
 /// Runs every point, fanning them round-robin across `threads` OS
 /// threads (1 = fully serial). Results are returned in point order.
+/// The fan-out itself lives in [`disco_pareto::exec::fan_out`], shared
+/// with the design-space-exploration driver.
 pub fn run_sweep(points: &[SweepPoint], threads: usize) -> Vec<PointResult> {
-    let threads = threads.max(1).min(points.len().max(1));
-    if threads <= 1 {
-        return points.iter().map(run_point).collect();
-    }
-    let mut indexed: Vec<(usize, PointResult)> = Vec::with_capacity(points.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                s.spawn(move || {
-                    points
-                        .iter()
-                        .enumerate()
-                        .skip(t)
-                        .step_by(threads)
-                        .map(|(i, p)| (i, run_point(p)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(part) => indexed.extend(part),
-                Err(_) => panic!("sweep worker panicked"),
-            }
-        }
-    });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    disco_pareto::exec::fan_out(points, threads, run_point)
 }
 
-/// Minimal JSON string escaping (the only strings we emit are pattern
-/// names and file-safe labels, but stay correct anyway).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Minimal JSON string escaping, shared with `disco-pareto`'s emitters.
+pub use disco_pareto::json::json_escape;
 
 /// Short label for a pattern, for JSON and filenames.
 pub fn pattern_name(pattern: TrafficPattern) -> &'static str {

@@ -6,7 +6,7 @@ use crate::placement::CompressionPlacement;
 use disco_cache::coherence::DirStats;
 use disco_cache::{BankStats, L1Stats};
 use disco_compress::{CompressionStats, SchemeKind};
-use disco_energy::{EnergyBreakdown, EnergyCounts, EnergyModel};
+use disco_energy::{EnergyBreakdown, EnergyCounts, EnergyModel, EnergyReport};
 use disco_noc::NetworkStats;
 
 /// Trace capture attached to a report when the run opted into tracing
@@ -104,6 +104,15 @@ impl SimReport {
         model.evaluate(&self.energy_counts)
     }
 
+    /// The run's energy accounting as one self-describing record —
+    /// what served/checkpointed jobs and the DSE journal carry.
+    pub fn energy_report(&self) -> EnergyReport {
+        EnergyReport {
+            counts: self.energy_counts,
+            breakdown: self.energy,
+        }
+    }
+
     /// Writes the report as a flat `key = value` stats file (gem5-style),
     /// convenient for diffing runs and for downstream tooling. A `&mut`
     /// reference works as the writer.
@@ -163,6 +172,11 @@ impl SimReport {
             self.network.packets_delivered
         )?;
         writeln!(w, "noc.link_flits = {}", self.network.link_flits)?;
+        writeln!(
+            w,
+            "noc.express_link_flits = {}",
+            self.network.express_link_flits
+        )?;
         writeln!(w, "noc.buffer_writes = {}", self.network.buffer_writes)?;
         writeln!(w, "noc.buffer_reads = {}", self.network.buffer_reads)?;
         writeln!(w, "noc.crossbar_flits = {}", self.network.crossbar_flits)?;
@@ -198,18 +212,43 @@ impl SimReport {
             "compression.mean_ratio = {:.4}",
             self.compression.mean_ratio()
         )?;
-        writeln!(w, "energy.total_pj = {:.1}", self.energy.total_pj())?;
+        let er = self.energy_report();
+        writeln!(w, "energy.total_pj = {:.1}", er.total_pj())?;
         writeln!(
             w,
             "energy.noc_dynamic_pj = {:.1}",
-            self.energy.noc_dynamic_pj
+            er.breakdown.noc_dynamic_pj
+        )?;
+        writeln!(
+            w,
+            "energy.noc_static_pj = {:.1}",
+            er.breakdown.noc_static_pj
         )?;
         writeln!(
             w,
             "energy.cache_dynamic_pj = {:.1}",
-            self.energy.cache_dynamic_pj
+            er.breakdown.cache_dynamic_pj
         )?;
-        writeln!(w, "energy.compressor_pj = {:.1}", self.energy.compressor_pj)?;
+        writeln!(
+            w,
+            "energy.cache_static_pj = {:.1}",
+            er.breakdown.cache_static_pj
+        )?;
+        writeln!(
+            w,
+            "energy.compressor_pj = {:.1}",
+            er.breakdown.compressor_pj
+        )?;
+        writeln!(w, "energy.pj_per_cycle = {:.4}", er.pj_per_cycle())?;
+        writeln!(w, "energy.routers = {}", er.counts.routers)?;
+        writeln!(
+            w,
+            "energy.compressor_sites = {}",
+            er.counts.compressor_sites
+        )?;
+        writeln!(w, "energy.bank_accesses = {}", er.counts.bank_accesses)?;
+        writeln!(w, "energy.bank_bytes = {}", er.counts.bank_bytes)?;
+        writeln!(w, "energy.express_flits = {}", er.counts.express_flits)?;
         if let Some(d) = &self.disco {
             writeln!(w, "disco.started = {}", d.started)?;
             writeln!(w, "disco.compressions = {}", d.compressions)?;

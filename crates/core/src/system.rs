@@ -1231,6 +1231,7 @@ impl System {
             crossbar_flits: net.crossbar_flits,
             arbitrations: net.arbitrations,
             link_flits: net.link_flits,
+            express_flits: net.express_link_flits,
             bank_accesses: banks.hits + banks.misses + banks.insertions,
             bank_bytes: banks.bytes_accessed,
             compressions: self.codec_ops.compressions

@@ -19,6 +19,9 @@ pub struct AreaModel {
     pub cc_unit_mm2: f64,
     /// One NI packet de/compressor (CNC's second level).
     pub ni_unit_mm2: f64,
+    /// One long-range express channel: span-2 wiring plus the two extra
+    /// router ports (buffer + crossbar column) it terminates in.
+    pub express_link_mm2: f64,
 }
 
 impl Default for AreaModel {
@@ -35,6 +38,10 @@ impl Default for AreaModel {
             nuca_4mb_mm2: 26.0,
             cc_unit_mm2: router * 0.158,
             ni_unit_mm2: router * 0.158,
+            // Two ports on a 5-port router is ~2/5 of its buffered
+            // datapath, shared across the link's two endpoints, plus the
+            // long wire: ~12 % of a router per express link.
+            express_link_mm2: router * 0.12,
         }
     }
 }
@@ -66,6 +73,13 @@ impl AreaModel {
         self.placement(tiles as f64 * (self.cc_unit_mm2 + self.ni_unit_mm2), tiles)
     }
 
+    /// Express-link overlay: `links` long-range channels over an
+    /// `n`-tile grid (a topology cost, reported in the same
+    /// router-relative terms as the compression placements).
+    pub fn express(&self, tiles: usize, links: usize) -> PlacementArea {
+        self.placement(links as f64 * self.express_link_mm2, tiles)
+    }
+
     fn placement(&self, added: f64, tiles: usize) -> PlacementArea {
         PlacementArea {
             added_mm2: added,
@@ -92,6 +106,17 @@ mod tests {
         let m = AreaModel::default();
         let ratio = m.cnc(16).added_mm2 / m.disco(16).added_mm2;
         assert!((1.6..2.2).contains(&ratio), "CNC/DISCO area ratio {ratio}");
+    }
+
+    #[test]
+    fn express_overlay_scales_with_link_count() {
+        let m = AreaModel::default();
+        // A 4×4 span-2 express mesh has 16 live express links.
+        let x = m.express(16, 16);
+        assert!((x.added_mm2 - 16.0 * m.express_link_mm2).abs() < 1e-12);
+        // The overlay costs less per router than a second router.
+        assert!(x.of_routers < 1.0);
+        assert_eq!(m.express(16, 0).added_mm2, 0.0);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 pub mod area;
 pub mod model;
+pub mod report;
 
 pub use area::{AreaModel, PlacementArea};
 pub use model::{EnergyBreakdown, EnergyCounts, EnergyModel};
+pub use report::EnergyReport;

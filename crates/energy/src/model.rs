@@ -21,6 +21,10 @@ pub struct EnergyModel {
     pub arbiter_pj: f64,
     /// One flit across an inter-router link (1 mm at 45 nm).
     pub link_pj: f64,
+    /// One flit across a long-range express link (span-2 wire, so about
+    /// twice the single-hop wire energy; the router stages it skips are
+    /// what make the express hop cheaper overall).
+    pub express_link_pj: f64,
     /// Fixed part of one L2 bank access (tag match, decoders, sense-amp
     /// setup — paid regardless of line size).
     pub bank_access_pj: f64,
@@ -49,6 +53,7 @@ impl Default for EnergyModel {
             crossbar_pj: 1.5,
             arbiter_pj: 0.2,
             link_pj: 3.6,
+            express_link_pj: 7.2,
             bank_access_pj: 130.0,
             bank_byte_pj: 3.9,
             compress_pj: 28.0,
@@ -80,8 +85,10 @@ pub struct EnergyCounts {
     pub crossbar_flits: u64,
     /// Allocation decisions.
     pub arbitrations: u64,
-    /// Link traversals.
+    /// Single-hop link traversals.
     pub link_flits: u64,
+    /// Long-range express-link traversals (express-mesh only).
+    pub express_flits: u64,
     /// Bank accesses (lookups + fills).
     pub bank_accesses: u64,
     /// Data-array bytes moved across all bank accesses.
@@ -126,7 +133,8 @@ impl EnergyModel {
                 + c.buffer_reads as f64 * self.buffer_read_pj
                 + c.crossbar_flits as f64 * self.crossbar_pj
                 + c.arbitrations as f64 * self.arbiter_pj
-                + c.link_flits as f64 * self.link_pj,
+                + c.link_flits as f64 * self.link_pj
+                + c.express_flits as f64 * self.express_link_pj,
             noc_static_pj: (c.cycles * c.routers) as f64 * self.router_static_pj,
             cache_dynamic_pj: c.bank_accesses as f64 * self.bank_access_pj
                 + c.bank_bytes as f64 * self.bank_byte_pj,
@@ -153,6 +161,7 @@ mod tests {
             crossbar_flits: 500,
             arbitrations: 400,
             link_flits: 450,
+            express_flits: 50,
             bank_accesses: 100,
             compressions: 40,
             decompressions: 60,
@@ -179,6 +188,7 @@ mod tests {
         let mut a = counts();
         let b = m.evaluate(&a);
         a.link_flits /= 2;
+        a.express_flits /= 2;
         a.buffer_writes /= 2;
         a.buffer_reads /= 2;
         a.crossbar_flits /= 2;
@@ -205,6 +215,17 @@ mod tests {
     }
 
     #[test]
+    fn express_flits_cost_the_express_rate() {
+        let m = EnergyModel::default();
+        let b = m.evaluate(&EnergyCounts {
+            express_flits: 10,
+            ..EnergyCounts::default()
+        });
+        assert!((b.noc_dynamic_pj - 10.0 * m.express_link_pj).abs() < 1e-9);
+        assert!(m.express_link_pj > m.link_pj, "longer wire costs more");
+    }
+
+    #[test]
     fn zero_counts_zero_energy() {
         let m = EnergyModel::default();
         assert_eq!(m.evaluate(&EnergyCounts::default()).total_pj(), 0.0);
@@ -217,6 +238,7 @@ disco_snapshot::snap_fields!(EnergyModel {
     crossbar_pj,
     arbiter_pj,
     link_pj,
+    express_link_pj,
     bank_access_pj,
     bank_byte_pj,
     compress_pj,

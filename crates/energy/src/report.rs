@@ -1,0 +1,86 @@
+//! Per-run energy accounting: the event counts a run gathered, the
+//! breakdown the model evaluated from them, and the derived efficiency
+//! metrics — one value to attach to a simulation report, journal to a
+//! sweep point, or serve from a checkpointed job.
+
+use crate::model::{EnergyBreakdown, EnergyCounts, EnergyModel};
+
+/// Everything the energy model can say about one run.
+///
+/// A [`SimReport`](../disco_core/struct.SimReport.html) carries the raw
+/// `EnergyCounts` and the evaluated `EnergyBreakdown` separately for
+/// backward compatibility; this type bundles them with the model that
+/// priced them so downstream consumers (the stats file, the DSE
+/// journal, served jobs) get one self-describing record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// The raw event counts the run gathered.
+    pub counts: EnergyCounts,
+    /// The per-component picojoule totals.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl EnergyReport {
+    /// Prices `counts` under `model`.
+    pub fn evaluate(model: &EnergyModel, counts: EnergyCounts) -> Self {
+        EnergyReport {
+            counts,
+            breakdown: model.evaluate(&counts),
+        }
+    }
+
+    /// Total memory-subsystem energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.breakdown.total_pj()
+    }
+
+    /// Mean picojoules per simulated cycle — the power proxy the
+    /// Pareto frontier minimizes (total energy divided by runtime would
+    /// double-count speed, which latency already scores).
+    pub fn pj_per_cycle(&self) -> f64 {
+        if self.counts.cycles == 0 {
+            return 0.0;
+        }
+        self.total_pj() / self.counts.cycles as f64
+    }
+
+    /// Mean dynamic NoC picojoules per link traversal (express links
+    /// included) — the per-flit transport cost compression lowers.
+    pub fn noc_pj_per_flit(&self) -> f64 {
+        let flits = self.counts.link_flits + self.counts.express_flits;
+        if flits == 0 {
+            return 0.0;
+        }
+        self.breakdown.noc_dynamic_pj / flits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_matches_model() {
+        let model = EnergyModel::default();
+        let counts = EnergyCounts {
+            cycles: 100,
+            routers: 4,
+            banks: 4,
+            link_flits: 50,
+            express_flits: 10,
+            ..EnergyCounts::default()
+        };
+        let r = EnergyReport::evaluate(&model, counts);
+        assert_eq!(r.breakdown, model.evaluate(&counts));
+        assert!((r.total_pj() - r.breakdown.total_pj()).abs() < 1e-12);
+        assert!(r.pj_per_cycle() > 0.0);
+        assert!(r.noc_pj_per_flit() > 0.0);
+    }
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let r = EnergyReport::evaluate(&EnergyModel::default(), EnergyCounts::default());
+        assert_eq!(r.pj_per_cycle(), 0.0);
+        assert_eq!(r.noc_pj_per_flit(), 0.0);
+    }
+}

@@ -456,7 +456,18 @@ pub(crate) fn compute_router(
                 out.stats.latency_by_class[ci] += latency;
             }
         } else if topo.out_link(router.node, dep.out).is_some() {
-            out.stats.link_flits += 1;
+            // Express traversals are priced separately (longer wire);
+            // the buffer write at the far end costs the same either way.
+            if topo.express_span() > 0
+                && matches!(
+                    dep.out,
+                    crate::topology::EXPRESS_EAST | crate::topology::EXPRESS_WEST
+                )
+            {
+                out.stats.express_link_flits += 1;
+            } else {
+                out.stats.link_flits += 1;
+            }
             out.stats.buffer_writes += 1;
         } else {
             // The commit pass drops this flit (no link to corrupt);

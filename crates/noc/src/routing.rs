@@ -15,11 +15,15 @@
 //! knob is ignored: each has a single deterministic route, because the
 //! dateline deadlock proof below is per-direction and adaptive or
 //! salt-split routing would mix dimension orders the proof does not
-//! cover.
+//! cover. The express mesh likewise keeps its single greedy
+//! express-first XY route: express hops only ever *shrink* the
+//! remaining column distance by `span`, so once the route falls back to
+//! single hops it never turns back onto an express channel, and the
+//! dependency graph stays acyclic without extra VCs.
 
 use crate::topology::{
-    NodeId, PortId, Topology, TopologyKind, CLOCKWISE, COUNTER_CLOCKWISE, EAST, GLOBAL_CLOCKWISE,
-    NORTH, SOUTH, WEST,
+    NodeId, PortId, Topology, TopologyKind, CLOCKWISE, COUNTER_CLOCKWISE, EAST, EXPRESS_EAST,
+    EXPRESS_WEST, GLOBAL_CLOCKWISE, NORTH, SOUTH, WEST,
 };
 use std::ops::Range;
 
@@ -107,6 +111,32 @@ fn torus_route(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
     }
 }
 
+/// Express-mesh hop: X first with express links taken greedily while
+/// the remaining column distance is at least the span (the far end is
+/// then guaranteed on-grid), single E/W hops for the remainder, then Y.
+fn xmesh_route(topo: &Topology, here: NodeId, dest: NodeId) -> PortId {
+    let (hc, hr) = topo.coords(here);
+    let (dc, dr) = topo.coords(dest);
+    let span = topo.express_span();
+    if hc < dc {
+        if dc - hc >= span {
+            EXPRESS_EAST
+        } else {
+            EAST
+        }
+    } else if hc > dc {
+        if hc - dc >= span {
+            EXPRESS_WEST
+        } else {
+            WEST
+        }
+    } else if hr < dr {
+        SOUTH
+    } else {
+        NORTH
+    }
+}
+
 /// Hierarchical-ring hop: clockwise around the local ring to the
 /// destination (same ring) or to the hub, then clockwise around the
 /// global ring, then clockwise to the destination position.
@@ -176,6 +206,7 @@ pub fn route(
         TopologyKind::Ring => ring_route(topo, here, dest),
         TopologyKind::Torus => torus_route(topo, here, dest),
         TopologyKind::HierarchicalRing => hring_route(topo, here, dest),
+        TopologyKind::ExpressMesh => xmesh_route(topo, here, dest),
     }
 }
 
@@ -279,6 +310,7 @@ pub fn route_choices(
         TopologyKind::Ring => vec![ring_route(topo, here, dest)],
         TopologyKind::Torus => vec![torus_route(topo, here, dest)],
         TopologyKind::HierarchicalRing => vec![hring_route(topo, here, dest)],
+        TopologyKind::ExpressMesh => vec![xmesh_route(topo, here, dest)],
     }
 }
 
@@ -327,7 +359,7 @@ pub fn output_vc_range(
     let (low, high) = (group.start..mid, mid..group.end);
     let dest = topo.router_of(dst);
     match topo.kind() {
-        TopologyKind::Mesh | TopologyKind::ConcentratedMesh => group,
+        TopologyKind::Mesh | TopologyKind::ConcentratedMesh | TopologyKind::ExpressMesh => group,
         TopologyKind::Ring => {
             // CW traffic is pre-dateline while `here > dest` (the wrap
             // edge n-1→0 is still ahead); CCW mirrors it.
@@ -429,9 +461,11 @@ fn ring_path_dead(
 ///   per-direction dateline proofs stand untouched. (Escaping on the
 ///   immediate-link test the mesh uses would ping-pong between the two
 ///   directions — a genuine two-channel cycle.)
-/// - **Torus / hierarchical ring** — no escape: a reversal would break
-///   the dateline order (the hierarchical ring has no reverse links at
-///   all), so dead links black-hole and NI retransmission owns
+/// - **Torus / hierarchical ring / express mesh** — no escape: a
+///   reversal would break the dateline order (the hierarchical ring has
+///   no reverse links at all), and an express detour could reintroduce
+///   the express channel after single hops, breaking the monotone-span
+///   argument — so dead links black-hole and NI retransmission owns
 ///   recovery, exactly like the mesh's dead-West case.
 ///
 /// Escapes are a pure function of `(here, dst)` and the dead set, so
@@ -486,7 +520,7 @@ pub fn escape_route(
                 primary
             }
         }
-        TopologyKind::Torus | TopologyKind::HierarchicalRing => primary,
+        TopologyKind::Torus | TopologyKind::HierarchicalRing | TopologyKind::ExpressMesh => primary,
     }
 }
 
@@ -517,7 +551,9 @@ impl disco_snapshot::Snap for RoutingAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::{HierarchicalRing, Mesh, Ring, TopologyChoice, TopologySpec, Torus};
+    use crate::topology::{
+        ExpressMesh, HierarchicalRing, Mesh, Ring, TopologyChoice, TopologySpec, Torus,
+    };
 
     /// Walks the deterministic route (salt 0, flat credits) from tile
     /// `src` to tile `dst`, returning the hop count; panics on a loop.
@@ -696,11 +732,40 @@ mod tests {
     }
 
     #[test]
+    fn xmesh_takes_express_hops_greedily() {
+        let xmesh = ExpressMesh::new(8, 2, 3).build();
+        // From (0,0) to (7,1): express while dx ≥ 3, then single east,
+        // then the Y leg.
+        let mut here = NodeId(0);
+        let dst = NodeId(15);
+        let mut path = Vec::new();
+        loop {
+            let port = route(RoutingAlgorithm::Xy, &xmesh, here, dst, 0, |_| 4);
+            if xmesh.is_local(port) {
+                break;
+            }
+            path.push(port);
+            here = xmesh.out_link(here, port).expect("in xmesh").0;
+        }
+        assert_eq!(path, vec![EXPRESS_EAST, EXPRESS_EAST, EAST, SOUTH]);
+        // Westbound mirrors.
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &xmesh, NodeId(7), NodeId(0), 0, |_| 4),
+            EXPRESS_WEST
+        );
+        assert_eq!(
+            route(RoutingAlgorithm::Xy, &xmesh, NodeId(2), NodeId(0), 0, |_| 4),
+            WEST
+        );
+    }
+
+    #[test]
     fn non_grid_choices_are_single_valued() {
         for choice in [
             TopologyChoice::Ring,
             TopologyChoice::HRing,
             TopologyChoice::Torus,
+            TopologyChoice::XMesh,
         ] {
             let topo = choice.build(4, 4);
             for alg in [RoutingAlgorithm::O1Turn, RoutingAlgorithm::WestFirst] {

@@ -10,8 +10,11 @@ pub struct NetworkStats {
     pub packets_injected: u64,
     /// Packets delivered.
     pub packets_delivered: u64,
-    /// Flits traversing inter-router links.
+    /// Flits traversing single-hop inter-router links.
     pub link_flits: u64,
+    /// Flits traversing long-range express links (express-mesh only;
+    /// priced separately — a span-`R` wire costs more per traversal).
+    pub express_link_flits: u64,
     /// Flit writes into input buffers (injection + link arrival).
     pub buffer_writes: u64,
     /// Flit reads out of input buffers (switch traversal).
@@ -54,6 +57,7 @@ impl NetworkStats {
         self.packets_injected += delta.packets_injected;
         self.packets_delivered += delta.packets_delivered;
         self.link_flits += delta.link_flits;
+        self.express_link_flits += delta.express_link_flits;
         self.buffer_writes += delta.buffer_writes;
         self.buffer_reads += delta.buffer_reads;
         self.crossbar_flits += delta.crossbar_flits;
@@ -143,6 +147,7 @@ mod tests {
             packets_injected: 2,
             packets_delivered: 3,
             link_flits: 4,
+            express_link_flits: 13,
             buffer_writes: 5,
             buffer_reads: 6,
             crossbar_flits: 7,
@@ -160,6 +165,7 @@ mod tests {
         assert_eq!(a.packets_injected, 4);
         assert_eq!(a.packets_delivered, 6);
         assert_eq!(a.link_flits, 8);
+        assert_eq!(a.express_link_flits, 26);
         assert_eq!(a.buffer_writes, 10);
         assert_eq!(a.buffer_reads, 12);
         assert_eq!(a.crossbar_flits, 14);
@@ -211,6 +217,7 @@ disco_snapshot::snap_fields!(NetworkStats {
     packets_injected,
     packets_delivered,
     link_flits,
+    express_link_flits,
     buffer_writes,
     buffer_reads,
     crossbar_flits,

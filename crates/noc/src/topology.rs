@@ -19,6 +19,7 @@
 //! | [`HierarchicalRing`] | 3 | LCW0 GCW1 | unidirectional local rings + a global ring over hubs |
 //! | [`Torus`] | 5 | N0 S1 E2 W3 | wraparound mesh; dateline VCs for deadlock freedom |
 //! | [`ConcentratedMesh`] | 4+c | N0 S1 E2 W3 | c tiles share each router |
+//! | [`ExpressMesh`] | 7 | N0 S1 E2 W3 XE4 XW5 | mesh + span-`R` express ("Ruche") row links |
 //!
 //! Port reversal is **total**: [`Topology::opposite`] returns `Option`
 //! and never panics — a local port or a dead link is simply `None`.
@@ -65,6 +66,10 @@ pub const CLOCKWISE: PortId = PortId(0);
 pub const COUNTER_CLOCKWISE: PortId = PortId(1);
 /// Canonical hring port: clockwise around the global hub ring.
 pub const GLOBAL_CLOCKWISE: PortId = PortId(1);
+/// Express-mesh long-range port: toward column + span.
+pub const EXPRESS_EAST: PortId = PortId(4);
+/// Express-mesh long-range port: toward column − span.
+pub const EXPRESS_WEST: PortId = PortId(5);
 
 /// Which family a [`Topology`] belongs to; routing and deadlock
 /// avoidance dispatch on this.
@@ -81,6 +86,9 @@ pub enum TopologyKind {
     Torus,
     /// 2-D mesh with `concentration` tiles per router.
     ConcentratedMesh,
+    /// 2-D mesh with additional span-`R` express ("Ruche") links along
+    /// each row.
+    ExpressMesh,
 }
 
 /// A built network graph: uniform-radix routers, two link tables, and
@@ -106,6 +114,9 @@ pub struct Topology {
     /// `[(router * radix) + port] → (upstream router, its output
     /// port)` for the link feeding `router`'s input buffer on `port`.
     in_sources: Vec<Option<(NodeId, PortId)>>,
+    /// Column span of the express-row links (0 for every kind without
+    /// an express overlay).
+    express_span: usize,
 }
 
 impl Topology {
@@ -122,7 +133,29 @@ impl Topology {
             TopologyKind::HierarchicalRing => "hring",
             TopologyKind::Torus => "torus",
             TopologyKind::ConcentratedMesh => "cmesh",
+            TopologyKind::ExpressMesh => "xmesh",
         }
+    }
+
+    /// Column span of the express-row links; 0 when the topology has no
+    /// express overlay.
+    pub fn express_span(&self) -> usize {
+        self.express_span
+    }
+
+    /// Number of live express links (out-links on the express ports);
+    /// the unit the express-channel area model charges per.
+    pub fn express_link_count(&self) -> usize {
+        if self.express_span == 0 {
+            return 0;
+        }
+        (0..self.routers)
+            .flat_map(|n| {
+                [EXPRESS_EAST, EXPRESS_WEST]
+                    .into_iter()
+                    .filter(move |&p| self.out_links[n * self.radix + p.0].is_some())
+            })
+            .count()
     }
 
     /// Number of routers.
@@ -246,6 +279,16 @@ impl Topology {
                 let (bc, br) = self.coords(rb);
                 ac.abs_diff(bc) + ar.abs_diff(br)
             }
+            TopologyKind::ExpressMesh => {
+                // Greedy express-first X walk: an express hop is always
+                // available while the remaining column distance ≥ span
+                // (the far end stays on the grid), so the X leg costs
+                // dx/span express hops plus dx%span single hops.
+                let (ac, ar) = self.coords(ra);
+                let (bc, br) = self.coords(rb);
+                let dx = ac.abs_diff(bc);
+                dx / self.express_span + dx % self.express_span + ar.abs_diff(br)
+            }
             TopologyKind::Ring => {
                 let n = self.routers;
                 let cw = (rb.0 + n - ra.0) % n;
@@ -280,7 +323,7 @@ impl Topology {
     pub fn min_vcs(&self) -> usize {
         match self.kind {
             TopologyKind::Ring | TopologyKind::HierarchicalRing | TopologyKind::Torus => 4,
-            TopologyKind::Mesh | TopologyKind::ConcentratedMesh => 1,
+            TopologyKind::Mesh | TopologyKind::ConcentratedMesh | TopologyKind::ExpressMesh => 1,
         }
     }
 
@@ -332,7 +375,15 @@ impl Topology {
             rows,
             out_links,
             in_sources,
+            express_span: 0,
         }
+    }
+
+    /// Records the column span of an express-link overlay (builder
+    /// chain after [`Topology::from_links`], which always starts at 0).
+    pub fn with_express_span(mut self, span: usize) -> Self {
+        self.express_span = span;
+        self
     }
 }
 
@@ -615,6 +666,69 @@ impl TopologySpec for ConcentratedMesh {
     }
 }
 
+/// A `cols × rows` 2-D mesh with one extra pair of long-range "express"
+/// (or "Ruche") channels along each row, skipping `span` columns per
+/// hop: router `(c, r)` links east to `(c + span, r)` on
+/// [`EXPRESS_EAST`] whenever `c + span < cols`, and the mirror west
+/// link on [`EXPRESS_WEST`]. Ports are the mesh N/S/E/W plus XE 4,
+/// XW 5, Local 6.
+///
+/// Routing is X-then-Y with express hops taken greedily while the
+/// remaining column distance is at least `span` — per-dimension
+/// monotone progress, so the channel-dependency graph stays acyclic
+/// with a single VC (mesh family, `min_vcs() == 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpressMesh {
+    cols: usize,
+    rows: usize,
+    span: usize,
+}
+
+impl ExpressMesh {
+    /// Creates an express-mesh spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `span < 2` (a span-1
+    /// express link would duplicate the mesh link and double-feed the
+    /// neighbour's input port).
+    pub fn new(cols: usize, rows: usize, span: usize) -> Self {
+        assert!(
+            cols > 0 && rows > 0,
+            "express mesh dimensions must be positive"
+        );
+        assert!(span >= 2, "express span must be at least 2");
+        ExpressMesh { cols, rows, span }
+    }
+}
+
+impl TopologySpec for ExpressMesh {
+    fn build(&self) -> Topology {
+        let (cols, rows, span) = (self.cols, self.rows, self.span);
+        let grid = grid_link(cols, rows);
+        Topology::from_links(
+            TopologyKind::ExpressMesh,
+            cols * rows,
+            7,
+            6,
+            1,
+            cols,
+            rows,
+            move |n, p| {
+                let (c, r) = (n % cols, n / cols);
+                match PortId(p) {
+                    EXPRESS_EAST => {
+                        (c + span < cols).then(|| (r * cols + c + span, EXPRESS_WEST.0))
+                    }
+                    EXPRESS_WEST => (c >= span).then(|| (r * cols + c - span, EXPRESS_EAST.0)),
+                    _ => grid(n, p),
+                }
+            },
+        )
+        .with_express_span(span)
+    }
+}
+
 /// CLI-facing topology selector: maps a `(cols, rows)` tile budget onto
 /// each shape so sweeps can vary topology while holding the tile count
 /// (and thus offered load) fixed.
@@ -632,16 +746,19 @@ pub enum TopologyChoice {
     /// Concentration-4 mesh over the same tile count
     /// (`⌈cols/2⌉ × ⌈rows/2⌉` routers).
     CMesh,
+    /// `cols × rows` mesh with span-2 express row links.
+    XMesh,
 }
 
 impl TopologyChoice {
     /// Every shipped choice, in CLI order.
-    pub const ALL: [TopologyChoice; 5] = [
+    pub const ALL: [TopologyChoice; 6] = [
         TopologyChoice::Mesh,
         TopologyChoice::Ring,
         TopologyChoice::HRing,
         TopologyChoice::Torus,
         TopologyChoice::CMesh,
+        TopologyChoice::XMesh,
     ];
 
     /// Stable lower-case name.
@@ -652,10 +769,11 @@ impl TopologyChoice {
             TopologyChoice::HRing => "hring",
             TopologyChoice::Torus => "torus",
             TopologyChoice::CMesh => "cmesh",
+            TopologyChoice::XMesh => "xmesh",
         }
     }
 
-    /// Parses a CLI name (`mesh|ring|hring|torus|cmesh`).
+    /// Parses a CLI name (`mesh|ring|hring|torus|cmesh|xmesh`).
     pub fn parse(s: &str) -> Option<TopologyChoice> {
         Self::ALL.into_iter().find(|c| c.name() == s)
     }
@@ -670,6 +788,7 @@ impl TopologyChoice {
             TopologyChoice::CMesh => {
                 ConcentratedMesh::new(cols.div_ceil(2), rows.div_ceil(2), 4).build()
             }
+            TopologyChoice::XMesh => ExpressMesh::new(cols, rows, 2).build(),
         }
     }
 }
@@ -701,6 +820,7 @@ impl disco_snapshot::Snap for TopologyChoice {
             TopologyChoice::HRing => 2,
             TopologyChoice::Torus => 3,
             TopologyChoice::CMesh => 4,
+            TopologyChoice::XMesh => 5,
         });
     }
     fn restore(r: &mut disco_snapshot::Reader<'_>) -> Result<Self, disco_snapshot::SnapError> {
@@ -710,6 +830,7 @@ impl disco_snapshot::Snap for TopologyChoice {
             2 => TopologyChoice::HRing,
             3 => TopologyChoice::Torus,
             4 => TopologyChoice::CMesh,
+            5 => TopologyChoice::XMesh,
             tag => {
                 return Err(disco_snapshot::malformed(format!(
                     "TopologyChoice tag {tag}"
@@ -894,6 +1015,54 @@ mod tests {
     }
 
     #[test]
+    fn xmesh_express_links_are_pinned() {
+        // Express port numbering (XE 4, XW 5, Local 6) joins the mesh
+        // N0 S1 E2 W3 contract and must never change.
+        let xmesh = ExpressMesh::new(4, 4, 2).build();
+        assert_eq!(xmesh.radix(), 7);
+        assert_eq!(xmesh.link_ports(), 6);
+        assert_eq!(xmesh.express_span(), 2);
+        assert_eq!(xmesh.local_port(NodeId(5)), PortId(6));
+        // The mesh sub-grid is untouched.
+        assert_eq!(xmesh.out_link(NodeId(5), EAST), Some((NodeId(6), WEST)));
+        assert_eq!(xmesh.out_link(NodeId(5), NORTH), Some((NodeId(1), SOUTH)));
+        // Express links skip span columns within the row.
+        assert_eq!(
+            xmesh.out_link(NodeId(4), EXPRESS_EAST),
+            Some((NodeId(6), EXPRESS_WEST))
+        );
+        assert_eq!(
+            xmesh.out_link(NodeId(6), EXPRESS_WEST),
+            Some((NodeId(4), EXPRESS_EAST))
+        );
+        // Dead where the far end would leave the grid.
+        assert_eq!(xmesh.out_link(NodeId(3), EXPRESS_EAST), None);
+        assert_eq!(xmesh.out_link(NodeId(1), EXPRESS_WEST), None);
+        // 2 live express links per direction per 4-wide row, 4 rows.
+        assert_eq!(xmesh.express_link_count(), 16);
+        assert_eq!(xmesh.min_vcs(), 1);
+        assert_tables_mirror(&xmesh);
+    }
+
+    #[test]
+    fn xmesh_hops_count_express_savings() {
+        let xmesh = ExpressMesh::new(8, 2, 3).build();
+        // dx 7 = 2 express (span 3) + 1 single; dy 1.
+        assert_eq!(xmesh.hops(NodeId(0), NodeId(15)), 4);
+        // dx 2 < span: plain Manhattan.
+        assert_eq!(xmesh.hops(NodeId(0), NodeId(2)), 2);
+        assert_eq!(xmesh.hops(NodeId(3), NodeId(3)), 0);
+        // dx 3 exactly one express hop.
+        assert_eq!(xmesh.hops(NodeId(3), NodeId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "express span must be at least 2")]
+    fn xmesh_span_one_rejected() {
+        let _ = ExpressMesh::new(4, 4, 1);
+    }
+
+    #[test]
     fn choice_builds_every_kind_at_fixed_tile_budget() {
         for choice in TopologyChoice::ALL {
             let topo = choice.build(4, 4);
@@ -917,6 +1086,7 @@ mod tests {
             Ring::new(1).build(),
             Torus::new(1, 1).build(),
             HierarchicalRing::new(1, 1).build(),
+            ExpressMesh::new(1, 1, 2).build(),
         ] {
             for p in 0..topo.link_ports() {
                 assert_eq!(topo.out_link(NodeId(0), PortId(p)), None);

@@ -40,7 +40,10 @@ impl TrafficPattern {
                 // Coordinate transpose only where tiles form the grid
                 // themselves (mesh/torus); on rings and the concentrated
                 // mesh, mirror through the tile index instead.
-                let grid_tiles = matches!(topo.kind(), TopologyKind::Mesh | TopologyKind::Torus);
+                let grid_tiles = matches!(
+                    topo.kind(),
+                    TopologyKind::Mesh | TopologyKind::Torus | TopologyKind::ExpressMesh
+                );
                 let (c, r) = topo.coords(src);
                 if grid_tiles && c < topo.rows() && r < topo.cols() {
                     topo.node_at(r, c)

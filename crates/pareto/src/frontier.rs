@@ -1,0 +1,255 @@
+//! Exact Pareto dominance over the three objectives the DISCO trade
+//! study minimizes: latency, energy, and area.
+//!
+//! Dominance is **weak**: `a` dominates `b` when `a` is no worse on
+//! every objective and strictly better on at least one. Equal points
+//! therefore dominate neither direction and both sit on the frontier —
+//! the census never hides a tie. Every dominated point carries a
+//! *proof*: the id of its lowest-id dominator, so the result is
+//! deterministic and machine-checkable without re-deriving the
+//! comparison.
+
+/// One design point's objective vector. All three are minimized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Mean on-chip data access latency, cycles (the Fig. 5/6/8 axis).
+    pub latency: f64,
+    /// Mean memory-subsystem energy per cycle, picojoules (a power
+    /// proxy; total energy would double-count speed, which latency
+    /// already scores).
+    pub pj_per_cycle: f64,
+    /// Silicon added over the uncompressed mesh baseline, mm²
+    /// (compression hardware + express-channel overlay).
+    pub area_mm2: f64,
+}
+
+impl Objectives {
+    fn as_array(&self) -> [f64; 3] {
+        [self.latency, self.pj_per_cycle, self.area_mm2]
+    }
+}
+
+/// Weak Pareto dominance: `a` ≤ `b` on every objective, `a` < `b` on at
+/// least one. Irreflexive (a point never dominates itself or an equal
+/// point).
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    epsilon_dominates(a, b, 0.0)
+}
+
+/// Epsilon-dominance: `a` dominates `b` when `a - eps` weakly dominates
+/// it — i.e. `a` may be up to `eps` *worse* per objective and still
+/// count, which coarsens the frontier for reporting. `eps = 0` is exact
+/// dominance.
+pub fn epsilon_dominates(a: &Objectives, b: &Objectives, eps: f64) -> bool {
+    debug_assert!(eps >= 0.0, "epsilon must be non-negative");
+    let (a, b) = (a.as_array(), b.as_array());
+    let mut strictly = false;
+    for i in 0..3 {
+        let shifted = a[i] - eps;
+        if shifted > b[i] {
+            return false;
+        }
+        if shifted < b[i] {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// One dominated point and its proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dominated {
+    /// The dominated point.
+    pub id: u64,
+    /// The lowest-id point that dominates it — re-checkable evidence,
+    /// and deterministic regardless of evaluation order.
+    pub dominator: u64,
+}
+
+/// The frontier and the dominated census over one point set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Frontier {
+    /// Ids of the non-dominated points, ascending.
+    pub frontier: Vec<u64>,
+    /// Every dominated point with its dominator, ascending by id.
+    pub dominated: Vec<Dominated>,
+}
+
+/// Computes the exact frontier over `(id, objectives)` pairs.
+///
+/// Ids must be unique; the input order does not matter (points are
+/// sorted by id first), so any worker interleaving yields the identical
+/// result. O(n²) pairwise — exact, and the design spaces this serves
+/// are thousands of points, not millions.
+///
+/// # Panics
+///
+/// Panics if two points share an id or an objective is not finite —
+/// both are driver bugs, never data conditions.
+pub fn compute(points: &[(u64, Objectives)]) -> Frontier {
+    let mut sorted: Vec<&(u64, Objectives)> = points.iter().collect();
+    sorted.sort_by_key(|(id, _)| *id);
+    for pair in sorted.windows(2) {
+        assert_ne!(pair[0].0, pair[1].0, "duplicate point id {}", pair[0].0);
+    }
+    for (id, o) in &sorted {
+        assert!(
+            o.as_array().iter().all(|v| v.is_finite()),
+            "point {id} has a non-finite objective: {o:?}"
+        );
+    }
+    let mut out = Frontier::default();
+    for (id, obj) in &sorted {
+        // Lowest-id dominator: scan in ascending id order, stop at the
+        // first hit.
+        match sorted
+            .iter()
+            .find(|(oid, other)| oid != id && dominates(other, obj))
+        {
+            Some((dominator, _)) => out.dominated.push(Dominated {
+                id: *id,
+                dominator: *dominator,
+            }),
+            None => out.frontier.push(*id),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(latency: f64, energy: f64, area: f64) -> Objectives {
+        Objectives {
+            latency,
+            pj_per_cycle: energy,
+            area_mm2: area,
+        }
+    }
+
+    #[test]
+    fn strict_improvement_dominates() {
+        assert!(dominates(&o(1.0, 1.0, 1.0), &o(2.0, 2.0, 2.0)));
+        assert!(!dominates(&o(2.0, 2.0, 2.0), &o(1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn single_objective_improvement_suffices() {
+        // Better on one axis, equal on the rest: weak dominance.
+        assert!(dominates(&o(1.0, 5.0, 5.0), &o(2.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn equal_points_dominate_neither_way() {
+        let a = o(3.0, 3.0, 3.0);
+        assert!(!dominates(&a, &a));
+        let f = compute(&[(0, a), (1, a)]);
+        assert_eq!(f.frontier, vec![0, 1], "ties stay on the frontier");
+        assert!(f.dominated.is_empty());
+    }
+
+    #[test]
+    fn trade_offs_are_incomparable() {
+        // Faster but hungrier vs slower but frugal: neither dominates.
+        let fast = o(1.0, 9.0, 1.0);
+        let frugal = o(9.0, 1.0, 1.0);
+        assert!(!dominates(&fast, &frugal));
+        assert!(!dominates(&frugal, &fast));
+        let f = compute(&[(0, fast), (1, frugal)]);
+        assert_eq!(f.frontier, vec![0, 1]);
+    }
+
+    #[test]
+    fn dominated_points_name_their_lowest_dominator() {
+        // Point 2 is dominated by both 0 and 1; the proof must name 0.
+        let f = compute(&[
+            (0, o(1.0, 1.0, 1.0)),
+            (1, o(2.0, 2.0, 2.0)),
+            (2, o(3.0, 3.0, 3.0)),
+        ]);
+        assert_eq!(f.frontier, vec![0]);
+        assert_eq!(
+            f.dominated,
+            vec![
+                Dominated {
+                    id: 1,
+                    dominator: 0
+                },
+                Dominated {
+                    id: 2,
+                    dominator: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn result_is_input_order_invariant() {
+        let pts = [
+            (3, o(1.0, 4.0, 2.0)),
+            (0, o(2.0, 2.0, 2.0)),
+            (7, o(2.0, 2.0, 3.0)),
+            (1, o(5.0, 1.0, 1.0)),
+        ];
+        let forward = compute(&pts);
+        let mut reversed = pts;
+        reversed.reverse();
+        assert_eq!(forward, compute(&reversed));
+    }
+
+    #[test]
+    fn single_objective_degenerate_case_is_a_total_order() {
+        // When two objectives are constant the frontier is the argmin
+        // of the third (plus its ties).
+        let f = compute(&[
+            (0, o(4.0, 1.0, 1.0)),
+            (1, o(2.0, 1.0, 1.0)),
+            (2, o(2.0, 1.0, 1.0)),
+            (3, o(9.0, 1.0, 1.0)),
+        ]);
+        assert_eq!(f.frontier, vec![1, 2]);
+        // Proofs name the *lowest-id* dominator, which need not be on
+        // the frontier itself: 0 (latency 4) dominates 3 (latency 9)
+        // and outranks the frontier point 1 by id.
+        assert_eq!(
+            f.dominated,
+            vec![
+                Dominated {
+                    id: 0,
+                    dominator: 1
+                },
+                Dominated {
+                    id: 3,
+                    dominator: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn epsilon_coarsens_the_frontier() {
+        let a = o(1.0, 1.0, 1.0);
+        let b = o(1.5, 0.9, 1.0);
+        // Exactly: incomparable (b is better on energy).
+        assert!(!dominates(&a, &b));
+        // With eps = 0.2, a - eps is no worse than b everywhere and
+        // strictly better on latency.
+        assert!(epsilon_dominates(&a, &b, 0.2));
+        // Epsilon never makes a point dominate itself.
+        assert!(epsilon_dominates(&a, &a, 0.2), "eps shifts break ties");
+        assert!(!epsilon_dominates(&a, &a, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate point id")]
+    fn duplicate_ids_are_rejected() {
+        let _ = compute(&[(4, o(1.0, 1.0, 1.0)), (4, o(2.0, 2.0, 2.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite objective")]
+    fn non_finite_objectives_are_rejected() {
+        let _ = compute(&[(0, o(f64::NAN, 1.0, 1.0))]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal JSON helpers shared by the DSE journal and the bench
+//! harnesses: string escaping for emission, and a flat-object scanner
+//! for parsing journal lines back. No external crates; the formats are
+//! ours, so the subset is deliberately small.
+
+use std::collections::BTreeMap;
+
+/// Minimal JSON string escaping (the only strings we emit are axis
+/// names and file-safe labels, but stay correct anyway).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object — `{"key":value,...}` with string, number,
+/// and boolean values, no nesting — into key → raw-token pairs. String
+/// values are unescaped; numbers and booleans come back as their exact
+/// source token so `f64::from_str` round-trips the shortest
+/// representation `{:?}` emitted.
+///
+/// Returns `None` on anything malformed (a truncated journal tail line
+/// after a kill is data, not a bug, so this never panics).
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = BTreeMap::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let (key, after) = take_string(rest)?;
+        rest = after.trim_start().strip_prefix(':')?.trim_start();
+        let (value, after) = if let Some(s) = rest.strip_prefix('"') {
+            let (v, a) = take_string(s)?;
+            (v, a)
+        } else {
+            let end = rest.find([',', ' ', '\t']).unwrap_or(rest.len());
+            let (v, a) = rest.split_at(end);
+            if v.is_empty() {
+                return None;
+            }
+            (v.to_string(), a)
+        };
+        if out.insert(key, value).is_some() {
+            return None; // duplicate key: corrupt line
+        }
+        rest = after.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Consumes an escaped JSON string body up to its closing quote,
+/// returning (unescaped value, remainder after the quote).
+fn take_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let start = chars.next()?.0;
+                    let mut end = start;
+                    for _ in 0..3 {
+                        end = chars.next()?.0;
+                    }
+                    let code = u32::from_str_radix(s.get(start..=end)?, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn flat_object_roundtrips() {
+        let line = r#"{"id":3,"latency":12.625,"name":"mesh","ok":true}"#;
+        let map = parse_flat_object(line).expect("parses");
+        assert_eq!(map["id"], "3");
+        assert_eq!(map["latency"], "12.625");
+        assert_eq!(map["name"], "mesh");
+        assert_eq!(map["ok"], "true");
+    }
+
+    #[test]
+    fn escaped_strings_unescape() {
+        let map = parse_flat_object(r#"{"k":"a\"b\\c\ndA"}"#).expect("parses");
+        assert_eq!(map["k"], "a\"b\\c\ndA");
+    }
+
+    #[test]
+    fn shortest_float_representation_roundtrips_exactly() {
+        for v in [0.1_f64, 1.0 / 3.0, 1e-300, -2.5e17, f64::MIN_POSITIVE] {
+            let line = format!("{{\"v\":{v:?}}}");
+            let map = parse_flat_object(&line).expect("parses");
+            let back: f64 = map["v"].parse().expect("float");
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} must round-trip");
+        }
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            r#"{"id":3"#,
+            r#"{"id":3,"#,
+            r#"{"id":}"#,
+            r#"{"id""#,
+            r#"{"a":1,"a":2}"#,
+            r#"{"k":"unterminated}"#,
+        ] {
+            assert_eq!(parse_flat_object(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat_object("{}").expect("parses").is_empty());
+    }
+}

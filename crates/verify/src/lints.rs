@@ -96,6 +96,8 @@ const STATS_SOURCES: &[(&str, &str)] = &[
     ("crates/core/src/engine.rs", "DiscoStats"),
     ("crates/trace/src/provenance.rs", "ProvenanceTotals"),
     ("crates/faults/src/lib.rs", "FaultStats"),
+    ("crates/energy/src/model.rs", "EnergyCounts"),
+    ("crates/energy/src/model.rs", "EnergyBreakdown"),
 ];
 
 /// Where the counters must be surfaced.
@@ -405,6 +407,57 @@ pub fn check_stats_surfaced(root: &Path) -> io::Result<Vec<Violation>> {
         }
     }
     Ok(violations)
+}
+
+/// Where the DSE design space declares its axes.
+const PARETO_SPACE_PATH: &str = "crates/pareto/src/space.rs";
+/// Where the DSE driver renders the frontier JSON.
+const PARETO_DRIVER_PATH: &str = "crates/pareto/src/driver.rs";
+
+/// Checks that every declared axis of the design space — every public
+/// field of `DesignSpace` — appears by name as a key in the frontier
+/// JSON the driver renders (rule: an axis the output schema omits is an
+/// axis nobody can audit the exploration over).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the sources under `root`.
+pub fn check_pareto_axes(root: &Path) -> io::Result<Vec<Violation>> {
+    let space = fs::read_to_string(root.join(PARETO_SPACE_PATH))?;
+    let driver = fs::read_to_string(root.join(PARETO_DRIVER_PATH))?;
+    Ok(scan_pareto_axes(&space, &driver)
+        .into_iter()
+        .map(|(line, message)| Violation {
+            file: PathBuf::from(PARETO_SPACE_PATH),
+            line,
+            message,
+        })
+        .collect())
+}
+
+/// Core of [`check_pareto_axes`] over source texts: every `pub` field
+/// of `DesignSpace` in `space_src` must appear as an escaped JSON key
+/// (`\"name\"`) in `driver_src`. Returns (1-based line in `space_src`,
+/// message) findings.
+pub fn scan_pareto_axes(space_src: &str, driver_src: &str) -> Vec<(usize, String)> {
+    let axes = struct_fields(space_src, "DesignSpace");
+    if axes.is_empty() {
+        return vec![(1, "struct DesignSpace not found".to_string())];
+    }
+    let mut findings = Vec::new();
+    for (line, axis) in axes {
+        let key = format!("\\\"{axis}\\\"");
+        if !driver_src.contains(&key) {
+            findings.push((
+                line,
+                format!(
+                    "DesignSpace.{axis} is not rendered as a `{key}` key in the \
+                     frontier JSON ({PARETO_DRIVER_PATH})"
+                ),
+            ));
+        }
+    }
+    findings
 }
 
 /// Where `FaultKind` is declared.

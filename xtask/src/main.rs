@@ -506,7 +506,13 @@ fn run_lints() -> (bool, String) {
     check(
         "stats",
         lints::check_stats_surfaced(&root),
-        "every NetworkStats/DiscoStats/ProvenanceTotals counter is surfaced in report.rs",
+        "every NetworkStats/DiscoStats/ProvenanceTotals/EnergyCounts/EnergyBreakdown \
+         counter is surfaced in report.rs",
+    );
+    check(
+        "pareto-axes",
+        lints::check_pareto_axes(&root),
+        "every DesignSpace axis is named in the rendered frontier JSON schema",
     );
     check(
         "confinement",
@@ -535,7 +541,7 @@ fn run_lints() -> (bool, String) {
         "every field of every snapshotted struct is accounted state|derived in the manifest",
     );
     if failures == 0 {
-        (true, "7 lint families clean (AST-grade)".to_string())
+        (true, "8 lint families clean (AST-grade)".to_string())
     } else {
         (false, format!("{failures} lint famil(ies) failed"))
     }
